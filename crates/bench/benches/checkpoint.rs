@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E9's cost side: snapshot encoding and
+//! durable checkpoint writes as world size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_bench::combat_world;
+use gamedb_persist::{temp_dir, Backend, CheckpointPolicy, GameStore};
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+    for &n in &[500usize, 2000, 8000] {
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, &n| {
+            let (world, _) = combat_world(n, 500.0, 3);
+            b.iter(|| gamedb_persist::encode(&world).len())
+        });
+        group.bench_with_input(BenchmarkId::new("checkpoint_durable", n), &n, |b, &n| {
+            let (world, _) = combat_world(n, 500.0, 3);
+            let backend = Backend::open(temp_dir(&format!("bench-cp-{n}"))).unwrap();
+            let mut store = GameStore::new(
+                world,
+                backend,
+                CheckpointPolicy::Periodic { period: 1e12 },
+            )
+            .unwrap();
+            b.iter(|| store.checkpoint().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("recover", n), &n, |b, &n| {
+            let (world, _) = combat_world(n, 500.0, 3);
+            let data = gamedb_persist::encode(&world);
+            b.iter(|| gamedb_persist::decode(&data).unwrap().0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for experiment E6: executing one MMO action batch
+//! under each concurrency-control strategy, at low and high contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_sync::{
+    BubbleConfig, BubbleExecutor, Executor, LockingExecutor, OptimisticExecutor, SerialExecutor,
+    Workload, WorkloadConfig,
+};
+
+fn bench_consistency(c: &mut Criterion) {
+    for &hotspot in &[0.0f32, 0.8] {
+        let mut group = c.benchmark_group(format!("consistency_hotspot_{hotspot}"));
+        group.sample_size(10);
+        let cfg = WorkloadConfig {
+            players: 1024,
+            hotspot_fraction: hotspot,
+            ..Default::default()
+        };
+        let execs: Vec<(&str, Box<dyn Executor>)> = vec![
+            ("serial", Box::new(SerialExecutor)),
+            ("2pl", Box::new(LockingExecutor)),
+            ("occ", Box::new(OptimisticExecutor::default())),
+            (
+                "bubbles",
+                Box::new(BubbleExecutor::new(BubbleConfig {
+                    dt: 1.0,
+                    max_accel: 2.0,
+                    interaction_range: cfg.interaction_range,
+                })),
+            ),
+        ];
+        for (name, exec) in execs {
+            group.bench_with_input(BenchmarkId::new(name, cfg.players), &cfg, |b, cfg| {
+                let mut wl = Workload::new(*cfg);
+                let batch = wl.next_batch();
+                b.iter(|| exec.execute(&mut wl.world, &batch).executed)
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_consistency);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion bench for experiment E10: migration cost and query cost of
+//! the structured store versus the blob store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_content::{Value, ValueType};
+use gamedb_core::World;
+use gamedb_persist::{BlobStore, Migration, SchemaVersion, StructuredStore};
+use gamedb_spatial::Vec2;
+
+fn base_schema() -> SchemaVersion {
+    SchemaVersion {
+        fields: vec![
+            ("hp".into(), ValueType::Float, Value::Float(100.0)),
+            ("gold".into(), ValueType::Int, Value::Int(0)),
+            ("name".into(), ValueType::Str, Value::Str(String::new())),
+        ],
+    }
+}
+
+fn blob_store(n: u64) -> BlobStore {
+    let mut s = BlobStore::new(base_schema());
+    for i in 0..n {
+        s.put(
+            i,
+            &[
+                ("hp".into(), Value::Float(i as f32)),
+                ("gold".into(), Value::Int(i as i64)),
+                ("name".into(), Value::Str(format!("p{i}"))),
+            ],
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn structured_store(n: usize) -> StructuredStore {
+    let mut w = World::new();
+    w.define_component("hp", ValueType::Float).unwrap();
+    w.define_component("gold", ValueType::Int).unwrap();
+    w.define_component("name", ValueType::Str).unwrap();
+    for i in 0..n {
+        let e = w.spawn_at(Vec2::new(i as f32, 0.0));
+        w.set_f32(e, "hp", i as f32).unwrap();
+        w.set(e, "gold", Value::Int(i as i64)).unwrap();
+        w.set(e, "name", Value::Str(format!("p{i}"))).unwrap();
+    }
+    StructuredStore::new(w)
+}
+
+fn add_mana() -> Migration {
+    Migration::AddColumn {
+        name: "mana".into(),
+        ty: ValueType::Float,
+        default: Value::Float(50.0),
+    }
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let n = 10_000;
+    let mut group = c.benchmark_group("migration");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("structured_add_column", n), &n, |b, &n| {
+        b.iter_with_setup(
+            || structured_store(n),
+            |mut s| s.migrate(&add_mana()).unwrap().rows_rewritten,
+        )
+    });
+    group.bench_with_input(BenchmarkId::new("blob_add_column", n), &n, |b, &n| {
+        b.iter_with_setup(
+            || blob_store(n as u64),
+            |mut s| s.migrate(add_mana()).unwrap().rows_rewritten,
+        )
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("post_migration_query");
+    group.sample_size(10);
+    let mut structured = structured_store(n);
+    structured.migrate(&add_mana()).unwrap();
+    let mut blob = blob_store(n as u64);
+    blob.migrate(add_mana()).unwrap();
+    group.bench_function("structured_sum", |b| {
+        b.iter(|| structured.sum_column("mana"))
+    });
+    group.bench_function("blob_sum_stale_rows", |b| {
+        b.iter(|| blob.sum_column("mana").unwrap())
+    });
+    let mut compacted = blob_store(n as u64);
+    compacted.migrate(add_mana()).unwrap();
+    compacted.compact().unwrap();
+    group.bench_function("blob_sum_compacted", |b| {
+        b.iter(|| compacted.sum_column("mana").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

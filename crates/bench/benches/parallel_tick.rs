@@ -1,0 +1,44 @@
+//! Criterion bench for experiment E5: one combat tick at different thread
+//! counts (speedup is bounded by the machine's core count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_bench::constant_density_world;
+use gamedb_core::{Effect, EffectBuffer, EntityId, TickExecutor, World};
+
+fn combat(id: EntityId, w: &World, buf: &mut EffectBuffer) {
+    let Some(p) = w.pos(id) else { return };
+    let mut near = Vec::new();
+    w.within(p, 30.0, &mut near);
+    let mut threat = 0.0f64;
+    for other in near {
+        if other != id {
+            if let (Some(q), Some(dmg)) = (w.pos(other), w.get_f32(other, "dmg")) {
+                threat += dmg as f64 / (1.0 + p.dist(q) as f64);
+            }
+        }
+    }
+    buf.push(id, "hp", Effect::Add(-threat * 0.001));
+}
+
+fn bench_parallel_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_tick");
+    group.sample_size(10);
+    let n = 4000;
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            let (mut world, _) = constant_density_world(n, 0.05, 11);
+            let exec = if t == 1 {
+                TickExecutor::sequential()
+            } else {
+                TickExecutor::parallel(t)
+            };
+            b.iter(|| {
+                exec.run_tick(&mut world, &[&combat]).unwrap().effects_applied
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_tick);
+criterion_main!(benches);

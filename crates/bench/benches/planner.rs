@@ -1,0 +1,51 @@
+//! Criterion bench for experiment E14: executing the same spatial +
+//! predicate query through a forced full scan, a forced index probe, and
+//! the planner's choice, at a radius on each side of the crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_bench::constant_density_world;
+use gamedb_core::{plan, Access, Plan, Query, TableStats};
+use gamedb_spatial::Vec2;
+
+fn bench_planner(c: &mut Criterion) {
+    let (world, _) = constant_density_world(16_000, 0.05, 17);
+    let stats = TableStats::build(&world);
+    let (lo, hi) = stats.bounds.unwrap();
+    let center = Vec2::new((lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0);
+    let map_w = hi.x - lo.x;
+
+    for &frac in &[0.02f32, 0.8] {
+        let radius = map_w * frac;
+        let q = Query::select().within(center, radius).filter(
+            "dmg",
+            gamedb_content::CmpOp::Ge,
+            gamedb_content::Value::Float(3.0),
+        );
+        let chosen = plan(&q, &stats);
+        let forced_index = Plan {
+            access: Access::SpatialIndex { center, radius },
+            residual_within: None,
+            ..chosen.clone()
+        };
+        let forced_scan = Plan {
+            access: Access::FullScan,
+            residual_within: Some((center, radius)),
+            ..chosen.clone()
+        };
+        let mut group = c.benchmark_group(format!("planner_radius_{frac}"));
+        group.sample_size(20);
+        for (name, p) in [
+            ("scan", &forced_scan),
+            ("index", &forced_index),
+            ("planned", &chosen),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, frac.to_string()), p, |b, p| {
+                b.iter(|| p.run(&world).len())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench for experiment E1: per-tick script evaluation cost,
+//! naive full-scan vs spatial-index vs compiled, across world sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_bench::constant_density_world;
+use gamedb_core::EffectBuffer;
+use gamedb_script::{compile, parse_script, run_script, ExecOptions, ScriptLibrary};
+
+const SRC: &str = "self.hp -= count(8; other.team != self.team) * 0.1; self.hp += 0.05;";
+
+fn bench_script_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("script_scaling");
+    group.sample_size(10);
+    for &n in &[250usize, 1000, 4000] {
+        let (world, ids) = constant_density_world(n, 0.05, 7);
+        let mut lib = ScriptLibrary::new();
+        lib.insert(parse_script("combat", SRC).unwrap());
+        let compiled = compile(&lib, "combat", &world).unwrap();
+
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut buf = EffectBuffer::new();
+                    for &id in &ids {
+                        run_script(
+                            &lib,
+                            "combat",
+                            &world,
+                            id,
+                            &mut buf,
+                            ExecOptions {
+                                use_index: false,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap();
+                    }
+                    buf.len()
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = EffectBuffer::new();
+                for &id in &ids {
+                    run_script(&lib, "combat", &world, id, &mut buf, ExecOptions::default())
+                        .unwrap();
+                }
+                buf.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = EffectBuffer::new();
+                for &id in &ids {
+                    compiled.run(&world, id, &mut buf, true).unwrap();
+                }
+                buf.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_script_scaling);
+criterion_main!(benches);

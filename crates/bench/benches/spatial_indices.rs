@@ -1,0 +1,120 @@
+//! Criterion bench for experiment E3: range / kNN / update throughput of
+//! each spatial index under uniform and clustered distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_bench::{clustered_world, constant_density_world};
+use gamedb_spatial::{Aabb, BspTree, Quadtree, SpatialIndex, UniformGrid, Vec2};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, clustered: bool) -> Vec<(u64, Vec2)> {
+    let (world, ids) = if clustered {
+        clustered_world(n, 8, 2000.0, 15.0, 5)
+    } else {
+        constant_density_world(n, 0.05, 5)
+    };
+    ids.iter()
+        .map(|&e| (e.to_bits(), world.pos(e).unwrap()))
+        .collect()
+}
+
+fn filled<I: SpatialIndex>(mut idx: I, pts: &[(u64, Vec2)]) -> I {
+    for &(id, p) in pts {
+        idx.insert(id, p);
+    }
+    idx
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let n = 8000;
+    for &clustered in &[false, true] {
+        let label = if clustered { "clustered" } else { "uniform" };
+        let pts = points(n, clustered);
+        let bounds = pts.iter().fold(Aabb::from_size(1.0, 1.0), |b, &(_, p)| {
+            b.union(&Aabb::new(p, p))
+        });
+        let mut rng = StdRng::seed_from_u64(42);
+        let queries: Vec<Vec2> = (0..256)
+            .map(|_| pts[rng.gen_range(0..pts.len())].1)
+            .collect();
+
+        let grid = filled(UniformGrid::new(10.0), &pts);
+        let bsp = filled(BspTree::new(16), &pts);
+        let quad = filled(Quadtree::new(bounds, 16, 14), &pts);
+        let indices: Vec<(&str, &dyn SpatialIndex)> =
+            vec![("grid", &grid), ("bsp", &bsp), ("quadtree", &quad)];
+
+        let mut group = c.benchmark_group(format!("spatial_range_{label}"));
+        group.sample_size(20);
+        for (name, idx) in &indices {
+            group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &q in &queries {
+                        out.clear();
+                        idx.query_range(q, 10.0, &mut out);
+                        total += out.len();
+                    }
+                    total
+                })
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("spatial_knn_{label}"));
+        group.sample_size(20);
+        for (name, idx) in &indices {
+            group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &q in &queries {
+                        out.clear();
+                        idx.query_knn(q, 8, &mut out);
+                        total += out.len();
+                    }
+                    total
+                })
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("spatial_update_{label}"));
+        group.sample_size(20);
+        group.bench_function("grid", |b| {
+            let mut idx = filled(UniformGrid::new(10.0), &pts);
+            let mut i = 0usize;
+            b.iter(|| {
+                let (id, p) = pts[i % pts.len()];
+                idx.update(id, p + Vec2::new(3.0, 3.0));
+                idx.update(id, p);
+                i += 1;
+            })
+        });
+        group.bench_function("bsp", |b| {
+            let mut idx = filled(BspTree::new(16), &pts);
+            let mut i = 0usize;
+            b.iter(|| {
+                let (id, p) = pts[i % pts.len()];
+                idx.update(id, p + Vec2::new(3.0, 3.0));
+                idx.update(id, p);
+                i += 1;
+            })
+        });
+        group.bench_function("quadtree", |b| {
+            let mut idx = filled(Quadtree::new(bounds, 16, 14), &pts);
+            let mut i = 0usize;
+            b.iter(|| {
+                let (id, p) = pts[i % pts.len()];
+                idx.update(id, p + Vec2::new(3.0, 3.0));
+                idx.update(id, p);
+                i += 1;
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_spatial);
+criterion_main!(benches);

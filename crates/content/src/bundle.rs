@@ -1,0 +1,188 @@
+//! Content bundles: everything a game ships in its data files.
+//!
+//! A bundle groups the designer-authored artifacts — templates, triggers,
+//! UI specs — under one `<content>` root, the way a game's data directory
+//! (or an expansion pack) groups its files. Loading validates everything
+//! eagerly and reports *all* problems, because designers iterate against
+//! validation output, not one-error-at-a-time compiles.
+
+use std::fmt;
+
+use crate::gdml::{self, Element, GdmlError};
+use crate::template::{TemplateError, TemplateLibrary};
+use crate::trigger::{TriggerError, TriggerSet};
+use crate::ui::{UiError, UiSpec};
+
+/// A loaded content bundle.
+#[derive(Debug, Clone, Default)]
+pub struct ContentBundle {
+    pub templates: TemplateLibrary,
+    pub triggers: TriggerSet,
+    pub ui: UiSpec,
+}
+
+/// Any problem found while loading or validating a bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentError {
+    Gdml(GdmlError),
+    Template(TemplateError),
+    Trigger(TriggerError),
+    Ui(UiError),
+    /// A trigger spawns a template that does not exist.
+    SpawnUnknownTemplate { trigger: String, template: String },
+}
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentError::Gdml(e) => write!(f, "markup: {e}"),
+            ContentError::Template(e) => write!(f, "template: {e}"),
+            ContentError::Trigger(e) => write!(f, "trigger: {e}"),
+            ContentError::Ui(e) => write!(f, "ui: {e}"),
+            ContentError::SpawnUnknownTemplate { trigger, template } => {
+                write!(f, "trigger {trigger} spawns unknown template {template}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ContentBundle {
+    /// Parse a `<content>` document containing optional `<templates>`,
+    /// `<triggers>`, and `<ui>` sections.
+    pub fn from_gdml_str(src: &str) -> Result<Self, ContentError> {
+        let root = gdml::parse(src).map_err(ContentError::Gdml)?;
+        Self::from_gdml(&root)
+    }
+
+    /// Parse from an already-parsed root element.
+    pub fn from_gdml(root: &Element) -> Result<Self, ContentError> {
+        let templates = match root.first_child("templates") {
+            Some(el) => TemplateLibrary::from_gdml(el).map_err(ContentError::Template)?,
+            None => TemplateLibrary::new(),
+        };
+        let triggers = match root.first_child("triggers") {
+            Some(el) => TriggerSet::from_gdml(el).map_err(ContentError::Trigger)?,
+            None => TriggerSet::new(),
+        };
+        let ui = match root.first_child("ui") {
+            Some(el) => UiSpec::from_gdml(el).map_err(ContentError::Ui)?,
+            None => UiSpec::default(),
+        };
+        Ok(ContentBundle {
+            templates,
+            triggers,
+            ui,
+        })
+    }
+
+    /// Cross-artifact validation: resolve all templates, lay out the UI,
+    /// and check trigger → template references. Returns every problem.
+    pub fn validate(&self) -> Vec<ContentError> {
+        let mut problems: Vec<ContentError> = Vec::new();
+        problems.extend(self.templates.validate().into_iter().map(ContentError::Template));
+        problems.extend(self.ui.validate().into_iter().map(ContentError::Ui));
+        // trigger spawn targets must exist
+        for t in self.triggers.iter() {
+            for a in &t.actions {
+                if let crate::trigger::Action::Spawn { template, .. } = a {
+                    if self.templates.get(template).is_none() {
+                        problems.push(ContentError::SpawnUnknownTemplate {
+                            trigger: t.id.clone(),
+                            template: template.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUNDLE: &str = r#"
+      <content>
+        <templates>
+          <template name="monster" tags="hostile">
+            <component name="hp" type="float" default="100"/>
+          </template>
+          <template name="boss" extends="monster">
+            <component name="hp" type="float" default="5000"/>
+          </template>
+        </templates>
+        <triggers>
+          <trigger id="summon" event="custom" name="ritual_complete">
+            <action kind="spawn" template="boss" x="10" y="10"/>
+          </trigger>
+        </triggers>
+        <ui>
+          <bar name="boss_hp" width="300" height="16" bind="hp"
+               anchor="top" relative_to="screen" relative_point="top" dy="20"/>
+        </ui>
+      </content>"#;
+
+    #[test]
+    fn load_full_bundle() {
+        let b = ContentBundle::from_gdml_str(BUNDLE).unwrap();
+        assert_eq!(b.templates.len(), 2);
+        assert_eq!(b.triggers.len(), 1);
+        assert_eq!(b.ui.widgets.len(), 1);
+        assert!(b.validate().is_empty());
+    }
+
+    #[test]
+    fn sections_optional() {
+        let b = ContentBundle::from_gdml_str("<content/>").unwrap();
+        assert!(b.templates.is_empty());
+        assert!(b.triggers.is_empty());
+        assert!(b.ui.widgets.is_empty());
+        assert!(b.validate().is_empty());
+    }
+
+    #[test]
+    fn spawn_of_unknown_template_reported() {
+        let src = r#"
+          <content>
+            <triggers>
+              <trigger id="bad" event="custom" name="e">
+                <action kind="spawn" template="kraken" x="0" y="0"/>
+              </trigger>
+            </triggers>
+          </content>"#;
+        let b = ContentBundle::from_gdml_str(src).unwrap();
+        let problems = b.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(matches!(
+            &problems[0],
+            ContentError::SpawnUnknownTemplate { trigger, template }
+                if trigger == "bad" && template == "kraken"
+        ));
+    }
+
+    #[test]
+    fn markup_errors_propagate() {
+        let err = ContentBundle::from_gdml_str("<content><oops></content>").unwrap_err();
+        assert!(matches!(err, ContentError::Gdml(_)));
+    }
+
+    #[test]
+    fn validate_aggregates_multiple_problems() {
+        let src = r#"
+          <content>
+            <templates>
+              <template name="a" extends="missing"/>
+            </templates>
+            <triggers>
+              <trigger id="bad" event="custom" name="e">
+                <action kind="spawn" template="ghost" x="0" y="0"/>
+              </trigger>
+            </triggers>
+          </content>"#;
+        let b = ContentBundle::from_gdml_str(src).unwrap();
+        assert_eq!(b.validate().len(), 2);
+    }
+}

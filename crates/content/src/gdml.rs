@@ -1,0 +1,694 @@
+//! GDML — Game Data Markup Language.
+//!
+//! The paper's data-driven-design section describes designers managing
+//! game content as XML files (entity definitions, event triggers, and the
+//! World-of-Warcraft-style XML UI specification language). GDML is the
+//! XML subset this repository uses for all designer-authored content:
+//! elements, attributes, text, comments, and the five standard entity
+//! escapes. It is deliberately small — no namespaces, DTDs, or processing
+//! instructions — because game content pipelines control both ends of the
+//! format.
+//!
+//! The parser is hand-written with precise line/column errors (designers
+//! read these, so they must be good), and a pretty-printer supports the
+//! round-trip property tests.
+
+use std::fmt;
+
+/// A node in a GDML document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    Element(Element),
+    /// Text content with entities already decoded. Whitespace-only text
+    /// between elements is dropped during parsing.
+    Text(String),
+}
+
+/// An element: `<name attr="v">children</name>`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Element {
+    pub name: String,
+    /// Attributes in document order (duplicates rejected at parse time).
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of attribute `key` or a [`GdmlError::MissingAttr`] naming the
+    /// element — content loaders want this error shape everywhere.
+    pub fn require_attr(&self, key: &str) -> Result<&str, GdmlError> {
+        self.attr(key).ok_or_else(|| GdmlError::MissingAttr {
+            element: self.name.clone(),
+            attr: key.to_string(),
+        })
+    }
+
+    /// Child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter_map(move |n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements regardless of name.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> + '_ {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First child element with the given name.
+    pub fn first_child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find_map(|n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                s.push_str(t);
+            }
+        }
+        s.trim().to_string()
+    }
+
+    /// Builder-style: add an attribute.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder-style: add a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style: add a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+}
+
+/// Parse errors with 1-based line and column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdmlError {
+    UnexpectedEof { line: u32, col: u32, expected: &'static str },
+    UnexpectedChar { line: u32, col: u32, found: char, expected: &'static str },
+    MismatchedTag { line: u32, col: u32, open: String, close: String },
+    DuplicateAttr { line: u32, col: u32, attr: String },
+    BadEntity { line: u32, col: u32, entity: String },
+    TrailingContent { line: u32, col: u32 },
+    MissingAttr { element: String, attr: String },
+}
+
+impl fmt::Display for GdmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdmlError::UnexpectedEof { line, col, expected } => {
+                write!(f, "{line}:{col}: unexpected end of input, expected {expected}")
+            }
+            GdmlError::UnexpectedChar { line, col, found, expected } => {
+                write!(f, "{line}:{col}: unexpected {found:?}, expected {expected}")
+            }
+            GdmlError::MismatchedTag { line, col, open, close } => {
+                write!(f, "{line}:{col}: closing tag </{close}> does not match <{open}>")
+            }
+            GdmlError::DuplicateAttr { line, col, attr } => {
+                write!(f, "{line}:{col}: duplicate attribute {attr:?}")
+            }
+            GdmlError::BadEntity { line, col, entity } => {
+                write!(f, "{line}:{col}: unknown entity &{entity};")
+            }
+            GdmlError::TrailingContent { line, col } => {
+                write!(f, "{line}:{col}: content after the root element")
+            }
+            GdmlError::MissingAttr { element, attr } => {
+                write!(f, "element <{element}> is missing required attribute {attr:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GdmlError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eof_err(&self, expected: &'static str) -> GdmlError {
+        GdmlError::UnexpectedEof {
+            line: self.line,
+            col: self.col,
+            expected,
+        }
+    }
+
+    fn char_err(&self, found: char, expected: &'static str) -> GdmlError {
+        GdmlError::UnexpectedChar {
+            line: self.line,
+            col: self.col,
+            found,
+            expected,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Skip `<!-- ... -->`; the leading `<!--` is already consumed.
+    fn skip_comment(&mut self) -> Result<(), GdmlError> {
+        loop {
+            match self.bump() {
+                None => return Err(self.eof_err("end of comment '-->'")),
+                Some(b'-') => {
+                    if self.peek() == Some(b'-') && self.peek2() == Some(b'>') {
+                        self.bump();
+                        self.bump();
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn is_name_start(c: u8) -> bool {
+        c.is_ascii_alphabetic() || c == b'_'
+    }
+
+    fn is_name_char(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':')
+    }
+
+    fn parse_name(&mut self) -> Result<String, GdmlError> {
+        match self.peek() {
+            None => Err(self.eof_err("a name")),
+            Some(c) if Self::is_name_start(c) => {
+                let start = self.pos;
+                while self.peek().is_some_and(Self::is_name_char) {
+                    self.bump();
+                }
+                Ok(std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("name chars are ASCII")
+                    .to_string())
+            }
+            Some(c) => Err(self.char_err(c as char, "a name")),
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, GdmlError> {
+        // '&' already consumed
+        let (l, c0) = (self.line, self.col);
+        let mut name = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(GdmlError::BadEntity {
+                        line: l,
+                        col: c0,
+                        entity: name,
+                    })
+                }
+                Some(b';') => break,
+                Some(c) if name.len() < 8 => name.push(c as char),
+                Some(_) => {
+                    return Err(GdmlError::BadEntity {
+                        line: l,
+                        col: c0,
+                        entity: name,
+                    })
+                }
+            }
+        }
+        match name.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ => Err(GdmlError::BadEntity {
+                line: l,
+                col: c0,
+                entity: name,
+            }),
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, GdmlError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(c) => return Err(self.char_err(c as char, "'\"' or '\\''")),
+            None => return Err(self.eof_err("attribute value")),
+        };
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.eof_err("closing quote")),
+                Some(c) if c == quote => return Ok(value),
+                Some(b'&') => value.push(self.parse_entity()?),
+                Some(c) => value.push(c as char),
+            }
+        }
+    }
+
+    /// Parse an element; the opening `<` is already consumed and the next
+    /// char is the name start.
+    fn parse_element(&mut self) -> Result<Element, GdmlError> {
+        let name = self.parse_name()?;
+        let mut el = Element::new(name);
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.eof_err("'>' or '/>'")),
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'/') => {
+                    self.bump();
+                    match self.bump() {
+                        Some(b'>') => return Ok(el),
+                        Some(c) => return Err(self.char_err(c as char, "'>'")),
+                        None => return Err(self.eof_err("'>'")),
+                    }
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let (al, ac) = (self.line, self.col);
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b'=') => {}
+                        Some(c) => return Err(self.char_err(c as char, "'='")),
+                        None => return Err(self.eof_err("'='")),
+                    }
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    if el.attr(&key).is_some() {
+                        return Err(GdmlError::DuplicateAttr {
+                            line: al,
+                            col: ac,
+                            attr: key,
+                        });
+                    }
+                    el.attrs.push((key, value));
+                }
+                Some(c) => return Err(self.char_err(c as char, "attribute name or '>'")),
+            }
+        }
+        // children until matching close tag
+        loop {
+            let mut text = String::new();
+            // accumulate text until '<'
+            loop {
+                match self.peek() {
+                    None => return Err(self.eof_err("closing tag")),
+                    Some(b'<') => break,
+                    Some(b'&') => {
+                        self.bump();
+                        text.push(self.parse_entity()?);
+                    }
+                    Some(c) => {
+                        self.bump();
+                        text.push(c as char);
+                    }
+                }
+            }
+            if !text.trim().is_empty() {
+                el.children.push(Node::Text(text.trim().to_string()));
+            }
+            // at '<'
+            self.bump();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    let (cl, cc) = (self.line, self.col);
+                    let close = self.parse_name()?;
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b'>') => {}
+                        Some(c) => return Err(self.char_err(c as char, "'>'")),
+                        None => return Err(self.eof_err("'>'")),
+                    }
+                    if close != el.name {
+                        return Err(GdmlError::MismatchedTag {
+                            line: cl,
+                            col: cc,
+                            open: el.name,
+                            close,
+                        });
+                    }
+                    return Ok(el);
+                }
+                Some(b'!') => {
+                    // comment
+                    self.bump();
+                    for _ in 0..2 {
+                        match self.bump() {
+                            Some(b'-') => {}
+                            Some(c) => return Err(self.char_err(c as char, "'<!--'")),
+                            None => return Err(self.eof_err("'<!--'")),
+                        }
+                    }
+                    self.skip_comment()?;
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let child = self.parse_element()?;
+                    el.children.push(Node::Element(child));
+                }
+                Some(c) => return Err(self.char_err(c as char, "element, comment, or closing tag")),
+                None => return Err(self.eof_err("element, comment, or closing tag")),
+            }
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Element, GdmlError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.eof_err("root element")),
+                Some(b'<') => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'!') => {
+                            self.bump();
+                            for _ in 0..2 {
+                                match self.bump() {
+                                    Some(b'-') => {}
+                                    Some(c) => return Err(self.char_err(c as char, "'<!--'")),
+                                    None => return Err(self.eof_err("'<!--'")),
+                                }
+                            }
+                            self.skip_comment()?;
+                        }
+                        Some(c) if Self::is_name_start(c) => {
+                            let root = self.parse_element()?;
+                            // only comments/whitespace may follow
+                            loop {
+                                self.skip_ws();
+                                match self.peek() {
+                                    None => return Ok(root),
+                                    Some(b'<') if self.peek2() == Some(b'!') => {
+                                        self.bump();
+                                        self.bump();
+                                        for _ in 0..2 {
+                                            match self.bump() {
+                                                Some(b'-') => {}
+                                                _ => {
+                                                    return Err(GdmlError::TrailingContent {
+                                                        line: self.line,
+                                                        col: self.col,
+                                                    })
+                                                }
+                                            }
+                                        }
+                                        self.skip_comment()?;
+                                    }
+                                    Some(_) => {
+                                        return Err(GdmlError::TrailingContent {
+                                            line: self.line,
+                                            col: self.col,
+                                        })
+                                    }
+                                }
+                            }
+                        }
+                        Some(c) => return Err(self.char_err(c as char, "element name")),
+                        None => return Err(self.eof_err("element name")),
+                    }
+                }
+                Some(c) => return Err(self.char_err(c as char, "'<'")),
+            }
+        }
+    }
+}
+
+/// Parse a GDML document; returns the root element.
+pub fn parse(src: &str) -> Result<Element, GdmlError> {
+    Parser::new(src).parse_document()
+}
+
+fn escape_into(s: &str, out: &mut String, in_attr: bool) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_element(el: &Element, out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_into(v, out, true);
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Elements with a single text child are written inline.
+    if el.children.len() == 1 {
+        if let Node::Text(t) = &el.children[0] {
+            out.push('>');
+            escape_into(t, out, false);
+            out.push_str("</");
+            out.push_str(&el.name);
+            out.push_str(">\n");
+            return;
+        }
+    }
+    out.push_str(">\n");
+    for child in &el.children {
+        match child {
+            Node::Element(e) => write_element(e, out, indent + 1),
+            Node::Text(t) => {
+                for _ in 0..=indent {
+                    out.push_str("  ");
+                }
+                escape_into(t, out, false);
+                out.push('\n');
+            }
+        }
+    }
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push_str(">\n");
+}
+
+/// Pretty-print an element tree as a GDML document.
+pub fn to_string(root: &Element) -> String {
+    let mut out = String::new();
+    write_element(root, &mut out, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let root = parse("<world/>").unwrap();
+        assert_eq!(root.name, "world");
+        assert!(root.attrs.is_empty());
+        assert!(root.children.is_empty());
+    }
+
+    #[test]
+    fn attributes_and_children() {
+        let root = parse(
+            r#"<template name="goblin" extends="monster">
+                 <component name="hp" type="float" default="50"/>
+                 <component name="speed" type="float" default="1.5"/>
+               </template>"#,
+        )
+        .unwrap();
+        assert_eq!(root.attr("name"), Some("goblin"));
+        assert_eq!(root.attr("extends"), Some("monster"));
+        assert_eq!(root.children_named("component").count(), 2);
+        let hp = root.children_named("component").next().unwrap();
+        assert_eq!(hp.attr("default"), Some("50"));
+    }
+
+    #[test]
+    fn text_content_and_entities() {
+        let root = parse("<msg>fish &amp; chips &lt;hot&gt;</msg>").unwrap();
+        assert_eq!(root.text(), "fish & chips <hot>");
+    }
+
+    #[test]
+    fn entities_in_attributes() {
+        let root = parse(r#"<a v="&quot;x&quot; &apos;y&apos;"/>"#).unwrap();
+        assert_eq!(root.attr("v"), Some("\"x\" 'y'"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let root = parse(
+            "<!-- header -->\n<a><!-- inner --><b/><!-- done --></a>\n<!-- trailer -->",
+        )
+        .unwrap();
+        assert_eq!(root.children_named("b").count(), 1);
+    }
+
+    #[test]
+    fn single_quotes_allowed() {
+        let root = parse("<a v='hello'/>").unwrap();
+        assert_eq!(root.attr("v"), Some("hello"));
+    }
+
+    #[test]
+    fn mismatched_tag_reports_names() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        match err {
+            GdmlError::MismatchedTag { open, close, .. } => {
+                assert_eq!(open, "b");
+                assert_eq!(close, "a");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err, GdmlError::DuplicateAttr { .. }));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let err = parse("<a>&bogus;</a>").unwrap_err();
+        assert!(matches!(err, GdmlError::BadEntity { .. }));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err, GdmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let err = parse("<a>\n\n  <b oops></b>\n</a>").unwrap_err();
+        match err {
+            GdmlError::UnexpectedChar { line, .. } => assert_eq!(line, 3),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_root_is_eof_error() {
+        assert!(matches!(parse("<a><b/>"), Err(GdmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn require_attr_error_shape() {
+        let root = parse("<a/>").unwrap();
+        let err = root.require_attr("name").unwrap_err();
+        assert!(matches!(err, GdmlError::MissingAttr { .. }));
+        assert!(err.to_string().contains("name"));
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<world name="test"><zone id="1"><spawn template="goblin"/></zone></world>"#;
+        let parsed = parse(src).unwrap();
+        let printed = to_string(&parsed);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn roundtrip_escapes() {
+        let el = Element::new("a")
+            .with_attr("v", "a \"quoted\" & <angled>")
+            .with_text("text & <more>");
+        let printed = to_string(&el);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(reparsed.attr("v"), Some("a \"quoted\" & <angled>"));
+        assert_eq!(reparsed.text(), "text & <more>");
+    }
+
+    #[test]
+    fn builder_api() {
+        let el = Element::new("frame")
+            .with_attr("name", "main")
+            .with_child(Element::new("button").with_attr("label", "OK"));
+        assert_eq!(el.first_child("button").unwrap().attr("label"), Some("OK"));
+        assert!(el.first_child("missing").is_none());
+    }
+}

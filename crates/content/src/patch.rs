@@ -1,0 +1,578 @@
+//! Expansion packs: patching a shipped content bundle.
+//!
+//! The paper: "game expansion packs typically contain new content, but
+//! they include very few modifications to the underlying software" —
+//! data-driven design pays off precisely because shipping more game means
+//! shipping more *data*. A [`ContentPatch`] is that data: a versioned
+//! overlay that adds, overrides, or removes templates, triggers, and UI
+//! widgets in a base [`ContentBundle`], with mod-manager-style conflict
+//! detection when several packs touch the same artifact.
+//!
+//! ```xml
+//! <patch name="frozen-throne" version="2">
+//!   <templates>
+//!     <template name="lich" extends="monster">   <!-- add -->
+//!       <component name="hp" type="float" default="900"/>
+//!     </template>
+//!     <template name="monster">                  <!-- override -->
+//!       <component name="hp" type="float" default="120"/>
+//!     </template>
+//!     <remove name="tutorial_dummy"/>            <!-- remove -->
+//!   </templates>
+//!   <triggers> … <remove id="old_event"/> </triggers>
+//!   <ui> … <remove name="beta_banner"/> </ui>
+//! </patch>
+//! ```
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::bundle::ContentBundle;
+use crate::gdml::{self, Element, GdmlError, Node};
+use crate::template::{EntityTemplate, TemplateError, TemplateLibrary};
+use crate::trigger::{Trigger, TriggerError, TriggerSet};
+use crate::ui::{UiError, UiSpec, Widget};
+
+/// Which artifact table a patch operation touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    Template,
+    Trigger,
+    UiWidget,
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArtifactKind::Template => "template",
+            ArtifactKind::Trigger => "trigger",
+            ArtifactKind::UiWidget => "ui widget",
+        })
+    }
+}
+
+/// Problems loading or applying a patch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatchError {
+    Gdml(GdmlError),
+    Template(TemplateError),
+    Trigger(TriggerError),
+    Ui(UiError),
+    /// Root element was not `<patch>` or lacked name/version.
+    BadHeader(String),
+    /// A `<remove>` names an artifact the base does not have.
+    RemoveMissing { kind: ArtifactKind, name: String },
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::Gdml(e) => write!(f, "markup: {e}"),
+            PatchError::Template(e) => write!(f, "template: {e}"),
+            PatchError::Trigger(e) => write!(f, "trigger: {e}"),
+            PatchError::Ui(e) => write!(f, "ui: {e}"),
+            PatchError::BadHeader(msg) => write!(f, "bad patch header: {msg}"),
+            PatchError::RemoveMissing { kind, name } => {
+                write!(f, "patch removes {kind} {name:?} which does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// What applying one patch did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchReport {
+    pub added: usize,
+    pub overridden: usize,
+    pub removed: usize,
+}
+
+/// Two patches touching the same artifact (applied in version order, the
+/// later one wins — the conflict is reported, not rejected, because mod
+/// load orders are a player decision).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchConflict {
+    pub kind: ArtifactKind,
+    pub name: String,
+    pub first: String,
+    pub second: String,
+}
+
+/// A versioned content overlay (an expansion pack's data).
+#[derive(Debug, Clone, Default)]
+pub struct ContentPatch {
+    pub name: String,
+    pub version: u32,
+    template_upserts: Vec<EntityTemplate>,
+    template_removes: Vec<String>,
+    trigger_upserts: Vec<Trigger>,
+    trigger_removes: Vec<String>,
+    ui_upserts: Vec<Widget>,
+    ui_removes: Vec<String>,
+}
+
+impl ContentPatch {
+    /// Parse a `<patch>` document.
+    pub fn from_gdml_str(src: &str) -> Result<Self, PatchError> {
+        let root = gdml::parse(src).map_err(PatchError::Gdml)?;
+        Self::from_gdml(&root)
+    }
+
+    /// Parse from a parsed root element.
+    pub fn from_gdml(root: &Element) -> Result<Self, PatchError> {
+        if root.name != "patch" {
+            return Err(PatchError::BadHeader(format!(
+                "expected <patch>, found <{}>",
+                root.name
+            )));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| PatchError::BadHeader("missing name".into()))?
+            .to_string();
+        let version: u32 = root
+            .attr("version")
+            .ok_or_else(|| PatchError::BadHeader("missing version".into()))?
+            .parse()
+            .map_err(|_| PatchError::BadHeader("version must be an integer".into()))?;
+        let mut patch = ContentPatch {
+            name,
+            version,
+            ..Default::default()
+        };
+        if let Some(section) = root.first_child("templates") {
+            for el in section.children_named("template") {
+                patch
+                    .template_upserts
+                    .push(EntityTemplate::from_gdml(el).map_err(PatchError::Template)?);
+            }
+            patch.template_removes = removes(section, "name")?;
+        }
+        if let Some(section) = root.first_child("triggers") {
+            for el in section.children_named("trigger") {
+                patch
+                    .trigger_upserts
+                    .push(Trigger::from_gdml(el).map_err(PatchError::Trigger)?);
+            }
+            patch.trigger_removes = removes(section, "id")?;
+        }
+        if let Some(section) = root.first_child("ui") {
+            // parse the section minus <remove> children as a UI spec
+            let filtered = Element {
+                name: "ui".into(),
+                attrs: Vec::new(),
+                children: section
+                    .children
+                    .iter()
+                    .filter(|n| !matches!(n, Node::Element(e) if e.name == "remove"))
+                    .cloned()
+                    .collect(),
+            };
+            patch.ui_upserts = UiSpec::from_gdml(&filtered)
+                .map_err(PatchError::Ui)?
+                .widgets;
+            patch.ui_removes = removes(section, "name")?;
+        }
+        Ok(patch)
+    }
+
+    /// Every artifact this patch adds, overrides, or removes — the
+    /// footprint used for cross-patch conflict detection.
+    pub fn touched(&self) -> HashSet<(ArtifactKind, String)> {
+        let mut out = HashSet::new();
+        for t in &self.template_upserts {
+            out.insert((ArtifactKind::Template, t.name.clone()));
+        }
+        for n in &self.template_removes {
+            out.insert((ArtifactKind::Template, n.clone()));
+        }
+        for t in &self.trigger_upserts {
+            out.insert((ArtifactKind::Trigger, t.id.clone()));
+        }
+        for n in &self.trigger_removes {
+            out.insert((ArtifactKind::Trigger, n.clone()));
+        }
+        for w in &self.ui_upserts {
+            out.insert((ArtifactKind::UiWidget, w.name.clone()));
+        }
+        for n in &self.ui_removes {
+            out.insert((ArtifactKind::UiWidget, n.clone()));
+        }
+        out
+    }
+
+    /// Apply to a bundle. Upserts add or replace by name; removes must
+    /// hit an existing artifact (a remove of something absent means the
+    /// pack was built against a different base — fail loudly). The caller
+    /// should re-run [`ContentBundle::validate`] afterwards: a patch can
+    /// remove a template some surviving trigger still spawns.
+    pub fn apply(&self, bundle: &mut ContentBundle) -> Result<PatchReport, PatchError> {
+        let mut report = PatchReport::default();
+
+        // templates: rebuild the library with upserts and removes applied
+        let mut templates: Vec<EntityTemplate> = {
+            let names: Vec<String> = bundle.templates.names().map(|s| s.to_string()).collect();
+            names
+                .iter()
+                .map(|n| bundle.templates.get(n).expect("listed name").clone())
+                .collect()
+        };
+        for name in &self.template_removes {
+            let before = templates.len();
+            templates.retain(|t| &t.name != name);
+            if templates.len() == before {
+                return Err(PatchError::RemoveMissing {
+                    kind: ArtifactKind::Template,
+                    name: name.clone(),
+                });
+            }
+            report.removed += 1;
+        }
+        for up in &self.template_upserts {
+            match templates.iter_mut().find(|t| t.name == up.name) {
+                Some(slot) => {
+                    *slot = up.clone();
+                    report.overridden += 1;
+                }
+                None => {
+                    templates.push(up.clone());
+                    report.added += 1;
+                }
+            }
+        }
+        let mut lib = TemplateLibrary::new();
+        for t in templates {
+            lib.add(t).map_err(PatchError::Template)?;
+        }
+        bundle.templates = lib;
+
+        // triggers
+        let mut triggers: Vec<Trigger> = bundle.triggers.iter().cloned().collect();
+        for id in &self.trigger_removes {
+            let before = triggers.len();
+            triggers.retain(|t| &t.id != id);
+            if triggers.len() == before {
+                return Err(PatchError::RemoveMissing {
+                    kind: ArtifactKind::Trigger,
+                    name: id.clone(),
+                });
+            }
+            report.removed += 1;
+        }
+        for up in &self.trigger_upserts {
+            match triggers.iter_mut().find(|t| t.id == up.id) {
+                Some(slot) => {
+                    *slot = up.clone();
+                    report.overridden += 1;
+                }
+                None => {
+                    triggers.push(up.clone());
+                    report.added += 1;
+                }
+            }
+        }
+        let mut set = TriggerSet::new();
+        for t in triggers {
+            set.add(t).map_err(PatchError::Trigger)?;
+        }
+        bundle.triggers = set;
+
+        // ui widgets
+        for name in &self.ui_removes {
+            let before = bundle.ui.widgets.len();
+            bundle.ui.widgets.retain(|w| &w.name != name);
+            if bundle.ui.widgets.len() == before {
+                return Err(PatchError::RemoveMissing {
+                    kind: ArtifactKind::UiWidget,
+                    name: name.clone(),
+                });
+            }
+            report.removed += 1;
+        }
+        for up in &self.ui_upserts {
+            match bundle.ui.widgets.iter_mut().find(|w| w.name == up.name) {
+                Some(slot) => {
+                    *slot = up.clone();
+                    report.overridden += 1;
+                }
+                None => {
+                    bundle.ui.widgets.push(up.clone());
+                    report.added += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn removes(section: &Element, key: &str) -> Result<Vec<String>, PatchError> {
+    section
+        .children_named("remove")
+        .map(|el| {
+            el.attr(key)
+                .map(|s| s.to_string())
+                .ok_or_else(|| PatchError::BadHeader(format!("<remove> needs a {key} attribute")))
+        })
+        .collect()
+}
+
+/// Apply several patches in `(version, name)` order, reporting conflicts
+/// (two patches touching the same artifact). The later patch wins, as in
+/// mod load orders; conflicts are informational.
+pub fn apply_all(
+    bundle: &mut ContentBundle,
+    patches: &[ContentPatch],
+) -> Result<(Vec<PatchReport>, Vec<PatchConflict>), PatchError> {
+    let mut order: Vec<&ContentPatch> = patches.iter().collect();
+    order.sort_by(|a, b| (a.version, &a.name).cmp(&(b.version, &b.name)));
+
+    let mut conflicts = Vec::new();
+    let mut seen: Vec<(&ContentPatch, HashSet<(ArtifactKind, String)>)> = Vec::new();
+    for p in &order {
+        let touched = p.touched();
+        for (prev, prev_touched) in &seen {
+            for key in touched.intersection(prev_touched) {
+                conflicts.push(PatchConflict {
+                    kind: key.0,
+                    name: key.1.clone(),
+                    first: prev.name.clone(),
+                    second: p.name.clone(),
+                });
+            }
+        }
+        seen.push((p, touched));
+    }
+
+    let mut reports = Vec::with_capacity(order.len());
+    for p in order {
+        reports.push(p.apply(bundle)?);
+    }
+    Ok((reports, conflicts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"
+      <content>
+        <templates>
+          <template name="monster" tags="hostile">
+            <component name="hp" type="float" default="100"/>
+          </template>
+          <template name="tutorial_dummy">
+            <component name="hp" type="float" default="1"/>
+          </template>
+        </templates>
+        <triggers>
+          <trigger id="welcome" event="custom" name="login">
+            <action kind="spawn" template="tutorial_dummy" x="0" y="0"/>
+          </trigger>
+        </triggers>
+        <ui>
+          <bar name="hp_bar" width="200" height="12" bind="hp"
+               anchor="top" relative_to="screen" relative_point="top"/>
+        </ui>
+      </content>"#;
+
+    fn base() -> ContentBundle {
+        let b = ContentBundle::from_gdml_str(BASE).unwrap();
+        assert!(b.validate().is_empty());
+        b
+    }
+
+    #[test]
+    fn patch_adds_overrides_and_removes() {
+        let mut b = base();
+        let patch = ContentPatch::from_gdml_str(
+            r#"
+            <patch name="xpack" version="1">
+              <templates>
+                <template name="dragon" extends="monster" tags="boss">
+                  <component name="hp" type="float" default="5000"/>
+                </template>
+                <template name="monster" tags="hostile">
+                  <component name="hp" type="float" default="150"/>
+                </template>
+              </templates>
+            </patch>"#,
+        )
+        .unwrap();
+        let report = patch.apply(&mut b).unwrap();
+        assert_eq!(report, PatchReport { added: 1, overridden: 1, removed: 0 });
+        assert_eq!(b.templates.len(), 3);
+        // the override took: monsters now have 150 hp
+        let resolved = b.templates.resolve("dragon").unwrap();
+        let hp = resolved
+            .instantiate()
+            .into_iter()
+            .find(|(n, _)| n == "hp")
+            .unwrap();
+        assert_eq!(hp.1, crate::value::Value::Float(5000.0));
+    }
+
+    #[test]
+    fn remove_then_validate_catches_dangling_spawn() {
+        let mut b = base();
+        let patch = ContentPatch::from_gdml_str(
+            r#"
+            <patch name="cleanup" version="1">
+              <templates><remove name="tutorial_dummy"/></templates>
+            </patch>"#,
+        )
+        .unwrap();
+        let report = patch.apply(&mut b).unwrap();
+        assert_eq!(report.removed, 1);
+        // the welcome trigger still spawns the removed template
+        let problems = b.validate();
+        assert_eq!(problems.len(), 1);
+    }
+
+    #[test]
+    fn remove_missing_fails_loudly() {
+        let mut b = base();
+        let patch = ContentPatch::from_gdml_str(
+            r#"
+            <patch name="bad" version="1">
+              <templates><remove name="kraken"/></templates>
+            </patch>"#,
+        )
+        .unwrap();
+        let err = patch.apply(&mut b).unwrap_err();
+        assert!(matches!(
+            err,
+            PatchError::RemoveMissing { kind: ArtifactKind::Template, .. }
+        ));
+    }
+
+    #[test]
+    fn trigger_and_ui_patching() {
+        let mut b = base();
+        let patch = ContentPatch::from_gdml_str(
+            r#"
+            <patch name="season2" version="2">
+              <triggers>
+                <trigger id="raid_call" event="custom" name="horn">
+                  <action kind="spawn" template="monster" x="5" y="5"/>
+                </trigger>
+                <remove id="welcome"/>
+              </triggers>
+              <ui>
+                <bar name="hp_bar" width="300" height="16" bind="hp"
+                     anchor="top" relative_to="screen" relative_point="top"/>
+                <remove name="hp_bar"/>
+              </ui>
+            </patch>"#,
+        )
+        .unwrap();
+        // ui removes apply before upserts: the patch replaces the bar
+        let report = patch.apply(&mut b).unwrap();
+        assert_eq!(report.added, 2, "trigger + re-added bar");
+        assert_eq!(report.removed, 2, "welcome trigger + old bar");
+        assert!(b.triggers.get("welcome").is_none());
+        assert!(b.triggers.get("raid_call").is_some());
+        assert_eq!(b.ui.widgets.len(), 1);
+        assert_eq!(b.ui.widgets[0].width, 300.0);
+    }
+
+    #[test]
+    fn header_validation() {
+        assert!(matches!(
+            ContentPatch::from_gdml_str("<content/>").unwrap_err(),
+            PatchError::BadHeader(_)
+        ));
+        assert!(matches!(
+            ContentPatch::from_gdml_str("<patch version=\"1\"/>").unwrap_err(),
+            PatchError::BadHeader(_)
+        ));
+        assert!(matches!(
+            ContentPatch::from_gdml_str("<patch name=\"p\" version=\"one\"/>").unwrap_err(),
+            PatchError::BadHeader(_)
+        ));
+    }
+
+    #[test]
+    fn apply_all_orders_by_version_and_reports_conflicts() {
+        let mut b = base();
+        // two packs both override "monster": v1 then v2, v2 wins
+        let p2 = ContentPatch::from_gdml_str(
+            r#"
+            <patch name="later" version="2">
+              <templates>
+                <template name="monster"><component name="hp" type="float" default="300"/></template>
+              </templates>
+            </patch>"#,
+        )
+        .unwrap();
+        let p1 = ContentPatch::from_gdml_str(
+            r#"
+            <patch name="earlier" version="1">
+              <templates>
+                <template name="monster"><component name="hp" type="float" default="200"/></template>
+              </templates>
+            </patch>"#,
+        )
+        .unwrap();
+        // pass out of order; apply_all sorts
+        let (reports, conflicts) = apply_all(&mut b, &[p2, p1]).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].first, "earlier");
+        assert_eq!(conflicts[0].second, "later");
+        let hp = b
+            .templates
+            .resolve("monster")
+            .unwrap()
+            .instantiate()
+            .into_iter()
+            .find(|(n, _)| n == "hp")
+            .unwrap();
+        assert_eq!(hp.1, crate::value::Value::Float(300.0), "v2 wins");
+    }
+
+    #[test]
+    fn disjoint_patches_do_not_conflict() {
+        let mut b = base();
+        let p1 = ContentPatch::from_gdml_str(
+            r#"<patch name="a" version="1">
+                 <templates><template name="wolf"/></templates>
+               </patch>"#,
+        )
+        .unwrap();
+        let p2 = ContentPatch::from_gdml_str(
+            r#"<patch name="b" version="1">
+                 <templates><template name="bear"/></templates>
+               </patch>"#,
+        )
+        .unwrap();
+        let (_, conflicts) = apply_all(&mut b, &[p1, p2]).unwrap();
+        assert!(conflicts.is_empty());
+        assert_eq!(b.templates.len(), 4);
+    }
+
+    #[test]
+    fn touched_footprint() {
+        let p = ContentPatch::from_gdml_str(
+            r#"<patch name="a" version="1">
+                 <templates><template name="wolf"/><remove name="old"/></templates>
+               </patch>"#,
+        )
+        .unwrap();
+        let touched = p.touched();
+        assert!(touched.contains(&(ArtifactKind::Template, "wolf".into())));
+        assert!(touched.contains(&(ArtifactKind::Template, "old".into())));
+        assert_eq!(touched.len(), 2);
+    }
+
+    #[test]
+    fn empty_patch_is_a_noop() {
+        let mut b = base();
+        let before_templates = b.templates.len();
+        let p = ContentPatch::from_gdml_str(r#"<patch name="noop" version="9"/>"#).unwrap();
+        let report = p.apply(&mut b).unwrap();
+        assert_eq!(report, PatchReport::default());
+        assert_eq!(b.templates.len(), before_templates);
+    }
+}

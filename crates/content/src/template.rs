@@ -1,0 +1,563 @@
+//! Entity templates — the heart of data-driven design.
+//!
+//! "In data-driven development, the game content is separated as much as
+//! possible from the game software, and placed in auxiliary data files."
+//! Templates are those files: a designer describes an entity kind (its
+//! typed components, default values, scripts, and tags), optionally
+//! extending another template, and the engine instantiates entities from
+//! the resolved description. Expansion packs add templates without
+//! touching engine code — the amortization argument of the paper.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use crate::gdml::{Element, GdmlError};
+use crate::value::{Value, ValueParseError, ValueType};
+
+/// One component slot declared by a template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDef {
+    pub name: String,
+    pub ty: ValueType,
+    pub default: Value,
+}
+
+/// A designer-authored entity template.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EntityTemplate {
+    pub name: String,
+    /// Parent template name, if any.
+    pub extends: Option<String>,
+    /// Component declarations in document order (BTreeMap for stable
+    /// iteration when instantiating).
+    pub components: BTreeMap<String, ComponentDef>,
+    /// Names of scripts this entity runs each tick.
+    pub scripts: Vec<String>,
+    /// Free-form designer tags ("monster", "vendor", "boss").
+    pub tags: Vec<String>,
+}
+
+impl EntityTemplate {
+    /// Parse from a `<template>` element:
+    ///
+    /// ```xml
+    /// <template name="goblin" extends="monster" tags="hostile,green">
+    ///   <component name="hp" type="float" default="50"/>
+    ///   <script>chase_player</script>
+    /// </template>
+    /// ```
+    pub fn from_gdml(el: &Element) -> Result<Self, TemplateError> {
+        if el.name != "template" {
+            return Err(TemplateError::WrongElement(el.name.clone()));
+        }
+        let name = el.require_attr("name")?.to_string();
+        let extends = el.attr("extends").map(str::to_string);
+        let tags = el
+            .attr("tags")
+            .map(|t| {
+                t.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut components = BTreeMap::new();
+        for c in el.children_named("component") {
+            let cname = c.require_attr("name")?.to_string();
+            let ty_name = c.require_attr("type")?;
+            let ty = ValueType::parse(ty_name).ok_or_else(|| TemplateError::UnknownType {
+                template: name.clone(),
+                component: cname.clone(),
+                ty: ty_name.to_string(),
+            })?;
+            let default = match c.attr("default") {
+                Some(text) => Value::parse_as(ty, text).map_err(|e| TemplateError::BadDefault {
+                    template: name.clone(),
+                    component: cname.clone(),
+                    source: e,
+                })?,
+                None => ty.default_value(),
+            };
+            if components
+                .insert(
+                    cname.clone(),
+                    ComponentDef {
+                        name: cname.clone(),
+                        ty,
+                        default,
+                    },
+                )
+                .is_some()
+            {
+                return Err(TemplateError::DuplicateComponent {
+                    template: name,
+                    component: cname,
+                });
+            }
+        }
+        let scripts = el.children_named("script").map(|s| s.text()).collect();
+        Ok(EntityTemplate {
+            name,
+            extends,
+            components,
+            scripts,
+            tags,
+        })
+    }
+
+    /// Render back to GDML (content tools need save as well as load).
+    pub fn to_gdml(&self) -> Element {
+        let mut el = Element::new("template").with_attr("name", &self.name);
+        if let Some(parent) = &self.extends {
+            el = el.with_attr("extends", parent);
+        }
+        if !self.tags.is_empty() {
+            el = el.with_attr("tags", self.tags.join(","));
+        }
+        for def in self.components.values() {
+            el = el.with_child(
+                Element::new("component")
+                    .with_attr("name", &def.name)
+                    .with_attr("type", def.ty.to_string())
+                    .with_attr("default", def.default.to_literal()),
+            );
+        }
+        for s in &self.scripts {
+            el = el.with_child(Element::new("script").with_text(s));
+        }
+        el
+    }
+}
+
+/// Errors in template definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateError {
+    WrongElement(String),
+    Gdml(GdmlError),
+    UnknownType {
+        template: String,
+        component: String,
+        ty: String,
+    },
+    BadDefault {
+        template: String,
+        component: String,
+        source: ValueParseError,
+    },
+    DuplicateComponent {
+        template: String,
+        component: String,
+    },
+    DuplicateTemplate(String),
+    UnknownParent {
+        template: String,
+        parent: String,
+    },
+    InheritanceCycle(Vec<String>),
+    /// Child redeclares a parent component with a different type.
+    TypeConflict {
+        template: String,
+        component: String,
+        parent_ty: ValueType,
+        child_ty: ValueType,
+    },
+    UnknownTemplate(String),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::WrongElement(n) => write!(f, "expected <template>, found <{n}>"),
+            TemplateError::Gdml(e) => write!(f, "{e}"),
+            TemplateError::UnknownType {
+                template,
+                component,
+                ty,
+            } => write!(f, "template {template}: component {component} has unknown type {ty:?}"),
+            TemplateError::BadDefault {
+                template,
+                component,
+                source,
+            } => write!(f, "template {template}: component {component}: {source}"),
+            TemplateError::DuplicateComponent { template, component } => {
+                write!(f, "template {template}: duplicate component {component}")
+            }
+            TemplateError::DuplicateTemplate(name) => write!(f, "duplicate template {name}"),
+            TemplateError::UnknownParent { template, parent } => {
+                write!(f, "template {template} extends unknown template {parent}")
+            }
+            TemplateError::InheritanceCycle(path) => {
+                write!(f, "inheritance cycle: {}", path.join(" -> "))
+            }
+            TemplateError::TypeConflict {
+                template,
+                component,
+                parent_ty,
+                child_ty,
+            } => write!(
+                f,
+                "template {template}: component {component} redeclared as {child_ty} (parent says {parent_ty})"
+            ),
+            TemplateError::UnknownTemplate(name) => write!(f, "unknown template {name}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl From<GdmlError> for TemplateError {
+    fn from(e: GdmlError) -> Self {
+        TemplateError::Gdml(e)
+    }
+}
+
+/// A fully resolved template: inheritance flattened, ready to instantiate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedTemplate {
+    pub name: String,
+    pub components: BTreeMap<String, ComponentDef>,
+    /// Scripts from the root ancestor down to the leaf, deduplicated.
+    pub scripts: Vec<String>,
+    /// Tags from the whole chain, deduplicated, in ancestor-first order.
+    pub tags: Vec<String>,
+}
+
+impl ResolvedTemplate {
+    /// Component names and default values — what a fresh entity gets.
+    pub fn instantiate(&self) -> Vec<(String, Value)> {
+        self.components
+            .values()
+            .map(|d| (d.name.clone(), d.default.clone()))
+            .collect()
+    }
+
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+/// A library of templates with inheritance resolution.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateLibrary {
+    templates: HashMap<String, EntityTemplate>,
+}
+
+impl TemplateLibrary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a template. Names must be unique.
+    pub fn add(&mut self, t: EntityTemplate) -> Result<(), TemplateError> {
+        if self.templates.contains_key(&t.name) {
+            return Err(TemplateError::DuplicateTemplate(t.name));
+        }
+        self.templates.insert(t.name.clone(), t);
+        Ok(())
+    }
+
+    /// Parse every `<template>` child of a `<templates>` root element.
+    pub fn from_gdml(root: &Element) -> Result<Self, TemplateError> {
+        let mut lib = TemplateLibrary::new();
+        for el in root.children_named("template") {
+            lib.add(EntityTemplate::from_gdml(el)?)?;
+        }
+        Ok(lib)
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Raw (unresolved) template by name.
+    pub fn get(&self, name: &str) -> Option<&EntityTemplate> {
+        self.templates.get(name)
+    }
+
+    /// Iterate template names (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.templates.keys().map(String::as_str)
+    }
+
+    /// Resolve `name`: walk the `extends` chain, merging components
+    /// (children override defaults but may not change types), scripts and
+    /// tags (ancestor-first, deduplicated).
+    pub fn resolve(&self, name: &str) -> Result<ResolvedTemplate, TemplateError> {
+        // Collect the chain leaf -> root, detecting cycles and gaps.
+        let mut chain: Vec<&EntityTemplate> = Vec::new();
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut cur = Some(name.to_string());
+        while let Some(n) = cur {
+            let t = self
+                .templates
+                .get(&n)
+                .ok_or_else(|| match chain.last() {
+                    None => TemplateError::UnknownTemplate(n.clone()),
+                    Some(child) => TemplateError::UnknownParent {
+                        template: child.name.clone(),
+                        parent: n.clone(),
+                    },
+                })?;
+            if !seen.insert(&t.name) {
+                let mut path: Vec<String> = chain.iter().map(|t| t.name.clone()).collect();
+                path.push(t.name.clone());
+                return Err(TemplateError::InheritanceCycle(path));
+            }
+            chain.push(t);
+            cur = t.extends.clone();
+        }
+        // Merge root-first.
+        let mut components: BTreeMap<String, ComponentDef> = BTreeMap::new();
+        let mut scripts: Vec<String> = Vec::new();
+        let mut tags: Vec<String> = Vec::new();
+        for t in chain.iter().rev() {
+            for (cname, def) in &t.components {
+                match components.get(cname) {
+                    Some(existing) if existing.ty != def.ty => {
+                        return Err(TemplateError::TypeConflict {
+                            template: t.name.clone(),
+                            component: cname.clone(),
+                            parent_ty: existing.ty,
+                            child_ty: def.ty,
+                        });
+                    }
+                    _ => {
+                        components.insert(cname.clone(), def.clone());
+                    }
+                }
+            }
+            for s in &t.scripts {
+                if !scripts.contains(s) {
+                    scripts.push(s.clone());
+                }
+            }
+            for tag in &t.tags {
+                if !tags.contains(tag) {
+                    tags.push(tag.clone());
+                }
+            }
+        }
+        Ok(ResolvedTemplate {
+            name: name.to_string(),
+            components,
+            scripts,
+            tags,
+        })
+    }
+
+    /// Resolve every template, reporting all failures (content validation
+    /// runs at build time in studio pipelines).
+    pub fn validate(&self) -> Vec<TemplateError> {
+        let mut names: Vec<&String> = self.templates.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .filter_map(|n| self.resolve(n).err())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gdml;
+
+    fn lib_from(src: &str) -> TemplateLibrary {
+        TemplateLibrary::from_gdml(&gdml::parse(src).unwrap()).unwrap()
+    }
+
+    const BASE: &str = r#"
+      <templates>
+        <template name="monster" tags="hostile">
+          <component name="hp" type="float" default="100"/>
+          <component name="pos" type="vec2" default="0,0"/>
+          <script>wander</script>
+        </template>
+        <template name="goblin" extends="monster" tags="green">
+          <component name="hp" type="float" default="50"/>
+          <component name="loot" type="str" default="copper"/>
+          <script>chase_player</script>
+        </template>
+      </templates>"#;
+
+    #[test]
+    fn parse_and_resolve_inheritance() {
+        let lib = lib_from(BASE);
+        assert_eq!(lib.len(), 2);
+        let goblin = lib.resolve("goblin").unwrap();
+        // child overrides hp default, inherits pos
+        assert_eq!(
+            goblin.components["hp"].default,
+            Value::Float(50.0)
+        );
+        assert_eq!(
+            goblin.components["pos"].default,
+            Value::Vec2(0.0, 0.0)
+        );
+        assert_eq!(goblin.components["loot"].default, Value::Str("copper".into()));
+        // scripts ancestor-first
+        assert_eq!(goblin.scripts, vec!["wander", "chase_player"]);
+        assert_eq!(goblin.tags, vec!["hostile", "green"]);
+        assert!(goblin.has_tag("green"));
+        assert!(!goblin.has_tag("undead"));
+    }
+
+    #[test]
+    fn instantiate_yields_all_components() {
+        let lib = lib_from(BASE);
+        let vals = lib.resolve("goblin").unwrap().instantiate();
+        assert_eq!(vals.len(), 3);
+        assert!(vals.iter().any(|(n, _)| n == "loot"));
+    }
+
+    #[test]
+    fn unknown_parent_error() {
+        let lib = lib_from(
+            r#"<templates>
+                 <template name="orc" extends="ghost"/>
+               </templates>"#,
+        );
+        match lib.resolve("orc").unwrap_err() {
+            TemplateError::UnknownParent { template, parent } => {
+                assert_eq!(template, "orc");
+                assert_eq!(parent, "ghost");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let lib = lib_from(
+            r#"<templates>
+                 <template name="a" extends="b"/>
+                 <template name="b" extends="a"/>
+               </templates>"#,
+        );
+        assert!(matches!(
+            lib.resolve("a").unwrap_err(),
+            TemplateError::InheritanceCycle(_)
+        ));
+        // validate reports both broken templates
+        assert_eq!(lib.validate().len(), 2);
+    }
+
+    #[test]
+    fn self_extension_is_a_cycle() {
+        let lib = lib_from(r#"<templates><template name="a" extends="a"/></templates>"#);
+        assert!(matches!(
+            lib.resolve("a").unwrap_err(),
+            TemplateError::InheritanceCycle(_)
+        ));
+    }
+
+    #[test]
+    fn type_conflict_rejected() {
+        let lib = lib_from(
+            r#"<templates>
+                 <template name="base">
+                   <component name="hp" type="float" default="1"/>
+                 </template>
+                 <template name="bad" extends="base">
+                   <component name="hp" type="str" default="full"/>
+                 </template>
+               </templates>"#,
+        );
+        assert!(matches!(
+            lib.resolve("bad").unwrap_err(),
+            TemplateError::TypeConflict { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_template_rejected() {
+        let root = gdml::parse(
+            r#"<templates>
+                 <template name="x"/>
+                 <template name="x"/>
+               </templates>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            TemplateLibrary::from_gdml(&root).unwrap_err(),
+            TemplateError::DuplicateTemplate(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let root = gdml::parse(
+            r#"<templates>
+                 <template name="x">
+                   <component name="c" type="matrix4"/>
+                 </template>
+               </templates>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            TemplateLibrary::from_gdml(&root).unwrap_err(),
+            TemplateError::UnknownType { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_default_rejected() {
+        let root = gdml::parse(
+            r#"<templates>
+                 <template name="x">
+                   <component name="c" type="int" default="many"/>
+                 </template>
+               </templates>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            TemplateLibrary::from_gdml(&root).unwrap_err(),
+            TemplateError::BadDefault { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_default_uses_type_default() {
+        let lib = lib_from(
+            r#"<templates>
+                 <template name="x">
+                   <component name="c" type="int"/>
+                 </template>
+               </templates>"#,
+        );
+        let x = lib.resolve("x").unwrap();
+        assert_eq!(x.components["c"].default, Value::Int(0));
+    }
+
+    #[test]
+    fn gdml_roundtrip() {
+        let lib = lib_from(BASE);
+        let goblin = lib.get("goblin").unwrap();
+        let el = goblin.to_gdml();
+        let reparsed = EntityTemplate::from_gdml(&el).unwrap();
+        assert_eq!(*goblin, reparsed);
+    }
+
+    #[test]
+    fn deep_inheritance_chain() {
+        let lib = lib_from(
+            r#"<templates>
+                 <template name="a"><component name="x" type="int" default="1"/></template>
+                 <template name="b" extends="a"><component name="y" type="int" default="2"/></template>
+                 <template name="c" extends="b"><component name="z" type="int" default="3"/></template>
+                 <template name="d" extends="c"><component name="x" type="int" default="99"/></template>
+               </templates>"#,
+        );
+        let d = lib.resolve("d").unwrap();
+        assert_eq!(d.components.len(), 3);
+        assert_eq!(d.components["x"].default, Value::Int(99));
+        assert_eq!(d.components["y"].default, Value::Int(2));
+        assert!(lib.validate().is_empty());
+    }
+}

@@ -1,0 +1,828 @@
+//! Designer-authored event triggers.
+//!
+//! The paper lists "triggers for in-game events" among the content that is
+//! really software but lives in data files. A trigger binds an *event*
+//! (entering an area, a timer, a stat crossing a threshold, a named custom
+//! event) to guarded *actions* (set a component, spawn a template, emit a
+//! follow-up event, run a script). The engine evaluates triggers against
+//! entity state through the [`ComponentView`] trait, keeping this crate
+//! free of engine dependencies.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gdml::{Element, GdmlError};
+use crate::value::{Value, ValueType};
+
+/// Read-only view of one entity's components, implemented by the engine.
+pub trait ComponentView {
+    /// Value of `component`, or `None` when the entity lacks it.
+    fn get(&self, component: &str) -> Option<Value>;
+}
+
+/// A map-backed view, handy in tests and tools.
+impl ComponentView for HashMap<String, Value> {
+    fn get(&self, component: &str) -> Option<Value> {
+        HashMap::get(self, component).cloned()
+    }
+}
+
+/// A rectangular world region (axis-aligned).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    pub x: f32,
+    pub y: f32,
+    pub w: f32,
+    pub h: f32,
+}
+
+impl Region {
+    /// True when point `(px, py)` lies inside (closed on min edges, open on
+    /// max edges so adjacent regions do not double-fire).
+    pub fn contains(&self, px: f32, py: f32) -> bool {
+        px >= self.x && px < self.x + self.w && py >= self.y && py < self.y + self.h
+    }
+}
+
+/// What kind of event a trigger listens for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An entity's position entered the region this tick.
+    EnterArea(Region),
+    /// An entity's position left the region this tick.
+    ExitArea(Region),
+    /// Fires every `period` seconds of game time.
+    Timer { period: f32 },
+    /// A watched component dropped below a threshold this tick.
+    StatBelow { component: String, threshold: f64 },
+    /// A named event emitted by scripts or other triggers.
+    Custom(String),
+}
+
+/// Comparison operators for trigger guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        match s {
+            "eq" => Some(CmpOp::Eq),
+            "ne" => Some(CmpOp::Ne),
+            "lt" => Some(CmpOp::Lt),
+            "le" => Some(CmpOp::Le),
+            "gt" => Some(CmpOp::Gt),
+            "ge" => Some(CmpOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn eval_ord(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// A guard: `component op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    pub component: String,
+    pub op: CmpOp,
+    /// Literal text; compared numerically when the component is numeric,
+    /// as a string otherwise (booleans compare via "true"/"false").
+    pub literal: String,
+}
+
+impl Condition {
+    /// Evaluate against a component view. Missing components fail the
+    /// guard (designers rely on this to scope triggers to entity kinds).
+    pub fn eval(&self, view: &dyn ComponentView) -> bool {
+        let Some(v) = view.get(&self.component) else {
+            return false;
+        };
+        match v.as_number() {
+            Some(n) => match self.literal.trim().parse::<f64>() {
+                Ok(lit) => self.op.eval_ord(n.partial_cmp(&lit).unwrap_or(std::cmp::Ordering::Less)),
+                Err(_) => false,
+            },
+            None => {
+                let text = match &v {
+                    Value::Bool(b) => b.to_string(),
+                    Value::Str(s) => s.clone(),
+                    Value::Vec2(x, y) => format!("{x},{y}"),
+                    _ => unreachable!("numeric handled above"),
+                };
+                self.op.eval_ord(text.as_str().cmp(self.literal.as_str()))
+            }
+        }
+    }
+}
+
+/// An action a fired trigger requests from the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Set `component` to the parsed literal (type comes from the target
+    /// column at apply time).
+    Set { component: String, literal: String },
+    /// Emit a named custom event (may chain into other triggers).
+    Emit { event: String },
+    /// Spawn an entity from a template at a position.
+    Spawn { template: String, x: f32, y: f32 },
+    /// Run a named script on the triggering entity.
+    RunScript { script: String },
+}
+
+/// A complete trigger definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trigger {
+    pub id: String,
+    pub event: EventKind,
+    pub conditions: Vec<Condition>,
+    pub actions: Vec<Action>,
+    /// Fire at most once (chest loot, one-shot cutscenes).
+    pub once: bool,
+}
+
+impl Trigger {
+    /// Parse from a `<trigger>` element.
+    pub fn from_gdml(el: &Element) -> Result<Self, TriggerError> {
+        if el.name != "trigger" {
+            return Err(TriggerError::WrongElement(el.name.clone()));
+        }
+        let id = el.require_attr("id")?.to_string();
+        let mk_region = |el: &Element| -> Result<Region, TriggerError> {
+            let get = |k: &str| -> Result<f32, TriggerError> {
+                let raw = el.require_attr(k)?;
+                raw.parse::<f32>().map_err(|_| TriggerError::BadNumber {
+                    trigger: id.clone(),
+                    attr: k.to_string(),
+                    text: raw.to_string(),
+                })
+            };
+            Ok(Region {
+                x: get("x")?,
+                y: get("y")?,
+                w: get("w")?,
+                h: get("h")?,
+            })
+        };
+        let kind = el.require_attr("event")?;
+        let event = match kind {
+            "enter_area" => EventKind::EnterArea(mk_region(el)?),
+            "exit_area" => EventKind::ExitArea(mk_region(el)?),
+            "timer" => {
+                let raw = el.require_attr("period")?;
+                let period = raw.parse::<f32>().map_err(|_| TriggerError::BadNumber {
+                    trigger: id.clone(),
+                    attr: "period".into(),
+                    text: raw.to_string(),
+                })?;
+                if period <= 0.0 {
+                    return Err(TriggerError::BadNumber {
+                        trigger: id,
+                        attr: "period".into(),
+                        text: raw.to_string(),
+                    });
+                }
+                EventKind::Timer { period }
+            }
+            "stat_below" => {
+                let component = el.require_attr("component")?.to_string();
+                let raw = el.require_attr("threshold")?;
+                let threshold = raw.parse::<f64>().map_err(|_| TriggerError::BadNumber {
+                    trigger: id.clone(),
+                    attr: "threshold".into(),
+                    text: raw.to_string(),
+                })?;
+                EventKind::StatBelow {
+                    component,
+                    threshold,
+                }
+            }
+            "custom" => EventKind::Custom(el.require_attr("name")?.to_string()),
+            other => {
+                return Err(TriggerError::UnknownEvent {
+                    trigger: id,
+                    event: other.to_string(),
+                })
+            }
+        };
+        let once = el.attr("once").map(|v| v == "true").unwrap_or(false);
+
+        let mut conditions = Vec::new();
+        for w in el.children_named("when") {
+            let op_raw = w.require_attr("op")?;
+            let op = CmpOp::parse(op_raw).ok_or_else(|| TriggerError::UnknownOp {
+                trigger: id.clone(),
+                op: op_raw.to_string(),
+            })?;
+            conditions.push(Condition {
+                component: w.require_attr("component")?.to_string(),
+                op,
+                literal: w.require_attr("value")?.to_string(),
+            });
+        }
+
+        let mut actions = Vec::new();
+        for a in el.children_named("action") {
+            let kind = a.require_attr("kind")?;
+            let action = match kind {
+                "set" => Action::Set {
+                    component: a.require_attr("component")?.to_string(),
+                    literal: a.require_attr("value")?.to_string(),
+                },
+                "emit" => Action::Emit {
+                    event: a.require_attr("event")?.to_string(),
+                },
+                "spawn" => {
+                    let parse_coord = |k: &str| -> Result<f32, TriggerError> {
+                        let raw = a.require_attr(k)?;
+                        raw.parse::<f32>().map_err(|_| TriggerError::BadNumber {
+                            trigger: id.clone(),
+                            attr: k.to_string(),
+                            text: raw.to_string(),
+                        })
+                    };
+                    Action::Spawn {
+                        template: a.require_attr("template")?.to_string(),
+                        x: parse_coord("x")?,
+                        y: parse_coord("y")?,
+                    }
+                }
+                "run_script" => Action::RunScript {
+                    script: a.require_attr("script")?.to_string(),
+                },
+                other => {
+                    return Err(TriggerError::UnknownAction {
+                        trigger: id,
+                        action: other.to_string(),
+                    })
+                }
+            };
+            actions.push(action);
+        }
+        if actions.is_empty() {
+            return Err(TriggerError::NoActions(id));
+        }
+        Ok(Trigger {
+            id,
+            event,
+            conditions,
+            actions,
+            once,
+        })
+    }
+
+    fn conditions_hold(&self, view: &dyn ComponentView) -> bool {
+        self.conditions.iter().all(|c| c.eval(view))
+    }
+}
+
+/// Errors in trigger definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TriggerError {
+    WrongElement(String),
+    Gdml(GdmlError),
+    UnknownEvent { trigger: String, event: String },
+    UnknownOp { trigger: String, op: String },
+    UnknownAction { trigger: String, action: String },
+    BadNumber { trigger: String, attr: String, text: String },
+    NoActions(String),
+    DuplicateId(String),
+}
+
+impl fmt::Display for TriggerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriggerError::WrongElement(n) => write!(f, "expected <trigger>, found <{n}>"),
+            TriggerError::Gdml(e) => write!(f, "{e}"),
+            TriggerError::UnknownEvent { trigger, event } => {
+                write!(f, "trigger {trigger}: unknown event kind {event:?}")
+            }
+            TriggerError::UnknownOp { trigger, op } => {
+                write!(f, "trigger {trigger}: unknown comparison {op:?}")
+            }
+            TriggerError::UnknownAction { trigger, action } => {
+                write!(f, "trigger {trigger}: unknown action kind {action:?}")
+            }
+            TriggerError::BadNumber { trigger, attr, text } => {
+                write!(f, "trigger {trigger}: attribute {attr}={text:?} is not a valid number")
+            }
+            TriggerError::NoActions(id) => write!(f, "trigger {id} has no actions"),
+            TriggerError::DuplicateId(id) => write!(f, "duplicate trigger id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TriggerError {}
+
+impl From<GdmlError> for TriggerError {
+    fn from(e: GdmlError) -> Self {
+        TriggerError::Gdml(e)
+    }
+}
+
+/// A runtime event the engine feeds into [`TriggerSet::fire`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameEvent {
+    /// An entity moved from `(from_x, from_y)` to `(to_x, to_y)`.
+    Moved {
+        from_x: f32,
+        from_y: f32,
+        to_x: f32,
+        to_y: f32,
+    },
+    /// A watched stat changed from `old` to `new`.
+    StatChanged {
+        component: String,
+        old: f64,
+        new: f64,
+    },
+    /// A named custom event.
+    Custom(String),
+}
+
+/// A set of triggers with per-trigger timer and once-only bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerSet {
+    triggers: Vec<Trigger>,
+    /// accumulated time since last fire, parallel to `triggers`
+    timer_accum: Vec<f32>,
+    /// whether a once-trigger has fired, parallel to `triggers`
+    spent: Vec<bool>,
+}
+
+impl TriggerSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse every `<trigger>` child of a `<triggers>` root. Ids must be
+    /// unique.
+    pub fn from_gdml(root: &Element) -> Result<Self, TriggerError> {
+        let mut set = TriggerSet::new();
+        for el in root.children_named("trigger") {
+            let t = Trigger::from_gdml(el)?;
+            set.add(t)?;
+        }
+        Ok(set)
+    }
+
+    /// Add a trigger; ids must be unique.
+    pub fn add(&mut self, t: Trigger) -> Result<(), TriggerError> {
+        if self.triggers.iter().any(|x| x.id == t.id) {
+            return Err(TriggerError::DuplicateId(t.id));
+        }
+        self.triggers.push(t);
+        self.timer_accum.push(0.0);
+        self.spent.push(false);
+        Ok(())
+    }
+
+    /// Number of triggers.
+    pub fn len(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// True when no triggers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// Trigger by id.
+    pub fn get(&self, id: &str) -> Option<&Trigger> {
+        self.triggers.iter().find(|t| t.id == id)
+    }
+
+    /// Iterate all triggers in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = &Trigger> {
+        self.triggers.iter()
+    }
+
+    /// Feed an event for one entity; returns the actions of every trigger
+    /// that fires, tagged with the trigger id.
+    pub fn fire(
+        &mut self,
+        event: &GameEvent,
+        view: &dyn ComponentView,
+    ) -> Vec<(String, Action)> {
+        let mut fired = Vec::new();
+        for (i, t) in self.triggers.iter().enumerate() {
+            if self.spent[i] {
+                continue;
+            }
+            let matches = match (&t.event, event) {
+                (
+                    EventKind::EnterArea(r),
+                    GameEvent::Moved {
+                        from_x,
+                        from_y,
+                        to_x,
+                        to_y,
+                    },
+                ) => !r.contains(*from_x, *from_y) && r.contains(*to_x, *to_y),
+                (
+                    EventKind::ExitArea(r),
+                    GameEvent::Moved {
+                        from_x,
+                        from_y,
+                        to_x,
+                        to_y,
+                    },
+                ) => r.contains(*from_x, *from_y) && !r.contains(*to_x, *to_y),
+                (
+                    EventKind::StatBelow {
+                        component,
+                        threshold,
+                    },
+                    GameEvent::StatChanged {
+                        component: ev_comp,
+                        old,
+                        new,
+                    },
+                ) => component == ev_comp && *old >= *threshold && *new < *threshold,
+                (EventKind::Custom(name), GameEvent::Custom(ev_name)) => name == ev_name,
+                _ => false,
+            };
+            if matches && t.conditions_hold(view) {
+                for a in &t.actions {
+                    fired.push((t.id.clone(), a.clone()));
+                }
+                if t.once {
+                    self.spent[i] = true;
+                }
+            }
+        }
+        fired
+    }
+
+    /// Advance game time by `dt` seconds; returns actions of timer
+    /// triggers that elapsed (a trigger can fire multiple times if `dt`
+    /// spans several periods). Guards are evaluated against `view` (the
+    /// "world" entity for global timers).
+    pub fn tick(&mut self, dt: f32, view: &dyn ComponentView) -> Vec<(String, Action)> {
+        let mut fired = Vec::new();
+        for (i, t) in self.triggers.iter().enumerate() {
+            let EventKind::Timer { period } = t.event else {
+                continue;
+            };
+            if self.spent[i] {
+                continue;
+            }
+            self.timer_accum[i] += dt;
+            while self.timer_accum[i] >= period {
+                self.timer_accum[i] -= period;
+                if t.conditions_hold(view) {
+                    for a in &t.actions {
+                        fired.push((t.id.clone(), a.clone()));
+                    }
+                    if t.once {
+                        self.spent[i] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        fired
+    }
+
+    /// Reset once-only and timer state (new play session).
+    pub fn reset(&mut self) {
+        for s in &mut self.spent {
+            *s = false;
+        }
+        for a in &mut self.timer_accum {
+            *a = 0.0;
+        }
+    }
+}
+
+/// Parse a typed value for a [`Action::Set`] literal once the engine knows
+/// the column type.
+pub fn parse_set_literal(ty: ValueType, literal: &str) -> Option<Value> {
+    Value::parse_as(ty, literal).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gdml;
+
+    fn view(pairs: &[(&str, Value)]) -> HashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn set_from(src: &str) -> TriggerSet {
+        TriggerSet::from_gdml(&gdml::parse(src).unwrap()).unwrap()
+    }
+
+    const DOOR: &str = r#"
+      <triggers>
+        <trigger id="boss_door" event="enter_area" x="10" y="10" w="5" h="5">
+          <when component="level" op="ge" value="10"/>
+          <action kind="set" component="door_open" value="true"/>
+          <action kind="emit" event="boss_intro"/>
+        </trigger>
+      </triggers>"#;
+
+    #[test]
+    fn enter_area_fires_on_crossing() {
+        let mut set = set_from(DOOR);
+        let v = view(&[("level", Value::Int(12))]);
+        // moving inside->inside does not fire
+        let none = set.fire(
+            &GameEvent::Moved {
+                from_x: 11.0,
+                from_y: 11.0,
+                to_x: 12.0,
+                to_y: 12.0,
+            },
+            &v,
+        );
+        assert!(none.is_empty());
+        // crossing the boundary fires both actions
+        let fired = set.fire(
+            &GameEvent::Moved {
+                from_x: 0.0,
+                from_y: 0.0,
+                to_x: 12.0,
+                to_y: 12.0,
+            },
+            &v,
+        );
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].0, "boss_door");
+        assert!(matches!(fired[0].1, Action::Set { .. }));
+        assert!(matches!(fired[1].1, Action::Emit { .. }));
+    }
+
+    #[test]
+    fn guard_blocks_low_level() {
+        let mut set = set_from(DOOR);
+        let v = view(&[("level", Value::Int(3))]);
+        let fired = set.fire(
+            &GameEvent::Moved {
+                from_x: 0.0,
+                from_y: 0.0,
+                to_x: 12.0,
+                to_y: 12.0,
+            },
+            &v,
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn missing_component_fails_guard() {
+        let mut set = set_from(DOOR);
+        let v = view(&[]);
+        let fired = set.fire(
+            &GameEvent::Moved {
+                from_x: 0.0,
+                from_y: 0.0,
+                to_x: 12.0,
+                to_y: 12.0,
+            },
+            &v,
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn exit_area_fires_on_leaving() {
+        let mut set = set_from(
+            r#"<triggers>
+                 <trigger id="leave" event="exit_area" x="0" y="0" w="10" h="10">
+                   <action kind="emit" event="left_zone"/>
+                 </trigger>
+               </triggers>"#,
+        );
+        let v = view(&[]);
+        let fired = set.fire(
+            &GameEvent::Moved {
+                from_x: 5.0,
+                from_y: 5.0,
+                to_x: 50.0,
+                to_y: 5.0,
+            },
+            &v,
+        );
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn stat_below_fires_on_downward_crossing_only() {
+        let mut set = set_from(
+            r#"<triggers>
+                 <trigger id="low_hp" event="stat_below" component="hp" threshold="20">
+                   <action kind="run_script" script="flee"/>
+                 </trigger>
+               </triggers>"#,
+        );
+        let v = view(&[]);
+        // crossing down fires
+        assert_eq!(
+            set.fire(
+                &GameEvent::StatChanged {
+                    component: "hp".into(),
+                    old: 25.0,
+                    new: 15.0
+                },
+                &v
+            )
+            .len(),
+            1
+        );
+        // already below: no re-fire
+        assert!(set
+            .fire(
+                &GameEvent::StatChanged {
+                    component: "hp".into(),
+                    old: 15.0,
+                    new: 10.0
+                },
+                &v
+            )
+            .is_empty());
+        // different stat: no fire
+        assert!(set
+            .fire(
+                &GameEvent::StatChanged {
+                    component: "mana".into(),
+                    old: 25.0,
+                    new: 15.0
+                },
+                &v
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn custom_events_match_by_name() {
+        let mut set = set_from(
+            r#"<triggers>
+                 <trigger id="chain" event="custom" name="boss_intro">
+                   <action kind="spawn" template="boss" x="12" y="12"/>
+                 </trigger>
+               </triggers>"#,
+        );
+        let v = view(&[]);
+        assert!(set.fire(&GameEvent::Custom("other".into()), &v).is_empty());
+        let fired = set.fire(&GameEvent::Custom("boss_intro".into()), &v);
+        assert_eq!(fired.len(), 1);
+        assert!(
+            matches!(&fired[0].1, Action::Spawn { template, .. } if template == "boss")
+        );
+    }
+
+    #[test]
+    fn timers_fire_per_period_and_catch_up() {
+        let mut set = set_from(
+            r#"<triggers>
+                 <trigger id="regen" event="timer" period="5">
+                   <action kind="emit" event="heal_pulse"/>
+                 </trigger>
+               </triggers>"#,
+        );
+        let v = view(&[]);
+        assert!(set.tick(4.0, &v).is_empty());
+        assert_eq!(set.tick(1.0, &v).len(), 1);
+        // a long frame spanning 3 periods fires 3 times
+        assert_eq!(set.tick(15.0, &v).len(), 3);
+    }
+
+    #[test]
+    fn once_triggers_fire_once() {
+        let mut set = set_from(
+            r#"<triggers>
+                 <trigger id="chest" event="custom" name="open_chest" once="true">
+                   <action kind="emit" event="loot"/>
+                 </trigger>
+               </triggers>"#,
+        );
+        let v = view(&[]);
+        assert_eq!(set.fire(&GameEvent::Custom("open_chest".into()), &v).len(), 1);
+        assert!(set.fire(&GameEvent::Custom("open_chest".into()), &v).is_empty());
+        set.reset();
+        assert_eq!(set.fire(&GameEvent::Custom("open_chest".into()), &v).len(), 1);
+    }
+
+    #[test]
+    fn string_and_bool_guards() {
+        let mut set = set_from(
+            r#"<triggers>
+                 <trigger id="vip" event="custom" name="enter">
+                   <when component="class" op="eq" value="paladin"/>
+                   <when component="alive" op="eq" value="true"/>
+                   <action kind="emit" event="fanfare"/>
+                 </trigger>
+               </triggers>"#,
+        );
+        let yes = view(&[
+            ("class", Value::Str("paladin".into())),
+            ("alive", Value::Bool(true)),
+        ]);
+        let no = view(&[
+            ("class", Value::Str("rogue".into())),
+            ("alive", Value::Bool(true)),
+        ]);
+        assert_eq!(set.fire(&GameEvent::Custom("enter".into()), &yes).len(), 1);
+        assert!(set.fire(&GameEvent::Custom("enter".into()), &no).is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        let bad_event = gdml::parse(
+            r#"<triggers><trigger id="x" event="lunar_eclipse"><action kind="emit" event="e"/></trigger></triggers>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            TriggerSet::from_gdml(&bad_event).unwrap_err(),
+            TriggerError::UnknownEvent { .. }
+        ));
+
+        let no_actions = gdml::parse(
+            r#"<triggers><trigger id="x" event="custom" name="e"/></triggers>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            TriggerSet::from_gdml(&no_actions).unwrap_err(),
+            TriggerError::NoActions(_)
+        ));
+
+        let dup = gdml::parse(
+            r#"<triggers>
+                 <trigger id="x" event="custom" name="e"><action kind="emit" event="a"/></trigger>
+                 <trigger id="x" event="custom" name="f"><action kind="emit" event="b"/></trigger>
+               </triggers>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            TriggerSet::from_gdml(&dup).unwrap_err(),
+            TriggerError::DuplicateId(_)
+        ));
+
+        let bad_period = gdml::parse(
+            r#"<triggers><trigger id="x" event="timer" period="-2"><action kind="emit" event="e"/></trigger></triggers>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            TriggerSet::from_gdml(&bad_period).unwrap_err(),
+            TriggerError::BadNumber { .. }
+        ));
+
+        let bad_op = gdml::parse(
+            r#"<triggers><trigger id="x" event="custom" name="e">
+                 <when component="hp" op="approximately" value="5"/>
+                 <action kind="emit" event="e2"/>
+               </trigger></triggers>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            TriggerSet::from_gdml(&bad_op).unwrap_err(),
+            TriggerError::UnknownOp { .. }
+        ));
+    }
+
+    #[test]
+    fn region_edges_half_open() {
+        let r = Region {
+            x: 0.0,
+            y: 0.0,
+            w: 10.0,
+            h: 10.0,
+        };
+        assert!(r.contains(0.0, 0.0));
+        assert!(!r.contains(10.0, 5.0));
+        assert!(!r.contains(5.0, 10.0));
+    }
+
+    #[test]
+    fn set_literal_parses_with_column_type() {
+        assert_eq!(
+            parse_set_literal(ValueType::Bool, "true"),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(parse_set_literal(ValueType::Int, "banana"), None);
+    }
+}

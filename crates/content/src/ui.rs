@@ -1,0 +1,517 @@
+//! Declarative UI specifications, modelled on World of Warcraft's XML UI
+//! language.
+//!
+//! The paper: "World of Warcraft contains an XML specification language
+//! that allows players to define the look of their user interface, from
+//! window positions to button functionality". This module parses such
+//! specs from GDML, resolves the anchor-based layout to absolute
+//! rectangles, and validates the document (dangling anchor references,
+//! duplicate names, anchor cycles) — the same checks the game client runs
+//! when loading player addons.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gdml::{Element, GdmlError};
+
+/// The nine anchor points of a rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnchorPoint {
+    TopLeft,
+    Top,
+    TopRight,
+    Left,
+    Center,
+    Right,
+    BottomLeft,
+    Bottom,
+    BottomRight,
+}
+
+impl AnchorPoint {
+    pub fn parse(s: &str) -> Option<AnchorPoint> {
+        match s {
+            "topleft" => Some(AnchorPoint::TopLeft),
+            "top" => Some(AnchorPoint::Top),
+            "topright" => Some(AnchorPoint::TopRight),
+            "left" => Some(AnchorPoint::Left),
+            "center" => Some(AnchorPoint::Center),
+            "right" => Some(AnchorPoint::Right),
+            "bottomleft" => Some(AnchorPoint::BottomLeft),
+            "bottom" => Some(AnchorPoint::Bottom),
+            "bottomright" => Some(AnchorPoint::BottomRight),
+            _ => None,
+        }
+    }
+
+    /// Offset of this point within a `w`×`h` rectangle, from its top-left.
+    fn offset_in(self, w: f32, h: f32) -> (f32, f32) {
+        let x = match self {
+            AnchorPoint::TopLeft | AnchorPoint::Left | AnchorPoint::BottomLeft => 0.0,
+            AnchorPoint::Top | AnchorPoint::Center | AnchorPoint::Bottom => w / 2.0,
+            _ => w,
+        };
+        let y = match self {
+            AnchorPoint::TopLeft | AnchorPoint::Top | AnchorPoint::TopRight => 0.0,
+            AnchorPoint::Left | AnchorPoint::Center | AnchorPoint::Right => h / 2.0,
+            _ => h,
+        };
+        (x, y)
+    }
+}
+
+/// An anchor: glue `point` of this widget to `relative_point` of `target`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anchor {
+    pub point: AnchorPoint,
+    /// Widget name, or `"parent"`/`"screen"` for the root surface.
+    pub target: String,
+    pub relative_point: AnchorPoint,
+    pub dx: f32,
+    pub dy: f32,
+}
+
+/// Widget-kind-specific payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WidgetKind {
+    /// Plain container.
+    Frame,
+    /// Clickable button; `on_click` names a script.
+    Button { label: String, on_click: Option<String> },
+    /// Static or databound text; `bind` names a component to display.
+    Text { text: String, bind: Option<String> },
+    /// Progress bar bound to a component, scaled into `[min, max]`.
+    Bar { bind: String, min: f32, max: f32 },
+}
+
+impl WidgetKind {
+    /// The GDML tag name this kind is written as.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WidgetKind::Frame => "frame",
+            WidgetKind::Button { .. } => "button",
+            WidgetKind::Text { .. } => "text",
+            WidgetKind::Bar { .. } => "bar",
+        }
+    }
+}
+
+/// One widget in a UI spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Widget {
+    pub name: String,
+    pub kind: WidgetKind,
+    pub width: f32,
+    pub height: f32,
+    pub anchor: Anchor,
+}
+
+/// A resolved rectangle in screen coordinates (y grows downward).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub x: f32,
+    pub y: f32,
+    pub w: f32,
+    pub h: f32,
+}
+
+impl Rect {
+    /// True when the rectangles overlap.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x < other.x + other.w
+            && self.x + self.w > other.x
+            && self.y < other.y + other.h
+            && self.y + self.h > other.y
+    }
+}
+
+/// Errors in UI specifications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UiError {
+    Gdml(GdmlError),
+    UnknownWidgetKind { widget: String, kind: String },
+    UnknownAnchorPoint { widget: String, point: String },
+    BadNumber { widget: String, attr: String, text: String },
+    DuplicateName(String),
+    DanglingAnchor { widget: String, target: String },
+    AnchorCycle(Vec<String>),
+}
+
+impl fmt::Display for UiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UiError::Gdml(e) => write!(f, "{e}"),
+            UiError::UnknownWidgetKind { widget, kind } => {
+                write!(f, "widget {widget}: unknown kind <{kind}>")
+            }
+            UiError::UnknownAnchorPoint { widget, point } => {
+                write!(f, "widget {widget}: unknown anchor point {point:?}")
+            }
+            UiError::BadNumber { widget, attr, text } => {
+                write!(f, "widget {widget}: attribute {attr}={text:?} is not a number")
+            }
+            UiError::DuplicateName(n) => write!(f, "duplicate widget name {n}"),
+            UiError::DanglingAnchor { widget, target } => {
+                write!(f, "widget {widget} anchored to unknown widget {target}")
+            }
+            UiError::AnchorCycle(path) => write!(f, "anchor cycle: {}", path.join(" -> ")),
+        }
+    }
+}
+
+impl std::error::Error for UiError {}
+
+impl From<GdmlError> for UiError {
+    fn from(e: GdmlError) -> Self {
+        UiError::Gdml(e)
+    }
+}
+
+/// A parsed UI specification.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UiSpec {
+    pub widgets: Vec<Widget>,
+}
+
+impl UiSpec {
+    /// Parse a `<ui>` root whose children are widget elements:
+    ///
+    /// ```xml
+    /// <ui>
+    ///   <frame name="hud" width="400" height="80"
+    ///          anchor="bottom" relative_to="screen" relative_point="bottom"/>
+    ///   <bar name="hp" width="380" height="20" bind="hp" min="0" max="100"
+    ///        anchor="top" relative_to="hud" relative_point="top" dy="8"/>
+    /// </ui>
+    /// ```
+    pub fn from_gdml(root: &Element) -> Result<Self, UiError> {
+        let mut spec = UiSpec::default();
+        for el in root.child_elements() {
+            let name = el.require_attr("name")?.to_string();
+            if spec.widgets.iter().any(|w| w.name == name) {
+                return Err(UiError::DuplicateName(name));
+            }
+            let num = |attr: &str, default: Option<f32>| -> Result<f32, UiError> {
+                match el.attr(attr) {
+                    Some(raw) => raw.parse::<f32>().map_err(|_| UiError::BadNumber {
+                        widget: name.clone(),
+                        attr: attr.to_string(),
+                        text: raw.to_string(),
+                    }),
+                    None => match default {
+                        Some(d) => Ok(d),
+                        None => Err(UiError::Gdml(GdmlError::MissingAttr {
+                            element: el.name.clone(),
+                            attr: attr.to_string(),
+                        })),
+                    },
+                }
+            };
+            let kind = match el.name.as_str() {
+                "frame" => WidgetKind::Frame,
+                "button" => WidgetKind::Button {
+                    label: el.attr("label").unwrap_or_default().to_string(),
+                    on_click: el.attr("on_click").map(str::to_string),
+                },
+                "text" => WidgetKind::Text {
+                    text: el.attr("text").unwrap_or_default().to_string(),
+                    bind: el.attr("bind").map(str::to_string),
+                },
+                "bar" => WidgetKind::Bar {
+                    bind: el.require_attr("bind")?.to_string(),
+                    min: num("min", Some(0.0))?,
+                    max: num("max", Some(1.0))?,
+                },
+                other => {
+                    return Err(UiError::UnknownWidgetKind {
+                        widget: name,
+                        kind: other.to_string(),
+                    })
+                }
+            };
+            let point_attr = |attr: &str, default: AnchorPoint| -> Result<AnchorPoint, UiError> {
+                match el.attr(attr) {
+                    None => Ok(default),
+                    Some(raw) => AnchorPoint::parse(raw).ok_or_else(|| UiError::UnknownAnchorPoint {
+                        widget: name.clone(),
+                        point: raw.to_string(),
+                    }),
+                }
+            };
+            let anchor = Anchor {
+                point: point_attr("anchor", AnchorPoint::TopLeft)?,
+                target: el.attr("relative_to").unwrap_or("screen").to_string(),
+                relative_point: point_attr("relative_point", AnchorPoint::TopLeft)?,
+                dx: num("dx", Some(0.0))?,
+                dy: num("dy", Some(0.0))?,
+            };
+            let width = num("width", None)?;
+            let height = num("height", None)?;
+            spec.widgets.push(Widget {
+                name,
+                kind,
+                width,
+                height,
+                anchor,
+            });
+        }
+        Ok(spec)
+    }
+
+    /// Widget by name.
+    pub fn get(&self, name: &str) -> Option<&Widget> {
+        self.widgets.iter().find(|w| w.name == name)
+    }
+
+    /// Resolve the layout against a screen of the given size.
+    ///
+    /// Returns absolute rectangles keyed by widget name, or an error when
+    /// an anchor references a missing widget or anchors form a cycle.
+    pub fn layout(&self, screen_w: f32, screen_h: f32) -> Result<HashMap<String, Rect>, UiError> {
+        // Topologically order widgets along anchor dependencies.
+        let index: HashMap<&str, usize> = self
+            .widgets
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.name.as_str(), i))
+            .collect();
+        for w in &self.widgets {
+            let t = w.anchor.target.as_str();
+            if t != "screen" && t != "parent" && !index.contains_key(t) {
+                return Err(UiError::DanglingAnchor {
+                    widget: w.name.clone(),
+                    target: w.anchor.target.clone(),
+                });
+            }
+        }
+        let mut rects: HashMap<String, Rect> = HashMap::new();
+        let screen = Rect {
+            x: 0.0,
+            y: 0.0,
+            w: screen_w,
+            h: screen_h,
+        };
+        // Iteratively resolve widgets whose targets are resolved; detect
+        // cycles when no progress is made.
+        let mut pending: Vec<usize> = (0..self.widgets.len()).collect();
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|&i| {
+                let w = &self.widgets[i];
+                let target_rect = match w.anchor.target.as_str() {
+                    "screen" | "parent" => Some(screen),
+                    name => rects.get(name).copied(),
+                };
+                match target_rect {
+                    None => true, // keep pending
+                    Some(tr) => {
+                        let (tx, ty) = w.anchor.relative_point.offset_in(tr.w, tr.h);
+                        let (sx, sy) = w.anchor.point.offset_in(w.width, w.height);
+                        rects.insert(
+                            w.name.clone(),
+                            Rect {
+                                x: tr.x + tx - sx + w.anchor.dx,
+                                y: tr.y + ty - sy + w.anchor.dy,
+                                w: w.width,
+                                h: w.height,
+                            },
+                        );
+                        false
+                    }
+                }
+            });
+            if pending.len() == before {
+                let cycle: Vec<String> = pending
+                    .iter()
+                    .map(|&i| self.widgets[i].name.clone())
+                    .collect();
+                return Err(UiError::AnchorCycle(cycle));
+            }
+        }
+        Ok(rects)
+    }
+
+    /// Validation pass: run layout on a nominal screen and collect every
+    /// structural problem (studio pipelines surface these to designers).
+    pub fn validate(&self) -> Vec<UiError> {
+        match self.layout(1920.0, 1080.0) {
+            Ok(_) => Vec::new(),
+            Err(e) => vec![e],
+        }
+    }
+
+    /// Names of components this UI reads (for engine data binding).
+    pub fn bound_components(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .widgets
+            .iter()
+            .filter_map(|w| match &w.kind {
+                WidgetKind::Bar { bind, .. } => Some(bind.as_str()),
+                WidgetKind::Text { bind: Some(b), .. } => Some(b.as_str()),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gdml;
+
+    fn spec(src: &str) -> UiSpec {
+        UiSpec::from_gdml(&gdml::parse(src).unwrap()).unwrap()
+    }
+
+    const HUD: &str = r#"
+      <ui>
+        <frame name="hud" width="400" height="100"
+               anchor="bottom" relative_to="screen" relative_point="bottom"/>
+        <bar name="hp" width="380" height="20" bind="hp" min="0" max="100"
+             anchor="top" relative_to="hud" relative_point="top" dy="10"/>
+        <button name="attack" label="Attack!" on_click="do_attack"
+                width="80" height="30"
+                anchor="bottomright" relative_to="hud" relative_point="bottomright"
+                dx="-5" dy="-5"/>
+        <text name="title" text="GameDB" width="100" height="20"
+              anchor="center" relative_to="screen" relative_point="center"/>
+      </ui>"#;
+
+    #[test]
+    fn parse_widgets() {
+        let s = spec(HUD);
+        assert_eq!(s.widgets.len(), 4);
+        let attack = s.get("attack").unwrap();
+        assert!(matches!(
+            &attack.kind,
+            WidgetKind::Button { label, on_click: Some(cb) }
+                if label == "Attack!" && cb == "do_attack"
+        ));
+        assert_eq!(s.bound_components(), vec!["hp"]);
+    }
+
+    #[test]
+    fn layout_resolves_anchor_chain() {
+        let s = spec(HUD);
+        let rects = s.layout(1920.0, 1080.0).unwrap();
+        let hud = rects["hud"];
+        // hud bottom-center glued to screen bottom-center
+        assert_eq!(hud.x, (1920.0 - 400.0) / 2.0);
+        assert_eq!(hud.y, 1080.0 - 100.0);
+        // hp bar top glued to hud top with dy=10
+        let hp = rects["hp"];
+        assert_eq!(hp.y, hud.y + 10.0);
+        assert_eq!(hp.x, hud.x + (400.0 - 380.0) / 2.0);
+        // attack bottom-right inset by (-5,-5)
+        let attack = rects["attack"];
+        assert_eq!(attack.x + attack.w, hud.x + hud.w - 5.0);
+        assert_eq!(attack.y + attack.h, hud.y + hud.h - 5.0);
+        // centered text
+        let title = rects["title"];
+        assert_eq!(title.x, (1920.0 - 100.0) / 2.0);
+        assert_eq!(title.y, (1080.0 - 20.0) / 2.0);
+    }
+
+    #[test]
+    fn layout_order_independent() {
+        // child declared before its anchor target
+        let s = spec(
+            r#"<ui>
+                 <text name="label" text="hi" width="50" height="10"
+                       anchor="topleft" relative_to="panel" relative_point="topleft"/>
+                 <frame name="panel" width="200" height="100"
+                        anchor="topleft" relative_to="screen" relative_point="topleft"
+                        dx="30" dy="40"/>
+               </ui>"#,
+        );
+        let rects = s.layout(800.0, 600.0).unwrap();
+        assert_eq!(rects["label"].x, 30.0);
+        assert_eq!(rects["label"].y, 40.0);
+    }
+
+    #[test]
+    fn dangling_anchor_detected() {
+        let s = spec(
+            r#"<ui>
+                 <frame name="a" width="10" height="10" relative_to="ghost"/>
+               </ui>"#,
+        );
+        assert!(matches!(
+            s.layout(100.0, 100.0).unwrap_err(),
+            UiError::DanglingAnchor { .. }
+        ));
+        assert_eq!(s.validate().len(), 1);
+    }
+
+    #[test]
+    fn anchor_cycle_detected() {
+        let s = spec(
+            r#"<ui>
+                 <frame name="a" width="10" height="10" relative_to="b"/>
+                 <frame name="b" width="10" height="10" relative_to="a"/>
+               </ui>"#,
+        );
+        match s.layout(100.0, 100.0).unwrap_err() {
+            UiError::AnchorCycle(path) => {
+                assert_eq!(path.len(), 2);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let root = gdml::parse(
+            r#"<ui>
+                 <frame name="x" width="1" height="1"/>
+                 <frame name="x" width="1" height="1"/>
+               </ui>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            UiSpec::from_gdml(&root).unwrap_err(),
+            UiError::DuplicateName(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_and_anchor_point() {
+        let bad_kind = gdml::parse(r#"<ui><dial name="x" width="1" height="1"/></ui>"#).unwrap();
+        assert!(matches!(
+            UiSpec::from_gdml(&bad_kind).unwrap_err(),
+            UiError::UnknownWidgetKind { .. }
+        ));
+        let bad_point = gdml::parse(
+            r#"<ui><frame name="x" width="1" height="1" anchor="middleish"/></ui>"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            UiSpec::from_gdml(&bad_point).unwrap_err(),
+            UiError::UnknownAnchorPoint { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_width_is_error() {
+        let root = gdml::parse(r#"<ui><frame name="x" height="1"/></ui>"#).unwrap();
+        assert!(UiSpec::from_gdml(&root).is_err());
+    }
+
+    #[test]
+    fn bar_requires_bind() {
+        let root = gdml::parse(r#"<ui><bar name="x" width="1" height="1"/></ui>"#).unwrap();
+        assert!(UiSpec::from_gdml(&root).is_err());
+    }
+
+    #[test]
+    fn rect_overlap() {
+        let a = Rect { x: 0.0, y: 0.0, w: 10.0, h: 10.0 };
+        let b = Rect { x: 5.0, y: 5.0, w: 10.0, h: 10.0 };
+        let c = Rect { x: 20.0, y: 0.0, w: 5.0, h: 5.0 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+}

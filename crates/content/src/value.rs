@@ -1,0 +1,258 @@
+//! Typed component values shared by templates, triggers, and the engine.
+//!
+//! Game content is relational at heart: entity components are typed
+//! attribute values. This module defines the value domain used across the
+//! workspace — the engine crate's columns, the scripting language's
+//! expressions, and the persistence layer's rows all speak [`Value`].
+
+use std::fmt;
+
+/// The type of a component value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    Float,
+    Int,
+    Bool,
+    Str,
+    /// 2-D position/vector, stored as a pair of `f32`.
+    Vec2,
+}
+
+impl ValueType {
+    /// Parse a type name as written in GDML (`type="float"`).
+    pub fn parse(s: &str) -> Option<ValueType> {
+        match s {
+            "float" => Some(ValueType::Float),
+            "int" => Some(ValueType::Int),
+            "bool" => Some(ValueType::Bool),
+            "str" | "string" => Some(ValueType::Str),
+            "vec2" => Some(ValueType::Vec2),
+            _ => None,
+        }
+    }
+
+    /// The zero/empty value of this type.
+    pub fn default_value(self) -> Value {
+        match self {
+            ValueType::Float => Value::Float(0.0),
+            ValueType::Int => Value::Int(0),
+            ValueType::Bool => Value::Bool(false),
+            ValueType::Str => Value::Str(String::new()),
+            ValueType::Vec2 => Value::Vec2(0.0, 0.0),
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Float => "float",
+            ValueType::Int => "int",
+            ValueType::Bool => "bool",
+            ValueType::Str => "str",
+            ValueType::Vec2 => "vec2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed component value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Float(f32),
+    Int(i64),
+    Bool(bool),
+    Str(String),
+    Vec2(f32, f32),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Float(_) => ValueType::Float,
+            Value::Int(_) => ValueType::Int,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Str(_) => ValueType::Str,
+            Value::Vec2(..) => ValueType::Vec2,
+        }
+    }
+
+    /// Parse a literal of the given type from its GDML attribute spelling.
+    ///
+    /// `vec2` literals are written `"x,y"` (e.g. `"3.5,-2"`).
+    pub fn parse_as(ty: ValueType, s: &str) -> Result<Value, ValueParseError> {
+        let s = s.trim();
+        let err = || ValueParseError {
+            ty,
+            text: s.to_string(),
+        };
+        match ty {
+            ValueType::Float => s.parse::<f32>().map(Value::Float).map_err(|_| err()),
+            ValueType::Int => s.parse::<i64>().map(Value::Int).map_err(|_| err()),
+            ValueType::Bool => match s {
+                "true" | "1" | "yes" => Ok(Value::Bool(true)),
+                "false" | "0" | "no" => Ok(Value::Bool(false)),
+                _ => Err(err()),
+            },
+            ValueType::Str => Ok(Value::Str(s.to_string())),
+            ValueType::Vec2 => {
+                let (x, y) = s.split_once(',').ok_or_else(err)?;
+                let x = x.trim().parse::<f32>().map_err(|_| err())?;
+                let y = y.trim().parse::<f32>().map_err(|_| err())?;
+                Ok(Value::Vec2(x, y))
+            }
+        }
+    }
+
+    /// Numeric view: floats and ints coerce to `f64`, everything else is
+    /// `None`. Comparisons in triggers and scripts use this.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v as f64),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Vec2 view.
+    pub fn as_vec2(&self) -> Option<(f32, f32)> {
+        match self {
+            Value::Vec2(x, y) => Some((*x, *y)),
+            _ => None,
+        }
+    }
+
+    /// Render in the spelling [`Value::parse_as`] accepts.
+    pub fn to_literal(&self) -> String {
+        match self {
+            Value::Float(v) => format!("{v}"),
+            Value::Int(v) => format!("{v}"),
+            Value::Bool(b) => format!("{b}"),
+            Value::Str(s) => s.clone(),
+            Value::Vec2(x, y) => format!("{x},{y}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_literal())
+    }
+}
+
+/// Error produced when a literal does not parse as the requested type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueParseError {
+    pub ty: ValueType,
+    pub text: String,
+}
+
+impl fmt::Display for ValueParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?} as {}", self.text, self.ty)
+    }
+}
+
+impl std::error::Error for ValueParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_roundtrip() {
+        for ty in [
+            ValueType::Float,
+            ValueType::Int,
+            ValueType::Bool,
+            ValueType::Str,
+            ValueType::Vec2,
+        ] {
+            assert_eq!(ValueType::parse(&ty.to_string()), Some(ty));
+        }
+        assert_eq!(ValueType::parse("quaternion"), None);
+        assert_eq!(ValueType::parse("string"), Some(ValueType::Str));
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(
+            Value::parse_as(ValueType::Float, "3.5"),
+            Ok(Value::Float(3.5))
+        );
+        assert_eq!(Value::parse_as(ValueType::Int, "-7"), Ok(Value::Int(-7)));
+        assert_eq!(
+            Value::parse_as(ValueType::Bool, "yes"),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            Value::parse_as(ValueType::Vec2, " 1.5 , -2 "),
+            Ok(Value::Vec2(1.5, -2.0))
+        );
+        assert_eq!(
+            Value::parse_as(ValueType::Str, "hello"),
+            Ok(Value::Str("hello".into()))
+        );
+    }
+
+    #[test]
+    fn parse_failures_name_type() {
+        let err = Value::parse_as(ValueType::Int, "3.5").unwrap_err();
+        assert_eq!(err.ty, ValueType::Int);
+        assert!(err.to_string().contains("int"));
+        assert!(Value::parse_as(ValueType::Vec2, "1.0").is_err());
+        assert!(Value::parse_as(ValueType::Bool, "maybe").is_err());
+    }
+
+    #[test]
+    fn literal_roundtrip() {
+        for v in [
+            Value::Float(2.25),
+            Value::Int(-42),
+            Value::Bool(true),
+            Value::Str("goblin king".into()),
+            Value::Vec2(1.5, -0.25),
+        ] {
+            let ty = v.value_type();
+            assert_eq!(Value::parse_as(ty, &v.to_literal()), Ok(v));
+        }
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_number(), Some(3.0));
+        assert_eq!(Value::Float(1.5).as_number(), Some(1.5));
+        assert_eq!(Value::Bool(true).as_number(), None);
+        assert_eq!(Value::Str("x".into()).as_number(), None);
+    }
+
+    #[test]
+    fn default_values_match_types() {
+        for ty in [
+            ValueType::Float,
+            ValueType::Int,
+            ValueType::Bool,
+            ValueType::Str,
+            ValueType::Vec2,
+        ] {
+            assert_eq!(ty.default_value().value_type(), ty);
+        }
+    }
+}

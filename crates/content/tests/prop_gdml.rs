@@ -1,0 +1,131 @@
+//! Property tests for the GDML parser: pretty-print → reparse must be the
+//! identity on arbitrary generated documents.
+
+use gamedb_content::gdml::{self, Element, Node};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.:-]{0,8}"
+}
+
+/// Attribute values and text exercise the escape paths.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("a".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("&".to_string()),
+            Just("\"".to_string()),
+            Just("'".to_string()),
+            Just("word".to_string()),
+            Just("7".to_string()),
+        ],
+        1..6,
+    )
+    .prop_map(|parts| parts.join(""))
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(name, raw_attrs, text)| {
+            let mut el = Element::new(name);
+            for (k, v) in raw_attrs {
+                if el.attr(&k).is_none() {
+                    el.attrs.push((k, v));
+                }
+            }
+            if let Some(t) = text {
+                let t = t.trim().to_string();
+                if !t.is_empty() {
+                    el.children.push(Node::Text(t));
+                }
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, raw_attrs, children)| {
+                let mut el = Element::new(name);
+                for (k, v) in raw_attrs {
+                    if el.attr(&k).is_none() {
+                        el.attrs.push((k, v));
+                    }
+                }
+                for c in children {
+                    el.children.push(Node::Element(c));
+                }
+                el
+            })
+    })
+}
+
+/// Text nodes get trimmed and whitespace-normalized by the writer/parser
+/// pipeline; normalize before comparing.
+fn normalize(el: &Element) -> Element {
+    let mut out = Element::new(el.name.clone());
+    out.attrs = el.attrs.clone();
+    for c in &el.children {
+        match c {
+            Node::Element(e) => out.children.push(Node::Element(normalize(e))),
+            Node::Text(t) => {
+                let t = t.trim();
+                if !t.is_empty() {
+                    out.children.push(Node::Text(t.to_string()));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_roundtrip(el in element_strategy()) {
+        let printed = gdml::to_string(&el);
+        let reparsed = gdml::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        prop_assert_eq!(normalize(&el), normalize(&reparsed));
+    }
+
+    #[test]
+    fn double_roundtrip_is_fixpoint(el in element_strategy()) {
+        let once = gdml::to_string(&el);
+        let reparsed = gdml::parse(&once).unwrap();
+        let twice = gdml::to_string(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The parser never panics on arbitrary input — it either parses or
+    /// returns a structured error.
+    #[test]
+    fn parser_total_on_garbage(s in "\\PC{0,80}") {
+        let _ = gdml::parse(&s);
+    }
+
+    #[test]
+    fn parser_total_on_tag_soup(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("<a>".to_string()),
+            Just("</a>".to_string()),
+            Just("<b x=\"1\">".to_string()),
+            Just("<!-- c -->".to_string()),
+            Just("text".to_string()),
+            Just("&amp;".to_string()),
+            Just("&bad;".to_string()),
+            Just("<".to_string()),
+            Just("/>".to_string()),
+        ], 0..12)) {
+        let _ = gdml::parse(&parts.join(""));
+    }
+}

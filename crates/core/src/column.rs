@@ -1,0 +1,328 @@
+//! Typed columnar component storage.
+//!
+//! The world is a column store: one [`Column`] per component, indexed by
+//! entity slot. Columns are dense `Vec`s of the native representation
+//! (`f32`, `i64`, …) plus a presence bitmap — the layout that makes
+//! set-at-a-time script evaluation (experiment E1) and aggregate scans
+//! cache-friendly, mirroring how analytical databases lay out attributes.
+
+use gamedb_content::{Value, ValueType};
+
+/// Native storage for one component type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    F32(Vec<f32>),
+    I64(Vec<i64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+    V2(Vec<[f32; 2]>),
+}
+
+impl ColumnData {
+    fn new(ty: ValueType) -> ColumnData {
+        match ty {
+            ValueType::Float => ColumnData::F32(Vec::new()),
+            ValueType::Int => ColumnData::I64(Vec::new()),
+            ValueType::Bool => ColumnData::Bool(Vec::new()),
+            ValueType::Str => ColumnData::Str(Vec::new()),
+            ValueType::Vec2 => ColumnData::V2(Vec::new()),
+        }
+    }
+
+    fn grow_to(&mut self, len: usize) {
+        match self {
+            ColumnData::F32(v) => v.resize(len, 0.0),
+            ColumnData::I64(v) => v.resize(len, 0),
+            ColumnData::Bool(v) => v.resize(len, false),
+            ColumnData::Str(v) => v.resize(len, String::new()),
+            ColumnData::V2(v) => v.resize(len, [0.0, 0.0]),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::F32(v) => v.len(),
+            ColumnData::I64(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::V2(v) => v.len(),
+        }
+    }
+}
+
+/// One component column: typed data plus a presence bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    ty: ValueType,
+    present: Vec<bool>,
+    data: ColumnData,
+    present_count: usize,
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new(ty: ValueType) -> Self {
+        Column {
+            ty,
+            present: Vec::new(),
+            data: ColumnData::new(ty),
+            present_count: 0,
+        }
+    }
+
+    /// The component type.
+    #[inline]
+    pub fn ty(&self) -> ValueType {
+        self.ty
+    }
+
+    /// Number of entities that currently have this component.
+    #[inline]
+    pub fn present_count(&self) -> usize {
+        self.present_count
+    }
+
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.present.len() {
+            self.present.resize(slot + 1, false);
+            self.data.grow_to(slot + 1);
+        }
+        debug_assert_eq!(self.present.len(), self.data.len());
+    }
+
+    /// True when `slot` has a value.
+    #[inline]
+    pub fn has(&self, slot: usize) -> bool {
+        self.present.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Remove the value at `slot`; returns whether one was present.
+    pub fn remove(&mut self, slot: usize) -> bool {
+        if self.has(slot) {
+            self.present[slot] = false;
+            self.present_count -= 1;
+            // reset storage so stale strings don't linger
+            match &mut self.data {
+                ColumnData::Str(v) => v[slot].clear(),
+                ColumnData::F32(v) => v[slot] = 0.0,
+                ColumnData::I64(v) => v[slot] = 0,
+                ColumnData::Bool(v) => v[slot] = false,
+                ColumnData::V2(v) => v[slot] = [0.0, 0.0],
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Set `slot` from a dynamic value; the value type must match.
+    pub fn set(&mut self, slot: usize, value: &Value) -> Result<(), ValueType> {
+        if value.value_type() != self.ty {
+            return Err(self.ty);
+        }
+        self.ensure(slot);
+        if !self.present[slot] {
+            self.present[slot] = true;
+            self.present_count += 1;
+        }
+        match (&mut self.data, value) {
+            (ColumnData::F32(v), Value::Float(x)) => v[slot] = *x,
+            (ColumnData::I64(v), Value::Int(x)) => v[slot] = *x,
+            (ColumnData::Bool(v), Value::Bool(x)) => v[slot] = *x,
+            (ColumnData::Str(v), Value::Str(x)) => v[slot] = x.clone(),
+            (ColumnData::V2(v), Value::Vec2(x, y)) => v[slot] = [*x, *y],
+            _ => unreachable!("type checked above"),
+        }
+        Ok(())
+    }
+
+    /// Dynamic value at `slot`, if present.
+    pub fn get(&self, slot: usize) -> Option<Value> {
+        if !self.has(slot) {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::F32(v) => Value::Float(v[slot]),
+            ColumnData::I64(v) => Value::Int(v[slot]),
+            ColumnData::Bool(v) => Value::Bool(v[slot]),
+            ColumnData::Str(v) => Value::Str(v[slot].clone()),
+            ColumnData::V2(v) => Value::Vec2(v[slot][0], v[slot][1]),
+        })
+    }
+
+    // ---- typed fast paths (hot loops avoid Value boxing) ----
+
+    /// `f32` value at `slot` (None when absent or wrong type).
+    #[inline]
+    pub fn get_f32(&self, slot: usize) -> Option<f32> {
+        match &self.data {
+            ColumnData::F32(v) if self.has(slot) => Some(v[slot]),
+            _ => None,
+        }
+    }
+
+    /// Store an `f32`; returns false when the column is not float-typed.
+    #[inline]
+    pub fn set_f32(&mut self, slot: usize, value: f32) -> bool {
+        if self.ty != ValueType::Float {
+            return false;
+        }
+        self.ensure(slot);
+        if !self.present[slot] {
+            self.present[slot] = true;
+            self.present_count += 1;
+        }
+        match &mut self.data {
+            ColumnData::F32(v) => v[slot] = value,
+            _ => unreachable!(),
+        }
+        true
+    }
+
+    /// `i64` value at `slot`.
+    #[inline]
+    pub fn get_i64(&self, slot: usize) -> Option<i64> {
+        match &self.data {
+            ColumnData::I64(v) if self.has(slot) => Some(v[slot]),
+            _ => None,
+        }
+    }
+
+    /// `bool` value at `slot`.
+    #[inline]
+    pub fn get_bool(&self, slot: usize) -> Option<bool> {
+        match &self.data {
+            ColumnData::Bool(v) if self.has(slot) => Some(v[slot]),
+            _ => None,
+        }
+    }
+
+    /// `[f32; 2]` value at `slot`.
+    #[inline]
+    pub fn get_v2(&self, slot: usize) -> Option<[f32; 2]> {
+        match &self.data {
+            ColumnData::V2(v) if self.has(slot) => Some(v[slot]),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (floats and ints coerce to f64) at `slot`.
+    #[inline]
+    pub fn get_number(&self, slot: usize) -> Option<f64> {
+        match &self.data {
+            ColumnData::F32(v) if self.has(slot) => Some(v[slot] as f64),
+            ColumnData::I64(v) if self.has(slot) => Some(v[slot] as f64),
+            _ => None,
+        }
+    }
+
+    /// Raw float slice for vectorized scans; `None` for non-float columns.
+    /// Callers must consult [`Column::has`] for presence.
+    pub fn f32_slice(&self) -> Option<&[f32]> {
+        match &self.data {
+            ColumnData::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Presence bitmap (slot-indexed).
+    pub fn presence(&self) -> &[bool] {
+        &self.present
+    }
+
+    /// Iterate `(slot, value)` pairs of present entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Value)> + '_ {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(move |(slot, _)| (slot, self.get(slot).expect("present implies value")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip_all_types() {
+        for (ty, val) in [
+            (ValueType::Float, Value::Float(2.5)),
+            (ValueType::Int, Value::Int(-3)),
+            (ValueType::Bool, Value::Bool(true)),
+            (ValueType::Str, Value::Str("axe".into())),
+            (ValueType::Vec2, Value::Vec2(1.0, 2.0)),
+        ] {
+            let mut c = Column::new(ty);
+            assert_eq!(c.get(0), None);
+            c.set(5, &val).unwrap();
+            assert_eq!(c.get(5), Some(val));
+            assert!(c.has(5));
+            assert!(!c.has(4));
+            assert_eq!(c.present_count(), 1);
+        }
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::new(ValueType::Float);
+        assert_eq!(c.set(0, &Value::Int(1)), Err(ValueType::Float));
+        assert_eq!(c.present_count(), 0);
+    }
+
+    #[test]
+    fn remove_clears_presence_and_value() {
+        let mut c = Column::new(ValueType::Str);
+        c.set(2, &Value::Str("sword".into())).unwrap();
+        assert!(c.remove(2));
+        assert!(!c.remove(2));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.present_count(), 0);
+        // slot reuse sees fresh storage
+        c.set(2, &Value::Str("bow".into())).unwrap();
+        assert_eq!(c.get(2), Some(Value::Str("bow".into())));
+    }
+
+    #[test]
+    fn fast_paths() {
+        let mut c = Column::new(ValueType::Float);
+        assert!(c.set_f32(3, 7.5));
+        assert_eq!(c.get_f32(3), Some(7.5));
+        assert_eq!(c.get_f32(2), None);
+        assert_eq!(c.get_number(3), Some(7.5));
+        assert!(!Column::new(ValueType::Int).clone().set_f32(0, 1.0));
+
+        let mut i = Column::new(ValueType::Int);
+        i.set(0, &Value::Int(9)).unwrap();
+        assert_eq!(i.get_i64(0), Some(9));
+        assert_eq!(i.get_number(0), Some(9.0));
+
+        let mut b = Column::new(ValueType::Bool);
+        b.set(1, &Value::Bool(true)).unwrap();
+        assert_eq!(b.get_bool(1), Some(true));
+
+        let mut v = Column::new(ValueType::Vec2);
+        v.set(0, &Value::Vec2(3.0, 4.0)).unwrap();
+        assert_eq!(v.get_v2(0), Some([3.0, 4.0]));
+    }
+
+    #[test]
+    fn slice_access() {
+        let mut c = Column::new(ValueType::Float);
+        c.set_f32(0, 1.0);
+        c.set_f32(2, 3.0);
+        let s = c.f32_slice().unwrap();
+        assert_eq!(s, &[1.0, 0.0, 3.0]);
+        assert_eq!(c.presence(), &[true, false, true]);
+        assert!(Column::new(ValueType::Int).f32_slice().is_none());
+    }
+
+    #[test]
+    fn iter_present_only() {
+        let mut c = Column::new(ValueType::Int);
+        c.set(1, &Value::Int(10)).unwrap();
+        c.set(4, &Value::Int(40)).unwrap();
+        let pairs: Vec<(usize, Value)> = c.iter().collect();
+        assert_eq!(pairs, vec![(1, Value::Int(10)), (4, Value::Int(40))]);
+    }
+}

@@ -1,0 +1,465 @@
+//! The state–effect pattern: deferred, combinable writes.
+//!
+//! The paper's performance section rests on White et al.'s "Scaling games
+//! to epic proportions" (its reference \[13\]): within a tick, scripts read
+//! the *state* (the world as of tick start) and emit *effects* — writes
+//! that accumulate in buffers and are applied atomically at tick end.
+//! Because effect combinators are commutative, per-entity scripts can run
+//! in any order, on any number of threads, and the tick result is
+//! identical — the property the parallel executor (experiment E5) and its
+//! determinism property test rely on.
+
+use gamedb_content::Value;
+use gamedb_spatial::Vec2;
+
+use crate::entity::EntityId;
+use crate::world::{CoreError, World, POS};
+
+/// A deferred write to one component of one entity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Replace the value. Only an entity's own script may `Set` on it —
+    /// the one non-commutative combinator is made safe by ownership.
+    Set(Value),
+    /// Add to a numeric component (commutative).
+    Add(f64),
+    /// Lower bound accumulation: final value is `min(current, x, …)`.
+    Min(f64),
+    /// Upper bound accumulation: final value is `max(current, x, …)`.
+    Max(f64),
+    /// Translate the position / a vec2 component (commutative).
+    AddVec2(f32, f32),
+}
+
+impl Effect {
+    /// Sort key making application order canonical (so that merging
+    /// buffers from different thread counts yields bit-identical worlds).
+    fn order_key(&self) -> (u8, u64, u64) {
+        match self {
+            Effect::Set(v) => (0, hash_value(v), 0),
+            Effect::Add(x) => (1, x.to_bits(), 0),
+            Effect::Min(x) => (2, x.to_bits(), 0),
+            Effect::Max(x) => (3, x.to_bits(), 0),
+            Effect::AddVec2(x, y) => (4, x.to_bits() as u64, y.to_bits() as u64),
+        }
+    }
+}
+
+fn hash_value(v: &Value) -> u64 {
+    // Cheap stable discriminator for canonical ordering of Sets; exact
+    // collisions are harmless (equal values apply identically).
+    match v {
+        Value::Float(x) => x.to_bits() as u64,
+        Value::Int(x) => *x as u64,
+        Value::Bool(b) => *b as u64,
+        Value::Str(s) => s.bytes().fold(1469598103934665603u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(1099511628211)
+        }),
+        Value::Vec2(x, y) => ((x.to_bits() as u64) << 32) | y.to_bits() as u64,
+    }
+}
+
+/// A pending spawn request (processed after effects apply).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpawnRequest {
+    /// Component values for the new entity.
+    pub components: Vec<(String, Value)>,
+    /// Spawn position.
+    pub pos: Vec2,
+}
+
+/// Buffer of effects produced while a tick runs.
+///
+/// Buffers merge by concatenation; [`EffectBuffer::apply`] canonicalizes
+/// ordering, so the merged result is independent of which thread produced
+/// which effect.
+#[derive(Debug, Clone, Default)]
+pub struct EffectBuffer {
+    ops: Vec<(EntityId, String, Effect)>,
+    spawns: Vec<SpawnRequest>,
+    despawns: Vec<EntityId>,
+}
+
+impl EffectBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an effect on `(entity, component)`.
+    pub fn push(&mut self, id: EntityId, component: impl Into<String>, effect: Effect) {
+        self.ops.push((id, component.into(), effect));
+    }
+
+    /// Queue a spawn.
+    pub fn spawn(&mut self, request: SpawnRequest) {
+        self.spawns.push(request);
+    }
+
+    /// Queue a despawn.
+    pub fn despawn(&mut self, id: EntityId) {
+        self.despawns.push(id);
+    }
+
+    /// Number of queued operations (effects + spawns + despawns).
+    pub fn len(&self) -> usize {
+        self.ops.len() + self.spawns.len() + self.despawns.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queued `(entity, component, effect)` operations, in push order.
+    /// Consumers that maintain read-through overlays (e.g. serial-within-
+    /// bubble execution in `gamedb-sync`) fold these without applying.
+    pub fn ops(&self) -> impl Iterator<Item = &(EntityId, String, Effect)> {
+        self.ops.iter()
+    }
+
+    /// Queued despawns, in push order.
+    pub fn despawned(&self) -> &[EntityId] {
+        &self.despawns
+    }
+
+    /// Absorb another buffer (used when merging per-thread buffers; the
+    /// caller merges in chunk order, and `apply` canonicalizes anyway).
+    pub fn merge(&mut self, other: EffectBuffer) {
+        self.ops.extend(other.ops);
+        self.spawns.extend(other.spawns);
+        self.despawns.extend(other.despawns);
+    }
+
+    /// Apply everything to the world: effects in canonical order, then
+    /// despawns, then spawns. Effects on entities that despawned this
+    /// tick (or were already dead) are dropped silently — scripts race
+    /// against deaths every tick and that must not be an error.
+    ///
+    /// Returns the number of effects actually applied.
+    pub fn apply(mut self, world: &mut World) -> Result<usize, CoreError> {
+        // Canonical order: entity, component, then effect kind/payload.
+        self.ops.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.order_key().cmp(&b.2.order_key()))
+        });
+        let mut applied = 0usize;
+        for (id, component, effect) in self.ops {
+            if !world.is_live(id) {
+                continue;
+            }
+            match effect {
+                Effect::Set(v) => {
+                    world.set(id, &component, v)?;
+                }
+                Effect::Add(x) => {
+                    if component == POS {
+                        return Err(CoreError::TypeMismatch {
+                            component,
+                            expected: gamedb_content::ValueType::Vec2,
+                            got: gamedb_content::ValueType::Float,
+                        });
+                    }
+                    match world.get(id, &component) {
+                        Some(Value::Float(cur)) => {
+                            world.set(id, &component, Value::Float(cur + x as f32))?
+                        }
+                        Some(Value::Int(cur)) => {
+                            world.set(id, &component, Value::Int(cur + x as i64))?
+                        }
+                        // Adding to an absent numeric component treats it
+                        // as its zero (designers expect counters to work
+                        // without initialization).
+                        None => match world.component_type(&component) {
+                            Some(gamedb_content::ValueType::Float) => {
+                                world.set(id, &component, Value::Float(x as f32))?
+                            }
+                            Some(gamedb_content::ValueType::Int) => {
+                                world.set(id, &component, Value::Int(x as i64))?
+                            }
+                            Some(other) => {
+                                return Err(CoreError::TypeMismatch {
+                                    component,
+                                    expected: other,
+                                    got: gamedb_content::ValueType::Float,
+                                })
+                            }
+                            None => return Err(CoreError::UnknownComponent(component)),
+                        },
+                        Some(other) => {
+                            return Err(CoreError::TypeMismatch {
+                                component,
+                                expected: other.value_type(),
+                                got: gamedb_content::ValueType::Float,
+                            })
+                        }
+                    }
+                }
+                Effect::Min(x) | Effect::Max(x) => {
+                    let is_min = matches!(effect, Effect::Min(_));
+                    match world.get(id, &component) {
+                        Some(Value::Float(cur)) => {
+                            let next = if is_min {
+                                (cur as f64).min(x)
+                            } else {
+                                (cur as f64).max(x)
+                            };
+                            world.set(id, &component, Value::Float(next as f32))?;
+                        }
+                        Some(Value::Int(cur)) => {
+                            let next = if is_min {
+                                (cur as f64).min(x)
+                            } else {
+                                (cur as f64).max(x)
+                            };
+                            world.set(id, &component, Value::Int(next as i64))?;
+                        }
+                        None => match world.component_type(&component) {
+                            Some(gamedb_content::ValueType::Float) => {
+                                world.set(id, &component, Value::Float(x as f32))?
+                            }
+                            Some(gamedb_content::ValueType::Int) => {
+                                world.set(id, &component, Value::Int(x as i64))?
+                            }
+                            Some(other) => {
+                                return Err(CoreError::TypeMismatch {
+                                    component,
+                                    expected: other,
+                                    got: gamedb_content::ValueType::Float,
+                                })
+                            }
+                            None => return Err(CoreError::UnknownComponent(component)),
+                        },
+                        Some(other) => {
+                            return Err(CoreError::TypeMismatch {
+                                component,
+                                expected: other.value_type(),
+                                got: gamedb_content::ValueType::Float,
+                            })
+                        }
+                    }
+                }
+                Effect::AddVec2(dx, dy) => {
+                    if component == POS {
+                        let cur = world.pos(id).unwrap_or(Vec2::ZERO);
+                        world.set_pos(id, Vec2::new(cur.x + dx, cur.y + dy))?;
+                    } else {
+                        let (cx, cy) = match world.get(id, &component) {
+                            Some(Value::Vec2(x, y)) => (x, y),
+                            None => (0.0, 0.0),
+                            Some(other) => {
+                                return Err(CoreError::TypeMismatch {
+                                    component,
+                                    expected: other.value_type(),
+                                    got: gamedb_content::ValueType::Vec2,
+                                })
+                            }
+                        };
+                        world.set(id, &component, Value::Vec2(cx + dx, cy + dy))?;
+                    }
+                }
+            }
+            applied += 1;
+        }
+        // Despawns: dedupe, deterministic order.
+        self.despawns.sort_unstable();
+        self.despawns.dedup();
+        for id in self.despawns {
+            world.despawn(id);
+        }
+        // Spawns in buffer order (merge order is chunk-deterministic).
+        for req in self.spawns {
+            let id = world.spawn_at(req.pos);
+            for (component, value) in req.components {
+                if world.component_type(&component).is_none() {
+                    // auto-define like template spawning does
+                    let ty = value.value_type();
+                    let _ = world.define_component(&component, ty);
+                }
+                world.set(id, &component, value)?;
+            }
+        }
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamedb_content::ValueType;
+
+    fn world() -> World {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("gold", ValueType::Int).unwrap();
+        w
+    }
+
+    #[test]
+    fn set_and_add() {
+        let mut w = world();
+        let e = w.spawn_at(Vec2::ZERO);
+        w.set_f32(e, "hp", 10.0).unwrap();
+
+        let mut buf = EffectBuffer::new();
+        buf.push(e, "hp", Effect::Add(5.0));
+        buf.push(e, "hp", Effect::Add(-3.0));
+        buf.push(e, "gold", Effect::Set(Value::Int(100)));
+        let applied = buf.apply(&mut w).unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(w.get_f32(e, "hp"), Some(12.0));
+        assert_eq!(w.get_i64(e, "gold"), Some(100));
+    }
+
+    #[test]
+    fn add_to_absent_component_starts_at_zero() {
+        let mut w = world();
+        let e = w.spawn_at(Vec2::ZERO);
+        let mut buf = EffectBuffer::new();
+        buf.push(e, "gold", Effect::Add(7.0));
+        buf.apply(&mut w).unwrap();
+        assert_eq!(w.get_i64(e, "gold"), Some(7));
+    }
+
+    #[test]
+    fn min_max_accumulate() {
+        let mut w = world();
+        let e = w.spawn_at(Vec2::ZERO);
+        w.set_f32(e, "hp", 50.0).unwrap();
+        let mut buf = EffectBuffer::new();
+        buf.push(e, "hp", Effect::Min(30.0));
+        buf.push(e, "hp", Effect::Min(40.0));
+        buf.apply(&mut w).unwrap();
+        assert_eq!(w.get_f32(e, "hp"), Some(30.0));
+
+        let mut buf = EffectBuffer::new();
+        buf.push(e, "hp", Effect::Max(45.0));
+        buf.apply(&mut w).unwrap();
+        assert_eq!(w.get_f32(e, "hp"), Some(45.0));
+    }
+
+    #[test]
+    fn addvec2_moves_entity_and_spatial_index() {
+        let mut w = world();
+        let e = w.spawn_at(Vec2::new(1.0, 1.0));
+        let mut buf = EffectBuffer::new();
+        buf.push(e, POS, Effect::AddVec2(2.0, 3.0));
+        buf.push(e, POS, Effect::AddVec2(-1.0, 0.0));
+        buf.apply(&mut w).unwrap();
+        assert_eq!(w.pos(e), Some(Vec2::new(2.0, 4.0)));
+        let mut out = vec![];
+        w.within(Vec2::new(2.0, 4.0), 0.1, &mut out);
+        assert_eq!(out, vec![e]);
+    }
+
+    #[test]
+    fn effects_on_dead_entities_dropped() {
+        let mut w = world();
+        let e = w.spawn_at(Vec2::ZERO);
+        let mut buf = EffectBuffer::new();
+        buf.push(e, "hp", Effect::Add(5.0));
+        buf.despawn(e);
+        // also effect after despawn in same tick on the dead id
+        let applied = buf.apply(&mut w).unwrap();
+        // hp effect applied first (entity alive during effect phase)
+        assert_eq!(applied, 1);
+        assert!(!w.is_live(e));
+    }
+
+    #[test]
+    fn double_despawn_in_one_tick_is_fine() {
+        let mut w = world();
+        let e = w.spawn_at(Vec2::ZERO);
+        let mut buf = EffectBuffer::new();
+        buf.despawn(e);
+        buf.despawn(e);
+        buf.apply(&mut w).unwrap();
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn spawn_requests_create_entities() {
+        let mut w = world();
+        let mut buf = EffectBuffer::new();
+        buf.spawn(SpawnRequest {
+            components: vec![("hp".into(), Value::Float(25.0))],
+            pos: Vec2::new(5.0, 5.0),
+        });
+        buf.apply(&mut w).unwrap();
+        assert_eq!(w.len(), 1);
+        let e = w.entities().next().unwrap();
+        assert_eq!(w.get_f32(e, "hp"), Some(25.0));
+        assert_eq!(w.pos(e), Some(Vec2::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn spawn_auto_defines_components() {
+        let mut w = World::new();
+        let mut buf = EffectBuffer::new();
+        buf.spawn(SpawnRequest {
+            components: vec![("mana".into(), Value::Float(10.0))],
+            pos: Vec2::ZERO,
+        });
+        buf.apply(&mut w).unwrap();
+        assert_eq!(w.component_type("mana"), Some(ValueType::Float));
+    }
+
+    #[test]
+    fn merge_order_does_not_change_result() {
+        // Build two buffers with commutative ops and apply in both merge
+        // orders; worlds must agree exactly.
+        let build_world = || {
+            let mut w = world();
+            let e = w.spawn_at(Vec2::ZERO);
+            w.set_f32(e, "hp", 100.0).unwrap();
+            (w, e)
+        };
+        let effects_a = |e: EntityId| {
+            let mut b = EffectBuffer::new();
+            b.push(e, "hp", Effect::Add(1.0));
+            b.push(e, "hp", Effect::Min(90.0));
+            b
+        };
+        let effects_b = |e: EntityId| {
+            let mut b = EffectBuffer::new();
+            b.push(e, "hp", Effect::Add(2.0));
+            b.push(e, "hp", Effect::Max(10.0));
+            b
+        };
+
+        let (mut w1, e1) = build_world();
+        let mut m1 = effects_a(e1);
+        m1.merge(effects_b(e1));
+        m1.apply(&mut w1).unwrap();
+
+        let (mut w2, e2) = build_world();
+        let mut m2 = effects_b(e2);
+        m2.merge(effects_a(e2));
+        m2.apply(&mut w2).unwrap();
+
+        assert_eq!(w1.get_f32(e1, "hp"), w2.get_f32(e2, "hp"));
+    }
+
+    #[test]
+    fn add_to_pos_is_type_error() {
+        let mut w = world();
+        let e = w.spawn_at(Vec2::ZERO);
+        let mut buf = EffectBuffer::new();
+        buf.push(e, POS, Effect::Add(1.0));
+        assert!(buf.apply(&mut w).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_reported() {
+        let mut w = World::new();
+        w.define_component("name", ValueType::Str).unwrap();
+        let e = w.spawn_at(Vec2::ZERO);
+        w.set(e, "name", Value::Str("bob".into())).unwrap();
+        let mut buf = EffectBuffer::new();
+        buf.push(e, "name", Effect::Add(1.0));
+        assert!(matches!(
+            buf.apply(&mut w),
+            Err(CoreError::TypeMismatch { .. })
+        ));
+    }
+}

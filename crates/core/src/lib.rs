@@ -1,0 +1,60 @@
+//! # gamedb-core
+//!
+//! The game-state database at the center of this workspace: a columnar
+//! entity store, a declarative query engine with aggregates, and the
+//! state–effect tick execution model that makes script processing
+//! parallelizable — the architecture the SIGMOD'09 tutorial's performance
+//! section describes via its references \[11\] and \[13\].
+//!
+//! ## Contents
+//!
+//! * [`entity`] — generational entity ids ([`EntityId`]).
+//! * [`column`](mod@column) — typed columnar component storage ([`Column`]).
+//! * [`world`] — the [`World`]: rows = entities, columns = components,
+//!   with a spatial index over the reserved `pos` column.
+//! * [`query`] — declarative selection + aggregates ([`Query`],
+//!   [`AggFn`]).
+//! * [`planner`] — table statistics and cost-based plan selection
+//!   ([`TableStats`], [`plan`]).
+//! * [`effect`] — deferred commutative writes ([`EffectBuffer`]).
+//! * [`exec`] — sequential/parallel tick execution ([`TickExecutor`]).
+//!
+//! ```
+//! use gamedb_core::{Query, TickExecutor, World, Effect, EffectBuffer};
+//! use gamedb_content::{CmpOp, Value, ValueType};
+//! use gamedb_spatial::Vec2;
+//!
+//! let mut world = World::new();
+//! world.define_component("hp", ValueType::Float).unwrap();
+//! let hero = world.spawn_at(Vec2::new(0.0, 0.0));
+//! world.set_f32(hero, "hp", 100.0).unwrap();
+//!
+//! // a regeneration system, run for one tick
+//! let regen = |id, _w: &World, buf: &mut EffectBuffer| {
+//!     buf.push(id, "hp", Effect::Add(5.0));
+//! };
+//! TickExecutor::sequential().run_tick(&mut world, &[&regen]).unwrap();
+//! assert_eq!(world.get_f32(hero, "hp"), Some(105.0));
+//!
+//! // a declarative query over the world database
+//! let wounded = Query::select()
+//!     .filter("hp", CmpOp::Lt, Value::Float(200.0))
+//!     .run(&world);
+//! assert_eq!(wounded, vec![hero]);
+//! ```
+
+pub mod column;
+pub mod effect;
+pub mod entity;
+pub mod exec;
+pub mod planner;
+pub mod query;
+pub mod world;
+
+pub use column::{Column, ColumnData};
+pub use effect::{Effect, EffectBuffer, SpawnRequest};
+pub use entity::{EntityAllocator, EntityId};
+pub use exec::{System, TickExecutor, TickStats};
+pub use planner::{plan, Access, ColumnStats, Plan, TableStats};
+pub use query::{aggregate, compare, AggFn, AggResult, Pred, Query};
+pub use world::{CoreError, World, WorldEntityView, POS};

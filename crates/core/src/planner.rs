@@ -1,0 +1,540 @@
+//! A cost-based planner for world queries.
+//!
+//! The paper's thesis is that game-state access is query processing in
+//! disguise — and a query processor earns its keep by *choosing plans*.
+//! [`Query`] always probes the spatial index when a `within` restriction
+//! exists and evaluates predicates in authoring order; this module adds
+//! what a database would: [`TableStats`] collected from the world,
+//! selectivity estimation per predicate, short-circuit-aware predicate
+//! reordering, and a costed choice between a full scan and the spatial
+//! index (a huge radius covers the whole map, where the index only adds
+//! overhead). [`Plan::explain`] renders the decision like `EXPLAIN`.
+//!
+//! Experiment E14 sweeps the query radius and shows the planner tracking
+//! the better of the two access paths across the crossover.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use gamedb_content::{CmpOp, Value};
+use gamedb_spatial::Vec2;
+
+use crate::entity::EntityId;
+use crate::query::{Pred, Query};
+use crate::world::World;
+
+/// Per-component statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Entities carrying the component.
+    pub present: usize,
+    /// Number of distinct values.
+    pub ndv: usize,
+    /// Minimum numeric value (numeric components only).
+    pub min: Option<f64>,
+    /// Maximum numeric value (numeric components only).
+    pub max: Option<f64>,
+}
+
+/// World statistics the planner costs plans against.
+///
+/// Built by one full scan ([`TableStats::build`]); games would refresh
+/// this at content-load or checkpoint cadence, not per tick — plans stay
+/// valid as long as the *distribution* holds, which for designer-authored
+/// component data changes slowly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStats {
+    /// Live entities.
+    pub rows: usize,
+    /// Entities with a position.
+    pub positioned: usize,
+    /// Bounding box of positioned entities.
+    pub bounds: Option<(Vec2, Vec2)>,
+    columns: Vec<(String, ColumnStats)>,
+}
+
+impl TableStats {
+    /// Collect exact statistics from the world.
+    pub fn build(world: &World) -> Self {
+        let mut rows = 0usize;
+        let mut positioned = 0usize;
+        let mut lo = Vec2::new(f32::INFINITY, f32::INFINITY);
+        let mut hi = Vec2::new(f32::NEG_INFINITY, f32::NEG_INFINITY);
+        let names: Vec<String> = world
+            .schema()
+            .filter(|(n, _)| *n != crate::world::POS)
+            .map(|(n, _)| n.to_string())
+            .collect();
+        let mut present = vec![0usize; names.len()];
+        let mut distinct: Vec<HashSet<u64>> = names.iter().map(|_| HashSet::new()).collect();
+        let mut min = vec![f64::INFINITY; names.len()];
+        let mut max = vec![f64::NEG_INFINITY; names.len()];
+        for id in world.entities() {
+            rows += 1;
+            if let Some(p) = world.pos(id) {
+                positioned += 1;
+                lo = Vec2::new(lo.x.min(p.x), lo.y.min(p.y));
+                hi = Vec2::new(hi.x.max(p.x), hi.y.max(p.y));
+            }
+            for (c, name) in names.iter().enumerate() {
+                let Some(v) = world.get(id, name) else { continue };
+                present[c] += 1;
+                distinct[c].insert(value_fingerprint(&v));
+                if let Some(n) = v.as_number() {
+                    min[c] = min[c].min(n);
+                    max[c] = max[c].max(n);
+                }
+            }
+        }
+        let columns = names
+            .into_iter()
+            .enumerate()
+            .map(|(c, name)| {
+                let numeric = min[c] <= max[c];
+                (
+                    name,
+                    ColumnStats {
+                        present: present[c],
+                        ndv: distinct[c].len(),
+                        min: numeric.then_some(min[c]),
+                        max: numeric.then_some(max[c]),
+                    },
+                )
+            })
+            .collect();
+        TableStats {
+            rows,
+            positioned,
+            bounds: (positioned > 0).then_some((lo, hi)),
+            columns,
+        }
+    }
+
+    /// Statistics for one component, if collected.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Estimated fraction of live entities a predicate keeps.
+    ///
+    /// Classic System-R style: equality = 1/NDV, ranges interpolate the
+    /// [min, max] span, everything scaled by the component's presence
+    /// fraction (a missing component fails the predicate).
+    pub fn selectivity(&self, pred: &Pred) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let Some(col) = self.column(&pred.component) else {
+            return 0.0; // unknown component: nothing can match
+        };
+        let presence = col.present as f64 / self.rows as f64;
+        if col.present == 0 {
+            return 0.0;
+        }
+        let among_present = match pred.op {
+            CmpOp::Eq => 1.0 / col.ndv.max(1) as f64,
+            CmpOp::Ne => 1.0 - 1.0 / col.ndv.max(1) as f64,
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                match (col.min, col.max, pred.value.as_number()) {
+                    (Some(lo), Some(hi), Some(v)) if hi > lo => {
+                        let below = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                        match pred.op {
+                            CmpOp::Lt | CmpOp::Le => below,
+                            _ => 1.0 - below,
+                        }
+                    }
+                    // degenerate span or non-numeric literal: even odds
+                    _ => 0.5,
+                }
+            }
+        };
+        presence * among_present
+    }
+
+    /// Estimated entities inside a query disk, from positioned density
+    /// over the bounding box (uniformity assumption).
+    pub fn est_in_radius(&self, radius: f32) -> f64 {
+        let Some((lo, hi)) = self.bounds else { return 0.0 };
+        let area = ((hi.x - lo.x) as f64).max(1e-9) * ((hi.y - lo.y) as f64).max(1e-9);
+        let disk = std::f64::consts::PI * radius as f64 * radius as f64;
+        (self.positioned as f64 * (disk / area).min(1.0)).min(self.positioned as f64)
+    }
+}
+
+fn value_fingerprint(v: &Value) -> u64 {
+    match v {
+        Value::Float(x) => 0x1000_0000_0000_0000 ^ (*x as f64).to_bits(),
+        Value::Int(x) => 0x2000_0000_0000_0000 ^ *x as u64,
+        Value::Bool(b) => 0x3000_0000_0000_0000 ^ *b as u64,
+        Value::Str(s) => s.bytes().fold(1469598103934665603u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(1099511628211)
+        }),
+        Value::Vec2(x, y) => ((x.to_bits() as u64) << 32) | y.to_bits() as u64,
+    }
+}
+
+/// How a plan reaches its candidate rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// Scan every live entity.
+    FullScan,
+    /// Probe the spatial index.
+    SpatialIndex { center: Vec2, radius: f32 },
+}
+
+/// Cost-model constants (relative units; an index probe costs a few row
+/// visits, and every candidate drawn from the index pays a small
+/// indirection over a dense scan).
+const INDEX_PROBE_COST: f64 = 8.0;
+const INDEX_ROW_FACTOR: f64 = 1.4;
+
+/// A chosen execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Access path.
+    pub access: Access,
+    /// Predicates in evaluation order (most selective first).
+    pub preds: Vec<Pred>,
+    /// Per-predicate selectivity estimates, aligned with `preds`.
+    pub selectivities: Vec<f64>,
+    /// Entity the query excludes.
+    pub exclude: Option<EntityId>,
+    /// When the access path is a full scan but the query had a `within`,
+    /// the spatial test runs as a residual predicate.
+    pub residual_within: Option<(Vec2, f32)>,
+    /// Estimated candidate rows entering predicate evaluation.
+    pub est_candidates: f64,
+    /// Estimated matching rows.
+    pub est_rows: f64,
+    /// Estimated total cost (relative units).
+    pub est_cost: f64,
+}
+
+impl Plan {
+    /// Render the plan like `EXPLAIN`.
+    pub fn explain(&self) -> String {
+        format!("{self}")
+    }
+
+    /// Execute, returning matches in deterministic (id) order — always
+    /// the same result set as [`Query::run`] on the same query.
+    pub fn run(&self, world: &World) -> Vec<EntityId> {
+        let keep = |id: EntityId| {
+            if Some(id) == self.exclude {
+                return false;
+            }
+            if let Some((center, radius)) = self.residual_within {
+                match world.pos(id) {
+                    Some(p) => {
+                        if p.dist2(center) > radius * radius {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+            self.preds.iter().all(|p| p.eval(world, id))
+        };
+        let mut out: Vec<EntityId> = match &self.access {
+            Access::FullScan => world.entities().filter(|&id| keep(id)).collect(),
+            Access::SpatialIndex { center, radius } => {
+                let mut cands = Vec::new();
+                world.within(*center, *radius, &mut cands);
+                cands.sort_unstable();
+                cands.into_iter().filter(|&id| keep(id)).collect()
+            }
+        };
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.access {
+            Access::FullScan => write!(f, "FullScan")?,
+            Access::SpatialIndex { center, radius } => {
+                write!(f, "SpatialIndex(center=({}, {}), r={radius})", center.x, center.y)?
+            }
+        }
+        if let Some((_, r)) = self.residual_within {
+            write!(f, " -> Within(r={r})")?;
+        }
+        for (p, s) in self.preds.iter().zip(&self.selectivities) {
+            write!(f, " -> Filter({} {:?} {:?}, sel={s:.3})", p.component, p.op, p.value)?;
+        }
+        write!(
+            f,
+            " | est_candidates={:.1} est_rows={:.1} est_cost={:.1}",
+            self.est_candidates, self.est_rows, self.est_cost
+        )
+    }
+}
+
+/// Choose a plan for `query` under `stats`.
+///
+/// Predicates are ordered by ascending selectivity (cheapest way to
+/// short-circuit a conjunction of independent predicates). The access
+/// path compares `rows` scan cost against index probe + candidate cost;
+/// when the disk covers most of the map the scan wins and the `within`
+/// becomes a residual filter.
+pub fn plan(query: &Query, stats: &TableStats) -> Plan {
+    let mut preds: Vec<Pred> = query.predicates().to_vec();
+    let mut sels: Vec<f64> = preds.iter().map(|p| stats.selectivity(p)).collect();
+    // stable sort by selectivity, keeping authoring order on ties
+    let mut order: Vec<usize> = (0..preds.len()).collect();
+    order.sort_by(|&a, &b| sels[a].partial_cmp(&sels[b]).unwrap_or(std::cmp::Ordering::Equal));
+    preds = order.iter().map(|&i| preds[i].clone()).collect();
+    sels = order.iter().map(|&i| sels[i]).collect();
+
+    // expected predicate evaluations per candidate under short-circuit:
+    // 1 + s1 + s1·s2 + …  (the last term drops out of the cost of *evals*)
+    let mut pred_cost_per_row = 0.0;
+    let mut pass = 1.0;
+    for s in &sels {
+        pred_cost_per_row += pass;
+        pass *= s;
+    }
+    let pred_pass: f64 = sels.iter().product();
+
+    match query.spatial() {
+        Some((center, radius)) => {
+            let est_cands = stats.est_in_radius(radius);
+            let index_cost = INDEX_PROBE_COST + est_cands * (INDEX_ROW_FACTOR + pred_cost_per_row);
+            // scanning still pays the distance test on every row
+            let scan_cost = stats.rows as f64 * (1.0 + pred_cost_per_row);
+            if index_cost <= scan_cost {
+                Plan {
+                    access: Access::SpatialIndex { center, radius },
+                    preds,
+                    selectivities: sels,
+                    exclude: query.excluded(),
+                    residual_within: None,
+                    est_candidates: est_cands,
+                    est_rows: est_cands * pred_pass,
+                    est_cost: index_cost,
+                }
+            } else {
+                Plan {
+                    access: Access::FullScan,
+                    preds,
+                    selectivities: sels,
+                    exclude: query.excluded(),
+                    residual_within: Some((center, radius)),
+                    est_candidates: stats.rows as f64,
+                    est_rows: est_cands * pred_pass,
+                    est_cost: scan_cost,
+                }
+            }
+        }
+        None => Plan {
+            access: Access::FullScan,
+            preds,
+            selectivities: sels,
+            exclude: query.excluded(),
+            residual_within: None,
+            est_candidates: stats.rows as f64,
+            est_rows: stats.rows as f64 * pred_pass,
+            est_cost: stats.rows as f64 * pred_cost_per_row.max(1.0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamedb_content::ValueType;
+
+    /// 100 entities on a 100×100 grid-ish line; 10 "rare" reds, the rest
+    /// blue; hp spans 0..99.
+    fn stats_world() -> (World, Vec<EntityId>) {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("team", ValueType::Str).unwrap();
+        w.define_component("level", ValueType::Int).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..100usize {
+            let e = w.spawn_at(Vec2::new((i % 10) as f32 * 11.0, (i / 10) as f32 * 11.0));
+            w.set_f32(e, "hp", i as f32).unwrap();
+            w.set(
+                e,
+                "team",
+                Value::Str(if i % 10 == 0 { "red" } else { "blue" }.into()),
+            )
+            .unwrap();
+            if i % 2 == 0 {
+                w.set(e, "level", Value::Int((i % 5) as i64)).unwrap();
+            }
+            ids.push(e);
+        }
+        (w, ids)
+    }
+
+    #[test]
+    fn stats_counts_and_bounds() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.positioned, 100);
+        let (lo, hi) = s.bounds.unwrap();
+        assert_eq!(lo, Vec2::ZERO);
+        assert_eq!(hi, Vec2::new(99.0, 99.0));
+        let hp = s.column("hp").unwrap();
+        assert_eq!(hp.present, 100);
+        assert_eq!(hp.ndv, 100);
+        assert_eq!(hp.min, Some(0.0));
+        assert_eq!(hp.max, Some(99.0));
+        let team = s.column("team").unwrap();
+        assert_eq!(team.ndv, 2);
+        let level = s.column("level").unwrap();
+        assert_eq!(level.present, 50);
+        assert_eq!(level.ndv, 5);
+    }
+
+    #[test]
+    fn equality_selectivity_uses_ndv() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        let sel = s.selectivity(&Pred::new("team", CmpOp::Eq, Value::Str("red".into())));
+        assert!((sel - 0.5).abs() < 1e-9, "1/ndv = 1/2, got {sel}");
+        let sel = s.selectivity(&Pred::new("hp", CmpOp::Eq, Value::Float(5.0)));
+        assert!((sel - 0.01).abs() < 1e-9, "1/100, got {sel}");
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        let low = s.selectivity(&Pred::new("hp", CmpOp::Lt, Value::Float(9.9)));
+        assert!((0.05..0.2).contains(&low), "~10%, got {low}");
+        let high = s.selectivity(&Pred::new("hp", CmpOp::Ge, Value::Float(49.5)));
+        assert!((0.4..0.6).contains(&high), "~50%, got {high}");
+        // out-of-range bounds clamp
+        assert_eq!(s.selectivity(&Pred::new("hp", CmpOp::Lt, Value::Float(-5.0))), 0.0);
+        assert_eq!(s.selectivity(&Pred::new("hp", CmpOp::Ge, Value::Float(-5.0))), 1.0);
+    }
+
+    #[test]
+    fn presence_scales_selectivity() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        // level present on half the rows, 5 distinct values
+        let sel = s.selectivity(&Pred::new("level", CmpOp::Eq, Value::Int(3)));
+        assert!((sel - 0.5 * 0.2).abs() < 1e-9, "got {sel}");
+    }
+
+    #[test]
+    fn unknown_component_matches_nothing() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        assert_eq!(s.selectivity(&Pred::new("mana", CmpOp::Ge, Value::Float(0.0))), 0.0);
+    }
+
+    #[test]
+    fn predicates_ordered_most_selective_first() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        let q = Query::select()
+            .filter("team", CmpOp::Ne, Value::Str("red".into())) // sel 0.5
+            .filter("hp", CmpOp::Eq, Value::Float(30.0)); // sel 0.01
+        let p = plan(&q, &s);
+        assert_eq!(p.preds[0].component, "hp", "{}", p.explain());
+        assert!(p.selectivities[0] <= p.selectivities[1]);
+    }
+
+    #[test]
+    fn small_radius_picks_index_huge_radius_picks_scan() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        let small = plan(&Query::select().within(Vec2::new(50.0, 50.0), 5.0), &s);
+        assert!(matches!(small.access, Access::SpatialIndex { .. }), "{}", small.explain());
+        let huge = plan(&Query::select().within(Vec2::new(50.0, 50.0), 500.0), &s);
+        assert!(matches!(huge.access, Access::FullScan), "{}", huge.explain());
+        assert!(huge.residual_within.is_some());
+    }
+
+    #[test]
+    fn plans_return_exactly_what_query_returns() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        let queries = vec![
+            Query::select(),
+            Query::select().filter("team", CmpOp::Eq, Value::Str("red".into())),
+            Query::select()
+                .within(Vec2::new(33.0, 33.0), 25.0)
+                .filter("hp", CmpOp::Ge, Value::Float(20.0)),
+            Query::select().within(Vec2::new(50.0, 50.0), 1000.0),
+            Query::select()
+                .within(Vec2::new(0.0, 0.0), 40.0)
+                .filter("level", CmpOp::Le, Value::Int(2))
+                .filter("team", CmpOp::Eq, Value::Str("blue".into())),
+        ];
+        for q in queries {
+            let p = plan(&q, &s);
+            assert_eq!(p.run(&w), q.run(&w), "plan: {}", p.explain());
+        }
+    }
+
+    #[test]
+    fn excluded_entity_respected() {
+        let (w, ids) = stats_world();
+        let s = TableStats::build(&w);
+        let q = Query::select().excluding(ids[0]);
+        let p = plan(&q, &s);
+        let out = p.run(&w);
+        assert_eq!(out.len(), 99);
+        assert!(!out.contains(&ids[0]));
+    }
+
+    #[test]
+    fn est_rows_tracks_reality_roughly() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        let q = Query::select().filter("team", CmpOp::Eq, Value::Str("blue".into()));
+        let p = plan(&q, &s);
+        let actual = p.run(&w).len() as f64; // 90
+        // NDV-based estimate says 50; order-of-magnitude is what planners get
+        assert!(p.est_rows >= 25.0 && p.est_rows <= 100.0, "est {}", p.est_rows);
+        assert!(actual == 90.0);
+    }
+
+    #[test]
+    fn empty_world_plans_cleanly() {
+        let w = World::new();
+        let s = TableStats::build(&w);
+        assert_eq!(s.rows, 0);
+        assert!(s.bounds.is_none());
+        let p = plan(&Query::select().within(Vec2::ZERO, 10.0), &s);
+        assert!(p.run(&w).is_empty());
+    }
+
+    #[test]
+    fn explain_mentions_the_path() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        let p = plan(
+            &Query::select()
+                .within(Vec2::new(50.0, 50.0), 5.0)
+                .filter("hp", CmpOp::Ge, Value::Float(10.0)),
+            &s,
+        );
+        let text = p.explain();
+        assert!(text.contains("SpatialIndex"), "{text}");
+        assert!(text.contains("Filter(hp"), "{text}");
+        assert!(text.contains("est_cost"), "{text}");
+    }
+
+    #[test]
+    fn est_in_radius_density_model() {
+        let (w, _) = stats_world();
+        let s = TableStats::build(&w);
+        // disk area π·25 over bbox ~99² ≈ 0.8% of 100 entities
+        let est = s.est_in_radius(5.0);
+        assert!(est > 0.2 && est < 3.0, "got {est}");
+        // radius covering everything saturates at positioned count
+        assert_eq!(s.est_in_radius(10_000.0), 100.0);
+    }
+}

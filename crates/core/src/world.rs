@@ -1,0 +1,650 @@
+//! The world: a columnar entity database with a spatial index over
+//! positions.
+//!
+//! "Just as with a database, games require that their data — which is
+//! often the state of the entire world — be in a consistent state." The
+//! [`World`] is that database: entities are rows, components are typed
+//! columns, and the reserved `pos` column is mirrored into a spatial index
+//! so proximity queries (`within`) are O(local density), not O(n).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gamedb_content::{ComponentView, ResolvedTemplate, Value, ValueType};
+use gamedb_spatial::{SpatialIndex, UniformGrid, Vec2};
+
+use crate::column::Column;
+use crate::entity::{EntityAllocator, EntityId};
+
+/// Name of the reserved position component.
+pub const POS: &str = "pos";
+
+/// Errors from world operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    UnknownComponent(String),
+    DuplicateComponent(String),
+    TypeMismatch {
+        component: String,
+        expected: ValueType,
+        got: ValueType,
+    },
+    DeadEntity(EntityId),
+    /// The reserved `pos` component must be `vec2`.
+    ReservedComponent(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownComponent(c) => write!(f, "unknown component {c:?}"),
+            CoreError::DuplicateComponent(c) => write!(f, "component {c:?} already defined"),
+            CoreError::TypeMismatch {
+                component,
+                expected,
+                got,
+            } => write!(f, "component {component:?} is {expected}, got {got}"),
+            CoreError::DeadEntity(id) => write!(f, "entity {id} is not alive"),
+            CoreError::ReservedComponent(c) => {
+                write!(f, "component {c:?} is reserved (pos must be vec2)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// The game world database.
+#[derive(Debug, Clone)]
+pub struct World {
+    alloc: EntityAllocator,
+    columns: BTreeMap<String, Column>,
+    spatial: UniformGrid,
+    tick: u64,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl World {
+    /// Create a world with the default spatial cell size (16 world units).
+    pub fn new() -> Self {
+        Self::with_cell_size(16.0)
+    }
+
+    /// Create a world whose position index uses the given grid cell size.
+    pub fn with_cell_size(cell: f32) -> Self {
+        let mut columns = BTreeMap::new();
+        columns.insert(POS.to_string(), Column::new(ValueType::Vec2));
+        World {
+            alloc: EntityAllocator::new(),
+            columns,
+            spatial: UniformGrid::new(cell),
+            tick: 0,
+        }
+    }
+
+    // ---- schema ----
+
+    /// Define a component column. `pos` is predefined and reserved.
+    pub fn define_component(&mut self, name: &str, ty: ValueType) -> Result<(), CoreError> {
+        if name == POS {
+            return Err(CoreError::ReservedComponent(name.to_string()));
+        }
+        if self.columns.contains_key(name) {
+            return Err(CoreError::DuplicateComponent(name.to_string()));
+        }
+        self.columns.insert(name.to_string(), Column::new(ty));
+        Ok(())
+    }
+
+    /// Component type by name.
+    pub fn component_type(&self, name: &str) -> Option<ValueType> {
+        self.columns.get(name).map(|c| c.ty())
+    }
+
+    /// Iterate `(component name, type)` in name order.
+    pub fn schema(&self) -> impl Iterator<Item = (&str, ValueType)> {
+        self.columns.iter().map(|(n, c)| (n.as_str(), c.ty()))
+    }
+
+    /// Direct column access for scans (None for unknown components).
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.get(name)
+    }
+
+    // ---- entities ----
+
+    /// Spawn an empty entity (no components, no position).
+    pub fn spawn(&mut self) -> EntityId {
+        self.alloc.alloc()
+    }
+
+    /// Spawn an entity at a position.
+    pub fn spawn_at(&mut self, pos: Vec2) -> EntityId {
+        let id = self.alloc.alloc();
+        self.set_pos(id, pos).expect("freshly spawned entity is live");
+        id
+    }
+
+    /// Spawn from a resolved template at a position: every declared
+    /// component gets its default value. Components the world has not seen
+    /// yet are defined on the fly with the template's type.
+    pub fn spawn_from_template(
+        &mut self,
+        template: &ResolvedTemplate,
+        pos: Vec2,
+    ) -> Result<EntityId, CoreError> {
+        // Pre-validate types against existing columns before mutating.
+        for def in template.components.values() {
+            if def.name == POS {
+                if def.ty != ValueType::Vec2 {
+                    return Err(CoreError::ReservedComponent(POS.to_string()));
+                }
+                continue;
+            }
+            if let Some(existing) = self.component_type(&def.name) {
+                if existing != def.ty {
+                    return Err(CoreError::TypeMismatch {
+                        component: def.name.clone(),
+                        expected: existing,
+                        got: def.ty,
+                    });
+                }
+            }
+        }
+        let id = self.spawn_at(pos);
+        for def in template.components.values() {
+            if def.name == POS {
+                if let Value::Vec2(x, y) = def.default {
+                    // explicit template default overrides the spawn pos
+                    // only when nonzero — designers use 0,0 as "unset"
+                    if x != 0.0 || y != 0.0 {
+                        self.set_pos(id, Vec2::new(x, y))?;
+                    }
+                }
+                continue;
+            }
+            if self.component_type(&def.name).is_none() {
+                self.columns
+                    .insert(def.name.clone(), Column::new(def.ty));
+            }
+            self.set(id, &def.name, def.default.clone())?;
+        }
+        Ok(id)
+    }
+
+    /// Restore an entity with an exact id (used by snapshot recovery so
+    /// ids survive a round-trip). Fails when the slot is already live.
+    pub fn restore_entity(&mut self, id: EntityId) -> Result<(), CoreError> {
+        if self.alloc.restore(id) {
+            Ok(())
+        } else {
+            Err(CoreError::DeadEntity(id))
+        }
+    }
+
+    /// Despawn an entity, removing all its components. Returns `false`
+    /// for stale ids.
+    pub fn despawn(&mut self, id: EntityId) -> bool {
+        if !self.alloc.free(id) {
+            return false;
+        }
+        let slot = id.index() as usize;
+        for col in self.columns.values_mut() {
+            col.remove(slot);
+        }
+        self.spatial.remove(id.to_bits());
+        true
+    }
+
+    /// True when `id` is a live entity.
+    #[inline]
+    pub fn is_live(&self, id: EntityId) -> bool {
+        self.alloc.is_live(id)
+    }
+
+    /// Number of live entities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.alloc.live_count()
+    }
+
+    /// True when the world has no entities.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate live entities in slot order (deterministic).
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.alloc.iter_live()
+    }
+
+    /// Collect live entities into a vector (for chunked parallel ticks).
+    pub fn entity_vec(&self) -> Vec<EntityId> {
+        self.entities().collect()
+    }
+
+    // ---- component access ----
+
+    fn check_live(&self, id: EntityId) -> Result<(), CoreError> {
+        if self.is_live(id) {
+            Ok(())
+        } else {
+            Err(CoreError::DeadEntity(id))
+        }
+    }
+
+    /// Set a component value (type-checked). Setting `pos` also moves the
+    /// entity in the spatial index.
+    pub fn set(&mut self, id: EntityId, component: &str, value: Value) -> Result<(), CoreError> {
+        self.check_live(id)?;
+        if component == POS {
+            let Value::Vec2(x, y) = value else {
+                return Err(CoreError::TypeMismatch {
+                    component: POS.to_string(),
+                    expected: ValueType::Vec2,
+                    got: value.value_type(),
+                });
+            };
+            return self.set_pos(id, Vec2::new(x, y));
+        }
+        let col = self
+            .columns
+            .get_mut(component)
+            .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
+        col.set(id.index() as usize, &value)
+            .map_err(|expected| CoreError::TypeMismatch {
+                component: component.to_string(),
+                expected,
+                got: value.value_type(),
+            })
+    }
+
+    /// Component value, or `None` when the entity is dead, the component
+    /// is unknown, or the entity lacks it.
+    pub fn get(&self, id: EntityId, component: &str) -> Option<Value> {
+        if !self.is_live(id) {
+            return None;
+        }
+        self.columns.get(component)?.get(id.index() as usize)
+    }
+
+    /// Remove a component from an entity.
+    pub fn remove_component(&mut self, id: EntityId, component: &str) -> Result<bool, CoreError> {
+        self.check_live(id)?;
+        if component == POS {
+            self.spatial.remove(id.to_bits());
+        }
+        let col = self
+            .columns
+            .get_mut(component)
+            .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
+        Ok(col.remove(id.index() as usize))
+    }
+
+    // ---- typed fast paths ----
+
+    /// `f32` component value.
+    #[inline]
+    pub fn get_f32(&self, id: EntityId, component: &str) -> Option<f32> {
+        if !self.is_live(id) {
+            return None;
+        }
+        self.columns.get(component)?.get_f32(id.index() as usize)
+    }
+
+    /// Set an `f32` component (must be float-typed and defined).
+    pub fn set_f32(&mut self, id: EntityId, component: &str, v: f32) -> Result<(), CoreError> {
+        self.set(id, component, Value::Float(v))
+    }
+
+    /// `i64` component value.
+    #[inline]
+    pub fn get_i64(&self, id: EntityId, component: &str) -> Option<i64> {
+        if !self.is_live(id) {
+            return None;
+        }
+        self.columns.get(component)?.get_i64(id.index() as usize)
+    }
+
+    /// `bool` component value.
+    #[inline]
+    pub fn get_bool(&self, id: EntityId, component: &str) -> Option<bool> {
+        if !self.is_live(id) {
+            return None;
+        }
+        self.columns.get(component)?.get_bool(id.index() as usize)
+    }
+
+    /// Numeric component view (float or int).
+    #[inline]
+    pub fn get_number(&self, id: EntityId, component: &str) -> Option<f64> {
+        if !self.is_live(id) {
+            return None;
+        }
+        self.columns.get(component)?.get_number(id.index() as usize)
+    }
+
+    // ---- position & spatial queries ----
+
+    /// Position of an entity.
+    #[inline]
+    pub fn pos(&self, id: EntityId) -> Option<Vec2> {
+        if !self.is_live(id) {
+            return None;
+        }
+        self.columns[POS]
+            .get_v2(id.index() as usize)
+            .map(|[x, y]| Vec2::new(x, y))
+    }
+
+    /// Move an entity (keeps the spatial index in sync).
+    pub fn set_pos(&mut self, id: EntityId, pos: Vec2) -> Result<(), CoreError> {
+        self.check_live(id)?;
+        self.columns
+            .get_mut(POS)
+            .expect("pos column always exists")
+            .set(id.index() as usize, &Value::Vec2(pos.x, pos.y))
+            .expect("pos column is vec2");
+        self.spatial.update(id.to_bits(), pos);
+        Ok(())
+    }
+
+    /// Append every entity within the closed disk to `out`.
+    pub fn within(&self, center: Vec2, radius: f32, out: &mut Vec<EntityId>) {
+        let mut bits = Vec::new();
+        self.spatial.query_range(center, radius, &mut bits);
+        out.extend(bits.into_iter().map(EntityId::from_bits));
+        out.sort_unstable(); // deterministic order for scripts
+    }
+
+    /// The `k` nearest positioned entities to `center`, closest first.
+    pub fn knn(&self, center: Vec2, k: usize, out: &mut Vec<EntityId>) {
+        let mut bits = Vec::new();
+        self.spatial.query_knn(center, k, &mut bits);
+        out.extend(bits.into_iter().map(EntityId::from_bits));
+    }
+
+    /// Nearest positioned entity to `center` other than `exclude`.
+    pub fn nearest_other(&self, center: Vec2, exclude: EntityId) -> Option<EntityId> {
+        self.spatial
+            .nearest_excluding(center, exclude.to_bits())
+            .map(EntityId::from_bits)
+    }
+
+    /// All pairs `(a, b)` with `a < b` whose positions are within
+    /// `radius`, via the spatial index — the index join the paper
+    /// contrasts with designers' accidental O(n²) loops.
+    pub fn pairs_within(&self, radius: f32) -> Vec<(EntityId, EntityId)> {
+        let mut pairs = Vec::new();
+        let mut near = Vec::new();
+        for a in self.entities() {
+            let Some(p) = self.pos(a) else { continue };
+            near.clear();
+            self.spatial.query_range(p, radius, &mut near);
+            for &bits in &near {
+                let b = EntityId::from_bits(bits);
+                if a < b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Same result as [`World::pairs_within`] computed by the naive
+    /// nested loop — the Ω(n²) baseline of experiment E1.
+    pub fn pairs_within_naive(&self, radius: f32) -> Vec<(EntityId, EntityId)> {
+        let r2 = radius * radius;
+        let ids: Vec<EntityId> = self.entities().collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in ids.iter().enumerate() {
+            let Some(pa) = self.pos(a) else { continue };
+            for &b in &ids[i + 1..] {
+                let Some(pb) = self.pos(b) else { continue };
+                if pa.dist2(pb) <= r2 {
+                    pairs.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    // ---- tick counter ----
+
+    /// Current tick number.
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advance the tick counter (the executor calls this).
+    pub(crate) fn bump_tick(&mut self) {
+        self.tick += 1;
+    }
+
+    /// Adapter implementing [`ComponentView`] for one entity, for trigger
+    /// guard evaluation.
+    pub fn view(&self, id: EntityId) -> WorldEntityView<'_> {
+        WorldEntityView { world: self, id }
+    }
+
+    /// Dump all `(entity, component, value)` rows in deterministic order —
+    /// the persistence layer serializes this.
+    pub fn rows(&self) -> Vec<(EntityId, String, Value)> {
+        let mut rows = Vec::new();
+        for id in self.entities() {
+            let slot = id.index() as usize;
+            for (name, col) in &self.columns {
+                if let Some(v) = col.get(slot) {
+                    rows.push((id, name.clone(), v));
+                }
+            }
+        }
+        rows
+    }
+}
+
+/// [`ComponentView`] over one world entity.
+pub struct WorldEntityView<'a> {
+    world: &'a World,
+    id: EntityId,
+}
+
+impl ComponentView for WorldEntityView<'_> {
+    fn get(&self, component: &str) -> Option<Value> {
+        self.world.get(self.id, component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32) -> Vec2 {
+        Vec2::new(x, y)
+    }
+
+    fn world_with_hp() -> World {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w
+    }
+
+    #[test]
+    fn spawn_set_get() {
+        let mut w = world_with_hp();
+        let e = w.spawn_at(v(1.0, 2.0));
+        w.set_f32(e, "hp", 50.0).unwrap();
+        assert_eq!(w.get_f32(e, "hp"), Some(50.0));
+        assert_eq!(w.pos(e), Some(v(1.0, 2.0)));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn schema_errors() {
+        let mut w = world_with_hp();
+        assert_eq!(
+            w.define_component("hp", ValueType::Int),
+            Err(CoreError::DuplicateComponent("hp".into()))
+        );
+        assert_eq!(
+            w.define_component(POS, ValueType::Vec2),
+            Err(CoreError::ReservedComponent(POS.into()))
+        );
+        let e = w.spawn();
+        assert_eq!(
+            w.set(e, "mana", Value::Float(1.0)),
+            Err(CoreError::UnknownComponent("mana".into()))
+        );
+        assert!(matches!(
+            w.set(e, "hp", Value::Int(5)),
+            Err(CoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dead_entity_access_fails() {
+        let mut w = world_with_hp();
+        let e = w.spawn_at(v(0.0, 0.0));
+        w.set_f32(e, "hp", 10.0).unwrap();
+        assert!(w.despawn(e));
+        assert!(!w.despawn(e));
+        assert_eq!(w.get_f32(e, "hp"), None);
+        assert_eq!(w.pos(e), None);
+        assert_eq!(w.set_f32(e, "hp", 1.0), Err(CoreError::DeadEntity(e)));
+        // slot reuse does not leak old components
+        let e2 = w.spawn();
+        assert_eq!(e2.index(), e.index());
+        assert_eq!(w.get_f32(e2, "hp"), None);
+    }
+
+    #[test]
+    fn spatial_sync_on_move_and_despawn() {
+        let mut w = World::new();
+        let a = w.spawn_at(v(0.0, 0.0));
+        let b = w.spawn_at(v(100.0, 0.0));
+        let mut out = vec![];
+        w.within(v(0.0, 0.0), 10.0, &mut out);
+        assert_eq!(out, vec![a]);
+
+        w.set_pos(b, v(5.0, 0.0)).unwrap();
+        out.clear();
+        w.within(v(0.0, 0.0), 10.0, &mut out);
+        assert_eq!(out, vec![a, b]);
+
+        w.despawn(a);
+        out.clear();
+        w.within(v(0.0, 0.0), 10.0, &mut out);
+        assert_eq!(out, vec![b]);
+    }
+
+    #[test]
+    fn set_pos_via_dynamic_value() {
+        let mut w = World::new();
+        let e = w.spawn_at(v(0.0, 0.0));
+        w.set(e, POS, Value::Vec2(9.0, 9.0)).unwrap();
+        assert_eq!(w.pos(e), Some(v(9.0, 9.0)));
+        let mut out = vec![];
+        w.within(v(9.0, 9.0), 0.5, &mut out);
+        assert_eq!(out, vec![e]);
+        assert!(matches!(
+            w.set(e, POS, Value::Float(1.0)),
+            Err(CoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pairs_index_matches_naive() {
+        let mut w = World::new();
+        for i in 0..30 {
+            w.spawn_at(v((i % 6) as f32 * 3.0, (i / 6) as f32 * 3.0));
+        }
+        assert_eq!(w.pairs_within(4.0), w.pairs_within_naive(4.0));
+        assert_eq!(w.pairs_within(0.0).len(), 0);
+    }
+
+    #[test]
+    fn knn_and_nearest_other() {
+        let mut w = World::new();
+        let a = w.spawn_at(v(0.0, 0.0));
+        let b = w.spawn_at(v(1.0, 0.0));
+        let c = w.spawn_at(v(5.0, 0.0));
+        let mut out = vec![];
+        w.knn(v(0.0, 0.0), 2, &mut out);
+        assert_eq!(out, vec![a, b]);
+        assert_eq!(w.nearest_other(v(0.0, 0.0), a), Some(b));
+        assert_eq!(w.nearest_other(v(5.0, 0.0), c), Some(b));
+    }
+
+    #[test]
+    fn template_spawn() {
+        use gamedb_content::{gdml, TemplateLibrary};
+        let lib = TemplateLibrary::from_gdml(
+            &gdml::parse(
+                r#"<templates>
+                     <template name="imp" tags="hostile">
+                       <component name="hp" type="float" default="25"/>
+                       <component name="name" type="str" default="imp"/>
+                     </template>
+                   </templates>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let imp = lib.resolve("imp").unwrap();
+        let mut w = World::new();
+        let e = w.spawn_from_template(&imp, v(3.0, 4.0)).unwrap();
+        assert_eq!(w.get_f32(e, "hp"), Some(25.0));
+        assert_eq!(w.get(e, "name"), Some(Value::Str("imp".into())));
+        assert_eq!(w.pos(e), Some(v(3.0, 4.0)));
+        // component columns were auto-defined
+        assert_eq!(w.component_type("hp"), Some(ValueType::Float));
+
+        // conflicting type in a later template is rejected before mutation
+        let lib2 = TemplateLibrary::from_gdml(
+            &gdml::parse(
+                r#"<templates>
+                     <template name="bad">
+                       <component name="hp" type="str" default="full"/>
+                     </template>
+                   </templates>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let bad = lib2.resolve("bad").unwrap();
+        let before = w.len();
+        assert!(w.spawn_from_template(&bad, v(0.0, 0.0)).is_err());
+        assert_eq!(w.len(), before, "failed spawn must not leave an entity");
+    }
+
+    #[test]
+    fn rows_dump_deterministic() {
+        let mut w = world_with_hp();
+        let a = w.spawn_at(v(1.0, 1.0));
+        w.set_f32(a, "hp", 5.0).unwrap();
+        let rows = w.rows();
+        assert_eq!(rows.len(), 2); // hp + pos
+        assert_eq!(rows[0].1, "hp");
+        assert_eq!(rows[1].1, "pos");
+    }
+
+    #[test]
+    fn component_view_adapter() {
+        use gamedb_content::ComponentView as _;
+        let mut w = world_with_hp();
+        let e = w.spawn_at(v(0.0, 0.0));
+        w.set_f32(e, "hp", 42.0).unwrap();
+        let view = w.view(e);
+        assert_eq!(view.get("hp"), Some(Value::Float(42.0)));
+        assert_eq!(view.get("mana"), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the core engine:
+//! * parallel ticks are bit-identical to sequential ticks (the state–effect
+//!   determinism guarantee);
+//! * the index join equals the naive nested-loop join;
+//! * queries agree with a straightforward reference evaluation.
+
+use gamedb_content::{CmpOp, Value, ValueType};
+use gamedb_core::{Effect, EffectBuffer, EntityId, Query, TickExecutor, World};
+use gamedb_spatial::Vec2;
+use proptest::prelude::*;
+
+fn build_world(positions: &[(f32, f32)], hps: &[f32]) -> World {
+    let mut w = World::new();
+    w.define_component("hp", ValueType::Float).unwrap();
+    w.define_component("dmg", ValueType::Float).unwrap();
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        let e = w.spawn_at(Vec2::new(x, y));
+        w.set_f32(e, "hp", hps[i % hps.len()]).unwrap();
+        w.set_f32(e, "dmg", 1.0 + (i % 4) as f32).unwrap();
+    }
+    w
+}
+
+fn combat(id: EntityId, world: &World, buf: &mut EffectBuffer) {
+    let Some(p) = world.pos(id) else { return };
+    let dmg = world.get_f32(id, "dmg").unwrap_or(0.0) as f64;
+    let mut near = Vec::new();
+    world.within(p, 8.0, &mut near);
+    for other in near {
+        if other != id {
+            buf.push(other, "hp", Effect::Add(-dmg));
+            buf.push(other, "hp", Effect::Max(0.0));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_tick_deterministic(
+        positions in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 1..120),
+        hps in proptest::collection::vec(1.0f32..200.0, 1..8),
+        threads in 2usize..6,
+        ticks in 1usize..4,
+    ) {
+        let mut w_seq = build_world(&positions, &hps);
+        let mut w_par = build_world(&positions, &hps);
+        let seq = TickExecutor::sequential();
+        let par = TickExecutor::parallel(threads).with_min_chunk(4);
+        for _ in 0..ticks {
+            seq.run_tick(&mut w_seq, &[&combat]).unwrap();
+            par.run_tick(&mut w_par, &[&combat]).unwrap();
+        }
+        prop_assert_eq!(w_seq.rows(), w_par.rows());
+    }
+
+    #[test]
+    fn index_join_equals_naive_join(
+        positions in proptest::collection::vec((-60.0f32..60.0, -60.0f32..60.0), 0..80),
+        radius in 0.0f32..40.0,
+    ) {
+        let hps = [10.0];
+        let w = build_world(&positions, &hps);
+        prop_assert_eq!(w.pairs_within(radius), w.pairs_within_naive(radius));
+    }
+
+    #[test]
+    fn query_matches_reference_scan(
+        positions in proptest::collection::vec((-30.0f32..30.0, -30.0f32..30.0), 0..60),
+        hps in proptest::collection::vec(0.0f32..100.0, 1..6),
+        threshold in 0.0f32..100.0,
+        cx in -30.0f32..30.0,
+        cy in -30.0f32..30.0,
+        r in 0.0f32..50.0,
+    ) {
+        let w = build_world(&positions, &hps);
+        let q = Query::select()
+            .filter("hp", CmpOp::Lt, Value::Float(threshold))
+            .within(Vec2::new(cx, cy), r);
+        let got = q.run(&w);
+        // reference: full scan
+        let expect: Vec<EntityId> = w.entities().filter(|&id| {
+            let hp_ok = w.get_f32(id, "hp").is_some_and(|hp| hp < threshold);
+            let pos_ok = w.pos(id).is_some_and(|p| p.dist(Vec2::new(cx, cy)) <= r);
+            hp_ok && pos_ok
+        }).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Spawning from random effect buffers and despawning never corrupts
+    /// the world (len matches live iteration, rows never panic).
+    #[test]
+    fn spawn_despawn_consistency(
+        seq in proptest::collection::vec(prop_oneof![
+            (0u32..16).prop_map(|i| (true, i)),
+            (0u32..16).prop_map(|i| (false, i)),
+        ], 0..64),
+    ) {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let mut spawned: Vec<EntityId> = Vec::new();
+        for (is_spawn, i) in seq {
+            if is_spawn {
+                let e = w.spawn_at(Vec2::new(i as f32, 0.0));
+                w.set_f32(e, "hp", i as f32).unwrap();
+                spawned.push(e);
+            } else if !spawned.is_empty() {
+                let idx = (i as usize) % spawned.len();
+                let victim = spawned.swap_remove(idx);
+                w.despawn(victim);
+            }
+        }
+        prop_assert_eq!(w.len(), spawned.len());
+        prop_assert_eq!(w.entities().count(), spawned.len());
+        for e in &spawned {
+            prop_assert!(w.is_live(*e));
+        }
+        let _ = w.rows();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The cost-based planner must be a pure optimization: whatever
+    /// access path and predicate order it picks, the result set equals
+    /// the reference Query evaluation.
+    #[test]
+    fn planned_query_equals_reference(
+        positions in proptest::collection::vec((-60.0f32..60.0, -60.0f32..60.0), 1..60),
+        hps in proptest::collection::vec(0.0f32..100.0, 1..8),
+        center in (-60.0f32..60.0, -60.0f32..60.0),
+        radius in 0.5f32..200.0,
+        hp_bound in 0.0f32..100.0,
+        use_within in any::<bool>(),
+        exclude_first in any::<bool>(),
+    ) {
+        use gamedb_core::{plan, TableStats};
+        let w = build_world(&positions, &hps);
+        let stats = TableStats::build(&w);
+        let first = w.entities().next();
+        let mut q = Query::select()
+            .filter("hp", CmpOp::Le, Value::Float(hp_bound))
+            .filter("dmg", CmpOp::Ge, Value::Float(2.0));
+        if use_within {
+            q = q.within(Vec2::new(center.0, center.1), radius);
+        }
+        if exclude_first {
+            if let Some(e) = first {
+                q = q.excluding(e);
+            }
+        }
+        let p = plan(&q, &stats);
+        prop_assert_eq!(p.run(&w), q.run(&w), "plan: {}", p.explain());
+    }
+}

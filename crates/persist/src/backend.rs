@@ -1,0 +1,323 @@
+//! The durable backend — our stand-in for the "commercial database" the
+//! paper's MMOs checkpoint into.
+//!
+//! A directory-based store with atomic snapshot installation (write to a
+//! temp file, then rename) and an append-only event log. Crash injection
+//! is built in: [`Backend::crash`] drops everything that was not yet
+//! flushed, exactly what power loss does to page caches — the recovery
+//! experiments (E9) rely on it.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+
+/// Errors from the backend.
+#[derive(Debug)]
+pub enum BackendError {
+    Io(std::io::Error),
+    NoSnapshot,
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Io(e) => write!(f, "io error: {e}"),
+            BackendError::NoSnapshot => write!(f, "no snapshot in backend"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<std::io::Error> for BackendError {
+    fn from(e: std::io::Error) -> Self {
+        BackendError::Io(e)
+    }
+}
+
+/// A directory-backed durable store with crash injection.
+#[derive(Debug)]
+pub struct Backend {
+    dir: PathBuf,
+    /// writes buffered since the last flush (crash discards these)
+    unflushed: Vec<PendingWrite>,
+    /// total bytes durably written (the DB-load metric of E9)
+    pub bytes_written: u64,
+    /// snapshots durably installed
+    pub snapshots_written: u64,
+}
+
+#[derive(Debug)]
+enum PendingWrite {
+    Snapshot { seq: u64, data: Bytes },
+    Delta { seq: u64, data: Bytes },
+    LogAppend { data: Vec<u8> },
+    LogReplace { data: Vec<u8> },
+}
+
+impl Backend {
+    /// Open (or create) a backend in `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, BackendError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(Backend {
+            dir,
+            unflushed: Vec::new(),
+            bytes_written: 0,
+            snapshots_written: 0,
+        })
+    }
+
+    /// Directory this backend persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Queue a snapshot write (durable only after [`Backend::flush`]).
+    pub fn put_snapshot(&mut self, seq: u64, data: Bytes) {
+        self.unflushed.push(PendingWrite::Snapshot { seq, data });
+    }
+
+    /// Queue a delta (incremental snapshot) write.
+    pub fn put_delta(&mut self, seq: u64, data: Bytes) {
+        self.unflushed.push(PendingWrite::Delta { seq, data });
+    }
+
+    /// Queue an event-log append.
+    pub fn append_log(&mut self, data: &[u8]) {
+        self.unflushed.push(PendingWrite::LogAppend {
+            data: data.to_vec(),
+        });
+    }
+
+    /// Queue an atomic rewrite of the event log (WAL compaction: the
+    /// prefix before the last checkpoint mark is dead weight).
+    pub fn replace_log(&mut self, data: &[u8]) {
+        self.unflushed.push(PendingWrite::LogReplace {
+            data: data.to_vec(),
+        });
+    }
+
+    /// Flush all queued writes durably (temp-file + rename for snapshots,
+    /// append for the log).
+    pub fn flush(&mut self) -> Result<(), BackendError> {
+        for w in self.unflushed.drain(..) {
+            match w {
+                PendingWrite::Snapshot { seq, data } => {
+                    let tmp = self.dir.join(format!("snapshot-{seq}.tmp"));
+                    let fin = self.dir.join(format!("snapshot-{seq}.db"));
+                    let mut f = fs::File::create(&tmp)?;
+                    f.write_all(&data)?;
+                    f.sync_all()?;
+                    fs::rename(&tmp, &fin)?;
+                    self.bytes_written += data.len() as u64;
+                    self.snapshots_written += 1;
+                }
+                PendingWrite::Delta { seq, data } => {
+                    let tmp = self.dir.join(format!("delta-{seq}.tmp"));
+                    let fin = self.dir.join(format!("delta-{seq}.db"));
+                    let mut f = fs::File::create(&tmp)?;
+                    f.write_all(&data)?;
+                    f.sync_all()?;
+                    fs::rename(&tmp, &fin)?;
+                    self.bytes_written += data.len() as u64;
+                }
+                PendingWrite::LogAppend { data } => {
+                    let mut f = fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(self.dir.join("events.log"))?;
+                    f.write_all(&data)?;
+                    f.sync_all()?;
+                    self.bytes_written += data.len() as u64;
+                }
+                PendingWrite::LogReplace { data } => {
+                    let tmp = self.dir.join("events.log.tmp");
+                    let fin = self.dir.join("events.log");
+                    let mut f = fs::File::create(&tmp)?;
+                    f.write_all(&data)?;
+                    f.sync_all()?;
+                    fs::rename(&tmp, &fin)?;
+                    self.bytes_written += data.len() as u64;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulate a crash: all unflushed writes vanish.
+    pub fn crash(&mut self) {
+        self.unflushed.clear();
+    }
+
+    fn seqs_with_prefix(&self, prefix: &str) -> Result<Vec<u64>, BackendError> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix(prefix) {
+                if let Some(num) = rest.strip_suffix(".db") {
+                    if let Ok(seq) = num.parse::<u64>() {
+                        seqs.push(seq);
+                    }
+                }
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    /// Sequence numbers of durably installed snapshots, ascending.
+    pub fn snapshot_seqs(&self) -> Result<Vec<u64>, BackendError> {
+        self.seqs_with_prefix("snapshot-")
+    }
+
+    /// Sequence numbers of durably installed deltas, ascending.
+    pub fn delta_seqs(&self) -> Result<Vec<u64>, BackendError> {
+        self.seqs_with_prefix("delta-")
+    }
+
+    /// Read one durable delta.
+    pub fn read_delta(&self, seq: u64) -> Result<Vec<u8>, BackendError> {
+        Ok(fs::read(self.dir.join(format!("delta-{seq}.db")))?)
+    }
+
+    /// Delete durable deltas with sequence <= `upto` (they are subsumed
+    /// once a newer full snapshot lands).
+    pub fn prune_deltas_upto(&mut self, upto: u64) -> Result<usize, BackendError> {
+        let mut removed = 0;
+        for seq in self.delta_seqs()? {
+            if seq <= upto {
+                fs::remove_file(self.dir.join(format!("delta-{seq}.db")))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Durable size of the event log in bytes.
+    pub fn log_len(&self) -> Result<u64, BackendError> {
+        match fs::metadata(self.dir.join("events.log")) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Load the latest durable snapshot.
+    pub fn latest_snapshot(&self) -> Result<(u64, Vec<u8>), BackendError> {
+        let seq = *self
+            .snapshot_seqs()?
+            .last()
+            .ok_or(BackendError::NoSnapshot)?;
+        let data = fs::read(self.dir.join(format!("snapshot-{seq}.db")))?;
+        Ok((seq, data))
+    }
+
+    /// Delete durable snapshots older than the newest `keep` (retention).
+    pub fn prune_snapshots(&mut self, keep: usize) -> Result<usize, BackendError> {
+        let seqs = self.snapshot_seqs()?;
+        let mut removed = 0;
+        if seqs.len() > keep {
+            for seq in &seqs[..seqs.len() - keep] {
+                fs::remove_file(self.dir.join(format!("snapshot-{seq}.db")))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Read the whole event log (empty when none).
+    pub fn read_log(&self) -> Result<Vec<u8>, BackendError> {
+        match fs::read(self.dir.join("events.log")) {
+            Ok(v) => Ok(v),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Create a unique temp directory for tests and experiments.
+pub fn temp_dir(label: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("gamedb-{label}-{pid}-{n}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_flush_and_reload() {
+        let mut b = Backend::open(temp_dir("backend1")).unwrap();
+        b.put_snapshot(1, Bytes::from_static(b"alpha"));
+        b.put_snapshot(2, Bytes::from_static(b"beta"));
+        b.flush().unwrap();
+        let (seq, data) = b.latest_snapshot().unwrap();
+        assert_eq!(seq, 2);
+        assert_eq!(data, b"beta");
+        assert_eq!(b.snapshots_written, 2);
+        assert_eq!(b.snapshot_seqs().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn crash_discards_unflushed() {
+        let mut b = Backend::open(temp_dir("backend2")).unwrap();
+        b.put_snapshot(1, Bytes::from_static(b"first"));
+        b.flush().unwrap();
+        b.put_snapshot(2, Bytes::from_static(b"second"));
+        b.crash();
+        let (seq, data) = b.latest_snapshot().unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(data, b"first");
+    }
+
+    #[test]
+    fn empty_backend_has_no_snapshot() {
+        let b = Backend::open(temp_dir("backend3")).unwrap();
+        assert!(matches!(
+            b.latest_snapshot(),
+            Err(BackendError::NoSnapshot)
+        ));
+    }
+
+    #[test]
+    fn log_appends_accumulate() {
+        let mut b = Backend::open(temp_dir("backend4")).unwrap();
+        b.append_log(b"one|");
+        b.append_log(b"two|");
+        b.flush().unwrap();
+        b.append_log(b"lost");
+        b.crash();
+        assert_eq!(b.read_log().unwrap(), b"one|two|");
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let mut b = Backend::open(temp_dir("backend5")).unwrap();
+        for seq in 1..=5 {
+            b.put_snapshot(seq, Bytes::from(vec![seq as u8]));
+        }
+        b.flush().unwrap();
+        let removed = b.prune_snapshots(2).unwrap();
+        assert_eq!(removed, 3);
+        assert_eq!(b.snapshot_seqs().unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn bytes_written_tracks_durable_volume() {
+        let mut b = Backend::open(temp_dir("backend6")).unwrap();
+        b.put_snapshot(1, Bytes::from_static(b"0123456789"));
+        b.append_log(b"abcde");
+        assert_eq!(b.bytes_written, 0, "nothing durable before flush");
+        b.flush().unwrap();
+        assert_eq!(b.bytes_written, 15);
+    }
+}

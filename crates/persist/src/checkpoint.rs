@@ -1,0 +1,495 @@
+//! Checkpoint policies and the write-behind game store.
+//!
+//! "Most games have an in-memory database layer that processes all
+//! actions, and only writes to the database periodically. In some games,
+//! these checkpoints can be as far as 10 minutes apart. … games need ways
+//! to checkpoint intelligently, writing to the database when important
+//! events are completed, and not just at regular intervals."
+//!
+//! [`GameStore`] is that in-memory layer; [`CheckpointPolicy`] chooses
+//! when a snapshot goes to the durable backend: on a fixed period, when
+//! accumulated event importance crosses a threshold (the "intelligent"
+//! policy), or a hybrid of both.
+
+use bytes::Bytes;
+use gamedb_core::World;
+
+use crate::backend::{Backend, BackendError};
+use crate::delta::{self, RowHashes};
+use crate::snapshot;
+
+/// A game event's persistence importance, as scored by the game: routine
+/// movement ~0, boss kills and rare loot high.
+pub type Importance = f64;
+
+/// When to write a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointPolicy {
+    /// Every `period` seconds of game time.
+    Periodic { period: f64 },
+    /// When accumulated importance since the last checkpoint reaches
+    /// `threshold` — important events flush promptly, quiet periods
+    /// write nothing.
+    EventDriven { threshold: Importance },
+    /// Event-driven with a periodic backstop: checkpoint when either
+    /// condition fires.
+    Hybrid { period: f64, threshold: Importance },
+}
+
+/// Full snapshots every time, or a delta chain with periodic full
+/// snapshots (the incremental mode every large MMO ends up with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Every checkpoint is a complete world snapshot.
+    Full,
+    /// Deltas between full snapshots; every `full_every`-th checkpoint is
+    /// full and prunes the delta chain behind it.
+    Incremental { full_every: u64 },
+}
+
+impl SnapshotMode {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SnapshotMode::Full => "full".into(),
+            SnapshotMode::Incremental { full_every } => format!("incr(full every {full_every})"),
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            CheckpointPolicy::Periodic { period } => format!("periodic({period}s)"),
+            CheckpointPolicy::EventDriven { threshold } => format!("event({threshold})"),
+            CheckpointPolicy::Hybrid { period, threshold } => {
+                format!("hybrid({period}s,{threshold})")
+            }
+        }
+    }
+}
+
+/// Statistics from a store's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StoreStats {
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Bytes shipped to the backend.
+    pub bytes_written: u64,
+    /// Events observed.
+    pub events: u64,
+    /// Total importance observed.
+    pub importance_observed: f64,
+}
+
+/// The in-memory database layer with write-behind checkpointing.
+pub struct GameStore {
+    /// The live world (all reads and writes hit memory).
+    pub world: World,
+    backend: Backend,
+    policy: CheckpointPolicy,
+    mode: SnapshotMode,
+    /// row-hash baseline from the last checkpoint (incremental mode)
+    hashes: RowHashes,
+    /// game-time seconds
+    now: f64,
+    last_checkpoint_at: f64,
+    importance_since_cp: Importance,
+    next_seq: u64,
+    /// stats
+    pub stats: StoreStats,
+}
+
+impl GameStore {
+    /// Wrap a world with a backend and a policy. Writes an initial
+    /// checkpoint so recovery always has a base.
+    pub fn new(
+        world: World,
+        backend: Backend,
+        policy: CheckpointPolicy,
+    ) -> Result<Self, BackendError> {
+        Self::with_mode(world, backend, policy, SnapshotMode::Full)
+    }
+
+    /// Wrap a world, choosing full or incremental checkpoints.
+    pub fn with_mode(
+        world: World,
+        mut backend: Backend,
+        policy: CheckpointPolicy,
+        mode: SnapshotMode,
+    ) -> Result<Self, BackendError> {
+        let data = snapshot::encode(&world);
+        backend.put_snapshot(0, data);
+        backend.flush()?;
+        let hashes = match mode {
+            SnapshotMode::Full => RowHashes::new(),
+            SnapshotMode::Incremental { .. } => delta::row_hashes(&world),
+        };
+        Ok(GameStore {
+            world,
+            backend,
+            policy,
+            mode,
+            hashes,
+            now: 0.0,
+            last_checkpoint_at: 0.0,
+            importance_since_cp: 0.0,
+            next_seq: 1,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The snapshot mode in force.
+    pub fn mode(&self) -> SnapshotMode {
+        self.mode
+    }
+
+    /// Current game time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Game time of the last durable checkpoint.
+    pub fn last_checkpoint_at(&self) -> f64 {
+        self.last_checkpoint_at
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> CheckpointPolicy {
+        self.policy
+    }
+
+    /// Backend access (benchmarks read write volumes).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Advance game time and report an event of the given importance;
+    /// checkpoints when the policy says so. Returns `true` if a
+    /// checkpoint was written.
+    pub fn observe(&mut self, dt: f64, importance: Importance) -> Result<bool, BackendError> {
+        self.now += dt;
+        self.stats.events += 1;
+        self.stats.importance_observed += importance;
+        self.importance_since_cp += importance;
+        let fire = match self.policy {
+            CheckpointPolicy::Periodic { period } => {
+                self.now - self.last_checkpoint_at >= period
+            }
+            CheckpointPolicy::EventDriven { threshold } => {
+                self.importance_since_cp >= threshold
+            }
+            CheckpointPolicy::Hybrid { period, threshold } => {
+                self.now - self.last_checkpoint_at >= period
+                    || self.importance_since_cp >= threshold
+            }
+        };
+        if fire {
+            self.checkpoint()?;
+        }
+        Ok(fire)
+    }
+
+    /// Force a checkpoint now (server shutdown path). In incremental
+    /// mode, writes a delta unless this sequence is due a full snapshot
+    /// (which also prunes the delta chain it subsumes).
+    pub fn checkpoint(&mut self) -> Result<(), BackendError> {
+        let full_due = match self.mode {
+            SnapshotMode::Full => true,
+            SnapshotMode::Incremental { full_every } => {
+                self.next_seq.is_multiple_of(full_every.max(1))
+            }
+        };
+        let len = if full_due {
+            let data: Bytes = snapshot::encode(&self.world);
+            let len = data.len() as u64;
+            self.backend.put_snapshot(self.next_seq, data);
+            self.backend.flush()?;
+            self.backend.prune_deltas_upto(self.next_seq)?;
+            if matches!(self.mode, SnapshotMode::Incremental { .. }) {
+                self.hashes = delta::row_hashes(&self.world);
+            }
+            len
+        } else {
+            let (data, fresh) = delta::encode_delta(&self.world, &self.hashes);
+            let len = data.len() as u64;
+            self.backend.put_delta(self.next_seq, data);
+            self.backend.flush()?;
+            self.hashes = fresh;
+            len
+        };
+        self.next_seq += 1;
+        self.last_checkpoint_at = self.now;
+        self.importance_since_cp = 0.0;
+        self.stats.checkpoints += 1;
+        self.stats.bytes_written += len;
+        Ok(())
+    }
+
+    /// Simulate a server crash followed by recovery from the backend.
+    /// The world rolls back to the latest durable checkpoint. Returns the
+    /// recovered store.
+    pub fn crash_and_recover(mut self) -> Result<(GameStore, RecoveryReport), BackendError> {
+        self.backend.crash();
+        let (seq, data) = self.backend.latest_snapshot()?;
+        let (mut world, _tick) = snapshot::decode(&data)
+            .map_err(|e| BackendError::Io(std::io::Error::other(e.to_string())))?;
+        // incremental mode: replay the delta chain after the snapshot
+        let mut recovered_seq = seq;
+        for dseq in self.backend.delta_seqs()? {
+            if dseq > seq {
+                let ddata = self.backend.read_delta(dseq)?;
+                delta::apply_delta(&mut world, &ddata)
+                    .map_err(|e| BackendError::Io(std::io::Error::other(e.to_string())))?;
+                recovered_seq = dseq;
+            }
+        }
+        let report = RecoveryReport {
+            recovered_seq,
+            lost_game_seconds: self.now - self.last_checkpoint_at,
+            lost_importance: self.importance_since_cp,
+        };
+        let hashes = match self.mode {
+            SnapshotMode::Full => RowHashes::new(),
+            SnapshotMode::Incremental { .. } => delta::row_hashes(&world),
+        };
+        let store = GameStore {
+            world,
+            backend: self.backend,
+            policy: self.policy,
+            mode: self.mode,
+            hashes,
+            now: self.last_checkpoint_at,
+            last_checkpoint_at: self.last_checkpoint_at,
+            importance_since_cp: 0.0,
+            next_seq: self.next_seq,
+            stats: self.stats,
+        };
+        Ok((store, report))
+    }
+}
+
+/// What a crash cost the players.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Snapshot sequence recovered from.
+    pub recovered_seq: u64,
+    /// Game seconds of progress rolled back.
+    pub lost_game_seconds: f64,
+    /// Importance (boss kills, rare loot…) rolled back — what the paper
+    /// means by "repeat a difficult fight or lose a particularly
+    /// desirable reward".
+    pub lost_importance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::temp_dir;
+    use gamedb_content::ValueType;
+    use gamedb_spatial::Vec2;
+
+    fn store(policy: CheckpointPolicy, label: &str) -> GameStore {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let e = w.spawn_at(Vec2::ZERO);
+        w.set_f32(e, "hp", 100.0).unwrap();
+        let backend = Backend::open(temp_dir(label)).unwrap();
+        GameStore::new(w, backend, policy).unwrap()
+    }
+
+    #[test]
+    fn periodic_checkpoints_fire_on_schedule() {
+        let mut s = store(CheckpointPolicy::Periodic { period: 10.0 }, "cp1");
+        assert!(!s.observe(4.0, 0.0).unwrap());
+        assert!(!s.observe(4.0, 100.0).unwrap(), "importance ignored");
+        assert!(s.observe(4.0, 0.0).unwrap(), "12s elapsed >= 10s");
+        assert_eq!(s.stats.checkpoints, 1);
+        assert!(!s.observe(9.0, 0.0).unwrap());
+        assert!(s.observe(1.5, 0.0).unwrap());
+    }
+
+    #[test]
+    fn event_driven_fires_on_importance() {
+        let mut s = store(CheckpointPolicy::EventDriven { threshold: 10.0 }, "cp2");
+        assert!(!s.observe(1000.0, 1.0).unwrap(), "time ignored");
+        assert!(!s.observe(1.0, 5.0).unwrap());
+        assert!(s.observe(1.0, 4.0).unwrap(), "accumulated 10");
+        // importance resets after checkpoint
+        assert!(!s.observe(1.0, 9.9).unwrap());
+        assert!(s.observe(1.0, 50.0).unwrap(), "boss kill flushes at once");
+    }
+
+    #[test]
+    fn hybrid_fires_on_either() {
+        let mut s = store(
+            CheckpointPolicy::Hybrid {
+                period: 10.0,
+                threshold: 5.0,
+            },
+            "cp3",
+        );
+        assert!(s.observe(1.0, 6.0).unwrap(), "importance path");
+        assert!(s.observe(11.0, 0.0).unwrap(), "period path");
+    }
+
+    #[test]
+    fn crash_rolls_back_to_checkpoint() {
+        let mut s = store(CheckpointPolicy::Periodic { period: 5.0 }, "cp4");
+        let e = s.world.entities().next().unwrap();
+        s.world.set_f32(e, "hp", 50.0).unwrap();
+        s.observe(6.0, 1.0).unwrap(); // fires: hp=50 durable
+        s.world.set_f32(e, "hp", 7.0).unwrap();
+        s.observe(2.0, 3.0).unwrap(); // no checkpoint
+        let (recovered, report) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world.get_f32(e, "hp"), Some(50.0));
+        assert!((report.lost_game_seconds - 2.0).abs() < 1e-9);
+        assert!((report.lost_importance - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_without_any_checkpoint_uses_initial() {
+        let s = store(CheckpointPolicy::Periodic { period: 1e9 }, "cp5");
+        let e = s.world.entities().next().unwrap();
+        let (recovered, report) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world.get_f32(e, "hp"), Some(100.0));
+        assert_eq!(report.recovered_seq, 0);
+    }
+
+    #[test]
+    fn event_driven_loses_less_importance_than_periodic() {
+        // identical event streams; crash at the end; compare lost
+        // importance — the E9 claim in miniature
+        let run = |policy, label: &str| {
+            let mut s = store(policy, label);
+            // routine play with one huge event in the middle
+            for i in 0..50 {
+                let imp = if i == 25 { 100.0 } else { 0.1 };
+                s.observe(1.0, imp).unwrap();
+            }
+            let (_, report) = s.crash_and_recover().unwrap();
+            report.lost_importance
+        };
+        let periodic = run(CheckpointPolicy::Periodic { period: 60.0 }, "cp6a");
+        let event = run(CheckpointPolicy::EventDriven { threshold: 50.0 }, "cp6b");
+        assert!(
+            event < periodic,
+            "event-driven {event} must lose less than periodic {periodic}"
+        );
+        // the big event itself is never lost by the event policy
+        assert!(event < 100.0);
+    }
+
+    #[test]
+    fn incremental_recovery_replays_delta_chain() {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let ids: Vec<_> = (0..20)
+            .map(|i| {
+                let e = w.spawn_at(Vec2::new(i as f32, 0.0));
+                w.set_f32(e, "hp", 100.0).unwrap();
+                e
+            })
+            .collect();
+        let backend = Backend::open(temp_dir("cp-incr")).unwrap();
+        let mut s = GameStore::with_mode(
+            w,
+            backend,
+            CheckpointPolicy::Periodic { period: 1.0 },
+            SnapshotMode::Incremental { full_every: 100 },
+        )
+        .unwrap();
+        // three checkpoints, all deltas (full_every=100)
+        for (round, &id) in ids.iter().enumerate().take(3) {
+            s.world.set_f32(id, "hp", round as f32).unwrap();
+            s.observe(1.5, 0.0).unwrap();
+        }
+        assert_eq!(s.backend().delta_seqs().unwrap().len(), 3);
+        // mutate after the last checkpoint: this part is lost
+        s.world.set_f32(ids[10], "hp", 1.0).unwrap();
+        let (recovered, report) = s.crash_and_recover().unwrap();
+        assert_eq!(report.recovered_seq, 3);
+        assert_eq!(recovered.world.get_f32(ids[0], "hp"), Some(0.0));
+        assert_eq!(recovered.world.get_f32(ids[1], "hp"), Some(1.0));
+        assert_eq!(recovered.world.get_f32(ids[2], "hp"), Some(2.0));
+        assert_eq!(recovered.world.get_f32(ids[10], "hp"), Some(100.0), "lost");
+    }
+
+    #[test]
+    fn full_checkpoint_prunes_delta_chain() {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let e = w.spawn_at(Vec2::ZERO);
+        w.set_f32(e, "hp", 10.0).unwrap();
+        let backend = Backend::open(temp_dir("cp-prune")).unwrap();
+        let mut s = GameStore::with_mode(
+            w,
+            backend,
+            CheckpointPolicy::Periodic { period: 1.0 },
+            SnapshotMode::Incremental { full_every: 3 },
+        )
+        .unwrap();
+        // seq 1, 2 are deltas; seq 3 is full and prunes them
+        for i in 0..3 {
+            s.world.set_f32(e, "hp", i as f32).unwrap();
+            s.observe(1.5, 0.0).unwrap();
+        }
+        assert!(s.backend().delta_seqs().unwrap().is_empty());
+        assert_eq!(s.backend().snapshot_seqs().unwrap(), vec![0, 3]);
+        let (recovered, report) = s.crash_and_recover().unwrap();
+        assert_eq!(report.recovered_seq, 3);
+        assert_eq!(recovered.world.get_f32(e, "hp"), Some(2.0));
+    }
+
+    #[test]
+    fn incremental_writes_far_fewer_bytes_on_low_churn() {
+        // 500 entities, one changes per checkpoint: deltas should be tiny
+        let build = || {
+            let mut w = World::new();
+            w.define_component("hp", ValueType::Float).unwrap();
+            let ids: Vec<_> = (0..500)
+                .map(|i| {
+                    let e = w.spawn_at(Vec2::new(i as f32, 0.0));
+                    w.set_f32(e, "hp", 100.0).unwrap();
+                    e
+                })
+                .collect();
+            (w, ids)
+        };
+        let run = |mode, label: &str| {
+            let (w, ids) = build();
+            let backend = Backend::open(temp_dir(label)).unwrap();
+            let mut s = GameStore::with_mode(
+                w,
+                backend,
+                CheckpointPolicy::Periodic { period: 1.0 },
+                mode,
+            )
+            .unwrap();
+            for &id in ids.iter().take(10) {
+                s.world.set_f32(id, "hp", 1.0).unwrap();
+                s.observe(1.5, 0.0).unwrap();
+            }
+            s.stats.bytes_written
+        };
+        let full = run(SnapshotMode::Full, "cp-bytes-full");
+        let incr = run(SnapshotMode::Incremental { full_every: 1000 }, "cp-bytes-incr");
+        assert!(
+            incr * 10 < full,
+            "incremental {incr} bytes vs full {full} bytes"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = store(CheckpointPolicy::Periodic { period: 2.0 }, "cp7");
+        for _ in 0..10 {
+            s.observe(1.0, 0.5).unwrap();
+        }
+        assert_eq!(s.stats.events, 10);
+        assert!((s.stats.importance_observed - 5.0).abs() < 1e-9);
+        assert!(s.stats.checkpoints >= 4);
+        assert!(s.stats.bytes_written > 0);
+    }
+}

@@ -1,0 +1,671 @@
+//! Schema evolution: live migrations versus the blob strategy.
+//!
+//! "These new features often require schema changes in the world
+//! database. Schema migrations on a live system can be very painful …
+//! They often choose to write data as unstructured 'blobs' into a single
+//! attribute, so that they can preserve their old schemas." This module
+//! implements both sides of that trade-off so experiment E10 can price
+//! it: [`StructuredStore`] migrates by rewriting rows (slow migration,
+//! fast queries); [`BlobStore`] versions its schema and upgrades rows
+//! lazily on read (instant migration, slow queries, write amplification).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+use bytes::{Bytes, BytesMut};
+use gamedb_content::{Value, ValueType};
+use gamedb_core::{EntityId, World};
+
+use crate::snapshot::{get_value, put_value, SnapshotError};
+
+/// A schema-changing operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Migration {
+    /// Add a column with a default back-filled into existing rows.
+    AddColumn {
+        name: String,
+        ty: ValueType,
+        default: Value,
+    },
+    /// Drop a column.
+    DropColumn { name: String },
+    /// Rename a column.
+    RenameColumn { from: String, to: String },
+    /// Widen an int column to float (the common "we need fractional
+    /// stats now" change).
+    WidenIntToFloat { name: String },
+}
+
+/// Migration failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrationError {
+    UnknownColumn(String),
+    DuplicateColumn(String),
+    WrongType { column: String, expected: &'static str },
+    Codec(String),
+}
+
+impl fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            MigrationError::DuplicateColumn(c) => write!(f, "column {c:?} already exists"),
+            MigrationError::WrongType { column, expected } => {
+                write!(f, "column {column:?} is not {expected}")
+            }
+            MigrationError::Codec(m) => write!(f, "blob codec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// Cost report for one migration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MigrationStats {
+    /// Rows physically rewritten.
+    pub rows_rewritten: usize,
+    /// Wall time.
+    pub micros: u128,
+}
+
+/// One version of a schema: field name, type, default.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchemaVersion {
+    pub fields: Vec<(String, ValueType, Value)>,
+}
+
+impl SchemaVersion {
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _, _)| n == name)
+    }
+
+    /// Apply a migration, producing the next version.
+    pub fn evolve(&self, m: &Migration) -> Result<SchemaVersion, MigrationError> {
+        let mut next = self.clone();
+        match m {
+            Migration::AddColumn { name, ty, default } => {
+                if next.index_of(name).is_some() {
+                    return Err(MigrationError::DuplicateColumn(name.clone()));
+                }
+                next.fields.push((name.clone(), *ty, default.clone()));
+            }
+            Migration::DropColumn { name } => {
+                let i = next
+                    .index_of(name)
+                    .ok_or_else(|| MigrationError::UnknownColumn(name.clone()))?;
+                next.fields.remove(i);
+            }
+            Migration::RenameColumn { from, to } => {
+                if next.index_of(to).is_some() {
+                    return Err(MigrationError::DuplicateColumn(to.clone()));
+                }
+                let i = next
+                    .index_of(from)
+                    .ok_or_else(|| MigrationError::UnknownColumn(from.clone()))?;
+                next.fields[i].0 = to.clone();
+            }
+            Migration::WidenIntToFloat { name } => {
+                let i = next
+                    .index_of(name)
+                    .ok_or_else(|| MigrationError::UnknownColumn(name.clone()))?;
+                if next.fields[i].1 != ValueType::Int {
+                    return Err(MigrationError::WrongType {
+                        column: name.clone(),
+                        expected: "int",
+                    });
+                }
+                next.fields[i].1 = ValueType::Float;
+                if let Value::Int(d) = next.fields[i].2 {
+                    next.fields[i].2 = Value::Float(d as f32);
+                }
+            }
+        }
+        Ok(next)
+    }
+}
+
+/// Upgrade one decoded row across a migration.
+fn upgrade_row(row: &mut Vec<(String, Value)>, m: &Migration) {
+    match m {
+        Migration::AddColumn { name, default, .. } => {
+            if !row.iter().any(|(n, _)| n == name) {
+                row.push((name.clone(), default.clone()));
+            }
+        }
+        Migration::DropColumn { name } => row.retain(|(n, _)| n != name),
+        Migration::RenameColumn { from, to } => {
+            for (n, _) in row.iter_mut() {
+                if n == from {
+                    *n = to.clone();
+                }
+            }
+        }
+        Migration::WidenIntToFloat { name } => {
+            for (n, v) in row.iter_mut() {
+                if n == name {
+                    if let Value::Int(i) = v {
+                        *v = Value::Float(*i as f32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structured store
+// ---------------------------------------------------------------------
+
+/// Rows live in a [`World`]; migrations rewrite every row.
+pub struct StructuredStore {
+    pub world: World,
+}
+
+impl StructuredStore {
+    pub fn new(world: World) -> Self {
+        StructuredStore { world }
+    }
+
+    /// Apply a migration by physically rewriting the affected rows (the
+    /// painful path the paper describes).
+    pub fn migrate(&mut self, m: &Migration) -> Result<MigrationStats, MigrationError> {
+        let start = Instant::now();
+        let mut rows = 0usize;
+        match m {
+            Migration::AddColumn { name, ty, default } => {
+                self.world
+                    .define_component(name, *ty)
+                    .map_err(|_| MigrationError::DuplicateColumn(name.clone()))?;
+                let ids: Vec<EntityId> = self.world.entities().collect();
+                for id in ids {
+                    self.world
+                        .set(id, name, default.clone())
+                        .expect("freshly defined column accepts its default");
+                    rows += 1;
+                }
+            }
+            Migration::DropColumn { name } => {
+                if self.world.component_type(name).is_none() {
+                    return Err(MigrationError::UnknownColumn(name.clone()));
+                }
+                // core worlds have no column drop: rebuild (the realistic
+                // copy migration)
+                rows = self.rebuild(|row| row.retain(|(n, _)| n != name))?;
+            }
+            Migration::RenameColumn { from, to } => {
+                if self.world.component_type(from).is_none() {
+                    return Err(MigrationError::UnknownColumn(from.clone()));
+                }
+                if self.world.component_type(to).is_some() {
+                    return Err(MigrationError::DuplicateColumn(to.clone()));
+                }
+                let from = from.clone();
+                let to = to.clone();
+                rows = self.rebuild(move |row| {
+                    for (n, _) in row.iter_mut() {
+                        if *n == from {
+                            *n = to.clone();
+                        }
+                    }
+                })?;
+            }
+            Migration::WidenIntToFloat { name } => {
+                match self.world.component_type(name) {
+                    None => return Err(MigrationError::UnknownColumn(name.clone())),
+                    Some(ValueType::Int) => {}
+                    Some(_) => {
+                        return Err(MigrationError::WrongType {
+                            column: name.clone(),
+                            expected: "int",
+                        })
+                    }
+                }
+                let name = name.clone();
+                rows = self.rebuild(move |row| {
+                    for (n, v) in row.iter_mut() {
+                        if *n == name {
+                            if let Value::Int(i) = v {
+                                *v = Value::Float(*i as f32);
+                            }
+                        }
+                    }
+                })?;
+            }
+        }
+        Ok(MigrationStats {
+            rows_rewritten: rows,
+            micros: start.elapsed().as_micros(),
+        })
+    }
+
+    /// Rebuild the world row by row with a transformation (copy
+    /// migration). Returns rows copied.
+    fn rebuild(
+        &mut self,
+        transform: impl Fn(&mut Vec<(String, Value)>),
+    ) -> Result<usize, MigrationError> {
+        let mut next = World::new();
+        // Gather all rows once (slot order) and group them per entity —
+        // a single pass, not a dump per entity.
+        let mut per_entity: Vec<(EntityId, Vec<(String, Value)>)> = Vec::new();
+        for (id, comp, value) in self.world.rows() {
+            match per_entity.last_mut() {
+                Some((last, row)) if *last == id => row.push((comp, value)),
+                _ => per_entity.push((id, vec![(comp, value)])),
+            }
+        }
+        let mut count = 0usize;
+        for (id, mut row) in per_entity {
+            transform(&mut row);
+            next.restore_entity(id)
+                .map_err(|e| MigrationError::Codec(e.to_string()))?;
+            for (name, value) in row {
+                if name == gamedb_core::POS {
+                    if let Value::Vec2(x, y) = value {
+                        next.set_pos(id, gamedb_spatial::Vec2::new(x, y))
+                            .map_err(|e| MigrationError::Codec(e.to_string()))?;
+                    }
+                    continue;
+                }
+                if next.component_type(&name).is_none() {
+                    next.define_component(&name, value.value_type())
+                        .map_err(|e| MigrationError::Codec(e.to_string()))?;
+                }
+                next.set(id, &name, value)
+                    .map_err(|e| MigrationError::Codec(e.to_string()))?;
+                count += 1;
+            }
+        }
+        self.world = next;
+        Ok(count)
+    }
+
+    /// Sum a numeric column (the query benchmarked in E10).
+    pub fn sum_column(&self, name: &str) -> f64 {
+        self.world
+            .entities()
+            .filter_map(|id| self.world.get_number(id, name))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blob store
+// ---------------------------------------------------------------------
+
+/// Rows are opaque version-tagged byte blobs in a single attribute.
+pub struct BlobStore {
+    versions: Vec<SchemaVersion>,
+    migrations: Vec<Migration>,
+    rows: HashMap<u64, (u32, Bytes)>,
+    /// Bytes written over the store's lifetime (write amplification
+    /// metric).
+    pub bytes_written: u64,
+}
+
+impl BlobStore {
+    /// Create with an initial schema.
+    pub fn new(initial: SchemaVersion) -> Self {
+        BlobStore {
+            versions: vec![initial],
+            migrations: Vec::new(),
+            rows: HashMap::new(),
+            bytes_written: 0,
+        }
+    }
+
+    /// Latest schema version number.
+    pub fn latest_version(&self) -> u32 {
+        (self.versions.len() - 1) as u32
+    }
+
+    /// The latest schema.
+    pub fn schema(&self) -> &SchemaVersion {
+        self.versions.last().expect("at least the initial version")
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the store has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn encode_row(
+        schema: &SchemaVersion,
+        row: &[(String, Value)],
+    ) -> Result<Bytes, MigrationError> {
+        let mut buf = BytesMut::new();
+        for (name, ty, default) in &schema.fields {
+            let value = row
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| default.clone());
+            if value.value_type() != *ty {
+                return Err(MigrationError::Codec(format!(
+                    "field {name} expects {ty}, got {}",
+                    value.value_type()
+                )));
+            }
+            put_value(&mut buf, &value);
+        }
+        Ok(buf.freeze())
+    }
+
+    fn decode_row(
+        schema: &SchemaVersion,
+        mut data: Bytes,
+    ) -> Result<Vec<(String, Value)>, SnapshotError> {
+        let mut row = Vec::with_capacity(schema.fields.len());
+        for (name, ty, _) in &schema.fields {
+            let v = get_value(&mut data, *ty)?;
+            row.push((name.clone(), v));
+        }
+        Ok(row)
+    }
+
+    /// Write a row (encoded under the latest schema).
+    pub fn put(&mut self, id: u64, row: &[(String, Value)]) -> Result<(), MigrationError> {
+        let data = Self::encode_row(self.schema(), row)?;
+        self.bytes_written += data.len() as u64;
+        self.rows.insert(id, (self.latest_version(), data));
+        Ok(())
+    }
+
+    /// Read a row, lazily upgrading it across any migrations since it was
+    /// written. The stored blob is untouched (reads stay cheap to write,
+    /// expensive to serve — the blob trade).
+    pub fn get(&self, id: u64) -> Result<Option<Vec<(String, Value)>>, MigrationError> {
+        let Some((version, data)) = self.rows.get(&id) else {
+            return Ok(None);
+        };
+        let schema = &self.versions[*version as usize];
+        let mut row = Self::decode_row(schema, data.clone())
+            .map_err(|e| MigrationError::Codec(e.to_string()))?;
+        for m in &self.migrations[*version as usize..] {
+            upgrade_row(&mut row, m);
+        }
+        Ok(Some(row))
+    }
+
+    /// Migrate the schema: push a version, record the migration — O(1),
+    /// no row is touched.
+    pub fn migrate(&mut self, m: Migration) -> Result<MigrationStats, MigrationError> {
+        let start = Instant::now();
+        let next = self.schema().evolve(&m)?;
+        self.versions.push(next);
+        self.migrations.push(m);
+        Ok(MigrationStats {
+            rows_rewritten: 0,
+            micros: start.elapsed().as_micros(),
+        })
+    }
+
+    /// Compact: rewrite every row under the latest schema (what a studio
+    /// runs during maintenance windows).
+    pub fn compact(&mut self) -> Result<MigrationStats, MigrationError> {
+        let start = Instant::now();
+        let ids: Vec<u64> = self.rows.keys().copied().collect();
+        let mut rewritten = 0usize;
+        for id in ids {
+            if let Some(row) = self.get(id)? {
+                self.put(id, &row)?;
+                rewritten += 1;
+            }
+        }
+        Ok(MigrationStats {
+            rows_rewritten: rewritten,
+            micros: start.elapsed().as_micros(),
+        })
+    }
+
+    /// Sum a numeric field across all rows (decodes every blob — the slow
+    /// query path E10 measures).
+    pub fn sum_column(&self, name: &str) -> Result<f64, MigrationError> {
+        let mut sum = 0.0;
+        let ids: Vec<u64> = self.rows.keys().copied().collect();
+        for id in ids {
+            if let Some(row) = self.get(id)? {
+                if let Some((_, v)) = row.iter().find(|(n, _)| n == name) {
+                    if let Some(n) = v.as_number() {
+                        sum += n;
+                    }
+                }
+            }
+        }
+        Ok(sum)
+    }
+
+    /// Fraction of rows stored under old schema versions.
+    pub fn stale_fraction(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let latest = self.latest_version();
+        let stale = self
+            .rows
+            .values()
+            .filter(|(v, _)| *v != latest)
+            .count();
+        stale as f64 / self.rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamedb_spatial::Vec2;
+
+    fn base_schema() -> SchemaVersion {
+        SchemaVersion {
+            fields: vec![
+                ("hp".into(), ValueType::Float, Value::Float(100.0)),
+                ("gold".into(), ValueType::Int, Value::Int(0)),
+                ("name".into(), ValueType::Str, Value::Str(String::new())),
+            ],
+        }
+    }
+
+    fn filled_blob(n: u64) -> BlobStore {
+        let mut s = BlobStore::new(base_schema());
+        for i in 0..n {
+            s.put(
+                i,
+                &[
+                    ("hp".into(), Value::Float(i as f32)),
+                    ("gold".into(), Value::Int(i as i64)),
+                    ("name".into(), Value::Str(format!("p{i}"))),
+                ],
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn filled_structured(n: usize) -> StructuredStore {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("gold", ValueType::Int).unwrap();
+        w.define_component("name", ValueType::Str).unwrap();
+        for i in 0..n {
+            let e = w.spawn_at(Vec2::new(i as f32, 0.0));
+            w.set_f32(e, "hp", i as f32).unwrap();
+            w.set(e, "gold", Value::Int(i as i64)).unwrap();
+            w.set(e, "name", Value::Str(format!("p{i}"))).unwrap();
+        }
+        StructuredStore::new(w)
+    }
+
+    #[test]
+    fn schema_evolution_rules() {
+        let v0 = base_schema();
+        let v1 = v0
+            .evolve(&Migration::AddColumn {
+                name: "mana".into(),
+                ty: ValueType::Float,
+                default: Value::Float(50.0),
+            })
+            .unwrap();
+        assert_eq!(v1.fields.len(), 4);
+        assert!(matches!(
+            v1.evolve(&Migration::AddColumn {
+                name: "mana".into(),
+                ty: ValueType::Float,
+                default: Value::Float(0.0)
+            }),
+            Err(MigrationError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            v0.evolve(&Migration::DropColumn { name: "ghost".into() }),
+            Err(MigrationError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            v0.evolve(&Migration::WidenIntToFloat { name: "hp".into() }),
+            Err(MigrationError::WrongType { .. })
+        ));
+        let v2 = v1
+            .evolve(&Migration::RenameColumn {
+                from: "gold".into(),
+                to: "coins".into(),
+            })
+            .unwrap();
+        assert!(v2.index_of("coins").is_some());
+        assert!(v2.index_of("gold").is_none());
+    }
+
+    #[test]
+    fn blob_migration_is_instant_and_lazy() {
+        let mut s = filled_blob(100);
+        let stats = s
+            .migrate(Migration::AddColumn {
+                name: "mana".into(),
+                ty: ValueType::Float,
+                default: Value::Float(50.0),
+            })
+            .unwrap();
+        assert_eq!(stats.rows_rewritten, 0, "blob migration touches no rows");
+        assert_eq!(s.stale_fraction(), 1.0);
+        // reads upgrade on the fly
+        let row = s.get(7).unwrap().unwrap();
+        assert!(row.contains(&("mana".to_string(), Value::Float(50.0))));
+        assert!(row.contains(&("hp".to_string(), Value::Float(7.0))));
+    }
+
+    #[test]
+    fn blob_chained_migrations_upgrade_reads() {
+        let mut s = filled_blob(10);
+        s.migrate(Migration::WidenIntToFloat {
+            name: "gold".into(),
+        })
+        .unwrap();
+        s.migrate(Migration::RenameColumn {
+            from: "gold".into(),
+            to: "coins".into(),
+        })
+        .unwrap();
+        s.migrate(Migration::DropColumn {
+            name: "name".into(),
+        })
+        .unwrap();
+        let row = s.get(3).unwrap().unwrap();
+        assert!(row.contains(&("coins".to_string(), Value::Float(3.0))));
+        assert!(!row.iter().any(|(n, _)| n == "name" || n == "gold"));
+        // new writes use the latest schema directly
+        s.put(99, &[("hp".into(), Value::Float(1.0)), ("coins".into(), Value::Float(9.0))])
+            .unwrap();
+        let row = s.get(99).unwrap().unwrap();
+        assert!(row.contains(&("coins".to_string(), Value::Float(9.0))));
+    }
+
+    #[test]
+    fn blob_compaction_rewrites_rows() {
+        let mut s = filled_blob(20);
+        s.migrate(Migration::AddColumn {
+            name: "mana".into(),
+            ty: ValueType::Float,
+            default: Value::Float(1.0),
+        })
+        .unwrap();
+        assert_eq!(s.stale_fraction(), 1.0);
+        let stats = s.compact().unwrap();
+        assert_eq!(stats.rows_rewritten, 20);
+        assert_eq!(s.stale_fraction(), 0.0);
+    }
+
+    #[test]
+    fn structured_add_column_backfills() {
+        let mut s = filled_structured(50);
+        let stats = s
+            .migrate(&Migration::AddColumn {
+                name: "mana".into(),
+                ty: ValueType::Float,
+                default: Value::Float(10.0),
+            })
+            .unwrap();
+        assert_eq!(stats.rows_rewritten, 50, "every row backfilled");
+        assert_eq!(s.sum_column("mana"), 500.0);
+    }
+
+    #[test]
+    fn structured_rename_and_drop() {
+        let mut s = filled_structured(20);
+        s.migrate(&Migration::RenameColumn {
+            from: "gold".into(),
+            to: "coins".into(),
+        })
+        .unwrap();
+        assert!(s.world.component_type("gold").is_none());
+        assert_eq!(s.sum_column("coins"), (0..20).sum::<i64>() as f64);
+
+        s.migrate(&Migration::DropColumn {
+            name: "name".into(),
+        })
+        .unwrap();
+        assert!(s.world.component_type("name").is_none());
+        // entity ids survive the rebuild
+        assert_eq!(s.world.len(), 20);
+    }
+
+    #[test]
+    fn structured_widen_preserves_values() {
+        let mut s = filled_structured(10);
+        s.migrate(&Migration::WidenIntToFloat {
+            name: "gold".into(),
+        })
+        .unwrap();
+        assert_eq!(s.world.component_type("gold"), Some(ValueType::Float));
+        assert_eq!(s.sum_column("gold"), 45.0);
+    }
+
+    #[test]
+    fn both_stores_agree_on_query_results() {
+        let mut blob = filled_blob(30);
+        let mut structured = filled_structured(30);
+        let m = Migration::AddColumn {
+            name: "mana".into(),
+            ty: ValueType::Float,
+            default: Value::Float(2.0),
+        };
+        blob.migrate(m.clone()).unwrap();
+        structured.migrate(&m).unwrap();
+        assert_eq!(
+            blob.sum_column("mana").unwrap(),
+            structured.sum_column("mana")
+        );
+        assert_eq!(blob.sum_column("hp").unwrap(), structured.sum_column("hp"));
+    }
+
+    #[test]
+    fn blob_write_amplification_tracked() {
+        let mut s = filled_blob(10);
+        let before = s.bytes_written;
+        s.compact().unwrap();
+        assert!(s.bytes_written > before);
+    }
+}

@@ -1,0 +1,367 @@
+//! A write-through store: every mutation is WAL-logged, recovery replays
+//! the tail — the zero-loss alternative the checkpoint experiment (E9)
+//! prices against snapshot-only policies.
+//!
+//! The knob is `group_commit`: how many records may sit in the OS buffer
+//! before a durable flush. 1 = synchronous logging (lose nothing, pay a
+//! flush per mutation); N = group commit (lose at most N-1 records, the
+//! standard database trade).
+
+use gamedb_content::Value;
+use gamedb_core::{CoreError, EntityId, World};
+use gamedb_spatial::Vec2;
+
+use crate::backend::{Backend, BackendError};
+use crate::snapshot;
+use crate::wal::{decode_log, replay_after_checkpoint, WalRecord};
+
+/// Store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WalStats {
+    /// Records logged.
+    pub records: u64,
+    /// Durable flushes issued.
+    pub flushes: u64,
+    /// Snapshots written.
+    pub checkpoints: u64,
+}
+
+/// A world whose mutations are all redo-logged.
+pub struct WalStore {
+    /// The live world. Mutate only through the store's methods — direct
+    /// mutation bypasses the log and will not survive a crash.
+    world: World,
+    backend: Backend,
+    snapshot_seq: u64,
+    group_commit: usize,
+    pending: usize,
+    /// stats
+    pub stats: WalStats,
+}
+
+impl WalStore {
+    /// Wrap a world. Writes the base snapshot immediately.
+    pub fn new(
+        world: World,
+        mut backend: Backend,
+        group_commit: usize,
+    ) -> Result<Self, BackendError> {
+        backend.put_snapshot(0, snapshot::encode(&world));
+        backend.append_log(&WalRecord::CheckpointMark { seq: 0 }.encode());
+        backend.flush()?;
+        Ok(WalStore {
+            world,
+            backend,
+            snapshot_seq: 0,
+            group_commit: group_commit.max(1),
+            pending: 0,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Read access to the world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Backend access (write-volume metrics).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    fn log(&mut self, record: WalRecord) -> Result<(), BackendError> {
+        self.backend.append_log(&record.encode());
+        self.stats.records += 1;
+        self.pending += 1;
+        if self.pending >= self.group_commit {
+            self.backend.flush()?;
+            self.stats.flushes += 1;
+            self.pending = 0;
+        }
+        Ok(())
+    }
+
+    /// Logged component write.
+    pub fn set(
+        &mut self,
+        id: EntityId,
+        component: &str,
+        value: Value,
+    ) -> Result<(), StoreError> {
+        self.world.set(id, component, value.clone())?;
+        self.log(WalRecord::Set {
+            entity: id,
+            component: component.to_string(),
+            value,
+        })?;
+        Ok(())
+    }
+
+    /// Logged position write.
+    pub fn set_pos(&mut self, id: EntityId, pos: Vec2) -> Result<(), StoreError> {
+        self.world.set_pos(id, pos)?;
+        self.log(WalRecord::Set {
+            entity: id,
+            component: gamedb_core::POS.to_string(),
+            value: Value::Vec2(pos.x, pos.y),
+        })?;
+        Ok(())
+    }
+
+    /// Logged spawn.
+    pub fn spawn_at(&mut self, pos: Vec2) -> Result<EntityId, StoreError> {
+        let id = self.world.spawn_at(pos);
+        self.log(WalRecord::Spawn {
+            entity: id,
+            x: pos.x,
+            y: pos.y,
+        })?;
+        Ok(id)
+    }
+
+    /// Logged despawn.
+    pub fn despawn(&mut self, id: EntityId) -> Result<bool, StoreError> {
+        let was_live = self.world.despawn(id);
+        if was_live {
+            self.log(WalRecord::Despawn { entity: id })?;
+        }
+        Ok(was_live)
+    }
+
+    /// Write a checkpoint: snapshot + mark. The log logically truncates
+    /// at the mark (replay skips everything before it).
+    pub fn checkpoint(&mut self) -> Result<(), BackendError> {
+        self.snapshot_seq += 1;
+        self.backend
+            .put_snapshot(self.snapshot_seq, snapshot::encode(&self.world));
+        self.backend
+            .append_log(&WalRecord::CheckpointMark {
+                seq: self.snapshot_seq,
+            }
+            .encode());
+        self.backend.flush()?;
+        self.stats.checkpoints += 1;
+        self.stats.flushes += 1;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Compact the event log: drop every record before the last
+    /// checkpoint mark (replay never looks at them) and atomically
+    /// rewrite the log as just that tail. Returns (bytes before, bytes
+    /// after). Without compaction the log grows without bound — this is
+    /// the maintenance task a live MMO schedules alongside checkpoints.
+    pub fn compact_log(&mut self) -> Result<(u64, u64), StoreError> {
+        let before = self.backend.log_len()?;
+        let log = self.backend.read_log()?;
+        let (records, _) = decode_log(&log);
+        let cut = records
+            .iter()
+            .rposition(
+                |r| matches!(r, WalRecord::CheckpointMark { seq } if *seq == self.snapshot_seq),
+            )
+            .unwrap_or(0); // keep the mark itself: recovery anchors on it
+        let mut tail = Vec::new();
+        for r in &records[cut..] {
+            tail.extend_from_slice(&r.encode());
+        }
+        self.backend.replace_log(&tail);
+        self.backend.flush()?;
+        self.stats.flushes += 1;
+        Ok((before, self.backend.log_len()?))
+    }
+
+    /// Crash (unflushed writes vanish) then recover: load the latest
+    /// durable snapshot and replay the durable log tail. Returns the
+    /// recovered store and the number of records replayed.
+    pub fn crash_and_recover(mut self) -> Result<(WalStore, usize), StoreError> {
+        self.backend.crash();
+        let (seq, snap) = self.backend.latest_snapshot()?;
+        let (mut world, _) = snapshot::decode(&snap)
+            .map_err(|e| StoreError::Backend(BackendError::Io(std::io::Error::other(e.to_string()))))?;
+        let log = self.backend.read_log()?;
+        let (records, _) = decode_log(&log);
+        let replayed = replay_after_checkpoint(&mut world, &records, seq)?;
+        Ok((
+            WalStore {
+                world,
+                backend: self.backend,
+                snapshot_seq: seq,
+                group_commit: self.group_commit,
+                pending: 0,
+                stats: self.stats,
+            },
+            replayed,
+        ))
+    }
+}
+
+/// Errors from the WAL store.
+#[derive(Debug)]
+pub enum StoreError {
+    Core(CoreError),
+    Backend(BackendError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Core(e) => write!(f, "world: {e}"),
+            StoreError::Backend(e) => write!(f, "backend: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> Self {
+        StoreError::Core(e)
+    }
+}
+
+impl From<BackendError> for StoreError {
+    fn from(e: BackendError) -> Self {
+        StoreError::Backend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::temp_dir;
+    use gamedb_content::ValueType;
+
+    fn fresh(group_commit: usize, label: &str) -> WalStore {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let backend = Backend::open(temp_dir(label)).unwrap();
+        WalStore::new(w, backend, group_commit).unwrap()
+    }
+
+    #[test]
+    fn compaction_shrinks_log_and_preserves_recovery() {
+        let mut s = fresh(1, "wal-compact");
+        let e = s.spawn_at(Vec2::new(0.0, 0.0)).unwrap();
+        for i in 0..200 {
+            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+        }
+        s.checkpoint().unwrap();
+        // post-checkpoint writes must survive compaction
+        s.set(e, "hp", Value::Float(777.0)).unwrap();
+        let (before, after) = s.compact_log().unwrap();
+        assert!(after < before / 4, "before={before} after={after}");
+        let (recovered, replayed) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(777.0));
+        assert_eq!(replayed, 1, "only the post-checkpoint record replays");
+    }
+
+    #[test]
+    fn compaction_without_checkpoint_is_safe() {
+        let mut s = fresh(1, "wal-compact2");
+        let e = s.spawn_at(Vec2::new(0.0, 0.0)).unwrap();
+        s.set(e, "hp", Value::Float(5.0)).unwrap();
+        let (before, after) = s.compact_log().unwrap();
+        assert_eq!(before, after, "nothing before the base mark to drop");
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(5.0));
+    }
+
+    #[test]
+    fn repeated_compaction_is_idempotent() {
+        let mut s = fresh(1, "wal-compact3");
+        let e = s.spawn_at(Vec2::new(0.0, 0.0)).unwrap();
+        for i in 0..50 {
+            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+        }
+        s.checkpoint().unwrap();
+        let (_, first) = s.compact_log().unwrap();
+        let (before2, second) = s.compact_log().unwrap();
+        assert_eq!(first, before2);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn synchronous_logging_loses_nothing() {
+        let mut s = fresh(1, "wal-sync");
+        let e = s.spawn_at(Vec2::new(1.0, 2.0)).unwrap();
+        s.set(e, "hp", Value::Float(33.0)).unwrap();
+        s.set_pos(e, Vec2::new(5.0, 5.0)).unwrap();
+        let live_rows = s.world().rows();
+        let (recovered, replayed) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().rows(), live_rows);
+        assert_eq!(replayed, 3);
+    }
+
+    #[test]
+    fn group_commit_bounds_loss() {
+        let mut s = fresh(10, "wal-group");
+        let e = s.spawn_at(Vec2::ZERO).unwrap();
+        // 9 more records => exactly one flush of 10 fires
+        for i in 0..9 {
+            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+        }
+        // 3 unflushed records follow
+        for i in 100..103 {
+            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+        }
+        let (recovered, replayed) = s.crash_and_recover().unwrap();
+        assert_eq!(replayed, 10, "only the flushed group survives");
+        assert_eq!(
+            recovered.world().get_f32(e, "hp"),
+            Some(8.0),
+            "last durable write wins; the 3 unflushed are lost"
+        );
+    }
+
+    #[test]
+    fn checkpoint_truncates_replay() {
+        let mut s = fresh(1, "wal-cp");
+        let e = s.spawn_at(Vec2::ZERO).unwrap();
+        for i in 0..50 {
+            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+        }
+        s.checkpoint().unwrap();
+        s.set(e, "hp", Value::Float(999.0)).unwrap();
+        let (recovered, replayed) = s.crash_and_recover().unwrap();
+        assert_eq!(replayed, 1, "only the post-checkpoint tail replays");
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(999.0));
+    }
+
+    #[test]
+    fn despawn_survives_recovery() {
+        let mut s = fresh(1, "wal-despawn");
+        let a = s.spawn_at(Vec2::ZERO).unwrap();
+        let b = s.spawn_at(Vec2::new(1.0, 0.0)).unwrap();
+        s.despawn(a).unwrap();
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert!(!recovered.world().is_live(a));
+        assert!(recovered.world().is_live(b));
+        assert_eq!(recovered.world().len(), 1);
+    }
+
+    #[test]
+    fn recovery_then_continue_then_recover_again() {
+        let mut s = fresh(1, "wal-twice");
+        let e = s.spawn_at(Vec2::ZERO).unwrap();
+        s.set(e, "hp", Value::Float(1.0)).unwrap();
+        let (mut s, _) = s.crash_and_recover().unwrap();
+        s.set(e, "hp", Value::Float(2.0)).unwrap();
+        let f = s.spawn_at(Vec2::new(9.0, 9.0)).unwrap();
+        let (s, _) = s.crash_and_recover().unwrap();
+        assert_eq!(s.world().get_f32(e, "hp"), Some(2.0));
+        assert!(s.world().is_live(f));
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut s = fresh(2, "wal-stats");
+        let e = s.spawn_at(Vec2::ZERO).unwrap();
+        s.set(e, "hp", Value::Float(1.0)).unwrap();
+        s.set(e, "hp", Value::Float(2.0)).unwrap();
+        s.checkpoint().unwrap();
+        assert_eq!(s.stats.records, 3);
+        assert!(s.stats.flushes >= 2);
+        assert_eq!(s.stats.checkpoints, 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! The script engine: the one-stop API a game embeds.
+//!
+//! [`ScriptEngine`] owns the script library, enforces a language level at
+//! load time, compiles what it can (falling back to the interpreter for
+//! scripts outside the compilable subset), binds scripts to entities via
+//! a component, and drives whole-world ticks — the piece that turns the
+//! lower-level modules into the "custom scripting language runtime" a
+//! studio would actually ship.
+
+use std::collections::HashMap;
+
+use gamedb_content::{Value, ValueType};
+use gamedb_core::{EffectBuffer, EntityId, World};
+
+use crate::compile::{compile, CompiledScript};
+use crate::interp::{run_script, ExecOptions, RuntimeError, ScriptLibrary};
+use crate::parser::{parse_script, ParseError};
+use crate::types::{check_library, Level, TypeError};
+
+/// Component that names the script an entity runs each tick.
+pub const SCRIPT_COMPONENT: &str = "script";
+
+/// Errors loading scripts into the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    Parse(ParseError),
+    Check(Vec<TypeError>),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "parse: {e}"),
+            EngineError::Check(errs) => {
+                write!(f, "{} type error(s); first: {}", errs.len(), errs[0])
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Statistics from one engine tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineTickStats {
+    /// Entities that ran a script.
+    pub scripts_run: usize,
+    /// Entities whose script ran compiled (vs interpreted).
+    pub compiled_runs: usize,
+    /// Events emitted by scripts, in deterministic (entity, order) order.
+    pub events: Vec<(EntityId, String)>,
+}
+
+/// The embedded scripting runtime.
+pub struct ScriptEngine {
+    lib: ScriptLibrary,
+    level: Level,
+    opts: ExecOptions,
+    optimize: bool,
+    /// compiled cache, invalidated on load and on schema growth
+    compiled: HashMap<String, CompiledScript>,
+}
+
+impl ScriptEngine {
+    /// Engine enforcing a language level on every loaded script.
+    pub fn new(level: Level) -> Self {
+        ScriptEngine {
+            lib: ScriptLibrary::new(),
+            level,
+            opts: ExecOptions::default(),
+            optimize: false,
+            compiled: HashMap::new(),
+        }
+    }
+
+    /// Override interpreter options (index usage, fuel).
+    pub fn with_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Run the AST optimizer on every loaded script (constant folding,
+    /// dead-code elimination, foreach-to-aggregate rewriting). Scripts
+    /// are checked *before* optimization, so the enforced level applies
+    /// to what the designer wrote, not to what the optimizer made of it.
+    pub fn with_optimizer(mut self) -> Self {
+        self.optimize = true;
+        self
+    }
+
+    /// The enforced language level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Number of loaded scripts.
+    pub fn len(&self) -> usize {
+        self.lib.len()
+    }
+
+    /// True when no scripts are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.lib.is_empty()
+    }
+
+    /// Parse, type-check (at the engine's level, against the world
+    /// schema), and load a script. All-or-nothing per script.
+    pub fn load(&mut self, name: &str, source: &str, world: &World) -> Result<(), EngineError> {
+        let script = parse_script(name, source).map_err(EngineError::Parse)?;
+        // check the new script together with the existing library so call
+        // graphs (and restricted-level recursion) are validated globally
+        let mut all: Vec<_> = self.lib.iter().cloned().collect();
+        all.retain(|s| s.name != name);
+        all.push(script.clone());
+        let errors = check_library(&all, world, self.level);
+        if !errors.is_empty() {
+            return Err(EngineError::Check(errors));
+        }
+        let script = if self.optimize {
+            crate::optimize::optimize(&script).0
+        } else {
+            script
+        };
+        self.lib.insert(script);
+        // a new script may be called by cached ones: recompile lazily
+        self.compiled.clear();
+        Ok(())
+    }
+
+    /// Ensure the world can bind scripts to entities.
+    pub fn ensure_binding_component(&self, world: &mut World) {
+        if world.component_type(SCRIPT_COMPONENT).is_none() {
+            world
+                .define_component(SCRIPT_COMPONENT, ValueType::Str)
+                .expect("script component type is str");
+        }
+    }
+
+    /// Bind `entity` to run `script` each tick.
+    pub fn bind(
+        &self,
+        world: &mut World,
+        entity: EntityId,
+        script: &str,
+    ) -> Result<(), RuntimeError> {
+        if self.lib.get(script).is_none() {
+            return Err(RuntimeError::UnknownScript(script.to_string()));
+        }
+        world
+            .set(entity, SCRIPT_COMPONENT, Value::Str(script.to_string()))
+            .map_err(|e| RuntimeError::TypeError(e.to_string()))?;
+        Ok(())
+    }
+
+    fn compiled_for(&mut self, name: &str, world: &World) -> Option<&CompiledScript> {
+        if !self.compiled.contains_key(name) {
+            if let Ok(c) = compile(&self.lib, name, world) {
+                self.compiled.insert(name.to_string(), c);
+            }
+        }
+        self.compiled.get(name)
+    }
+
+    /// Run one script for one entity (compiled when possible).
+    pub fn run_one(
+        &mut self,
+        world: &World,
+        entity: EntityId,
+        script: &str,
+        buf: &mut EffectBuffer,
+    ) -> Result<Vec<String>, RuntimeError> {
+        let use_index = self.opts.use_index;
+        if let Some(c) = self.compiled_for(script, world) {
+            return c.run(world, entity, buf, use_index);
+        }
+        let opts = self.opts;
+        run_script(&self.lib, script, world, entity, buf, opts).map(|o| o.events)
+    }
+
+    /// Run one tick: every entity bound via the `script` component runs
+    /// its script against the tick-start state; effects apply atomically.
+    pub fn tick(&mut self, world: &mut World) -> Result<EngineTickStats, RuntimeError> {
+        let mut stats = EngineTickStats::default();
+        let mut buf = EffectBuffer::new();
+        for entity in world.entity_vec() {
+            let Some(Value::Str(name)) = world.get(entity, SCRIPT_COMPONENT) else {
+                continue;
+            };
+            if name.is_empty() {
+                continue;
+            }
+            let was_compiled = {
+                let use_index = self.opts.use_index;
+                match self.compiled_for(&name, world) {
+                    Some(c) => {
+                        let events = c.run(world, entity, &mut buf, use_index)?;
+                        stats
+                            .events
+                            .extend(events.into_iter().map(|e| (entity, e)));
+                        true
+                    }
+                    None => {
+                        let opts = self.opts;
+                        let out = run_script(&self.lib, &name, world, entity, &mut buf, opts)?;
+                        stats
+                            .events
+                            .extend(out.events.into_iter().map(|e| (entity, e)));
+                        false
+                    }
+                }
+            };
+            stats.scripts_run += 1;
+            if was_compiled {
+                stats.compiled_runs += 1;
+            }
+        }
+        buf.apply(world)
+            .map_err(|e| RuntimeError::TypeError(e.to_string()))?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gamedb_spatial::Vec2;
+
+    fn world() -> World {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("team", ValueType::Str).unwrap();
+        w
+    }
+
+    #[test]
+    fn load_checks_at_engine_level() {
+        let w = world();
+        let mut restricted = ScriptEngine::new(Level::Restricted);
+        let err = restricted
+            .load("bad", "foreach within (5) { other.hp -= 1; }", &w)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Check(_)));
+        assert!(restricted.is_empty());
+
+        let mut full = ScriptEngine::new(Level::Full);
+        full.load("ok", "foreach within (5) { other.hp -= 1; }", &w)
+            .unwrap();
+        assert_eq!(full.len(), 1);
+    }
+
+    #[test]
+    fn load_rejects_parse_errors() {
+        let w = world();
+        let mut e = ScriptEngine::new(Level::Full);
+        assert!(matches!(
+            e.load("oops", "let = ;", &w),
+            Err(EngineError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn load_validates_cross_script_calls() {
+        let w = world();
+        let mut e = ScriptEngine::new(Level::Restricted);
+        e.load("helper", "self.hp += 1;", &w).unwrap();
+        e.load("main", "call helper;", &w).unwrap();
+        // adding a script that closes a call cycle is rejected
+        let err = e.load("helper", "call main;", &w).unwrap_err();
+        assert!(matches!(err, EngineError::Check(_)));
+        // the old helper stays loaded
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn tick_runs_bound_entities_and_applies_effects() {
+        let mut w = world();
+        let mut e = ScriptEngine::new(Level::Restricted);
+        e.ensure_binding_component(&mut w);
+        e.load("regen", "self.hp += 5;", &w).unwrap();
+        e.load("decay", "self.hp -= 1;", &w).unwrap();
+
+        let a = w.spawn_at(Vec2::ZERO);
+        let b = w.spawn_at(Vec2::new(1.0, 0.0));
+        let c = w.spawn_at(Vec2::new(2.0, 0.0)); // unbound: no script runs
+        for id in [a, b, c] {
+            w.set_f32(id, "hp", 10.0).unwrap();
+        }
+        e.bind(&mut w, a, "regen").unwrap();
+        e.bind(&mut w, b, "decay").unwrap();
+
+        let stats = e.tick(&mut w).unwrap();
+        assert_eq!(stats.scripts_run, 2);
+        assert_eq!(stats.compiled_runs, 2, "both scripts compile");
+        assert_eq!(w.get_f32(a, "hp"), Some(15.0));
+        assert_eq!(w.get_f32(b, "hp"), Some(9.0));
+        assert_eq!(w.get_f32(c, "hp"), Some(10.0));
+    }
+
+    #[test]
+    fn bind_unknown_script_fails() {
+        let mut w = world();
+        let e = ScriptEngine::new(Level::Full);
+        let id = w.spawn_at(Vec2::ZERO);
+        assert!(matches!(
+            e.bind(&mut w, id, "ghost"),
+            Err(RuntimeError::UnknownScript(_))
+        ));
+    }
+
+    #[test]
+    fn interpreter_fallback_for_uncompilable_scripts() {
+        let mut w = world();
+        let mut e = ScriptEngine::new(Level::Full);
+        e.ensure_binding_component(&mut w);
+        // string local => interpreter-only
+        e.load("fallback", r#"let t = self.team; if t == "red" { self.hp += 1; }"#, &w)
+            .unwrap();
+        let id = w.spawn_at(Vec2::ZERO);
+        w.set_f32(id, "hp", 1.0).unwrap();
+        w.set(id, "team", Value::Str("red".into())).unwrap();
+        e.bind(&mut w, id, "fallback").unwrap();
+        let stats = e.tick(&mut w).unwrap();
+        assert_eq!(stats.scripts_run, 1);
+        assert_eq!(stats.compiled_runs, 0, "fell back to the interpreter");
+        assert_eq!(w.get_f32(id, "hp"), Some(2.0));
+    }
+
+    #[test]
+    fn events_are_attributed_to_entities() {
+        let mut w = world();
+        let mut e = ScriptEngine::new(Level::Restricted);
+        e.ensure_binding_component(&mut w);
+        e.load("shout", r#"emit "ping";"#, &w).unwrap();
+        let a = w.spawn_at(Vec2::ZERO);
+        let b = w.spawn_at(Vec2::new(1.0, 0.0));
+        e.bind(&mut w, a, "shout").unwrap();
+        e.bind(&mut w, b, "shout").unwrap();
+        let stats = e.tick(&mut w).unwrap();
+        assert_eq!(
+            stats.events,
+            vec![(a, "ping".to_string()), (b, "ping".to_string())]
+        );
+    }
+
+    #[test]
+    fn reloading_a_script_changes_behaviour() {
+        let mut w = world();
+        let mut e = ScriptEngine::new(Level::Restricted);
+        e.ensure_binding_component(&mut w);
+        e.load("s", "self.hp += 1;", &w).unwrap();
+        let id = w.spawn_at(Vec2::ZERO);
+        w.set_f32(id, "hp", 0.0).unwrap();
+        e.bind(&mut w, id, "s").unwrap();
+        e.tick(&mut w).unwrap();
+        assert_eq!(w.get_f32(id, "hp"), Some(1.0));
+        // hot-reload (designers iterate live)
+        e.load("s", "self.hp += 10;", &w).unwrap();
+        e.tick(&mut w).unwrap();
+        assert_eq!(w.get_f32(id, "hp"), Some(11.0));
+    }
+
+    #[test]
+    fn optimizer_rewrites_loaded_scripts() {
+        let mut w = world();
+        let mut e = ScriptEngine::new(Level::Full).with_optimizer();
+        e.ensure_binding_component(&mut w);
+        let a = w.spawn_at(Vec2::ZERO);
+        let b = w.spawn_at(Vec2::new(1.0, 0.0));
+        for id in [a, b] {
+            w.set_f32(id, "hp", 10.0).unwrap();
+        }
+        e.load("drain", "foreach within (5) { self.hp -= 2 * 1; }", &w)
+            .unwrap();
+        // the stored script is the aggregate rewrite, not the loop
+        let stored = crate::ast::to_source(&e.lib.get("drain").unwrap().body);
+        assert_eq!(stored, "self.hp -= sum(5; 2);\n");
+        // and it still runs with identical semantics
+        e.bind(&mut w, a, "drain").unwrap();
+        e.tick(&mut w).unwrap();
+        assert_eq!(w.get_f32(a, "hp"), Some(8.0), "one neighbor drains 2");
+    }
+
+    #[test]
+    fn level_is_checked_before_optimization() {
+        // a restricted engine must still reject the foreach the designer
+        // wrote, even though the optimizer could rewrite it into a legal
+        // aggregate — enforcement applies to source, not optimizer output
+        let w = world();
+        let mut e = ScriptEngine::new(Level::Restricted).with_optimizer();
+        let err = e.load("bad", "foreach within (5) { self.hp -= 1; }", &w);
+        assert!(matches!(err, Err(EngineError::Check(_))));
+    }
+}

@@ -1,0 +1,71 @@
+//! # gamedb-script
+//!
+//! GSL — the designer scripting language of this workspace, implementing
+//! the scripting-language story of *Database Research in Computer Games*
+//! (SIGMOD 2009): designers author entity behaviour in data files; the
+//! engine type-checks it, optionally *restricts* it (no iteration, no
+//! recursion — the measure the paper reports studios taking to stop
+//! accidentally-quadratic scripts), and executes it either by tree-walking
+//! interpretation or compiled to specialized closures whose neighborhood
+//! operations run through the spatial index.
+//!
+//! ## Contents
+//!
+//! * [`token`] / [`parser`] / [`ast`] — lexer, recursive-descent parser,
+//!   AST with pretty-printer.
+//! * [`types`] — type checker and the Full/Restricted language levels.
+//! * [`interp`] — tree-walking interpreter emitting state–effect writes.
+//! * [`optimize`](mod@optimize) — AST optimizer: constant folding, dead code
+//!   elimination, and foreach-to-aggregate rewriting.
+//! * [`compile`](mod@compile) — closure-specializing compiler (set-at-a-time
+//!   evaluation of the restricted language).
+//!
+//! ## A complete example
+//!
+//! ```
+//! use gamedb_script::{parse_script, check_script, Level, ScriptLibrary,
+//!                     run_script, ExecOptions};
+//! use gamedb_core::{EffectBuffer, World};
+//! use gamedb_content::ValueType;
+//! use gamedb_spatial::Vec2;
+//!
+//! let mut world = World::new();
+//! world.define_component("hp", ValueType::Float).unwrap();
+//! let imp = world.spawn_at(Vec2::new(0.0, 0.0));
+//! world.set_f32(imp, "hp", 40.0).unwrap();
+//! let hero = world.spawn_at(Vec2::new(3.0, 0.0));
+//! world.set_f32(hero, "hp", 100.0).unwrap();
+//!
+//! // A designer script in the restricted level: no loops, aggregate
+//! // built-ins instead.
+//! let script = parse_script("panic", r#"
+//!     let rivals = count(10; other.hp > self.hp);
+//!     if rivals > 0 { move(0 - 1, 0); }
+//! "#).unwrap();
+//! assert!(check_script(&script, &world, Level::Restricted).is_empty());
+//!
+//! let mut lib = ScriptLibrary::new();
+//! lib.insert(script);
+//! let mut buf = EffectBuffer::new();
+//! run_script(&lib, "panic", &world, imp, &mut buf, ExecOptions::default()).unwrap();
+//! buf.apply(&mut world).unwrap();
+//! assert_eq!(world.pos(imp), Some(Vec2::new(-1.0, 0.0)));
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod engine;
+pub mod interp;
+pub mod optimize;
+pub mod parser;
+pub mod token;
+pub mod types;
+
+pub use ast::{AggKind, AssignOp, BinOp, BuiltinFn, Expr, Script, Stmt, Subject};
+pub use compile::{compile, CompileError, CompiledScript};
+pub use engine::{EngineError, EngineTickStats, ScriptEngine, SCRIPT_COMPONENT};
+pub use interp::{run_script, ExecOptions, RunOutput, RuntimeError, SVal, ScriptLibrary};
+pub use optimize::{optimize, OptStats};
+pub use parser::{parse, parse_script, ParseError};
+pub use token::{lex, LexError, Token, TokenKind};
+pub use types::{check_library, check_script, ComponentSchema, Level, Ty, TypeError};

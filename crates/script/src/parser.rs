@@ -1,0 +1,642 @@
+//! Recursive-descent parser for GSL.
+//!
+//! Precedence (loosest to tightest):
+//! `||` < `&&` < comparisons < `+ -` < `* / %` < unary < primary.
+
+use std::fmt;
+
+use crate::ast::{AggKind, AssignOp, BinOp, BuiltinFn, Expr, Script, Stmt, Subject};
+use crate::token::{lex, LexError, Token, TokenKind};
+
+/// Parse error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            col: e.col,
+            message: e.message,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if self.peek_kind() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {what}, found '{}'", self.peek_kind())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found '{other}'"))),
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                neg: true,
+                not: false,
+                inner: Box::new(inner),
+            });
+        }
+        if self.eat(&TokenKind::Not) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Unary {
+                neg: false,
+                not: true,
+                inner: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn agg(&mut self, kind: AggKind) -> Result<Expr, ParseError> {
+        // e.g. sum(10; other.dmg; other.team == self.team)
+        self.expect(&TokenKind::LParen, "'('")?;
+        let radius = self.expr()?;
+        let mut arg = None;
+        let mut filter = None;
+        if kind != AggKind::Count {
+            self.expect(&TokenKind::Semi, "';' before aggregate expression")?;
+            arg = Some(Box::new(self.expr()?));
+        }
+        if self.eat(&TokenKind::Semi) {
+            filter = Some(Box::new(self.expr()?));
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(Expr::Agg {
+            kind,
+            radius: Box::new(radius),
+            arg,
+            filter,
+        })
+    }
+
+    fn builtin(&mut self, name: BuiltinFn) -> Result<Expr, ParseError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut args = Vec::new();
+        if self.peek_kind() != &TokenKind::RParen {
+            args.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        if args.len() != name.arity() {
+            return Err(self.err(format!(
+                "{name} takes {} argument(s), got {}",
+                name.arity(),
+                args.len()
+            )));
+        }
+        Ok(Expr::Builtin { name, args })
+    }
+
+    fn comp_ref(&mut self, subject: Subject) -> Result<Expr, ParseError> {
+        self.expect(&TokenKind::Dot, "'.' after entity reference")?;
+        let comp = self.ident("component name")?;
+        Ok(Expr::Comp(subject, comp))
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::SelfKw => {
+                self.bump();
+                self.comp_ref(Subject::SelfEnt)
+            }
+            TokenKind::Other => {
+                self.bump();
+                self.comp_ref(Subject::Other)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Count => {
+                self.bump();
+                self.agg(AggKind::Count)
+            }
+            TokenKind::Sum => {
+                self.bump();
+                self.agg(AggKind::Sum)
+            }
+            TokenKind::MinOf => {
+                self.bump();
+                self.agg(AggKind::Min)
+            }
+            TokenKind::MaxOf => {
+                self.bump();
+                self.agg(AggKind::Max)
+            }
+            TokenKind::AvgOf => {
+                self.bump();
+                self.agg(AggKind::Avg)
+            }
+            TokenKind::NearestDist => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let r = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(Expr::NearestDist {
+                    radius: Box::new(r),
+                })
+            }
+            TokenKind::Dist => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'('")?;
+                self.expect(&TokenKind::Other, "'other' (dist measures to the iteration entity)")?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(Expr::DistToOther)
+            }
+            TokenKind::Min => {
+                self.bump();
+                self.builtin(BuiltinFn::Min)
+            }
+            TokenKind::Max => {
+                self.bump();
+                self.builtin(BuiltinFn::Max)
+            }
+            TokenKind::Abs => {
+                self.bump();
+                self.builtin(BuiltinFn::Abs)
+            }
+            TokenKind::Clamp => {
+                self.bump();
+                self.builtin(BuiltinFn::Clamp)
+            }
+            other => Err(self.err(format!("expected an expression, found '{other}'"))),
+        }
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while self.peek_kind() != &TokenKind::RBrace {
+            if self.peek_kind() == &TokenKind::Eof {
+                return Err(self.err("unexpected end of script inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // consume '}'
+        Ok(stmts)
+    }
+
+    fn assign_comp(&mut self, subject: Subject) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::Dot, "'.'")?;
+        let component = self.ident("component name")?;
+        let op = match self.peek_kind() {
+            TokenKind::Assign => AssignOp::Set,
+            TokenKind::PlusEq => AssignOp::Add,
+            TokenKind::MinusEq => AssignOp::Sub,
+            other => {
+                return Err(self.err(format!(
+                    "expected '=', '+=' or '-=' after component, found '{other}'"
+                )))
+            }
+        };
+        self.bump();
+        let value = self.expr()?;
+        self.expect(&TokenKind::Semi, "';'")?;
+        Ok(Stmt::AssignComp {
+            subject,
+            component,
+            op,
+            value,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident("variable name")?;
+                self.expect(&TokenKind::Assign, "'='")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Let { name, value })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                self.expect(&TokenKind::Assign, "'=' (assignment to local)")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::AssignVar { name, value })
+            }
+            TokenKind::SelfKw => {
+                self.bump();
+                self.assign_comp(Subject::SelfEnt)
+            }
+            TokenKind::Other => {
+                self.bump();
+                self.assign_comp(Subject::Other)
+            }
+            TokenKind::If => {
+                self.bump();
+                let cond = self.expr()?;
+                let then_block = self.block()?;
+                let else_block = if self.eat(&TokenKind::Else) {
+                    if self.peek_kind() == &TokenKind::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                })
+            }
+            TokenKind::Foreach => {
+                self.bump();
+                self.expect(&TokenKind::Within, "'within'")?;
+                self.expect(&TokenKind::LParen, "'('")?;
+                let radius = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let body = self.block()?;
+                Ok(Stmt::Foreach { radius, body })
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Move => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let dx = self.expr()?;
+                self.expect(&TokenKind::Comma, "','")?;
+                let dy = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Move { dx, dy })
+            }
+            TokenKind::Despawn => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Despawn)
+            }
+            TokenKind::Call => {
+                self.bump();
+                let script = self.ident("script name")?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Call { script })
+            }
+            TokenKind::Emit => {
+                self.bump();
+                let event = match self.peek_kind().clone() {
+                    TokenKind::Str(s) => {
+                        self.bump();
+                        s
+                    }
+                    other => return Err(self.err(format!("expected event string, found '{other}'"))),
+                };
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::Emit { event })
+            }
+            other => Err(self.err(format!("expected a statement, found '{other}'"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while self.peek_kind() != &TokenKind::Eof {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+}
+
+/// Parse GSL source into a statement list.
+pub fn parse(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+/// Parse a named script.
+pub fn parse_script(name: &str, src: &str) -> Result<Script, ParseError> {
+    Ok(Script {
+        name: name.to_string(),
+        body: parse(src)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::to_source;
+
+    #[test]
+    fn precedence() {
+        let b = parse("let x = 1 + 2 * 3;").unwrap();
+        let Stmt::Let { value, .. } = &b[0] else { panic!() };
+        // 1 + (2 * 3)
+        let Expr::Bin { op: BinOp::Add, rhs, .. } = value else {
+            panic!("expected add at top: {value:?}")
+        };
+        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn logical_precedence() {
+        let b = parse("let x = 1 < 2 && 3 < 4 || false;").unwrap();
+        let Stmt::Let { value, .. } = &b[0] else { panic!() };
+        assert!(matches!(value, Expr::Bin { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn component_assignments() {
+        let b = parse("self.hp -= 5; other.hp += 1; self.hp = 10;").unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(matches!(
+            &b[0],
+            Stmt::AssignComp { subject: Subject::SelfEnt, op: AssignOp::Sub, .. }
+        ));
+        assert!(matches!(
+            &b[1],
+            Stmt::AssignComp { subject: Subject::Other, op: AssignOp::Add, .. }
+        ));
+        assert!(matches!(
+            &b[2],
+            Stmt::AssignComp { op: AssignOp::Set, .. }
+        ));
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let b = parse(
+            "if self.hp < 10 { despawn; } else if self.hp < 50 { call flee; } else { move(1, 0); }",
+        )
+        .unwrap();
+        let Stmt::If { else_block, .. } = &b[0] else { panic!() };
+        assert_eq!(else_block.len(), 1);
+        assert!(matches!(&else_block[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn foreach_and_while() {
+        let b = parse(
+            "foreach within (10) { if dist(other) < 2 { other.hp -= 1; } }\nwhile self.mana > 0 { self.mana -= 1; }",
+        )
+        .unwrap();
+        assert!(matches!(&b[0], Stmt::Foreach { .. }));
+        assert!(matches!(&b[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn aggregates() {
+        let b = parse(
+            r#"let n = count(10);
+               let d = sum(10; other.dmg; other.team == self.team);
+               let m = maxof(5; other.hp);
+               let nd = nearest_dist(20);"#,
+        )
+        .unwrap();
+        assert_eq!(b.len(), 4);
+        let Stmt::Let { value: Expr::Agg { kind, arg, filter, .. }, .. } = &b[1] else {
+            panic!()
+        };
+        assert_eq!(*kind, AggKind::Sum);
+        assert!(arg.is_some());
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn builtins_check_arity() {
+        assert!(parse("let x = min(1, 2);").is_ok());
+        assert!(parse("let x = clamp(5, 0, 10);").is_ok());
+        let err = parse("let x = min(1);").unwrap_err();
+        assert!(err.message.contains("argument"));
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let err = parse("let x = ;").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expression"));
+
+        let err = parse("self.hp ** 2;").unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn unterminated_block() {
+        let err = parse("if true { despawn;").unwrap_err();
+        assert!(err.message.contains("end of script"));
+    }
+
+    #[test]
+    fn emit_and_call() {
+        let b = parse(r#"emit "boss_seen"; call attack_nearest;"#).unwrap();
+        assert!(matches!(&b[0], Stmt::Emit { event } if event == "boss_seen"));
+        assert!(matches!(&b[1], Stmt::Call { script } if script == "attack_nearest"));
+    }
+
+    #[test]
+    fn pretty_print_reparse_roundtrip() {
+        let src = r#"
+          let threat = count(12; other.team != self.team);
+          if threat > 3 {
+            move(-1, 0);
+            emit "retreat";
+          } else {
+            foreach within (6) {
+              if other.hp < self.hp {
+                other.hp -= self.dmg;
+              }
+            }
+          }
+        "#;
+        let ast1 = parse(src).unwrap();
+        let printed = to_source(&ast1);
+        let ast2 = parse(&printed).unwrap();
+        assert_eq!(ast1, ast2);
+    }
+
+    #[test]
+    fn dist_requires_other() {
+        assert!(parse("let d = dist(other);").is_ok());
+        assert!(parse("let d = dist(5);").is_err());
+    }
+}

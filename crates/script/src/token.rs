@@ -1,0 +1,474 @@
+//! Lexer for GSL, the Game Scripting Language.
+//!
+//! GSL is the designer-facing language of this workspace — the kind of
+//! scripting language the paper's data-driven-design section describes
+//! studios building for their designers. The surface syntax is small and
+//! C-like; the interesting part is the *restricted* language level (see
+//! [`crate::types`]) that statically removes iteration and recursion,
+//! as the paper reports studios doing \[10\].
+
+use std::fmt;
+
+/// A token with its source location (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // literals & identifiers
+    Number(f64),
+    Str(String),
+    Ident(String),
+    // keywords
+    Let,
+    If,
+    Else,
+    Foreach,
+    While,
+    Within,
+    Where,
+    SelfKw,
+    Other,
+    Move,
+    Despawn,
+    Call,
+    Emit,
+    True,
+    False,
+    Count,
+    Sum,
+    MinOf,
+    MaxOf,
+    AvgOf,
+    NearestDist,
+    Dist,
+    Min,
+    Max,
+    Abs,
+    Clamp,
+    // punctuation & operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Dot,
+    Assign,    // =
+    PlusEq,    // +=
+    MinusEq,   // -=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Number(n) => write!(f, "{n}"),
+            Str(s) => write!(f, "{s:?}"),
+            Ident(s) => write!(f, "{s}"),
+            Let => write!(f, "let"),
+            If => write!(f, "if"),
+            Else => write!(f, "else"),
+            Foreach => write!(f, "foreach"),
+            While => write!(f, "while"),
+            Within => write!(f, "within"),
+            Where => write!(f, "where"),
+            SelfKw => write!(f, "self"),
+            Other => write!(f, "other"),
+            Move => write!(f, "move"),
+            Despawn => write!(f, "despawn"),
+            Call => write!(f, "call"),
+            Emit => write!(f, "emit"),
+            True => write!(f, "true"),
+            False => write!(f, "false"),
+            Count => write!(f, "count"),
+            Sum => write!(f, "sum"),
+            MinOf => write!(f, "minof"),
+            MaxOf => write!(f, "maxof"),
+            AvgOf => write!(f, "avgof"),
+            NearestDist => write!(f, "nearest_dist"),
+            Dist => write!(f, "dist"),
+            Min => write!(f, "min"),
+            Max => write!(f, "max"),
+            Abs => write!(f, "abs"),
+            Clamp => write!(f, "clamp"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            Semi => write!(f, ";"),
+            Comma => write!(f, ","),
+            Dot => write!(f, "."),
+            Assign => write!(f, "="),
+            PlusEq => write!(f, "+="),
+            MinusEq => write!(f, "-="),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            EqEq => write!(f, "=="),
+            NotEq => write!(f, "!="),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            AndAnd => write!(f, "&&"),
+            OrOr => write!(f, "||"),
+            Not => write!(f, "!"),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexical error with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<TokenKind> {
+    use TokenKind::*;
+    Some(match s {
+        "let" => Let,
+        "if" => If,
+        "else" => Else,
+        "foreach" => Foreach,
+        "while" => While,
+        "within" => Within,
+        "where" => Where,
+        "self" => SelfKw,
+        "other" => Other,
+        "move" => Move,
+        "despawn" => Despawn,
+        "call" => Call,
+        "emit" => Emit,
+        "true" => True,
+        "false" => False,
+        "count" => Count,
+        "sum" => Sum,
+        "minof" => MinOf,
+        "maxof" => MaxOf,
+        "avgof" => AvgOf,
+        "nearest_dist" => NearestDist,
+        "dist" => Dist,
+        "min" => Min,
+        "max" => Max,
+        "abs" => Abs,
+        "clamp" => Clamp,
+        _ => return None,
+    })
+}
+
+/// Tokenize a GSL source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let (mut i, mut line, mut col) = (0usize, 1u32, 1u32);
+    macro_rules! push {
+        ($kind:expr, $l:expr, $c:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+    while i < b.len() {
+        let (l, c) = (line, col);
+        let ch = b[i];
+        let adv = |n: usize, i: &mut usize, col: &mut u32| {
+            *i += n;
+            *col += n as u32;
+        };
+        match ch {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => adv(1, &mut i, &mut col),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                let n = text.parse::<f64>().map_err(|_| LexError {
+                    line: l,
+                    col: c,
+                    message: format!("malformed number {text:?}"),
+                })?;
+                push!(TokenKind::Number(n), l, c);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                match keyword(text) {
+                    Some(kw) => push!(kw, l, c),
+                    None => push!(TokenKind::Ident(text.to_string()), l, c),
+                }
+            }
+            b'"' => {
+                i += 1;
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(LexError {
+                            line: l,
+                            col: c,
+                            message: "unterminated string".into(),
+                        });
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            col += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            return Err(LexError {
+                                line: l,
+                                col: c,
+                                message: "newline in string".into(),
+                            })
+                        }
+                        b'\\' if i + 1 < b.len() => {
+                            let esc = b[i + 1];
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'"' => '"',
+                                b'\\' => '\\',
+                                other => {
+                                    return Err(LexError {
+                                        line,
+                                        col,
+                                        message: format!(
+                                            "unknown escape '\\{}'",
+                                            other as char
+                                        ),
+                                    })
+                                }
+                            });
+                            i += 2;
+                            col += 2;
+                        }
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                            col += 1;
+                        }
+                    }
+                }
+                push!(TokenKind::Str(s), l, c);
+            }
+            _ => {
+                use TokenKind::*;
+                let two = if i + 1 < b.len() { &b[i..i + 2] } else { &b[i..i + 1] };
+                let (kind, len) = match two {
+                    b"+=" => (PlusEq, 2),
+                    b"-=" => (MinusEq, 2),
+                    b"==" => (EqEq, 2),
+                    b"!=" => (NotEq, 2),
+                    b"<=" => (Le, 2),
+                    b">=" => (Ge, 2),
+                    b"&&" => (AndAnd, 2),
+                    b"||" => (OrOr, 2),
+                    _ => match ch {
+                        b'(' => (LParen, 1),
+                        b')' => (RParen, 1),
+                        b'{' => (LBrace, 1),
+                        b'}' => (RBrace, 1),
+                        b';' => (Semi, 1),
+                        b',' => (Comma, 1),
+                        b'.' => (Dot, 1),
+                        b'=' => (Assign, 1),
+                        b'+' => (Plus, 1),
+                        b'-' => (Minus, 1),
+                        b'*' => (Star, 1),
+                        b'/' => (Slash, 1),
+                        b'%' => (Percent, 1),
+                        b'<' => (Lt, 1),
+                        b'>' => (Gt, 1),
+                        b'!' => (Not, 1),
+                        other => {
+                            return Err(LexError {
+                                line: l,
+                                col: c,
+                                message: format!("unexpected character {:?}", other as char),
+                            })
+                        }
+                    },
+                };
+                adv(len, &mut i, &mut col);
+                push!(kind, l, c);
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_idents_keywords() {
+        assert_eq!(
+            kinds("let x = 3.5;"),
+            vec![Let, Ident("x".into()), Assign, Number(3.5), Semi, Eof]
+        );
+        assert_eq!(kinds("42"), vec![Number(42.0), Eof]);
+    }
+
+    #[test]
+    fn operators_two_char_before_one_char() {
+        assert_eq!(
+            kinds("a += b <= c == d != e && f || !g"),
+            vec![
+                Ident("a".into()),
+                PlusEq,
+                Ident("b".into()),
+                Le,
+                Ident("c".into()),
+                EqEq,
+                Ident("d".into()),
+                NotEq,
+                Ident("e".into()),
+                AndAnd,
+                Ident("f".into()),
+                OrOr,
+                Not,
+                Ident("g".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn self_component_access() {
+        assert_eq!(
+            kinds("self.hp -= 5;"),
+            vec![SelfKw, Dot, Ident("hp".into()), MinusEq, Number(5.0), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("x // the variable\n y"),
+            vec![Ident("x".into()), Ident("y".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#"emit "boss\n\"fight\"";"#),
+            vec![Emit, Str("boss\n\"fight\"".into()), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn malformed_number_is_error() {
+        let err = lex("1.2.3").unwrap_err();
+        assert!(err.message.contains("malformed"));
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        let err = lex("let $x = 1;").unwrap_err();
+        assert_eq!(err.col, 5);
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("let a = 1;\n  let b = 2;").unwrap();
+        let b_tok = toks
+            .iter()
+            .find(|t| t.kind == Ident("b".into()))
+            .unwrap();
+        assert_eq!(b_tok.line, 2);
+        assert_eq!(b_tok.col, 7);
+    }
+
+    #[test]
+    fn aggregate_keywords() {
+        assert_eq!(
+            kinds("count(10) sum minof maxof avgof nearest_dist within where"),
+            vec![
+                Count,
+                LParen,
+                Number(10.0),
+                RParen,
+                Sum,
+                MinOf,
+                MaxOf,
+                AvgOf,
+                NearestDist,
+                Within,
+                Where,
+                Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,681 @@
+//! Type checker and language levels for GSL.
+//!
+//! Two checks matter beyond ordinary typing:
+//!
+//! 1. **Write safety.** `other.comp = x` (a Set on a *different* entity)
+//!    is rejected in every language level: set-effects are only safe on
+//!    the entity that owns the script, while `+=`/`-=` compile to
+//!    commutative Add effects that merge deterministically. This is the
+//!    static rule that prevents the scripting-language concurrency bugs
+//!    the paper calls "one of the largest sources of bugs and exploits
+//!    in MMOs".
+//! 2. **The restricted level.** The paper reports studios "removing
+//!    support for iteration and recursion from their scripting languages"
+//!    to stop designers writing Ω(n²) behaviour. [`Level::Restricted`]
+//!    rejects `foreach`, `while`, and recursive `call` chains; designers
+//!    express neighborhood logic through the aggregate built-ins, which
+//!    the engine evaluates through the spatial index.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gamedb_content::ValueType;
+use gamedb_core::World;
+
+use crate::ast::{AssignOp, BinOp, Expr, Script, Stmt, Subject};
+
+/// Script-level types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    Num,
+    Bool,
+    Str,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Num => write!(f, "num"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// Language levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Everything allowed (iteration, recursion through `call`).
+    Full,
+    /// No `foreach`, no `while`, no recursive `call` chains.
+    Restricted,
+}
+
+/// Access to component types (the world schema). Implemented for the
+/// engine's [`World`] and for plain maps (tools, tests).
+pub trait ComponentSchema {
+    fn lookup(&self, component: &str) -> Option<ValueType>;
+}
+
+impl ComponentSchema for World {
+    fn lookup(&self, component: &str) -> Option<ValueType> {
+        self.component_type(component)
+    }
+}
+
+impl ComponentSchema for BTreeMap<String, ValueType> {
+    fn lookup(&self, component: &str) -> Option<ValueType> {
+        self.get(component).copied()
+    }
+}
+
+/// A type-check diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    pub script: String,
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "script {}: {}", self.script, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Map a component type into a script type. Vec2 components are not
+/// directly accessible — scripts use the virtual `x`/`y` and `move`.
+fn comp_ty(vt: ValueType) -> Option<Ty> {
+    match vt {
+        ValueType::Float | ValueType::Int => Some(Ty::Num),
+        ValueType::Bool => Some(Ty::Bool),
+        ValueType::Str => Some(Ty::Str),
+        ValueType::Vec2 => None,
+    }
+}
+
+struct Checker<'a> {
+    script: String,
+    schema: &'a dyn ComponentSchema,
+    errors: Vec<TypeError>,
+    /// lexical scopes of local variables
+    scopes: Vec<BTreeMap<String, Ty>>,
+    /// nesting depth of contexts where `other` is bound
+    other_depth: usize,
+}
+
+impl<'a> Checker<'a> {
+    fn error(&mut self, message: impl Into<String>) {
+        self.errors.push(TypeError {
+            script: self.script.clone(),
+            message: message.into(),
+        });
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<Ty> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn comp_type(&mut self, subject: Subject, comp: &str) -> Option<Ty> {
+        if comp == "x" || comp == "y" {
+            return Some(Ty::Num); // virtual position reads
+        }
+        match self.schema.lookup(comp) {
+            None => {
+                self.error(format!("unknown component '{subject}.{comp}'"));
+                None
+            }
+            Some(vt) => match comp_ty(vt) {
+                Some(t) => Some(t),
+                None => {
+                    self.error(format!(
+                        "component '{comp}' is vec2; use {subject}.x / {subject}.y or move()"
+                    ));
+                    None
+                }
+            },
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Option<Ty> {
+        match e {
+            Expr::Num(_) => Some(Ty::Num),
+            Expr::Bool(_) => Some(Ty::Bool),
+            Expr::Str(_) => Some(Ty::Str),
+            Expr::Var(name) => match self.lookup_var(name) {
+                Some(t) => Some(t),
+                None => {
+                    self.error(format!("undeclared variable '{name}'"));
+                    None
+                }
+            },
+            Expr::Comp(subject, comp) => {
+                if *subject == Subject::Other && self.other_depth == 0 {
+                    self.error(format!(
+                        "'other.{comp}' used outside foreach or aggregate"
+                    ));
+                }
+                self.comp_type(*subject, comp)
+            }
+            Expr::Unary { neg, not, inner } => {
+                let t = self.expr(inner)?;
+                if *neg && t != Ty::Num {
+                    self.error(format!("unary '-' needs num, got {t}"));
+                    return None;
+                }
+                if *not && t != Ty::Bool {
+                    self.error(format!("'!' needs bool, got {t}"));
+                    return None;
+                }
+                Some(t)
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let lt = self.expr(lhs);
+                let rt = self.expr(rhs);
+                let (lt, rt) = (lt?, rt?);
+                if op.is_logic() {
+                    if lt != Ty::Bool || rt != Ty::Bool {
+                        self.error(format!("'{op}' needs bool operands, got {lt} and {rt}"));
+                    }
+                    Some(Ty::Bool)
+                } else if op.is_cmp() {
+                    if lt != rt {
+                        self.error(format!("cannot compare {lt} with {rt}"));
+                    } else if lt == Ty::Bool && !matches!(op, BinOp::Eq | BinOp::Ne) {
+                        self.error("bools only compare with == and !=".to_string());
+                    }
+                    Some(Ty::Bool)
+                } else {
+                    // arithmetic
+                    if lt != Ty::Num || rt != Ty::Num {
+                        self.error(format!("'{op}' needs num operands, got {lt} and {rt}"));
+                    }
+                    Some(Ty::Num)
+                }
+            }
+            Expr::DistToOther => {
+                if self.other_depth == 0 {
+                    self.error("dist(other) used outside foreach or aggregate");
+                }
+                Some(Ty::Num)
+            }
+            Expr::Builtin { name, args } => {
+                for a in args {
+                    if let Some(t) = self.expr(a) {
+                        if t != Ty::Num {
+                            self.error(format!("{name} arguments must be num, got {t}"));
+                        }
+                    }
+                }
+                Some(Ty::Num)
+            }
+            Expr::Agg {
+                radius,
+                arg,
+                filter,
+                ..
+            } => {
+                if let Some(t) = self.expr(radius) {
+                    if t != Ty::Num {
+                        self.error(format!("aggregate radius must be num, got {t}"));
+                    }
+                }
+                self.other_depth += 1;
+                if let Some(a) = arg {
+                    if let Some(t) = self.expr(a) {
+                        if t != Ty::Num {
+                            self.error(format!("aggregate expression must be num, got {t}"));
+                        }
+                    }
+                }
+                if let Some(fx) = filter {
+                    if let Some(t) = self.expr(fx) {
+                        if t != Ty::Bool {
+                            self.error(format!("aggregate filter must be bool, got {t}"));
+                        }
+                    }
+                }
+                self.other_depth -= 1;
+                Some(Ty::Num)
+            }
+            Expr::NearestDist { radius } => {
+                if let Some(t) = self.expr(radius) {
+                    if t != Ty::Num {
+                        self.error(format!("nearest_dist radius must be num, got {t}"));
+                    }
+                }
+                Some(Ty::Num)
+            }
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt], level: Level) {
+        self.scopes.push(BTreeMap::new());
+        for s in stmts {
+            self.stmt(s, level);
+        }
+        self.scopes.pop();
+    }
+
+    fn stmt(&mut self, s: &Stmt, level: Level) {
+        match s {
+            Stmt::Let { name, value } => {
+                let t = self.expr(value);
+                let scope = self.scopes.last_mut().expect("scope stack never empty");
+                if scope.contains_key(name) {
+                    self.error(format!("variable '{name}' already declared in this scope"));
+                } else if let Some(t) = t {
+                    self.scopes
+                        .last_mut()
+                        .expect("scope stack never empty")
+                        .insert(name.clone(), t);
+                }
+            }
+            Stmt::AssignVar { name, value } => {
+                let vt = self.expr(value);
+                match self.lookup_var(name) {
+                    None => self.error(format!("assignment to undeclared variable '{name}'")),
+                    Some(dt) => {
+                        if let Some(vt) = vt {
+                            if vt != dt {
+                                self.error(format!(
+                                    "variable '{name}' is {dt}, cannot assign {vt}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::AssignComp {
+                subject,
+                component,
+                op,
+                value,
+            } => {
+                if *subject == Subject::Other && self.other_depth == 0 {
+                    self.error(format!(
+                        "'other.{component}' assigned outside foreach"
+                    ));
+                }
+                if *subject == Subject::Other && *op == AssignOp::Set {
+                    self.error(format!(
+                        "'other.{component} = …' is a non-commutative write to another \
+                         entity; use '+=' / '-=' (commutative) instead"
+                    ));
+                }
+                if component == "x" || component == "y" {
+                    self.error(format!(
+                        "position is written with move(dx, dy), not {subject}.{component}"
+                    ));
+                    let _ = self.expr(value);
+                    return;
+                }
+                let ct = self.comp_type(*subject, component);
+                let vt = self.expr(value);
+                if let (Some(ct), Some(vt)) = (ct, vt) {
+                    match op {
+                        AssignOp::Set => {
+                            if ct != vt {
+                                self.error(format!(
+                                    "component '{component}' is {ct}, cannot assign {vt}"
+                                ));
+                            }
+                        }
+                        AssignOp::Add | AssignOp::Sub => {
+                            if ct != Ty::Num {
+                                self.error(format!(
+                                    "'+='/'-=' need a numeric component, '{component}' is {ct}"
+                                ));
+                            }
+                            if vt != Ty::Num {
+                                self.error(format!("'+='/'-=' need num value, got {vt}"));
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                if let Some(t) = self.expr(cond) {
+                    if t != Ty::Bool {
+                        self.error(format!("if condition must be bool, got {t}"));
+                    }
+                }
+                self.block(then_block, level);
+                self.block(else_block, level);
+            }
+            Stmt::Foreach { radius, body } => {
+                if level == Level::Restricted {
+                    self.error(
+                        "'foreach' is not available in the restricted language level \
+                         (use aggregates: count/sum/minof/maxof/avgof)",
+                    );
+                }
+                if let Some(t) = self.expr(radius) {
+                    if t != Ty::Num {
+                        self.error(format!("foreach radius must be num, got {t}"));
+                    }
+                }
+                self.other_depth += 1;
+                self.block(body, level);
+                self.other_depth -= 1;
+            }
+            Stmt::While { cond, body } => {
+                if level == Level::Restricted {
+                    self.error("'while' is not available in the restricted language level");
+                }
+                if let Some(t) = self.expr(cond) {
+                    if t != Ty::Bool {
+                        self.error(format!("while condition must be bool, got {t}"));
+                    }
+                }
+                self.block(body, level);
+            }
+            Stmt::Move { dx, dy } => {
+                for (what, e) in [("dx", dx), ("dy", dy)] {
+                    if let Some(t) = self.expr(e) {
+                        if t != Ty::Num {
+                            self.error(format!("move {what} must be num, got {t}"));
+                        }
+                    }
+                }
+            }
+            Stmt::Despawn => {}
+            Stmt::Call { .. } => {
+                // resolved at the library level (needs the script set)
+            }
+            Stmt::Emit { .. } => {}
+        }
+    }
+}
+
+/// Type-check a single script body against a schema. Call-graph checks
+/// (unknown callees, recursion in restricted mode) happen in
+/// [`check_library`].
+pub fn check_script(
+    script: &Script,
+    schema: &dyn ComponentSchema,
+    level: Level,
+) -> Vec<TypeError> {
+    let mut c = Checker {
+        script: script.name.clone(),
+        schema,
+        errors: Vec::new(),
+        scopes: vec![BTreeMap::new()],
+        other_depth: 0,
+    };
+    for s in &script.body {
+        c.stmt(s, level);
+    }
+    c.errors
+}
+
+fn collect_calls(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Call { script } => out.push(script.clone()),
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                collect_calls(then_block, out);
+                collect_calls(else_block, out);
+            }
+            Stmt::Foreach { body, .. } | Stmt::While { body, .. } => collect_calls(body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Check a whole script library: per-script type checks plus call-graph
+/// validation. In [`Level::Restricted`], any cycle in the call graph
+/// (including self-calls) is an error — that is the "no recursion" rule.
+pub fn check_library(
+    scripts: &[Script],
+    schema: &dyn ComponentSchema,
+    level: Level,
+) -> Vec<TypeError> {
+    let mut errors = Vec::new();
+    let names: Vec<&str> = scripts.iter().map(|s| s.name.as_str()).collect();
+    for s in scripts {
+        errors.extend(check_script(s, schema, level));
+        let mut calls = Vec::new();
+        collect_calls(&s.body, &mut calls);
+        for callee in &calls {
+            if !names.contains(&callee.as_str()) {
+                errors.push(TypeError {
+                    script: s.name.clone(),
+                    message: format!("call to unknown script '{callee}'"),
+                });
+            }
+        }
+    }
+    if level == Level::Restricted {
+        // DFS cycle detection over the call graph.
+        let mut adj: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+        for s in scripts {
+            let mut calls = Vec::new();
+            collect_calls(&s.body, &mut calls);
+            adj.insert(&s.name, calls);
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        fn dfs(
+            node: &str,
+            adj: &BTreeMap<&str, Vec<String>>,
+            marks: &mut BTreeMap<String, Mark>,
+            path: &mut Vec<String>,
+            cycles: &mut Vec<Vec<String>>,
+        ) {
+            match marks.get(node).copied().unwrap_or(Mark::White) {
+                Mark::Black => return,
+                Mark::Grey => {
+                    let start = path.iter().position(|p| p == node).unwrap_or(0);
+                    let mut cyc = path[start..].to_vec();
+                    cyc.push(node.to_string());
+                    cycles.push(cyc);
+                    return;
+                }
+                Mark::White => {}
+            }
+            marks.insert(node.to_string(), Mark::Grey);
+            path.push(node.to_string());
+            if let Some(callees) = adj.get(node) {
+                for c in callees {
+                    if adj.contains_key(c.as_str()) {
+                        dfs(c, adj, marks, path, cycles);
+                    }
+                }
+            }
+            path.pop();
+            marks.insert(node.to_string(), Mark::Black);
+        }
+        let mut marks = BTreeMap::new();
+        let mut cycles = Vec::new();
+        for s in scripts {
+            dfs(&s.name, &adj, &mut marks, &mut Vec::new(), &mut cycles);
+        }
+        for cyc in cycles {
+            errors.push(TypeError {
+                script: cyc[0].clone(),
+                message: format!(
+                    "recursive call chain not allowed in restricted level: {}",
+                    cyc.join(" -> ")
+                ),
+            });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+
+    fn schema() -> BTreeMap<String, ValueType> {
+        [
+            ("hp".to_string(), ValueType::Float),
+            ("dmg".to_string(), ValueType::Float),
+            ("gold".to_string(), ValueType::Int),
+            ("alive".to_string(), ValueType::Bool),
+            ("team".to_string(), ValueType::Str),
+            ("home".to_string(), ValueType::Vec2),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn check(src: &str, level: Level) -> Vec<TypeError> {
+        let s = parse_script("t", src).unwrap();
+        check_script(&s, &schema(), level)
+    }
+
+    #[test]
+    fn well_typed_script_passes() {
+        let errs = check(
+            r#"
+            let near = count(10; other.team != self.team);
+            if near > 2 && self.hp < 50 {
+                move(1, 0);
+                self.hp += 1;
+            }
+            "#,
+            Level::Restricted,
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn unknown_component() {
+        let errs = check("self.mana -= 1;", Level::Full);
+        assert!(errs[0].message.contains("unknown component"));
+    }
+
+    #[test]
+    fn set_on_other_rejected() {
+        let errs = check("foreach within (5) { other.hp = 0; }", Level::Full);
+        assert!(errs.iter().any(|e| e.message.contains("non-commutative")));
+        // += on other is fine
+        let ok = check("foreach within (5) { other.hp -= 1; }", Level::Full);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn other_outside_foreach_rejected() {
+        let errs = check("let x = other.hp;", Level::Full);
+        assert!(errs[0].message.contains("outside foreach"));
+        let errs = check("self.hp = other.hp;", Level::Full);
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn restricted_rejects_iteration() {
+        let errs = check("foreach within (5) { other.hp -= 1; }", Level::Restricted);
+        assert!(errs.iter().any(|e| e.message.contains("foreach")));
+        let errs = check("while self.hp > 0 { self.hp -= 1; }", Level::Restricted);
+        assert!(errs.iter().any(|e| e.message.contains("while")));
+        // the aggregate alternative passes
+        let ok = check("self.hp -= count(5);", Level::Restricted);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn type_mismatches() {
+        assert!(check("self.alive = 1;", Level::Full)[0]
+            .message
+            .contains("cannot assign"));
+        assert!(check("self.team += 1;", Level::Full)[0]
+            .message
+            .contains("numeric component"));
+        assert!(check("if self.hp { despawn; }", Level::Full)[0]
+            .message
+            .contains("must be bool"));
+        assert!(check("let x = 1 + true;", Level::Full)[0]
+            .message
+            .contains("num operands"));
+        assert!(check(r#"let x = self.team < "b" && true;"#, Level::Full).is_empty());
+        assert!(!check(r#"let x = self.alive < true;"#, Level::Full).is_empty());
+    }
+
+    #[test]
+    fn vec2_component_not_directly_accessible() {
+        let errs = check("let h = self.home;", Level::Full);
+        assert!(errs[0].message.contains("vec2"));
+    }
+
+    #[test]
+    fn position_written_via_move_only() {
+        let errs = check("self.x = 5;", Level::Full);
+        assert!(errs[0].message.contains("move"));
+        let ok = check("let dx = self.x + 1; move(dx, self.y);", Level::Full);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn scoping_rules() {
+        let errs = check("let x = 1; let x = 2;", Level::Full);
+        assert!(errs[0].message.contains("already declared"));
+        let errs = check("if true { let y = 1; } let z = y;", Level::Full);
+        assert!(errs[0].message.contains("undeclared"));
+        // shadowing in nested scope is allowed
+        let ok = check("let x = 1; if true { let x = 2; self.hp = x; }", Level::Full);
+        assert!(ok.is_empty(), "{ok:?}");
+        let errs = check("x = 3;", Level::Full);
+        assert!(errs[0].message.contains("undeclared"));
+        let errs = check("let b = true; b = 1;", Level::Full);
+        assert!(errs[0].message.contains("cannot assign"));
+    }
+
+    #[test]
+    fn library_checks_unknown_callee() {
+        let a = parse_script("a", "call b;").unwrap();
+        let errs = check_library(&[a], &schema(), Level::Full);
+        assert!(errs[0].message.contains("unknown script"));
+    }
+
+    #[test]
+    fn restricted_rejects_recursion() {
+        let a = parse_script("a", "call b;").unwrap();
+        let b = parse_script("b", "call a;").unwrap();
+        let errs = check_library(&[a.clone(), b.clone()], &schema(), Level::Restricted);
+        assert!(
+            errs.iter().any(|e| e.message.contains("recursive")),
+            "{errs:?}"
+        );
+        // full level allows the cycle (bounded at runtime)
+        let full = check_library(&[a, b], &schema(), Level::Full);
+        assert!(full.is_empty(), "{full:?}");
+
+        // self-recursion
+        let c = parse_script("c", "call c;").unwrap();
+        let errs = check_library(&[c], &schema(), Level::Restricted);
+        assert!(errs.iter().any(|e| e.message.contains("recursive")));
+    }
+
+    #[test]
+    fn acyclic_calls_pass_restricted() {
+        let a = parse_script("a", "call b; call c;").unwrap();
+        let b = parse_script("b", "call c;").unwrap();
+        let c = parse_script("c", "self.hp += 1;").unwrap();
+        let errs = check_library(&[a, b, c], &schema(), Level::Restricted);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn aggregate_filter_types() {
+        let errs = check("let x = sum(5; other.hp; other.hp);", Level::Restricted);
+        assert!(errs[0].message.contains("filter must be bool"));
+        let errs = check("let x = count(true);", Level::Restricted);
+        assert!(errs[0].message.contains("radius must be num"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the AST optimizer: optimized scripts are
+//! observation-equivalent to their originals, remain well-typed, stay
+//! parseable through the pretty-printer, and optimization is idempotent.
+//!
+//! Numeric fragments stick to dyadic values (integers, halves) so the
+//! foreach-to-aggregate rewrite's different float-accumulation grouping
+//! is exact and final worlds compare bit-for-bit.
+
+use gamedb_content::{Value, ValueType};
+use gamedb_core::{EffectBuffer, World};
+use gamedb_script::{
+    check_script, optimize, parse_script, run_script, ExecOptions, Level, ScriptLibrary,
+};
+use gamedb_spatial::Vec2;
+use proptest::prelude::*;
+
+/// Random full-level scripts exercising every optimizer pass: constant
+/// arithmetic (folding), constant conditions (DCE), unread lets,
+/// rewritable and non-rewritable foreach loops, and while loops.
+fn script_strategy() -> impl Strategy<Value = String> {
+    let num_expr = prop_oneof![
+        Just("self.hp".to_string()),
+        Just("self.dmg".to_string()),
+        Just("other.dmg".to_string()),
+        Just("2 + 3 * 4".to_string()),
+        Just("min(6, 2) + max(1, 0)".to_string()),
+        Just("self.dmg * 1 + 0".to_string()),
+        Just("10 / 4".to_string()),
+        (1..20i32).prop_map(|n| n.to_string()),
+        (1..10i32).prop_map(|n| format!("{n} * 0.5")),
+    ];
+    let self_expr = prop_oneof![
+        Just("self.hp".to_string()),
+        Just("self.dmg * 2".to_string()),
+        Just("1 + 1".to_string()),
+        (1..20i32).prop_map(|n| n.to_string()),
+    ];
+    let stmt = (num_expr, self_expr).prop_flat_map(|(oe, se)| {
+        prop_oneof![
+            // plain arithmetic writes (folding targets)
+            Just(format!("self.hp += {se};")),
+            Just(format!("self.hp -= {se} * 0.5;")),
+            // constant conditions (DCE targets)
+            Just(format!("if 1 < 2 {{ self.hp += {se}; }}")),
+            Just(format!("if 2 < 1 {{ self.hp += 99; }} else {{ self.hp -= {se}; }}")),
+            Just(format!("if self.hp > 10 && true {{ self.hp -= {se}; }}")),
+            // unread and read lets
+            Just(format!("let VAR = {se}; self.hp += 1;")),
+            Just(format!("let VAR = {se}; self.hp += VAR;")),
+            // rewritable foreach (sum / filtered sum / count)
+            Just(format!("foreach within (7) {{ self.hp -= {oe}; }}")),
+            Just(
+                "foreach within (9) { if other.team != self.team { self.threat += other.dmg; } }"
+                    .to_string()
+            ),
+            Just("foreach within (6) { if other.hp > 20 { self.seen += 1; } }".to_string()),
+            // NOT rewritable: writes other / multiple statements
+            Just("foreach within (5) { other.hp -= 0.5; }".to_string()),
+            Just("foreach within (5) { self.hp -= 0.5; other.hp -= 0.5; }".to_string()),
+            // bounded while (full level)
+            Just("let VAR = 0; while VAR < 3 { self.hp += 0.5; VAR = VAR + 1; }".to_string()),
+            Just(format!("while false {{ self.hp += {se}; }}")),
+        ]
+    });
+    proptest::collection::vec(stmt, 1..6).prop_map(|stmts| {
+        stmts
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.replace("VAR", &format!("v{i}")))
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+fn test_world(positions: &[(f32, f32)]) -> World {
+    let mut w = World::new();
+    w.define_component("hp", ValueType::Float).unwrap();
+    w.define_component("dmg", ValueType::Float).unwrap();
+    w.define_component("threat", ValueType::Float).unwrap();
+    w.define_component("seen", ValueType::Int).unwrap();
+    w.define_component("team", ValueType::Str).unwrap();
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        let e = w.spawn_at(Vec2::new(x, y));
+        w.set_f32(e, "hp", 16.0 + (i % 7) as f32 * 8.0).unwrap();
+        w.set_f32(e, "dmg", 1.0 + (i % 4) as f32).unwrap();
+        w.set_f32(e, "threat", 0.0).unwrap();
+        w.set(e, "seen", Value::Int(0)).unwrap();
+        w.set(
+            e,
+            "team",
+            Value::Str(if i % 2 == 0 { "red" } else { "blue" }.into()),
+        )
+        .unwrap();
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimized_equals_original(
+        src in script_strategy(),
+        positions in proptest::collection::vec((-30.0f32..30.0, -30.0f32..30.0), 2..20),
+    ) {
+        let world = test_world(&positions);
+        let script = parse_script("s", &src).unwrap();
+        prop_assert!(check_script(&script, &world, Level::Full).is_empty());
+        let (opt, _) = optimize(&script);
+
+        let mut lib_orig = ScriptLibrary::new();
+        lib_orig.insert(script);
+        let mut lib_opt = ScriptLibrary::new();
+        lib_opt.insert(opt);
+
+        for id in world.entity_vec() {
+            let mut b_orig = EffectBuffer::new();
+            let mut b_opt = EffectBuffer::new();
+            run_script(&lib_orig, "s", &world, id, &mut b_orig, ExecOptions::default()).unwrap();
+            run_script(&lib_opt, "s", &world, id, &mut b_opt, ExecOptions::default()).unwrap();
+            let mut w_orig = world.clone();
+            let mut w_opt = world.clone();
+            b_orig.apply(&mut w_orig).unwrap();
+            b_opt.apply(&mut w_opt).unwrap();
+            prop_assert_eq!(w_orig.rows(), w_opt.rows(), "script:\n{}", src);
+        }
+    }
+
+    #[test]
+    fn optimized_scripts_still_typecheck(
+        src in script_strategy(),
+        positions in proptest::collection::vec((-30.0f32..30.0, -30.0f32..30.0), 2..8),
+    ) {
+        let world = test_world(&positions);
+        let script = parse_script("s", &src).unwrap();
+        let (opt, _) = optimize(&script);
+        let errors = check_script(&opt, &world, Level::Full);
+        prop_assert!(errors.is_empty(), "{errors:?}\n--- optimized from:\n{src}");
+    }
+
+    #[test]
+    fn optimizer_output_reparses(src in script_strategy()) {
+        let script = parse_script("s", &src).unwrap();
+        let (opt, _) = optimize(&script);
+        let printed = gamedb_script::ast::to_source(&opt.body);
+        let reparsed = parse_script("s", &printed).unwrap();
+        prop_assert_eq!(&reparsed.body, &opt.body, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn optimization_is_idempotent(src in script_strategy()) {
+        let script = parse_script("s", &src).unwrap();
+        let (once, _) = optimize(&script);
+        let (twice, stats) = optimize(&once);
+        prop_assert_eq!(&once.body, &twice.body);
+        prop_assert_eq!(
+            stats.folded + stats.dead_stmts + stats.foreach_rewrites + stats.lets_removed,
+            0,
+            "second pass found work in:\n{}",
+            gamedb_script::ast::to_source(&once.body)
+        );
+    }
+}

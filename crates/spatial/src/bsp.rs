@@ -1,0 +1,525 @@
+//! Binary space partitioning tree over 2-D points.
+//!
+//! Games classically use BSP trees for static level geometry; here we use
+//! the point-partitioning variant (axis-aligned splitting planes — a
+//! kd-tree-style BSP) so the same structure can index moving entities.
+//! Splits pick the longest axis of the node's bounding box and divide at
+//! the median, which keeps the tree balanced under clustered data — the
+//! regime where the uniform grid collapses (experiment E3).
+
+use std::collections::HashMap;
+
+use crate::geom::{Aabb, Vec2};
+use crate::index::{finish_knn, ItemId, SpatialIndex};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+impl Axis {
+    #[inline]
+    fn coord(self, p: Vec2) -> f32 {
+        match self {
+            Axis::X => p.x,
+            Axis::Y => p.y,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        items: Vec<(ItemId, Vec2)>,
+    },
+    Inner {
+        axis: Axis,
+        split: f32,
+        // children boxed to keep Node small
+        left: Box<Node>,
+        right: Box<Node>,
+        /// number of items in this subtree (maintained for rebuild triggers)
+        count: usize,
+    },
+}
+
+/// A dynamic BSP (kd) tree.
+///
+/// Mutation strategy: inserts descend to a leaf and split it when it
+/// exceeds `leaf_capacity`; removals delete from the leaf. When the number
+/// of mutations since the last build exceeds half the tree size the whole
+/// tree is rebuilt from scratch (bulk median build), bounding degradation
+/// under heavy churn.
+#[derive(Debug, Clone)]
+pub struct BspTree {
+    root: Node,
+    positions: HashMap<ItemId, Vec2>,
+    leaf_capacity: usize,
+    mutations: usize,
+}
+
+impl Default for BspTree {
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+impl BspTree {
+    /// Create an empty tree. `leaf_capacity` is the maximum number of items
+    /// a leaf may hold before it is split (minimum 2).
+    pub fn new(leaf_capacity: usize) -> Self {
+        BspTree {
+            root: Node::Leaf { items: Vec::new() },
+            positions: HashMap::new(),
+            leaf_capacity: leaf_capacity.max(2),
+            mutations: 0,
+        }
+    }
+
+    /// Bulk-build from a point set (median splits, balanced result).
+    pub fn build(items: impl IntoIterator<Item = (ItemId, Vec2)>, leaf_capacity: usize) -> Self {
+        let mut t = BspTree::new(leaf_capacity);
+        let mut all: Vec<(ItemId, Vec2)> = items.into_iter().collect();
+        t.positions = all.iter().map(|&(id, p)| (id, p)).collect();
+        // Deduplicate ids, keeping the last occurrence (insert semantics).
+        if t.positions.len() != all.len() {
+            all = t.positions.iter().map(|(&id, &p)| (id, p)).collect();
+        }
+        t.root = Self::build_node(all, leaf_capacity);
+        t
+    }
+
+    fn build_node(mut items: Vec<(ItemId, Vec2)>, cap: usize) -> Node {
+        if items.len() <= cap {
+            return Node::Leaf { items };
+        }
+        let bounds = items
+            .iter()
+            .fold(Aabb::new(items[0].1, items[0].1), |b, &(_, p)| {
+                b.union(&Aabb::new(p, p))
+            });
+        let primary = if bounds.width() >= bounds.height() {
+            Axis::X
+        } else {
+            Axis::Y
+        };
+        // Find a split index such that every left coordinate is strictly
+        // below the split value and every right coordinate is at or above
+        // it; insert/remove descend with `< split`, so the partition must
+        // be exact even with tied coordinates. Falls back to the other
+        // axis, then to an oversized leaf, when all coordinates tie.
+        let mut chosen: Option<(Axis, usize)> = None;
+        for axis in [primary, if primary == Axis::X { Axis::Y } else { Axis::X }] {
+            items.sort_by(|a, b| axis.coord(a.1).partial_cmp(&axis.coord(b.1)).unwrap());
+            let mid = items.len() / 2;
+            let v = axis.coord(items[mid].1);
+            let mut idx = mid;
+            while idx > 0 && axis.coord(items[idx - 1].1) == v {
+                idx -= 1;
+            }
+            if idx == 0 {
+                // everything below the median ties with it; split above
+                idx = items
+                    .iter()
+                    .position(|it| axis.coord(it.1) > v)
+                    .unwrap_or(items.len());
+            }
+            if idx > 0 && idx < items.len() {
+                chosen = Some((axis, idx));
+                break;
+            }
+        }
+        let Some((axis, split_idx)) = chosen else {
+            // all points identical on both axes
+            return Node::Leaf { items };
+        };
+        items.sort_by(|a, b| axis.coord(a.1).partial_cmp(&axis.coord(b.1)).unwrap());
+        let split = axis.coord(items[split_idx].1);
+        let right_items = items.split_off(split_idx);
+        let count = items.len() + right_items.len();
+        Node::Inner {
+            axis,
+            split,
+            left: Box::new(Self::build_node(items, cap)),
+            right: Box::new(Self::build_node(right_items, cap)),
+            count,
+        }
+    }
+
+    /// Depth of the tree (diagnostic).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Inner { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    fn maybe_rebuild(&mut self) {
+        if self.mutations > self.positions.len() / 2 + 16 {
+            let items: Vec<(ItemId, Vec2)> =
+                self.positions.iter().map(|(&id, &p)| (id, p)).collect();
+            self.root = Self::build_node(items, self.leaf_capacity);
+            self.mutations = 0;
+        }
+    }
+
+    fn insert_into(node: &mut Node, id: ItemId, pos: Vec2, cap: usize) {
+        match node {
+            Node::Leaf { items } => {
+                items.push((id, pos));
+                if items.len() > cap {
+                    let taken = std::mem::take(items);
+                    *node = Self::build_node(taken, cap);
+                }
+            }
+            Node::Inner {
+                axis,
+                split,
+                left,
+                right,
+                count,
+            } => {
+                *count += 1;
+                if axis.coord(pos) < *split {
+                    Self::insert_into(left, id, pos, cap);
+                } else {
+                    Self::insert_into(right, id, pos, cap);
+                }
+            }
+        }
+    }
+
+    fn remove_from(node: &mut Node, id: ItemId, pos: Vec2) -> bool {
+        match node {
+            Node::Leaf { items } => {
+                if let Some(i) = items.iter().position(|&(x, _)| x == id) {
+                    items.swap_remove(i);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Inner {
+                axis,
+                split,
+                left,
+                right,
+                count,
+            } => {
+                let removed = if axis.coord(pos) < *split {
+                    Self::remove_from(left, id, pos)
+                } else {
+                    Self::remove_from(right, id, pos)
+                };
+                if removed {
+                    *count -= 1;
+                }
+                removed
+            }
+        }
+    }
+
+    fn range_into(node: &Node, center: Vec2, r2: f32, out: &mut Vec<ItemId>) {
+        match node {
+            Node::Leaf { items } => {
+                for &(id, p) in items {
+                    if p.dist2(center) <= r2 {
+                        out.push(id);
+                    }
+                }
+            }
+            Node::Inner {
+                axis,
+                split,
+                left,
+                right,
+                ..
+            } => {
+                let d = axis.coord(center) - *split;
+                // Visit the side containing the center always; the far side
+                // only if the disk crosses the plane.
+                if d < 0.0 {
+                    Self::range_into(left, center, r2, out);
+                    if d * d <= r2 {
+                        Self::range_into(right, center, r2, out);
+                    }
+                } else {
+                    Self::range_into(right, center, r2, out);
+                    if d * d <= r2 {
+                        Self::range_into(left, center, r2, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn aabb_into(node: &Node, bounds: &Aabb, out: &mut Vec<ItemId>) {
+        match node {
+            Node::Leaf { items } => {
+                for &(id, p) in items {
+                    if bounds.contains(p) {
+                        out.push(id);
+                    }
+                }
+            }
+            Node::Inner {
+                axis,
+                split,
+                left,
+                right,
+                ..
+            } => {
+                let (lo, hi) = match axis {
+                    Axis::X => (bounds.min.x, bounds.max.x),
+                    Axis::Y => (bounds.min.y, bounds.max.y),
+                };
+                if lo < *split {
+                    Self::aabb_into(left, bounds, out);
+                }
+                if hi >= *split {
+                    Self::aabb_into(right, bounds, out);
+                }
+            }
+        }
+    }
+
+    fn knn_into(node: &Node, center: Vec2, cands: &mut Vec<(f32, ItemId)>, k: usize) {
+        match node {
+            Node::Leaf { items } => {
+                for &(id, p) in items {
+                    cands.push((p.dist2(center), id));
+                }
+            }
+            Node::Inner {
+                axis,
+                split,
+                left,
+                right,
+                ..
+            } => {
+                let d = axis.coord(center) - *split;
+                let (near, far) = if d < 0.0 { (left, right) } else { (right, left) };
+                Self::knn_into(near, center, cands, k);
+                // Prune the far side when we already have k candidates all
+                // closer than the splitting plane.
+                let need_far = if cands.len() < k {
+                    true
+                } else {
+                    // kth smallest candidate distance
+                    let mut ds: Vec<f32> = cands.iter().map(|&(d, _)| d).collect();
+                    ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    ds[k - 1] > d * d
+                };
+                if need_far {
+                    Self::knn_into(far, center, cands, k);
+                }
+            }
+        }
+    }
+}
+
+impl SpatialIndex for BspTree {
+    fn insert(&mut self, id: ItemId, pos: Vec2) {
+        debug_assert!(pos.is_finite(), "non-finite position for item {id}");
+        if let Some(old) = self.positions.insert(id, pos) {
+            Self::remove_from(&mut self.root, id, old);
+            self.mutations += 1;
+        }
+        Self::insert_into(&mut self.root, id, pos, self.leaf_capacity);
+        self.mutations += 1;
+        self.maybe_rebuild();
+    }
+
+    fn remove(&mut self, id: ItemId) -> bool {
+        match self.positions.remove(&id) {
+            Some(pos) => {
+                let removed = Self::remove_from(&mut self.root, id, pos);
+                debug_assert!(removed, "positions map and tree out of sync");
+                self.mutations += 1;
+                self.maybe_rebuild();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn position(&self, id: ItemId) -> Option<Vec2> {
+        self.positions.get(&id).copied()
+    }
+
+    fn query_range(&self, center: Vec2, radius: f32, out: &mut Vec<ItemId>) {
+        if radius < 0.0 {
+            return;
+        }
+        Self::range_into(&self.root, center, radius * radius, out);
+    }
+
+    fn query_aabb(&self, bounds: &Aabb, out: &mut Vec<ItemId>) {
+        Self::aabb_into(&self.root, bounds, out);
+    }
+
+    fn query_knn(&self, center: Vec2, k: usize, out: &mut Vec<ItemId>) {
+        if k == 0 || self.positions.is_empty() {
+            return;
+        }
+        let mut cands = Vec::new();
+        Self::knn_into(&self.root, center, &mut cands, k);
+        finish_knn(center, k, &mut cands, out);
+    }
+
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn clear(&mut self) {
+        self.root = Node::Leaf { items: Vec::new() };
+        self.positions.clear();
+        self.mutations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32) -> Vec2 {
+        Vec2::new(x, y)
+    }
+
+    #[test]
+    fn bulk_build_and_query() {
+        let pts: Vec<(ItemId, Vec2)> = (0..100)
+            .map(|i| (i as ItemId, v((i % 10) as f32, (i / 10) as f32)))
+            .collect();
+        let t = BspTree::build(pts, 4);
+        assert_eq!(t.len(), 100);
+        let mut out = vec![];
+        t.query_range(v(0.0, 0.0), 1.0, &mut out);
+        out.sort_unstable();
+        // (0,0), (1,0), (0,1) are within distance 1
+        assert_eq!(out, vec![0, 1, 10]);
+    }
+
+    #[test]
+    fn build_dedupes_ids() {
+        let t = BspTree::build(vec![(1, v(0.0, 0.0)), (1, v(5.0, 5.0))], 4);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.position(1), Some(v(5.0, 5.0)));
+    }
+
+    #[test]
+    fn incremental_insert_splits_leaves() {
+        let mut t = BspTree::new(2);
+        for i in 0..50 {
+            t.insert(i, v(i as f32, 0.0));
+        }
+        assert_eq!(t.len(), 50);
+        assert!(t.depth() > 1);
+        let mut out = vec![];
+        t.query_range(v(25.0, 0.0), 2.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![23, 24, 25, 26, 27]);
+    }
+
+    #[test]
+    fn duplicate_positions_allowed() {
+        let mut t = BspTree::new(2);
+        for i in 0..10 {
+            t.insert(i, v(1.0, 1.0));
+        }
+        assert_eq!(t.len(), 10);
+        let mut out = vec![];
+        t.query_range(v(1.0, 1.0), 0.1, &mut out);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut t = BspTree::new(4);
+        for i in 0..20 {
+            t.insert(i, v(i as f32, i as f32));
+        }
+        for i in 0..10 {
+            assert!(t.remove(i));
+        }
+        assert!(!t.remove(0));
+        assert_eq!(t.len(), 10);
+        let mut out = vec![];
+        t.query_range(v(0.0, 0.0), 5.0, &mut out);
+        assert!(out.is_empty());
+        t.insert(100, v(0.0, 0.0));
+        out.clear();
+        t.query_range(v(0.0, 0.0), 1.0, &mut out);
+        assert_eq!(out, vec![100]);
+    }
+
+    #[test]
+    fn update_moves_item() {
+        let mut t = BspTree::new(4);
+        for i in 0..32 {
+            t.insert(i, v((i % 8) as f32 * 10.0, (i / 8) as f32 * 10.0));
+        }
+        t.update(0, v(75.0, 35.0));
+        let mut out = vec![];
+        t.query_range(v(75.0, 35.0), 1.0, &mut out);
+        assert_eq!(out, vec![0]);
+        out.clear();
+        t.query_range(v(0.0, 0.0), 1.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn knn_matches_small_case() {
+        let mut t = BspTree::new(2);
+        t.insert(1, v(1.0, 0.0));
+        t.insert(2, v(2.0, 0.0));
+        t.insert(3, v(10.0, 0.0));
+        t.insert(4, v(-1.5, 0.0));
+        let mut out = vec![];
+        t.query_knn(v(0.0, 0.0), 3, &mut out);
+        assert_eq!(out, vec![1, 4, 2]);
+    }
+
+    #[test]
+    fn aabb_query_boundaries() {
+        let mut t = BspTree::new(2);
+        t.insert(1, v(0.0, 0.0));
+        t.insert(2, v(5.0, 5.0));
+        t.insert(3, v(5.1, 5.0));
+        let mut out = vec![];
+        t.query_aabb(&Aabb::from_size(5.0, 5.0), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn heavy_churn_triggers_rebuild_and_stays_correct() {
+        let mut t = BspTree::new(4);
+        for i in 0..200 {
+            t.insert(i, v((i % 20) as f32, (i / 20) as f32));
+        }
+        // Move everything far away several times.
+        for round in 1..5 {
+            for i in 0..200 {
+                t.update(i, v((i % 20) as f32 + 100.0 * round as f32, (i / 20) as f32));
+            }
+        }
+        assert_eq!(t.len(), 200);
+        let mut out = vec![];
+        t.query_range(v(400.0 + 10.0, 5.0), 200.0, &mut out);
+        assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = BspTree::new(4);
+        t.insert(1, v(0.0, 0.0));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Uniform grid (spatial hash) index.
+//!
+//! The workhorse index for open-world games with roughly uniform entity
+//! density: O(1) updates and range queries that touch only the cells
+//! overlapping the query disk. Degrades when entities cluster into few
+//! cells — exactly the regime where the tree indices win (experiment E3).
+
+use std::collections::HashMap;
+
+use crate::geom::{Aabb, Vec2};
+use crate::index::{finish_knn, ItemId, SpatialIndex};
+
+/// Key of a grid cell. Positions are divided by the cell size and floored,
+/// so the grid is unbounded and supports negative coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CellKey {
+    cx: i32,
+    cy: i32,
+}
+
+/// A uniform grid over 2-D points.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    cell_size: f32,
+    inv_cell: f32,
+    cells: HashMap<CellKey, Vec<ItemId>>,
+    positions: HashMap<ItemId, Vec2>,
+}
+
+impl UniformGrid {
+    /// Create a grid with the given cell edge length.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f32) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        UniformGrid {
+            cell_size,
+            inv_cell: 1.0 / cell_size,
+            cells: HashMap::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    /// Cell edge length this grid was built with.
+    pub fn cell_size(&self) -> f32 {
+        self.cell_size
+    }
+
+    /// Number of non-empty cells (diagnostic; used by E3's density report).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Mean number of items per occupied cell.
+    pub fn mean_occupancy(&self) -> f32 {
+        if self.cells.is_empty() {
+            0.0
+        } else {
+            self.positions.len() as f32 / self.cells.len() as f32
+        }
+    }
+
+    #[inline]
+    fn key_for(&self, p: Vec2) -> CellKey {
+        CellKey {
+            cx: (p.x * self.inv_cell).floor() as i32,
+            cy: (p.y * self.inv_cell).floor() as i32,
+        }
+    }
+
+    fn unlink(&mut self, id: ItemId, pos: Vec2) {
+        let key = self.key_for(pos);
+        if let Some(v) = self.cells.get_mut(&key) {
+            if let Some(i) = v.iter().position(|&x| x == id) {
+                v.swap_remove(i);
+            }
+            if v.is_empty() {
+                self.cells.remove(&key);
+            }
+        }
+    }
+
+    /// Visit each cell overlapping the box and run `f` on its item list.
+    fn for_cells_in_aabb(&self, bounds: &Aabb, mut f: impl FnMut(&[ItemId])) {
+        let lo = self.key_for(bounds.min);
+        let hi = self.key_for(bounds.max);
+        for cx in lo.cx..=hi.cx {
+            for cy in lo.cy..=hi.cy {
+                if let Some(v) = self.cells.get(&CellKey { cx, cy }) {
+                    f(v);
+                }
+            }
+        }
+    }
+}
+
+impl SpatialIndex for UniformGrid {
+    fn insert(&mut self, id: ItemId, pos: Vec2) {
+        debug_assert!(pos.is_finite(), "non-finite position for item {id}");
+        if let Some(old) = self.positions.insert(id, pos) {
+            let same_cell = self.key_for(old) == self.key_for(pos);
+            if same_cell {
+                return;
+            }
+            self.unlink(id, old);
+        }
+        let key = self.key_for(pos);
+        self.cells.entry(key).or_default().push(id);
+    }
+
+    fn remove(&mut self, id: ItemId) -> bool {
+        match self.positions.remove(&id) {
+            Some(pos) => {
+                self.unlink(id, pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn position(&self, id: ItemId) -> Option<Vec2> {
+        self.positions.get(&id).copied()
+    }
+
+    fn query_range(&self, center: Vec2, radius: f32, out: &mut Vec<ItemId>) {
+        if radius < 0.0 {
+            return;
+        }
+        let bounds = Aabb::around_circle(center, radius);
+        let r2 = radius * radius;
+        self.for_cells_in_aabb(&bounds, |items| {
+            for &id in items {
+                if self.positions[&id].dist2(center) <= r2 {
+                    out.push(id);
+                }
+            }
+        });
+    }
+
+    fn query_aabb(&self, bounds: &Aabb, out: &mut Vec<ItemId>) {
+        self.for_cells_in_aabb(bounds, |items| {
+            for &id in items {
+                if bounds.contains(self.positions[&id]) {
+                    out.push(id);
+                }
+            }
+        });
+    }
+
+    fn query_knn(&self, center: Vec2, k: usize, out: &mut Vec<ItemId>) {
+        if k == 0 || self.positions.is_empty() {
+            return;
+        }
+        // Expanding ring search: examine cells in growing square shells
+        // around the center until we have k candidates whose distances are
+        // all certainly smaller than anything in unexamined shells.
+        let start = self.key_for(center);
+        let mut cands: Vec<(f32, ItemId)> = Vec::new();
+        // Rings beyond the occupied-cell bounding box cannot contain items,
+        // so the Chebyshev distance to its corners bounds the search.
+        let max_ring = self
+            .cells
+            .keys()
+            .map(|k| (k.cx - start.cx).abs().max((k.cy - start.cy).abs()))
+            .max()
+            .unwrap_or(0);
+        let mut ring = 0i32;
+        loop {
+            let mut visited_any = false;
+            for cx in (start.cx - ring)..=(start.cx + ring) {
+                for cy in (start.cy - ring)..=(start.cy + ring) {
+                    // only the shell, not the interior (already visited)
+                    if ring > 0
+                        && (cx - start.cx).abs() != ring
+                        && (cy - start.cy).abs() != ring
+                    {
+                        continue;
+                    }
+                    if let Some(items) = self.cells.get(&CellKey { cx, cy }) {
+                        visited_any = true;
+                        for &id in items {
+                            cands.push((self.positions[&id].dist2(center), id));
+                        }
+                    }
+                }
+            }
+            let _ = visited_any;
+            // Distance below which everything in visited shells is complete:
+            // points in unvisited shells are at least `ring * cell_size`
+            // minus the offset of center within its cell away.
+            let safe = (ring as f32 - 1.0).max(0.0) * self.cell_size;
+            let safe2 = safe * safe;
+            let complete = cands.iter().filter(|&&(d, _)| d <= safe2).count();
+            if complete >= k || ring > max_ring {
+                break;
+            }
+            if cands.len() >= self.positions.len() {
+                break;
+            }
+            ring += 1;
+        }
+        finish_knn(center, k, &mut cands, out);
+    }
+
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn clear(&mut self) {
+        self.cells.clear();
+        self.positions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32) -> Vec2 {
+        Vec2::new(x, y)
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size must be positive")]
+    fn zero_cell_size_panics() {
+        UniformGrid::new(0.0);
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut g = UniformGrid::new(10.0);
+        g.insert(1, v(5.0, 5.0));
+        g.insert(2, v(15.0, 5.0));
+        g.insert(3, v(100.0, 100.0));
+        let mut out = vec![];
+        g.query_range(v(0.0, 0.0), 20.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let mut g = UniformGrid::new(4.0);
+        g.insert(1, v(-7.5, -3.0));
+        g.insert(2, v(7.5, 3.0));
+        let mut out = vec![];
+        g.query_range(v(-8.0, -3.0), 1.0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn update_moves_between_cells() {
+        let mut g = UniformGrid::new(10.0);
+        g.insert(1, v(5.0, 5.0));
+        g.update(1, v(95.0, 95.0));
+        assert_eq!(g.len(), 1);
+        let mut out = vec![];
+        g.query_range(v(5.0, 5.0), 2.0, &mut out);
+        assert!(out.is_empty());
+        g.query_range(v(95.0, 95.0), 2.0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn update_within_same_cell() {
+        let mut g = UniformGrid::new(10.0);
+        g.insert(1, v(1.0, 1.0));
+        g.update(1, v(2.0, 2.0));
+        assert_eq!(g.position(1), Some(v(2.0, 2.0)));
+        assert_eq!(g.occupied_cells(), 1);
+    }
+
+    #[test]
+    fn remove_cleans_empty_cells() {
+        let mut g = UniformGrid::new(10.0);
+        g.insert(1, v(1.0, 1.0));
+        assert_eq!(g.occupied_cells(), 1);
+        assert!(g.remove(1));
+        assert_eq!(g.occupied_cells(), 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn knn_finds_across_cells() {
+        let mut g = UniformGrid::new(5.0);
+        g.insert(1, v(0.0, 0.0));
+        g.insert(2, v(30.0, 0.0));
+        g.insert(3, v(31.0, 0.0));
+        g.insert(4, v(60.0, 0.0));
+        let mut out = vec![];
+        g.query_knn(v(29.0, 0.0), 2, &mut out);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn knn_zero_k() {
+        let mut g = UniformGrid::new(5.0);
+        g.insert(1, v(0.0, 0.0));
+        let mut out = vec![];
+        g.query_knn(Vec2::ZERO, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn negative_radius_returns_nothing() {
+        let mut g = UniformGrid::new(5.0);
+        g.insert(1, v(0.0, 0.0));
+        let mut out = vec![];
+        g.query_range(Vec2::ZERO, -1.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mean_occupancy_reporting() {
+        let mut g = UniformGrid::new(10.0);
+        g.insert(1, v(1.0, 1.0));
+        g.insert(2, v(2.0, 2.0));
+        g.insert(3, v(55.0, 55.0));
+        assert_eq!(g.occupied_cells(), 2);
+        assert!((g.mean_occupancy() - 1.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,710 @@
+//! Navigation meshes with designer annotations.
+//!
+//! The paper singles out navmeshes as a spatial structure "that may not be
+//! familiar to a database audience": a mesh of convex polygons describing
+//! where characters may walk, whose polygons designers annotate with
+//! semantic attributes — "whether a position is a good hiding place or is
+//! easily defensible". This module implements exactly that: a polygon mesh
+//! with shared-edge adjacency, per-polygon [`Annotation`]s, annotation-aware
+//! A* pathfinding, and the semantic queries ("best hiding spot near p")
+//! that the annotations exist to answer.
+
+use std::collections::HashMap;
+
+use crate::geom::Vec2;
+use crate::pathfind::{astar, PathResult};
+
+/// Identifier of a polygon within a [`NavMesh`].
+pub type PolyId = usize;
+
+/// Designer-authored semantic annotation on a navmesh polygon.
+///
+/// All scalar fields are conventionally in `[0, 1]`; they are free-form
+/// designer data and the mesh does not enforce a range. `tags` carries
+/// game-specific labels ("sniper_nest", "spawn_safe") that scripts query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Annotation {
+    /// How well a character in this polygon is hidden from view.
+    pub cover: f32,
+    /// How dangerous the polygon is (lava, mob density, sniper lines).
+    pub danger: f32,
+    /// How easily the polygon is defended (chokepoints, high ground).
+    pub defensibility: f32,
+    /// Free-form designer tags.
+    pub tags: Vec<String>,
+}
+
+impl Annotation {
+    /// A neutral annotation (no cover, no danger, not defensible).
+    pub fn neutral() -> Self {
+        Self::default()
+    }
+
+    /// True when the annotation carries the given tag.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+/// A convex polygon with counter-clockwise vertices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    verts: Vec<Vec2>,
+}
+
+impl Polygon {
+    /// Build a polygon from vertices. Vertices are reordered to
+    /// counter-clockwise if given clockwise.
+    ///
+    /// # Errors
+    /// Returns an error when fewer than 3 vertices are supplied, a vertex
+    /// is non-finite, or the polygon is not convex.
+    pub fn new(mut verts: Vec<Vec2>) -> Result<Self, NavMeshError> {
+        if verts.len() < 3 {
+            return Err(NavMeshError::DegeneratePolygon(verts.len()));
+        }
+        if verts.iter().any(|v| !v.is_finite()) {
+            return Err(NavMeshError::NonFiniteVertex);
+        }
+        // signed area via shoelace; negative => clockwise => reverse
+        let area2: f32 = verts
+            .windows(2)
+            .map(|w| w[0].cross(w[1]))
+            .sum::<f32>()
+            + verts[verts.len() - 1].cross(verts[0]);
+        if area2.abs() < 1e-9 {
+            return Err(NavMeshError::DegeneratePolygon(verts.len()));
+        }
+        if area2 < 0.0 {
+            verts.reverse();
+        }
+        let poly = Polygon { verts };
+        if !poly.is_convex() {
+            return Err(NavMeshError::NotConvex);
+        }
+        Ok(poly)
+    }
+
+    /// Axis-aligned unit-friendly rectangle helper.
+    pub fn rect(min: Vec2, max: Vec2) -> Self {
+        Polygon::new(vec![
+            min,
+            Vec2::new(max.x, min.y),
+            max,
+            Vec2::new(min.x, max.y),
+        ])
+        .expect("axis-aligned rectangle is always a valid polygon")
+    }
+
+    fn is_convex(&self) -> bool {
+        let n = self.verts.len();
+        for i in 0..n {
+            let a = self.verts[i];
+            let b = self.verts[(i + 1) % n];
+            let c = self.verts[(i + 2) % n];
+            if (b - a).cross(c - b) < -1e-6 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The vertices in counter-clockwise order.
+    pub fn vertices(&self) -> &[Vec2] {
+        &self.verts
+    }
+
+    /// Arithmetic mean of the vertices. For convex polygons this is always
+    /// an interior point, which is all pathfinding needs.
+    pub fn centroid(&self) -> Vec2 {
+        let sum = self
+            .verts
+            .iter()
+            .fold(Vec2::ZERO, |acc, &v| acc + v);
+        sum / self.verts.len() as f32
+    }
+
+    /// True when `p` is inside or on the boundary.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let n = self.verts.len();
+        for i in 0..n {
+            let a = self.verts[i];
+            let b = self.verts[(i + 1) % n];
+            if (b - a).cross(p - a) < -1e-6 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Edges as (start, end) pairs in CCW order.
+    pub fn edges(&self) -> impl Iterator<Item = (Vec2, Vec2)> + '_ {
+        let n = self.verts.len();
+        (0..n).map(move |i| (self.verts[i], self.verts[(i + 1) % n]))
+    }
+}
+
+/// Errors arising while constructing meshes and polygons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NavMeshError {
+    /// Fewer than 3 vertices, or zero area.
+    DegeneratePolygon(usize),
+    /// A vertex coordinate was NaN or infinite.
+    NonFiniteVertex,
+    /// The vertex loop is not convex.
+    NotConvex,
+}
+
+impl std::fmt::Display for NavMeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NavMeshError::DegeneratePolygon(n) => {
+                write!(f, "degenerate polygon ({n} vertices or zero area)")
+            }
+            NavMeshError::NonFiniteVertex => write!(f, "polygon vertex is NaN or infinite"),
+            NavMeshError::NotConvex => write!(f, "polygon is not convex"),
+        }
+    }
+}
+
+impl std::error::Error for NavMeshError {}
+
+/// A polygon plus its designer annotation.
+#[derive(Debug, Clone)]
+struct NavPoly {
+    polygon: Polygon,
+    annotation: Annotation,
+}
+
+/// A shared edge between two adjacent polygons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Portal {
+    pub a: Vec2,
+    pub b: Vec2,
+}
+
+impl Portal {
+    /// Midpoint of the portal edge — the waypoint paths route through.
+    pub fn midpoint(&self) -> Vec2 {
+        (self.a + self.b) * 0.5
+    }
+}
+
+/// Weights governing how annotations shape path costs.
+///
+/// Edge cost between polygons `u → v` is
+/// `distance * (1 + danger_weight·danger(v) - cover_bonus·cover(v))`,
+/// clamped to at least `0.05 * distance` so costs stay positive and the
+/// A* heuristic (scaled straight-line distance) stays admissible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    pub danger_weight: f32,
+    pub cover_bonus: f32,
+}
+
+impl Default for CostProfile {
+    fn default() -> Self {
+        CostProfile {
+            danger_weight: 0.0,
+            cover_bonus: 0.0,
+        }
+    }
+}
+
+impl CostProfile {
+    /// Pure shortest path, ignoring annotations.
+    pub fn shortest() -> Self {
+        Self::default()
+    }
+
+    /// A cautious profile: strongly avoid danger, mildly prefer cover.
+    pub fn cautious() -> Self {
+        CostProfile {
+            danger_weight: 4.0,
+            cover_bonus: 0.25,
+        }
+    }
+
+    fn multiplier(&self, ann: &Annotation) -> f32 {
+        (1.0 + self.danger_weight * ann.danger - self.cover_bonus * ann.cover).max(0.05)
+    }
+}
+
+/// A walkable path across the mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NavPath {
+    /// Waypoints from start point to goal point inclusive, routed through
+    /// portal midpoints.
+    pub waypoints: Vec<Vec2>,
+    /// Polygons traversed, in order.
+    pub polys: Vec<PolyId>,
+    /// Accumulated weighted cost.
+    pub cost: f32,
+    /// A* nodes expanded (diagnostic).
+    pub expanded: usize,
+}
+
+impl NavPath {
+    /// Total Euclidean length of the waypoint chain (unweighted).
+    pub fn length(&self) -> f32 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].dist(w[1]))
+            .sum()
+    }
+}
+
+/// A navigation mesh: convex polygons, adjacency, annotations.
+#[derive(Debug, Clone, Default)]
+pub struct NavMesh {
+    polys: Vec<NavPoly>,
+    /// adjacency[p] = list of (neighbor poly, shared portal)
+    adjacency: Vec<Vec<(PolyId, Portal)>>,
+}
+
+/// Quantize a coordinate for edge matching (1/1024 world-unit tolerance).
+fn quant(v: Vec2) -> (i64, i64) {
+    ((v.x * 1024.0).round() as i64, (v.y * 1024.0).round() as i64)
+}
+
+impl NavMesh {
+    /// Create an empty mesh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a polygon with an annotation; adjacency to previously added
+    /// polygons is discovered automatically through shared edges
+    /// (endpoints matching within 1/1024 world unit).
+    pub fn add_polygon(
+        &mut self,
+        polygon: Polygon,
+        annotation: Annotation,
+    ) -> PolyId {
+        let id = self.polys.len();
+        self.adjacency.push(Vec::new());
+        // match against existing polygon edges
+        for (other_id, other) in self.polys.iter().enumerate() {
+            for (oa, ob) in other.polygon.edges() {
+                for (na, nb) in polygon.edges() {
+                    let fwd = quant(oa) == quant(nb) && quant(ob) == quant(na);
+                    let bwd = quant(oa) == quant(na) && quant(ob) == quant(nb);
+                    if fwd || bwd {
+                        let portal = Portal { a: oa, b: ob };
+                        self.adjacency[other_id].push((id, portal));
+                        self.adjacency[id].push((other_id, portal));
+                    }
+                }
+            }
+        }
+        self.polys.push(NavPoly {
+            polygon,
+            annotation,
+        });
+        id
+    }
+
+    /// Build a mesh from a tile grid: one square polygon per walkable cell.
+    /// `annotate(x, y)` supplies the per-cell annotation (return
+    /// [`Annotation::neutral`] for plain floor). This mirrors how studio
+    /// tools rasterize walkable areas before simplification.
+    pub fn from_tile_grid(
+        width: usize,
+        height: usize,
+        cell: f32,
+        mut walkable: impl FnMut(usize, usize) -> bool,
+        mut annotate: impl FnMut(usize, usize) -> Annotation,
+    ) -> Self {
+        let mut mesh = NavMesh::new();
+        for y in 0..height {
+            for x in 0..width {
+                if walkable(x, y) {
+                    let min = Vec2::new(x as f32 * cell, y as f32 * cell);
+                    let max = Vec2::new((x + 1) as f32 * cell, (y + 1) as f32 * cell);
+                    mesh.add_polygon(Polygon::rect(min, max), annotate(x, y));
+                }
+            }
+        }
+        mesh
+    }
+
+    /// Number of polygons.
+    pub fn len(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// True when the mesh has no polygons.
+    pub fn is_empty(&self) -> bool {
+        self.polys.is_empty()
+    }
+
+    /// The polygon geometry of `id`.
+    pub fn polygon(&self, id: PolyId) -> &Polygon {
+        &self.polys[id].polygon
+    }
+
+    /// The annotation of `id`.
+    pub fn annotation(&self, id: PolyId) -> &Annotation {
+        &self.polys[id].annotation
+    }
+
+    /// Mutable annotation access (designers repaint annotations live).
+    pub fn annotation_mut(&mut self, id: PolyId) -> &mut Annotation {
+        &mut self.polys[id].annotation
+    }
+
+    /// Neighbors of `id` with their portals.
+    pub fn neighbors(&self, id: PolyId) -> &[(PolyId, Portal)] {
+        &self.adjacency[id]
+    }
+
+    /// Find the polygon containing `p` (first match wins; meshes should
+    /// not overlap).
+    pub fn locate(&self, p: Vec2) -> Option<PolyId> {
+        self.polys
+            .iter()
+            .position(|poly| poly.polygon.contains(p))
+    }
+
+    /// Find a path from `from` to `to` under the given cost profile.
+    ///
+    /// Returns `None` when either endpoint is off the mesh or no chain of
+    /// adjacent polygons connects them.
+    pub fn find_path(&self, from: Vec2, to: Vec2, profile: &CostProfile) -> Option<NavPath> {
+        let start = self.locate(from)?;
+        let goal = self.locate(to)?;
+        if start == goal {
+            return Some(NavPath {
+                waypoints: vec![from, to],
+                polys: vec![start],
+                cost: from.dist(to) * profile.multiplier(&self.polys[goal].annotation),
+                expanded: 0,
+            });
+        }
+        // Precompute centroids for heuristic/cost.
+        let centroids: Vec<Vec2> = self.polys.iter().map(|p| p.polygon.centroid()).collect();
+        // Min multiplier keeps heuristic admissible under cover bonuses.
+        let min_mult = self
+            .polys
+            .iter()
+            .map(|p| profile.multiplier(&p.annotation))
+            .fold(f32::INFINITY, f32::min)
+            .clamp(0.05, 1.0);
+        let result: PathResult = astar(
+            start,
+            goal,
+            |n, out| {
+                for &(next, portal) in &self.adjacency[n] {
+                    let d = centroids[n].dist(portal.midpoint())
+                        + portal.midpoint().dist(centroids[next]);
+                    let mult = profile.multiplier(&self.polys[next].annotation);
+                    out.push((next, d * mult));
+                }
+            },
+            |n| centroids[n].dist(to) * min_mult,
+        )?;
+
+        // Waypoints: start, then portal midpoints between consecutive
+        // polygons, then goal.
+        let mut waypoints = vec![from];
+        for w in result.nodes.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            if let Some(&(_, portal)) = self.adjacency[u].iter().find(|&&(n, _)| n == v) {
+                waypoints.push(portal.midpoint());
+            }
+        }
+        waypoints.push(to);
+        Some(NavPath {
+            waypoints,
+            polys: result.nodes,
+            cost: result.cost,
+            expanded: result.expanded,
+        })
+    }
+
+    /// The polygon within `radius` of `near` with the highest cover value,
+    /// if any has cover above zero — "find me a good hiding place".
+    pub fn best_hiding_spot(&self, near: Vec2, radius: f32) -> Option<PolyId> {
+        let r2 = radius * radius;
+        self.polys
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.polygon.centroid().dist2(near) <= r2)
+            .filter(|(_, p)| p.annotation.cover > 0.0)
+            .max_by(|(ia, a), (ib, b)| {
+                a.annotation
+                    .cover
+                    .partial_cmp(&b.annotation.cover)
+                    .unwrap()
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// All polygons whose defensibility meets `threshold`, most defensible
+    /// first.
+    pub fn defensible_positions(&self, threshold: f32) -> Vec<PolyId> {
+        let mut v: Vec<PolyId> = (0..self.polys.len())
+            .filter(|&i| self.polys[i].annotation.defensibility >= threshold)
+            .collect();
+        v.sort_by(|&a, &b| {
+            self.polys[b]
+                .annotation
+                .defensibility
+                .partial_cmp(&self.polys[a].annotation.defensibility)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        v
+    }
+
+    /// All polygons carrying `tag`.
+    pub fn tagged(&self, tag: &str) -> Vec<PolyId> {
+        (0..self.polys.len())
+            .filter(|&i| self.polys[i].annotation.has_tag(tag))
+            .collect()
+    }
+
+    /// Number of connected components (diagnostic: a shippable level mesh
+    /// should have exactly one).
+    pub fn connected_components(&self) -> usize {
+        let n = self.polys.len();
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            components += 1;
+            stack.push(s);
+            seen[s] = true;
+            while let Some(u) = stack.pop() {
+                for &(v, _) in &self.adjacency[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Validate mesh invariants: symmetric adjacency and no self-loops.
+    /// Returns a list of human-readable problems (empty = healthy).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen: HashMap<(PolyId, PolyId), usize> = HashMap::new();
+        for (u, adj) in self.adjacency.iter().enumerate() {
+            for &(v, _) in adj {
+                if u == v {
+                    problems.push(format!("polygon {u} adjacent to itself"));
+                }
+                *seen.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+            }
+        }
+        for (&(u, v), &count) in &seen {
+            if count % 2 != 0 {
+                problems.push(format!("asymmetric adjacency between {u} and {v}"));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32) -> Vec2 {
+        Vec2::new(x, y)
+    }
+
+    #[test]
+    fn polygon_rejects_degenerate() {
+        assert!(matches!(
+            Polygon::new(vec![v(0.0, 0.0), v(1.0, 0.0)]),
+            Err(NavMeshError::DegeneratePolygon(2))
+        ));
+        assert!(matches!(
+            Polygon::new(vec![v(0.0, 0.0), v(1.0, 0.0), v(2.0, 0.0)]),
+            Err(NavMeshError::DegeneratePolygon(_))
+        ));
+        assert!(matches!(
+            Polygon::new(vec![v(0.0, 0.0), v(f32::NAN, 0.0), v(1.0, 1.0)]),
+            Err(NavMeshError::NonFiniteVertex)
+        ));
+    }
+
+    #[test]
+    fn polygon_rejects_concave() {
+        let concave = vec![v(0.0, 0.0), v(4.0, 0.0), v(4.0, 4.0), v(2.0, 1.0), v(0.0, 4.0)];
+        assert_eq!(Polygon::new(concave), Err(NavMeshError::NotConvex));
+    }
+
+    #[test]
+    fn polygon_normalizes_winding() {
+        // clockwise input
+        let p = Polygon::new(vec![v(0.0, 0.0), v(0.0, 1.0), v(1.0, 1.0), v(1.0, 0.0)]).unwrap();
+        assert!(p.contains(v(0.5, 0.5)));
+    }
+
+    #[test]
+    fn polygon_contains_boundary() {
+        let p = Polygon::rect(v(0.0, 0.0), v(2.0, 2.0));
+        assert!(p.contains(v(0.0, 0.0)));
+        assert!(p.contains(v(2.0, 1.0)));
+        assert!(!p.contains(v(2.1, 1.0)));
+    }
+
+    fn two_room_mesh() -> NavMesh {
+        // Two unit squares sharing the edge x=1.
+        let mut m = NavMesh::new();
+        m.add_polygon(
+            Polygon::rect(v(0.0, 0.0), v(1.0, 1.0)),
+            Annotation::neutral(),
+        );
+        m.add_polygon(
+            Polygon::rect(v(1.0, 0.0), v(2.0, 1.0)),
+            Annotation::neutral(),
+        );
+        m
+    }
+
+    #[test]
+    fn shared_edge_adjacency_detected() {
+        let m = two_room_mesh();
+        assert_eq!(m.neighbors(0).len(), 1);
+        assert_eq!(m.neighbors(0)[0].0, 1);
+        assert_eq!(m.neighbors(1)[0].0, 0);
+        assert!(m.validate().is_empty());
+    }
+
+    #[test]
+    fn locate_and_path_same_polygon() {
+        let m = two_room_mesh();
+        assert_eq!(m.locate(v(0.5, 0.5)), Some(0));
+        assert_eq!(m.locate(v(1.5, 0.5)), Some(1));
+        assert_eq!(m.locate(v(5.0, 5.0)), None);
+        let p = m
+            .find_path(v(0.2, 0.5), v(0.8, 0.5), &CostProfile::shortest())
+            .unwrap();
+        assert_eq!(p.polys, vec![0]);
+        assert!((p.length() - 0.6).abs() < 1e-5);
+    }
+
+    #[test]
+    fn path_crosses_portal() {
+        let m = two_room_mesh();
+        let p = m
+            .find_path(v(0.5, 0.5), v(1.5, 0.5), &CostProfile::shortest())
+            .unwrap();
+        assert_eq!(p.polys, vec![0, 1]);
+        assert_eq!(p.waypoints.len(), 3);
+        // middle waypoint is the portal midpoint at x=1
+        assert!((p.waypoints[1].x - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unreachable_when_disconnected() {
+        let mut m = NavMesh::new();
+        m.add_polygon(Polygon::rect(v(0.0, 0.0), v(1.0, 1.0)), Annotation::neutral());
+        m.add_polygon(Polygon::rect(v(5.0, 5.0), v(6.0, 6.0)), Annotation::neutral());
+        assert_eq!(m.connected_components(), 2);
+        assert!(m
+            .find_path(v(0.5, 0.5), v(5.5, 5.5), &CostProfile::shortest())
+            .is_none());
+    }
+
+    #[test]
+    fn tile_grid_mesh_routes_around_walls() {
+        // 5x3 grid, wall column at x=2 except y=2
+        let m = NavMesh::from_tile_grid(
+            5,
+            3,
+            1.0,
+            |x, y| !(x == 2 && y != 2),
+            |_, _| Annotation::neutral(),
+        );
+        assert_eq!(m.connected_components(), 1);
+        let p = m
+            .find_path(v(0.5, 0.5), v(4.5, 0.5), &CostProfile::shortest())
+            .unwrap();
+        // must detour via the open cell at (2,2)
+        assert!(p.length() > 6.0);
+        assert!(m.locate(v(2.5, 0.5)).is_none());
+    }
+
+    #[test]
+    fn cautious_profile_avoids_danger() {
+        // Two routes from left to right: a short one through a dangerous
+        // middle cell and a long one around it.
+        //   row 0:  A  D  B      (D danger=1)
+        //   row 1:  C  E  F      (safe detour)
+        let m = NavMesh::from_tile_grid(
+            3,
+            2,
+            1.0,
+            |_, _| true,
+            |x, y| {
+                if x == 1 && y == 0 {
+                    Annotation {
+                        danger: 1.0,
+                        ..Default::default()
+                    }
+                } else {
+                    Annotation::neutral()
+                }
+            },
+        );
+        let short = m
+            .find_path(v(0.5, 0.5), v(2.5, 0.5), &CostProfile::shortest())
+            .unwrap();
+        let safe = m
+            .find_path(v(0.5, 0.5), v(2.5, 0.5), &CostProfile::cautious())
+            .unwrap();
+        // shortest route goes straight through the danger cell
+        let danger_poly = m.locate(v(1.5, 0.5)).unwrap();
+        assert!(short.polys.contains(&danger_poly));
+        assert!(!safe.polys.contains(&danger_poly));
+        assert!(safe.length() > short.length());
+    }
+
+    #[test]
+    fn hiding_spot_query() {
+        let mut m = two_room_mesh();
+        m.annotation_mut(1).cover = 0.9;
+        assert_eq!(m.best_hiding_spot(v(0.5, 0.5), 10.0), Some(1));
+        // nothing with cover within a tiny radius
+        assert_eq!(m.best_hiding_spot(v(0.5, 0.5), 0.1), None);
+    }
+
+    #[test]
+    fn defensible_and_tagged_queries() {
+        let mut m = two_room_mesh();
+        m.annotation_mut(0).defensibility = 0.8;
+        m.annotation_mut(1).defensibility = 0.3;
+        m.annotation_mut(1).tags.push("sniper_nest".to_string());
+        assert_eq!(m.defensible_positions(0.5), vec![0]);
+        assert_eq!(m.defensible_positions(0.0), vec![0, 1]);
+        assert_eq!(m.tagged("sniper_nest"), vec![1]);
+        assert!(m.tagged("missing").is_empty());
+    }
+
+    #[test]
+    fn annotation_repaint_changes_routing() {
+        let m0 = NavMesh::from_tile_grid(3, 2, 1.0, |_, _| true, |_, _| Annotation::neutral());
+        let mut m = m0.clone();
+        let before = m
+            .find_path(v(0.5, 0.5), v(2.5, 0.5), &CostProfile::cautious())
+            .unwrap();
+        let mid = m.locate(v(1.5, 0.5)).unwrap();
+        m.annotation_mut(mid).danger = 1.0;
+        let after = m
+            .find_path(v(0.5, 0.5), v(2.5, 0.5), &CostProfile::cautious())
+            .unwrap();
+        assert!(before.polys.contains(&mid));
+        assert!(!after.polys.contains(&mid));
+    }
+}

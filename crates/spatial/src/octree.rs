@@ -1,0 +1,294 @@
+//! Octree over 3-D points — the index the paper names for volumetric game
+//! worlds (space games, flight, full-3D collision).
+//!
+//! Structurally the 3-D sibling of [`crate::quadtree::Quadtree`]; it is
+//! exercised by the EVE-style solar-system workload in experiment E6,
+//! where ships move in three dimensions.
+
+use std::collections::HashMap;
+
+use crate::geom::{Aabb3, Vec3};
+use crate::index::ItemId;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { items: Vec<(ItemId, Vec3)> },
+    Inner { children: Box<[Node; 8]> },
+}
+
+fn empty_children() -> Box<[Node; 8]> {
+    Box::new([
+        Node::Leaf { items: Vec::new() },
+        Node::Leaf { items: Vec::new() },
+        Node::Leaf { items: Vec::new() },
+        Node::Leaf { items: Vec::new() },
+        Node::Leaf { items: Vec::new() },
+        Node::Leaf { items: Vec::new() },
+        Node::Leaf { items: Vec::new() },
+        Node::Leaf { items: Vec::new() },
+    ])
+}
+
+/// A point octree over a fixed world cube.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    bounds: Aabb3,
+    root: Node,
+    outside: Vec<(ItemId, Vec3)>,
+    positions: HashMap<ItemId, Vec3>,
+    leaf_capacity: usize,
+    max_depth: usize,
+}
+
+impl Octree {
+    /// Create an octree covering `bounds`.
+    pub fn new(bounds: Aabb3, leaf_capacity: usize, max_depth: usize) -> Self {
+        Octree {
+            bounds,
+            root: Node::Leaf { items: Vec::new() },
+            outside: Vec::new(),
+            positions: HashMap::new(),
+            leaf_capacity: leaf_capacity.max(1),
+            max_depth: max_depth.max(1),
+        }
+    }
+
+    /// Octree over the cube `[0,0,0]..[s,s,s]` with defaults for ~10k items.
+    pub fn with_cube(s: f32) -> Self {
+        Octree::new(Aabb3::cube(s), 8, 10)
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Current position of `id`, if present.
+    pub fn position(&self, id: ItemId) -> Option<Vec3> {
+        self.positions.get(&id).copied()
+    }
+
+    fn child_index(b: &Aabb3, p: Vec3) -> usize {
+        let c = b.center();
+        usize::from(p.x >= c.x) | (usize::from(p.y >= c.y) << 1) | (usize::from(p.z >= c.z) << 2)
+    }
+
+    fn insert_node(
+        node: &mut Node,
+        bounds: &Aabb3,
+        id: ItemId,
+        pos: Vec3,
+        depth: usize,
+        cap: usize,
+        max_depth: usize,
+    ) {
+        match node {
+            Node::Leaf { items } => {
+                items.push((id, pos));
+                if items.len() > cap && depth < max_depth {
+                    let taken = std::mem::take(items);
+                    *node = Node::Inner {
+                        children: empty_children(),
+                    };
+                    for (iid, ipos) in taken {
+                        Self::insert_node(node, bounds, iid, ipos, depth, cap, max_depth);
+                    }
+                }
+            }
+            Node::Inner { children } => {
+                let ci = Self::child_index(bounds, pos);
+                let cb = bounds.octant(ci);
+                Self::insert_node(&mut children[ci], &cb, id, pos, depth + 1, cap, max_depth);
+            }
+        }
+    }
+
+    fn remove_node(node: &mut Node, bounds: &Aabb3, id: ItemId, pos: Vec3) -> bool {
+        match node {
+            Node::Leaf { items } => match items.iter().position(|&(x, _)| x == id) {
+                Some(i) => {
+                    items.swap_remove(i);
+                    true
+                }
+                None => false,
+            },
+            Node::Inner { children } => {
+                let ci = Self::child_index(bounds, pos);
+                let cb = bounds.octant(ci);
+                Self::remove_node(&mut children[ci], &cb, id, pos)
+            }
+        }
+    }
+
+    fn range_node(node: &Node, bounds: &Aabb3, center: Vec3, r2: f32, out: &mut Vec<ItemId>) {
+        if bounds.dist2_to_point(center) > r2 {
+            return;
+        }
+        match node {
+            Node::Leaf { items } => {
+                for &(id, p) in items {
+                    if p.dist2(center) <= r2 {
+                        out.push(id);
+                    }
+                }
+            }
+            Node::Inner { children } => {
+                for ci in 0..8 {
+                    let cb = bounds.octant(ci);
+                    Self::range_node(&children[ci], &cb, center, r2, out);
+                }
+            }
+        }
+    }
+
+    /// Insert `id` at `pos` (moves it when already present).
+    pub fn insert(&mut self, id: ItemId, pos: Vec3) {
+        if self.positions.contains_key(&id) {
+            self.remove(id);
+        }
+        self.positions.insert(id, pos);
+        if self.bounds.contains(pos) {
+            let bounds = self.bounds;
+            Self::insert_node(
+                &mut self.root,
+                &bounds,
+                id,
+                pos,
+                0,
+                self.leaf_capacity,
+                self.max_depth,
+            );
+        } else {
+            self.outside.push((id, pos));
+        }
+    }
+
+    /// Remove `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: ItemId) -> bool {
+        match self.positions.remove(&id) {
+            Some(pos) => {
+                if self.bounds.contains(pos) {
+                    let bounds = self.bounds;
+                    let removed = Self::remove_node(&mut self.root, &bounds, id, pos);
+                    debug_assert!(removed, "positions map and octree out of sync");
+                } else if let Some(i) = self.outside.iter().position(|&(x, _)| x == id) {
+                    self.outside.swap_remove(i);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Move `id` to `pos` (inserts if absent).
+    pub fn update(&mut self, id: ItemId, pos: Vec3) {
+        self.insert(id, pos);
+    }
+
+    /// Append every id within the closed ball `(center, radius)` to `out`.
+    pub fn query_range(&self, center: Vec3, radius: f32, out: &mut Vec<ItemId>) {
+        if radius < 0.0 {
+            return;
+        }
+        let r2 = radius * radius;
+        Self::range_node(&self.root, &self.bounds, center, r2, out);
+        out.extend(
+            self.outside
+                .iter()
+                .filter(|&&(_, p)| p.dist2(center) <= r2)
+                .map(|&(id, _)| id),
+        );
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.root = Node::Leaf { items: Vec::new() };
+        self.outside.clear();
+        self.positions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f32, y: f32, z: f32) -> Vec3 {
+        Vec3::new(x, y, z)
+    }
+
+    #[test]
+    fn insert_and_range_query() {
+        let mut o = Octree::with_cube(100.0);
+        o.insert(1, p(10.0, 10.0, 10.0));
+        o.insert(2, p(12.0, 10.0, 10.0));
+        o.insert(3, p(90.0, 90.0, 90.0));
+        let mut out = vec![];
+        o.query_range(p(11.0, 10.0, 10.0), 2.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn splits_preserve_all_items() {
+        let mut o = Octree::new(Aabb3::cube(64.0), 2, 6);
+        for i in 0..200 {
+            let f = i as f32;
+            o.insert(i, p(f % 8.0 * 8.0, (f / 8.0) % 8.0 * 8.0, (f / 64.0) * 8.0));
+        }
+        assert_eq!(o.len(), 200);
+        let mut out = vec![];
+        o.query_range(p(32.0, 32.0, 32.0), 1000.0, &mut out);
+        assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn update_moves_item_between_octants() {
+        let mut o = Octree::with_cube(100.0);
+        o.insert(1, p(10.0, 10.0, 10.0));
+        o.update(1, p(90.0, 90.0, 90.0));
+        assert_eq!(o.len(), 1);
+        let mut out = vec![];
+        o.query_range(p(10.0, 10.0, 10.0), 5.0, &mut out);
+        assert!(out.is_empty());
+        o.query_range(p(90.0, 90.0, 90.0), 5.0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn out_of_bounds_overflow() {
+        let mut o = Octree::with_cube(10.0);
+        o.insert(1, p(-5.0, 0.0, 0.0));
+        let mut out = vec![];
+        o.query_range(p(-5.0, 0.0, 0.0), 1.0, &mut out);
+        assert_eq!(out, vec![1]);
+        assert!(o.remove(1));
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn coincident_points_respect_max_depth() {
+        let mut o = Octree::new(Aabb3::cube(8.0), 1, 3);
+        for i in 0..30 {
+            o.insert(i, p(4.0, 4.0, 4.0));
+        }
+        let mut out = vec![];
+        o.query_range(p(4.0, 4.0, 4.0), 0.01, &mut out);
+        assert_eq!(out.len(), 30);
+    }
+
+    #[test]
+    fn sphere_query_boundary_inclusive() {
+        let mut o = Octree::with_cube(100.0);
+        o.insert(1, p(0.0, 0.0, 0.0));
+        o.insert(2, p(3.0, 4.0, 0.0)); // distance exactly 5
+        let mut out = vec![];
+        o.query_range(p(0.0, 0.0, 0.0), 5.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Generic A* search used by the navigation mesh (and usable directly on
+//! any graph the game defines, e.g. waypoint graphs or road networks).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Node in the open list, ordered by lowest f-score (g + heuristic).
+struct OpenEntry {
+    f: f32,
+    node: usize,
+}
+
+impl PartialEq for OpenEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f
+    }
+}
+impl Eq for OpenEntry {}
+impl PartialOrd for OpenEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-heap behaviour. NaN f
+        // scores sort last so they never win.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Result of a successful A* search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// Node indices from start to goal inclusive.
+    pub nodes: Vec<usize>,
+    /// Total accumulated edge cost.
+    pub cost: f32,
+    /// Number of nodes expanded (diagnostic for E4's efficiency report).
+    pub expanded: usize,
+}
+
+/// A* over an implicit graph of `usize` nodes.
+///
+/// * `neighbors(n, out)` appends `(neighbor, edge_cost)` pairs to `out`.
+/// * `heuristic(n)` must be admissible (never overestimate) for optimal
+///   paths; a zero heuristic degrades gracefully to Dijkstra.
+///
+/// Returns `None` when the goal is unreachable. Edge costs must be
+/// non-negative; negative costs are clamped to zero (and would otherwise
+/// break A*'s invariants silently).
+pub fn astar(
+    start: usize,
+    goal: usize,
+    mut neighbors: impl FnMut(usize, &mut Vec<(usize, f32)>),
+    mut heuristic: impl FnMut(usize) -> f32,
+) -> Option<PathResult> {
+    let mut open = BinaryHeap::new();
+    let mut g: HashMap<usize, f32> = HashMap::new();
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    let mut closed: HashSet<usize> = HashSet::new();
+    let mut expanded = 0usize;
+    let mut scratch: Vec<(usize, f32)> = Vec::new();
+
+    g.insert(start, 0.0);
+    open.push(OpenEntry {
+        f: heuristic(start),
+        node: start,
+    });
+
+    while let Some(OpenEntry { node, .. }) = open.pop() {
+        if !closed.insert(node) {
+            continue; // stale heap entry
+        }
+        if node == goal {
+            let mut nodes = vec![goal];
+            let mut cur = goal;
+            while let Some(&p) = parent.get(&cur) {
+                nodes.push(p);
+                cur = p;
+            }
+            nodes.reverse();
+            return Some(PathResult {
+                cost: g[&goal],
+                nodes,
+                expanded,
+            });
+        }
+        expanded += 1;
+        let g_node = g[&node];
+        scratch.clear();
+        neighbors(node, &mut scratch);
+        for &(next, cost) in &scratch {
+            let tentative = g_node + cost.max(0.0);
+            if g.get(&next).is_none_or(|&old| tentative < old) {
+                g.insert(next, tentative);
+                parent.insert(next, node);
+                open.push(OpenEntry {
+                    f: tentative + heuristic(next),
+                    node: next,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small grid world helper: 4-connected WxH grid with blocked cells.
+    fn grid_neighbors(
+        w: usize,
+        h: usize,
+        blocked: &[usize],
+    ) -> impl Fn(usize, &mut Vec<(usize, f32)>) + '_ {
+        move |n, out| {
+            let (x, y) = (n % w, n / w);
+            let push = |nx: usize, ny: usize, out: &mut Vec<(usize, f32)>| {
+                let id = ny * w + nx;
+                if !blocked.contains(&id) {
+                    out.push((id, 1.0));
+                }
+            };
+            if x > 0 {
+                push(x - 1, y, out);
+            }
+            if x + 1 < w {
+                push(x + 1, y, out);
+            }
+            if y > 0 {
+                push(x, y - 1, out);
+            }
+            if y + 1 < h {
+                push(x, y + 1, out);
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_path() {
+        let nb = grid_neighbors(5, 1, &[]);
+        let r = astar(0, 4, nb, |n| (4 - n % 5) as f32).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.cost, 4.0);
+    }
+
+    #[test]
+    fn routes_around_obstacle() {
+        // 3x3 grid, wall at center column except bottom row
+        //   0 1 2
+        //   3 X 5
+        //   6 7 8      (X = 4 blocked)
+        let nb = grid_neighbors(3, 3, &[4]);
+        let r = astar(3, 5, nb, |_| 0.0).unwrap();
+        assert_eq!(r.cost, 4.0);
+        assert!(r.nodes.contains(&7) || r.nodes.contains(&1));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // goal cell walled off entirely
+        let nb = grid_neighbors(3, 3, &[1, 3, 4]);
+        assert!(astar(0, 8, nb, |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn start_equals_goal() {
+        let nb = grid_neighbors(3, 3, &[]);
+        let r = astar(4, 4, nb, |_| 0.0).unwrap();
+        assert_eq!(r.nodes, vec![4]);
+        assert_eq!(r.cost, 0.0);
+        assert_eq!(r.expanded, 0);
+    }
+
+    #[test]
+    fn admissible_heuristic_expands_fewer_nodes() {
+        // Start at the grid center so the quadrant pointing away from the
+        // goal is prunable by the heuristic (from a corner every node lies
+        // on some shortest path and A* degenerates to Dijkstra).
+        let w = 20;
+        let nb1 = grid_neighbors(w, 20, &[]);
+        let nb2 = grid_neighbors(w, 20, &[]);
+        let start = 10 * w + 10;
+        let goal = 19 * w + 19;
+        let dijkstra = astar(start, goal, nb1, |_| 0.0).unwrap();
+        let manhattan = astar(start, goal, nb2, move |n| {
+            let (x, y) = (n % w, n / w);
+            ((19 - x) + (19 - y)) as f32
+        })
+        .unwrap();
+        assert_eq!(dijkstra.cost, manhattan.cost);
+        assert!(manhattan.expanded < dijkstra.expanded);
+    }
+
+    #[test]
+    fn negative_edge_costs_are_clamped() {
+        let r = astar(
+            0,
+            2,
+            |n, out| {
+                if n == 0 {
+                    out.push((1, -5.0));
+                }
+                if n == 1 {
+                    out.push((2, 1.0));
+                }
+            },
+            |_| 0.0,
+        )
+        .unwrap();
+        assert_eq!(r.cost, 1.0);
+    }
+}

@@ -1,0 +1,437 @@
+//! Region quadtree over 2-D points (the planar analogue of the octree the
+//! paper names).
+//!
+//! Unlike the BSP tree, the quadtree subdivides *space* rather than the
+//! point set: each node covers a fixed quadrant of its parent. This makes
+//! update cheap (no rebalancing) and makes the structure adaptive to
+//! clustered data, at the cost of deep branches when points coincide —
+//! bounded here by `max_depth`.
+
+use std::collections::HashMap;
+
+use crate::geom::{Aabb, Vec2};
+use crate::index::{finish_knn, ItemId, SpatialIndex};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { items: Vec<(ItemId, Vec2)> },
+    Inner { children: Box<[Node; 4]> },
+}
+
+/// A point quadtree over a fixed world rectangle.
+///
+/// Points outside the world bounds are kept in a linear overflow list
+/// (games routinely have a handful of "limbo" entities — in inventory,
+/// mid-teleport — which should not break the index).
+#[derive(Debug, Clone)]
+pub struct Quadtree {
+    bounds: Aabb,
+    root: Node,
+    outside: Vec<(ItemId, Vec2)>,
+    positions: HashMap<ItemId, Vec2>,
+    leaf_capacity: usize,
+    max_depth: usize,
+}
+
+impl Quadtree {
+    /// Create a quadtree covering `bounds`. `leaf_capacity` is the number
+    /// of items a leaf holds before splitting (min 1); `max_depth` bounds
+    /// subdivision (min 1).
+    pub fn new(bounds: Aabb, leaf_capacity: usize, max_depth: usize) -> Self {
+        Quadtree {
+            bounds,
+            root: Node::Leaf { items: Vec::new() },
+            outside: Vec::new(),
+            positions: HashMap::new(),
+            leaf_capacity: leaf_capacity.max(1),
+            max_depth: max_depth.max(1),
+        }
+    }
+
+    /// Convenience constructor covering `[0,0]..[w,h]` with defaults tuned
+    /// for ~10k entities.
+    pub fn with_size(w: f32, h: f32) -> Self {
+        Quadtree::new(Aabb::from_size(w, h), 8, 12)
+    }
+
+    /// The world rectangle this tree covers.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Number of items outside the world bounds (diagnostic).
+    pub fn outside_count(&self) -> usize {
+        self.outside.len()
+    }
+
+    fn quadrant(b: &Aabb, i: usize) -> Aabb {
+        let c = b.center();
+        match i {
+            0 => Aabb::new(b.min, c),
+            1 => Aabb::new(Vec2::new(c.x, b.min.y), Vec2::new(b.max.x, c.y)),
+            2 => Aabb::new(Vec2::new(b.min.x, c.y), Vec2::new(c.x, b.max.y)),
+            _ => Aabb::new(c, b.max),
+        }
+    }
+
+    fn child_index(b: &Aabb, p: Vec2) -> usize {
+        let c = b.center();
+        (usize::from(p.x >= c.x)) | (usize::from(p.y >= c.y) << 1)
+    }
+
+    fn insert_node(
+        node: &mut Node,
+        bounds: &Aabb,
+        id: ItemId,
+        pos: Vec2,
+        depth: usize,
+        cap: usize,
+        max_depth: usize,
+    ) {
+        match node {
+            Node::Leaf { items } => {
+                items.push((id, pos));
+                if items.len() > cap && depth < max_depth {
+                    let taken = std::mem::take(items);
+                    let mut children = Box::new([
+                        Node::Leaf { items: Vec::new() },
+                        Node::Leaf { items: Vec::new() },
+                        Node::Leaf { items: Vec::new() },
+                        Node::Leaf { items: Vec::new() },
+                    ]);
+                    for (iid, ipos) in taken {
+                        let ci = Self::child_index(bounds, ipos);
+                        if let Node::Leaf { items } = &mut children[ci] {
+                            items.push((iid, ipos));
+                        }
+                    }
+                    *node = Node::Inner { children };
+                    // Re-split children that are still over capacity (all
+                    // points may share a quadrant).
+                    if let Node::Inner { children } = node {
+                        for ci in 0..4 {
+                            let cb = Self::quadrant(bounds, ci);
+                            let needs_split = matches!(
+                                &children[ci],
+                                Node::Leaf { items } if items.len() > cap
+                            );
+                            if needs_split {
+                                if let Node::Leaf { items } = &mut children[ci] {
+                                    let again = std::mem::take(items);
+                                    let mut leaf = Node::Leaf { items: Vec::new() };
+                                    for (iid, ipos) in again {
+                                        Self::insert_node(
+                                            &mut leaf,
+                                            &cb,
+                                            iid,
+                                            ipos,
+                                            depth + 1,
+                                            cap,
+                                            max_depth,
+                                        );
+                                    }
+                                    children[ci] = leaf;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Node::Inner { children } => {
+                let ci = Self::child_index(bounds, pos);
+                let cb = Self::quadrant(bounds, ci);
+                Self::insert_node(&mut children[ci], &cb, id, pos, depth + 1, cap, max_depth);
+            }
+        }
+    }
+
+    fn remove_node(node: &mut Node, bounds: &Aabb, id: ItemId, pos: Vec2) -> bool {
+        match node {
+            Node::Leaf { items } => match items.iter().position(|&(x, _)| x == id) {
+                Some(i) => {
+                    items.swap_remove(i);
+                    true
+                }
+                None => false,
+            },
+            Node::Inner { children } => {
+                let ci = Self::child_index(bounds, pos);
+                let cb = Self::quadrant(bounds, ci);
+                Self::remove_node(&mut children[ci], &cb, id, pos)
+            }
+        }
+    }
+
+    fn range_node(node: &Node, bounds: &Aabb, center: Vec2, r2: f32, out: &mut Vec<ItemId>) {
+        if bounds.dist2_to_point(center) > r2 {
+            return;
+        }
+        match node {
+            Node::Leaf { items } => {
+                for &(id, p) in items {
+                    if p.dist2(center) <= r2 {
+                        out.push(id);
+                    }
+                }
+            }
+            Node::Inner { children } => {
+                for ci in 0..4 {
+                    let cb = Self::quadrant(bounds, ci);
+                    Self::range_node(&children[ci], &cb, center, r2, out);
+                }
+            }
+        }
+    }
+
+    fn aabb_node(node: &Node, bounds: &Aabb, q: &Aabb, out: &mut Vec<ItemId>) {
+        if !bounds.intersects(q) {
+            return;
+        }
+        match node {
+            Node::Leaf { items } => {
+                for &(id, p) in items {
+                    if q.contains(p) {
+                        out.push(id);
+                    }
+                }
+            }
+            Node::Inner { children } => {
+                for ci in 0..4 {
+                    let cb = Self::quadrant(bounds, ci);
+                    Self::aabb_node(&children[ci], &cb, q, out);
+                }
+            }
+        }
+    }
+
+    fn knn_node(
+        node: &Node,
+        bounds: &Aabb,
+        center: Vec2,
+        k: usize,
+        cands: &mut Vec<(f32, ItemId)>,
+    ) {
+        // Prune: if we already have k candidates closer than this node's
+        // region, skip it.
+        if cands.len() >= k {
+            let mut ds: Vec<f32> = cands.iter().map(|&(d, _)| d).collect();
+            ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            if bounds.dist2_to_point(center) > ds[k - 1] {
+                return;
+            }
+        }
+        match node {
+            Node::Leaf { items } => {
+                for &(id, p) in items {
+                    cands.push((p.dist2(center), id));
+                }
+            }
+            Node::Inner { children } => {
+                // Visit children nearest-first for better pruning.
+                let mut order: Vec<(f32, usize)> = (0..4)
+                    .map(|ci| {
+                        let cb = Self::quadrant(bounds, ci);
+                        (cb.dist2_to_point(center), ci)
+                    })
+                    .collect();
+                order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for (_, ci) in order {
+                    let cb = Self::quadrant(bounds, ci);
+                    Self::knn_node(&children[ci], &cb, center, k, cands);
+                }
+            }
+        }
+    }
+}
+
+impl SpatialIndex for Quadtree {
+    fn insert(&mut self, id: ItemId, pos: Vec2) {
+        debug_assert!(pos.is_finite(), "non-finite position for item {id}");
+        if self.positions.contains_key(&id) {
+            self.remove(id);
+        }
+        self.positions.insert(id, pos);
+        if self.bounds.contains(pos) {
+            let bounds = self.bounds;
+            Self::insert_node(
+                &mut self.root,
+                &bounds,
+                id,
+                pos,
+                0,
+                self.leaf_capacity,
+                self.max_depth,
+            );
+        } else {
+            self.outside.push((id, pos));
+        }
+    }
+
+    fn remove(&mut self, id: ItemId) -> bool {
+        match self.positions.remove(&id) {
+            Some(pos) => {
+                if self.bounds.contains(pos) {
+                    let bounds = self.bounds;
+                    let removed = Self::remove_node(&mut self.root, &bounds, id, pos);
+                    debug_assert!(removed, "positions map and quadtree out of sync");
+                } else if let Some(i) = self.outside.iter().position(|&(x, _)| x == id) {
+                    self.outside.swap_remove(i);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn position(&self, id: ItemId) -> Option<Vec2> {
+        self.positions.get(&id).copied()
+    }
+
+    fn query_range(&self, center: Vec2, radius: f32, out: &mut Vec<ItemId>) {
+        if radius < 0.0 {
+            return;
+        }
+        let r2 = radius * radius;
+        Self::range_node(&self.root, &self.bounds, center, r2, out);
+        out.extend(
+            self.outside
+                .iter()
+                .filter(|&&(_, p)| p.dist2(center) <= r2)
+                .map(|&(id, _)| id),
+        );
+    }
+
+    fn query_aabb(&self, q: &Aabb, out: &mut Vec<ItemId>) {
+        Self::aabb_node(&self.root, &self.bounds, q, out);
+        out.extend(
+            self.outside
+                .iter()
+                .filter(|&&(_, p)| q.contains(p))
+                .map(|&(id, _)| id),
+        );
+    }
+
+    fn query_knn(&self, center: Vec2, k: usize, out: &mut Vec<ItemId>) {
+        if k == 0 || self.positions.is_empty() {
+            return;
+        }
+        let mut cands = Vec::new();
+        Self::knn_node(&self.root, &self.bounds, center, k, &mut cands);
+        for &(id, p) in &self.outside {
+            cands.push((p.dist2(center), id));
+        }
+        finish_knn(center, k, &mut cands, out);
+    }
+
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn clear(&mut self) {
+        self.root = Node::Leaf { items: Vec::new() };
+        self.outside.clear();
+        self.positions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32) -> Vec2 {
+        Vec2::new(x, y)
+    }
+
+    fn tree() -> Quadtree {
+        Quadtree::new(Aabb::from_size(100.0, 100.0), 2, 8)
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let mut t = tree();
+        t.insert(1, v(10.0, 10.0));
+        t.insert(2, v(12.0, 10.0));
+        t.insert(3, v(90.0, 90.0));
+        let mut out = vec![];
+        t.query_range(v(11.0, 10.0), 2.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn splitting_preserves_items() {
+        let mut t = tree();
+        for i in 0..100 {
+            t.insert(i, v((i % 10) as f32 * 10.0 + 0.5, (i / 10) as f32 * 10.0 + 0.5));
+        }
+        assert_eq!(t.len(), 100);
+        let mut out = vec![];
+        t.query_aabb(&Aabb::from_size(100.0, 100.0), &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn coincident_points_bounded_by_max_depth() {
+        let mut t = Quadtree::new(Aabb::from_size(10.0, 10.0), 1, 3);
+        for i in 0..50 {
+            t.insert(i, v(5.0, 5.0));
+        }
+        assert_eq!(t.len(), 50);
+        let mut out = vec![];
+        t.query_range(v(5.0, 5.0), 0.1, &mut out);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn out_of_bounds_items_still_queryable() {
+        let mut t = tree();
+        t.insert(1, v(-50.0, -50.0));
+        t.insert(2, v(50.0, 50.0));
+        assert_eq!(t.outside_count(), 1);
+        let mut out = vec![];
+        t.query_range(v(-50.0, -50.0), 1.0, &mut out);
+        assert_eq!(out, vec![1]);
+        // moving it inside removes it from the overflow list
+        t.update(1, v(10.0, 10.0));
+        assert_eq!(t.outside_count(), 0);
+        out.clear();
+        t.query_range(v(10.0, 10.0), 1.0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn remove_works_in_and_out_of_bounds() {
+        let mut t = tree();
+        t.insert(1, v(5.0, 5.0));
+        t.insert(2, v(-5.0, 5.0));
+        assert!(t.remove(1));
+        assert!(t.remove(2));
+        assert!(!t.remove(3));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn knn_nearest_first() {
+        let mut t = tree();
+        t.insert(1, v(10.0, 10.0));
+        t.insert(2, v(20.0, 10.0));
+        t.insert(3, v(80.0, 80.0));
+        let mut out = vec![];
+        t.query_knn(v(0.0, 0.0), 3, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn knn_prunes_but_stays_exact() {
+        // Regression-style check: cluster in one quadrant, nearest point in
+        // another; pruning must not skip it.
+        let mut t = tree();
+        for i in 0..20 {
+            t.insert(i, v(75.0 + (i % 5) as f32, 75.0 + (i / 5) as f32));
+        }
+        t.insert(999, v(49.0, 49.0));
+        let mut out = vec![];
+        t.query_knn(v(45.0, 45.0), 1, &mut out);
+        assert_eq!(out, vec![999]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests: every spatial index must agree with the brute-force
+//! oracle on arbitrary operation sequences and queries.
+
+use gamedb_spatial::{Aabb, BruteForce, BspTree, Quadtree, SpatialIndex, UniformGrid, Vec2};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, f32, f32),
+    Remove(u64),
+    Update(u64, f32, f32),
+}
+
+fn coord() -> impl Strategy<Value = f32> {
+    // world coordinates, including negatives and out-of-quadtree-bounds
+    (-150.0f32..150.0).prop_map(|v| (v * 8.0).round() / 8.0)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..32, coord(), coord()).prop_map(|(id, x, y)| Op::Insert(id, x, y)),
+        (0u64..32).prop_map(Op::Remove),
+        (0u64..32, coord(), coord()).prop_map(|(id, x, y)| Op::Update(id, x, y)),
+    ]
+}
+
+fn apply<I: SpatialIndex>(idx: &mut I, ops: &[Op]) {
+    for o in ops {
+        match *o {
+            Op::Insert(id, x, y) => idx.insert(id, Vec2::new(x, y)),
+            Op::Remove(id) => {
+                idx.remove(id);
+            }
+            Op::Update(id, x, y) => idx.update(id, Vec2::new(x, y)),
+        }
+    }
+}
+
+fn sorted_range<I: SpatialIndex>(idx: &I, c: Vec2, r: f32) -> Vec<u64> {
+    let mut out = vec![];
+    idx.query_range(c, r, &mut out);
+    out.sort_unstable();
+    out
+}
+
+fn sorted_aabb<I: SpatialIndex>(idx: &I, b: &Aabb) -> Vec<u64> {
+    let mut out = vec![];
+    idx.query_aabb(b, &mut out);
+    out.sort_unstable();
+    out
+}
+
+fn knn<I: SpatialIndex>(idx: &I, c: Vec2, k: usize) -> Vec<u64> {
+    let mut out = vec![];
+    idx.query_knn(c, k, &mut out);
+    out
+}
+
+macro_rules! index_equivalence_suite {
+    ($modname:ident, $make:expr) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(64))]
+
+                #[test]
+                fn range_matches_oracle(
+                    ops in proptest::collection::vec(op(), 0..120),
+                    cx in coord(), cy in coord(),
+                    r in 0.0f32..120.0,
+                ) {
+                    let mut oracle = BruteForce::new();
+                    let mut idx = $make;
+                    apply(&mut oracle, &ops);
+                    apply(&mut idx, &ops);
+                    prop_assert_eq!(idx.len(), oracle.len());
+                    let c = Vec2::new(cx, cy);
+                    prop_assert_eq!(sorted_range(&idx, c, r), sorted_range(&oracle, c, r));
+                }
+
+                #[test]
+                fn aabb_matches_oracle(
+                    ops in proptest::collection::vec(op(), 0..120),
+                    x0 in coord(), y0 in coord(),
+                    x1 in coord(), y1 in coord(),
+                ) {
+                    let mut oracle = BruteForce::new();
+                    let mut idx = $make;
+                    apply(&mut oracle, &ops);
+                    apply(&mut idx, &ops);
+                    let b = Aabb::new(Vec2::new(x0, y0), Vec2::new(x1, y1));
+                    prop_assert_eq!(sorted_aabb(&idx, &b), sorted_aabb(&oracle, &b));
+                }
+
+                #[test]
+                fn knn_matches_oracle(
+                    ops in proptest::collection::vec(op(), 0..120),
+                    cx in coord(), cy in coord(),
+                    k in 0usize..12,
+                ) {
+                    let mut oracle = BruteForce::new();
+                    let mut idx = $make;
+                    apply(&mut oracle, &ops);
+                    apply(&mut idx, &ops);
+                    let c = Vec2::new(cx, cy);
+                    // Distances can tie at different ids only when two items
+                    // share a distance; the (distance, id) tiebreak makes
+                    // results fully deterministic, so exact equality holds.
+                    prop_assert_eq!(knn(&idx, c, k), knn(&oracle, c, k));
+                }
+
+                #[test]
+                fn positions_match_oracle(
+                    ops in proptest::collection::vec(op(), 0..120),
+                ) {
+                    let mut oracle = BruteForce::new();
+                    let mut idx = $make;
+                    apply(&mut oracle, &ops);
+                    apply(&mut idx, &ops);
+                    for id in 0u64..32 {
+                        prop_assert_eq!(idx.position(id), oracle.position(id));
+                    }
+                }
+            }
+        }
+    };
+}
+
+index_equivalence_suite!(grid_vs_oracle, UniformGrid::new(16.0));
+index_equivalence_suite!(grid_small_cells_vs_oracle, UniformGrid::new(3.0));
+index_equivalence_suite!(bsp_vs_oracle, BspTree::new(4));
+index_equivalence_suite!(quadtree_vs_oracle, Quadtree::new(
+    Aabb::new(Vec2::new(-100.0, -100.0), Vec2::new(100.0, 100.0)),
+    4,
+    8
+));
+
+mod navmesh_props {
+    use super::*;
+    use gamedb_spatial::{Annotation, CostProfile, NavMesh};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// On a random open tile grid (no walls), a path between any two
+        /// cell centers exists and starts/ends at the query points.
+        #[test]
+        fn open_grid_always_connected(
+            w in 2usize..8, h in 2usize..8,
+            sx in 0usize..8, sy in 0usize..8,
+            gx in 0usize..8, gy in 0usize..8,
+        ) {
+            let (sx, sy) = (sx % w, sy % h);
+            let (gx, gy) = (gx % w, gy % h);
+            let mesh = NavMesh::from_tile_grid(w, h, 1.0, |_, _| true, |_, _| Annotation::neutral());
+            prop_assert_eq!(mesh.connected_components(), 1);
+            let from = Vec2::new(sx as f32 + 0.5, sy as f32 + 0.5);
+            let to = Vec2::new(gx as f32 + 0.5, gy as f32 + 0.5);
+            let path = mesh.find_path(from, to, &CostProfile::shortest());
+            prop_assert!(path.is_some());
+            let path = path.unwrap();
+            prop_assert_eq!(path.waypoints[0], from);
+            prop_assert_eq!(*path.waypoints.last().unwrap(), to);
+            // path length at least the straight-line distance
+            prop_assert!(path.length() + 1e-4 >= from.dist(to));
+        }
+
+        /// Danger weighting never makes the geometric path shorter than the
+        /// unweighted shortest path.
+        #[test]
+        fn weighted_paths_no_shorter(
+            w in 3usize..7, h in 3usize..7,
+            danger_x in 0usize..7, danger_y in 0usize..7,
+        ) {
+            let (dx, dy) = (danger_x % w, danger_y % h);
+            let mesh = NavMesh::from_tile_grid(
+                w, h, 1.0,
+                |_, _| true,
+                |x, y| if (x, y) == (dx, dy) {
+                    Annotation { danger: 1.0, ..Default::default() }
+                } else {
+                    Annotation::neutral()
+                },
+            );
+            let from = Vec2::new(0.5, 0.5);
+            let to = Vec2::new(w as f32 - 0.5, h as f32 - 0.5);
+            let short = mesh.find_path(from, to, &CostProfile::shortest()).unwrap();
+            let safe = mesh.find_path(from, to, &CostProfile::cautious()).unwrap();
+            prop_assert!(safe.length() + 1e-4 >= short.length());
+        }
+
+        /// Mesh validation finds no problems on arbitrary tile grids.
+        #[test]
+        fn tile_meshes_validate(
+            w in 1usize..10, h in 1usize..10,
+            walls in proptest::collection::hash_set((0usize..10, 0usize..10), 0..20),
+        ) {
+            let mesh = NavMesh::from_tile_grid(
+                w, h, 1.0,
+                |x, y| !walls.contains(&(x, y)),
+                |_, _| Annotation::neutral(),
+            );
+            prop_assert!(mesh.validate().is_empty());
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Aggro management: role-based combat targeting.
+//!
+//! The paper: "'aggro management' is the technique that World of Warcraft
+//! uses to target opponents and process combat. It assigns abstract roles
+//! to the participants, which allows the game to handle combat without
+//! exact spatial fidelity." A mob keeps a *threat table* — accumulated
+//! threat per attacker, weighted by role — and targets the top entry.
+//! Because threat integrates over time and roles, the chosen target is
+//! stable under small positional noise, where exact nearest-enemy
+//! targeting flaps; experiment E8 quantifies exactly that robustness.
+
+use std::collections::HashMap;
+
+use gamedb_core::{EntityId, World};
+
+/// Combat roles with their threat multipliers. Tanks generate extra
+/// threat by design — the game *wants* the boss hitting the tank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    Tank,
+    Healer,
+    Dps,
+}
+
+impl Role {
+    /// Threat generated per point of damage (or healing) done.
+    pub fn threat_multiplier(self) -> f64 {
+        match self {
+            Role::Tank => 3.0,
+            Role::Healer => 0.75,
+            Role::Dps => 1.0,
+        }
+    }
+}
+
+/// Per-mob threat table.
+#[derive(Debug, Clone, Default)]
+pub struct AggroTable {
+    threat: HashMap<EntityId, f64>,
+    /// Taunt forces the target for a number of ticks.
+    taunt: Option<(EntityId, u32)>,
+}
+
+impl AggroTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record damage (or healing converted to threat) done by `who` with
+    /// `role`.
+    pub fn add_threat(&mut self, who: EntityId, role: Role, amount: f64) {
+        *self.threat.entry(who).or_insert(0.0) += amount.max(0.0) * role.threat_multiplier();
+    }
+
+    /// Taunt: force targeting of `who` for `ticks` ticks.
+    pub fn taunt(&mut self, who: EntityId, ticks: u32) {
+        self.taunt = Some((who, ticks));
+    }
+
+    /// Exponential decay each tick (threat half-life keeps tables fresh).
+    pub fn decay(&mut self, factor: f64) {
+        for v in self.threat.values_mut() {
+            *v *= factor.clamp(0.0, 1.0);
+        }
+        self.threat.retain(|_, v| *v > 1e-9);
+        if let Some((_, ticks)) = &mut self.taunt {
+            if *ticks == 0 {
+                self.taunt = None;
+            } else {
+                *ticks -= 1;
+            }
+        }
+    }
+
+    /// Remove an attacker (death, despawn, zone-out).
+    pub fn remove(&mut self, who: EntityId) {
+        self.threat.remove(&who);
+        if let Some((t, _)) = self.taunt {
+            if t == who {
+                self.taunt = None;
+            }
+        }
+    }
+
+    /// Current threat of `who`.
+    pub fn threat_of(&self, who: EntityId) -> f64 {
+        self.threat.get(&who).copied().unwrap_or(0.0)
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.threat.len()
+    }
+
+    /// True when no attacker has threat.
+    pub fn is_empty(&self) -> bool {
+        self.threat.is_empty()
+    }
+
+    /// Pick the target: the taunter if taunted, else the highest-threat
+    /// live attacker (ties break to the lower id — deterministic).
+    pub fn target(&self, world: &World) -> Option<EntityId> {
+        if let Some((who, _)) = self.taunt {
+            if world.is_live(who) {
+                return Some(who);
+            }
+        }
+        self.threat
+            .iter()
+            .filter(|(&who, _)| world.is_live(who))
+            .max_by(|(a_id, a), (b_id, b)| {
+                a.partial_cmp(b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b_id.cmp(a_id))
+            })
+            .map(|(&who, _)| who)
+    }
+}
+
+/// Targeting policies compared in experiment E8.
+pub trait Targeting {
+    fn name(&self) -> &'static str;
+    /// Choose a target for `mob` among `candidates`.
+    fn choose(&mut self, world: &World, mob: EntityId, candidates: &[EntityId])
+        -> Option<EntityId>;
+}
+
+/// Exact nearest-enemy targeting (requires exact spatial fidelity).
+#[derive(Debug, Default)]
+pub struct NearestTargeting;
+
+impl Targeting for NearestTargeting {
+    fn name(&self) -> &'static str {
+        "nearest"
+    }
+
+    fn choose(
+        &mut self,
+        world: &World,
+        mob: EntityId,
+        candidates: &[EntityId],
+    ) -> Option<EntityId> {
+        let mp = world.pos(mob)?;
+        candidates
+            .iter()
+            .filter(|&&c| world.is_live(c))
+            .filter_map(|&c| world.pos(c).map(|p| (c, p.dist2(mp))))
+            .min_by(|(ca, da), (cb, db)| {
+                da.partial_cmp(db)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ca.cmp(cb))
+            })
+            .map(|(c, _)| c)
+    }
+}
+
+/// Aggro-table targeting (role-weighted threat accumulation).
+#[derive(Debug, Default)]
+pub struct AggroTargeting {
+    tables: HashMap<EntityId, AggroTable>,
+    /// per-tick threat decay
+    pub decay: f64,
+}
+
+impl AggroTargeting {
+    pub fn new(decay: f64) -> Self {
+        AggroTargeting {
+            tables: HashMap::new(),
+            decay,
+        }
+    }
+
+    /// Table of a mob (created on demand).
+    pub fn table_mut(&mut self, mob: EntityId) -> &mut AggroTable {
+        self.tables.entry(mob).or_default()
+    }
+
+    /// Record a damage event against a mob.
+    pub fn record_damage(&mut self, mob: EntityId, attacker: EntityId, role: Role, dmg: f64) {
+        self.table_mut(mob).add_threat(attacker, role, dmg);
+    }
+
+    /// Advance one tick (decay all tables).
+    pub fn tick(&mut self) {
+        for t in self.tables.values_mut() {
+            t.decay(self.decay);
+        }
+    }
+}
+
+impl Targeting for AggroTargeting {
+    fn name(&self) -> &'static str {
+        "aggro"
+    }
+
+    fn choose(
+        &mut self,
+        world: &World,
+        mob: EntityId,
+        _candidates: &[EntityId],
+    ) -> Option<EntityId> {
+        self.tables.get(&mob).and_then(|t| t.target(world))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::arena_world;
+    use gamedb_spatial::Vec2;
+
+    fn world3() -> (World, Vec<EntityId>) {
+        arena_world(4, |i| Vec2::new(i as f32 * 2.0, 0.0))
+    }
+
+    #[test]
+    fn tank_outthreats_dps_at_lower_damage() {
+        let (w, ids) = world3();
+        let (mob, tank, dps) = (ids[0], ids[1], ids[2]);
+        let mut t = AggroTable::new();
+        t.add_threat(tank, Role::Tank, 50.0); // 150 threat
+        t.add_threat(dps, Role::Dps, 120.0); // 120 threat
+        assert_eq!(t.target(&w), Some(tank));
+        assert_eq!(t.threat_of(tank), 150.0);
+        let _ = mob;
+    }
+
+    #[test]
+    fn taunt_overrides_until_expiry() {
+        let (w, ids) = world3();
+        let (tank, dps) = (ids[1], ids[2]);
+        let mut t = AggroTable::new();
+        t.add_threat(dps, Role::Dps, 1000.0);
+        t.taunt(tank, 2);
+        // needs some threat entry for tank not required: taunt wins outright
+        assert_eq!(t.target(&w), Some(tank));
+        t.decay(1.0);
+        assert_eq!(t.target(&w), Some(tank));
+        t.decay(1.0);
+        t.decay(1.0);
+        assert_eq!(t.target(&w), Some(dps), "taunt expired");
+    }
+
+    #[test]
+    fn decay_and_cleanup() {
+        let (_, ids) = world3();
+        let mut t = AggroTable::new();
+        t.add_threat(ids[1], Role::Dps, 8.0);
+        for _ in 0..100 {
+            t.decay(0.5);
+        }
+        assert!(t.is_empty(), "fully decayed entries are dropped");
+    }
+
+    #[test]
+    fn dead_attackers_skipped() {
+        let (mut w, ids) = world3();
+        let mut t = AggroTable::new();
+        t.add_threat(ids[1], Role::Dps, 100.0);
+        t.add_threat(ids[2], Role::Dps, 50.0);
+        w.despawn(ids[1]);
+        assert_eq!(t.target(&w), Some(ids[2]));
+        t.remove(ids[1]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn tie_breaks_deterministic() {
+        let (w, ids) = world3();
+        let mut t = AggroTable::new();
+        t.add_threat(ids[2], Role::Dps, 10.0);
+        t.add_threat(ids[1], Role::Dps, 10.0);
+        assert_eq!(t.target(&w), Some(ids[1].min(ids[2])));
+    }
+
+    #[test]
+    fn nearest_targeting_tracks_position() {
+        let (mut w, ids) = world3();
+        let mut nt = NearestTargeting;
+        let mob = ids[0];
+        let cands = &ids[1..];
+        assert_eq!(nt.choose(&w, mob, cands), Some(ids[1]));
+        // move ids[3] right next to the mob
+        w.set_pos(ids[3], Vec2::new(0.1, 0.0)).unwrap();
+        assert_eq!(nt.choose(&w, mob, cands), Some(ids[3]));
+    }
+
+    #[test]
+    fn aggro_stable_under_position_noise() {
+        // tank holds aggro even as a dps runs closer — nearest flaps
+        let (mut w, ids) = world3();
+        let (mob, tank, dps) = (ids[0], ids[1], ids[2]);
+        let mut aggro = AggroTargeting::new(0.95);
+        let mut nearest = NearestTargeting;
+        aggro.record_damage(mob, tank, Role::Tank, 30.0);
+        aggro.record_damage(mob, dps, Role::Dps, 40.0);
+
+        let mut aggro_switches = 0;
+        let mut nearest_switches = 0;
+        let (mut last_a, mut last_n) = (None, None);
+        for tick in 0..20 {
+            // dps oscillates between nearer and farther than the tank
+            let x = if tick % 2 == 0 { 0.5 } else { 3.5 };
+            w.set_pos(dps, Vec2::new(x, 0.0)).unwrap();
+            aggro.record_damage(mob, tank, Role::Tank, 10.0);
+            aggro.record_damage(mob, dps, Role::Dps, 12.0);
+            aggro.tick();
+            let a = aggro.choose(&w, mob, &[tank, dps]);
+            let n = nearest.choose(&w, mob, &[tank, dps]);
+            if last_a.is_some() && a != last_a {
+                aggro_switches += 1;
+            }
+            if last_n.is_some() && n != last_n {
+                nearest_switches += 1;
+            }
+            last_a = a;
+            last_n = n;
+        }
+        assert_eq!(aggro_switches, 0, "tank holds aggro");
+        assert!(nearest_switches > 10, "nearest flaps with position noise");
+    }
+}

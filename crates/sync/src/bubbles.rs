@@ -1,0 +1,471 @@
+//! Causality bubbles: motion-predicted dynamic partitioning.
+//!
+//! The paper (via EVE Online): "a continuous differential equation that
+//! takes into account the acceleration of every space ship … allows them
+//! to determine, for any given time interval, which ships can move within
+//! range of each other; this way they can dynamically partition the map
+//! into feasible units." This module implements that technique for our
+//! worlds: integrate each entity's velocity and maximum acceleration over
+//! the tick horizon to get a *reachability disk*; entities whose disks
+//! (inflated by the interaction range) overlap land in the same bubble
+//! (union-find over index-found neighbor pairs); each bubble's actions
+//! then execute with no locking or validation at all, because no action
+//! can cross a bubble boundary within the horizon.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use gamedb_core::{EffectBuffer, EntityId, World};
+use gamedb_spatial::Vec2;
+
+use crate::action::Action;
+use crate::executor::{ExecStats, Executor};
+
+/// Union-find over dense indices.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    pub fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// Parameters of the motion-prediction model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BubbleConfig {
+    /// Tick horizon Δt in seconds.
+    pub dt: f32,
+    /// Maximum acceleration any entity can apply (the differential
+    /// equation's bound).
+    pub max_accel: f32,
+    /// Range at which two entities can interact (attack reach, trade
+    /// distance).
+    pub interaction_range: f32,
+}
+
+impl Default for BubbleConfig {
+    fn default() -> Self {
+        BubbleConfig {
+            dt: 1.0,
+            max_accel: 2.0,
+            interaction_range: 5.0,
+        }
+    }
+}
+
+impl BubbleConfig {
+    /// Reachability radius of an entity moving at `speed`:
+    /// `|v|·Δt + ½·a·Δt²`.
+    pub fn reach(&self, speed: f32) -> f32 {
+        speed * self.dt + 0.5 * self.max_accel * self.dt * self.dt
+    }
+}
+
+/// The result of bubble partitioning.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// bubble id per entity
+    pub bubble_of: HashMap<EntityId, usize>,
+    /// entities per bubble
+    pub bubbles: Vec<Vec<EntityId>>,
+}
+
+impl Partition {
+    /// Number of bubbles.
+    pub fn len(&self) -> usize {
+        self.bubbles.len()
+    }
+
+    /// True when there are no bubbles.
+    pub fn is_empty(&self) -> bool {
+        self.bubbles.is_empty()
+    }
+
+    /// Size of the largest bubble.
+    pub fn max_bubble(&self) -> usize {
+        self.bubbles.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean bubble size.
+    pub fn mean_bubble(&self) -> f32 {
+        if self.bubbles.is_empty() {
+            0.0
+        } else {
+            let total: usize = self.bubbles.iter().map(Vec::len).sum();
+            total as f32 / self.bubbles.len() as f32
+        }
+    }
+}
+
+/// Compute the bubble partition of all positioned entities.
+///
+/// Velocity is read from the optional `vel` (vec2) component; entities
+/// without one predict from speed 0 (reach = ½·a·Δt²). Neighbor pairs are
+/// found through the world's spatial index with the maximal pair radius,
+/// then refined with the per-pair test, so partitioning is O(n·k), not
+/// O(n²) — bubbles must be cheaper than the contention they remove.
+pub fn partition(world: &World, cfg: &BubbleConfig) -> Partition {
+    let ids: Vec<EntityId> = world
+        .entities()
+        .filter(|&e| world.pos(e).is_some())
+        .collect();
+    let index_of: HashMap<EntityId, usize> =
+        ids.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+
+    let speed_of = |e: EntityId| -> f32 {
+        match world.get(e, "vel") {
+            Some(gamedb_content::Value::Vec2(vx, vy)) => Vec2::new(vx, vy).len(),
+            _ => 0.0,
+        }
+    };
+    let reaches: Vec<f32> = ids.iter().map(|&e| cfg.reach(speed_of(e))).collect();
+    let max_reach = reaches.iter().copied().fold(0.0f32, f32::max);
+
+    let mut uf = UnionFind::new(ids.len());
+    let mut near = Vec::new();
+    for (i, &e) in ids.iter().enumerate() {
+        let p = world.pos(e).expect("filtered to positioned entities");
+        // any entity whose disk could overlap ours is within this radius
+        let search = reaches[i] + max_reach + cfg.interaction_range;
+        near.clear();
+        world.within(p, search, &mut near);
+        for &other in &near {
+            if other == e {
+                continue;
+            }
+            let Some(&j) = index_of.get(&other) else { continue };
+            if j <= i {
+                continue; // each pair once
+            }
+            let q = world.pos(other).expect("indexed entities have positions");
+            let limit = reaches[i] + reaches[j] + cfg.interaction_range;
+            if p.dist2(q) <= limit * limit {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    let mut bubble_index: HashMap<usize, usize> = HashMap::new();
+    let mut bubbles: Vec<Vec<EntityId>> = Vec::new();
+    let mut bubble_of = HashMap::new();
+    for (i, &e) in ids.iter().enumerate() {
+        let root = uf.find(i);
+        let b = *bubble_index.entry(root).or_insert_with(|| {
+            bubbles.push(Vec::new());
+            bubbles.len() - 1
+        });
+        bubbles[b].push(e);
+        bubble_of.insert(e, b);
+    }
+    Partition { bubble_of, bubbles }
+}
+
+/// Executor that partitions the world into causality bubbles and runs
+/// each bubble's actions without any concurrency control.
+///
+/// Actions whose footprint spans bubbles (possible only for
+/// beyond-horizon interactions, e.g. long-range trades) fall into a
+/// residual phase executed after the bubbles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BubbleExecutor {
+    pub cfg: BubbleConfig,
+}
+
+impl BubbleExecutor {
+    pub fn new(cfg: BubbleConfig) -> Self {
+        BubbleExecutor { cfg }
+    }
+
+    /// Partition + assignment, exposed for the E6 reports.
+    pub fn plan(&self, world: &World, actions: &[Action]) -> (Partition, Vec<Vec<usize>>, Vec<usize>) {
+        let part = partition(world, &self.cfg);
+        let mut per_bubble: Vec<Vec<usize>> = vec![Vec::new(); part.len()];
+        let mut residual = Vec::new();
+        'outer: for (i, a) in actions.iter().enumerate() {
+            let mut fp = a.read_set();
+            fp.extend(a.write_set());
+            let mut bubble: Option<usize> = None;
+            for e in fp {
+                match part.bubble_of.get(&e) {
+                    None => {
+                        residual.push(i);
+                        continue 'outer;
+                    }
+                    Some(&b) => match bubble {
+                        None => bubble = Some(b),
+                        Some(prev) if prev != b => {
+                            residual.push(i);
+                            continue 'outer;
+                        }
+                        Some(_) => {}
+                    },
+                }
+            }
+            match bubble {
+                Some(b) => per_bubble[b].push(i),
+                None => residual.push(i),
+            }
+        }
+        (part, per_bubble, residual)
+    }
+}
+
+impl Executor for BubbleExecutor {
+    fn name(&self) -> &'static str {
+        "bubbles"
+    }
+
+    fn execute(&self, world: &mut World, actions: &[Action]) -> ExecStats {
+        let start = Instant::now();
+        let (_part, per_bubble, residual) = self.plan(world, actions);
+
+        // Bubbles are disjoint by construction, so their buffers merge
+        // conflict-free. Fan out over at most `cores` worker threads —
+        // each worker processes a contiguous run of bubbles into its own
+        // buffer (merge order stays bubble order: deterministic). Within
+        // a bubble, actions run serially through an overlay view so each
+        // sees its predecessors' writes — without this, two trades out of
+        // one account both clamp against the tick-start balance and
+        // overdraw it (the write-skew anomaly experiment E13 audits for).
+        let run_bubble = |bubble_actions: &[usize], buf: &mut EffectBuffer| {
+            let mut view = crate::view::OverlayView::new(world);
+            for &i in bubble_actions {
+                let mut tmp = EffectBuffer::new();
+                actions[i].execute(&view, &mut tmp);
+                view.absorb(&tmp);
+                buf.merge(tmp);
+            }
+        };
+        let busy: Vec<&Vec<usize>> =
+            per_bubble.iter().filter(|b| !b.is_empty()).collect();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut merged = EffectBuffer::new();
+        if cores <= 1 || busy.len() <= 1 {
+            for bubble_actions in &busy {
+                run_bubble(bubble_actions, &mut merged);
+            }
+        } else {
+            let chunk = busy.len().div_ceil(cores);
+            let groups: Vec<&[&Vec<usize>]> = busy.chunks(chunk).collect();
+            let mut buffers: Vec<EffectBuffer> =
+                groups.iter().map(|_| EffectBuffer::new()).collect();
+            let run_bubble = &run_bubble;
+            crossbeam::thread::scope(|scope| {
+                for (group, buf) in groups.iter().zip(buffers.iter_mut()) {
+                    scope.spawn(move |_| {
+                        for bubble_actions in *group {
+                            run_bubble(bubble_actions, buf);
+                        }
+                    });
+                }
+            })
+            .expect("bubble worker panicked");
+            for buf in buffers {
+                merged.merge(buf);
+            }
+        }
+        merged.apply(world).expect("action effects are well-typed");
+
+        // residual cross-bubble actions: serial
+        for &i in &residual {
+            let mut buf = EffectBuffer::new();
+            actions[i].execute(world, &mut buf);
+            buf.apply(world).expect("action effects are well-typed");
+        }
+
+        let max_bubble_actions = per_bubble.iter().map(Vec::len).max().unwrap_or(0);
+        ExecStats {
+            submitted: actions.len(),
+            executed: actions.len(),
+            rounds: busy.len() + residual.len(),
+            aborts: 0,
+            micros: start.elapsed().as_micros(),
+            max_group: max_bubble_actions,
+            critical_path: max_bubble_actions + residual.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::arena_world;
+    use crate::executor::SerialExecutor;
+    use gamedb_content::Value;
+
+    fn clustered_world(
+        clusters: usize,
+        per_cluster: usize,
+        spread: f32,
+        gap: f32,
+    ) -> (World, Vec<EntityId>) {
+        arena_world(clusters * per_cluster, |i| {
+            let c = i / per_cluster;
+            let k = i % per_cluster;
+            Vec2::new(
+                c as f32 * gap + (k % 4) as f32 * spread,
+                (k / 4) as f32 * spread,
+            )
+        })
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(3));
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(4));
+        assert_ne!(uf.find(2), uf.find(0));
+    }
+
+    #[test]
+    fn far_clusters_get_separate_bubbles() {
+        let (w, _) = clustered_world(4, 8, 2.0, 1000.0);
+        let part = partition(&w, &BubbleConfig::default());
+        assert_eq!(part.len(), 4);
+        assert_eq!(part.max_bubble(), 8);
+    }
+
+    #[test]
+    fn dense_world_collapses_to_one_bubble() {
+        let (w, _) = clustered_world(1, 32, 2.0, 0.0);
+        let part = partition(&w, &BubbleConfig::default());
+        assert_eq!(part.len(), 1);
+    }
+
+    #[test]
+    fn reach_follows_velocity() {
+        let cfg = BubbleConfig {
+            dt: 2.0,
+            max_accel: 1.0,
+            interaction_range: 0.0,
+        };
+        assert_eq!(cfg.reach(0.0), 2.0); // 0.5*1*4
+        assert_eq!(cfg.reach(3.0), 8.0); // 3*2 + 2
+
+        // two stationary entities 30 apart: separate bubbles; give one a
+        // big velocity toward the other: same bubble
+        let (mut w, ids) = arena_world(2, |i| Vec2::new(i as f32 * 30.0, 0.0));
+        w.define_component("vel", gamedb_content::ValueType::Vec2)
+            .unwrap();
+        let p1 = partition(&w, &cfg);
+        assert_eq!(p1.len(), 2);
+        w.set(ids[0], "vel", Value::Vec2(14.0, 0.0)).unwrap();
+        let p2 = partition(&w, &cfg);
+        assert_eq!(p2.len(), 1, "fast mover can reach the other within dt");
+    }
+
+    #[test]
+    fn bubble_executor_matches_serial_on_attacks() {
+        let (mut w1, ids) = clustered_world(4, 8, 2.0, 500.0);
+        let (mut w2, _) = clustered_world(4, 8, 2.0, 500.0);
+        // attacks inside each cluster
+        let mut batch = Vec::new();
+        for c in 0..4 {
+            for k in 0..7 {
+                batch.push(Action::Attack {
+                    attacker: ids[c * 8 + k],
+                    target: ids[c * 8 + k + 1],
+                });
+            }
+        }
+        SerialExecutor.execute(&mut w1, &batch);
+        let stats = BubbleExecutor::default().execute(&mut w2, &batch);
+        assert_eq!(w1.rows(), w2.rows());
+        assert_eq!(stats.executed, batch.len());
+        // four bubbles working
+        assert_eq!(stats.rounds, 4);
+    }
+
+    #[test]
+    fn cross_bubble_actions_go_residual() {
+        let (w, ids) = clustered_world(2, 4, 1.0, 500.0);
+        let exec = BubbleExecutor::default();
+        let batch = vec![
+            Action::Attack {
+                attacker: ids[0],
+                target: ids[1],
+            },
+            // long-range trade across clusters
+            Action::Trade {
+                from: ids[0],
+                to: ids[7],
+                amount: 10,
+            },
+        ];
+        let (part, per_bubble, residual) = exec.plan(&w, &batch);
+        assert_eq!(part.len(), 2);
+        assert_eq!(residual, vec![1]);
+        assert_eq!(per_bubble.iter().map(Vec::len).sum::<usize>(), 1);
+
+        // and execution still applies the residual action
+        let (mut w2, ids2) = clustered_world(2, 4, 1.0, 500.0);
+        let batch2 = vec![Action::Trade {
+            from: ids2[0],
+            to: ids2[7],
+            amount: 10,
+        }];
+        exec.execute(&mut w2, &batch2);
+        assert_eq!(w2.get_i64(ids2[7], "gold"), Some(110));
+    }
+
+    #[test]
+    fn density_sweep_bubble_counts_decrease() {
+        // as gap shrinks, bubbles merge: bubble count must be monotonically
+        // non-increasing across these gaps
+        let mut counts = Vec::new();
+        for gap in [1000.0, 100.0, 20.0, 5.0] {
+            let (w, _) = clustered_world(8, 4, 1.0, gap);
+            counts.push(partition(&w, &BubbleConfig::default()).len());
+        }
+        for pair in counts.windows(2) {
+            assert!(pair[0] >= pair[1], "bubbles must merge as density grows: {counts:?}");
+        }
+        assert_eq!(counts[0], 8);
+        assert_eq!(*counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn partition_stats() {
+        let (w, _) = clustered_world(3, 5, 1.0, 400.0);
+        let part = partition(&w, &BubbleConfig::default());
+        assert_eq!(part.len(), 3);
+        assert_eq!(part.max_bubble(), 5);
+        assert!((part.mean_bubble() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,594 @@
+//! Exploit detection: the invariants a consistent MMO must keep.
+//!
+//! The paper: "concurrency violations in scripting languages are one of
+//! the largest sources of bugs and exploits in MMOs" — duplication
+//! ("dupe") exploits, speed hacks, and item black holes \[6\]. This module
+//! provides
+//!
+//! * [`RacyExecutor`] — a faithful model of the *buggy* server loop those
+//!   exploits target: every action reads tick-start state and writes
+//!   absolute values back (read-modify-write without any concurrency
+//!   control). Concurrent trades out of one account duplicate gold;
+//!   concurrent pickups of one item duplicate loot; concurrent attacks
+//!   lose damage.
+//! * [`Auditor`] — the invariant checker an operations team runs against
+//!   every tick: wealth conservation (no gold created or destroyed),
+//!   no-overdraft, and per-tick movement bounds (speed-hack detection).
+//!
+//! Experiment E13 runs the same workload through the racy loop and each
+//! safe executor and counts what the auditor catches.
+
+use std::collections::HashMap;
+
+use gamedb_core::{EntityId, World};
+use gamedb_spatial::Vec2;
+
+use crate::action::Action;
+use crate::executor::{ExecStats, Executor};
+
+/// Total wealth of a world: live entities' `gold` plus live items'
+/// `value`. Every built-in action conserves this sum — trades move gold,
+/// pickups convert an item's `value` into the holder's `gold`.
+pub fn wealth(world: &World) -> i64 {
+    world
+        .entities()
+        .map(|e| world.get_i64(e, "gold").unwrap_or(0) + world.get_i64(e, "value").unwrap_or(0))
+        .sum()
+}
+
+/// Pre-tick snapshot the auditor compares against.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    wealth: i64,
+    positions: HashMap<EntityId, Vec2>,
+}
+
+/// One tick's audit findings.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AuditReport {
+    /// Wealth after minus wealth before. Positive = a dupe created value
+    /// out of thin air; negative = a black hole destroyed it. Zero for
+    /// every serially-equivalent executor.
+    pub wealth_drift: i64,
+    /// Entities holding negative gold after the tick.
+    pub overdrafts: usize,
+    /// Entities that moved farther than the speed limit allows in one
+    /// tick (speed hacks, or a broken movement integrator).
+    pub speed_violations: usize,
+}
+
+impl AuditReport {
+    /// True when the tick kept every invariant.
+    pub fn clean(&self) -> bool {
+        self.wealth_drift == 0 && self.overdrafts == 0 && self.speed_violations == 0
+    }
+}
+
+/// Tick-by-tick invariant checker.
+///
+/// ```
+/// # use gamedb_sync::{arena_world, Action, Auditor, Executor, SerialExecutor};
+/// # use gamedb_spatial::Vec2;
+/// let (mut world, ids) = arena_world(2, |i| Vec2::new(i as f32 * 3.0, 0.0));
+/// let mut auditor = Auditor::new(2.5);
+/// let before = auditor.snapshot(&world);
+/// SerialExecutor.execute(&mut world, &[Action::Trade { from: ids[0], to: ids[1], amount: 30 }]);
+/// let report = auditor.audit(&before, &world);
+/// assert!(report.clean());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Auditor {
+    /// Maximum distance any entity may legitimately cover in one tick.
+    pub max_step: f32,
+    ticks: usize,
+    dirty_ticks: usize,
+    total_drift: i64,
+    total_overdrafts: usize,
+    total_speed_violations: usize,
+}
+
+impl Auditor {
+    pub fn new(max_step: f32) -> Self {
+        Auditor {
+            max_step,
+            ticks: 0,
+            dirty_ticks: 0,
+            total_drift: 0,
+            total_overdrafts: 0,
+            total_speed_violations: 0,
+        }
+    }
+
+    /// Capture the pre-tick state the post-tick check needs.
+    pub fn snapshot(&self, world: &World) -> Baseline {
+        Baseline {
+            wealth: wealth(world),
+            positions: world
+                .entities()
+                .filter_map(|e| world.pos(e).map(|p| (e, p)))
+                .collect(),
+        }
+    }
+
+    /// Check the post-tick world against the pre-tick baseline.
+    pub fn audit(&mut self, before: &Baseline, world: &World) -> AuditReport {
+        let eps = 1e-3;
+        let report = AuditReport {
+            wealth_drift: wealth(world) - before.wealth,
+            overdrafts: world
+                .entities()
+                .filter(|&e| world.get_i64(e, "gold").unwrap_or(0) < 0)
+                .count(),
+            speed_violations: world
+                .entities()
+                .filter(|&e| {
+                    let (Some(now), Some(&then)) = (world.pos(e), before.positions.get(&e))
+                    else {
+                        return false;
+                    };
+                    now.dist(then) > self.max_step + eps
+                })
+                .count(),
+        };
+        self.ticks += 1;
+        if !report.clean() {
+            self.dirty_ticks += 1;
+        }
+        self.total_drift += report.wealth_drift.abs();
+        self.total_overdrafts += report.overdrafts;
+        self.total_speed_violations += report.speed_violations;
+        report
+    }
+
+    /// Ticks audited so far.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Ticks with at least one violation.
+    pub fn dirty_ticks(&self) -> usize {
+        self.dirty_ticks
+    }
+
+    /// Sum of |wealth drift| across audited ticks (gold conjured or
+    /// destroyed, in absolute gold units).
+    pub fn total_drift(&self) -> i64 {
+        self.total_drift
+    }
+
+    /// Total overdraft sightings across ticks.
+    pub fn total_overdrafts(&self) -> usize {
+        self.total_overdrafts
+    }
+
+    /// Total speed-limit violations across ticks.
+    pub fn total_speed_violations(&self) -> usize {
+        self.total_speed_violations
+    }
+}
+
+/// The buggy server loop real exploits target.
+///
+/// All actions read the tick-start state, then write **absolute** values
+/// back in submission order — the read-modify-write interleaving a
+/// scripting language without concurrency control produces when two
+/// handlers run "simultaneously". No schedule, no validation, no waves.
+///
+/// The resulting anomalies, on conflicting actions:
+/// * two `Trade`s out of one account → only one debit survives, both
+///   credits land: **gold duplicated**;
+/// * two `Pickup`s of one item → both see it live: **loot duplicated**;
+/// * two `Attack`s on one target → one damage write lost;
+/// * `Trade` into an account that also traded out → a credit lost.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RacyExecutor;
+
+impl Executor for RacyExecutor {
+    fn name(&self) -> &'static str {
+        "racy"
+    }
+
+    fn execute(&self, world: &mut World, actions: &[Action]) -> ExecStats {
+        let start = std::time::Instant::now();
+        // Read phase: every action captures what it needs from the
+        // tick-start state.
+        enum Write {
+            Gold(EntityId, i64),
+            Hp(EntityId, f32),
+            Pos(EntityId, Vec2),
+            Despawn(EntityId),
+        }
+        let mut writes: Vec<Write> = Vec::with_capacity(actions.len() * 2);
+        for a in actions {
+            match *a {
+                Action::Move { who, to, speed } => {
+                    let Some(p) = world.pos(who) else { continue };
+                    let delta = to - p;
+                    let d = delta.len();
+                    let step = if d <= speed || d == 0.0 { delta } else { delta * (speed / d) };
+                    writes.push(Write::Pos(who, p + step));
+                }
+                Action::Attack { attacker, target } => {
+                    if !world.is_live(attacker) || !world.is_live(target) {
+                        continue;
+                    }
+                    let dmg = world.get_f32(attacker, "dmg").unwrap_or(1.0);
+                    let hp = world.get_f32(target, "hp").unwrap_or(0.0);
+                    writes.push(Write::Hp(target, hp - dmg));
+                }
+                Action::Trade { from, to, amount } => {
+                    if !world.is_live(from) || !world.is_live(to) || from == to {
+                        continue;
+                    }
+                    let from_bal = world.get_i64(from, "gold").unwrap_or(0);
+                    let to_bal = world.get_i64(to, "gold").unwrap_or(0);
+                    let amt = amount.clamp(0, from_bal.max(0));
+                    if amt == 0 {
+                        continue;
+                    }
+                    writes.push(Write::Gold(from, from_bal - amt));
+                    writes.push(Write::Gold(to, to_bal + amt));
+                }
+                Action::Heal { healer, target } => {
+                    if !world.is_live(healer) || !world.is_live(target) {
+                        continue;
+                    }
+                    let power = world.get_f32(healer, "power").unwrap_or(5.0);
+                    let hp = world.get_f32(target, "hp").unwrap_or(0.0);
+                    writes.push(Write::Hp(target, hp + power));
+                }
+                Action::Pickup { player, item } => {
+                    if !world.is_live(player) || !world.is_live(item) {
+                        continue;
+                    }
+                    let gold = world.get_i64(player, "gold").unwrap_or(0);
+                    let value = world.get_i64(item, "value").unwrap_or(0);
+                    writes.push(Write::Gold(player, gold + value));
+                    writes.push(Write::Despawn(item));
+                }
+            }
+        }
+        // Write phase: absolute values land in submission order; later
+        // writers silently clobber earlier ones.
+        for w in writes {
+            match w {
+                Write::Gold(e, v) => {
+                    if world.is_live(e) {
+                        world.set(e, "gold", gamedb_content::Value::Int(v)).expect("gold is Int");
+                    }
+                }
+                Write::Hp(e, v) => {
+                    if world.is_live(e) {
+                        world.set_f32(e, "hp", v).expect("hp is Float");
+                    }
+                }
+                Write::Pos(e, p) => {
+                    if world.is_live(e) {
+                        world.set_pos(e, p).expect("entity is live");
+                    }
+                }
+                Write::Despawn(e) => {
+                    world.despawn(e);
+                }
+            }
+        }
+        ExecStats {
+            submitted: actions.len(),
+            executed: actions.len(),
+            rounds: 1,
+            aborts: 0,
+            micros: start.elapsed().as_micros(),
+            max_group: actions.len(),
+            critical_path: 1,
+        }
+    }
+}
+
+/// Turn `fraction` of the batch's `Move` actions into speed hacks: the
+/// "client" claims a speed `factor`× the legitimate one. Returns how many
+/// were injected (deterministic: every ⌈1/fraction⌉-th move).
+pub fn inject_speed_hacks(batch: &mut [Action], fraction: f32, factor: f32) -> usize {
+    if fraction <= 0.0 {
+        return 0;
+    }
+    let stride = (1.0 / fraction).ceil().max(1.0) as usize;
+    let mut seen = 0usize;
+    let mut injected = 0usize;
+    for a in batch.iter_mut() {
+        if let Action::Move { speed, .. } = a {
+            if seen.is_multiple_of(stride) {
+                *speed *= factor;
+                injected += 1;
+            }
+            seen += 1;
+        }
+    }
+    injected
+}
+
+/// Server-side movement-input collapsing: keep only the first `Move` per
+/// entity in the batch (later ones are dropped). Real servers do this so
+/// a client cannot stack movement commands within one tick — without it,
+/// duplicate moves are indistinguishable from a speed hack.
+pub fn collapse_moves(batch: Vec<Action>) -> Vec<Action> {
+    let mut seen: std::collections::HashSet<EntityId> = std::collections::HashSet::new();
+    batch
+        .into_iter()
+        .filter(|a| match a {
+            Action::Move { who, .. } => seen.insert(*who),
+            _ => true,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::arena_world;
+    use crate::executor::{LockingExecutor, OptimisticExecutor, SerialExecutor};
+    use gamedb_content::Value;
+
+    fn line_world(n: usize) -> (World, Vec<EntityId>) {
+        arena_world(n, |i| Vec2::new(i as f32 * 3.0, 0.0))
+    }
+
+    /// The classic dupe: one account fires two trades to two different
+    /// recipients in the same tick.
+    fn dupe_batch(ids: &[EntityId]) -> Vec<Action> {
+        vec![
+            Action::Trade { from: ids[0], to: ids[1], amount: 60 },
+            Action::Trade { from: ids[0], to: ids[2], amount: 60 },
+        ]
+    }
+
+    #[test]
+    fn racy_loop_duplicates_gold() {
+        let (mut w, ids) = line_world(3);
+        let mut auditor = Auditor::new(3.0);
+        let before = auditor.snapshot(&w);
+        RacyExecutor.execute(&mut w, &dupe_batch(&ids));
+        let report = auditor.audit(&before, &w);
+        // both credits landed, only one debit survived: +60 from thin air
+        assert_eq!(report.wealth_drift, 60);
+        assert_eq!(w.get_i64(ids[0], "gold"), Some(40));
+        assert_eq!(w.get_i64(ids[1], "gold"), Some(160));
+        assert_eq!(w.get_i64(ids[2], "gold"), Some(160));
+    }
+
+    #[test]
+    fn safe_executors_never_dupe() {
+        for exec in [
+            Box::new(SerialExecutor) as Box<dyn Executor>,
+            Box::new(LockingExecutor),
+            Box::new(OptimisticExecutor::default()),
+        ] {
+            let (mut w, ids) = line_world(3);
+            let mut auditor = Auditor::new(3.0);
+            let before = auditor.snapshot(&w);
+            exec.execute(&mut w, &dupe_batch(&ids));
+            let report = auditor.audit(&before, &w);
+            assert!(report.clean(), "{} leaked wealth: {report:?}", exec.name());
+            // second trade saw the post-debit balance and clamped
+            assert_eq!(w.get_i64(ids[0], "gold"), Some(0), "{}", exec.name());
+        }
+    }
+
+    #[test]
+    fn bubbles_serialize_within_bubble() {
+        // all three players share one bubble; the two trades out of
+        // ids[0] must see each other (overlay) — no overdraft, no dupe
+        use crate::bubbles::BubbleExecutor;
+        let (mut w, ids) = arena_world(3, |i| Vec2::new(i as f32 * 2.0, 0.0));
+        let mut auditor = Auditor::new(3.0);
+        let before = auditor.snapshot(&w);
+        BubbleExecutor::default().execute(&mut w, &dupe_batch(&ids));
+        let report = auditor.audit(&before, &w);
+        assert!(report.clean(), "bubble write-skew: {report:?}");
+        assert_eq!(w.get_i64(ids[0], "gold"), Some(0));
+        assert_eq!(
+            w.get_i64(ids[1], "gold").unwrap() + w.get_i64(ids[2], "gold").unwrap(),
+            300
+        );
+    }
+
+    #[test]
+    fn racy_loop_duplicates_loot() {
+        let (mut w, ids) = line_world(2);
+        let item = w.spawn_at(Vec2::new(1.0, 0.0));
+        w.set(item, "value", Value::Int(500)).unwrap();
+        let batch = vec![
+            Action::Pickup { player: ids[0], item },
+            Action::Pickup { player: ids[1], item },
+        ];
+        let mut auditor = Auditor::new(3.0);
+        let before = auditor.snapshot(&w);
+        RacyExecutor.execute(&mut w, &batch);
+        let report = auditor.audit(&before, &w);
+        assert_eq!(report.wealth_drift, 500, "item value duplicated");
+        assert_eq!(w.get_i64(ids[0], "gold"), Some(600));
+        assert_eq!(w.get_i64(ids[1], "gold"), Some(600));
+        assert!(!w.is_live(item));
+    }
+
+    #[test]
+    fn safe_executors_give_loot_once() {
+        for exec in [
+            Box::new(SerialExecutor) as Box<dyn Executor>,
+            Box::new(LockingExecutor),
+        ] {
+            let (mut w, ids) = line_world(2);
+            let item = w.spawn_at(Vec2::new(1.0, 0.0));
+            w.set(item, "value", Value::Int(500)).unwrap();
+            let batch = vec![
+                Action::Pickup { player: ids[0], item },
+                Action::Pickup { player: ids[1], item },
+            ];
+            let mut auditor = Auditor::new(3.0);
+            let before = auditor.snapshot(&w);
+            exec.execute(&mut w, &batch);
+            assert!(auditor.audit(&before, &w).clean(), "{}", exec.name());
+            let total = w.get_i64(ids[0], "gold").unwrap() + w.get_i64(ids[1], "gold").unwrap();
+            assert_eq!(total, 700, "{}: 200 starting + 500 item", exec.name());
+        }
+    }
+
+    #[test]
+    fn racy_loop_loses_damage() {
+        let (mut w_racy, ids) = line_world(3);
+        let batch = vec![
+            Action::Attack { attacker: ids[0], target: ids[2] },
+            Action::Attack { attacker: ids[1], target: ids[2] },
+        ];
+        RacyExecutor.execute(&mut w_racy, &batch);
+        // both attacks read hp=100 and wrote 95: one hit vanished
+        assert_eq!(w_racy.get_f32(ids[2], "hp"), Some(95.0));
+
+        let (mut w_safe, ids2) = line_world(3);
+        let batch2 = vec![
+            Action::Attack { attacker: ids2[0], target: ids2[2] },
+            Action::Attack { attacker: ids2[1], target: ids2[2] },
+        ];
+        SerialExecutor.execute(&mut w_safe, &batch2);
+        assert_eq!(w_safe.get_f32(ids2[2], "hp"), Some(90.0));
+    }
+
+    #[test]
+    fn racy_matches_serial_when_conflict_free() {
+        let (mut w1, ids1) = line_world(8);
+        let (mut w2, ids2) = line_world(8);
+        let batch1: Vec<Action> = (0..4)
+            .map(|i| Action::Trade { from: ids1[2 * i], to: ids1[2 * i + 1], amount: 10 })
+            .collect();
+        let batch2: Vec<Action> = (0..4)
+            .map(|i| Action::Trade { from: ids2[2 * i], to: ids2[2 * i + 1], amount: 10 })
+            .collect();
+        RacyExecutor.execute(&mut w1, &batch1);
+        SerialExecutor.execute(&mut w2, &batch2);
+        assert_eq!(w1.rows(), w2.rows(), "disjoint batches are exploit-free");
+    }
+
+    #[test]
+    fn auditor_detects_speed_hack() {
+        let (mut w, ids) = line_world(4);
+        let mut batch: Vec<Action> = ids
+            .iter()
+            .map(|&e| Action::Move { who: e, to: Vec2::new(1000.0, 0.0), speed: 2.0 })
+            .collect();
+        let injected = inject_speed_hacks(&mut batch, 0.25, 50.0);
+        assert_eq!(injected, 1);
+        let mut auditor = Auditor::new(2.0);
+        let before = auditor.snapshot(&w);
+        SerialExecutor.execute(&mut w, &batch);
+        let report = auditor.audit(&before, &w);
+        assert_eq!(report.speed_violations, 1);
+        assert_eq!(report.wealth_drift, 0);
+    }
+
+    #[test]
+    fn clean_moves_pass_the_speed_check() {
+        let (mut w, ids) = line_world(4);
+        let batch: Vec<Action> = ids
+            .iter()
+            .map(|&e| Action::Move { who: e, to: Vec2::new(1000.0, 0.0), speed: 2.0 })
+            .collect();
+        let mut auditor = Auditor::new(2.0);
+        let before = auditor.snapshot(&w);
+        SerialExecutor.execute(&mut w, &batch);
+        assert!(auditor.audit(&before, &w).clean());
+    }
+
+    #[test]
+    fn inject_nothing_at_zero_fraction() {
+        let (_, ids) = line_world(2);
+        let mut batch = vec![Action::Move { who: ids[0], to: Vec2::ZERO, speed: 2.0 }];
+        assert_eq!(inject_speed_hacks(&mut batch, 0.0, 50.0), 0);
+        assert!(matches!(batch[0], Action::Move { speed, .. } if speed == 2.0));
+    }
+
+    #[test]
+    fn auditor_flags_overdraft() {
+        let (mut w, ids) = line_world(1);
+        let mut auditor = Auditor::new(2.0);
+        let before = auditor.snapshot(&w);
+        // a buggy handler drives gold negative directly
+        w.set(ids[0], "gold", Value::Int(-40)).unwrap();
+        let report = auditor.audit(&before, &w);
+        assert_eq!(report.overdrafts, 1);
+        assert_eq!(report.wealth_drift, -140);
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn auditor_accumulates_across_ticks() {
+        let (mut w, ids) = line_world(3);
+        let mut auditor = Auditor::new(3.0);
+        for _ in 0..3 {
+            let before = auditor.snapshot(&w);
+            RacyExecutor.execute(&mut w, &dupe_batch(&ids));
+            auditor.audit(&before, &w);
+        }
+        assert_eq!(auditor.ticks(), 3);
+        // tick 1: both 60-trades read balance 100 → one debit lost, +60.
+        // tick 2: balance 40 clamps both trades to 40 → +40 duped.
+        // tick 3: ids[0] is broke → nothing moves, clean.
+        assert_eq!(auditor.dirty_ticks(), 2);
+        assert_eq!(auditor.total_drift(), 100);
+        assert_eq!(auditor.total_speed_violations(), 0);
+    }
+
+    #[test]
+    fn wealth_counts_gold_and_items() {
+        let (mut w, _) = line_world(2);
+        assert_eq!(wealth(&w), 200);
+        let item = w.spawn_at(Vec2::ZERO);
+        w.set(item, "value", Value::Int(50)).unwrap();
+        assert_eq!(wealth(&w), 250);
+        w.despawn(item);
+        assert_eq!(wealth(&w), 200);
+    }
+
+    #[test]
+    fn collapse_moves_keeps_first_per_entity() {
+        let (_, ids) = line_world(2);
+        let batch = vec![
+            Action::Move { who: ids[0], to: Vec2::new(5.0, 0.0), speed: 2.0 },
+            Action::Attack { attacker: ids[0], target: ids[1] },
+            Action::Move { who: ids[0], to: Vec2::new(9.0, 0.0), speed: 2.0 },
+            Action::Move { who: ids[1], to: Vec2::new(9.0, 0.0), speed: 2.0 },
+        ];
+        let collapsed = collapse_moves(batch);
+        assert_eq!(collapsed.len(), 3);
+        assert!(matches!(collapsed[0], Action::Move { who, .. } if who == ids[0]));
+        assert!(matches!(collapsed[1], Action::Attack { .. }));
+        assert!(matches!(collapsed[2], Action::Move { who, .. } if who == ids[1]));
+    }
+
+    #[test]
+    fn stacked_moves_trip_the_audit_until_collapsed() {
+        let (mut w, ids) = line_world(1);
+        let batch = vec![
+            Action::Move { who: ids[0], to: Vec2::new(100.0, 0.0), speed: 2.0 },
+            Action::Move { who: ids[0], to: Vec2::new(100.0, 0.0), speed: 2.0 },
+        ];
+        let mut auditor = Auditor::new(2.0);
+        let before = auditor.snapshot(&w);
+        SerialExecutor.execute(&mut w, &batch.clone());
+        assert_eq!(auditor.audit(&before, &w).speed_violations, 1);
+
+        let (mut w2, _) = line_world(1);
+        let mut auditor2 = Auditor::new(2.0);
+        let before2 = auditor2.snapshot(&w2);
+        SerialExecutor.execute(&mut w2, &collapse_moves(batch));
+        assert!(auditor2.audit(&before2, &w2).clean());
+    }
+
+    #[test]
+    fn racy_self_trade_is_ignored() {
+        let (mut w, ids) = line_world(1);
+        RacyExecutor.execute(
+            &mut w,
+            &[Action::Trade { from: ids[0], to: ids[0], amount: 50 }],
+        );
+        assert_eq!(w.get_i64(ids[0], "gold"), Some(100));
+    }
+}

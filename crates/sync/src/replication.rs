@@ -1,0 +1,465 @@
+//! Server→client state replication with tunable consistency.
+//!
+//! The paper: "Another way in which games deal with concurrency is by
+//! having weaker consistency guarantees. Sometimes this means ensuring
+//! that the world is consistent at only a very coarse level; animation …
+//! may be out of sync between computers but the persistent game state is
+//! the same." A [`Replica`] is a client's copy of the world; the
+//! [`Replicator`] decides, per tick, which rows to ship. Three levels
+//! trade bandwidth for divergence, measured by [`Divergence`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use gamedb_content::Value;
+use gamedb_core::{EntityId, World};
+
+/// Consistency levels from strongest to weakest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConsistencyLevel {
+    /// Every component of every entity, every tick.
+    Strict,
+    /// Persistent state (non-`pos` components) every tick; positions only
+    /// every `pos_period` ticks — animation may lag, inventory never does.
+    CoarseEpoch { pos_period: u32 },
+    /// Positions ship only when they drift beyond `threshold` world units
+    /// on the replica; persistent state every `state_period` ticks.
+    EventualSimilar { threshold: f32, state_period: u32 },
+}
+
+/// A client-side copy of (part of) the world state.
+#[derive(Debug, Clone, Default)]
+pub struct Replica {
+    /// replicated component values
+    pub rows: HashMap<(EntityId, String), Value>,
+}
+
+impl Replica {
+    /// Position the client believes an entity has.
+    pub fn pos(&self, id: EntityId) -> Option<(f32, f32)> {
+        match self.rows.get(&(id, "pos".to_string())) {
+            Some(Value::Vec2(x, y)) => Some((*x, *y)),
+            _ => None,
+        }
+    }
+}
+
+/// Divergence between server truth and a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Divergence {
+    /// Mean position error (world units) over positioned entities.
+    pub mean_pos_error: f32,
+    /// Maximum position error.
+    pub max_pos_error: f32,
+    /// Number of non-position component values that differ.
+    pub persistent_mismatches: usize,
+}
+
+/// Area-of-interest filter: a client only receives entities near its
+/// focus (its character). Interest management is the third server-load
+/// lever next to partitioning and weak consistency — the server simply
+/// never ships most of the world to most clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interest {
+    /// Focus point (usually the player character's position).
+    pub center: (f32, f32),
+    /// Entities within this radius are replicated.
+    pub radius: f32,
+    /// Hysteresis margin: entities already known to the client are kept
+    /// until `radius + margin`, avoiding subscribe/unsubscribe flapping
+    /// at the boundary.
+    pub margin: f32,
+}
+
+impl Interest {
+    /// Everything is interesting (no filtering).
+    pub fn unbounded() -> Self {
+        Interest {
+            center: (0.0, 0.0),
+            radius: f32::INFINITY,
+            margin: 0.0,
+        }
+    }
+
+    fn inside(&self, pos: (f32, f32), known: bool) -> bool {
+        let dx = pos.0 - self.center.0;
+        let dy = pos.1 - self.center.1;
+        let r = if known {
+            self.radius + self.margin
+        } else {
+            self.radius
+        };
+        if r.is_infinite() {
+            return true;
+        }
+        dx * dx + dy * dy <= r * r
+    }
+}
+
+/// Replicates a world to a client each tick under a consistency level.
+#[derive(Debug, Clone)]
+pub struct Replicator {
+    pub level: ConsistencyLevel,
+    /// Area-of-interest filter (defaults to unbounded).
+    pub interest: Interest,
+    tick: u32,
+    /// rows shipped so far (the bandwidth proxy)
+    pub rows_sent: usize,
+}
+
+impl Replicator {
+    pub fn new(level: ConsistencyLevel) -> Self {
+        Replicator {
+            level,
+            interest: Interest::unbounded(),
+            tick: 0,
+            rows_sent: 0,
+        }
+    }
+
+    /// Replicator with an area-of-interest filter.
+    pub fn with_interest(level: ConsistencyLevel, interest: Interest) -> Self {
+        Replicator {
+            level,
+            interest,
+            tick: 0,
+            rows_sent: 0,
+        }
+    }
+
+    /// Ticks processed.
+    pub fn ticks(&self) -> u32 {
+        self.tick
+    }
+
+    /// Ship one tick of updates from `world` into `replica`.
+    pub fn sync(&mut self, world: &World, replica: &mut Replica) {
+        self.tick += 1;
+        let send_all_pos;
+        let send_state;
+        let mut pos_threshold = None;
+        match self.level {
+            ConsistencyLevel::Strict => {
+                send_all_pos = true;
+                send_state = true;
+            }
+            ConsistencyLevel::CoarseEpoch { pos_period } => {
+                send_all_pos = self.tick.is_multiple_of(pos_period.max(1));
+                send_state = true;
+            }
+            ConsistencyLevel::EventualSimilar {
+                threshold,
+                state_period,
+            } => {
+                send_all_pos = false;
+                pos_threshold = Some(threshold);
+                send_state = self.tick.is_multiple_of(state_period.max(1));
+            }
+        }
+        // Interest management: which live entities does this client care
+        // about? Known entities get the hysteresis margin.
+        let interesting = |id: EntityId, known: bool| -> bool {
+            match world.pos(id) {
+                Some(p) => self.interest.inside((p.x, p.y), known),
+                // unpositioned entities (global flags, quest state) always
+                // replicate
+                None => true,
+            }
+        };
+        // remove rows of despawned entities (all levels: death is
+        // persistent state) and of entities that left the interest area
+        replica.rows.retain(|(id, _), _| {
+            world.is_live(*id) && interesting(*id, true)
+        });
+        for (id, comp, value) in world.rows() {
+            if !interesting(id, replica.rows.contains_key(&(id, "pos".to_string()))) {
+                continue;
+            }
+            let key = (id, comp.clone());
+            if comp == "pos" {
+                let ship = if send_all_pos {
+                    true
+                } else if let Some(threshold) = pos_threshold {
+                    match (&value, replica.rows.get(&key)) {
+                        (Value::Vec2(sx, sy), Some(Value::Vec2(cx, cy))) => {
+                            let (dx, dy) = (sx - cx, sy - cy);
+                            (dx * dx + dy * dy).sqrt() > threshold
+                        }
+                        _ => true, // client has never seen it
+                    }
+                } else {
+                    // CoarseEpoch off-cycle: ship only brand-new entities
+                    !replica.rows.contains_key(&key)
+                };
+                if ship {
+                    replica.rows.insert(key, value);
+                    self.rows_sent += 1;
+                }
+            } else {
+                let ship = if send_state {
+                    replica.rows.get(&key) != Some(&value)
+                } else {
+                    !replica.rows.contains_key(&key)
+                };
+                if ship {
+                    replica.rows.insert(key, value);
+                    self.rows_sent += 1;
+                }
+            }
+        }
+    }
+
+    /// Measure divergence between `world` and `replica` over the whole
+    /// world (unbounded interest).
+    pub fn divergence(world: &World, replica: &Replica) -> Divergence {
+        Self::divergence_within(world, replica, Interest::unbounded())
+    }
+
+    /// Divergence restricted to the client's interest area — what the
+    /// player can actually observe being wrong.
+    pub fn divergence_within(
+        world: &World,
+        replica: &Replica,
+        interest: Interest,
+    ) -> Divergence {
+        let mut pos_errors = Vec::new();
+        let mut mismatches = 0usize;
+        let server_rows: BTreeMap<(EntityId, String), Value> = world
+            .rows()
+            .into_iter()
+            .filter(|(id, _, _)| match world.pos(*id) {
+                // mirror sync's subscribe rule: entities the client knows
+                // get the hysteresis margin, unknown ones the base radius
+                Some(p) => interest.inside(
+                    (p.x, p.y),
+                    replica.rows.contains_key(&(*id, "pos".to_string())),
+                ),
+                None => true,
+            })
+            .map(|(id, c, v)| ((id, c), v))
+            .collect();
+        for ((id, comp), value) in &server_rows {
+            if comp == "pos" {
+                if let Value::Vec2(sx, sy) = value {
+                    let (cx, cy) = replica.pos(*id).unwrap_or((f32::MAX, f32::MAX));
+                    let err = if cx == f32::MAX {
+                        f32::MAX
+                    } else {
+                        ((sx - cx).powi(2) + (sy - cy).powi(2)).sqrt()
+                    };
+                    pos_errors.push(err.min(1e9));
+                }
+            } else if replica.rows.get(&(*id, comp.clone())) != Some(value) {
+                mismatches += 1;
+            }
+        }
+        // replica rows for entities/components the server lacks also count
+        for key in replica.rows.keys() {
+            if key.1 != "pos" && !server_rows.contains_key(key) {
+                mismatches += 1;
+            }
+        }
+        let mean = if pos_errors.is_empty() {
+            0.0
+        } else {
+            pos_errors.iter().sum::<f32>() / pos_errors.len() as f32
+        };
+        Divergence {
+            mean_pos_error: mean,
+            max_pos_error: pos_errors.iter().copied().fold(0.0, f32::max),
+            persistent_mismatches: mismatches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::arena_world;
+    use gamedb_spatial::Vec2;
+
+    fn moving_world(n: usize) -> (World, Vec<EntityId>) {
+        arena_world(n, |i| Vec2::new(i as f32 * 3.0, 0.0))
+    }
+
+    fn drift(world: &mut World, ids: &[EntityId], step: f32) {
+        for (i, &e) in ids.iter().enumerate() {
+            let p = world.pos(e).unwrap();
+            world
+                .set_pos(e, Vec2::new(p.x + step, p.y + (i % 3) as f32 * 0.1))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn strict_replication_has_zero_divergence() {
+        let (mut w, ids) = moving_world(10);
+        let mut rep = Replicator::new(ConsistencyLevel::Strict);
+        let mut client = Replica::default();
+        for _ in 0..5 {
+            drift(&mut w, &ids, 1.0);
+            rep.sync(&w, &mut client);
+            let d = Replicator::divergence(&w, &client);
+            assert_eq!(d.mean_pos_error, 0.0);
+            assert_eq!(d.persistent_mismatches, 0);
+        }
+    }
+
+    #[test]
+    fn coarse_epoch_lags_positions_but_not_state() {
+        let (mut w, ids) = moving_world(10);
+        let mut rep = Replicator::new(ConsistencyLevel::CoarseEpoch { pos_period: 5 });
+        let mut client = Replica::default();
+        rep.sync(&w, &mut client); // tick 1: initial (new rows ship)
+        for tick in 2..=4 {
+            drift(&mut w, &ids, 1.0);
+            w.set_f32(ids[0], "hp", 40.0 + tick as f32).unwrap();
+            rep.sync(&w, &mut client);
+            let d = Replicator::divergence(&w, &client);
+            assert!(d.mean_pos_error > 0.0, "positions lag between epochs");
+            assert_eq!(d.persistent_mismatches, 0, "hp always in sync");
+        }
+        // epoch tick flushes positions
+        drift(&mut w, &ids, 1.0);
+        rep.sync(&w, &mut client); // tick 5
+        let d = Replicator::divergence(&w, &client);
+        assert_eq!(d.mean_pos_error, 0.0);
+    }
+
+    #[test]
+    fn eventual_similar_bounds_drift() {
+        let (mut w, ids) = moving_world(10);
+        let threshold = 5.0;
+        let mut rep = Replicator::new(ConsistencyLevel::EventualSimilar {
+            threshold,
+            state_period: 4,
+        });
+        let mut client = Replica::default();
+        rep.sync(&w, &mut client);
+        for _ in 0..30 {
+            drift(&mut w, &ids, 0.9);
+            rep.sync(&w, &mut client);
+            let d = Replicator::divergence(&w, &client);
+            // drift is bounded by threshold + one tick of movement
+            assert!(
+                d.max_pos_error <= threshold + 1.0 + 1e-3,
+                "divergence {d:?} exceeds bound"
+            );
+        }
+    }
+
+    #[test]
+    fn weaker_levels_send_fewer_rows() {
+        let mk = |level| {
+            let (mut w, ids) = moving_world(20);
+            let mut rep = Replicator::new(level);
+            let mut client = Replica::default();
+            for _ in 0..20 {
+                drift(&mut w, &ids, 0.3);
+                rep.sync(&w, &mut client);
+            }
+            rep.rows_sent
+        };
+        let strict = mk(ConsistencyLevel::Strict);
+        let coarse = mk(ConsistencyLevel::CoarseEpoch { pos_period: 5 });
+        let eventual = mk(ConsistencyLevel::EventualSimilar {
+            threshold: 5.0,
+            state_period: 5,
+        });
+        assert!(strict > coarse, "strict={strict} coarse={coarse}");
+        assert!(coarse > eventual, "coarse={coarse} eventual={eventual}");
+    }
+
+    #[test]
+    fn despawns_propagate_at_every_level() {
+        for level in [
+            ConsistencyLevel::Strict,
+            ConsistencyLevel::CoarseEpoch { pos_period: 10 },
+            ConsistencyLevel::EventualSimilar {
+                threshold: 100.0,
+                state_period: 10,
+            },
+        ] {
+            let (mut w, ids) = moving_world(5);
+            let mut rep = Replicator::new(level);
+            let mut client = Replica::default();
+            rep.sync(&w, &mut client);
+            w.despawn(ids[2]);
+            rep.sync(&w, &mut client);
+            assert!(client.pos(ids[2]).is_none(), "{level:?}");
+            let d = Replicator::divergence(&w, &client);
+            assert_eq!(d.persistent_mismatches, 0, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn interest_limits_replication_to_nearby_entities() {
+        let (mut w, ids) = moving_world(20); // x = 0, 3, 6, …, 57
+        let interest = Interest {
+            center: (0.0, 0.0),
+            radius: 10.0,
+            margin: 3.0,
+        };
+        let mut rep = Replicator::with_interest(ConsistencyLevel::Strict, interest);
+        let mut client = Replica::default();
+        rep.sync(&w, &mut client);
+        // entities at x = 0, 3, 6, 9 are inside radius 10
+        let known: Vec<_> = ids
+            .iter()
+            .filter(|&&e| client.pos(e).is_some())
+            .collect();
+        assert_eq!(known.len(), 4);
+        // inside the interest area the client is exact
+        let d = Replicator::divergence_within(&w, &client, interest);
+        assert_eq!(d.mean_pos_error, 0.0);
+        assert_eq!(d.persistent_mismatches, 0);
+        // globally the client is missing most of the world (by design)
+        let global = Replicator::divergence(&w, &client);
+        assert!(global.max_pos_error > 0.0);
+
+        // an entity walking away is kept until radius+margin, then dropped
+        w.set_pos(ids[0], Vec2::new(12.0, 0.0)).unwrap();
+        rep.sync(&w, &mut client);
+        assert!(client.pos(ids[0]).is_some(), "hysteresis keeps it at 12 < 13");
+        w.set_pos(ids[0], Vec2::new(14.0, 0.0)).unwrap();
+        rep.sync(&w, &mut client);
+        assert!(client.pos(ids[0]).is_none(), "dropped beyond radius+margin");
+    }
+
+    #[test]
+    fn interest_reduces_bandwidth() {
+        let run = |interest: Interest| {
+            let (mut w, ids) = moving_world(100);
+            let mut rep = Replicator::with_interest(ConsistencyLevel::Strict, interest);
+            let mut client = Replica::default();
+            for _ in 0..10 {
+                drift(&mut w, &ids, 0.2);
+                rep.sync(&w, &mut client);
+            }
+            rep.rows_sent
+        };
+        let unbounded = run(Interest::unbounded());
+        let local = run(Interest {
+            center: (0.0, 0.0),
+            radius: 30.0,
+            margin: 5.0,
+        });
+        assert!(
+            local < unbounded / 3,
+            "AOI must cut bandwidth: local={local} unbounded={unbounded}"
+        );
+    }
+
+    #[test]
+    fn new_entities_always_ship() {
+        let (mut w, _) = moving_world(3);
+        let mut rep = Replicator::new(ConsistencyLevel::EventualSimilar {
+            threshold: 100.0,
+            state_period: 100,
+        });
+        let mut client = Replica::default();
+        rep.sync(&w, &mut client);
+        let newborn = w.spawn_at(Vec2::new(50.0, 50.0));
+        rep.sync(&w, &mut client);
+        assert_eq!(client.pos(newborn), Some((50.0, 50.0)));
+    }
+}

@@ -1,0 +1,528 @@
+//! Multi-server dynamic map partitioning.
+//!
+//! The paper: games "predict which players may issue conflicting
+//! interactions with one another and dynamically partition their
+//! databases to reduce server load." A single causality bubble never
+//! needs to talk to another bubble within the tick horizon, so bubbles
+//! are also the natural unit of *placement*: this module assigns bubbles
+//! to simulated server nodes and rebalances as players move.
+//!
+//! Three placement policies are compared (experiment E12):
+//!
+//! * [`AssignPolicy::StaticZones`] — the classic zoned MMO server: the
+//!   map is cut into a fixed grid of rectangles, each owned by a node.
+//!   Cheap and stable, but a popular in-game event overloads one node.
+//! * [`AssignPolicy::HashEntities`] — entity-id hashing. Perfectly
+//!   balanced but oblivious to locality, so almost every interaction
+//!   becomes a cross-node (distributed) transaction.
+//! * [`AssignPolicy::DynamicBubbles`] — the paper's technique: bubbles
+//!   are bin-packed onto nodes by load, with *stickiness* (a bubble
+//!   prefers the node already owning most of its entities) so rebalancing
+//!   only pays migration cost when imbalance actually demands it.
+
+use std::collections::HashMap;
+
+use gamedb_core::{EntityId, World};
+use gamedb_spatial::Vec2;
+
+use crate::action::Action;
+use crate::bubbles::{partition, BubbleConfig, Partition};
+
+/// Identifier of a simulated server node.
+pub type NodeId = usize;
+
+/// How entities are placed onto server nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AssignPolicy {
+    /// Fixed rectangular zones over a `map_size`² map, dealt to nodes
+    /// round-robin in row-major order.
+    StaticZones { cols: usize, rows: usize, map_size: f32 },
+    /// `entity id % nodes` — locality-oblivious baseline.
+    HashEntities,
+    /// Causality-bubble bin packing with sticky placement. A bubble only
+    /// moves off its preferred (majority-owner) node when that node's
+    /// projected load exceeds `ideal · max_overload`.
+    DynamicBubbles { cfg: BubbleConfig, max_overload: f32 },
+}
+
+/// Per-tick shard placement: which node owns each entity.
+#[derive(Debug, Clone, Default)]
+pub struct ShardAssignment {
+    pub node_of: HashMap<EntityId, NodeId>,
+    pub nodes: usize,
+}
+
+impl ShardAssignment {
+    /// Entities owned by each node.
+    pub fn load_per_node(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.nodes];
+        for &n in self.node_of.values() {
+            load[n] += 1;
+        }
+        load
+    }
+
+    /// Peak-to-ideal load ratio (1.0 = perfectly balanced). The paper's
+    /// "server load" figure of merit: how much hotter the hottest node
+    /// runs than a perfectly spread world would.
+    pub fn imbalance(&self) -> f32 {
+        let load = self.load_per_node();
+        let max = load.iter().copied().max().unwrap_or(0) as f32;
+        let ideal = self.node_of.len() as f32 / self.nodes.max(1) as f32;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+
+    /// Number of entities whose owner changed relative to `prev`
+    /// (the handoff cost a real cluster pays in serialization + network).
+    pub fn migrations_from(&self, prev: &ShardAssignment) -> usize {
+        self.node_of
+            .iter()
+            .filter(|(e, n)| prev.node_of.get(e).is_some_and(|p| p != *n))
+            .count()
+    }
+
+    /// Fraction of `actions` whose footprint spans more than one node —
+    /// each of those is a distributed transaction in a real deployment.
+    pub fn cross_node_fraction(&self, actions: &[Action]) -> f32 {
+        if actions.is_empty() {
+            return 0.0;
+        }
+        let crossing = actions
+            .iter()
+            .filter(|a| {
+                let mut fp = a.read_set();
+                fp.extend(a.write_set());
+                let mut owner: Option<NodeId> = None;
+                for e in fp {
+                    match (owner, self.node_of.get(&e)) {
+                        (_, None) => {}
+                        (None, Some(&n)) => owner = Some(n),
+                        (Some(prev), Some(&n)) if prev != n => return true,
+                        _ => {}
+                    }
+                }
+                false
+            })
+            .count();
+        crossing as f32 / actions.len() as f32
+    }
+}
+
+/// Rolling statistics of a shard simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Ticks simulated.
+    pub ticks: usize,
+    /// Mean peak-to-ideal load ratio across ticks.
+    pub mean_imbalance: f32,
+    /// Worst peak-to-ideal load ratio seen on any tick.
+    pub max_imbalance: f32,
+    /// Mean fraction of actions spanning nodes.
+    pub mean_cross_node: f32,
+    /// Total entities handed between nodes.
+    pub total_migrations: usize,
+}
+
+/// Assigns entities to nodes tick by tick and accumulates [`ShardStats`].
+#[derive(Debug, Clone)]
+pub struct ShardManager {
+    pub policy: AssignPolicy,
+    pub nodes: usize,
+    prev: Option<ShardAssignment>,
+    // accumulators
+    ticks: usize,
+    sum_imbalance: f64,
+    max_imbalance: f32,
+    sum_cross: f64,
+    migrations: usize,
+}
+
+impl ShardManager {
+    pub fn new(nodes: usize, policy: AssignPolicy) -> Self {
+        assert!(nodes > 0, "need at least one server node");
+        ShardManager {
+            policy,
+            nodes,
+            prev: None,
+            ticks: 0,
+            sum_imbalance: 0.0,
+            max_imbalance: 0.0,
+            sum_cross: 0.0,
+            migrations: 0,
+        }
+    }
+
+    /// Compute this tick's placement for the current world state.
+    pub fn assign(&self, world: &World) -> ShardAssignment {
+        match self.policy {
+            AssignPolicy::StaticZones { cols, rows, map_size } => {
+                self.assign_zones(world, cols, rows, map_size)
+            }
+            AssignPolicy::HashEntities => {
+                let node_of = world
+                    .entities()
+                    .map(|e| (e, e.index() as usize % self.nodes))
+                    .collect();
+                ShardAssignment { node_of, nodes: self.nodes }
+            }
+            AssignPolicy::DynamicBubbles { cfg, max_overload } => {
+                self.assign_bubbles(world, &cfg, max_overload)
+            }
+        }
+    }
+
+    fn assign_zones(
+        &self,
+        world: &World,
+        cols: usize,
+        rows: usize,
+        map_size: f32,
+    ) -> ShardAssignment {
+        let node_of = world
+            .entities()
+            .filter_map(|e| world.pos(e).map(|p| (e, p)))
+            .map(|(e, p)| {
+                let cx = zone_coord(p.x, map_size, cols);
+                let cy = zone_coord(p.y, map_size, rows);
+                (e, (cy * cols + cx) % self.nodes)
+            })
+            .collect();
+        ShardAssignment { node_of, nodes: self.nodes }
+    }
+
+    fn assign_bubbles(
+        &self,
+        world: &World,
+        cfg: &BubbleConfig,
+        max_overload: f32,
+    ) -> ShardAssignment {
+        let part: Partition = partition(world, cfg);
+        let total: usize = part.bubbles.iter().map(Vec::len).sum();
+        let ideal = total as f32 / self.nodes as f32;
+        let cap = (ideal * max_overload).max(1.0);
+
+        // Largest bubbles first: classic first-fit-decreasing bin packing,
+        // except each bubble first tries its sticky node.
+        let mut order: Vec<usize> = (0..part.bubbles.len()).collect();
+        order.sort_by_key(|&b| std::cmp::Reverse(part.bubbles[b].len()));
+
+        let mut load = vec![0usize; self.nodes];
+        let mut node_of = HashMap::with_capacity(total);
+        for b in order {
+            let members = &part.bubbles[b];
+            let target = self
+                .sticky_node(members)
+                .filter(|&n| load[n] + members.len() <= cap as usize)
+                .unwrap_or_else(|| {
+                    // least-loaded node
+                    (0..self.nodes).min_by_key(|&n| load[n]).expect("nodes > 0")
+                });
+            load[target] += members.len();
+            for &e in members {
+                node_of.insert(e, target);
+            }
+        }
+        ShardAssignment { node_of, nodes: self.nodes }
+    }
+
+    /// Node owning the plurality of `members` last tick, if any.
+    fn sticky_node(&self, members: &[EntityId]) -> Option<NodeId> {
+        let prev = self.prev.as_ref()?;
+        let mut votes = vec![0usize; self.nodes];
+        for e in members {
+            if let Some(&n) = prev.node_of.get(e) {
+                votes[n] += 1;
+            }
+        }
+        let (best, &count) = votes.iter().enumerate().max_by_key(|(_, &c)| c)?;
+        (count > 0).then_some(best)
+    }
+
+    /// Place this tick, score it against the action batch, accumulate.
+    pub fn tick(&mut self, world: &World, actions: &[Action]) -> ShardAssignment {
+        let assignment = self.assign(world);
+        let imb = assignment.imbalance();
+        self.sum_imbalance += imb as f64;
+        self.max_imbalance = self.max_imbalance.max(imb);
+        self.sum_cross += assignment.cross_node_fraction(actions) as f64;
+        if let Some(prev) = &self.prev {
+            self.migrations += assignment.migrations_from(prev);
+        }
+        self.ticks += 1;
+        self.prev = Some(assignment.clone());
+        assignment
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> ShardStats {
+        let t = self.ticks.max(1) as f64;
+        ShardStats {
+            ticks: self.ticks,
+            mean_imbalance: (self.sum_imbalance / t) as f32,
+            max_imbalance: self.max_imbalance,
+            mean_cross_node: (self.sum_cross / t) as f32,
+            total_migrations: self.migrations,
+        }
+    }
+}
+
+fn zone_coord(v: f32, map_size: f32, cells: usize) -> usize {
+    let cell = (v / map_size * cells as f32).floor();
+    (cell.max(0.0) as usize).min(cells - 1)
+}
+
+/// Drive every player toward `event` by `speed` per tick — the "everyone
+/// piles into the world event" scenario that melts a zoned server.
+pub fn step_flock(world: &mut World, players: &[EntityId], event: Vec2, speed: f32) {
+    for &e in players {
+        let Some(p) = world.pos(e) else { continue };
+        let delta = event - p;
+        let d = delta.len();
+        let step = if d <= speed || d == 0.0 { delta } else { delta * (speed / d) };
+        world.set_pos(e, p + step).expect("live player");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::arena_world;
+    use crate::workload::{Workload, WorkloadConfig};
+
+    fn grid_world(n: usize, spacing: f32) -> (World, Vec<EntityId>) {
+        let side = (n as f32).sqrt().ceil() as usize;
+        arena_world(n, |i| {
+            Vec2::new((i % side) as f32 * spacing, (i / side) as f32 * spacing)
+        })
+    }
+
+    #[test]
+    fn static_zones_partition_by_position() {
+        let (w, ids) = arena_world(4, |i| match i {
+            0 => Vec2::new(10.0, 10.0),
+            1 => Vec2::new(910.0, 10.0),
+            2 => Vec2::new(10.0, 910.0),
+            _ => Vec2::new(910.0, 910.0),
+        });
+        let mgr = ShardManager::new(
+            4,
+            AssignPolicy::StaticZones { cols: 2, rows: 2, map_size: 1000.0 },
+        );
+        let a = mgr.assign(&w);
+        let nodes: Vec<NodeId> = ids.iter().map(|e| a.node_of[e]).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zone_coord_clamps_out_of_range_positions() {
+        assert_eq!(zone_coord(-5.0, 100.0, 4), 0);
+        assert_eq!(zone_coord(250.0, 100.0, 4), 3);
+        assert_eq!(zone_coord(99.9, 100.0, 4), 3);
+        assert_eq!(zone_coord(0.0, 100.0, 4), 0);
+    }
+
+    #[test]
+    fn hash_assignment_is_balanced() {
+        let (w, _) = grid_world(400, 5.0);
+        let mgr = ShardManager::new(4, AssignPolicy::HashEntities);
+        let a = mgr.assign(&w);
+        assert!(a.imbalance() < 1.05, "imbalance={}", a.imbalance());
+    }
+
+    #[test]
+    fn hash_assignment_crosses_nodes_constantly() {
+        let (w, ids) = grid_world(64, 2.0);
+        let mgr = ShardManager::new(8, AssignPolicy::HashEntities);
+        let a = mgr.assign(&w);
+        // neighbor attacks: id i -> i+1 lands on a different node by
+        // construction (consecutive indices mod 8 differ)
+        let batch: Vec<Action> = (0..63)
+            .map(|i| Action::Attack { attacker: ids[i], target: ids[i + 1] })
+            .collect();
+        assert_eq!(a.cross_node_fraction(&batch), 1.0);
+    }
+
+    #[test]
+    fn dynamic_bubbles_keep_interactions_local() {
+        // four well-separated squads: bubbles == squads, so squad-internal
+        // attacks never cross nodes
+        let (w, ids) = arena_world(32, |i| {
+            let squad = i / 8;
+            Vec2::new(squad as f32 * 5000.0 + (i % 8) as f32 * 2.0, 0.0)
+        });
+        let mgr = ShardManager::new(
+            4,
+            AssignPolicy::DynamicBubbles { cfg: BubbleConfig::default(), max_overload: 1.5 },
+        );
+        let a = mgr.assign(&w);
+        let batch: Vec<Action> = (0..32)
+            .filter(|i| i % 8 != 7)
+            .map(|i| Action::Attack { attacker: ids[i], target: ids[i + 1] })
+            .collect();
+        assert_eq!(a.cross_node_fraction(&batch), 0.0);
+        assert!(a.imbalance() <= 1.01, "four equal bubbles over four nodes");
+    }
+
+    #[test]
+    fn bubble_never_splits_across_nodes() {
+        let (w, _) = arena_world(48, |i| {
+            let squad = i / 12;
+            Vec2::new(squad as f32 * 9000.0 + (i % 12) as f32 * 1.5, 0.0)
+        });
+        let cfg = BubbleConfig::default();
+        let mgr = ShardManager::new(
+            3,
+            AssignPolicy::DynamicBubbles { cfg, max_overload: 2.0 },
+        );
+        let a = mgr.assign(&w);
+        let part = partition(&w, &cfg);
+        for bubble in &part.bubbles {
+            let owners: std::collections::HashSet<NodeId> =
+                bubble.iter().map(|e| a.node_of[e]).collect();
+            assert_eq!(owners.len(), 1, "bubble split across {owners:?}");
+        }
+    }
+
+    #[test]
+    fn stickiness_avoids_gratuitous_migration() {
+        let (w, _) = arena_world(40, |i| {
+            let squad = i / 10;
+            Vec2::new(squad as f32 * 8000.0 + (i % 10) as f32 * 2.0, 0.0)
+        });
+        let mut mgr = ShardManager::new(
+            4,
+            AssignPolicy::DynamicBubbles { cfg: BubbleConfig::default(), max_overload: 1.5 },
+        );
+        mgr.tick(&w, &[]);
+        // identical world next tick: nothing should move
+        mgr.tick(&w, &[]);
+        assert_eq!(mgr.stats().total_migrations, 0);
+    }
+
+    #[test]
+    fn flock_overloads_static_zone() {
+        // everyone walks to one corner event: the owning zone's node ends
+        // up with every player while dynamic placement keeps spreading
+        // bubbles across nodes as long as separate bubbles exist
+        let cfg = WorkloadConfig {
+            players: 256,
+            hotspot_fraction: 0.0,
+            map_size: 1000.0,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut wl = Workload::new(cfg);
+        let players = wl.players.clone();
+        let event = Vec2::new(100.0, 100.0);
+
+        let mut zoned = ShardManager::new(
+            4,
+            AssignPolicy::StaticZones { cols: 2, rows: 2, map_size: 1000.0 },
+        );
+        for _ in 0..60 {
+            step_flock(&mut wl.world, &players, event, 20.0);
+            let batch = wl.next_batch();
+            zoned.tick(&wl.world, &batch);
+        }
+        let z = zoned.stats();
+        // all 256 players in node 0's zone => imbalance ~ 4.0 at the end
+        assert!(z.max_imbalance > 3.5, "zoned max_imbalance={}", z.max_imbalance);
+    }
+
+    #[test]
+    fn migrations_accumulate_when_players_cross_zones() {
+        let (mut w, ids) = arena_world(10, |_| Vec2::new(490.0, 500.0));
+        let mut mgr = ShardManager::new(
+            2,
+            AssignPolicy::StaticZones { cols: 2, rows: 1, map_size: 1000.0 },
+        );
+        mgr.tick(&w, &[]);
+        for &e in &ids {
+            w.set_pos(e, Vec2::new(510.0, 500.0)).unwrap();
+        }
+        mgr.tick(&w, &[]);
+        assert_eq!(mgr.stats().total_migrations, 10);
+    }
+
+    #[test]
+    fn stats_mean_over_ticks() {
+        let (w, _) = grid_world(16, 3.0);
+        let mut mgr = ShardManager::new(2, AssignPolicy::HashEntities);
+        for _ in 0..5 {
+            mgr.tick(&w, &[]);
+        }
+        let s = mgr.stats();
+        assert_eq!(s.ticks, 5);
+        assert!((s.mean_imbalance - 1.0).abs() < 0.01);
+        assert_eq!(s.total_migrations, 0, "hash placement is stable");
+    }
+
+    #[test]
+    fn single_node_takes_everything() {
+        let (w, _) = grid_world(25, 4.0);
+        for policy in [
+            AssignPolicy::HashEntities,
+            AssignPolicy::StaticZones { cols: 3, rows: 3, map_size: 100.0 },
+            AssignPolicy::DynamicBubbles { cfg: BubbleConfig::default(), max_overload: 1.2 },
+        ] {
+            let mgr = ShardManager::new(1, policy);
+            let a = mgr.assign(&w);
+            assert_eq!(a.load_per_node(), vec![25]);
+            assert_eq!(a.imbalance(), 1.0);
+        }
+    }
+
+    #[test]
+    fn overload_cap_spills_sticky_bubbles() {
+        // one big squad and one small squad; after the big squad's node is
+        // saturated, tightening the cap forces the small bubble elsewhere
+        // even though stickiness would prefer the same node
+        let (w, _) = arena_world(12, |i| {
+            if i < 10 {
+                Vec2::new(i as f32 * 1.5, 0.0)
+            } else {
+                Vec2::new(9000.0 + i as f32 * 1.5, 0.0)
+            }
+        });
+        let mut mgr = ShardManager::new(
+            2,
+            AssignPolicy::DynamicBubbles { cfg: BubbleConfig::default(), max_overload: 1.1 },
+        );
+        let a1 = mgr.tick(&w, &[]);
+        // ideal = 6/node, cap = 6.6: the 10-bubble overflows its fair
+        // share but cannot split — it owns one node alone, the 2-bubble
+        // lands on the other
+        let mut loads = a1.load_per_node();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![2, 10]);
+        // placement is stable on the next identical tick
+        mgr.tick(&w, &[]);
+        assert_eq!(mgr.stats().total_migrations, 0);
+    }
+
+    #[test]
+    fn empty_world_assignment() {
+        let w = World::new();
+        let mgr = ShardManager::new(3, AssignPolicy::HashEntities);
+        let a = mgr.assign(&w);
+        assert!(a.node_of.is_empty());
+        assert_eq!(a.imbalance(), 1.0);
+        assert_eq!(a.cross_node_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn step_flock_converges_on_event() {
+        let (mut w, ids) = grid_world(9, 100.0);
+        let event = Vec2::new(50.0, 50.0);
+        for _ in 0..100 {
+            step_flock(&mut w, &ids, event, 10.0);
+        }
+        for &e in &ids {
+            assert!(w.pos(e).unwrap().dist(event) < 1.0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # gamedb — database technology for computer games
+//!
+//! Umbrella crate re-exporting every subsystem of this workspace, a full
+//! Rust implementation of the systems surveyed in *Database Research in
+//! Computer Games* (Demers, Gehrke, Koch, Sowell, White — SIGMOD 2009).
+//!
+//! * [`content`] — data-driven design: GDML markup, entity templates,
+//!   triggers, UI specs, expansion-pack patches.
+//! * [`script`] — GSL: the designer scripting language with a restricted
+//!   level, an AST optimizer, and a set-at-a-time compiler.
+//! * [`spatial`] — grid / BSP / quadtree / octree indices and annotated
+//!   navigation meshes.
+//! * [`core`] — the world database: columnar components, declarative
+//!   queries + aggregates, a cost-based planner, state–effect ticks.
+//! * [`sync`] — MMO consistency: action transactions, 2PL / OCC /
+//!   causality-bubble executors, shard placement, cluster execution,
+//!   aggro management, replication, exploit auditing.
+//! * [`persist`] — the engineering layer: snapshots, WAL, intelligent
+//!   checkpointing, incremental deltas, crash recovery, schema
+//!   migration.
+//!
+//! See the repository's `README.md` for the architecture diagram,
+//! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for the
+//! paper-claim-vs-measured record (experiments E1–E14).
+//!
+//! ```
+//! use gamedb::core::World;
+//! use gamedb::spatial::Vec2;
+//!
+//! let mut world = World::new();
+//! let hero = world.spawn_at(Vec2::new(1.0, 2.0));
+//! assert_eq!(world.pos(hero), Some(Vec2::new(1.0, 2.0)));
+//! ```
+
+pub use gamedb_content as content;
+pub use gamedb_core as core;
+pub use gamedb_persist as persist;
+pub use gamedb_script as script;
+pub use gamedb_spatial as spatial;
+pub use gamedb_sync as sync;

@@ -1,0 +1,136 @@
+//! Property test: for randomly generated restricted-level scripts, the
+//! compiled form produces exactly the effects of the interpreter, and
+//! index-backed neighbor enumeration agrees with the naive scan.
+
+use gamedb::content::ValueType;
+use gamedb::core::{EffectBuffer, World};
+use gamedb::script::{
+    check_script, compile, parse_script, run_script, ExecOptions, Level, ScriptLibrary,
+};
+use gamedb::spatial::Vec2;
+use proptest::prelude::*;
+
+/// Generate a random restricted-level script from composable fragments.
+/// Fragments only use components the test world defines, so every
+/// generated script type-checks.
+fn script_strategy() -> impl Strategy<Value = String> {
+    let num_expr = prop_oneof![
+        Just("self.hp".to_string()),
+        Just("self.dmg".to_string()),
+        Just("count(7)".to_string()),
+        Just("count(9; other.team != self.team)".to_string()),
+        Just("sum(6; other.dmg)".to_string()),
+        Just("maxof(8; other.hp; other.hp > self.hp)".to_string()),
+        Just("avgof(5; other.dmg)".to_string()),
+        Just("nearest_dist(10)".to_string()),
+        Just("min(self.hp, 50)".to_string()),
+        Just("abs(self.dmg - 3)".to_string()),
+        Just("clamp(self.hp, 0, 80)".to_string()),
+        (1..50i32).prop_map(|n| n.to_string()),
+    ];
+    let stmt = num_expr.prop_flat_map(|e| {
+        prop_oneof![
+            Just(format!("self.hp += {e};")),
+            Just(format!("self.hp -= {e} * 0.5;")),
+            Just(format!("self.dmg = {e};")),
+            // VAR is renamed per statement index below (unique names)
+            Just(format!("let VAR = {e}; self.hp += VAR;")),
+            Just(format!("if {e} > 10 {{ self.hp += 1; }} else {{ self.hp -= 1; }}")),
+            Just(format!("if count(4) > 1 {{ move({e} * 0.01, 0 - 0.5); }}")),
+            Just(format!(
+                "if self.team == \"red\" {{ self.hp += {e} * 0.1; }}"
+            )),
+        ]
+    });
+    proptest::collection::vec(stmt, 1..6).prop_map(|stmts| {
+        stmts
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.replace("VAR", &format!("v{i}")))
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+fn test_world(positions: &[(f32, f32)]) -> World {
+    let mut w = World::new();
+    w.define_component("hp", ValueType::Float).unwrap();
+    w.define_component("dmg", ValueType::Float).unwrap();
+    w.define_component("team", ValueType::Str).unwrap();
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        let e = w.spawn_at(Vec2::new(x, y));
+        w.set_f32(e, "hp", 40.0 + (i % 7) as f32 * 9.0).unwrap();
+        w.set_f32(e, "dmg", 1.0 + (i % 4) as f32).unwrap();
+        w.set(
+            e,
+            "team",
+            gamedb::content::Value::Str(if i % 2 == 0 { "red" } else { "blue" }.into()),
+        )
+        .unwrap();
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_equals_interpreted(
+        src in script_strategy(),
+        positions in proptest::collection::vec((-40.0f32..40.0, -40.0f32..40.0), 2..24),
+    ) {
+        let world = test_world(&positions);
+        let script = parse_script("s", &src).unwrap();
+        // generated scripts are restricted-level by construction
+        let errors = check_script(&script, &world, Level::Restricted);
+        prop_assert!(errors.is_empty(), "{errors:?}\n--- script:\n{src}");
+
+        let mut lib = ScriptLibrary::new();
+        lib.insert(script);
+        let compiled = compile(&lib, "s", &world).unwrap();
+
+        for id in world.entity_vec() {
+            let mut b_interp = EffectBuffer::new();
+            let mut b_comp = EffectBuffer::new();
+            let out_i = run_script(&lib, "s", &world, id, &mut b_interp, ExecOptions::default())
+                .unwrap();
+            let out_c = compiled.run(&world, id, &mut b_comp, true).unwrap();
+            prop_assert_eq!(out_i.events, out_c);
+
+            let mut w_i = world.clone();
+            let mut w_c = world.clone();
+            b_interp.apply(&mut w_i).unwrap();
+            b_comp.apply(&mut w_c).unwrap();
+            prop_assert_eq!(w_i.rows(), w_c.rows(), "script:\n{}", src);
+        }
+    }
+
+    #[test]
+    fn indexed_equals_naive_neighbors(
+        src in script_strategy(),
+        positions in proptest::collection::vec((-40.0f32..40.0, -40.0f32..40.0), 2..24),
+    ) {
+        let world = test_world(&positions);
+        let mut lib = ScriptLibrary::new();
+        lib.insert(parse_script("s", &src).unwrap());
+        for id in world.entity_vec() {
+            let mut b_idx = EffectBuffer::new();
+            let mut b_scan = EffectBuffer::new();
+            run_script(&lib, "s", &world, id, &mut b_idx, ExecOptions::default()).unwrap();
+            run_script(
+                &lib,
+                "s",
+                &world,
+                id,
+                &mut b_scan,
+                ExecOptions { use_index: false, ..Default::default() },
+            )
+            .unwrap();
+            let mut w_idx = world.clone();
+            let mut w_scan = world.clone();
+            b_idx.apply(&mut w_idx).unwrap();
+            b_scan.apply(&mut w_scan).unwrap();
+            prop_assert_eq!(w_idx.rows(), w_scan.rows(), "script:\n{}", src);
+        }
+    }
+}
