@@ -1623,6 +1623,7 @@ fn e14(full: bool) {
             match chosen.access {
                 Access::FullScan => "scan".into(),
                 Access::SpatialIndex { .. } => "index".into(),
+                Access::AttributeIndex { .. } => "attr".into(),
             },
             f3(planner_ms),
             format!("{:.0}", chosen.est_rows),

@@ -441,6 +441,38 @@ mod tests {
     }
 
     #[test]
+    fn effects_maintain_secondary_indexes() {
+        use crate::index::IndexKind;
+        use gamedb_content::CmpOp;
+        let mut w = world();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        w.create_index("gold", IndexKind::Hash).unwrap();
+        let a = w.spawn_at(Vec2::ZERO);
+        let b = w.spawn_at(Vec2::ZERO);
+        w.set_f32(a, "hp", 100.0).unwrap();
+        w.set_f32(b, "hp", 100.0).unwrap();
+
+        let mut buf = EffectBuffer::new();
+        buf.push(a, "hp", Effect::Add(-80.0));
+        buf.push(b, "gold", Effect::Set(Value::Int(7)));
+        buf.despawn(b);
+        buf.spawn(SpawnRequest {
+            components: vec![("hp".into(), Value::Float(5.0))],
+            pos: Vec2::ZERO,
+        });
+        buf.apply(&mut w).unwrap();
+
+        // the index reflects every post-apply value and nothing else
+        let mut out = vec![];
+        w.index_probe("hp", CmpOp::Lt, &Value::Float(50.0), &mut out);
+        let spawned = w.entities().find(|&e| e != a).unwrap();
+        assert_eq!(out, vec![a, spawned]);
+        out.clear();
+        w.index_probe("gold", CmpOp::Eq, &Value::Int(7), &mut out);
+        assert!(out.is_empty(), "despawned entity must leave the index");
+    }
+
+    #[test]
     fn add_to_pos_is_type_error() {
         let mut w = world();
         let e = w.spawn_at(Vec2::ZERO);

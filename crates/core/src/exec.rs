@@ -286,6 +286,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_ticks_keep_indexes_and_scans_agreeing() {
+        use crate::index::IndexKind;
+        use crate::query::Query;
+        use gamedb_content::{CmpOp, Value};
+        let mut w = arena(300);
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        let exec = TickExecutor::parallel(4).with_min_chunk(16);
+        for _ in 0..3 {
+            exec.run_tick(&mut w, &[&combat_system]).unwrap();
+            let q = Query::select().filter("hp", CmpOp::Lt, Value::Float(95.0));
+            assert_eq!(q.run(&w), q.run_scan(&w), "index drifted from columns");
+        }
+    }
+
+    #[test]
     fn empty_world_ticks_fine() {
         let mut w = World::new();
         let stats = TickExecutor::parallel(4)

@@ -1,0 +1,460 @@
+//! Secondary attribute indexes over component columns.
+//!
+//! The paper's thesis — game state is a database, game logic is query
+//! processing — makes scan-bound predicates like `hp < 200` over millions
+//! of entities the first scaling wall. The seed engine indexed only the
+//! reserved `pos` column; this module adds what a database would: per-
+//! component secondary indexes, registered with [`World::create_index`]
+//! (`crate::World::create_index`), maintained through every write path,
+//! and consulted by the planner as a third access path next to full scans
+//! and spatial probes.
+//!
+//! Two physical structures are offered, mirroring the classic hash/B-tree
+//! split:
+//!
+//! * [`IndexKind::Hash`] — `HashMap` buckets; supports equality probes
+//!   only, O(1) per lookup. The right choice for high-cardinality
+//!   identity-like components (`owner`, `guild`, `class`).
+//! * [`IndexKind::Sorted`] — `BTreeMap` buckets; supports equality *and*
+//!   range probes (`<`, `<=`, `>`, `>=`), O(log n + k). The right choice
+//!   for numeric gameplay attributes (`hp`, `level`, `threat`).
+//!
+//! ## Key encoding and probe/scan equivalence
+//!
+//! The correctness contract — relied on by the planner and enforced by
+//! property tests — is that a probe returns **exactly** the entities a
+//! full scan with [`crate::query::compare`] would keep. Keys are therefore
+//! encoded in the comparison domain `compare` uses, not the storage
+//! domain:
+//!
+//! * Numeric columns (float/int) key on the `f64` coercion of the value,
+//!   bit-twiddled into a totally ordered integer ([`OrdF64`]). A query
+//!   literal `3.5` probes an int column correctly, and `-0.0` folds onto
+//!   `0.0` just like `==` does.
+//! * `NaN` values compare false under every operator, so they are never
+//!   inserted; a `NaN` probe returns nothing.
+//! * Strings key lexicographically, booleans as `false < true`, vec2 by
+//!   normalized bit pattern (equality only — `compare` refuses to order
+//!   vectors).
+//! * A probe value whose type cannot match the column (e.g. a string
+//!   literal against a float column) yields the empty set, matching the
+//!   scan's "mixed non-numeric comparisons are false" rule.
+//!
+//! ## Maintenance invariants
+//!
+//! Every mutation of an indexed component keeps postings exact (see
+//! `docs/ARCHITECTURE.md` for the full invariant list):
+//!
+//! 1. [`crate::World::set`] removes the old key (if any) and inserts the
+//!    new one after the type check passes.
+//! 2. [`crate::World::remove_component`] removes the entity's posting.
+//! 3. [`crate::World::despawn`] removes the entity from every index
+//!    before clearing its columns.
+//! 4. Effects, template spawns, snapshot/delta recovery, and script
+//!    writes all funnel through those three entry points, so no other
+//!    code path can desynchronize an index.
+//! 5. Postings are sorted by [`EntityId`], so probes return deterministic
+//!    id-ordered candidate sets without re-sorting equality lookups.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use gamedb_content::{CmpOp, Value, ValueType};
+
+use crate::entity::EntityId;
+
+/// Physical structure of a secondary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash buckets: equality probes only, O(1).
+    Hash,
+    /// Ordered buckets: equality and range probes, O(log n + k).
+    Sorted,
+}
+
+/// `f64` bits remapped so integer ordering matches float ordering
+/// (sign bit flipped for positives, all bits for negatives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrdF64(u64);
+
+impl OrdF64 {
+    fn new(v: f64) -> Option<OrdF64> {
+        if v.is_nan() {
+            return None;
+        }
+        // -0.0 and 0.0 must share a key, like they share equality.
+        let v = if v == 0.0 { 0.0 } else { v };
+        let bits = v.to_bits();
+        Some(OrdF64(if bits >> 63 == 0 {
+            bits | (1 << 63)
+        } else {
+            !bits
+        }))
+    }
+
+    fn get(self) -> f64 {
+        let bits = self.0;
+        f64::from_bits(if bits >> 63 == 1 {
+            bits & !(1 << 63)
+        } else {
+            !bits
+        })
+    }
+}
+
+/// Index key in the comparison domain of [`crate::query::compare`].
+///
+/// A single index only ever holds one variant (columns are typed), so the
+/// cross-variant `Ord` is never exercised within one index.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IndexKey {
+    Num(OrdF64),
+    Bool(bool),
+    Str(String),
+    Vec2([u32; 2]),
+}
+
+impl IndexKey {
+    /// Encode `value` as a key for a column of type `column_ty`.
+    ///
+    /// `None` means "this value can never satisfy an equality or range
+    /// predicate against this column" — NaN, or a type that `compare`
+    /// treats as an always-false mixed comparison.
+    pub fn encode(column_ty: ValueType, value: &Value) -> Option<IndexKey> {
+        match column_ty {
+            ValueType::Float | ValueType::Int => {
+                value.as_number().and_then(OrdF64::new).map(IndexKey::Num)
+            }
+            ValueType::Bool => match value {
+                Value::Bool(b) => Some(IndexKey::Bool(*b)),
+                _ => None,
+            },
+            ValueType::Str => match value {
+                Value::Str(s) => Some(IndexKey::Str(s.clone())),
+                _ => None,
+            },
+            ValueType::Vec2 => match value {
+                Value::Vec2(x, y) if !x.is_nan() && !y.is_nan() => {
+                    let norm = |v: f32| if v == 0.0 { 0.0f32 } else { v };
+                    Some(IndexKey::Vec2([norm(*x).to_bits(), norm(*y).to_bits()]))
+                }
+                _ => None,
+            },
+        }
+    }
+}
+
+/// The support matrix shared by executor ([`SecondaryIndex::supports`])
+/// and planner (`planner::plan`) — one source of truth, so the planner
+/// can never choose a probe the executor refuses.
+pub fn supports(kind: IndexKind, ty: ValueType, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => true,
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            kind == IndexKind::Sorted && ty != ValueType::Vec2
+        }
+        // `Ne` keeps nearly everything; a probe would be a scan in
+        // disguise, so the planner never asks for it.
+        CmpOp::Ne => false,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Buckets {
+    Hash(HashMap<IndexKey, Vec<EntityId>>),
+    Sorted(BTreeMap<IndexKey, Vec<EntityId>>),
+}
+
+/// A secondary index over one component column.
+#[derive(Debug, Clone)]
+pub struct SecondaryIndex {
+    ty: ValueType,
+    buckets: Buckets,
+    entries: usize,
+}
+
+impl SecondaryIndex {
+    /// Empty index for a column of type `ty`.
+    pub fn new(kind: IndexKind, ty: ValueType) -> Self {
+        SecondaryIndex {
+            ty,
+            buckets: match kind {
+                IndexKind::Hash => Buckets::Hash(HashMap::new()),
+                IndexKind::Sorted => Buckets::Sorted(BTreeMap::new()),
+            },
+            entries: 0,
+        }
+    }
+
+    /// The physical structure.
+    pub fn kind(&self) -> IndexKind {
+        match self.buckets {
+            Buckets::Hash(_) => IndexKind::Hash,
+            Buckets::Sorted(_) => IndexKind::Sorted,
+        }
+    }
+
+    /// Indexed entities (= postings).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct keys — an *exact* NDV, which the planner's
+    /// selectivity model gets for free instead of scanning.
+    pub fn ndv(&self) -> usize {
+        match &self.buckets {
+            Buckets::Hash(m) => m.len(),
+            Buckets::Sorted(m) => m.len(),
+        }
+    }
+
+    /// Exact numeric (min, max) over indexed keys, for sorted numeric
+    /// indexes — again free for the planner.
+    pub fn numeric_bounds(&self) -> Option<(f64, f64)> {
+        let Buckets::Sorted(m) = &self.buckets else {
+            return None;
+        };
+        match (m.keys().next(), m.keys().next_back()) {
+            (Some(IndexKey::Num(lo)), Some(IndexKey::Num(hi))) => Some((lo.get(), hi.get())),
+            _ => None,
+        }
+    }
+
+    /// True when this index can serve `op` (on this column's type).
+    pub fn supports(&self, op: CmpOp) -> bool {
+        supports(self.kind(), self.ty, op)
+    }
+
+    /// Insert `(value, id)`. No-op for unkeyable values (NaN).
+    pub fn insert(&mut self, value: &Value, id: EntityId) {
+        let Some(key) = IndexKey::encode(self.ty, value) else {
+            return;
+        };
+        let posting = match &mut self.buckets {
+            Buckets::Hash(m) => m.entry(key).or_default(),
+            Buckets::Sorted(m) => m.entry(key).or_default(),
+        };
+        if let Err(at) = posting.binary_search(&id) {
+            posting.insert(at, id);
+            self.entries += 1;
+        }
+    }
+
+    /// Remove `(value, id)`; drops emptied buckets so NDV stays exact.
+    pub fn remove(&mut self, value: &Value, id: EntityId) {
+        let Some(key) = IndexKey::encode(self.ty, value) else {
+            return;
+        };
+        let emptied = match &mut self.buckets {
+            Buckets::Hash(m) => match m.get_mut(&key) {
+                Some(p) => {
+                    if let Ok(at) = p.binary_search(&id) {
+                        p.remove(at);
+                        self.entries -= 1;
+                    }
+                    p.is_empty()
+                }
+                None => false,
+            },
+            Buckets::Sorted(m) => match m.get_mut(&key) {
+                Some(p) => {
+                    if let Ok(at) = p.binary_search(&id) {
+                        p.remove(at);
+                        self.entries -= 1;
+                    }
+                    p.is_empty()
+                }
+                None => false,
+            },
+        };
+        if emptied {
+            match &mut self.buckets {
+                Buckets::Hash(m) => {
+                    m.remove(&key);
+                }
+                Buckets::Sorted(m) => {
+                    m.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Exact posting count for an equality probe. The planner currently
+    /// prices equality via presence/NDV (per-literal stats don't fit
+    /// `TableStats`); this is for tooling and for a future skew-aware
+    /// cost model.
+    pub fn eq_count(&self, value: &Value) -> usize {
+        IndexKey::encode(self.ty, value)
+            .map(|key| match &self.buckets {
+                Buckets::Hash(m) => m.get(&key).map_or(0, Vec::len),
+                Buckets::Sorted(m) => m.get(&key).map_or(0, Vec::len),
+            })
+            .unwrap_or(0)
+    }
+
+    /// Append every entity whose value satisfies `value_stored op value`
+    /// to `out`. Returns `false` (leaving `out` untouched) when the index
+    /// cannot serve `op`. Results are id-sorted.
+    pub fn probe(&self, op: CmpOp, value: &Value, out: &mut Vec<EntityId>) -> bool {
+        if !self.supports(op) {
+            return false;
+        }
+        let Some(key) = IndexKey::encode(self.ty, value) else {
+            // Unkeyable probe value: `compare` would reject every row.
+            return true;
+        };
+        match (&self.buckets, op) {
+            (Buckets::Hash(m), CmpOp::Eq) => {
+                if let Some(p) = m.get(&key) {
+                    out.extend_from_slice(p);
+                }
+            }
+            (Buckets::Sorted(m), CmpOp::Eq) => {
+                if let Some(p) = m.get(&key) {
+                    out.extend_from_slice(p);
+                }
+            }
+            (Buckets::Sorted(m), op) => {
+                let range = match op {
+                    CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(key)),
+                    CmpOp::Le => (Bound::Unbounded, Bound::Included(key)),
+                    CmpOp::Gt => (Bound::Excluded(key), Bound::Unbounded),
+                    CmpOp::Ge => (Bound::Included(key), Bound::Unbounded),
+                    _ => unreachable!("supports() filtered Eq/Ne already"),
+                };
+                let before = out.len();
+                for posting in m.range(range).map(|(_, p)| p) {
+                    out.extend_from_slice(posting);
+                }
+                out[before..].sort_unstable();
+            }
+            (Buckets::Hash(_), _) => unreachable!("supports() rejected ranges on hash"),
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> EntityId {
+        EntityId::from_bits(n as u64)
+    }
+
+    #[test]
+    fn ordf64_total_order_matches_float_order() {
+        let vals = [-1e30, -2.5, -0.0, 0.0, 1e-9, 2.5, 1e30];
+        for (i, &a) in vals.iter().enumerate() {
+            for &b in &vals[i + 1..] {
+                let (ka, kb) = (OrdF64::new(a).unwrap(), OrdF64::new(b).unwrap());
+                if a == b {
+                    assert_eq!(ka, kb, "{a} vs {b}");
+                } else {
+                    assert!(ka < kb, "{a} vs {b}");
+                }
+                assert_eq!(ka.get(), if a == 0.0 { 0.0 } else { a });
+            }
+        }
+        assert!(OrdF64::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn hash_index_eq_probe() {
+        let mut idx = SecondaryIndex::new(IndexKind::Hash, ValueType::Str);
+        idx.insert(&Value::Str("red".into()), id(1));
+        idx.insert(&Value::Str("blue".into()), id(2));
+        idx.insert(&Value::Str("red".into()), id(3));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.ndv(), 2);
+        let mut out = vec![];
+        assert!(idx.probe(CmpOp::Eq, &Value::Str("red".into()), &mut out));
+        assert_eq!(out, vec![id(1), id(3)]);
+        // ranges unsupported on hash
+        assert!(!idx.probe(CmpOp::Lt, &Value::Str("red".into()), &mut out));
+        assert_eq!(idx.eq_count(&Value::Str("red".into())), 2);
+        assert_eq!(idx.eq_count(&Value::Str("green".into())), 0);
+    }
+
+    #[test]
+    fn sorted_index_range_probes() {
+        let mut idx = SecondaryIndex::new(IndexKind::Sorted, ValueType::Float);
+        for (i, hp) in [10.0f32, 20.0, 20.0, 30.0].iter().enumerate() {
+            idx.insert(&Value::Float(*hp), id(i as u32));
+        }
+        let mut out = vec![];
+        idx.probe(CmpOp::Lt, &Value::Float(20.0), &mut out);
+        assert_eq!(out, vec![id(0)]);
+        out.clear();
+        idx.probe(CmpOp::Le, &Value::Float(20.0), &mut out);
+        assert_eq!(out, vec![id(0), id(1), id(2)]);
+        out.clear();
+        idx.probe(CmpOp::Gt, &Value::Float(20.0), &mut out);
+        assert_eq!(out, vec![id(3)]);
+        out.clear();
+        // int literal probes a float column through numeric coercion
+        idx.probe(CmpOp::Ge, &Value::Int(20), &mut out);
+        assert_eq!(out, vec![id(1), id(2), id(3)]);
+        assert_eq!(idx.numeric_bounds(), Some((10.0, 30.0)));
+    }
+
+    #[test]
+    fn remove_and_empty_buckets() {
+        let mut idx = SecondaryIndex::new(IndexKind::Sorted, ValueType::Int);
+        idx.insert(&Value::Int(5), id(1));
+        idx.insert(&Value::Int(5), id(2));
+        idx.remove(&Value::Int(5), id(1));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.ndv(), 1);
+        idx.remove(&Value::Int(5), id(2));
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.ndv(), 0, "emptied bucket must be dropped");
+        // removing something absent is a no-op
+        idx.remove(&Value::Int(5), id(2));
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn nan_never_stored_nan_probe_empty() {
+        let mut idx = SecondaryIndex::new(IndexKind::Sorted, ValueType::Float);
+        idx.insert(&Value::Float(f32::NAN), id(1));
+        assert_eq!(idx.len(), 0);
+        idx.insert(&Value::Float(1.0), id(2));
+        let mut out = vec![];
+        assert!(idx.probe(CmpOp::Lt, &Value::Float(f32::NAN), &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mixed_type_probe_is_empty() {
+        let mut idx = SecondaryIndex::new(IndexKind::Hash, ValueType::Float);
+        idx.insert(&Value::Float(5.0), id(1));
+        let mut out = vec![];
+        assert!(idx.probe(CmpOp::Eq, &Value::Str("5".into()), &mut out));
+        assert!(out.is_empty(), "compare() calls mixed comparisons false");
+    }
+
+    #[test]
+    fn negative_zero_folds_onto_zero() {
+        let mut idx = SecondaryIndex::new(IndexKind::Hash, ValueType::Float);
+        idx.insert(&Value::Float(-0.0), id(1));
+        let mut out = vec![];
+        idx.probe(CmpOp::Eq, &Value::Float(0.0), &mut out);
+        assert_eq!(out, vec![id(1)]);
+    }
+
+    #[test]
+    fn vec2_equality_only() {
+        let mut idx = SecondaryIndex::new(IndexKind::Sorted, ValueType::Vec2);
+        idx.insert(&Value::Vec2(1.0, 2.0), id(1));
+        let mut out = vec![];
+        assert!(idx.probe(CmpOp::Eq, &Value::Vec2(1.0, 2.0), &mut out));
+        assert_eq!(out, vec![id(1)]);
+        assert!(!idx.probe(CmpOp::Lt, &Value::Vec2(1.0, 2.0), &mut out));
+    }
+}

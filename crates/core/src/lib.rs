@@ -14,8 +14,12 @@
 //!   with a spatial index over the reserved `pos` column.
 //! * [`query`] — declarative selection + aggregates ([`Query`],
 //!   [`AggFn`]).
+//! * [`index`](mod@index) — secondary attribute indexes
+//!   ([`SecondaryIndex`], [`IndexKind`]), registered via
+//!   [`World::create_index`].
 //! * [`planner`] — table statistics and cost-based plan selection
-//!   ([`TableStats`], [`plan`]).
+//!   ([`TableStats`], [`plan`]) over scan / spatial / attribute-index
+//!   access paths.
 //! * [`effect`] — deferred commutative writes ([`EffectBuffer`]).
 //! * [`exec`] — sequential/parallel tick execution ([`TickExecutor`]).
 //!
@@ -47,6 +51,7 @@ pub mod column;
 pub mod effect;
 pub mod entity;
 pub mod exec;
+pub mod index;
 pub mod planner;
 pub mod query;
 pub mod world;
@@ -55,6 +60,7 @@ pub use column::{Column, ColumnData};
 pub use effect::{Effect, EffectBuffer, SpawnRequest};
 pub use entity::{EntityAllocator, EntityId};
 pub use exec::{System, TickExecutor, TickStats};
+pub use index::{IndexKey, IndexKind, SecondaryIndex};
 pub use planner::{plan, Access, ColumnStats, Plan, TableStats};
 pub use query::{aggregate, compare, AggFn, AggResult, Pred, Query};
 pub use world::{CoreError, World, WorldEntityView, POS};

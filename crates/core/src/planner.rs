@@ -6,26 +6,44 @@
 //! exists and evaluates predicates in authoring order; this module adds
 //! what a database would: [`TableStats`] collected from the world,
 //! selectivity estimation per predicate, short-circuit-aware predicate
-//! reordering, and a costed choice between a full scan and the spatial
-//! index (a huge radius covers the whole map, where the index only adds
-//! overhead). [`Plan::explain`] renders the decision like `EXPLAIN`.
+//! reordering, and a costed choice among three access paths:
+//!
+//! * **full scan** — every live entity, residual filters on all of it;
+//! * **spatial probe** — when a `within` restriction exists and the disk
+//!   is small relative to the map (a huge radius covers the whole map,
+//!   where the index only adds overhead);
+//! * **attribute-index probe** — when a predicate's component carries a
+//!   [`crate::index::SecondaryIndex`] that supports its operator; the
+//!   most selective such predicate is pushed into the index and the rest
+//!   run as residual filters.
+//!
+//! Index-backed columns report *exact* NDV and numeric bounds
+//! (maintained incrementally by the index itself), so
+//! [`TableStats::from_catalog`] prices plans in O(schema) without the
+//! full scan [`TableStats::build`] pays — cheap enough that
+//! [`Query::run`] replans on every execution. [`Plan::explain`] renders
+//! the decision like `EXPLAIN`.
 //!
 //! Experiment E14 sweeps the query radius and shows the planner tracking
-//! the better of the two access paths across the crossover.
+//! the better of the two spatial paths across the crossover; the
+//! `secondary_index` bench does the same for attribute probes.
 
 use std::collections::HashSet;
 use std::fmt;
 
-use gamedb_content::{CmpOp, Value};
+use gamedb_content::{CmpOp, Value, ValueType};
 use gamedb_spatial::Vec2;
 
 use crate::entity::EntityId;
+use crate::index::IndexKind;
 use crate::query::{Pred, Query};
 use crate::world::World;
 
 /// Per-component statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
+    /// Column value type (range probes are unservable on vec2).
+    pub ty: ValueType,
     /// Entities carrying the component.
     pub present: usize,
     /// Number of distinct values.
@@ -34,6 +52,8 @@ pub struct ColumnStats {
     pub min: Option<f64>,
     /// Maximum numeric value (numeric components only).
     pub max: Option<f64>,
+    /// Secondary index on this component, if one exists.
+    pub index: Option<IndexKind>,
 }
 
 /// World statistics the planner costs plans against.
@@ -60,10 +80,10 @@ impl TableStats {
         let mut positioned = 0usize;
         let mut lo = Vec2::new(f32::INFINITY, f32::INFINITY);
         let mut hi = Vec2::new(f32::NEG_INFINITY, f32::NEG_INFINITY);
-        let names: Vec<String> = world
+        let names: Vec<(String, ValueType)> = world
             .schema()
             .filter(|(n, _)| *n != crate::world::POS)
-            .map(|(n, _)| n.to_string())
+            .map(|(n, t)| (n.to_string(), t))
             .collect();
         let mut present = vec![0usize; names.len()];
         let mut distinct: Vec<HashSet<u64>> = names.iter().map(|_| HashSet::new()).collect();
@@ -76,7 +96,7 @@ impl TableStats {
                 lo = Vec2::new(lo.x.min(p.x), lo.y.min(p.y));
                 hi = Vec2::new(hi.x.max(p.x), hi.y.max(p.y));
             }
-            for (c, name) in names.iter().enumerate() {
+            for (c, (name, _)) in names.iter().enumerate() {
                 let Some(v) = world.get(id, name) else { continue };
                 present[c] += 1;
                 distinct[c].insert(value_fingerprint(&v));
@@ -89,15 +109,18 @@ impl TableStats {
         let columns = names
             .into_iter()
             .enumerate()
-            .map(|(c, name)| {
+            .map(|(c, (name, ty))| {
                 let numeric = min[c] <= max[c];
+                let index = world.index_on(&name).map(|i| i.kind());
                 (
                     name,
                     ColumnStats {
+                        ty,
                         present: present[c],
                         ndv: distinct[c].len(),
                         min: numeric.then_some(min[c]),
                         max: numeric.then_some(max[c]),
+                        index,
                     },
                 )
             })
@@ -106,6 +129,85 @@ impl TableStats {
             rows,
             positioned,
             bounds: (positioned > 0).then_some((lo, hi)),
+            columns,
+        }
+    }
+
+    /// Collect statistics in O(schema) from metadata the world maintains
+    /// incrementally — no row scan.
+    ///
+    /// Per column: presence counts come from the column itself; NDV and
+    /// numeric bounds are exact for indexed columns (the index tracks
+    /// them); unindexed columns fall back to a default NDV
+    /// ([`DEFAULT_NDV`] — equality keeps ~10% of present rows) and
+    /// unknown bounds. The position bounding box is the world's expand-only
+    /// approximation. This is the statistics source [`Query::run`] uses
+    /// to replan per execution; [`TableStats::build`] remains the exact
+    /// (and expensive) option for offline analysis.
+    pub fn from_catalog(world: &World) -> Self {
+        Self::catalog_stats(world, None)
+    }
+
+    /// [`TableStats::from_catalog`] restricted to the components `query`
+    /// references — the per-execution replanning path. The plan can only
+    /// use statistics for predicate columns, so skipping the rest keeps
+    /// hot-path replanning O(predicates) instead of O(schema).
+    pub fn for_query(world: &World, query: &Query) -> Self {
+        Self::catalog_stats(world, Some(query))
+    }
+
+    fn catalog_stats(world: &World, query: Option<&Query>) -> Self {
+        let mut columns: Vec<(String, ColumnStats)> = Vec::new();
+        let mut push = |name: &str| {
+            if name == crate::world::POS || columns.iter().any(|(n, _)| n == name) {
+                return;
+            }
+            let Some(col) = world.column(name) else { return };
+            let present = col.present_count();
+            let (ndv, min, max, index) = match world.index_on(name) {
+                Some(idx) => {
+                    let (min, max) = match idx.numeric_bounds() {
+                        Some((lo, hi)) => (Some(lo), Some(hi)),
+                        None => (None, None),
+                    };
+                    (idx.ndv(), min, max, Some(idx.kind()))
+                }
+                // No index ⇒ NDV is unknown; assume a System-R-ish 10
+                // distinct values (equality keeps ~10% of present rows)
+                // rather than `present`, which would be the *most*
+                // optimistic possible equality estimate and underprice
+                // residual work.
+                None => (present.min(DEFAULT_NDV), None, None, None),
+            };
+            columns.push((
+                name.to_string(),
+                ColumnStats {
+                    ty: col.ty(),
+                    present,
+                    ndv,
+                    min,
+                    max,
+                    index,
+                },
+            ));
+        };
+        match query {
+            // O(predicates): only the columns the plan can use.
+            Some(q) => {
+                for pred in q.predicates() {
+                    push(&pred.component);
+                }
+            }
+            None => {
+                for (name, _) in world.schema() {
+                    push(name);
+                }
+            }
+        }
+        TableStats {
+            rows: world.len(),
+            positioned: world.positioned_count(),
+            bounds: world.approx_bounds(),
             columns,
         }
     }
@@ -183,6 +285,13 @@ pub enum Access {
     FullScan,
     /// Probe the spatial index.
     SpatialIndex { center: Vec2, radius: f32 },
+    /// Probe a secondary attribute index with one pushed-down predicate;
+    /// the remaining predicates (and any `within`) run as residuals.
+    AttributeIndex {
+        component: String,
+        op: CmpOp,
+        value: Value,
+    },
 }
 
 /// Cost-model constants (relative units; an index probe costs a few row
@@ -190,6 +299,9 @@ pub enum Access {
 /// indirection over a dense scan).
 const INDEX_PROBE_COST: f64 = 8.0;
 const INDEX_ROW_FACTOR: f64 = 1.4;
+/// Assumed distinct-value count for unindexed columns in catalog stats
+/// (equality selectivity defaults to ~1/10, the classic System-R guess).
+const DEFAULT_NDV: usize = 10;
 
 /// A chosen execution plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +334,28 @@ impl Plan {
     /// Execute, returning matches in deterministic (id) order — always
     /// the same result set as [`Query::run`] on the same query.
     pub fn run(&self, world: &World) -> Vec<EntityId> {
+        let mut out = Vec::new();
+        self.visit_matches(world, &mut |id| out.push(id));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Count matches without materializing ids — same rows as
+    /// [`Plan::run`]`.len()`, zero allocation on the scan and probe-free
+    /// paths.
+    pub fn count(&self, world: &World) -> usize {
+        let mut n = 0usize;
+        self.visit_matches(world, &mut |_| n += 1);
+        n
+    }
+
+    /// The one candidate-iteration used by both [`Plan::run`] and
+    /// [`Plan::count`]: access-path dispatch, residual `within` distance
+    /// test, residual predicate evaluation, probe-failure degradation.
+    /// Matching ids reach `sink` exactly once each (candidate sources
+    /// are duplicate-free), in candidate order.
+    fn visit_matches(&self, world: &World, sink: &mut dyn FnMut(EntityId)) {
         let keep = |id: EntityId| {
             if Some(id) == self.exclude {
                 return false;
@@ -238,17 +372,60 @@ impl Plan {
             }
             self.preds.iter().all(|p| p.eval(world, id))
         };
-        let mut out: Vec<EntityId> = match &self.access {
-            Access::FullScan => world.entities().filter(|&id| keep(id)).collect(),
+        match &self.access {
+            Access::FullScan => {
+                for id in world.entities() {
+                    if keep(id) {
+                        sink(id);
+                    }
+                }
+            }
             Access::SpatialIndex { center, radius } => {
                 let mut cands = Vec::new();
                 world.within(*center, *radius, &mut cands);
-                cands.sort_unstable();
-                cands.into_iter().filter(|&id| keep(id)).collect()
+                for id in cands {
+                    if keep(id) {
+                        sink(id);
+                    }
+                }
             }
-        };
-        out.dedup();
-        out
+            Access::AttributeIndex {
+                component,
+                op,
+                value,
+            } => {
+                let mut cands = Vec::new();
+                if !world.index_probe(component, *op, value, &mut cands) {
+                    // Index vanished between planning and execution
+                    // (dropped, or a stale plan): degrade to the scan the
+                    // probe replaced — same rows, just slower.
+                    self.degraded_scan(component, *op, value)
+                        .visit_matches(world, sink);
+                    return;
+                }
+                for id in cands {
+                    if keep(id) {
+                        sink(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The scan a stale attribute probe degrades to: same rows, slower.
+    fn degraded_scan(&self, component: &str, op: CmpOp, value: &Value) -> Plan {
+        let mut preds = self.preds.clone();
+        preds.push(Pred::new(component.to_string(), op, value.clone()));
+        Plan {
+            access: Access::FullScan,
+            selectivities: vec![0.5; preds.len()],
+            preds,
+            exclude: self.exclude,
+            residual_within: self.residual_within,
+            est_candidates: self.est_candidates,
+            est_rows: self.est_rows,
+            est_cost: self.est_cost,
+        }
     }
 }
 
@@ -259,6 +436,11 @@ impl fmt::Display for Plan {
             Access::SpatialIndex { center, radius } => {
                 write!(f, "SpatialIndex(center=({}, {}), r={radius})", center.x, center.y)?
             }
+            Access::AttributeIndex {
+                component,
+                op,
+                value,
+            } => write!(f, "AttrIndex({component} {op:?} {value:?})")?,
         }
         if let Some((_, r)) = self.residual_within {
             write!(f, " -> Within(r={r})")?;
@@ -277,10 +459,19 @@ impl fmt::Display for Plan {
 /// Choose a plan for `query` under `stats`.
 ///
 /// Predicates are ordered by ascending selectivity (cheapest way to
-/// short-circuit a conjunction of independent predicates). The access
-/// path compares `rows` scan cost against index probe + candidate cost;
-/// when the disk covers most of the map the scan wins and the `within`
-/// becomes a residual filter.
+/// short-circuit a conjunction of independent predicates), then three
+/// access-path families compete on estimated cost:
+///
+/// 1. a full scan (always available; pays the distance test per row when
+///    a `within` exists);
+/// 2. the spatial index (when a `within` exists; loses once the disk
+///    covers most of the map);
+/// 3. one attribute-index probe per indexed, operator-compatible
+///    predicate — the probed predicate leaves the residual set, and any
+///    `within` demotes to a residual distance test.
+///
+/// Whatever wins returns exactly the rows [`Query::run`]'s reference
+/// semantics define; costs only pick *how* to get them.
 pub fn plan(query: &Query, stats: &TableStats) -> Plan {
     let mut preds: Vec<Pred> = query.predicates().to_vec();
     let mut sels: Vec<f64> = preds.iter().map(|p| stats.selectivity(p)).collect();
@@ -299,47 +490,119 @@ pub fn plan(query: &Query, stats: &TableStats) -> Plan {
         pass *= s;
     }
     let pred_pass: f64 = sels.iter().product();
+    let rows = stats.rows as f64;
 
-    match query.spatial() {
-        Some((center, radius)) => {
-            let est_cands = stats.est_in_radius(radius);
-            let index_cost = INDEX_PROBE_COST + est_cands * (INDEX_ROW_FACTOR + pred_cost_per_row);
-            // scanning still pays the distance test on every row
-            let scan_cost = stats.rows as f64 * (1.0 + pred_cost_per_row);
-            if index_cost <= scan_cost {
-                Plan {
-                    access: Access::SpatialIndex { center, radius },
-                    preds,
-                    selectivities: sels,
-                    exclude: query.excluded(),
-                    residual_within: None,
-                    est_candidates: est_cands,
-                    est_rows: est_cands * pred_pass,
-                    est_cost: index_cost,
-                }
-            } else {
-                Plan {
-                    access: Access::FullScan,
-                    preds,
-                    selectivities: sels,
-                    exclude: query.excluded(),
-                    residual_within: Some((center, radius)),
-                    est_candidates: stats.rows as f64,
-                    est_rows: est_cands * pred_pass,
-                    est_cost: scan_cost,
-                }
+    // Fraction of rows a `within` keeps (1.0 when there is none).
+    let within_frac = match query.spatial() {
+        Some((_, radius)) if stats.positioned > 0 => {
+            (stats.est_in_radius(radius) / stats.positioned as f64).min(1.0)
+        }
+        Some(_) => 0.0,
+        None => 1.0,
+    };
+
+    // Price the three path families as scalars; only the winner gets a
+    // Plan built (this runs on every indexed Query::run, so candidate
+    // plans must not allocate).
+    enum Choice {
+        Scan,
+        Spatial,
+        /// Probe via `preds[i]`, with `(est_candidates, residual_pass)`.
+        Attr(usize, f64, f64),
+    }
+
+    // 1. Full scan (always available; pays a distance test per row when
+    // a `within` exists).
+    let mut best_cost = match query.spatial() {
+        Some(_) => rows * (1.0 + pred_cost_per_row),
+        None => rows * pred_cost_per_row.max(1.0),
+    };
+    let mut choice = Choice::Scan;
+
+    // 2. Spatial probe (ties go to the index, as the seed planner chose).
+    if let Some((_, radius)) = query.spatial() {
+        let est_cands = stats.est_in_radius(radius);
+        let cost = INDEX_PROBE_COST + est_cands * (INDEX_ROW_FACTOR + pred_cost_per_row);
+        if cost <= best_cost {
+            best_cost = cost;
+            choice = Choice::Spatial;
+        }
+    }
+
+    // 3. One attribute probe per indexed predicate. `preds` is already
+    // selectivity-sorted, so the most selective eligible probe is
+    // considered first and wins cost ties.
+    let within_test = if query.spatial().is_some() { 1.0 } else { 0.0 };
+    for (i, pred) in preds.iter().enumerate() {
+        let Some(col) = stats.column(&pred.component) else {
+            continue;
+        };
+        let Some(kind) = col.index else { continue };
+        if !crate::index::supports(kind, col.ty, pred.op) {
+            continue;
+        }
+        let est_cands = sels[i] * rows;
+        let mut residual_cost = 0.0;
+        let mut residual_pass = 1.0;
+        for (j, s) in sels.iter().enumerate() {
+            if j != i {
+                residual_cost += residual_pass;
+                residual_pass *= s;
             }
         }
-        None => Plan {
+        let cost =
+            INDEX_PROBE_COST + est_cands * (INDEX_ROW_FACTOR + within_test + residual_cost);
+        if cost < best_cost {
+            best_cost = cost;
+            choice = Choice::Attr(i, est_cands, residual_pass);
+        }
+    }
+
+    match choice {
+        Choice::Scan => Plan {
             access: Access::FullScan,
+            est_candidates: rows,
+            est_rows: match query.spatial() {
+                Some((_, radius)) => stats.est_in_radius(radius) * pred_pass,
+                None => rows * pred_pass,
+            },
+            est_cost: best_cost,
+            residual_within: query.spatial(),
+            exclude: query.excluded(),
             preds,
             selectivities: sels,
-            exclude: query.excluded(),
-            residual_within: None,
-            est_candidates: stats.rows as f64,
-            est_rows: stats.rows as f64 * pred_pass,
-            est_cost: stats.rows as f64 * pred_cost_per_row.max(1.0),
         },
+        Choice::Spatial => {
+            let (center, radius) = query.spatial().expect("spatial choice implies within");
+            Plan {
+                access: Access::SpatialIndex { center, radius },
+                est_candidates: stats.est_in_radius(radius),
+                est_rows: stats.est_in_radius(radius) * pred_pass,
+                est_cost: best_cost,
+                residual_within: None,
+                exclude: query.excluded(),
+                preds,
+                selectivities: sels,
+            }
+        }
+        Choice::Attr(i, est_cands, residual_pass) => {
+            let probed = preds.remove(i);
+            sels.remove(i);
+            Plan {
+                access: Access::AttributeIndex {
+                    component: probed.component,
+                    op: probed.op,
+                    value: probed.value,
+                },
+                est_candidates: est_cands,
+                est_rows: est_cands * residual_pass * within_frac,
+                est_cost: best_cost,
+                residual_within: query.spatial(),
+                exclude: query.excluded(),
+                preds,
+                selectivities: sels,
+            }
+        }
     }
 }
 
@@ -525,6 +788,174 @@ mod tests {
         assert!(text.contains("SpatialIndex"), "{text}");
         assert!(text.contains("Filter(hp"), "{text}");
         assert!(text.contains("est_cost"), "{text}");
+    }
+
+    #[test]
+    fn attribute_index_chosen_for_selective_pred() {
+        let (mut w, _) = stats_world();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        let s = TableStats::build(&w);
+        // hp == 30 keeps 1/100 rows: probing beats scanning
+        let q = Query::select()
+            .filter("team", CmpOp::Ne, Value::Str("red".into()))
+            .filter("hp", CmpOp::Eq, Value::Float(30.0));
+        let p = plan(&q, &s);
+        assert!(
+            matches!(&p.access, Access::AttributeIndex { component, op: CmpOp::Eq, .. } if component == "hp"),
+            "{}",
+            p.explain()
+        );
+        // the pushed predicate left the residual set
+        assert_eq!(p.preds.len(), 1);
+        assert_eq!(p.preds[0].component, "team");
+        assert_eq!(p.run(&w), q.run_scan(&w));
+        assert!(p.explain().contains("AttrIndex"), "{}", p.explain());
+    }
+
+    #[test]
+    fn unselective_indexed_pred_still_scans() {
+        let (mut w, _) = stats_world();
+        w.create_index("team", IndexKind::Hash).unwrap();
+        let s = TableStats::build(&w);
+        // team has 2 distinct values: probing gains nothing over a scan
+        // at n=100 once the per-candidate indirection is priced in.
+        let q = Query::select().filter("team", CmpOp::Eq, Value::Str("blue".into()));
+        let p = plan(&q, &s);
+        assert_eq!(p.run(&w), q.run_scan(&w), "{}", p.explain());
+    }
+
+    #[test]
+    fn hash_index_never_serves_ranges() {
+        let (mut w, _) = stats_world();
+        w.create_index("hp", IndexKind::Hash).unwrap();
+        let s = TableStats::build(&w);
+        let q = Query::select().filter("hp", CmpOp::Lt, Value::Float(5.0));
+        let p = plan(&q, &s);
+        assert!(
+            matches!(p.access, Access::FullScan),
+            "hash cannot serve <: {}",
+            p.explain()
+        );
+        assert_eq!(p.run(&w), q.run_scan(&w));
+    }
+
+    #[test]
+    fn attribute_probe_with_within_residual() {
+        let (mut w, _) = stats_world();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        let s = TableStats::build(&w);
+        // hp < 3 keeps ~3 rows; the disk keeps ~half the map. The probe
+        // should win and the within become a residual distance test.
+        let q = Query::select()
+            .within(Vec2::new(50.0, 50.0), 70.0)
+            .filter("hp", CmpOp::Lt, Value::Float(3.0));
+        let p = plan(&q, &s);
+        assert!(
+            matches!(p.access, Access::AttributeIndex { .. }),
+            "{}",
+            p.explain()
+        );
+        assert_eq!(p.residual_within, Some((Vec2::new(50.0, 50.0), 70.0)));
+        assert_eq!(p.run(&w), q.run_scan(&w));
+    }
+
+    #[test]
+    fn catalog_stats_match_world_metadata() {
+        let (mut w, _) = stats_world();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        w.create_index("team", IndexKind::Hash).unwrap();
+        let s = TableStats::from_catalog(&w);
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.positioned, 100);
+        let hp = s.column("hp").unwrap();
+        assert_eq!(hp.present, 100);
+        assert_eq!(hp.ndv, 100, "indexed column reports exact ndv");
+        assert_eq!(hp.min, Some(0.0));
+        assert_eq!(hp.max, Some(99.0));
+        assert_eq!(hp.index, Some(IndexKind::Sorted));
+        let team = s.column("team").unwrap();
+        assert_eq!(team.ndv, 2);
+        assert_eq!(team.index, Some(IndexKind::Hash));
+        // unindexed column: System-R default ndv (equality ~ 10%)
+        let level = s.column("level").unwrap();
+        assert_eq!(level.present, 50);
+        assert_eq!(level.ndv, 10);
+        assert_eq!(level.index, None);
+        assert_eq!(level.ty, gamedb_content::ValueType::Int);
+        // expand-only bounds cover the exact ones
+        let (lo, hi) = s.bounds.unwrap();
+        assert!(lo.x <= 0.0 && lo.y <= 0.0 && hi.x >= 99.0 && hi.y >= 99.0);
+    }
+
+    #[test]
+    fn planned_equals_scan_with_indexes_everywhere() {
+        let (mut w, ids) = stats_world();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        w.create_index("team", IndexKind::Hash).unwrap();
+        w.create_index("level", IndexKind::Sorted).unwrap();
+        let s = TableStats::build(&w);
+        let queries = vec![
+            Query::select().filter("hp", CmpOp::Eq, Value::Float(30.0)),
+            Query::select().filter("hp", CmpOp::Ge, Value::Float(95.0)),
+            Query::select()
+                .filter("level", CmpOp::Le, Value::Int(1))
+                .filter("team", CmpOp::Eq, Value::Str("red".into())),
+            Query::select()
+                .within(Vec2::new(33.0, 33.0), 25.0)
+                .filter("hp", CmpOp::Lt, Value::Float(10.0)),
+            Query::select()
+                .filter("hp", CmpOp::Gt, Value::Float(90.0))
+                .excluding(ids[95]),
+            // literal type that can never match: empty either way
+            Query::select().filter("team", CmpOp::Eq, Value::Int(3)),
+        ];
+        for q in queries {
+            let p = plan(&q, &s);
+            assert_eq!(p.run(&w), q.run_scan(&w), "plan: {}", p.explain());
+            assert_eq!(q.run(&w), q.run_scan(&w));
+        }
+    }
+
+    #[test]
+    fn vec2_sorted_index_never_planned_for_ranges() {
+        let mut w = World::new();
+        w.define_component("vel", gamedb_content::ValueType::Vec2)
+            .unwrap();
+        for i in 0..50 {
+            let e = w.spawn_at(Vec2::new(i as f32, 0.0));
+            w.set(e, "vel", Value::Vec2(i as f32, 0.0)).unwrap();
+        }
+        w.create_index("vel", IndexKind::Sorted).unwrap();
+        let s = TableStats::from_catalog(&w);
+        // a range over vec2 is unservable; the planner must not pick a
+        // probe the executor degrades out of on every run
+        let q = Query::select().filter("vel", CmpOp::Lt, Value::Vec2(10.0, 0.0));
+        let p = plan(&q, &s);
+        assert!(matches!(p.access, Access::FullScan), "{}", p.explain());
+        assert_eq!(p.run(&w), q.run_scan(&w));
+        // equality on vec2 stays probe-eligible
+        let qe = Query::select().filter("vel", CmpOp::Eq, Value::Vec2(10.0, 0.0));
+        assert_eq!(qe.run(&w), qe.run_scan(&w));
+    }
+
+    #[test]
+    fn plan_count_matches_run_len() {
+        let (mut w, ids) = stats_world();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        let s = TableStats::build(&w);
+        let queries = vec![
+            Query::select().filter("hp", CmpOp::Lt, Value::Float(10.0)),
+            Query::select()
+                .within(Vec2::new(33.0, 33.0), 25.0)
+                .filter("hp", CmpOp::Ge, Value::Float(20.0)),
+            Query::select().excluding(ids[0]),
+            Query::select().filter("team", CmpOp::Eq, Value::Str("red".into())),
+        ];
+        for q in queries {
+            let p = plan(&q, &s);
+            assert_eq!(p.count(&w), p.run(&w).len(), "{}", p.explain());
+            assert_eq!(q.count(&w), q.run_scan(&w).len());
+        }
     }
 
     #[test]

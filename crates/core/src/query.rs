@@ -121,8 +121,30 @@ impl Query {
         self.exclude
     }
 
+    /// True when some predicate could be answered by a secondary index
+    /// on this world — the cue for [`Query::run`] to involve the planner.
+    fn index_eligible(&self, world: &World) -> bool {
+        self.preds
+            .iter()
+            .any(|p| world.index_supports(&p.component, p.op))
+    }
+
     /// Run, returning matching entities in deterministic (id) order.
+    ///
+    /// When any predicate's component carries a supporting secondary
+    /// index, the query is planned against catalog statistics
+    /// ([`crate::planner::TableStats::for_query`], O(predicates)) and the
+    /// chosen access path executes — pushing the most selective indexed
+    /// predicate into its index and applying the rest as residual
+    /// filters. Otherwise the seed behavior stands: spatial probe when a
+    /// `within` exists, full scan when not. Either way the result set is
+    /// identical to [`Query::run_scan`] (the property tests hold us to
+    /// that).
     pub fn run(&self, world: &World) -> Vec<EntityId> {
+        if self.index_eligible(world) {
+            let stats = crate::planner::TableStats::for_query(world, self);
+            return crate::planner::plan(self, &stats).run(world);
+        }
         let mut out = Vec::new();
         match self.within {
             Some((center, radius)) => {
@@ -146,8 +168,36 @@ impl Query {
         out
     }
 
-    /// Run and count without materializing ids.
+    /// Reference evaluation: a full scan that never consults the spatial
+    /// or secondary indexes. Same result set as [`Query::run`] by
+    /// definition of correctness — benches use it as the baseline and
+    /// property tests as the oracle.
+    pub fn run_scan(&self, world: &World) -> Vec<EntityId> {
+        let mut out = Vec::new();
+        for id in world.entities() {
+            if Some(id) == self.exclude {
+                continue;
+            }
+            if let Some((center, radius)) = self.within {
+                match world.pos(id) {
+                    Some(p) if p.dist2(center) <= radius * radius => {}
+                    _ => continue,
+                }
+            }
+            if self.preds.iter().all(|p| p.eval(world, id)) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// Run and count without materializing ids (indexes apply as in
+    /// [`Query::run`]).
     pub fn count(&self, world: &World) -> usize {
+        if self.index_eligible(world) {
+            let stats = crate::planner::TableStats::for_query(world, self);
+            return crate::planner::plan(self, &stats).count(world);
+        }
         // Same traversal as `run`, avoiding the output vector.
         match self.within {
             Some((center, radius)) => {
@@ -450,6 +500,42 @@ mod tests {
             aggregate(&w, &Query::select(), &AggFn::ArgMin("hp".into())).as_entity(),
             Some(a)
         );
+    }
+
+    #[test]
+    fn indexed_run_matches_scan() {
+        use crate::index::IndexKind;
+        let (mut w, ids) = arena();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        w.create_index("team", IndexKind::Hash).unwrap();
+
+        let queries = vec![
+            Query::select().filter("hp", CmpOp::Ge, Value::Float(30.0)),
+            Query::select()
+                .filter("hp", CmpOp::Lt, Value::Float(45.0))
+                .filter("team", CmpOp::Eq, Value::Str("red".into())),
+            Query::select()
+                .within(Vec2::new(0.0, 0.0), 21.0)
+                .filter("team", CmpOp::Eq, Value::Str("blue".into())),
+            Query::select()
+                .filter("level", CmpOp::Gt, Value::Float(3.5))
+                .filter("team", CmpOp::Eq, Value::Str("red".into()))
+                .excluding(ids[4]),
+        ];
+        for q in queries {
+            assert_eq!(q.run(&w), q.run_scan(&w));
+            assert_eq!(q.count(&w), q.run_scan(&w).len());
+        }
+    }
+
+    #[test]
+    fn run_scan_is_the_reference() {
+        let (w, ids) = arena();
+        let q = Query::select()
+            .within(Vec2::new(0.0, 0.0), 21.0)
+            .filter("team", CmpOp::Eq, Value::Str("blue".into()));
+        assert_eq!(q.run(&w), q.run_scan(&w));
+        assert_eq!(q.run_scan(&w), vec![ids[1]]);
     }
 
     #[test]

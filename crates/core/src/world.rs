@@ -1,11 +1,15 @@
 //! The world: a columnar entity database with a spatial index over
-//! positions.
+//! positions and secondary indexes over attribute columns.
 //!
 //! "Just as with a database, games require that their data — which is
 //! often the state of the entire world — be in a consistent state." The
 //! [`World`] is that database: entities are rows, components are typed
-//! columns, and the reserved `pos` column is mirrored into a spatial index
-//! so proximity queries (`within`) are O(local density), not O(n).
+//! columns, the reserved `pos` column is mirrored into a spatial index
+//! so proximity queries (`within`) are O(local density), not O(n), and
+//! any other column can carry a [`SecondaryIndex`] (see
+//! [`World::create_index`]) so attribute predicates are O(matches), not
+//! O(entities). Every write path keeps both index families exact — the
+//! maintenance invariants are listed in [`crate::index`].
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -15,6 +19,8 @@ use gamedb_spatial::{SpatialIndex, UniformGrid, Vec2};
 
 use crate::column::Column;
 use crate::entity::{EntityAllocator, EntityId};
+use crate::index::{IndexKind, SecondaryIndex};
+use gamedb_content::CmpOp;
 
 /// Name of the reserved position component.
 pub const POS: &str = "pos";
@@ -32,6 +38,8 @@ pub enum CoreError {
     DeadEntity(EntityId),
     /// The reserved `pos` component must be `vec2`.
     ReservedComponent(String),
+    /// An index already exists on the component.
+    DuplicateIndex(String),
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +56,9 @@ impl fmt::Display for CoreError {
             CoreError::ReservedComponent(c) => {
                 write!(f, "component {c:?} is reserved (pos must be vec2)")
             }
+            CoreError::DuplicateIndex(c) => {
+                write!(f, "component {c:?} already has a secondary index")
+            }
         }
     }
 }
@@ -60,6 +71,13 @@ pub struct World {
     alloc: EntityAllocator,
     columns: BTreeMap<String, Column>,
     spatial: UniformGrid,
+    /// Secondary attribute indexes, keyed by component name.
+    indexes: BTreeMap<String, SecondaryIndex>,
+    /// Expand-only bounding box of every position ever set — a cheap,
+    /// conservative stand-in for exact bounds in the planner's density
+    /// model (despawns don't shrink it; distributions in games rarely
+    /// shrink either).
+    bounds: Option<(Vec2, Vec2)>,
     tick: u64,
 }
 
@@ -83,6 +101,8 @@ impl World {
             alloc: EntityAllocator::new(),
             columns,
             spatial: UniformGrid::new(cell),
+            indexes: BTreeMap::new(),
+            bounds: None,
             tick: 0,
         }
     }
@@ -114,6 +134,85 @@ impl World {
     /// Direct column access for scans (None for unknown components).
     pub fn column(&self, name: &str) -> Option<&Column> {
         self.columns.get(name)
+    }
+
+    // ---- secondary indexes ----
+
+    /// Create a secondary index on a component, backfilled from current
+    /// data and maintained through every subsequent write. `pos` is
+    /// served by the spatial index and cannot carry one.
+    ///
+    /// Pick [`IndexKind::Hash`] for identity-like equality lookups and
+    /// [`IndexKind::Sorted`] when range predicates matter; the planner
+    /// ([`crate::planner::plan`]) weighs either against a scan using the
+    /// index's exact NDV and bounds.
+    pub fn create_index(&mut self, component: &str, kind: IndexKind) -> Result<(), CoreError> {
+        if component == POS {
+            return Err(CoreError::ReservedComponent(component.to_string()));
+        }
+        let col = self
+            .columns
+            .get(component)
+            .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
+        if self.indexes.contains_key(component) {
+            return Err(CoreError::DuplicateIndex(component.to_string()));
+        }
+        let mut idx = SecondaryIndex::new(kind, col.ty());
+        for id in self.alloc.iter_live() {
+            if let Some(v) = col.get(id.index() as usize) {
+                idx.insert(&v, id);
+            }
+        }
+        self.indexes.insert(component.to_string(), idx);
+        Ok(())
+    }
+
+    /// Drop the index on a component; returns whether one existed.
+    pub fn drop_index(&mut self, component: &str) -> bool {
+        self.indexes.remove(component).is_some()
+    }
+
+    /// The index on a component, if any.
+    pub fn index_on(&self, component: &str) -> Option<&SecondaryIndex> {
+        self.indexes.get(component)
+    }
+
+    /// Iterate `(component, kind)` over existing indexes, in name order.
+    pub fn indexed_components(&self) -> impl Iterator<Item = (&str, IndexKind)> {
+        self.indexes.iter().map(|(n, i)| (n.as_str(), i.kind()))
+    }
+
+    /// True when an index on `component` can answer `op` probes.
+    pub fn index_supports(&self, component: &str, op: CmpOp) -> bool {
+        self.indexes
+            .get(component)
+            .is_some_and(|idx| idx.supports(op))
+    }
+
+    /// Probe the index on `component` for entities satisfying
+    /// `stored op value`, appending id-sorted matches to `out`. Returns
+    /// `false` (out untouched) when no index can serve the probe — the
+    /// caller falls back to a scan.
+    pub fn index_probe(
+        &self,
+        component: &str,
+        op: CmpOp,
+        value: &Value,
+        out: &mut Vec<EntityId>,
+    ) -> bool {
+        match self.indexes.get(component) {
+            Some(idx) => idx.probe(op, value, out),
+            None => false,
+        }
+    }
+
+    fn index_replace(&mut self, component: &str, id: EntityId, old: Option<&Value>, new: &Value) {
+        if let Some(idx) = self.indexes.get_mut(component) {
+            if let Some(old) = old {
+                idx.remove(old, id);
+            }
+            idx.insert(new, id);
+        }
     }
 
     // ---- entities ----
@@ -194,6 +293,12 @@ impl World {
             return false;
         }
         let slot = id.index() as usize;
+        // Indexes first, while column values are still readable.
+        for (name, idx) in self.indexes.iter_mut() {
+            if let Some(v) = self.columns[name].get(slot) {
+                idx.remove(&v, id);
+            }
+        }
         for col in self.columns.values_mut() {
             col.remove(slot);
         }
@@ -253,16 +358,24 @@ impl World {
             };
             return self.set_pos(id, Vec2::new(x, y));
         }
+        let indexed = self.indexes.contains_key(component);
         let col = self
             .columns
             .get_mut(component)
             .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
-        col.set(id.index() as usize, &value)
+        let slot = id.index() as usize;
+        // Fetch the outgoing value only when an index must forget it.
+        let old = if indexed { col.get(slot) } else { None };
+        col.set(slot, &value)
             .map_err(|expected| CoreError::TypeMismatch {
                 component: component.to_string(),
                 expected,
                 got: value.value_type(),
-            })
+            })?;
+        if indexed {
+            self.index_replace(component, id, old.as_ref(), &value);
+        }
+        Ok(())
     }
 
     /// Component value, or `None` when the entity is dead, the component
@@ -280,11 +393,17 @@ impl World {
         if component == POS {
             self.spatial.remove(id.to_bits());
         }
+        let slot = id.index() as usize;
+        if let Some(idx) = self.indexes.get_mut(component) {
+            if let Some(old) = self.columns[component].get(slot) {
+                idx.remove(&old, id);
+            }
+        }
         let col = self
             .columns
             .get_mut(component)
             .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
-        Ok(col.remove(id.index() as usize))
+        Ok(col.remove(slot))
     }
 
     // ---- typed fast paths ----
@@ -352,7 +471,32 @@ impl World {
             .set(id.index() as usize, &Value::Vec2(pos.x, pos.y))
             .expect("pos column is vec2");
         self.spatial.update(id.to_bits(), pos);
+        self.bounds = Some(match self.bounds {
+            None => (pos, pos),
+            Some((lo, hi)) => (
+                Vec2::new(lo.x.min(pos.x), lo.y.min(pos.y)),
+                Vec2::new(hi.x.max(pos.x), hi.y.max(pos.y)),
+            ),
+        });
         Ok(())
+    }
+
+    /// Number of entities with a position (spatial index cardinality).
+    #[inline]
+    pub fn positioned_count(&self) -> usize {
+        self.spatial.len()
+    }
+
+    /// Expand-only bounding box over every position ever set. Cheap, but
+    /// note the error direction: despawns and clustering never shrink
+    /// it, so density estimated over it *under*-counts candidates in a
+    /// disk and the planner leans toward spatial probes. That costs
+    /// probe overhead on a query a scan would serve cheaper — never
+    /// wrong results. Exact bounds remain available via
+    /// [`crate::planner::TableStats::build`].
+    #[inline]
+    pub fn approx_bounds(&self) -> Option<(Vec2, Vec2)> {
+        self.bounds
     }
 
     /// Append every entity within the closed disk to `out`.
@@ -635,6 +779,85 @@ mod tests {
         assert_eq!(rows.len(), 2); // hp + pos
         assert_eq!(rows[0].1, "hp");
         assert_eq!(rows[1].1, "pos");
+    }
+
+    #[test]
+    fn index_maintained_through_writes() {
+        use crate::index::IndexKind;
+        use gamedb_content::CmpOp;
+        let mut w = world_with_hp();
+        let a = w.spawn_at(v(0.0, 0.0));
+        let b = w.spawn_at(v(1.0, 0.0));
+        w.set_f32(a, "hp", 10.0).unwrap();
+        w.set_f32(b, "hp", 50.0).unwrap();
+        // backfill picks up existing data
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        let mut out = vec![];
+        assert!(w.index_probe("hp", CmpOp::Lt, &Value::Float(30.0), &mut out));
+        assert_eq!(out, vec![a]);
+
+        // overwrite migrates the posting
+        w.set_f32(a, "hp", 60.0).unwrap();
+        out.clear();
+        w.index_probe("hp", CmpOp::Lt, &Value::Float(30.0), &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        w.index_probe("hp", CmpOp::Ge, &Value::Float(50.0), &mut out);
+        assert_eq!(out, vec![a, b]);
+
+        // component removal and despawn both evict postings
+        w.remove_component(a, "hp").unwrap();
+        w.despawn(b);
+        out.clear();
+        w.index_probe("hp", CmpOp::Ge, &Value::Float(0.0), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(w.index_on("hp").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn index_errors() {
+        use crate::index::IndexKind;
+        let mut w = world_with_hp();
+        assert_eq!(
+            w.create_index(POS, IndexKind::Hash),
+            Err(CoreError::ReservedComponent(POS.into()))
+        );
+        assert_eq!(
+            w.create_index("mana", IndexKind::Hash),
+            Err(CoreError::UnknownComponent("mana".into()))
+        );
+        w.create_index("hp", IndexKind::Hash).unwrap();
+        assert_eq!(
+            w.create_index("hp", IndexKind::Sorted),
+            Err(CoreError::DuplicateIndex("hp".into()))
+        );
+        assert!(w.drop_index("hp"));
+        assert!(!w.drop_index("hp"));
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        assert_eq!(
+            w.indexed_components().collect::<Vec<_>>(),
+            vec![("hp", IndexKind::Sorted)]
+        );
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_postings() {
+        use crate::index::IndexKind;
+        use gamedb_content::CmpOp;
+        let mut w = world_with_hp();
+        w.create_index("hp", IndexKind::Hash).unwrap();
+        let a = w.spawn_at(v(0.0, 0.0));
+        w.set_f32(a, "hp", 7.0).unwrap();
+        w.despawn(a);
+        let b = w.spawn(); // reuses a's slot with a bumped generation
+        assert_eq!(b.index(), a.index());
+        let mut out = vec![];
+        w.index_probe("hp", CmpOp::Eq, &Value::Float(7.0), &mut out);
+        assert!(out.is_empty());
+        w.set_f32(b, "hp", 7.0).unwrap();
+        out.clear();
+        w.index_probe("hp", CmpOp::Eq, &Value::Float(7.0), &mut out);
+        assert_eq!(out, vec![b]);
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //! * parallel ticks are bit-identical to sequential ticks (the state–effect
 //!   determinism guarantee);
 //! * the index join equals the naive nested-loop join;
-//! * queries agree with a straightforward reference evaluation.
+//! * queries agree with a straightforward reference evaluation;
+//! * secondary indexes are pure optimizations: any query over an indexed
+//!   world returns exactly the forced-full-scan result, under arbitrary
+//!   interleavings of writes, component removals, despawns, and ticks.
 
 use gamedb_content::{CmpOp, Value, ValueType};
-use gamedb_core::{Effect, EffectBuffer, EntityId, Query, TickExecutor, World};
+use gamedb_core::{Effect, EffectBuffer, EntityId, IndexKind, Query, TickExecutor, World};
 use gamedb_spatial::Vec2;
 use proptest::prelude::*;
 
@@ -117,6 +120,164 @@ proptest! {
             prop_assert!(w.is_live(*e));
         }
         let _ = w.rows();
+    }
+}
+
+/// One mutation step of the index-equivalence workload.
+#[derive(Debug, Clone)]
+enum IndexOp {
+    /// Spawn at (x, y) with hp and team picked by the payload.
+    Spawn(f32, f32, f32, u8),
+    /// Overwrite hp of the i-th live entity.
+    SetHp(u16, f32),
+    /// Overwrite team of the i-th live entity.
+    SetTeam(u16, u8),
+    /// Remove the hp component from the i-th live entity.
+    RemoveHp(u16),
+    /// Despawn the i-th live entity.
+    Despawn(u16),
+    /// Run one combat tick (effects, spawns nothing, may change hp).
+    Tick,
+}
+
+fn index_op_strategy() -> impl Strategy<Value = IndexOp> {
+    prop_oneof![
+        (-40.0f32..40.0, -40.0f32..40.0, 0.0f32..100.0, 0u8..4)
+            .prop_map(|(x, y, hp, t)| IndexOp::Spawn(x, y, hp, t)),
+        (0u16..64, 0.0f32..100.0).prop_map(|(i, hp)| IndexOp::SetHp(i, hp)),
+        (0u16..64, 0u8..4).prop_map(|(i, t)| IndexOp::SetTeam(i, t)),
+        (0u16..64).prop_map(IndexOp::RemoveHp),
+        (0u16..64).prop_map(IndexOp::Despawn),
+        Just(IndexOp::Tick),
+    ]
+}
+
+fn team_name(t: u8) -> &'static str {
+    ["red", "blue", "green", "gold"][t as usize % 4]
+}
+
+fn apply_index_op(w: &mut World, live: &mut Vec<EntityId>, op: &IndexOp) {
+    match *op {
+        IndexOp::Spawn(x, y, hp, t) => {
+            let e = w.spawn_at(Vec2::new(x, y));
+            w.set_f32(e, "hp", hp).unwrap();
+            w.set_f32(e, "dmg", 1.0).unwrap();
+            w.set(e, "team", Value::Str(team_name(t).into())).unwrap();
+            live.push(e);
+        }
+        IndexOp::SetHp(i, hp) if !live.is_empty() => {
+            let e = live[i as usize % live.len()];
+            w.set_f32(e, "hp", hp).unwrap();
+        }
+        IndexOp::SetTeam(i, t) if !live.is_empty() => {
+            let e = live[i as usize % live.len()];
+            w.set(e, "team", Value::Str(team_name(t).into())).unwrap();
+        }
+        IndexOp::RemoveHp(i) if !live.is_empty() => {
+            let e = live[i as usize % live.len()];
+            w.remove_component(e, "hp").unwrap();
+        }
+        IndexOp::Despawn(i) if !live.is_empty() => {
+            let idx = i as usize % live.len();
+            let e = live.swap_remove(idx);
+            w.despawn(e);
+        }
+        IndexOp::Tick => {
+            TickExecutor::sequential().run_tick(w, &[&combat]).unwrap();
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ISSUE-1 acceptance property: with secondary indexes on `hp`
+    /// (sorted) and `team` (hash), every query run through the planner's
+    /// index machinery returns exactly the entity set a forced full scan
+    /// returns — after any interleaving of spawns, overwrites, component
+    /// removals, despawns, and ticks.
+    #[test]
+    fn index_and_scan_agree_under_churn(
+        ops in proptest::collection::vec(index_op_strategy(), 1..80),
+        hp_bound in 0.0f32..100.0,
+        team in 0u8..4,
+        cx in -40.0f32..40.0,
+        cy in -40.0f32..40.0,
+        r in 0.5f32..120.0,
+        sorted_team_index in any::<bool>(),
+    ) {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("dmg", ValueType::Float).unwrap();
+        w.define_component("team", ValueType::Str).unwrap();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        w.create_index(
+            "team",
+            if sorted_team_index { IndexKind::Sorted } else { IndexKind::Hash },
+        )
+        .unwrap();
+        let mut live = Vec::new();
+        for op in &ops {
+            apply_index_op(&mut w, &mut live, op);
+        }
+        let queries = vec![
+            Query::select().filter("hp", CmpOp::Lt, Value::Float(hp_bound)),
+            Query::select().filter("hp", CmpOp::Ge, Value::Float(hp_bound)),
+            Query::select().filter("hp", CmpOp::Eq, Value::Float(hp_bound.floor())),
+            Query::select().filter("team", CmpOp::Eq, Value::Str(team_name(team).into())),
+            Query::select()
+                .filter("team", CmpOp::Eq, Value::Str(team_name(team).into()))
+                .filter("hp", CmpOp::Le, Value::Float(hp_bound)),
+            Query::select()
+                .within(Vec2::new(cx, cy), r)
+                .filter("hp", CmpOp::Gt, Value::Float(hp_bound)),
+        ];
+        for q in queries {
+            prop_assert_eq!(q.run(&w), q.run_scan(&w), "query: {:?}", q);
+            prop_assert_eq!(q.count(&w), q.run_scan(&w).len());
+        }
+    }
+
+    /// Creating an index on live data (backfill) and creating it before
+    /// the data existed must produce identical probe behavior.
+    #[test]
+    fn backfilled_index_equals_incremental_index(
+        ops in proptest::collection::vec(index_op_strategy(), 1..60),
+        hp_bound in 0.0f32..100.0,
+    ) {
+        let fresh = || {
+            let mut w = World::new();
+            w.define_component("hp", ValueType::Float).unwrap();
+            w.define_component("dmg", ValueType::Float).unwrap();
+            w.define_component("team", ValueType::Str).unwrap();
+            w
+        };
+        // incremental: index exists from the start
+        let mut w_inc = fresh();
+        w_inc.create_index("hp", IndexKind::Sorted).unwrap();
+        let mut live = Vec::new();
+        for op in &ops {
+            apply_index_op(&mut w_inc, &mut live, op);
+        }
+        // backfilled: same history, index created at the end
+        let mut w_back = fresh();
+        let mut live2 = Vec::new();
+        for op in &ops {
+            apply_index_op(&mut w_back, &mut live2, op);
+        }
+        w_back.create_index("hp", IndexKind::Sorted).unwrap();
+
+        let q = Query::select().filter("hp", CmpOp::Lt, Value::Float(hp_bound));
+        prop_assert_eq!(q.run(&w_inc), q.run(&w_back));
+        prop_assert_eq!(
+            w_inc.index_on("hp").unwrap().len(),
+            w_back.index_on("hp").unwrap().len()
+        );
+        prop_assert_eq!(
+            w_inc.index_on("hp").unwrap().ndv(),
+            w_back.index_on("hp").unwrap().ndv()
+        );
     }
 }
 

@@ -17,8 +17,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use gamedb_content::{Value, ValueType};
-use gamedb_core::{Effect, EffectBuffer, EntityId, World, POS};
+use gamedb_content::{CmpOp, Value, ValueType};
+use gamedb_core::{compare, Effect, EffectBuffer, EntityId, Query, World, POS};
 use gamedb_spatial::Vec2;
 
 use crate::ast::{AggKind, AssignOp, BinOp, BuiltinFn, Expr, Script, Stmt, Subject};
@@ -104,6 +104,54 @@ impl Ctx<'_, '_> {
         }
         Ok(())
     }
+}
+
+/// A filter the query planner can serve from a secondary index:
+/// `other.<component> <cmp> <literal>`. Extracted from the filter AST at
+/// compile time so aggregate candidate sets can route through
+/// [`Query::run`] — which pushes the predicate into an attribute index
+/// when the world has one, exactly the paper's "scripting as queries"
+/// promise.
+///
+/// Push-down must be observation-equivalent to the interpreted filter,
+/// which reads missing numeric components as `0.0`, while `Query`
+/// excludes entities lacking the component (SQL-ish NULL semantics). The
+/// two agree exactly when `0 <cmp> literal` is false — so that is a
+/// condition of extraction, as is the literal surviving the f64→f32
+/// round-trip unchanged.
+fn sargable_filter(filter: &Expr) -> Option<(String, CmpOp, f32)> {
+    let Expr::Bin { op, lhs, rhs } = filter else {
+        return None;
+    };
+    let cmp = match op {
+        BinOp::Eq => CmpOp::Eq,
+        // `!=` stays on the closure path: compare() fails NaN under Ne
+        // while raw f64 `!=` passes it, and an index never serves Ne
+        // anyway, so pushing it down risks divergence for zero gain.
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        _ => return None,
+    };
+    let (Expr::Comp(Subject::Other, name), Expr::Num(lit)) = (lhs.as_ref(), rhs.as_ref()) else {
+        return None;
+    };
+    // x/y are virtual position reads, not real columns.
+    if name == "x" || name == "y" || name == POS {
+        return None;
+    }
+    let lit32 = *lit as f32;
+    if (lit32 as f64) != *lit {
+        return None;
+    }
+    if compare(&Value::Float(0.0), cmp, &Value::Float(lit32)) {
+        // Missing components would pass the interpreted filter (0 cmp lit
+        // holds) but fail the query predicate: not equivalent, keep the
+        // closure.
+        return None;
+    }
+    Some((name.clone(), cmp, lit32))
 }
 
 type CNum = Box<dyn Fn(&mut Ctx) -> Result<f64, RuntimeError> + Send + Sync>;
@@ -359,6 +407,9 @@ impl<'a> Compiler<'a> {
                     Some(a) => Some(self.num(a)?),
                     None => None,
                 };
+                // A sargable filter can ride the query planner (and any
+                // secondary index) instead of running per-candidate.
+                let sargable = filter.as_deref().and_then(sargable_filter);
                 let filter = match filter {
                     Some(f) => Some(self.boolean(f)?),
                     None => None,
@@ -367,7 +418,19 @@ impl<'a> Compiler<'a> {
                 Ok(Box::new(move |ctx| {
                     let r = radius(ctx)?;
                     let mut cands = Vec::new();
-                    ctx.neighbors(r, &mut cands)?;
+                    let mut prefiltered = false;
+                    match (&sargable, ctx.use_index) {
+                        (Some((comp, op, lit)), true) => {
+                            let center = ctx.self_pos()?;
+                            cands = Query::select()
+                                .within(center, r.max(0.0) as f32)
+                                .filter(comp.clone(), *op, Value::Float(*lit))
+                                .excluding(ctx.self_id)
+                                .run(ctx.world);
+                            prefiltered = true;
+                        }
+                        _ => ctx.neighbors(r, &mut cands)?,
+                    }
                     let saved = ctx.other;
                     let mut count = 0usize;
                     let mut sum = 0.0;
@@ -376,7 +439,7 @@ impl<'a> Compiler<'a> {
                     for cand in cands {
                         ctx.other = Some(cand);
                         if let Some(f) = &filter {
-                            if !f(ctx)? {
+                            if !prefiltered && !f(ctx)? {
                                 continue;
                             }
                         }
@@ -922,6 +985,61 @@ mod tests {
         assert_equivalent("self.hp = sum(7; other.dmg; other.hp > self.hp);");
         assert_equivalent("self.hp = maxof(9; other.hp) + minof(9; other.hp) + avgof(9; other.gold);");
         assert_equivalent("self.hp = nearest_dist(12);");
+    }
+
+    #[test]
+    fn sargable_extraction_rules() {
+        let get = |src: &str| {
+            let script = parse_script("s", &format!("self.hp = count(5; {src});")).unwrap();
+            let Stmt::AssignComp { value, .. } = &script.body[0] else {
+                panic!("expected assign");
+            };
+            let Expr::Agg { filter, .. } = value else {
+                panic!("expected aggregate");
+            };
+            sargable_filter(filter.as_deref().unwrap())
+        };
+        // 0 > 40 is false: missing-as-zero and missing-excluded agree
+        assert_eq!(get("other.hp > 40"), Some(("hp".into(), CmpOp::Gt, 40.0)));
+        assert_eq!(get("other.gold >= 3"), Some(("gold".into(), CmpOp::Ge, 3.0)));
+        // 0 < 40 is true: a missing hp would flip between the two paths
+        assert_eq!(get("other.hp < 40"), None);
+        // != diverges on NaN (compare() fails Ne, raw f64 != passes it)
+        assert_eq!(get("other.hp != 40"), None);
+        // non-literal rhs, self fields, and virtual coords stay closures
+        assert_eq!(get("other.hp > self.hp"), None);
+        assert_eq!(get("other.x > 4"), None);
+    }
+
+    /// Sargable aggregate filters route through the query planner; with
+    /// secondary indexes on the world the compiled script must still
+    /// agree with the interpreter exactly.
+    #[test]
+    fn aggregate_pushdown_equivalence_with_indexes() {
+        use gamedb_core::IndexKind;
+        for src in [
+            "self.hp = count(9; other.hp > 55);",
+            "self.hp = sum(9; other.dmg; other.gold >= 20);",
+            "self.hp = sum(200; other.dmg; other.hp == 61);",
+            "self.hp = count(9; other.hp < 55);", // not sargable: closure path
+        ] {
+            let l = lib(&[("s", src)]);
+            let mut w = test_world(30);
+            w.create_index("hp", IndexKind::Sorted).unwrap();
+            w.create_index("gold", IndexKind::Sorted).unwrap();
+            let compiled = compile(&l, "s", &w).unwrap();
+            for id in w.entity_vec() {
+                let mut b1 = EffectBuffer::new();
+                let mut b2 = EffectBuffer::new();
+                run_script(&l, "s", &w, id, &mut b1, ExecOptions::default()).unwrap();
+                compiled.run(&w, id, &mut b2, true).unwrap();
+                let mut w1 = w.clone();
+                let mut w2 = w.clone();
+                b1.apply(&mut w1).unwrap();
+                b2.apply(&mut w2).unwrap();
+                assert_eq!(w1.rows(), w2.rows(), "script: {src}");
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,8 @@
 
 use std::collections::HashMap;
 
-use gamedb_core::{EntityId, World};
+use gamedb_content::{CmpOp, Value};
+use gamedb_core::{EntityId, Query, World};
 use gamedb_spatial::Vec2;
 
 use crate::action::Action;
@@ -111,14 +112,19 @@ impl Auditor {
     }
 
     /// Check the post-tick world against the pre-tick baseline.
+    ///
+    /// The overdraft check is a declarative query (`gold < 0`), so an
+    /// operations team running the auditor against a large shard can
+    /// make it O(overdrafts) instead of O(entities) by creating a sorted
+    /// secondary index on `gold` — the planner picks it up without any
+    /// change here.
     pub fn audit(&mut self, before: &Baseline, world: &World) -> AuditReport {
         let eps = 1e-3;
         let report = AuditReport {
             wealth_drift: wealth(world) - before.wealth,
-            overdrafts: world
-                .entities()
-                .filter(|&e| world.get_i64(e, "gold").unwrap_or(0) < 0)
-                .count(),
+            overdrafts: Query::select()
+                .filter("gold", CmpOp::Lt, Value::Int(0))
+                .count(world),
             speed_violations: world
                 .entities()
                 .filter(|&e| {
@@ -339,6 +345,25 @@ mod tests {
             Action::Trade { from: ids[0], to: ids[1], amount: 60 },
             Action::Trade { from: ids[0], to: ids[2], amount: 60 },
         ]
+    }
+
+    #[test]
+    fn audit_agrees_with_and_without_gold_index() {
+        use gamedb_core::IndexKind;
+        let (mut w, ids) = line_world(4);
+        w.set(ids[1], "gold", Value::Int(-30)).unwrap();
+        w.set(ids[3], "gold", Value::Int(-1)).unwrap();
+        let mut plain = Auditor::new(3.0);
+        let report_plain = {
+            let before = plain.snapshot(&w);
+            plain.audit(&before, &w)
+        };
+        w.create_index("gold", IndexKind::Sorted).unwrap();
+        let mut indexed = Auditor::new(3.0);
+        let before = indexed.snapshot(&w);
+        let report_indexed = indexed.audit(&before, &w);
+        assert_eq!(report_plain.overdrafts, 2);
+        assert_eq!(report_plain, report_indexed);
     }
 
     #[test]

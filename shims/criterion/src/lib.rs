@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmark harness
+//! with the API subset the bench crate uses (`criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_with_input`,
+//! `bench_function`, `Bencher::iter`, `black_box`, `BenchmarkId`).
+//!
+//! Measurement model: each sample times a batch of iterations sized so a
+//! sample takes ≳1 ms (adaptive batching), and the reported figure is the
+//! median per-iteration time over `sample_size` samples. No statistics
+//! beyond that — enough to compare access paths by order of magnitude,
+//! which is what the experiment benches assert.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Runs closures under timing; passed to bench bodies.
+pub struct Bencher {
+    /// Median per-iteration nanoseconds of the last run.
+    last_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, batching iterations adaptively per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: grow until one batch costs >= ~1 ms.
+        let mut batch = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(2) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_ns = samples[samples.len() / 2];
+    }
+
+    /// Time `routine` on a fresh `setup()` product per iteration; only
+    /// the routine is measured.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size.max(2));
+        for _ in 0..self.sample_size.max(2) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_ns = samples[samples.len() / 2];
+    }
+
+    /// `iter_batched` with per-iteration setup (batch size ignored).
+    pub fn iter_batched<I, O, S, F>(&mut self, setup: S, routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iter_with_setup(setup, routine)
+    }
+}
+
+/// Batch sizing hint (accepted for API parity, unused).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (criterion's knob; here: median window size).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API parity; this harness sizes batches adaptively.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            last_ns: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.name, b.last_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            last_ns: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.name, b.last_ns);
+        self
+    }
+
+    fn report(&mut self, bench: &str, ns: f64) {
+        let line = format!("{}/{:<40} time: {}", self.name, bench, human_time(ns));
+        println!("{line}");
+        self.criterion.results.push((format!("{}/{bench}", self.name), ns));
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle; one per process, threaded through groups.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(group/bench, median ns)` per finished benchmark.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0.starts_with("g/sum/10"));
+        assert!(c.results[0].1 > 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided — the
+//! surface the tick executor uses to fan entity chunks out over worker
+//! threads. Panics in workers propagate out of `scope` (std joins every
+//! handle), which matches how the executor treats worker failure.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to `scope`'s closure and to spawned workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. The closure receives the scope (unused by this
+        /// workspace's callers, kept for crossbeam API parity).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads all join before return.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_merge() {
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut partials = vec![0u64; 2];
+        super::thread::scope(|scope| {
+            for (chunk, slot) in data.chunks(4).zip(partials.iter_mut()) {
+                scope.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(partials.iter().sum::<u64>(), 36);
+    }
+}

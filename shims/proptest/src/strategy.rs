@@ -1,0 +1,583 @@
+//! Generation-only strategies: the value-producing half of proptest.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for producing random values of one type.
+///
+/// Object-safe core (`new_value`) plus `Sized` combinators, mirroring the
+/// real crate's `Strategy` so test code compiles unchanged.
+pub trait Strategy {
+    type Value;
+
+    /// Produce one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a value, then use it to pick a second strategy to draw from.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive structures: `self` is the leaf case, `recurse` builds a
+    /// branch from a strategy for the nested level. `depth` bounds nesting;
+    /// the size hints are accepted for API parity.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth.max(1) {
+            let branch = recurse(current.clone()).boxed();
+            current = Union::new(vec![base.clone(), branch]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase (cheap to clone; strategies are immutable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].new_value(rng)
+    }
+}
+
+// ---- primitive ranges ----
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy on empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy on empty range");
+                self.start + (rng.unit() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ---- tuples ----
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---- collections ----
+
+/// Element-count bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `HashSet`s; may undershoot the requested size when the
+/// element space is small (the real crate retries with a cap, as do we).
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 16 {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `proptest::collection::hash_set`.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// `proptest::option::of` — `Some` ~80% of the time.
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(5) == 0 {
+            None
+        } else {
+            Some(self.0.new_value(rng))
+        }
+    }
+}
+
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy(element)
+}
+
+// ---- any::<T>() ----
+
+/// Marker strategy for `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` for the primitive types tests ask for.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types `any::<T>()` can produce.
+pub trait ArbitraryValue {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn generate(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn generate(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for f32 {
+    fn generate(rng: &mut TestRng) -> f32 {
+        rng.unit() as f32
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn generate(rng: &mut TestRng) -> f64 {
+        rng.unit()
+    }
+}
+
+// ---- regex-literal string strategies ----
+
+/// String literals act as regex generators, supporting the subset used in
+/// this workspace: plain chars, `[...]` classes with ranges, `\PC`
+/// (printable non-control), and `{m,n}` / `{n}` / `?` / `*` / `+`
+/// quantifiers. Unparseable patterns degrade to literal strings.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn printable() -> Vec<char> {
+    (0x20u8..0x7f).map(|b| b as char).collect()
+}
+
+fn parse_pattern(pattern: &str) -> Option<Vec<Atom>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..].iter().position(|&c| c == ']')? + i + 1;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        if lo > hi {
+                            return None;
+                        }
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                // \PC — "not a control character"; approximate as printable
+                // ASCII. Other escapes produce the escaped char literally.
+                if i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C' {
+                    i += 3;
+                    printable()
+                } else if i + 1 < chars.len() {
+                    let c = chars[i + 1];
+                    i += 2;
+                    vec![c]
+                } else {
+                    return None;
+                }
+            }
+            '(' | ')' | '|' => return None, // groups/alternation unsupported
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if choices.is_empty() {
+            return None;
+        }
+        // optional quantifier
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..].iter().position(|&c| c == '}')? + i + 1;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n: usize = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && matches!(chars[i], '?' | '*' | '+') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+        if max < min {
+            return None;
+        }
+        atoms.push(Atom { choices, min, max });
+    }
+    Some(atoms)
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    match parse_pattern(pattern) {
+        Some(atoms) => {
+            let mut out = String::new();
+            for atom in &atoms {
+                let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+        None => pattern.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (0usize..5).new_value(&mut r);
+            assert!(v < 5);
+            let f = (-1.0f32..1.0).new_value(&mut r);
+            assert!((-1.0..1.0).contains(&f));
+            let (a, b) = ((0..3), (10i64..12)).new_value(&mut r);
+            assert!(a < 3 && (10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_and_map() {
+        let mut r = rng();
+        let strat = vec((0u32..10).prop_map(|x| x * 2), 2..5);
+        for _ in 0..50 {
+            let v = strat.new_value(&mut r);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x % 2 == 0 && x < 20));
+        }
+    }
+
+    #[test]
+    fn regex_class_and_reps() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_.:-]{0,8}".new_value(&mut r);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let g = "\\PC{0,80}".new_value(&mut r);
+            assert!(g.len() <= 80);
+            assert!(g.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn union_covers_arms() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1).boxed(), Just(2).boxed()]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(u.new_value(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn recursive_bounded() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(()).prop_map(|_| Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut r = rng();
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = strat.new_value(&mut r);
+            assert!(depth(&t) <= 5);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node);
+    }
+}
