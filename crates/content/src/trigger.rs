@@ -293,6 +293,44 @@ impl Trigger {
     fn conditions_hold(&self, view: &dyn ComponentView) -> bool {
         self.conditions.iter().all(|c| c.eval(view))
     }
+
+    /// Whether a runtime event is the kind this trigger listens for
+    /// (timers are driven by [`TriggerSet::tick`] instead).
+    fn matches_event(&self, event: &GameEvent) -> bool {
+        match (&self.event, event) {
+            (
+                EventKind::EnterArea(r),
+                GameEvent::Moved {
+                    from_x,
+                    from_y,
+                    to_x,
+                    to_y,
+                },
+            ) => !r.contains(*from_x, *from_y) && r.contains(*to_x, *to_y),
+            (
+                EventKind::ExitArea(r),
+                GameEvent::Moved {
+                    from_x,
+                    from_y,
+                    to_x,
+                    to_y,
+                },
+            ) => r.contains(*from_x, *from_y) && !r.contains(*to_x, *to_y),
+            (
+                EventKind::StatBelow {
+                    component,
+                    threshold,
+                },
+                GameEvent::StatChanged {
+                    component: ev_comp,
+                    old,
+                    new,
+                },
+            ) => component == ev_comp && *old >= *threshold && *new < *threshold,
+            (EventKind::Custom(name), GameEvent::Custom(ev_name)) => name == ev_name,
+            _ => false,
+        }
+    }
 }
 
 /// Errors in trigger definitions.
@@ -424,53 +462,50 @@ impl TriggerSet {
         view: &dyn ComponentView,
     ) -> Vec<(String, Action)> {
         let mut fired = Vec::new();
-        for (i, t) in self.triggers.iter().enumerate() {
-            if self.spent[i] {
-                continue;
-            }
-            let matches = match (&t.event, event) {
-                (
-                    EventKind::EnterArea(r),
-                    GameEvent::Moved {
-                        from_x,
-                        from_y,
-                        to_x,
-                        to_y,
-                    },
-                ) => !r.contains(*from_x, *from_y) && r.contains(*to_x, *to_y),
-                (
-                    EventKind::ExitArea(r),
-                    GameEvent::Moved {
-                        from_x,
-                        from_y,
-                        to_x,
-                        to_y,
-                    },
-                ) => r.contains(*from_x, *from_y) && !r.contains(*to_x, *to_y),
-                (
-                    EventKind::StatBelow {
-                        component,
-                        threshold,
-                    },
-                    GameEvent::StatChanged {
-                        component: ev_comp,
-                        old,
-                        new,
-                    },
-                ) => component == ev_comp && *old >= *threshold && *new < *threshold,
-                (EventKind::Custom(name), GameEvent::Custom(ev_name)) => name == ev_name,
-                _ => false,
-            };
-            if matches && t.conditions_hold(view) {
-                for a in &t.actions {
-                    fired.push((t.id.clone(), a.clone()));
-                }
-                if t.once {
-                    self.spent[i] = true;
-                }
-            }
+        for i in 0..self.triggers.len() {
+            self.fire_at(i, event, view, &mut fired);
         }
         fired
+    }
+
+    /// Feed an event to one trigger only, by id — the entry point for
+    /// engine-side drivers that already know which trigger an event
+    /// belongs to (e.g. the continuous-query threshold watcher, which
+    /// maintains one standing view per `stat_below` trigger and must not
+    /// fan a synthesized crossing out to sibling triggers with different
+    /// thresholds). Unknown ids fire nothing.
+    pub fn fire_id(
+        &mut self,
+        id: &str,
+        event: &GameEvent,
+        view: &dyn ComponentView,
+    ) -> Vec<(String, Action)> {
+        let mut fired = Vec::new();
+        if let Some(i) = self.triggers.iter().position(|t| t.id == id) {
+            self.fire_at(i, event, view, &mut fired);
+        }
+        fired
+    }
+
+    fn fire_at(
+        &mut self,
+        i: usize,
+        event: &GameEvent,
+        view: &dyn ComponentView,
+        fired: &mut Vec<(String, Action)>,
+    ) {
+        if self.spent[i] {
+            return;
+        }
+        let t = &self.triggers[i];
+        if t.matches_event(event) && t.conditions_hold(view) {
+            for a in &t.actions {
+                fired.push((t.id.clone(), a.clone()));
+            }
+            if t.once {
+                self.spent[i] = true;
+            }
+        }
     }
 
     /// Advance game time by `dt` seconds; returns actions of timer
@@ -675,6 +710,37 @@ mod tests {
                 &v
             )
             .is_empty());
+    }
+
+    #[test]
+    fn fire_id_scopes_to_one_trigger() {
+        let mut set = set_from(
+            r#"<triggers>
+                 <trigger id="low" event="stat_below" component="hp" threshold="20">
+                   <action kind="emit" event="flee"/>
+                 </trigger>
+                 <trigger id="critical" event="stat_below" component="hp" threshold="5" once="true">
+                   <action kind="emit" event="last_stand"/>
+                 </trigger>
+               </triggers>"#,
+        );
+        let v = view(&[]);
+        // a crossing event that satisfies both thresholds fires only the
+        // addressed trigger
+        let ev = GameEvent::StatChanged {
+            component: "hp".into(),
+            old: 30.0,
+            new: 2.0,
+        };
+        let fired = set.fire_id("critical", &ev, &v);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, "critical");
+        // once-semantics hold through fire_id
+        assert!(set.fire_id("critical", &ev, &v).is_empty());
+        // unknown ids fire nothing
+        assert!(set.fire_id("nope", &ev, &v).is_empty());
+        // the other trigger is untouched and still live
+        assert_eq!(set.fire_id("low", &ev, &v).len(), 1);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`planner`] — table statistics and cost-based plan selection
 //!   ([`TableStats`], [`plan`]) over scan / spatial / attribute-index
 //!   access paths.
+//! * [`view`](mod@view) — continuous queries: standing views maintained
+//!   incrementally from the per-tick delta stream
+//!   ([`World::register_view`], [`Changelog`]).
 //! * [`effect`] — deferred commutative writes ([`EffectBuffer`]).
 //! * [`exec`] — sequential/parallel tick execution ([`TickExecutor`]).
 //!
@@ -54,6 +57,7 @@ pub mod exec;
 pub mod index;
 pub mod planner;
 pub mod query;
+pub mod view;
 pub mod world;
 
 pub use column::{Column, ColumnData};
@@ -63,4 +67,5 @@ pub use exec::{System, TickExecutor, TickStats};
 pub use index::{IndexKey, IndexKind, SecondaryIndex};
 pub use planner::{plan, Access, ColumnStats, Plan, TableStats};
 pub use query::{aggregate, compare, AggFn, AggResult, Pred, Query};
+pub use view::{Changelog, Delta, ViewId, ViewRegistry, ViewStats};
 pub use world::{CoreError, World, WorldEntityView, POS};

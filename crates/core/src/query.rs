@@ -121,6 +121,62 @@ impl Query {
         self.exclude
     }
 
+    /// Replace the spatial restriction in place — standing views over a
+    /// moving focus (interest bubbles, aggro ranges) re-anchor through
+    /// [`crate::world::World::retarget_view`], which calls this.
+    pub fn retarget_within(&mut self, center: Vec2, radius: f32) {
+        self.within = Some((center, radius));
+    }
+
+    /// Membership test for one entity: live, not excluded, inside the
+    /// spatial restriction, passing every predicate. The per-row unit of
+    /// [`Query::run_scan`].
+    pub fn matches(&self, world: &World, id: EntityId) -> bool {
+        if !world.is_live(id) || Some(id) == self.exclude {
+            return false;
+        }
+        if let Some((center, radius)) = self.within {
+            match world.pos(id) {
+                Some(p) if p.dist2(center) <= radius * radius => {}
+                _ => return false,
+            }
+        }
+        self.preds.iter().all(|p| p.eval(world, id))
+    }
+
+    /// [`Query::matches`] with every referenced column resolved once up
+    /// front, for callers that test many entities against one world
+    /// state (incremental view maintenance evaluates this per delta
+    /// candidate — the by-name column lookup would otherwise dominate).
+    /// Same decisions as `matches` on every entity.
+    pub fn matcher<'a>(&'a self, world: &'a World) -> impl Fn(EntityId) -> bool + 'a {
+        let cols: Vec<Option<&crate::column::Column>> = self
+            .preds
+            .iter()
+            .map(|p| world.column(&p.component))
+            .collect();
+        let pos_col = self
+            .within
+            .map(|_| world.column(crate::world::POS).expect("pos column always exists"));
+        move |id: EntityId| {
+            if !world.is_live(id) || Some(id) == self.exclude {
+                return false;
+            }
+            if let (Some((center, radius)), Some(pos_col)) = (self.within, pos_col) {
+                match pos_col.get_v2(id.index() as usize) {
+                    Some([x, y]) if Vec2::new(x, y).dist2(center) <= radius * radius => {}
+                    _ => return false,
+                }
+            }
+            self.preds.iter().zip(&cols).all(|(p, col)| {
+                col.is_some_and(|c| {
+                    c.get(id.index() as usize)
+                        .is_some_and(|v| compare(&v, p.op, &p.value))
+                })
+            })
+        }
+    }
+
     /// True when some predicate could be answered by a secondary index
     /// on this world — the cue for [`Query::run`] to involve the planner.
     fn index_eligible(&self, world: &World) -> bool {
@@ -175,16 +231,7 @@ impl Query {
     pub fn run_scan(&self, world: &World) -> Vec<EntityId> {
         let mut out = Vec::new();
         for id in world.entities() {
-            if Some(id) == self.exclude {
-                continue;
-            }
-            if let Some((center, radius)) = self.within {
-                match world.pos(id) {
-                    Some(p) if p.dist2(center) <= radius * radius => {}
-                    _ => continue,
-                }
-            }
-            if self.preds.iter().all(|p| p.eval(world, id)) {
+            if self.matches(world, id) {
                 out.push(id);
             }
         }

@@ -20,6 +20,8 @@ use gamedb_spatial::{SpatialIndex, UniformGrid, Vec2};
 use crate::column::Column;
 use crate::entity::{EntityAllocator, EntityId};
 use crate::index::{IndexKind, SecondaryIndex};
+use crate::query::Query;
+use crate::view::{Changelog, Delta, ViewId, ViewRegistry, ViewStats};
 use gamedb_content::CmpOp;
 
 /// Name of the reserved position component.
@@ -73,6 +75,16 @@ pub struct World {
     spatial: UniformGrid,
     /// Secondary attribute indexes, keyed by component name.
     indexes: BTreeMap<String, SecondaryIndex>,
+    /// Standing views (continuous queries) maintained from the delta log.
+    views: ViewRegistry,
+    /// Lineage id stamped into every [`ViewId`] this world issues, so a
+    /// handle presented to an unrelated world is rejected instead of
+    /// silently reading whatever occupies the same slot there. Clones
+    /// share the lineage (a pre-clone handle reads either copy).
+    world_id: u64,
+    /// Per-tick delta stream; recorded only while views are registered,
+    /// drained by [`World::refresh_views`].
+    delta_log: Vec<Delta>,
     /// Expand-only bounding box of every position ever set — a cheap,
     /// conservative stand-in for exact bounds in the planner's density
     /// model (despawns don't shrink it; distributions in games rarely
@@ -95,6 +107,8 @@ impl World {
 
     /// Create a world whose position index uses the given grid cell size.
     pub fn with_cell_size(cell: f32) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static WORLD_IDS: AtomicU64 = AtomicU64::new(1);
         let mut columns = BTreeMap::new();
         columns.insert(POS.to_string(), Column::new(ValueType::Vec2));
         World {
@@ -102,6 +116,9 @@ impl World {
             columns,
             spatial: UniformGrid::new(cell),
             indexes: BTreeMap::new(),
+            views: ViewRegistry::default(),
+            delta_log: Vec::new(),
+            world_id: WORLD_IDS.fetch_add(1, Ordering::Relaxed),
             bounds: None,
             tick: 0,
         }
@@ -219,12 +236,16 @@ impl World {
 
     /// Spawn an empty entity (no components, no position).
     pub fn spawn(&mut self) -> EntityId {
-        self.alloc.alloc()
+        let id = self.alloc.alloc();
+        if self.views.is_active() {
+            self.delta_log.push(Delta::Spawned { id });
+        }
+        id
     }
 
     /// Spawn an entity at a position.
     pub fn spawn_at(&mut self, pos: Vec2) -> EntityId {
-        let id = self.alloc.alloc();
+        let id = self.spawn();
         self.set_pos(id, pos).expect("freshly spawned entity is live");
         id
     }
@@ -280,6 +301,9 @@ impl World {
     /// ids survive a round-trip). Fails when the slot is already live.
     pub fn restore_entity(&mut self, id: EntityId) -> Result<(), CoreError> {
         if self.alloc.restore(id) {
+            if self.views.is_active() {
+                self.delta_log.push(Delta::Spawned { id });
+            }
             Ok(())
         } else {
             Err(CoreError::DeadEntity(id))
@@ -291,6 +315,9 @@ impl World {
     pub fn despawn(&mut self, id: EntityId) -> bool {
         if !self.alloc.free(id) {
             return false;
+        }
+        if self.views.is_active() {
+            self.delta_log.push(Delta::Despawned { id });
         }
         let slot = id.index() as usize;
         // Indexes first, while column values are still readable.
@@ -359,13 +386,15 @@ impl World {
             return self.set_pos(id, Vec2::new(x, y));
         }
         let indexed = self.indexes.contains_key(component);
+        let recording = self.views.is_active();
         let col = self
             .columns
             .get_mut(component)
             .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
         let slot = id.index() as usize;
-        // Fetch the outgoing value only when an index must forget it.
-        let old = if indexed { col.get(slot) } else { None };
+        // Fetch the outgoing value only when an index must forget it or
+        // the delta stream must carry it.
+        let old = if indexed || recording { col.get(slot) } else { None };
         col.set(slot, &value)
             .map_err(|expected| CoreError::TypeMismatch {
                 component: component.to_string(),
@@ -374,6 +403,14 @@ impl World {
             })?;
         if indexed {
             self.index_replace(component, id, old.as_ref(), &value);
+        }
+        if recording {
+            self.delta_log.push(Delta::Set {
+                id,
+                component: component.to_string(),
+                old,
+                new: value,
+            });
         }
         Ok(())
     }
@@ -399,11 +436,22 @@ impl World {
                 idx.remove(&old, id);
             }
         }
+        let recording = self.views.is_active();
         let col = self
             .columns
             .get_mut(component)
             .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
-        Ok(col.remove(slot))
+        let old = if recording { col.get(slot) } else { None };
+        let removed = col.remove(slot);
+        if let Some(old) = old {
+            // recording, and there was a value to remove
+            self.delta_log.push(Delta::Removed {
+                id,
+                component: component.to_string(),
+                old,
+            });
+        }
+        Ok(removed)
     }
 
     // ---- typed fast paths ----
@@ -465,11 +513,19 @@ impl World {
     /// Move an entity (keeps the spatial index in sync).
     pub fn set_pos(&mut self, id: EntityId, pos: Vec2) -> Result<(), CoreError> {
         self.check_live(id)?;
-        self.columns
-            .get_mut(POS)
-            .expect("pos column always exists")
-            .set(id.index() as usize, &Value::Vec2(pos.x, pos.y))
+        let col = self.columns.get_mut(POS).expect("pos column always exists");
+        let recording = self.views.is_active();
+        let old = if recording { col.get(id.index() as usize) } else { None };
+        col.set(id.index() as usize, &Value::Vec2(pos.x, pos.y))
             .expect("pos column is vec2");
+        if recording {
+            self.delta_log.push(Delta::Set {
+                id,
+                component: POS.to_string(),
+                old,
+                new: Value::Vec2(pos.x, pos.y),
+            });
+        }
         self.spatial.update(id.to_bits(), pos);
         self.bounds = Some(match self.bounds {
             None => (pos, pos),
@@ -561,6 +617,139 @@ impl World {
         pairs
     }
 
+    // ---- standing views (continuous queries) ----
+
+    /// Register a standing query: the result set is materialized now and
+    /// maintained incrementally from the world's delta stream from here
+    /// on (see [`crate::view`] for the maintenance invariants). Returns a
+    /// handle for [`World::view_rows`] / [`World::take_view_changelog`].
+    ///
+    /// While at least one view is registered, every write path records a
+    /// compact delta; [`World::refresh_views`] (called automatically at
+    /// every tick bump) folds the pending batch into all views.
+    pub fn register_view(&mut self, query: Query) -> ViewId {
+        // Fold any pending deltas under the old view set first so the
+        // initial materialization and the log agree on "now".
+        self.refresh_views();
+        let rows = query.run(self);
+        self.views.register(self.world_id, query, rows)
+    }
+
+    /// Panic unless `id` was issued by this world (lineage) — reading a
+    /// foreign handle would silently return an unrelated view's rows.
+    fn check_view_lineage(&self, id: ViewId) {
+        assert!(
+            id.world == self.world_id,
+            "view {id:?} belongs to a different world"
+        );
+    }
+
+    /// Drop a standing view; returns whether it existed. Dropping the
+    /// last view stops delta recording.
+    pub fn drop_view(&mut self, id: ViewId) -> bool {
+        if id.world != self.world_id {
+            return false;
+        }
+        let dropped = self.views.drop_view(id);
+        if !self.views.is_active() {
+            self.delta_log.clear();
+        }
+        dropped
+    }
+
+    /// True when `id` names a live view of this world (handles of
+    /// dropped views stay stale forever — slots are never reused — and
+    /// handles from other worlds are never accepted).
+    pub fn has_view(&self, id: ViewId) -> bool {
+        id.world == self.world_id && self.views.contains_view(id)
+    }
+
+    /// Materialized rows of a view, sorted by entity id. Reflects the
+    /// state as of the last [`World::refresh_views`].
+    ///
+    /// # Panics
+    /// On foreign, unknown, or dropped view ids (programmer error).
+    pub fn view_rows(&self, id: ViewId) -> &[EntityId] {
+        self.check_view_lineage(id);
+        self.views.rows(id)
+    }
+
+    /// Number of rows currently in a view.
+    pub fn view_count(&self, id: ViewId) -> usize {
+        self.view_rows(id).len()
+    }
+
+    /// True when `e` is currently a member of the view.
+    pub fn view_contains(&self, id: ViewId, e: EntityId) -> bool {
+        self.check_view_lineage(id);
+        self.views.contains_row(id, e)
+    }
+
+    /// The standing query a view maintains.
+    pub fn view_query(&self, id: ViewId) -> &Query {
+        self.check_view_lineage(id);
+        self.views.query(id)
+    }
+
+    /// Peek at the changes accumulated since the changelog was last
+    /// taken (does not consume).
+    pub fn view_changelog(&self, id: ViewId) -> &Changelog {
+        self.check_view_lineage(id);
+        self.views.changelog(id)
+    }
+
+    /// Consume a view's accumulated changelog — the per-tick changelog
+    /// when called once per tick.
+    pub fn take_view_changelog(&mut self, id: ViewId) -> Changelog {
+        self.check_view_lineage(id);
+        self.views.take_changelog(id)
+    }
+
+    /// Maintenance counters of a view.
+    pub fn view_stats(&self, id: ViewId) -> ViewStats {
+        self.check_view_lineage(id);
+        self.views.stats(id)
+    }
+
+    /// Deltas recorded since the last refresh. Views are stale while
+    /// this is nonzero (subscribers reading between refreshes should
+    /// fall back to a live query, as the sync auditor does).
+    pub fn pending_deltas(&self) -> usize {
+        self.delta_log.len()
+    }
+
+    /// Fold all pending deltas into every standing view. Called
+    /// automatically at tick end; callers mutating the world outside the
+    /// tick executor (action executors, recovery, tests) call it before
+    /// reading views.
+    pub fn refresh_views(&mut self) {
+        if !self.views.is_active() {
+            self.delta_log.clear();
+            return;
+        }
+        if self.delta_log.is_empty() {
+            return;
+        }
+        let deltas = std::mem::take(&mut self.delta_log);
+        // Move the registry out so it can read `self` without aliasing;
+        // no write path runs while it is out, so recording state is moot.
+        let mut views = std::mem::take(&mut self.views);
+        views.apply(self, &deltas);
+        self.views = views;
+    }
+
+    /// Move a spatial view's `within` restriction (interest bubbles and
+    /// aggro ranges follow their focus entity). Pending deltas are
+    /// folded first, then the view rescans under the new disk and the
+    /// membership diff lands in its changelog as `entered` / `exited`.
+    pub fn retarget_view(&mut self, id: ViewId, center: Vec2, radius: f32) {
+        self.check_view_lineage(id);
+        self.refresh_views();
+        let mut views = std::mem::take(&mut self.views);
+        views.retarget(self, id, center, radius);
+        self.views = views;
+    }
+
     // ---- tick counter ----
 
     /// Current tick number.
@@ -569,8 +758,11 @@ impl World {
         self.tick
     }
 
-    /// Advance the tick counter (the executor calls this).
+    /// Advance the tick counter (the executor calls this). Standing
+    /// views refresh here, so each completed tick publishes its
+    /// changelog batch before the next tick's systems run.
     pub(crate) fn bump_tick(&mut self) {
+        self.refresh_views();
         self.tick += 1;
     }
 
@@ -578,6 +770,22 @@ impl World {
     /// guard evaluation.
     pub fn view(&self, id: EntityId) -> WorldEntityView<'_> {
         WorldEntityView { world: self, id }
+    }
+
+    /// Iterate one entity's `(component, value)` rows in name order —
+    /// the per-entity slice of [`World::rows`], so view-driven consumers
+    /// (replication) can ship members without walking the whole world.
+    pub fn components_of(&self, id: EntityId) -> impl Iterator<Item = (&str, Value)> + '_ {
+        let live = self.is_live(id);
+        let slot = id.index() as usize;
+        self.columns
+            .iter()
+            .filter_map(move |(name, col)| {
+                if !live {
+                    return None;
+                }
+                col.get(slot).map(|v| (name.as_str(), v))
+            })
     }
 
     /// Dump all `(entity, component, value)` rows in deterministic order —

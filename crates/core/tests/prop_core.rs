@@ -128,6 +128,8 @@ proptest! {
 enum IndexOp {
     /// Spawn at (x, y) with hp and team picked by the payload.
     Spawn(f32, f32, f32, u8),
+    /// Spawn from the shared designer template at (x, y).
+    TemplateSpawn(f32, f32),
     /// Overwrite hp of the i-th live entity.
     SetHp(u16, f32),
     /// Overwrite team of the i-th live entity.
@@ -144,12 +146,37 @@ fn index_op_strategy() -> impl Strategy<Value = IndexOp> {
     prop_oneof![
         (-40.0f32..40.0, -40.0f32..40.0, 0.0f32..100.0, 0u8..4)
             .prop_map(|(x, y, hp, t)| IndexOp::Spawn(x, y, hp, t)),
+        (-40.0f32..40.0, -40.0f32..40.0).prop_map(|(x, y)| IndexOp::TemplateSpawn(x, y)),
         (0u16..64, 0.0f32..100.0).prop_map(|(i, hp)| IndexOp::SetHp(i, hp)),
         (0u16..64, 0u8..4).prop_map(|(i, t)| IndexOp::SetTeam(i, t)),
         (0u16..64).prop_map(IndexOp::RemoveHp),
         (0u16..64).prop_map(IndexOp::Despawn),
         Just(IndexOp::Tick),
     ]
+}
+
+/// The designer template `TemplateSpawn` instantiates (types match the
+/// workload's columns: hp/dmg float, team str).
+fn workload_template() -> &'static gamedb_content::ResolvedTemplate {
+    use std::sync::OnceLock;
+    static TPL: OnceLock<gamedb_content::ResolvedTemplate> = OnceLock::new();
+    TPL.get_or_init(|| {
+        gamedb_content::TemplateLibrary::from_gdml(
+            &gamedb_content::gdml::parse(
+                r#"<templates>
+                     <template name="imp">
+                       <component name="hp" type="float" default="35"/>
+                       <component name="dmg" type="float" default="2"/>
+                       <component name="team" type="str" default="green"/>
+                     </template>
+                   </templates>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+        .resolve("imp")
+        .unwrap()
+    })
 }
 
 fn team_name(t: u8) -> &'static str {
@@ -163,6 +190,12 @@ fn apply_index_op(w: &mut World, live: &mut Vec<EntityId>, op: &IndexOp) {
             w.set_f32(e, "hp", hp).unwrap();
             w.set_f32(e, "dmg", 1.0).unwrap();
             w.set(e, "team", Value::Str(team_name(t).into())).unwrap();
+            live.push(e);
+        }
+        IndexOp::TemplateSpawn(x, y) => {
+            let e = w
+                .spawn_from_template(workload_template(), Vec2::new(x, y))
+                .unwrap();
             live.push(e);
         }
         IndexOp::SetHp(i, hp) if !live.is_empty() => {
@@ -278,6 +311,89 @@ proptest! {
             w_inc.index_on("hp").unwrap().ndv(),
             w_back.index_on("hp").unwrap().ndv()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// ISSUE-2 acceptance property: every registered standing view's
+    /// materialized rows equal the `Query::run_scan` oracle after each
+    /// tick (and at the end, after a final refresh), for random
+    /// interleavings of writes, component removals, despawns, template
+    /// spawns, and ticks. The changelog is simultaneously checked for
+    /// coherence: replaying entered/exited over the previous membership
+    /// set must reproduce the current one.
+    #[test]
+    fn views_track_scan_oracle_under_churn(
+        ops in proptest::collection::vec(index_op_strategy(), 1..80),
+        hp_bound in 0.0f32..100.0,
+        team in 0u8..4,
+        cx in -40.0f32..40.0,
+        cy in -40.0f32..40.0,
+        r in 0.5f32..120.0,
+        index_hp in any::<bool>(),
+    ) {
+        use std::collections::BTreeSet;
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("dmg", ValueType::Float).unwrap();
+        w.define_component("team", ValueType::Str).unwrap();
+        if index_hp {
+            // an index changes which refresh strategy the cost model
+            // picks (rescans get cheap); equivalence must hold either way
+            w.create_index("hp", IndexKind::Sorted).unwrap();
+        }
+        let queries = vec![
+            Query::select().filter("hp", CmpOp::Lt, Value::Float(hp_bound)),
+            Query::select().filter("team", CmpOp::Eq, Value::Str(team_name(team).into())),
+            Query::select()
+                .within(Vec2::new(cx, cy), r)
+                .filter("hp", CmpOp::Ge, Value::Float(hp_bound)),
+            Query::select(), // membership = liveness (spawn/despawn stream)
+        ];
+        let views: Vec<_> = queries
+            .iter()
+            .map(|q| w.register_view(q.clone()))
+            .collect();
+        let mut shadows: Vec<BTreeSet<EntityId>> = views
+            .iter()
+            .map(|&v| w.view_rows(v).iter().copied().collect())
+            .collect();
+
+        let mut live = Vec::new();
+        let check = |w: &mut World,
+                         shadows: &mut Vec<BTreeSet<EntityId>>|
+         -> Result<(), TestCaseError> {
+            for ((&v, q), shadow) in views.iter().zip(&queries).zip(shadows.iter_mut()) {
+                let oracle = q.run_scan(w);
+                prop_assert_eq!(w.view_rows(v), oracle.as_slice(), "query: {:?}", q);
+                let log = w.take_view_changelog(v);
+                for e in &log.exited {
+                    shadow.remove(e);
+                }
+                for e in &log.entered {
+                    prop_assert!(shadow.insert(*e), "duplicate enter for {e:?}");
+                }
+                prop_assert_eq!(
+                    shadow.iter().copied().collect::<Vec<_>>(),
+                    oracle,
+                    "changelog replay diverged for {:?}", q
+                );
+            }
+            Ok(())
+        };
+
+        for op in &ops {
+            apply_index_op(&mut w, &mut live, op);
+            if matches!(op, IndexOp::Tick) {
+                // bump_tick refreshed the views already
+                prop_assert_eq!(w.pending_deltas(), 0);
+                check(&mut w, &mut shadows)?;
+            }
+        }
+        w.refresh_views();
+        check(&mut w, &mut shadows)?;
     }
 }
 

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use gamedb_core::{EntityId, World};
+use gamedb_core::{Changelog, EntityId, Query, ViewId, World};
 
 /// Combat roles with their threat multipliers. Tanks generate extra
 /// threat by design — the game *wants* the boss hitting the tank.
@@ -114,6 +114,83 @@ impl AggroTable {
                     .then(b_id.cmp(a_id))
             })
             .map(|(&who, _)| who)
+    }
+}
+
+/// Standing candidate set for one mob: the entities inside its aggro
+/// radius, maintained incrementally by the world's continuous-query
+/// subsystem instead of a per-tick `within` rescan.
+///
+/// [`CandidateView::sync`] re-anchors the view to the mob's current
+/// position, folds pending deltas, and consumes the membership
+/// changelog — exiting candidates (death, despawn, zone-out) are evicted
+/// from the mob's threat table, the bookkeeping
+/// [`AggroTable::remove`]'s docs ask callers to do by hand.
+#[derive(Debug, Clone)]
+pub struct CandidateView {
+    mob: EntityId,
+    radius: f32,
+    view: ViewId,
+    /// Where the view's disk is currently anchored; retargeting (which
+    /// costs a rescan-diff) only happens when the mob actually moved.
+    anchor: gamedb_spatial::Vec2,
+}
+
+impl CandidateView {
+    /// Register the standing view around the mob's current position.
+    /// Returns `None` when the mob has no position.
+    pub fn register(world: &mut World, mob: EntityId, radius: f32) -> Option<Self> {
+        let center = world.pos(mob)?;
+        let view =
+            world.register_view(Query::select().within(center, radius).excluding(mob));
+        Some(CandidateView {
+            mob,
+            radius,
+            view,
+            anchor: center,
+        })
+    }
+
+    /// The mob this view follows.
+    pub fn mob(&self) -> EntityId {
+        self.mob
+    }
+
+    /// The underlying standing-view handle (for stats inspection).
+    pub fn view(&self) -> ViewId {
+        self.view
+    }
+
+    /// Per-tick maintenance: follow the mob, refresh, prune threat for
+    /// every candidate that left the radius (or the world). A
+    /// stationary mob stays on the incremental path; only actual
+    /// movement pays the retarget rescan. Returns the consumed
+    /// changelog so callers can react to entries (e.g. open combat on
+    /// `entered`).
+    pub fn sync(&mut self, world: &mut World, table: &mut AggroTable) -> Changelog {
+        match world.pos(self.mob) {
+            Some(p) if p != self.anchor => {
+                world.retarget_view(self.view, p, self.radius);
+                self.anchor = p;
+            }
+            _ => world.refresh_views(),
+        }
+        let log = world.take_view_changelog(self.view);
+        for &gone in &log.exited {
+            table.remove(gone);
+        }
+        log
+    }
+
+    /// Current candidates, sorted by entity id — the set a per-tick
+    /// `within` query would have recomputed.
+    pub fn candidates<'w>(&self, world: &'w World) -> &'w [EntityId] {
+        world.view_rows(self.view)
+    }
+
+    /// Drop the underlying view (the mob died).
+    pub fn release(self, world: &mut World) {
+        world.drop_view(self.view);
     }
 }
 
@@ -283,6 +360,65 @@ mod tests {
         // move ids[3] right next to the mob
         w.set_pos(ids[3], Vec2::new(0.1, 0.0)).unwrap();
         assert_eq!(nt.choose(&w, mob, cands), Some(ids[3]));
+    }
+
+    /// ISSUE-2: the standing candidate view must track the per-tick
+    /// `within` rescan exactly as the mob and players move, and exits
+    /// must evict threat.
+    #[test]
+    fn candidate_view_matches_rescan_and_prunes_threat() {
+        let (mut w, ids) = arena_world(6, |i| Vec2::new(i as f32 * 2.0, 0.0));
+        let mob = ids[0];
+        let radius = 5.0;
+        let mut cv = CandidateView::register(&mut w, mob, radius).unwrap();
+        let mut table = AggroTable::new();
+        for &p in &ids[1..] {
+            table.add_threat(p, Role::Dps, 10.0);
+        }
+        for tick in 0..8 {
+            // players drift right, the mob chases slowly; one player dies
+            for (i, &p) in ids[1..].iter().enumerate() {
+                if let Some(pos) = w.pos(p) {
+                    w.set_pos(p, Vec2::new(pos.x + (i as f32 + 1.0) * 0.7, pos.y)).unwrap();
+                }
+            }
+            let mp = w.pos(mob).unwrap();
+            w.set_pos(mob, Vec2::new(mp.x + 0.5, 0.0)).unwrap();
+            if tick == 4 {
+                w.despawn(ids[2]);
+            }
+            let log = cv.sync(&mut w, &mut table);
+            // oracle: fresh rescan of the same query
+            let oracle = Query::select()
+                .within(w.pos(mob).unwrap(), radius)
+                .excluding(mob)
+                .run_scan(&w);
+            assert_eq!(cv.candidates(&w), oracle.as_slice(), "tick {tick}");
+            for &gone in &log.exited {
+                assert_eq!(table.threat_of(gone), 0.0, "exit must evict threat");
+            }
+        }
+        // the dead player is long gone from both table and view
+        assert_eq!(table.threat_of(ids[2]), 0.0);
+        assert!(!cv.candidates(&w).contains(&ids[2]));
+
+        // a stationary mob must not pay retarget rescans
+        let rescans_before = w.view_stats(cv.view()).rescans;
+        cv.sync(&mut w, &mut table);
+        cv.sync(&mut w, &mut table);
+        assert_eq!(
+            w.view_stats(cv.view()).rescans,
+            rescans_before,
+            "stationary syncs must stay incremental"
+        );
+        cv.release(&mut w);
+    }
+
+    #[test]
+    fn candidate_view_needs_positioned_mob() {
+        let mut w = World::new();
+        let ghost = w.spawn();
+        assert!(CandidateView::register(&mut w, ghost, 5.0).is_none());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use gamedb_content::{CmpOp, Value};
-use gamedb_core::{EntityId, Query, World};
+use gamedb_core::{EntityId, Query, ViewId, World};
 use gamedb_spatial::Vec2;
 
 use crate::action::Action;
@@ -35,6 +35,11 @@ pub fn wealth(world: &World) -> i64 {
         .entities()
         .map(|e| world.get_i64(e, "gold").unwrap_or(0) + world.get_i64(e, "value").unwrap_or(0))
         .sum()
+}
+
+/// The overdraft invariant as a declarative query.
+fn overdraft_query() -> Query {
+    Query::select().filter("gold", CmpOp::Lt, Value::Int(0))
 }
 
 /// Pre-tick snapshot the auditor compares against.
@@ -81,6 +86,9 @@ impl AuditReport {
 pub struct Auditor {
     /// Maximum distance any entity may legitimately cover in one tick.
     pub max_step: f32,
+    /// Standing `gold < 0` view when subscribed (see
+    /// [`Auditor::subscribe_overdrafts`]).
+    overdraft_view: Option<ViewId>,
     ticks: usize,
     dirty_ticks: usize,
     total_drift: i64,
@@ -92,12 +100,35 @@ impl Auditor {
     pub fn new(max_step: f32) -> Self {
         Auditor {
             max_step,
+            overdraft_view: None,
             ticks: 0,
             dirty_ticks: 0,
             total_drift: 0,
             total_overdrafts: 0,
             total_speed_violations: 0,
         }
+    }
+
+    /// Switch the overdraft check from a per-tick requery to a standing
+    /// view: the world maintains the `gold < 0` result set incrementally
+    /// from its write deltas, so [`Auditor::audit`] reads the
+    /// materialized rows in O(overdrafts) with no scan and no index
+    /// required. The auditor is tied to `world` from here on; auditing a
+    /// different world falls back to the query. Call
+    /// [`Auditor::audit_tick`] (or `world.refresh_views()` before
+    /// `audit`) so the view reflects the tick being audited.
+    pub fn subscribe_overdrafts(&mut self, world: &mut World) {
+        if self.overdraft_view.is_none() {
+            self.overdraft_view = Some(world.register_view(overdraft_query()));
+        }
+    }
+
+    /// [`Auditor::audit`] preceded by a view refresh — the per-tick
+    /// entry point for callers driving the world outside the tick
+    /// executor (action executors never bump the tick counter).
+    pub fn audit_tick(&mut self, before: &Baseline, world: &mut World) -> AuditReport {
+        world.refresh_views();
+        self.audit(before, world)
     }
 
     /// Capture the pre-tick state the post-tick check needs.
@@ -117,14 +148,19 @@ impl Auditor {
     /// operations team running the auditor against a large shard can
     /// make it O(overdrafts) instead of O(entities) by creating a sorted
     /// secondary index on `gold` — the planner picks it up without any
-    /// change here.
+    /// change here. With [`Auditor::subscribe_overdrafts`] it drops the
+    /// per-tick requery entirely and reads the standing view's
+    /// materialized rows (falling back to the query whenever the view is
+    /// stale or belongs to another world).
     pub fn audit(&mut self, before: &Baseline, world: &World) -> AuditReport {
         let eps = 1e-3;
+        let overdrafts = match self.overdraft_view {
+            Some(v) if world.has_view(v) && world.pending_deltas() == 0 => world.view_count(v),
+            _ => overdraft_query().count(world),
+        };
         let report = AuditReport {
             wealth_drift: wealth(world) - before.wealth,
-            overdrafts: Query::select()
-                .filter("gold", CmpOp::Lt, Value::Int(0))
-                .count(world),
+            overdrafts,
             speed_violations: world
                 .entities()
                 .filter(|&e| {
@@ -364,6 +400,68 @@ mod tests {
         let report_indexed = indexed.audit(&before, &w);
         assert_eq!(report_plain.overdrafts, 2);
         assert_eq!(report_plain, report_indexed);
+    }
+
+    /// ISSUE-2 satellite: the standing-view overdraft subscription must
+    /// fire on exactly the ticks the per-tick requery fired on, with the
+    /// same counts, across a workload that drives balances negative and
+    /// back.
+    #[test]
+    fn overdraft_subscription_fires_on_same_ticks_as_requery() {
+        let (mut w_view, ids_v) = line_world(4);
+        let (mut w_poll, ids_p) = line_world(4);
+        let mut subscribed = Auditor::new(3.0);
+        subscribed.subscribe_overdrafts(&mut w_view);
+        let mut polled = Auditor::new(3.0);
+
+        // tick script: (entity, new gold) writes applied by a "buggy
+        // handler" — some ticks overdraw, some recover, one despawns
+        let script: Vec<Vec<(usize, i64)>> = vec![
+            vec![(0, -40)],            // overdraft appears
+            vec![(1, -5), (2, 10)],    // second account overdrawn too
+            vec![(0, 25)],             // first recovers
+            vec![],                    // nothing happens
+            vec![(1, 0), (3, -1)],     // swap which accounts are negative
+        ];
+        let mut fired_view = Vec::new();
+        let mut fired_poll = Vec::new();
+        for (tick, writes) in script.iter().enumerate() {
+            let before_v = subscribed.snapshot(&w_view);
+            let before_p = polled.snapshot(&w_poll);
+            for &(i, gold) in writes {
+                w_view.set(ids_v[i], "gold", Value::Int(gold)).unwrap();
+                w_poll.set(ids_p[i], "gold", Value::Int(gold)).unwrap();
+            }
+            if tick == 3 {
+                // a despawn mid-stream must evict any overdraft row
+                w_view.despawn(ids_v[2]);
+                w_poll.despawn(ids_p[2]);
+            }
+            let rv = subscribed.audit_tick(&before_v, &mut w_view);
+            let rp = polled.audit(&before_p, &w_poll);
+            assert_eq!(rv.overdrafts, rp.overdrafts, "tick {tick}");
+            fired_view.push(rv.overdrafts > 0);
+            fired_poll.push(rp.overdrafts > 0);
+        }
+        assert_eq!(fired_view, fired_poll);
+        assert_eq!(fired_view, vec![true, true, true, true, true]);
+        assert_eq!(subscribed.total_overdrafts(), polled.total_overdrafts());
+    }
+
+    /// A stale view (pending deltas not yet refreshed) must not be
+    /// trusted: plain `audit` falls back to the live requery.
+    #[test]
+    fn stale_view_falls_back_to_requery() {
+        let (mut w, ids) = line_world(2);
+        let mut auditor = Auditor::new(3.0);
+        auditor.subscribe_overdrafts(&mut w);
+        let before = auditor.snapshot(&w);
+        w.set(ids[0], "gold", Value::Int(-10)).unwrap();
+        // no refresh: the view still says zero overdrafts, the requery
+        // fallback must report one anyway
+        assert!(w.pending_deltas() > 0);
+        let report = auditor.audit(&before, &w);
+        assert_eq!(report.overdrafts, 1);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod view;
 pub mod workload;
 
 pub use action::{arena_world, Action};
-pub use aggro::{AggroTable, AggroTargeting, NearestTargeting, Role, Targeting};
+pub use aggro::{AggroTable, AggroTargeting, CandidateView, NearestTargeting, Role, Targeting};
 pub use bubbles::{partition, BubbleConfig, BubbleExecutor, Partition, UnionFind};
 pub use cluster::{owner_of, ClusterCost, ClusterExecutor, ClusterStats};
 pub use executor::{ExecStats, Executor, LockingExecutor, OptimisticExecutor, SerialExecutor};

@@ -11,7 +11,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use gamedb_content::Value;
-use gamedb_core::{EntityId, World};
+use gamedb_core::{EntityId, Query, ViewId, World};
+use gamedb_spatial::Vec2;
 
 /// Consistency levels from strongest to weakest.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +102,10 @@ pub struct Replicator {
     pub level: ConsistencyLevel,
     /// Area-of-interest filter (defaults to unbounded).
     pub interest: Interest,
+    /// Standing interest-bubble view (see [`Replicator::attach_view`]).
+    interest_view: Option<ViewId>,
+    /// Center/radius the view was last anchored at.
+    view_anchor: ((f32, f32), f32),
     tick: u32,
     /// rows shipped so far (the bandwidth proxy)
     pub rows_sent: usize,
@@ -108,12 +113,7 @@ pub struct Replicator {
 
 impl Replicator {
     pub fn new(level: ConsistencyLevel) -> Self {
-        Replicator {
-            level,
-            interest: Interest::unbounded(),
-            tick: 0,
-            rows_sent: 0,
-        }
+        Self::with_interest(level, Interest::unbounded())
     }
 
     /// Replicator with an area-of-interest filter.
@@ -121,6 +121,8 @@ impl Replicator {
         Replicator {
             level,
             interest,
+            interest_view: None,
+            view_anchor: ((0.0, 0.0), 0.0),
             tick: 0,
             rows_sent: 0,
         }
@@ -131,8 +133,66 @@ impl Replicator {
         self.tick
     }
 
+    /// Turn the interest bubble into a standing view: the world
+    /// maintains the set of entities within `radius + margin` of the
+    /// focus incrementally, so [`Replicator::sync_live`] walks only the
+    /// bubble's members (plus unpositioned global state) instead of
+    /// every row of the world. No-op for unbounded interest.
+    pub fn attach_view(&mut self, world: &mut World) {
+        if self.interest_view.is_none() && self.interest.radius.is_finite() {
+            let (cx, cy) = self.interest.center;
+            let r = self.interest.radius + self.interest.margin;
+            self.interest_view =
+                Some(world.register_view(Query::select().within(Vec2::new(cx, cy), r)));
+            self.view_anchor = (self.interest.center, r);
+        }
+    }
+
+    /// [`Replicator::sync`] driven by the standing interest view: the
+    /// view is re-anchored if the focus moved, pending deltas are
+    /// folded, and row shipping visits only bubble members and
+    /// unpositioned entities — identical replica state. The expensive
+    /// part of the full walk (materializing and interest-testing every
+    /// row of every entity) shrinks to O(interest); what remains
+    /// world-sized is a cheap liveness pass to find unpositioned
+    /// global-state entities (one presence check per entity, no row
+    /// materialization — a spatial view cannot contain them). Falls
+    /// back to the full-walk sync when no view is attached.
+    pub fn sync_live(&mut self, world: &mut World, replica: &mut Replica) {
+        let Some(view) = self.interest_view.filter(|&v| world.has_view(v)) else {
+            self.sync(world, replica);
+            return;
+        };
+        let anchor = (self.interest.center, self.interest.radius + self.interest.margin);
+        if anchor != self.view_anchor {
+            let ((cx, cy), r) = anchor;
+            world.retarget_view(view, Vec2::new(cx, cy), r);
+            self.view_anchor = anchor;
+        } else {
+            world.refresh_views();
+        }
+        let mut candidates: Vec<EntityId> = world.view_rows(view).to_vec();
+        // Unpositioned entities (global flags, quest state) replicate at
+        // every interest level; a spatial view can never contain them.
+        candidates.extend(world.entities().filter(|&e| world.pos(e).is_none()));
+        self.sync_from(world, replica, Some(&candidates));
+    }
+
     /// Ship one tick of updates from `world` into `replica`.
     pub fn sync(&mut self, world: &World, replica: &mut Replica) {
+        self.sync_from(world, replica, None);
+    }
+
+    /// The shared sync body: `candidates` limits which entities are
+    /// visited (`None` = every row of the world); visiting a superset
+    /// never changes the outcome because every row still passes the
+    /// interest test.
+    fn sync_from(
+        &mut self,
+        world: &World,
+        replica: &mut Replica,
+        candidates: Option<&[EntityId]>,
+    ) {
         self.tick += 1;
         let send_all_pos;
         let send_state;
@@ -157,9 +217,10 @@ impl Replicator {
         }
         // Interest management: which live entities does this client care
         // about? Known entities get the hysteresis margin.
+        let interest = self.interest;
         let interesting = |id: EntityId, known: bool| -> bool {
             match world.pos(id) {
-                Some(p) => self.interest.inside((p.x, p.y), known),
+                Some(p) => interest.inside((p.x, p.y), known),
                 // unpositioned entities (global flags, quest state) always
                 // replicate
                 None => true,
@@ -170,11 +231,9 @@ impl Replicator {
         replica.rows.retain(|(id, _), _| {
             world.is_live(*id) && interesting(*id, true)
         });
-        for (id, comp, value) in world.rows() {
-            if !interesting(id, replica.rows.contains_key(&(id, "pos".to_string()))) {
-                continue;
-            }
-            let key = (id, comp.clone());
+        let mut rows_sent = 0usize;
+        let mut ship_row = |replica: &mut Replica, id: EntityId, comp: &str, value: Value| {
+            let key = (id, comp.to_string());
             if comp == "pos" {
                 let ship = if send_all_pos {
                     true
@@ -192,7 +251,7 @@ impl Replicator {
                 };
                 if ship {
                     replica.rows.insert(key, value);
-                    self.rows_sent += 1;
+                    rows_sent += 1;
                 }
             } else {
                 let ship = if send_state {
@@ -202,10 +261,33 @@ impl Replicator {
                 };
                 if ship {
                     replica.rows.insert(key, value);
-                    self.rows_sent += 1;
+                    rows_sent += 1;
+                }
+            }
+        };
+        match candidates {
+            None => {
+                for (id, comp, value) in world.rows() {
+                    if !interesting(id, replica.rows.contains_key(&(id, "pos".to_string()))) {
+                        continue;
+                    }
+                    ship_row(replica, id, &comp, value);
+                }
+            }
+            Some(ids) => {
+                for &id in ids {
+                    if !world.is_live(id)
+                        || !interesting(id, replica.rows.contains_key(&(id, "pos".to_string())))
+                    {
+                        continue;
+                    }
+                    for (comp, value) in world.components_of(id) {
+                        ship_row(replica, id, comp, value);
+                    }
                 }
             }
         }
+        self.rows_sent += rows_sent;
     }
 
     /// Measure divergence between `world` and `replica` over the whole
@@ -423,6 +505,68 @@ mod tests {
         w.set_pos(ids[0], Vec2::new(14.0, 0.0)).unwrap();
         rep.sync(&w, &mut client);
         assert!(client.pos(ids[0]).is_none(), "dropped beyond radius+margin");
+    }
+
+    /// ISSUE-2: the standing interest-bubble view must reproduce the
+    /// full-world walk exactly — same replica rows, same bandwidth —
+    /// while the world churns, entities die, unpositioned state exists,
+    /// and the focus itself moves.
+    #[test]
+    fn interest_view_sync_matches_full_walk() {
+        let interest = Interest {
+            center: (0.0, 0.0),
+            radius: 12.0,
+            margin: 4.0,
+        };
+        let (mut w_full, ids_f) = moving_world(30);
+        let (mut w_view, ids_v) = moving_world(30);
+        // an unpositioned global-state entity replicates at every level
+        for w in [&mut w_full, &mut w_view] {
+            let flag = w.spawn();
+            w.set(flag, "gold", Value::Int(999)).unwrap();
+        }
+        let mut plain = Replicator::with_interest(ConsistencyLevel::Strict, interest);
+        let mut viewed = Replicator::with_interest(ConsistencyLevel::Strict, interest);
+        viewed.attach_view(&mut w_view);
+        let mut r_plain = Replica::default();
+        let mut r_view = Replica::default();
+        let drift_live = |world: &mut World, ids: &[EntityId], step: f32| {
+            for (i, &e) in ids.iter().enumerate() {
+                let Some(p) = world.pos(e) else { continue };
+                world
+                    .set_pos(e, Vec2::new(p.x + step, p.y + (i % 3) as f32 * 0.1))
+                    .unwrap();
+            }
+        };
+        for tick in 0..12 {
+            drift_live(&mut w_full, &ids_f, 0.8);
+            drift_live(&mut w_view, &ids_v, 0.8);
+            if tick == 5 {
+                w_full.despawn(ids_f[1]);
+                w_view.despawn(ids_v[1]);
+            }
+            if tick >= 6 {
+                // the player walks: the bubble must follow its focus
+                plain.interest.center = (tick as f32, 0.0);
+                viewed.interest.center = (tick as f32, 0.0);
+            }
+            plain.sync(&w_full, &mut r_plain);
+            viewed.sync_live(&mut w_view, &mut r_view);
+            assert_eq!(r_plain.rows, r_view.rows, "tick {tick}");
+            assert_eq!(plain.rows_sent, viewed.rows_sent, "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn sync_live_without_view_is_plain_sync() {
+        let (mut w, ids) = moving_world(10);
+        let mut rep = Replicator::new(ConsistencyLevel::Strict);
+        // unbounded interest: attach_view is a no-op, sync_live degrades
+        rep.attach_view(&mut w);
+        let mut client = Replica::default();
+        drift(&mut w, &ids, 1.0);
+        rep.sync_live(&mut w, &mut client);
+        assert_eq!(Replicator::divergence(&w, &client).mean_pos_error, 0.0);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`persist`] — the engineering layer: snapshots, WAL, intelligent
 //!   checkpointing, incremental deltas, crash recovery, schema
 //!   migration.
+//! * [`continuous`] — cross-crate continuous-query wiring: designer
+//!   `stat_below` triggers driven by standing-view changelogs instead of
+//!   per-entity polling ([`ThresholdWatcher`]).
 //!
 //! See the repository's `README.md` for the architecture diagram,
 //! `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for the
@@ -32,6 +35,9 @@
 //! assert_eq!(world.pos(hero), Some(Vec2::new(1.0, 2.0)));
 //! ```
 
+pub mod continuous;
+
+pub use continuous::ThresholdWatcher;
 pub use gamedb_content as content;
 pub use gamedb_core as core;
 pub use gamedb_persist as persist;
