@@ -1,0 +1,74 @@
+//! Criterion bench for the recovery side of E9: snapshot decode + WAL
+//! tail replay at 100k entities, with and without the catalog work —
+//! secondary-index rebuild and standing-view re-materialization — that
+//! exact recovery performs on top of row restore.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_bench::combat_world;
+use gamedb_content::{CmpOp, Value};
+use gamedb_core::{EntityId, IndexKind, Query, World};
+use gamedb_persist::{encode, recover_from_parts, WalRecord};
+use gamedb_spatial::Vec2;
+
+/// A checkpoint-anchored WAL tail: the base mark plus `writes` hp
+/// updates spread over the population.
+fn wal_tail(ids: &[EntityId], writes: usize) -> Vec<u8> {
+    let mut log = Vec::new();
+    log.extend_from_slice(&WalRecord::CheckpointMark { seq: 0 }.encode());
+    for i in 0..writes {
+        let e = ids[(i * 37) % ids.len()];
+        log.extend_from_slice(
+            &WalRecord::Set {
+                entity: e,
+                component: "hp".into(),
+                value: Value::Float((i % 100) as f32),
+            }
+            .encode(),
+        );
+    }
+    log
+}
+
+fn with_catalog(mut world: World) -> World {
+    world.create_index("hp", IndexKind::Sorted).unwrap();
+    world.create_index("team", IndexKind::Hash).unwrap();
+    world.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(30.0)));
+    world.register_view(Query::select().filter(
+        "team",
+        CmpOp::Eq,
+        Value::Str("red".into()),
+    ));
+    world.register_view(Query::select().within(Vec2::new(250.0, 250.0), 60.0));
+    world
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let (bare, ids) = combat_world(n, 500.0, 3);
+        let tail = wal_tail(&ids, 1_000);
+        let bare_snap = vec![(0u64, encode(&bare).to_vec())];
+        group.bench_with_input(BenchmarkId::new("rows_only", n), &n, |b, _| {
+            b.iter(|| {
+                let (world, _, replayed) = recover_from_parts(&bare_snap, &tail).unwrap();
+                assert_eq!(replayed, 1_000);
+                world.len()
+            })
+        });
+        let full = with_catalog(bare);
+        let full_snap = vec![(0u64, encode(&full).to_vec())];
+        group.bench_with_input(BenchmarkId::new("rows_plus_catalog", n), &n, |b, _| {
+            b.iter(|| {
+                let (world, _, replayed) = recover_from_parts(&full_snap, &tail).unwrap();
+                assert_eq!(replayed, 1_000);
+                assert_eq!(world.view_ids().len(), 3);
+                world.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

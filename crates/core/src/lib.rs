@@ -68,4 +68,4 @@ pub use index::{IndexKey, IndexKind, SecondaryIndex};
 pub use planner::{plan, Access, ColumnStats, Plan, TableStats};
 pub use query::{aggregate, compare, AggFn, AggResult, Pred, Query};
 pub use view::{Changelog, Delta, ViewId, ViewRegistry, ViewStats};
-pub use world::{CoreError, World, WorldEntityView, POS};
+pub use world::{CoreError, World, WorldCatalog, WorldEntityView, POS};

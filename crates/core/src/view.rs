@@ -61,6 +61,15 @@ pub struct ViewId {
     pub(crate) slot: u32,
 }
 
+impl ViewId {
+    /// Slot index within the issuing world's registry — the stable
+    /// address catalog records and recovery use
+    /// ([`crate::world::World::view_id_at`] resolves it back).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
 /// One record of the world's per-tick delta stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Delta {
@@ -374,6 +383,57 @@ impl ViewRegistry {
         self.views.push(Some(StandingView::new(query, initial)));
         self.active += 1;
         id
+    }
+
+    /// Total slots ever issued, including dropped ones (the catalog
+    /// records this so recovery burns the same slots and stale handles
+    /// stay stale).
+    pub(crate) fn slot_count(&self) -> u32 {
+        self.views.len() as u32
+    }
+
+    /// Iterate `(slot, query)` over live views in slot order.
+    pub(crate) fn live_slots(&self) -> impl Iterator<Item = (u32, &Query)> {
+        self.views
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, &v.query)))
+    }
+
+    /// Pad the slot table with dead slots up to `slots` total — recovery
+    /// reserves every slot the pre-crash world ever issued before
+    /// re-registering the live ones.
+    pub(crate) fn reserve_slots(&mut self, slots: u32) {
+        while self.views.len() < slots as usize {
+            self.views.push(None);
+        }
+    }
+
+    /// Install a view at an exact slot (recovery). The slot must be dead
+    /// and within the reserved table; returns `false` when it is live.
+    pub(crate) fn install_at_slot(&mut self, slot: u32, query: Query, initial: Vec<EntityId>) -> bool {
+        self.reserve_slots(slot + 1);
+        let entry = &mut self.views[slot as usize];
+        if entry.is_some() {
+            return false;
+        }
+        *entry = Some(StandingView::new(query, initial));
+        self.active += 1;
+        true
+    }
+
+    /// The standing query at a slot, if the slot is live.
+    pub(crate) fn query_at_slot(&self, slot: u32) -> Option<&Query> {
+        self.views.get(slot as usize).and_then(|s| s.as_ref()).map(|v| &v.query)
+    }
+
+    /// Drop every accumulated changelog — recovery re-anchors subscribers
+    /// to the recovered materialization instead of replaying pre-crash
+    /// history at them.
+    pub(crate) fn clear_changelogs(&mut self) {
+        for view in self.views.iter_mut().flatten() {
+            view.log = Changelog::default();
+        }
     }
 
     pub(crate) fn drop_view(&mut self, id: ViewId) -> bool {

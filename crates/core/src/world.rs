@@ -42,6 +42,9 @@ pub enum CoreError {
     ReservedComponent(String),
     /// An index already exists on the component.
     DuplicateIndex(String),
+    /// Catalog import found a live view at the slot with a different
+    /// standing query (recovery would silently rebind subscribers).
+    ViewSlotConflict(u32),
 }
 
 impl fmt::Display for CoreError {
@@ -60,6 +63,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::DuplicateIndex(c) => {
                 write!(f, "component {c:?} already has a secondary index")
+            }
+            CoreError::ViewSlotConflict(s) => {
+                write!(f, "view slot {s} holds a different standing query")
             }
         }
     }
@@ -750,12 +756,209 @@ impl World {
         self.views = views;
     }
 
+    // ---- catalog: the recovery surface ----
+    //
+    // Since indexes and standing views became first-class derived state,
+    // a world is more than its rows: recovery that restores facts but
+    // not the definitions deriving from them hands back a *different*
+    // database. The catalog captures those definitions — plus the
+    // lineage and tick identity — so the persistence layer can rebuild
+    // indexes, re-materialize views at their original slots, and let
+    // subscribers keep using their pre-crash [`ViewId`] handles.
+
+    /// Lineage id stamped into this world's [`ViewId`]s.
+    #[inline]
+    pub fn lineage(&self) -> u64 {
+        self.world_id
+    }
+
+    /// Adopt a recorded lineage (recovery): handles issued by the
+    /// pre-crash world resolve against the recovered one. Call before
+    /// re-registering views, or their ids will carry the wrong lineage.
+    pub fn restore_lineage(&mut self, lineage: u64) {
+        self.world_id = lineage;
+    }
+
+    /// Export the catalog: index definitions, live standing views with
+    /// their slots, total slots ever issued, lineage, and tick.
+    pub fn export_catalog(&self) -> WorldCatalog {
+        WorldCatalog {
+            lineage: self.world_id,
+            tick: self.tick,
+            indexes: self
+                .indexed_components()
+                .map(|(n, k)| (n.to_string(), k))
+                .collect(),
+            view_slots: self.views.slot_count(),
+            views: self
+                .views
+                .live_slots()
+                .map(|(slot, q)| (slot, q.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild derived state from a catalog: indexes are created and
+    /// backfilled from current rows, dropped view slots are burned, live
+    /// views are re-materialized at their original slots, and lineage +
+    /// tick are restored. Idempotent: re-importing over matching state
+    /// is a no-op, so duplicated redo records are harmless.
+    pub fn import_catalog(&mut self, cat: &WorldCatalog) -> Result<(), CoreError> {
+        self.restore_lineage(cat.lineage);
+        for (component, kind) in &cat.indexes {
+            self.ensure_index(component, *kind)?;
+        }
+        self.views.reserve_slots(cat.view_slots);
+        for (slot, query) in &cat.views {
+            self.import_view_at_slot(*slot, query.clone())?;
+        }
+        self.advance_tick_to(cat.tick);
+        Ok(())
+    }
+
+    /// Make the world's derived state exactly match a catalog: indexes
+    /// and views absent from it are dropped, then missing ones are
+    /// imported. This is the recovery primitive for *incremental*
+    /// restore paths (snapshot + delta chain), where the base image may
+    /// carry derived state that was dropped before the later durable
+    /// point the catalog describes. [`World::import_catalog`] alone is
+    /// additive and would leak those.
+    pub fn reconcile_catalog(&mut self, cat: &WorldCatalog) -> Result<(), CoreError> {
+        let current: Vec<(String, IndexKind)> = self
+            .indexed_components()
+            .map(|(n, k)| (n.to_string(), k))
+            .collect();
+        for entry in &current {
+            if !cat.indexes.contains(entry) {
+                self.drop_index(&entry.0);
+            }
+        }
+        for id in self.view_ids() {
+            let keep = cat
+                .views
+                .iter()
+                .any(|(slot, q)| *slot == id.slot && q == self.view_query(id));
+            if !keep {
+                self.drop_view(id);
+            }
+        }
+        self.import_catalog(cat)
+    }
+
+    /// [`World::create_index`] that tolerates an identical existing
+    /// index (idempotent redo). Returns whether an index was created;
+    /// a kind mismatch is still an error.
+    pub fn ensure_index(&mut self, component: &str, kind: IndexKind) -> Result<bool, CoreError> {
+        if let Some(idx) = self.indexes.get(component) {
+            return if idx.kind() == kind {
+                Ok(false)
+            } else {
+                Err(CoreError::DuplicateIndex(component.to_string()))
+            };
+        }
+        self.create_index(component, kind)?;
+        Ok(true)
+    }
+
+    /// Handles of every live standing view, slot-ordered.
+    pub fn view_ids(&self) -> Vec<ViewId> {
+        self.views
+            .live_slots()
+            .map(|(slot, _)| ViewId {
+                world: self.world_id,
+                slot,
+            })
+            .collect()
+    }
+
+    /// Handle of the live view at `slot`, if any.
+    pub fn view_id_at(&self, slot: u32) -> Option<ViewId> {
+        self.views.query_at_slot(slot).map(|_| ViewId {
+            world: self.world_id,
+            slot,
+        })
+    }
+
+    /// First live view maintaining exactly `query` — how a subscriber
+    /// re-attaches to its standing view after a restart instead of
+    /// registering a duplicate.
+    pub fn find_view(&self, query: &Query) -> Option<ViewId> {
+        self.views
+            .live_slots()
+            .find(|(_, q)| *q == query)
+            .map(|(slot, _)| ViewId {
+                world: self.world_id,
+                slot,
+            })
+    }
+
+    /// Re-register a standing view at an exact slot (recovery replay).
+    /// The view materializes from current state with an empty changelog.
+    /// A live slot holding the same query is accepted unchanged
+    /// (idempotent redo); a different query is a conflict.
+    pub fn import_view_at_slot(&mut self, slot: u32, query: Query) -> Result<ViewId, CoreError> {
+        let id = ViewId {
+            world: self.world_id,
+            slot,
+        };
+        if let Some(existing) = self.views.query_at_slot(slot) {
+            return if *existing == query {
+                Ok(id)
+            } else {
+                Err(CoreError::ViewSlotConflict(slot))
+            };
+        }
+        self.refresh_views();
+        let rows = query.run(self);
+        let installed = self.views.install_at_slot(slot, query, rows);
+        debug_assert!(installed, "slot checked dead above");
+        Ok(id)
+    }
+
+    /// [`World::drop_view`] addressed by slot (recovery replay).
+    pub fn drop_view_slot(&mut self, slot: u32) -> bool {
+        match self.view_id_at(slot) {
+            Some(id) => self.drop_view(id),
+            None => false,
+        }
+    }
+
+    /// [`World::retarget_view`] addressed by slot (recovery replay).
+    /// Returns `false` when the slot is dead.
+    pub fn retarget_view_slot(&mut self, slot: u32, center: Vec2, radius: f32) -> bool {
+        match self.view_id_at(slot) {
+            Some(id) => {
+                self.retarget_view(id, center, radius);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every view's accumulated changelog. Recovery calls this
+    /// last: replaying the WAL tail re-runs pre-crash writes through the
+    /// view machinery, and those churn entries must not be re-delivered
+    /// to subscribers that already consumed them before the crash —
+    /// post-recovery changelogs start empty, anchored at the recovery
+    /// tick.
+    pub fn reset_view_changelogs(&mut self) {
+        self.views.clear_changelogs();
+    }
+
     // ---- tick counter ----
 
     /// Current tick number.
     #[inline]
     pub fn tick(&self) -> u64 {
         self.tick
+    }
+
+    /// Restore the tick counter to `tick` (recovery). Pending deltas are
+    /// folded first, mirroring [`World::bump_tick`]; the counter never
+    /// moves backward, so duplicated redo records are harmless.
+    pub fn advance_tick_to(&mut self, tick: u64) {
+        self.refresh_views();
+        self.tick = self.tick.max(tick);
     }
 
     /// Advance the tick counter (the executor calls this). Standing
@@ -802,6 +1005,28 @@ impl World {
         }
         rows
     }
+}
+
+/// The definitions of a world's derived state — secondary indexes and
+/// standing views — plus its lineage and tick identity. Exported by
+/// [`World::export_catalog`], rebuilt by [`World::import_catalog`]; the
+/// persistence layer serializes this next to the rows so a recovered
+/// world is the *same database*, access paths and subscriptions
+/// included, not just the same facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldCatalog {
+    /// Lineage id ([`World::lineage`]) the recovered world adopts so
+    /// pre-crash [`ViewId`] handles stay valid.
+    pub lineage: u64,
+    /// Tick counter at export time.
+    pub tick: u64,
+    /// `(component, kind)` per secondary index, component-ordered.
+    pub indexes: Vec<(String, IndexKind)>,
+    /// Total view slots ever issued — dropped slots stay burned after
+    /// recovery so stale handles cannot alias a new view.
+    pub view_slots: u32,
+    /// `(slot, standing query)` per live view, slot-ordered.
+    pub views: Vec<(u32, Query)>,
 }
 
 /// [`ComponentView`] over one world entity.
@@ -1066,6 +1291,126 @@ mod tests {
         out.clear();
         w.index_probe("hp", CmpOp::Eq, &Value::Float(7.0), &mut out);
         assert_eq!(out, vec![b]);
+    }
+
+    #[test]
+    fn catalog_roundtrip_restores_indexes_views_and_identity() {
+        use crate::index::IndexKind;
+        use gamedb_content::CmpOp;
+        let mut w = world_with_hp();
+        w.define_component("gold", ValueType::Int).unwrap();
+        let a = w.spawn_at(v(0.0, 0.0));
+        let b = w.spawn_at(v(1.0, 0.0));
+        w.set_f32(a, "hp", 10.0).unwrap();
+        w.set_f32(b, "hp", 90.0).unwrap();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        w.create_index("gold", IndexKind::Hash).unwrap();
+        let dropped = w.register_view(Query::select());
+        let wounded = w.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)));
+        w.drop_view(dropped);
+        w.advance_tick_to(7);
+        let cat = w.export_catalog();
+        assert_eq!(cat.view_slots, 2);
+        assert_eq!(cat.views.len(), 1);
+        assert_eq!(cat.tick, 7);
+
+        // rebuild a bare world with the same rows, then import
+        let mut r = World::new();
+        for (name, ty) in w.schema().map(|(n, t)| (n.to_string(), t)).collect::<Vec<_>>() {
+            if name != POS {
+                r.define_component(&name, ty).unwrap();
+            }
+        }
+        for e in w.entity_vec() {
+            r.restore_entity(e).unwrap();
+        }
+        for (e, comp, val) in w.rows() {
+            r.set(e, &comp, val).unwrap();
+        }
+        r.import_catalog(&cat).unwrap();
+
+        assert_eq!(r.lineage(), w.lineage());
+        assert_eq!(r.tick(), 7);
+        assert_eq!(
+            r.indexed_components().collect::<Vec<_>>(),
+            w.indexed_components().collect::<Vec<_>>()
+        );
+        // the pre-export handle resolves against the rebuilt world
+        assert!(r.has_view(wounded));
+        assert_eq!(r.view_rows(wounded), &[a]);
+        assert!(!r.has_view(dropped), "dropped slot stays burned");
+        // the burned slot is not reused by new registrations
+        let fresh = r.register_view(Query::select());
+        assert!(r.has_view(fresh));
+        assert_ne!(fresh, dropped);
+        assert_eq!(r.export_catalog().view_slots, 3);
+        // re-import over matching state is a no-op
+        r.drop_view(fresh);
+        r.import_catalog(&cat).unwrap();
+        assert_eq!(r.view_rows(wounded), &[a]);
+    }
+
+    #[test]
+    fn catalog_import_conflicts_are_rejected() {
+        use crate::index::IndexKind;
+        use gamedb_content::CmpOp;
+        let mut w = world_with_hp();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        let v0 = w.register_view(Query::select());
+        let cat = w.export_catalog();
+        let _ = v0;
+
+        let mut r = world_with_hp();
+        r.create_index("hp", IndexKind::Hash).unwrap();
+        assert_eq!(
+            r.import_catalog(&cat),
+            Err(CoreError::DuplicateIndex("hp".into()))
+        );
+
+        let mut r2 = world_with_hp();
+        r2.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(1.0)));
+        assert_eq!(r2.import_catalog(&cat), Err(CoreError::ViewSlotConflict(0)));
+    }
+
+    #[test]
+    fn find_view_and_slot_addressing() {
+        use gamedb_content::CmpOp;
+        let mut w = world_with_hp();
+        let q = Query::select().filter("hp", CmpOp::Lt, Value::Float(5.0));
+        let id = w.register_view(q.clone());
+        assert_eq!(w.find_view(&q), Some(id));
+        assert_eq!(w.find_view(&Query::select()), None);
+        assert_eq!(w.view_id_at(0), Some(id));
+        assert_eq!(w.view_id_at(1), None);
+        assert_eq!(w.view_ids(), vec![id]);
+        // slot-addressed retarget and drop mirror the handle methods
+        assert!(!w.retarget_view_slot(9, Vec2::ZERO, 1.0));
+        assert!(w.drop_view_slot(0));
+        assert!(!w.drop_view_slot(0));
+        assert_eq!(w.find_view(&q), None);
+    }
+
+    #[test]
+    fn reset_view_changelogs_clears_without_losing_rows() {
+        use gamedb_content::CmpOp;
+        let mut w = world_with_hp();
+        let id = w.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)));
+        let a = w.spawn_at(v(0.0, 0.0));
+        w.set_f32(a, "hp", 1.0).unwrap();
+        w.refresh_views();
+        assert!(!w.view_changelog(id).is_empty());
+        w.reset_view_changelogs();
+        assert!(w.view_changelog(id).is_empty());
+        assert_eq!(w.view_rows(id), &[a]);
+    }
+
+    #[test]
+    fn advance_tick_never_moves_backward() {
+        let mut w = World::new();
+        w.advance_tick_to(5);
+        assert_eq!(w.tick(), 5);
+        w.advance_tick_to(3);
+        assert_eq!(w.tick(), 5, "duplicated redo records are harmless");
     }
 
     #[test]

@@ -397,6 +397,109 @@ proptest! {
     }
 }
 
+/// Rebuild a world from its public recovery surface: schema + rows
+/// restored entity-by-entity, then the catalog import that recovery
+/// uses (indexes backfilled, views re-materialized at their original
+/// slots, lineage + tick adopted). This is the core-level shape of what
+/// the persistence layer does after a crash.
+fn restore_via_catalog(w: &World) -> World {
+    let mut r = World::new();
+    for (name, ty) in w.schema().map(|(n, t)| (n.to_string(), t)).collect::<Vec<_>>() {
+        if name != gamedb_core::POS {
+            r.define_component(&name, ty).unwrap();
+        }
+    }
+    for e in w.entity_vec() {
+        r.restore_entity(e).unwrap();
+    }
+    for (e, comp, val) in w.rows() {
+        r.set(e, &comp, val).unwrap();
+    }
+    r.import_catalog(&w.export_catalog()).unwrap();
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ISSUE-3 satellite: standing views survive a restore and keep
+    /// tracking the `run_scan` oracle when the workload *resumes* on the
+    /// recovered world — random writes, component removals, despawns,
+    /// template spawns, and ticks split at an arbitrary crash point,
+    /// with and without a secondary index (the index changes which
+    /// maintenance strategy the cost model picks post-restore).
+    #[test]
+    fn restored_views_track_scan_oracle_when_workload_resumes(
+        ops in proptest::collection::vec(index_op_strategy(), 2..70),
+        split_at in 0usize..70,
+        hp_bound in 0.0f32..100.0,
+        team in 0u8..4,
+        cx in -40.0f32..40.0,
+        cy in -40.0f32..40.0,
+        r in 0.5f32..120.0,
+        index_hp in any::<bool>(),
+    ) {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("dmg", ValueType::Float).unwrap();
+        w.define_component("team", ValueType::Str).unwrap();
+        if index_hp {
+            w.create_index("hp", IndexKind::Sorted).unwrap();
+        }
+        let queries = vec![
+            Query::select().filter("hp", CmpOp::Lt, Value::Float(hp_bound)),
+            Query::select().filter("team", CmpOp::Eq, Value::Str(team_name(team).into())),
+            Query::select()
+                .within(Vec2::new(cx, cy), r)
+                .filter("hp", CmpOp::Ge, Value::Float(hp_bound)),
+        ];
+        let views: Vec<_> = queries.iter().map(|q| w.register_view(q.clone())).collect();
+
+        let split = split_at.min(ops.len());
+        let mut live = Vec::new();
+        for op in &ops[..split] {
+            apply_index_op(&mut w, &mut live, op);
+        }
+        w.refresh_views();
+
+        // "crash": rebuild from rows + catalog, then resume the
+        // remaining workload on the restored world
+        let mut rw = restore_via_catalog(&w);
+        prop_assert_eq!(rw.tick(), w.tick());
+        for (&v, q) in views.iter().zip(&queries) {
+            // pre-restore handles resolve, rows carried over exactly
+            prop_assert!(rw.has_view(v));
+            prop_assert_eq!(rw.view_rows(v), w.view_rows(v), "at restore: {:?}", q);
+            prop_assert!(rw.view_changelog(v).is_empty(), "changelogs re-anchor");
+        }
+
+        // resuming entity bookkeeping: the live list must be rebuilt
+        // from the restored world, exactly as a restarted process would
+        let mut live = rw.entity_vec();
+        for op in &ops[split..] {
+            apply_index_op(&mut rw, &mut live, op);
+            if matches!(op, IndexOp::Tick) {
+                for (&v, q) in views.iter().zip(&queries) {
+                    let oracle = q.run_scan(&rw);
+                    prop_assert_eq!(
+                        rw.view_rows(v),
+                        oracle.as_slice(),
+                        "post-restore tick: {:?}", q
+                    );
+                }
+            }
+        }
+        rw.refresh_views();
+        for (&v, q) in views.iter().zip(&queries) {
+            let oracle = q.run_scan(&rw);
+            prop_assert_eq!(rw.view_rows(v), oracle.as_slice(), "final: {:?}", q);
+        }
+        // the restored index (if any) stayed a pure optimization
+        let probe = Query::select().filter("hp", CmpOp::Lt, Value::Float(hp_bound));
+        prop_assert_eq!(probe.run(&rw), probe.run_scan(&rw));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -37,12 +37,37 @@ impl From<std::io::Error> for BackendError {
     }
 }
 
+/// How a scheduled crash corrupts the durable log write it lands in —
+/// the failure modes the crash-point sweep ([`crate::crashpoint`])
+/// drives through every byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The append tears at the scheduled byte: a prefix of the record
+    /// reaches the platter, nothing after it does.
+    Torn,
+    /// The append completes its record but one bit at the scheduled
+    /// byte is flipped — the half-written-sector garbage a power cut
+    /// leaves behind.
+    BitFlip {
+        /// Which bit of the byte flips (0–7).
+        bit: u8,
+    },
+    /// The append is retried after a timeout and lands twice — the
+    /// checksum-valid duplicated tail of an at-least-once appender.
+    DuplicatedTail,
+}
+
 /// A directory-backed durable store with crash injection.
 #[derive(Debug)]
 pub struct Backend {
     dir: PathBuf,
     /// writes buffered since the last flush (crash discards these)
     unflushed: Vec<PendingWrite>,
+    /// scheduled log fault: `(byte offset into the durable log, kind)`
+    log_fault: Option<(u64, FaultKind)>,
+    /// a scheduled fault fired: all subsequent writes vanish until
+    /// [`Backend::crash`] acknowledges the crash
+    crashed: bool,
     /// total bytes durably written (the DB-load metric of E9)
     pub bytes_written: u64,
     /// snapshots durably installed
@@ -65,9 +90,26 @@ impl Backend {
         Ok(Backend {
             dir,
             unflushed: Vec::new(),
+            log_fault: None,
+            crashed: false,
             bytes_written: 0,
             snapshots_written: 0,
         })
+    }
+
+    /// Schedule a crash on the durable log write containing byte
+    /// `offset` (0-based, counted over the whole log's lifetime). When
+    /// an append crosses that byte, the fault corrupts it as `kind`
+    /// dictates and the backend stops accepting writes — exactly a
+    /// machine dying mid-I/O — until [`Backend::crash`] acknowledges
+    /// the crash and recovery begins.
+    pub fn schedule_log_fault(&mut self, offset: u64, kind: FaultKind) {
+        self.log_fault = Some((offset, kind));
+    }
+
+    /// True once a scheduled fault has fired.
+    pub fn fault_fired(&self) -> bool {
+        self.crashed
     }
 
     /// Directory this backend persists into.
@@ -101,9 +143,13 @@ impl Backend {
     }
 
     /// Flush all queued writes durably (temp-file + rename for snapshots,
-    /// append for the log).
+    /// append for the log). Writes queued after a scheduled fault fires
+    /// are lost, like everything else a dead machine was about to do.
     pub fn flush(&mut self) -> Result<(), BackendError> {
         for w in self.unflushed.drain(..) {
+            if self.crashed {
+                break;
+            }
             match w {
                 PendingWrite::Snapshot { seq, data } => {
                     let tmp = self.dir.join(format!("snapshot-{seq}.tmp"));
@@ -124,7 +170,28 @@ impl Backend {
                     fs::rename(&tmp, &fin)?;
                     self.bytes_written += data.len() as u64;
                 }
-                PendingWrite::LogAppend { data } => {
+                PendingWrite::LogAppend { mut data } => {
+                    // scheduled fault: does this append contain the
+                    // scheduled byte?
+                    if let Some((offset, kind)) = self.log_fault {
+                        let durable = match fs::metadata(self.dir.join("events.log")) {
+                            Ok(m) => m.len(),
+                            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+                            Err(e) => return Err(e.into()),
+                        };
+                        if offset >= durable && offset < durable + data.len() as u64 {
+                            let at = (offset - durable) as usize;
+                            match kind {
+                                FaultKind::Torn => data.truncate(at),
+                                FaultKind::BitFlip { bit } => data[at] ^= 1 << (bit % 8),
+                                FaultKind::DuplicatedTail => {
+                                    let copy = data.clone();
+                                    data.extend_from_slice(&copy);
+                                }
+                            }
+                            self.crashed = true;
+                        }
+                    }
                     let mut f = fs::OpenOptions::new()
                         .create(true)
                         .append(true)
@@ -147,9 +214,17 @@ impl Backend {
         Ok(())
     }
 
-    /// Simulate a crash: all unflushed writes vanish.
+    /// Simulate a crash: all unflushed writes vanish. Also acknowledges
+    /// a fired scheduled fault, so recovery can read what survived.
     pub fn crash(&mut self) {
         self.unflushed.clear();
+        self.log_fault = None;
+        self.crashed = false;
+    }
+
+    /// Read one durable snapshot.
+    pub fn read_snapshot(&self, seq: u64) -> Result<Vec<u8>, BackendError> {
+        Ok(fs::read(self.dir.join(format!("snapshot-{seq}.db")))?)
     }
 
     fn seqs_with_prefix(&self, prefix: &str) -> Result<Vec<u64>, BackendError> {
@@ -309,6 +384,59 @@ mod tests {
         let removed = b.prune_snapshots(2).unwrap();
         assert_eq!(removed, 3);
         assert_eq!(b.snapshot_seqs().unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn torn_fault_cuts_mid_append_and_kills_later_writes() {
+        let mut b = Backend::open(temp_dir("backend-fault1")).unwrap();
+        b.append_log(b"aaaa");
+        b.flush().unwrap();
+        // byte 6 is inside the second append
+        b.schedule_log_fault(6, FaultKind::Torn);
+        b.append_log(b"bbbb");
+        b.flush().unwrap();
+        assert!(b.fault_fired());
+        b.append_log(b"cccc");
+        b.put_snapshot(9, Bytes::from_static(b"late"));
+        b.flush().unwrap();
+        b.crash();
+        assert_eq!(b.read_log().unwrap(), b"aaaabb", "torn at byte 6");
+        assert!(
+            !b.snapshot_seqs().unwrap().contains(&9),
+            "post-crash snapshot writes must vanish"
+        );
+    }
+
+    #[test]
+    fn bit_flip_fault_corrupts_exactly_one_bit() {
+        let mut b = Backend::open(temp_dir("backend-fault2")).unwrap();
+        b.schedule_log_fault(2, FaultKind::BitFlip { bit: 0 });
+        b.append_log(&[0u8, 0, 0, 0]);
+        b.flush().unwrap();
+        b.crash();
+        assert_eq!(b.read_log().unwrap(), vec![0u8, 0, 1, 0]);
+    }
+
+    #[test]
+    fn duplicated_tail_fault_appends_twice() {
+        let mut b = Backend::open(temp_dir("backend-fault3")).unwrap();
+        b.append_log(b"head|");
+        b.flush().unwrap();
+        b.schedule_log_fault(5, FaultKind::DuplicatedTail);
+        b.append_log(b"tail|");
+        b.flush().unwrap();
+        b.crash();
+        assert_eq!(b.read_log().unwrap(), b"head|tail|tail|");
+    }
+
+    #[test]
+    fn fault_before_offset_leaves_writes_intact() {
+        let mut b = Backend::open(temp_dir("backend-fault4")).unwrap();
+        b.schedule_log_fault(100, FaultKind::Torn);
+        b.append_log(b"safe");
+        b.flush().unwrap();
+        assert!(!b.fault_fired());
+        assert_eq!(b.read_log().unwrap(), b"safe");
     }
 
     #[test]

@@ -228,7 +228,10 @@ impl GameStore {
     }
 
     /// Simulate a server crash followed by recovery from the backend.
-    /// The world rolls back to the latest durable checkpoint. Returns the
+    /// The world rolls back to the latest durable checkpoint — rows *and*
+    /// catalog: secondary indexes rebuild, standing views re-materialize
+    /// at their original slots (pre-crash view handles keep resolving),
+    /// and the lineage and tick counter are restored. Returns the
     /// recovered store.
     pub fn crash_and_recover(mut self) -> Result<(GameStore, RecoveryReport), BackendError> {
         self.backend.crash();
@@ -245,6 +248,11 @@ impl GameStore {
                 recovered_seq = dseq;
             }
         }
+        // delta replay flowed through the restored views' delta stream:
+        // fold it, then re-anchor changelogs at the recovery point so
+        // subscribers are not handed pre-crash churn a second time
+        world.refresh_views();
+        world.reset_view_changelogs();
         let report = RecoveryReport {
             recovered_seq,
             lost_game_seconds: self.now - self.last_checkpoint_at,
@@ -479,6 +487,117 @@ mod tests {
             incr * 10 < full,
             "incremental {incr} bytes vs full {full} bytes"
         );
+    }
+
+    #[test]
+    fn recovery_restores_catalog_through_delta_chain() {
+        use gamedb_content::{CmpOp, Value};
+        use gamedb_core::{IndexKind, Query};
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let ids: Vec<_> = (0..10)
+            .map(|i| {
+                let e = w.spawn_at(Vec2::new(i as f32, 0.0));
+                w.set_f32(e, "hp", 100.0).unwrap();
+                e
+            })
+            .collect();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        let wounded =
+            w.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)));
+        let backend = Backend::open(temp_dir("cp-catalog")).unwrap();
+        let mut s = GameStore::with_mode(
+            w,
+            backend,
+            CheckpointPolicy::Periodic { period: 1.0 },
+            SnapshotMode::Incremental { full_every: 100 },
+        )
+        .unwrap();
+        // two delta checkpoints; the second leaves ids[1] wounded
+        s.world.set_f32(ids[0], "hp", 80.0).unwrap();
+        s.observe(1.5, 0.0).unwrap();
+        s.world.set_f32(ids[1], "hp", 10.0).unwrap();
+        s.observe(1.5, 0.0).unwrap();
+        // post-checkpoint damage is lost in the crash
+        s.world.set_f32(ids[2], "hp", 5.0).unwrap();
+
+        let (recovered, report) = s.crash_and_recover().unwrap();
+        assert_eq!(report.recovered_seq, 2);
+        let w = &recovered.world;
+        assert_eq!(
+            w.indexed_components().collect::<Vec<_>>(),
+            vec![("hp", IndexKind::Sorted)]
+        );
+        // the pre-crash handle reads the recovered view; delta-chain
+        // replay flowed through view maintenance
+        assert!(w.has_view(wounded));
+        assert_eq!(w.view_rows(wounded), &[ids[1]]);
+        assert!(
+            w.view_changelog(wounded).is_empty(),
+            "changelogs re-anchor at the recovery point"
+        );
+        let q = Query::select().filter("hp", CmpOp::Lt, Value::Float(90.0));
+        assert_eq!(q.run(w), q.run_scan(w), "rebuilt index answers exactly");
+    }
+
+    #[test]
+    fn catalog_changes_after_base_snapshot_survive_delta_recovery() {
+        use gamedb_content::{CmpOp, Value};
+        use gamedb_core::{IndexKind, Query};
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let e = w.spawn_at(Vec2::ZERO);
+        w.set_f32(e, "hp", 5.0).unwrap();
+        // this index exists at the base snapshot, then is dropped later
+        w.create_index("hp", IndexKind::Hash).unwrap();
+        let doomed = w.register_view(Query::select());
+        let backend = Backend::open(temp_dir("cp-catalog-delta")).unwrap();
+        let mut s = GameStore::with_mode(
+            w,
+            backend,
+            CheckpointPolicy::Periodic { period: 1.0 },
+            SnapshotMode::Incremental { full_every: 100 },
+        )
+        .unwrap();
+        // catalog churn strictly after the base snapshot, before a
+        // durable *delta* checkpoint: drop the old derived state,
+        // register new, advance the tick
+        s.world.drop_index("hp");
+        s.world.drop_view(doomed);
+        s.world.create_index("hp", IndexKind::Sorted).unwrap();
+        let wounded = s
+            .world
+            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)));
+        s.world.advance_tick_to(9);
+        s.observe(1.5, 0.0).unwrap(); // delta checkpoint seq 1
+
+        let (recovered, report) = s.crash_and_recover().unwrap();
+        assert_eq!(report.recovered_seq, 1);
+        let w = &recovered.world;
+        assert_eq!(w.tick(), 9, "tick advances past the base snapshot");
+        assert_eq!(
+            w.indexed_components().collect::<Vec<_>>(),
+            vec![("hp", IndexKind::Sorted)],
+            "post-snapshot index lifecycle recovers from the delta"
+        );
+        assert!(!w.has_view(doomed), "view dropped after the base stays dropped");
+        assert!(w.has_view(wounded), "view registered after the base survives");
+        assert_eq!(w.view_rows(wounded), &[e]);
+    }
+
+    #[test]
+    fn recovery_restores_tick_counter() {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.advance_tick_to(42);
+        let backend = Backend::open(temp_dir("cp-tick")).unwrap();
+        let mut s =
+            GameStore::new(w, backend, CheckpointPolicy::Periodic { period: 5.0 }).unwrap();
+        s.world.advance_tick_to(45);
+        s.observe(6.0, 0.0).unwrap(); // checkpoint at tick 45
+        s.world.advance_tick_to(50); // lost in the crash
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world.tick(), 45, "tick rolls back to the checkpoint");
     }
 
     #[test]

@@ -1,0 +1,614 @@
+//! Deterministic crash-point sweep: prove recovery exact at **every**
+//! durable-write byte offset.
+//!
+//! The paper prices checkpoint policies by how much a crash loses;
+//! that accounting is only honest if recovery actually hands back the
+//! database it claims to. This module is the proof harness: a seeded
+//! scripted workload runs against a [`WalStore`] (synchronous logging,
+//! so every record is durable the moment its call returns), cloning the
+//! live in-memory world after every durable write — the *never-crashed
+//! oracle*. The sweep then simulates a crash at every byte offset of
+//! the durable log, under three fault models ([`FaultKind`]):
+//!
+//! * **Torn** — the append tears mid-record at the offset.
+//! * **Bit flip** — the record containing the offset lands whole but
+//!   with one bit inverted (half-written-sector garbage).
+//! * **Duplicated tail** — the final append lands twice (an
+//!   at-least-once retry), checksum-valid both times.
+//!
+//! For each crash point it recovers via the production algorithm
+//! ([`recover_from_parts`], the same code [`WalStore::crash_and_recover`]
+//! runs) and asserts the recovered world is **bit-identical** to the
+//! oracle at that point: full row dump, tick counter, the whole catalog,
+//! every secondary-index probe, every standing view's row set, and
+//! spatial queries. Because the workload exercises index and view
+//! lifecycle mid-stream, the sweep simultaneously proves the catalog
+//! records compose with checkpoints at every possible interleaving.
+//!
+//! Snapshot durability follows write ordering: a checkpoint's snapshot
+//! renames into place before its mark is appended, so a snapshot is
+//! durable at crash offset `o` iff `o` is at or past the first byte of
+//! its mark record — including the window where the snapshot exists but
+//! its mark was torn away, which is exactly the window the
+//! mark-anchored replay rule ([`crate::wal::replay_after_checkpoint`])
+//! protects.
+
+use gamedb_content::{CmpOp, Value, ValueType};
+use gamedb_core::{IndexKind, Query, ViewId, World};
+use gamedb_spatial::Vec2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::backend::{temp_dir, Backend, FaultKind};
+use crate::wal::{decode_log, WalRecord};
+use crate::walstore::{recover_from_parts, StoreError, WalStore};
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Workload seed — identical seeds produce identical logs, oracles,
+    /// and verdicts.
+    pub seed: u64,
+    /// Scripted workload length in ticks.
+    pub ticks: u64,
+    /// Test every `stride`-th byte offset (1 = every offset — the
+    /// acceptance setting; CI may bound larger sweeps).
+    pub stride: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 0xE9,
+            ticks: 50,
+            stride: 1,
+        }
+    }
+}
+
+/// What a completed sweep covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Durable log size swept.
+    pub log_bytes: usize,
+    /// Records in the never-crashed log.
+    pub records: usize,
+    /// Checkpoints the workload wrote (sweeping across their marks).
+    pub checkpoints: usize,
+    /// Torn-write crash points tested.
+    pub torn_tested: usize,
+    /// Bit-flip crash points tested.
+    pub bitflip_tested: usize,
+    /// Duplicated-tail crash points tested.
+    pub duplicated_tested: usize,
+}
+
+/// The scripted workload driver: a [`WalStore`] plus the oracle trace —
+/// `(durable log bytes, live world clone)` captured after every durable
+/// write.
+struct Driver {
+    store: WalStore,
+    oracle: Vec<(u64, World)>,
+    views: Vec<ViewId>,
+    rng: StdRng,
+}
+
+const TEAMS: [&str; 3] = ["red", "blue", "green"];
+
+fn seed_world() -> World {
+    let mut w = World::new();
+    w.define_component("hp", ValueType::Float).unwrap();
+    w.define_component("gold", ValueType::Int).unwrap();
+    w.define_component("team", ValueType::Str).unwrap();
+    w
+}
+
+impl Driver {
+    fn new(seed: u64, label: &str) -> Result<Driver, StoreError> {
+        let backend = Backend::open(temp_dir(label)).unwrap();
+        let initial = seed_world();
+        // byte 0 of the log: the store exists, no record survives — a
+        // crash before the base mark recovers to the initial world
+        let oracle = vec![(0, initial.clone())];
+        let store = WalStore::new(initial, backend, 1)?;
+        let mut d = Driver {
+            store,
+            oracle,
+            views: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        d.snap();
+        Ok(d)
+    }
+
+    /// Capture the oracle state at the current durable log length. Only
+    /// the first capture per length counts: once a live fault freezes
+    /// the log, later (lost) mutations must not overwrite the state the
+    /// durable prefix corresponds to. The clone folds its pending view
+    /// deltas, mirroring the refresh recovery performs before handing
+    /// the world back.
+    fn snap(&mut self) {
+        let len = self.store.backend().log_len().expect("log readable");
+        if self.oracle.last().is_none_or(|(l, _)| *l < len) {
+            let mut world = self.store.world().clone();
+            world.refresh_views();
+            self.oracle.push((len, world));
+        }
+    }
+
+    fn live_ids(&self) -> Vec<gamedb_core::EntityId> {
+        self.store.world().entity_vec()
+    }
+
+    fn view_query(&mut self) -> Query {
+        match self.rng.gen_range(0..4u32) {
+            0 => Query::select().filter(
+                "hp",
+                CmpOp::Lt,
+                Value::Float(self.rng.gen_range(10.0..90.0f32)),
+            ),
+            1 => Query::select().filter(
+                "team",
+                CmpOp::Eq,
+                Value::Str(TEAMS[self.rng.gen_range(0..TEAMS.len())].into()),
+            ),
+            2 => Query::select().within(
+                Vec2::new(
+                    self.rng.gen_range(-30.0..30.0f32),
+                    self.rng.gen_range(-30.0..30.0f32),
+                ),
+                self.rng.gen_range(5.0..40.0f32),
+            ),
+            _ => Query::select().filter(
+                "gold",
+                CmpOp::Ge,
+                Value::Int(self.rng.gen_range(0..80i64)),
+            ),
+        }
+    }
+
+    /// One random store operation. Every mutation goes through the
+    /// store (anything else would bypass the log and falsify the sweep).
+    fn step(&mut self) -> Result<(), StoreError> {
+        let ids = self.live_ids();
+        let roll = self.rng.gen_range(0..100u32);
+        match roll {
+            0..=34 => {
+                if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
+                    let hp = self.rng.gen_range(0.0..100.0f32);
+                    self.store.set(e, "hp", Value::Float(hp))?;
+                }
+            }
+            35..=44 => {
+                if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
+                    let gold = self.rng.gen_range(-20..100i64);
+                    self.store.set(e, "gold", Value::Int(gold))?;
+                }
+            }
+            45..=51 => {
+                if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
+                    let team = TEAMS[self.rng.gen_range(0..TEAMS.len())];
+                    self.store.set(e, "team", Value::Str(team.into()))?;
+                }
+            }
+            52..=61 => {
+                if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
+                    let p = Vec2::new(
+                        self.rng.gen_range(-40.0..40.0f32),
+                        self.rng.gen_range(-40.0..40.0f32),
+                    );
+                    self.store.set_pos(e, p)?;
+                }
+            }
+            62..=71 => {
+                let p = Vec2::new(
+                    self.rng.gen_range(-40.0..40.0f32),
+                    self.rng.gen_range(-40.0..40.0f32),
+                );
+                self.store.spawn_at(p)?;
+            }
+            72..=77 => {
+                if ids.len() > 3 {
+                    let e = ids[self.rng.gen_range(0..ids.len())];
+                    self.store.despawn(e)?;
+                }
+            }
+            78..=81 => {
+                if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
+                    if self.store.world().get(e, "hp").is_some() {
+                        self.store.remove_component(e, "hp")?;
+                    }
+                }
+            }
+            82..=84 => {
+                let (comp, kind) = [
+                    ("hp", IndexKind::Sorted),
+                    ("gold", IndexKind::Sorted),
+                    ("team", IndexKind::Hash),
+                ][self.rng.gen_range(0..3usize)];
+                if self.store.world().index_on(comp).is_none() {
+                    self.store.create_index(comp, kind)?;
+                }
+            }
+            85 => {
+                let comp = ["hp", "gold", "team"][self.rng.gen_range(0..3usize)];
+                if self.store.world().index_on(comp).is_some() {
+                    self.store.drop_index(comp)?;
+                }
+            }
+            86..=91 => {
+                if self.views.len() < 6 {
+                    let q = self.view_query();
+                    let v = self.store.register_view(q)?;
+                    self.views.push(v);
+                }
+            }
+            92..=94 => {
+                if !self.views.is_empty() {
+                    let v = self.views.swap_remove(self.rng.gen_range(0..self.views.len()));
+                    self.store.drop_view(v)?;
+                }
+            }
+            _ => {
+                if !self.views.is_empty() {
+                    let v = self.views[self.rng.gen_range(0..self.views.len())];
+                    let c = Vec2::new(
+                        self.rng.gen_range(-30.0..30.0f32),
+                        self.rng.gen_range(-30.0..30.0f32),
+                    );
+                    let r = self.rng.gen_range(5.0..40.0f32);
+                    self.store.retarget_view(v, c, r)?;
+                }
+            }
+        }
+        self.snap();
+        Ok(())
+    }
+
+    /// Run the scripted workload: a deterministic setup (index + views
+    /// registered up front so every crash point has derived state to
+    /// lose), then `ticks` rounds of random operations, a tick advance
+    /// each round, and a checkpoint every 12th round.
+    fn run(&mut self, ticks: u64) -> Result<(), StoreError> {
+        for i in 0..8 {
+            let p = Vec2::new(i as f32 * 7.0 - 28.0, (i % 3) as f32 * 9.0);
+            let e = self.store.spawn_at(p)?;
+            self.snap();
+            self.store.set(e, "hp", Value::Float(50.0 + i as f32))?;
+            self.snap();
+            self.store.set(e, "gold", Value::Int(10 * i as i64))?;
+            self.snap();
+            self.store
+                .set(e, "team", Value::Str(TEAMS[i as usize % 3].into()))?;
+            self.snap();
+        }
+        self.store.create_index("hp", IndexKind::Sorted)?;
+        self.snap();
+        let wounded = self
+            .store
+            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(55.0)))?;
+        self.snap();
+        let bubble = self
+            .store
+            .register_view(Query::select().within(Vec2::ZERO, 20.0))?;
+        self.snap();
+        self.views.push(wounded);
+        self.views.push(bubble);
+
+        for t in 0..ticks {
+            let ops = 1 + self.rng.gen_range(0..3u32);
+            for _ in 0..ops {
+                self.step()?;
+            }
+            self.store.advance_tick()?;
+            self.snap();
+            if (t + 1) % 12 == 0 {
+                self.store.checkpoint()?;
+                self.snap();
+            }
+        }
+        Ok(())
+    }
+
+    fn oracle_at(&self, log_bytes: u64) -> Option<&World> {
+        self.oracle
+            .iter()
+            .find(|(l, _)| *l == log_bytes)
+            .map(|(_, w)| w)
+    }
+}
+
+/// Byte ranges `[start, end)` of each framed record in an intact log.
+fn frame_bounds(log: &[u8]) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut pos = 0usize;
+    while log.len() - pos >= 8 {
+        let len = u32::from_le_bytes(log[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let end = pos + 8 + len;
+        if end > log.len() {
+            break;
+        }
+        bounds.push((pos, end));
+        pos = end;
+    }
+    bounds
+}
+
+/// Assert two worlds are the same database: rows, tick, catalog, every
+/// index probe, every standing view's row set, and spatial queries.
+/// Returns a description of the first divergence.
+pub fn assert_equivalent(recovered: &World, oracle: &World) -> Result<(), String> {
+    if recovered.rows() != oracle.rows() {
+        return Err("full row dumps differ".into());
+    }
+    if recovered.tick() != oracle.tick() {
+        return Err(format!(
+            "tick diverged: recovered {} vs oracle {}",
+            recovered.tick(),
+            oracle.tick()
+        ));
+    }
+    let rcat = recovered.export_catalog();
+    let ocat = oracle.export_catalog();
+    if rcat != ocat {
+        return Err(format!("catalogs differ: {rcat:?} vs {ocat:?}"));
+    }
+    // every index answers probes identically on both sides, and probes
+    // agree with the forced-scan oracle on the recovered world
+    for (component, _) in &rcat.indexes {
+        let probes: Vec<(CmpOp, Value)> = match oracle.component_type(component) {
+            Some(ValueType::Float) => [0.0f32, 20.0, 40.0, 55.0, 75.0, 99.0]
+                .iter()
+                .flat_map(|&v| {
+                    [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge]
+                        .into_iter()
+                        .map(move |op| (op, Value::Float(v)))
+                })
+                .collect(),
+            Some(ValueType::Int) => [-5i64, 0, 30, 70]
+                .iter()
+                .flat_map(|&v| {
+                    [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge]
+                        .into_iter()
+                        .map(move |op| (op, Value::Int(v)))
+                })
+                .collect(),
+            _ => TEAMS.iter().map(|t| (CmpOp::Eq, Value::Str((*t).into()))).collect(),
+        };
+        for (op, value) in probes {
+            if !recovered.index_supports(component, op) {
+                continue;
+            }
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            recovered.index_probe(component, op, &value, &mut got);
+            oracle.index_probe(component, op, &value, &mut want);
+            if got != want {
+                return Err(format!(
+                    "index probe {component} {op:?} {value:?} differs: {got:?} vs {want:?}"
+                ));
+            }
+            let scan = Query::select()
+                .filter(component.clone(), op, value.clone())
+                .run_scan(recovered);
+            if got != scan {
+                return Err(format!(
+                    "index probe {component} {op:?} {value:?} disagrees with scan"
+                ));
+            }
+        }
+    }
+    // every standing view: same rows, and rows == the scan oracle
+    for (slot, query) in &ocat.views {
+        let rid = recovered
+            .view_id_at(*slot)
+            .ok_or_else(|| format!("view slot {slot} missing after recovery"))?;
+        let oid = oracle.view_id_at(*slot).expect("oracle catalog slot");
+        if recovered.view_rows(rid) != oracle.view_rows(oid) {
+            return Err(format!("view slot {slot} rows differ ({query:?})"));
+        }
+        if recovered.view_rows(rid) != query.run_scan(recovered).as_slice() {
+            return Err(format!("view slot {slot} diverges from its scan oracle"));
+        }
+    }
+    // spatial index sanity
+    for (center, radius) in [(Vec2::ZERO, 25.0f32), (Vec2::new(15.0, -10.0), 12.0)] {
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        recovered.within(center, radius, &mut got);
+        oracle.within(center, radius, &mut want);
+        if got != want {
+            return Err(format!("spatial query at {center:?} r={radius} differs"));
+        }
+    }
+    Ok(())
+}
+
+/// The crash-point sweep. Runs the scripted workload once, then for
+/// every byte offset of the durable log simulates torn, bit-flip, and
+/// (at record boundaries) duplicated-tail crashes, recovers each, and
+/// holds the result to the never-crashed oracle. Errors name the first
+/// offending `(fault, offset)`.
+pub fn run_sweep(cfg: SweepConfig) -> Result<SweepReport, String> {
+    let mut driver = Driver::new(cfg.seed, "crash-sweep").map_err(|e| e.to_string())?;
+    driver.run(cfg.ticks).map_err(|e| e.to_string())?;
+
+    let log = driver
+        .store
+        .backend()
+        .read_log()
+        .map_err(|e| e.to_string())?;
+    let bounds = frame_bounds(&log);
+    let (records, consumed) = decode_log(&log);
+    if consumed != log.len() || records.len() != bounds.len() {
+        return Err("never-crashed log must decode completely".into());
+    }
+
+    // durable snapshots, each tagged with the byte where its mark record
+    // starts (the snapshot renames into place before that byte is
+    // attempted, so it is durable from there on)
+    let mut snapshots: Vec<(u64, Vec<u8>, usize)> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        if let WalRecord::CheckpointMark { seq } = r {
+            let data = driver
+                .store
+                .backend()
+                .read_snapshot(*seq)
+                .map_err(|e| e.to_string())?;
+            snapshots.push((*seq, data, bounds[i].0));
+        }
+    }
+    let checkpoints = snapshots.len().saturating_sub(1);
+
+    let stride = cfg.stride.max(1);
+    let durable_at = |o: usize| -> Vec<(u64, &[u8])> {
+        snapshots
+            .iter()
+            .filter(|(_, _, mark_start)| o >= *mark_start)
+            .map(|(seq, data, _)| (*seq, data.as_slice()))
+            .collect()
+    };
+    let check = |fault: &str, o: usize, faulted: &[u8], survivors: usize| -> Result<(), String> {
+        let parts = durable_at(o);
+        let (world, _, _) = recover_from_parts(&parts, faulted)
+            .map_err(|e| format!("{fault} @ {o}: recovery failed: {e}"))?;
+        let boundary = if survivors == 0 { 0 } else { bounds[survivors - 1].1 as u64 };
+        let oracle = driver
+            .oracle_at(boundary)
+            .ok_or_else(|| format!("{fault} @ {o}: no oracle at byte {boundary}"))?;
+        assert_equivalent(&world, oracle).map_err(|e| format!("{fault} @ {o}: {e}"))
+    };
+
+    // torn writes: the log cuts at every byte offset, mid-record or not
+    let mut torn_tested = 0;
+    for o in (0..=log.len()).step_by(stride) {
+        let survivors = bounds.iter().take_while(|(_, end)| *end <= o).count();
+        check("torn", o, &log[..o], survivors)?;
+        torn_tested += 1;
+    }
+
+    // bit flips: the record containing the byte lands whole but corrupt,
+    // nothing after it lands; every bit position gets its turn over the
+    // sweep ((offset % 8) rotates through the byte)
+    let mut bitflip_tested = 0;
+    for o in (0..log.len()).step_by(stride) {
+        let k = bounds
+            .iter()
+            .position(|(start, end)| o >= *start && o < *end)
+            .expect("every byte belongs to a record");
+        let mut faulted = log[..bounds[k].1].to_vec();
+        faulted[o] ^= 1 << (o % 8);
+        check("bit-flip", o, &faulted, k)?;
+        bitflip_tested += 1;
+    }
+
+    // duplicated tails: every record as the victim of an append retry
+    let mut duplicated_tested = 0;
+    for (i, (start, end)) in bounds.iter().enumerate() {
+        let mut faulted = log[..*end].to_vec();
+        faulted.extend_from_slice(&log[*start..*end]);
+        check("duplicated-tail", *start, &faulted, i + 1)?;
+        duplicated_tested += 1;
+    }
+
+    Ok(SweepReport {
+        log_bytes: log.len(),
+        records: records.len(),
+        checkpoints,
+        torn_tested,
+        bitflip_tested,
+        duplicated_tested,
+    })
+}
+
+/// End-to-end fault injection through the live [`Backend`]: re-run the
+/// scripted workload with a torn-write crash scheduled at `offset`,
+/// then recover through [`WalStore::crash_and_recover`] and hold the
+/// result to the oracle. Slower than [`run_sweep`] (one full workload
+/// per offset) but exercises the production wiring, durable snapshot
+/// ordering included.
+pub fn run_live_torn(seed: u64, ticks: u64, offset: u64) -> Result<(), String> {
+    let mut driver = Driver::new(seed, "crash-live").map_err(|e| e.to_string())?;
+    {
+        // schedule on the live backend before the workload starts
+        let backend = driver.store.backend_mut();
+        backend.schedule_log_fault(offset, FaultKind::Torn);
+    }
+    driver.run(ticks).map_err(|e| e.to_string())?;
+    let (store, _) = driver
+        .store
+        .crash_and_recover()
+        .map_err(|e| e.to_string())?;
+    let log = store.backend().read_log().map_err(|e| e.to_string())?;
+    let (_, consumed) = decode_log(&log);
+    let oracle = driver
+        .oracle
+        .iter()
+        .find(|(l, _)| *l == consumed as u64)
+        .map(|(_, w)| w)
+        .ok_or_else(|| format!("live torn @ {offset}: no oracle at byte {consumed}"))?;
+    assert_equivalent(store.world(), oracle).map_err(|e| format!("live torn @ {offset}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ISSUE-3 acceptance: a seeded 50-tick scripted workload, crashed
+    /// at **every** durable-write byte offset under torn, bit-flip, and
+    /// duplicated-tail faults, recovers to a world bit-identical to the
+    /// never-crashed oracle — rows, tick, catalog, every index probe,
+    /// every standing view. The final torn offset equals the full log,
+    /// pinning the `wal` policy's zero-loss claim.
+    #[test]
+    fn crash_sweep_every_offset_recovers_exactly() {
+        let report = run_sweep(SweepConfig::default()).unwrap();
+        assert_eq!(report.torn_tested, report.log_bytes + 1);
+        assert_eq!(report.bitflip_tested, report.log_bytes);
+        assert_eq!(report.duplicated_tested, report.records);
+        assert!(
+            report.checkpoints >= 2,
+            "the sweep must cross checkpoint marks: {report:?}"
+        );
+        assert!(
+            report.records > 100,
+            "workload too small to mean anything: {report:?}"
+        );
+    }
+
+    /// A different seed reshuffles the whole script; the sweep must
+    /// still hold at every offset (pins that the harness is not tuned
+    /// to one lucky history).
+    #[test]
+    fn crash_sweep_holds_for_a_second_seed() {
+        let report = run_sweep(SweepConfig {
+            seed: 0x5EED,
+            ticks: 30,
+            stride: 1,
+        })
+        .unwrap();
+        assert_eq!(report.torn_tested, report.log_bytes + 1);
+    }
+
+    /// Identical seeds produce identical logs and identical sweep
+    /// reports — the determinism the whole harness stands on.
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let cfg = SweepConfig {
+            seed: 7,
+            ticks: 10,
+            stride: 7,
+        };
+        assert_eq!(run_sweep(cfg).unwrap(), run_sweep(cfg).unwrap());
+    }
+
+    /// Live injection through the Backend's scheduled-fault path: torn
+    /// crashes at a spread of offsets (including byte 0 and inside the
+    /// base mark) recover through the production `crash_and_recover`.
+    #[test]
+    fn live_torn_injection_matches_oracle() {
+        for offset in [0u64, 5, 40, 173, 512, 1201] {
+            run_live_torn(11, 12, offset).unwrap();
+        }
+    }
+}

@@ -23,8 +23,13 @@ use gamedb_core::{EntityId, World, POS};
 
 use crate::snapshot::{checksum, get_value, put_value, SnapshotError};
 
-/// Delta format magic + version ("gDD" v1).
-const DELTA_MAGIC: u32 = 0x6744_4401;
+/// Delta format magic + version. v2 appends the world catalog
+/// (indexes, standing views, lineage, tick) to every delta: derived-
+/// state definitions and the tick counter change between checkpoints
+/// too, and an incremental recovery that replayed rows but restored
+/// the *base snapshot's* catalog would silently lose an index or view
+/// registered (or keep one dropped) after the last full snapshot.
+const DELTA_MAGIC: u32 = 0x6744_4402;
 
 /// Content hash of every live row, keyed by entity id bits.
 pub type RowHashes = HashMap<u64, u64>;
@@ -125,6 +130,12 @@ pub fn encode_delta(world: &World, prev: &RowHashes) -> (Bytes, RowHashes) {
             put_value(&mut body, &v);
         }
     }
+    // catalog + identity: carried wholesale (definitions are tiny next
+    // to rows) so recovery lands on this checkpoint's derived state and
+    // tick, not the base snapshot's
+    body.put_u64_le(world.lineage());
+    body.put_u64_le(world.tick());
+    crate::snapshot::put_catalog(&mut body, &world.export_catalog());
     let mut out = BytesMut::with_capacity(body.len() + 16);
     out.put_u32_le(DELTA_MAGIC);
     out.put_u32_le(body.len() as u32);
@@ -241,6 +252,16 @@ pub fn apply_delta(world: &mut World, data: &[u8]) -> Result<(), SnapshotError> 
             }
         }
     }
+
+    // catalog + identity: make derived state exactly match this
+    // checkpoint (drops included), adopt its lineage and tick
+    need!(16);
+    let lineage = buf.get_u64_le();
+    let tick = buf.get_u64_le();
+    let catalog = crate::snapshot::get_catalog(&mut buf, lineage, tick)?;
+    world
+        .reconcile_catalog(&catalog)
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
 
     Ok(())
 }

@@ -40,20 +40,22 @@
 
 pub mod backend;
 pub mod checkpoint;
+pub mod crashpoint;
 pub mod delta;
 pub mod schema;
 pub mod snapshot;
 pub mod wal;
 pub mod walstore;
 
-pub use backend::{temp_dir, Backend, BackendError};
+pub use backend::{temp_dir, Backend, BackendError, FaultKind};
 pub use checkpoint::{
     CheckpointPolicy, GameStore, Importance, RecoveryReport, SnapshotMode, StoreStats,
 };
+pub use crashpoint::{assert_equivalent, run_live_torn, run_sweep, SweepConfig, SweepReport};
 pub use delta::{apply_delta, encode_delta, row_hashes, RowHashes};
 pub use schema::{
     BlobStore, Migration, MigrationError, MigrationStats, SchemaVersion, StructuredStore,
 };
 pub use snapshot::{checksum, decode, encode, SnapshotError};
 pub use wal::{decode_log, replay_after_checkpoint, WalRecord};
-pub use walstore::{StoreError, WalStats, WalStore};
+pub use walstore::{recover_from_parts, StoreError, WalStats, WalStore};

@@ -6,12 +6,15 @@
 //! write (crash mid-checkpoint) is detected rather than half-loaded.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gamedb_content::{Value, ValueType};
-use gamedb_core::{EntityId, World};
+use gamedb_content::{CmpOp, Value, ValueType};
+use gamedb_core::{EntityId, IndexKind, Query, World, WorldCatalog};
+use gamedb_spatial::Vec2;
 use std::fmt;
 
-/// Format magic + version.
-const MAGIC: u32 = 0x6744_4201; // "gDB" v1
+/// Format magic + version. v2 appends the catalog (secondary indexes,
+/// standing views, lineage) to the row image — recovery that restores
+/// facts without the definitions deriving from them is not recovery.
+const MAGIC: u32 = 0x6744_4202; // "gDB" v2
 
 /// Errors decoding a snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,12 +83,12 @@ pub(crate) fn tag_type_pub(tag: u8) -> Result<ValueType, SnapshotError> {
     tag_type(tag)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, SnapshotError> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String, SnapshotError> {
     if buf.remaining() < 4 {
         return Err(SnapshotError::Truncated);
     }
@@ -144,6 +147,165 @@ pub(crate) fn get_value(buf: &mut Bytes, ty: ValueType) -> Result<Value, Snapsho
     })
 }
 
+fn op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn tag_op(tag: u8) -> Result<CmpOp, SnapshotError> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        t => return Err(SnapshotError::Corrupt(format!("unknown op tag {t}"))),
+    })
+}
+
+pub(crate) fn kind_tag(kind: IndexKind) -> u8 {
+    match kind {
+        IndexKind::Hash => 0,
+        IndexKind::Sorted => 1,
+    }
+}
+
+pub(crate) fn tag_kind(tag: u8) -> Result<IndexKind, SnapshotError> {
+    Ok(match tag {
+        0 => IndexKind::Hash,
+        1 => IndexKind::Sorted,
+        t => return Err(SnapshotError::Corrupt(format!("unknown index kind {t}"))),
+    })
+}
+
+/// Encode a standing query: predicates, spatial restriction, exclusion.
+/// Shared by the snapshot catalog section and the WAL's `RegisterView`
+/// record so both sides of recovery agree on the definition.
+pub(crate) fn put_query(buf: &mut BytesMut, q: &Query) {
+    buf.put_u32_le(q.predicates().len() as u32);
+    for p in q.predicates() {
+        put_str(buf, &p.component);
+        buf.put_u8(op_tag(p.op));
+        buf.put_u8(type_tag(p.value.value_type()));
+        put_value(buf, &p.value);
+    }
+    match q.spatial() {
+        Some((c, r)) => {
+            buf.put_u8(1);
+            buf.put_f32_le(c.x);
+            buf.put_f32_le(c.y);
+            buf.put_f32_le(r);
+        }
+        None => buf.put_u8(0),
+    }
+    match q.excluded() {
+        Some(e) => {
+            buf.put_u8(1);
+            buf.put_u64_le(e.to_bits());
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Inverse of [`put_query`].
+pub(crate) fn get_query(buf: &mut Bytes) -> Result<Query, SnapshotError> {
+    macro_rules! need {
+        ($n:expr) => {
+            if buf.remaining() < $n {
+                return Err(SnapshotError::Truncated);
+            }
+        };
+    }
+    need!(4);
+    let n_preds = buf.get_u32_le() as usize;
+    let mut q = Query::select();
+    for _ in 0..n_preds {
+        let component = get_str(buf)?;
+        need!(2);
+        let op = tag_op(buf.get_u8())?;
+        let ty = tag_type(buf.get_u8())?;
+        let value = get_value(buf, ty)?;
+        q = q.filter(component, op, value);
+    }
+    need!(1);
+    if buf.get_u8() != 0 {
+        need!(12);
+        let x = buf.get_f32_le();
+        let y = buf.get_f32_le();
+        let r = buf.get_f32_le();
+        q = q.within(Vec2::new(x, y), r);
+    }
+    need!(1);
+    if buf.get_u8() != 0 {
+        need!(8);
+        q = q.excluding(EntityId::from_bits(buf.get_u64_le()));
+    }
+    Ok(q)
+}
+
+/// Encode a world catalog (without lineage/tick, which the snapshot
+/// header already carries). Shared with the delta format, which
+/// carries the catalog wholesale per checkpoint — definitions are tiny
+/// next to rows, and "diffing" them would buy complexity, not bytes.
+pub(crate) fn put_catalog(buf: &mut BytesMut, cat: &WorldCatalog) {
+    buf.put_u32_le(cat.indexes.len() as u32);
+    for (component, kind) in &cat.indexes {
+        put_str(buf, component);
+        buf.put_u8(kind_tag(*kind));
+    }
+    buf.put_u32_le(cat.view_slots);
+    buf.put_u32_le(cat.views.len() as u32);
+    for (slot, query) in &cat.views {
+        buf.put_u32_le(*slot);
+        put_query(buf, query);
+    }
+}
+
+pub(crate) fn get_catalog(
+    buf: &mut Bytes,
+    lineage: u64,
+    tick: u64,
+) -> Result<WorldCatalog, SnapshotError> {
+    macro_rules! need {
+        ($n:expr) => {
+            if buf.remaining() < $n {
+                return Err(SnapshotError::Truncated);
+            }
+        };
+    }
+    need!(4);
+    let n_indexes = buf.get_u32_le() as usize;
+    let mut indexes = Vec::with_capacity(n_indexes);
+    for _ in 0..n_indexes {
+        let name = get_str(buf)?;
+        need!(1);
+        indexes.push((name, tag_kind(buf.get_u8())?));
+    }
+    need!(8);
+    let view_slots = buf.get_u32_le();
+    let n_views = buf.get_u32_le() as usize;
+    let mut views = Vec::with_capacity(n_views);
+    for _ in 0..n_views {
+        need!(4);
+        let slot = buf.get_u32_le();
+        views.push((slot, get_query(buf)?));
+    }
+    Ok(WorldCatalog {
+        lineage,
+        tick,
+        indexes,
+        view_slots,
+        views,
+    })
+}
+
 /// Serialize a world: header, schema, entities, rows, checksum.
 pub fn encode(world: &World) -> Bytes {
     let mut body = BytesMut::new();
@@ -176,10 +338,13 @@ pub fn encode(world: &World) -> Bytes {
             put_value(&mut body, &v);
         }
     }
-    // frame: magic, tick, len, body, checksum
-    let mut out = BytesMut::with_capacity(body.len() + 20);
+    // catalog: index definitions + standing views
+    put_catalog(&mut body, &world.export_catalog());
+    // frame: magic, tick, lineage, len, body, checksum
+    let mut out = BytesMut::with_capacity(body.len() + 28);
     out.put_u32_le(MAGIC);
     out.put_u64_le(world.tick());
+    out.put_u64_le(world.lineage());
     out.put_u32_le(body.len() as u32);
     let cksum = checksum(&body);
     out.put_slice(&body);
@@ -187,11 +352,13 @@ pub fn encode(world: &World) -> Bytes {
     out.freeze()
 }
 
-/// Deserialize a world. Returns the world and its tick counter value at
-/// encode time.
+/// Deserialize a world — rows *and* catalog: secondary indexes are
+/// rebuilt (backfilled), standing views re-materialize at their original
+/// slots with empty changelogs, and the lineage and tick counter are
+/// restored into the world (the returned tick equals `world.tick()`).
 pub fn decode(data: &[u8]) -> Result<(World, u64), SnapshotError> {
     let mut buf = Bytes::copy_from_slice(data);
-    if buf.remaining() < 16 {
+    if buf.remaining() < 24 {
         return Err(SnapshotError::Truncated);
     }
     let magic = buf.get_u32_le();
@@ -199,6 +366,7 @@ pub fn decode(data: &[u8]) -> Result<(World, u64), SnapshotError> {
         return Err(SnapshotError::BadMagic(magic));
     }
     let tick = buf.get_u64_le();
+    let lineage = buf.get_u64_le();
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len + 4 {
         return Err(SnapshotError::Truncated);
@@ -267,6 +435,12 @@ pub fn decode(data: &[u8]) -> Result<(World, u64), SnapshotError> {
                 .map_err(|err| SnapshotError::Corrupt(err.to_string()))?;
         }
     }
+    // catalog: rebuild indexes and views over the restored rows, adopt
+    // the recorded lineage and tick
+    let catalog = get_catalog(&mut buf, lineage, tick)?;
+    world
+        .import_catalog(&catalog)
+        .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
     Ok((world, tick))
 }
 
@@ -366,6 +540,63 @@ mod tests {
         let w = World::new();
         let (w2, _) = decode(&encode(&w)).unwrap();
         assert!(w2.is_empty());
+    }
+
+    #[test]
+    fn catalog_roundtrips_indexes_views_lineage_and_tick() {
+        use gamedb_content::CmpOp;
+        let mut w = sample_world();
+        w.create_index("hp", IndexKind::Sorted).unwrap();
+        w.create_index("name", IndexKind::Hash).unwrap();
+        let dropped = w.register_view(Query::select());
+        let wounded =
+            w.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(100.0)));
+        let first = w.entities().next().unwrap();
+        let near = w.register_view(
+            Query::select()
+                .within(Vec2::new(5.0, -5.0), 8.0)
+                .excluding(first),
+        );
+        w.drop_view(dropped);
+        w.refresh_views();
+
+        let (w2, _) = decode(&encode(&w)).unwrap();
+        assert_eq!(w2.lineage(), w.lineage());
+        assert_eq!(w2.tick(), w.tick());
+        assert_eq!(
+            w2.indexed_components().collect::<Vec<_>>(),
+            w.indexed_components().collect::<Vec<_>>()
+        );
+        // pre-encode handles resolve against the decoded world
+        for v in [wounded, near] {
+            assert!(w2.has_view(v));
+            assert_eq!(w2.view_rows(v), w.view_rows(v));
+            assert_eq!(w2.view_query(v), w.view_query(v));
+            assert!(w2.view_changelog(v).is_empty(), "changelogs re-anchor");
+        }
+        assert!(!w2.has_view(dropped), "burned slots stay burned");
+        assert_eq!(w2.export_catalog(), w.export_catalog());
+        // probe equivalence on the rebuilt index
+        let q = Query::select().filter("hp", CmpOp::Ge, Value::Float(50.0));
+        assert_eq!(q.run(&w2), q.run_scan(&w2));
+        assert_eq!(q.run(&w2), q.run(&w));
+    }
+
+    #[test]
+    fn decoded_views_stay_live_under_new_writes() {
+        use gamedb_content::CmpOp;
+        let mut w = sample_world();
+        let v = w.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(25.0)));
+        let (mut w2, _) = decode(&encode(&w)).unwrap();
+        let e = w2.entities().next().unwrap();
+        w2.set_f32(e, "hp", 1.0).unwrap();
+        w2.refresh_views();
+        assert!(w2.view_contains(v, e), "restored view tracks new writes");
+        assert_eq!(
+            w2.view_rows(v).to_vec(),
+            w2.view_query(v).run_scan(&w2),
+            "restored view agrees with the scan oracle"
+        );
     }
 
     #[test]

@@ -13,12 +13,21 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gamedb_content::Value;
-use gamedb_core::{CoreError, EntityId, World};
+use gamedb_core::{CoreError, EntityId, IndexKind, Query, World};
 use gamedb_spatial::Vec2;
 
-use crate::snapshot::{checksum, get_value, put_value, SnapshotError};
+use crate::snapshot::{
+    checksum, get_query, get_str, get_value, kind_tag, put_query, put_str, put_value, tag_kind,
+    SnapshotError,
+};
 
 /// One redo record.
+///
+/// Beyond row mutations, the log carries **catalog records**: index and
+/// standing-view lifecycle operations performed since the last
+/// checkpoint. Without them, a recovered world would come back with its
+/// rows but without its access paths and subscriptions — a different
+/// database wearing the same data.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// Set a component (also used for position updates).
@@ -34,12 +43,37 @@ pub enum WalRecord {
     /// Marks a completed checkpoint: records before this point are
     /// superseded by snapshot `seq`.
     CheckpointMark { seq: u64 },
+    /// Remove a component from an entity.
+    RemoveComponent { entity: EntityId, component: String },
+    /// Create a secondary index on a component.
+    CreateIndex { component: String, kind: IndexKind },
+    /// Drop the secondary index on a component.
+    DropIndex { component: String },
+    /// Register a standing view at an exact slot. Replay re-materializes
+    /// it from post-replay row state; the slot is recorded so pre-crash
+    /// [`gamedb_core::ViewId`] handles keep resolving after recovery.
+    RegisterView { slot: u32, query: Query },
+    /// Drop the standing view at a slot.
+    DropView { slot: u32 },
+    /// Move a spatial view's disk (interest bubbles following a focus).
+    RetargetView { slot: u32, x: f32, y: f32, radius: f32 },
+    /// Advance the tick counter to an absolute value, so recovered
+    /// worlds agree with the oracle on *when* they are — threshold
+    /// watchers and per-tick changelogs key off this.
+    TickTo { tick: u64 },
 }
 
 const TAG_SET: u8 = 1;
 const TAG_SPAWN: u8 = 2;
 const TAG_DESPAWN: u8 = 3;
 const TAG_MARK: u8 = 4;
+const TAG_REMOVE: u8 = 5;
+const TAG_CREATE_INDEX: u8 = 6;
+const TAG_DROP_INDEX: u8 = 7;
+const TAG_REGISTER_VIEW: u8 = 8;
+const TAG_DROP_VIEW: u8 = 9;
+const TAG_RETARGET_VIEW: u8 = 10;
+const TAG_TICK: u8 = 11;
 
 // value-type tags reuse the snapshot module's ordering
 fn value_tag(v: &Value) -> u8 {
@@ -94,6 +128,40 @@ impl WalRecord {
             WalRecord::CheckpointMark { seq } => {
                 payload.put_u8(TAG_MARK);
                 payload.put_u64_le(*seq);
+            }
+            WalRecord::RemoveComponent { entity, component } => {
+                payload.put_u8(TAG_REMOVE);
+                payload.put_u64_le(entity.to_bits());
+                put_str(&mut payload, component);
+            }
+            WalRecord::CreateIndex { component, kind } => {
+                payload.put_u8(TAG_CREATE_INDEX);
+                payload.put_u8(kind_tag(*kind));
+                put_str(&mut payload, component);
+            }
+            WalRecord::DropIndex { component } => {
+                payload.put_u8(TAG_DROP_INDEX);
+                put_str(&mut payload, component);
+            }
+            WalRecord::RegisterView { slot, query } => {
+                payload.put_u8(TAG_REGISTER_VIEW);
+                payload.put_u32_le(*slot);
+                put_query(&mut payload, query);
+            }
+            WalRecord::DropView { slot } => {
+                payload.put_u8(TAG_DROP_VIEW);
+                payload.put_u32_le(*slot);
+            }
+            WalRecord::RetargetView { slot, x, y, radius } => {
+                payload.put_u8(TAG_RETARGET_VIEW);
+                payload.put_u32_le(*slot);
+                payload.put_f32_le(*x);
+                payload.put_f32_le(*y);
+                payload.put_f32_le(*radius);
+            }
+            WalRecord::TickTo { tick } => {
+                payload.put_u8(TAG_TICK);
+                payload.put_u64_le(*tick);
             }
         }
         let mut framed = BytesMut::with_capacity(payload.len() + 8);
@@ -152,13 +220,65 @@ impl WalRecord {
                     seq: p.get_u64_le(),
                 }
             }
+            TAG_REMOVE => {
+                need!(8);
+                let entity = EntityId::from_bits(p.get_u64_le());
+                WalRecord::RemoveComponent {
+                    entity,
+                    component: get_str(&mut p)?,
+                }
+            }
+            TAG_CREATE_INDEX => {
+                need!(1);
+                let kind = tag_kind(p.get_u8())?;
+                WalRecord::CreateIndex {
+                    component: get_str(&mut p)?,
+                    kind,
+                }
+            }
+            TAG_DROP_INDEX => WalRecord::DropIndex {
+                component: get_str(&mut p)?,
+            },
+            TAG_REGISTER_VIEW => {
+                need!(4);
+                let slot = p.get_u32_le();
+                WalRecord::RegisterView {
+                    slot,
+                    query: get_query(&mut p)?,
+                }
+            }
+            TAG_DROP_VIEW => {
+                need!(4);
+                WalRecord::DropView {
+                    slot: p.get_u32_le(),
+                }
+            }
+            TAG_RETARGET_VIEW => {
+                need!(16);
+                let slot = p.get_u32_le();
+                let x = p.get_f32_le();
+                let y = p.get_f32_le();
+                let radius = p.get_f32_le();
+                WalRecord::RetargetView { slot, x, y, radius }
+            }
+            TAG_TICK => {
+                need!(8);
+                WalRecord::TickTo {
+                    tick: p.get_u64_le(),
+                }
+            }
             t => return Err(SnapshotError::Corrupt(format!("unknown wal tag {t}"))),
         })
     }
 
-    /// Apply a redo record to a world. Replay is idempotent-friendly:
-    /// spawning an entity that exists or despawning one that does not is
-    /// a clean error callers may choose to tolerate.
+    /// Apply a redo record to a world. **Redo is idempotent**: applying
+    /// a record whose effect is already present (a spawn of a live
+    /// entity with the exact same id, a duplicate index/view creation
+    /// with an identical definition, a stale despawn) is a clean no-op.
+    /// An at-least-once log append — the checksum-valid duplicated tail
+    /// a retried write leaves behind — therefore recovers to the same
+    /// world as an exactly-once log. Genuine conflicts (same slot,
+    /// different definition) still error.
     pub fn apply(&self, world: &mut World) -> Result<(), CoreError> {
         match self {
             WalRecord::Set {
@@ -172,7 +292,9 @@ impl WalRecord {
                 world.set(*entity, component, value.clone())
             }
             WalRecord::Spawn { entity, x, y } => {
-                world.restore_entity(*entity)?;
+                if !world.is_live(*entity) {
+                    world.restore_entity(*entity)?;
+                }
                 world.set_pos(*entity, Vec2::new(*x, *y))
             }
             WalRecord::Despawn { entity } => {
@@ -180,6 +302,36 @@ impl WalRecord {
                 Ok(())
             }
             WalRecord::CheckpointMark { .. } => Ok(()),
+            WalRecord::RemoveComponent { entity, component } => {
+                // a column the replay never (re)defined holds nothing to
+                // remove; a stale entity id means the despawn already won
+                if world.component_type(component).is_none() || !world.is_live(*entity) {
+                    return Ok(());
+                }
+                world.remove_component(*entity, component).map(|_| ())
+            }
+            WalRecord::CreateIndex { component, kind } => {
+                world.ensure_index(component, *kind).map(|_| ())
+            }
+            WalRecord::DropIndex { component } => {
+                world.drop_index(component);
+                Ok(())
+            }
+            WalRecord::RegisterView { slot, query } => {
+                world.import_view_at_slot(*slot, query.clone()).map(|_| ())
+            }
+            WalRecord::DropView { slot } => {
+                world.drop_view_slot(*slot);
+                Ok(())
+            }
+            WalRecord::RetargetView { slot, x, y, radius } => {
+                world.retarget_view_slot(*slot, Vec2::new(*x, *y), *radius);
+                Ok(())
+            }
+            WalRecord::TickTo { tick } => {
+                world.advance_tick_to(*tick);
+                Ok(())
+            }
         }
     }
 }
@@ -214,6 +366,16 @@ pub fn decode_log(data: &[u8]) -> (Vec<WalRecord>, usize) {
 /// the last `CheckpointMark { seq }` matching `snapshot_seq` are applied
 /// (earlier records are already reflected in the snapshot).
 ///
+/// **No matching mark ⇒ nothing replays.** Log appends are ordered, so a
+/// record written after snapshot `seq` can only exist in the durable log
+/// if the mark for `seq` made it there first; a missing mark means the
+/// crash tore the log at (or before) the mark itself, and every
+/// surviving record predates the snapshot. Replaying the whole log in
+/// that situation — the previous behavior — re-applies history the
+/// snapshot already contains, resurrecting despawned generations and
+/// un-dropping views. The crash-point sweep in [`crate::crashpoint`]
+/// exercises exactly this window.
+///
 /// Returns the number of records applied.
 pub fn replay_after_checkpoint(
     world: &mut World,
@@ -221,11 +383,13 @@ pub fn replay_after_checkpoint(
     snapshot_seq: u64,
 ) -> Result<usize, CoreError> {
     // find the last mark for this snapshot
-    let start = records
+    let Some(start) = records
         .iter()
         .rposition(|r| matches!(r, WalRecord::CheckpointMark { seq } if *seq == snapshot_seq))
         .map(|i| i + 1)
-        .unwrap_or(0);
+    else {
+        return Ok(0);
+    };
     let mut applied = 0;
     for r in &records[start..] {
         r.apply(world)?;
@@ -240,6 +404,7 @@ mod tests {
     use gamedb_content::ValueType;
 
     fn sample_records() -> Vec<WalRecord> {
+        use gamedb_content::CmpOp;
         let e = EntityId::from_bits(5 | (2u64 << 32));
         vec![
             WalRecord::Spawn {
@@ -256,6 +421,32 @@ mod tests {
                 entity: e,
                 component: "name".into(),
                 value: Value::Str("grünbart".into()),
+            },
+            WalRecord::CreateIndex {
+                component: "hp".into(),
+                kind: IndexKind::Sorted,
+            },
+            WalRecord::RegisterView {
+                slot: 0,
+                query: Query::select()
+                    .filter("hp", CmpOp::Lt, Value::Float(50.0))
+                    .within(Vec2::new(1.0, 2.0), 9.5)
+                    .excluding(e),
+            },
+            WalRecord::RetargetView {
+                slot: 0,
+                x: -3.0,
+                y: 4.0,
+                radius: 2.5,
+            },
+            WalRecord::TickTo { tick: 17 },
+            WalRecord::RemoveComponent {
+                entity: e,
+                component: "name".into(),
+            },
+            WalRecord::DropView { slot: 0 },
+            WalRecord::DropIndex {
+                component: "hp".into(),
             },
             WalRecord::CheckpointMark { seq: 3 },
             WalRecord::Despawn { entity: e },
@@ -375,7 +566,35 @@ mod tests {
     }
 
     #[test]
-    fn replay_without_mark_applies_everything() {
+    fn replay_without_matching_mark_applies_nothing() {
+        // a durable snapshot whose mark was torn out of the log: every
+        // surviving record predates the snapshot, so replaying them
+        // would re-apply history the snapshot already contains
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let e = w.spawn_at(Vec2::ZERO);
+        w.set_f32(e, "hp", 50.0).unwrap(); // state as of snapshot 2
+        let records = vec![
+            WalRecord::Set {
+                entity: e,
+                component: "hp".into(),
+                value: Value::Float(1.0),
+            },
+            WalRecord::CheckpointMark { seq: 1 },
+            WalRecord::Set {
+                entity: e,
+                component: "hp".into(),
+                value: Value::Float(2.0),
+            },
+        ];
+        let applied = replay_after_checkpoint(&mut w, &records, 2).unwrap();
+        assert_eq!(applied, 0, "no mark for seq 2: nothing may replay");
+        assert_eq!(w.get_f32(e, "hp"), Some(50.0));
+    }
+
+    #[test]
+    fn catalog_records_apply_and_maintain_derived_state() {
+        use gamedb_content::CmpOp;
         let mut w = World::new();
         let e = EntityId::from_bits(0);
         let records = vec![
@@ -389,9 +608,101 @@ mod tests {
                 component: "hp".into(),
                 value: Value::Float(5.0),
             },
+            WalRecord::CreateIndex {
+                component: "hp".into(),
+                kind: IndexKind::Sorted,
+            },
+            WalRecord::RegisterView {
+                slot: 0,
+                query: Query::select().filter("hp", CmpOp::Lt, Value::Float(10.0)),
+            },
+            WalRecord::TickTo { tick: 4 },
         ];
-        let applied = replay_after_checkpoint(&mut w, &records, 0).unwrap();
-        assert_eq!(applied, 2);
-        assert_eq!(w.get_f32(e, "hp"), Some(5.0));
+        for r in &records {
+            r.apply(&mut w).unwrap();
+        }
+        assert_eq!(w.tick(), 4);
+        let v = w.view_id_at(0).unwrap();
+        assert_eq!(w.view_rows(v), &[e]);
+        let mut out = vec![];
+        assert!(w.index_probe("hp", CmpOp::Lt, &Value::Float(10.0), &mut out));
+        assert_eq!(out, vec![e]);
+        // the restored view keeps tracking post-replay writes
+        WalRecord::Set {
+            entity: e,
+            component: "hp".into(),
+            value: Value::Float(50.0),
+        }
+        .apply(&mut w)
+        .unwrap();
+        w.refresh_views();
+        assert!(w.view_rows(v).is_empty());
+    }
+
+    /// Satellite: a checksum-valid **duplicated tail** — what an
+    /// at-least-once append retry leaves behind — must recover to the
+    /// same world as the exactly-once log, for every record type.
+    #[test]
+    fn duplicated_tail_replays_idempotently() {
+        let records = sample_records();
+        for dup in 0..records.len() {
+            // exactly-once replay of the prefix ending at `dup`
+            let mut once = World::new();
+            for r in &records[..=dup] {
+                r.apply(&mut once).unwrap();
+            }
+            once.refresh_views();
+            // at-least-once: the tail record is appended twice
+            let mut twice = World::new();
+            for r in &records[..=dup] {
+                r.apply(&mut twice).unwrap();
+            }
+            records[dup]
+                .apply(&mut twice)
+                .unwrap_or_else(|err| panic!("duplicate of {:?} must be tolerated: {err}", records[dup]));
+            twice.refresh_views();
+            assert_eq!(once.rows(), twice.rows(), "tail: {:?}", records[dup]);
+            assert_eq!(once.tick(), twice.tick());
+            assert_eq!(
+                once.export_catalog().indexes,
+                twice.export_catalog().indexes
+            );
+            assert_eq!(once.export_catalog().views, twice.export_catalog().views);
+        }
+    }
+
+    /// Satellite: a **bit flip inside any record** fails that record's
+    /// checksum, so decode keeps exactly the preceding records — the
+    /// corrupted one and everything after it never reach the world.
+    #[test]
+    fn mid_record_bit_flip_truncates_to_preceding_records() {
+        let records = sample_records();
+        let mut log = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            log.extend_from_slice(&r.encode());
+            boundaries.push(log.len());
+        }
+        for (k, window) in boundaries.windows(2).enumerate() {
+            let (start, end) = (window[0], window[1]);
+            // flip one bit at every byte of record k: frame length,
+            // payload, and trailing checksum alike
+            for pos in start..end {
+                for bit in [0u8, 3, 7] {
+                    let mut bad = log.clone();
+                    bad[pos] ^= 1 << bit;
+                    let (decoded, consumed) = decode_log(&bad);
+                    assert!(
+                        decoded.len() <= k,
+                        "flip at {pos} bit {bit}: record {k} or later survived corruption"
+                    );
+                    assert!(consumed <= start + (end - start));
+                    // the surviving prefix is exactly the untouched records
+                    if decoded.len() == k {
+                        assert_eq!(decoded, records[..k].to_vec());
+                    }
+                }
+            }
+        }
     }
 }

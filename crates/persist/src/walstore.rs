@@ -8,12 +8,54 @@
 //! standard database trade).
 
 use gamedb_content::Value;
-use gamedb_core::{CoreError, EntityId, World};
+use gamedb_core::{CoreError, EntityId, IndexKind, Query, ViewId, World};
 use gamedb_spatial::Vec2;
 
 use crate::backend::{Backend, BackendError};
 use crate::snapshot;
 use crate::wal::{decode_log, replay_after_checkpoint, WalRecord};
+
+/// Recover a world from raw durable parts: `(seq, bytes)` snapshots in
+/// ascending sequence order and the raw event log. This is the one
+/// recovery algorithm — [`WalStore::crash_and_recover`] and the
+/// crash-point sweep ([`crate::crashpoint`]) both run it:
+///
+/// 1. Decode the log into records, stopping cleanly at the first torn
+///    or corrupt frame.
+/// 2. Take the newest snapshot that decodes; fall back to older ones if
+///    a snapshot itself is unreadable.
+/// 3. Replay the record tail after that snapshot's checkpoint mark —
+///    nothing when the mark is absent (see
+///    [`replay_after_checkpoint`]); catalog records rebuild indexes and
+///    views along the way.
+/// 4. Fold outstanding view deltas and reset every changelog, so
+///    subscribers re-anchor at the recovery tick instead of receiving
+///    pre-crash churn twice.
+///
+/// Returns `(world, snapshot seq used, records replayed)`.
+pub fn recover_from_parts<S: AsRef<[u8]>>(
+    snapshots: &[(u64, S)],
+    log: &[u8],
+) -> Result<(World, u64, usize), StoreError> {
+    let (records, _) = decode_log(log);
+    let mut last_err: Option<StoreError> = None;
+    for (seq, data) in snapshots.iter().rev() {
+        let mut world = match snapshot::decode(data.as_ref()) {
+            Ok((world, _tick)) => world,
+            Err(e) => {
+                last_err = Some(StoreError::Backend(BackendError::Io(
+                    std::io::Error::other(e.to_string()),
+                )));
+                continue;
+            }
+        };
+        let replayed = replay_after_checkpoint(&mut world, &records, *seq)?;
+        world.refresh_views();
+        world.reset_view_changelogs();
+        return Ok((world, *seq, replayed));
+    }
+    Err(last_err.unwrap_or(StoreError::Backend(BackendError::NoSnapshot)))
+}
 
 /// Store statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -64,9 +106,27 @@ impl WalStore {
         &self.world
     }
 
+    /// Mutable world access for **view maintenance only**: subscribers
+    /// (threshold watchers, auditors, replicators) need `&mut World` to
+    /// fold pending deltas and consume changelogs between ticks —
+    /// bookkeeping that never changes row state, so the log stays
+    /// truthful. Row mutations through this reference bypass the WAL
+    /// and will not survive a crash — use the store's logged methods,
+    /// and register subscriber views via [`WalStore::ensure_view`] so
+    /// the subscriptions themselves are durable.
+    pub fn world_for_subscribers(&mut self) -> &mut World {
+        &mut self.world
+    }
+
     /// Backend access (write-volume metrics).
     pub fn backend(&self) -> &Backend {
         &self.backend
+    }
+
+    /// Mutable backend access — the crash-point sweep schedules byte-
+    /// offset faults on the live backend through this.
+    pub fn backend_mut(&mut self) -> &mut Backend {
+        &mut self.backend
     }
 
     fn log(&mut self, record: WalRecord) -> Result<(), BackendError> {
@@ -128,6 +188,112 @@ impl WalStore {
         Ok(was_live)
     }
 
+    /// Logged component removal.
+    pub fn remove_component(
+        &mut self,
+        id: EntityId,
+        component: &str,
+    ) -> Result<bool, StoreError> {
+        let removed = self.world.remove_component(id, component)?;
+        if removed {
+            self.log(WalRecord::RemoveComponent {
+                entity: id,
+                component: component.to_string(),
+            })?;
+        }
+        Ok(removed)
+    }
+
+    // ---- logged catalog operations ----
+    //
+    // Index and view lifecycle is state too: a recovered world without
+    // its access paths and subscriptions is a different database. Each
+    // operation mutates the live world and logs a catalog redo record;
+    // checkpoints capture the current catalog inside the snapshot, so
+    // recovery composes either way.
+
+    /// Logged secondary-index creation.
+    pub fn create_index(&mut self, component: &str, kind: IndexKind) -> Result<(), StoreError> {
+        self.world.create_index(component, kind)?;
+        self.log(WalRecord::CreateIndex {
+            component: component.to_string(),
+            kind,
+        })?;
+        Ok(())
+    }
+
+    /// Logged secondary-index drop.
+    pub fn drop_index(&mut self, component: &str) -> Result<bool, StoreError> {
+        let existed = self.world.drop_index(component);
+        if existed {
+            self.log(WalRecord::DropIndex {
+                component: component.to_string(),
+            })?;
+        }
+        Ok(existed)
+    }
+
+    /// Logged standing-view registration.
+    pub fn register_view(&mut self, query: Query) -> Result<ViewId, StoreError> {
+        let id = self.world.register_view(query.clone());
+        self.log(WalRecord::RegisterView {
+            slot: id.slot(),
+            query,
+        })?;
+        Ok(id)
+    }
+
+    /// The subscriber attach point: adopt the live view already
+    /// maintaining `query` (first boot registered it, or recovery
+    /// re-materialized it), or register — and log — a fresh one.
+    /// Subscribers that take a query (threshold watchers, auditors,
+    /// interest bubbles) should route their registration through this
+    /// rather than `world_for_subscribers().register_view(..)`, which
+    /// would bypass the log and leave the subscription behind on the
+    /// next crash.
+    pub fn ensure_view(&mut self, query: Query) -> Result<ViewId, StoreError> {
+        match self.world.find_view(&query) {
+            Some(id) => Ok(id),
+            None => self.register_view(query),
+        }
+    }
+
+    /// Logged standing-view drop.
+    pub fn drop_view(&mut self, id: ViewId) -> Result<bool, StoreError> {
+        let dropped = self.world.drop_view(id);
+        if dropped {
+            self.log(WalRecord::DropView { slot: id.slot() })?;
+        }
+        Ok(dropped)
+    }
+
+    /// Logged spatial-view retarget.
+    pub fn retarget_view(
+        &mut self,
+        id: ViewId,
+        center: Vec2,
+        radius: f32,
+    ) -> Result<(), StoreError> {
+        self.world.retarget_view(id, center, radius);
+        self.log(WalRecord::RetargetView {
+            slot: id.slot(),
+            x: center.x,
+            y: center.y,
+            radius,
+        })?;
+        Ok(())
+    }
+
+    /// Logged tick advance: views refresh and publish their changelog
+    /// batch, and recovery restores the counter so post-restart worlds
+    /// agree with the oracle on *when* they are.
+    pub fn advance_tick(&mut self) -> Result<u64, StoreError> {
+        let next = self.world.tick() + 1;
+        self.world.advance_tick_to(next);
+        self.log(WalRecord::TickTo { tick: next })?;
+        Ok(next)
+    }
+
     /// Write a checkpoint: snapshot + mark. The log logically truncates
     /// at the mark (replay skips everything before it).
     pub fn checkpoint(&mut self) -> Result<(), BackendError> {
@@ -172,16 +338,21 @@ impl WalStore {
     }
 
     /// Crash (unflushed writes vanish) then recover: load the latest
-    /// durable snapshot and replay the durable log tail. Returns the
-    /// recovered store and the number of records replayed.
+    /// decodable durable snapshot — catalog included — and replay the
+    /// durable log tail through [`recover_from_parts`]. The recovered
+    /// world carries its indexes, its standing views at their original
+    /// slots (pre-crash [`ViewId`] handles keep resolving), its lineage,
+    /// and its tick counter; view changelogs restart empty at the
+    /// recovery tick. Returns the recovered store and the number of
+    /// records replayed.
     pub fn crash_and_recover(mut self) -> Result<(WalStore, usize), StoreError> {
         self.backend.crash();
-        let (seq, snap) = self.backend.latest_snapshot()?;
-        let (mut world, _) = snapshot::decode(&snap)
-            .map_err(|e| StoreError::Backend(BackendError::Io(std::io::Error::other(e.to_string()))))?;
+        let mut snapshots = Vec::new();
+        for seq in self.backend.snapshot_seqs()? {
+            snapshots.push((seq, self.backend.read_snapshot(seq)?));
+        }
         let log = self.backend.read_log()?;
-        let (records, _) = decode_log(&log);
-        let replayed = replay_after_checkpoint(&mut world, &records, seq)?;
+        let (world, seq, replayed) = recover_from_parts(&snapshots, &log)?;
         Ok((
             WalStore {
                 world,
@@ -351,6 +522,104 @@ mod tests {
         let (s, _) = s.crash_and_recover().unwrap();
         assert_eq!(s.world().get_f32(e, "hp"), Some(2.0));
         assert!(s.world().is_live(f));
+    }
+
+    #[test]
+    fn catalog_operations_survive_recovery() {
+        use gamedb_content::CmpOp;
+        let mut s = fresh(1, "wal-catalog");
+        let a = s.spawn_at(Vec2::ZERO).unwrap();
+        let b = s.spawn_at(Vec2::new(50.0, 0.0)).unwrap();
+        s.set(a, "hp", Value::Float(5.0)).unwrap();
+        s.set(b, "hp", Value::Float(80.0)).unwrap();
+        s.create_index("hp", IndexKind::Sorted).unwrap();
+        let wounded = s
+            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)))
+            .unwrap();
+        let near = s
+            .register_view(Query::select().within(Vec2::ZERO, 10.0))
+            .unwrap();
+        s.retarget_view(near, Vec2::new(50.0, 0.0), 10.0).unwrap();
+        s.advance_tick().unwrap();
+        s.remove_component(a, "hp").unwrap();
+        s.advance_tick().unwrap();
+
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        let w = recovered.world();
+        assert_eq!(w.tick(), 2, "tick counter recovers");
+        // pre-crash handles resolve against the recovered world
+        assert!(w.has_view(wounded));
+        assert!(w.has_view(near));
+        assert_eq!(w.view_rows(wounded), w.view_query(wounded).run_scan(w));
+        assert!(w.view_rows(wounded).is_empty(), "a lost its hp component");
+        assert_eq!(w.view_rows(near), &[b], "retarget survived");
+        assert!(
+            w.view_changelog(wounded).is_empty() && w.view_changelog(near).is_empty(),
+            "changelogs re-anchor at the recovery tick"
+        );
+        // the rebuilt index answers probes exactly
+        let mut out = vec![];
+        assert!(w.index_probe("hp", CmpOp::Ge, &Value::Float(0.0), &mut out));
+        assert_eq!(out, vec![b]);
+    }
+
+    #[test]
+    fn dropped_catalog_entries_stay_dropped_after_recovery() {
+        let mut s = fresh(1, "wal-catalog-drop");
+        s.create_index("hp", IndexKind::Hash).unwrap();
+        let v = s.register_view(Query::select()).unwrap();
+        s.checkpoint().unwrap();
+        s.drop_view(v).unwrap();
+        s.drop_index("hp").unwrap();
+        let (recovered, replayed) = s.crash_and_recover().unwrap();
+        assert_eq!(replayed, 2);
+        let w = recovered.world();
+        assert!(!w.has_view(v), "dropped view stays dropped");
+        assert!(w.index_on("hp").is_none(), "dropped index stays dropped");
+        // the burned slot is not reused
+        let cat = w.export_catalog();
+        assert_eq!(cat.view_slots, 1);
+        assert!(cat.views.is_empty());
+    }
+
+    #[test]
+    fn catalog_in_snapshot_and_in_tail_compose() {
+        use gamedb_content::CmpOp;
+        let mut s = fresh(1, "wal-catalog-compose");
+        let a = s.spawn_at(Vec2::ZERO).unwrap();
+        s.set(a, "hp", Value::Float(5.0)).unwrap();
+        // index before the checkpoint (arrives via snapshot catalog)
+        s.create_index("hp", IndexKind::Sorted).unwrap();
+        s.checkpoint().unwrap();
+        // view after the checkpoint (arrives via WAL replay)
+        let v = s
+            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)))
+            .unwrap();
+        let b = s.spawn_at(Vec2::ZERO).unwrap();
+        s.set(b, "hp", Value::Float(1.0)).unwrap();
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        let w = recovered.world();
+        assert_eq!(w.indexed_components().collect::<Vec<_>>(), vec![("hp", IndexKind::Sorted)]);
+        assert_eq!(w.view_rows(v), &[a, b]);
+        assert_eq!(w.view_rows(v), w.view_query(v).run_scan(w));
+    }
+
+    #[test]
+    fn recovery_tolerates_a_corrupt_latest_snapshot() {
+        use std::io::Write;
+        let mut s = fresh(1, "wal-snap-fallback");
+        let e = s.spawn_at(Vec2::ZERO).unwrap();
+        s.set(e, "hp", Value::Float(3.0)).unwrap();
+        s.checkpoint().unwrap();
+        s.set(e, "hp", Value::Float(9.0)).unwrap();
+        // scribble over snapshot 1: recovery must fall back to snapshot 0
+        // and replay the full tail (whose mark-1 record is a no-op)
+        let path = s.backend().dir().join("snapshot-1.db");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(b"scribble").unwrap();
+        drop(f);
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(9.0));
     }
 
     #[test]

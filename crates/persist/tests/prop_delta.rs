@@ -119,7 +119,9 @@ proptest! {
     }
 
     /// An empty mutation burst yields a delta that changes nothing and is
-    /// small (bounded by the schema header).
+    /// small (bounded by the schema header plus the constant catalog
+    /// trailer — this world has no indexes or views, so the catalog is
+    /// its fixed-size empty encoding).
     #[test]
     fn idle_deltas_are_tiny_and_inert(
         warmup in proptest::collection::vec(op_strategy(), 0..20),
@@ -131,7 +133,7 @@ proptest! {
         let hashes = row_hashes(&world);
         let (delta, fresh) = encode_delta(&world, &hashes);
         prop_assert_eq!(&hashes, &fresh);
-        prop_assert!(delta.len() < 64, "idle delta was {} bytes", delta.len());
+        prop_assert!(delta.len() < 96, "idle delta was {} bytes", delta.len());
         let mut copy = world.clone();
         apply_delta(&mut copy, &delta).unwrap();
         prop_assert_eq!(copy.rows(), world.rows());

@@ -151,6 +151,37 @@ impl CandidateView {
         })
     }
 
+    /// Re-attach to this mob's standing aggro view after a restart:
+    /// recovery re-materializes views, so the candidate set already
+    /// exists in the recovered world — identified by the exact shape
+    /// [`CandidateView::register`] creates (a bare spatial disk
+    /// excluding the mob, no predicates). When the recovered disk
+    /// disagrees with the caller's `radius` or the mob's current
+    /// position, the view is retargeted immediately so a stationary mob
+    /// is not left reading a stale disk forever. Falls back to
+    /// registering a fresh view when none survives. Returns `None` when
+    /// the mob has no position.
+    pub fn reattach(world: &mut World, mob: EntityId, radius: f32) -> Option<Self> {
+        let center = world.pos(mob)?;
+        for id in world.view_ids() {
+            let q = world.view_query(id);
+            if q.excluded() != Some(mob) || !q.predicates().is_empty() {
+                continue;
+            }
+            let Some((anchor, r)) = q.spatial() else { continue };
+            if anchor != center || r != radius {
+                world.retarget_view(id, center, radius);
+            }
+            return Some(CandidateView {
+                mob,
+                radius,
+                view: id,
+                anchor: center,
+            });
+        }
+        Self::register(world, mob, radius)
+    }
+
     /// The mob this view follows.
     pub fn mob(&self) -> EntityId {
         self.mob

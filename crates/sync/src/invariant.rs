@@ -117,9 +117,18 @@ impl Auditor {
     /// different world falls back to the query. Call
     /// [`Auditor::audit_tick`] (or `world.refresh_views()` before
     /// `audit`) so the view reflects the tick being audited.
+    ///
+    /// After a crash recovery the view still exists (the persistence
+    /// catalog re-materialized it), so a freshly constructed auditor
+    /// re-attaches to it here instead of registering a duplicate.
     pub fn subscribe_overdrafts(&mut self, world: &mut World) {
         if self.overdraft_view.is_none() {
-            self.overdraft_view = Some(world.register_view(overdraft_query()));
+            let query = overdraft_query();
+            self.overdraft_view = Some(
+                world
+                    .find_view(&query)
+                    .unwrap_or_else(|| world.register_view(query)),
+            );
         }
     }
 

@@ -138,12 +138,39 @@ impl Replicator {
     /// focus incrementally, so [`Replicator::sync_live`] walks only the
     /// bubble's members (plus unpositioned global state) instead of
     /// every row of the world. No-op for unbounded interest.
+    ///
     pub fn attach_view(&mut self, world: &mut World) {
         if self.interest_view.is_none() && self.interest.radius.is_finite() {
             let (cx, cy) = self.interest.center;
             let r = self.interest.radius + self.interest.margin;
             self.interest_view =
                 Some(world.register_view(Query::select().within(Vec2::new(cx, cy), r)));
+            self.view_anchor = (self.interest.center, r);
+        }
+    }
+
+    /// [`Replicator::attach_view`] for a world recovered from the
+    /// persistence layer: the interest view survived the crash (the
+    /// snapshot/WAL catalog re-materialized it), so a replicator rebuilt
+    /// after a restart adopts the view matching its interest query
+    /// instead of registering a duplicate; a fresh view is registered
+    /// when none survives.
+    ///
+    /// Re-attachment is deliberately **not** the default `attach_view`
+    /// behavior: a replicator retargets its view as the focus moves, so
+    /// two live replicators must never share one — adoption is only
+    /// sound when the caller knows the matching view is its own orphan
+    /// (the restart path).
+    pub fn reattach_view(&mut self, world: &mut World) {
+        if self.interest_view.is_none() && self.interest.radius.is_finite() {
+            let (cx, cy) = self.interest.center;
+            let r = self.interest.radius + self.interest.margin;
+            let query = Query::select().within(Vec2::new(cx, cy), r);
+            self.interest_view = Some(
+                world
+                    .find_view(&query)
+                    .unwrap_or_else(|| world.register_view(query)),
+            );
             self.view_anchor = (self.interest.center, r);
         }
     }

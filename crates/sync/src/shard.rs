@@ -403,6 +403,54 @@ mod tests {
         assert_eq!(mgr.stats().total_migrations, 0);
     }
 
+    /// ISSUE-3 satellite: `DynamicBubbles` placement is a pure function
+    /// of world state + previous placement — two runs from identical
+    /// seeds produce identical node assignments tick for tick (no
+    /// HashMap-iteration or thread-scheduling nondeterminism), which is
+    /// what makes the E12 experiments and any future failover replay
+    /// reproducible.
+    #[test]
+    fn dynamic_bubbles_placement_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<Vec<(EntityId, NodeId)>> {
+            let cfg = WorkloadConfig {
+                players: 120,
+                map_size: 400.0,
+                seed,
+                ..Default::default()
+            };
+            let mut wl = Workload::new(cfg);
+            let mut mgr = ShardManager::new(
+                5,
+                AssignPolicy::DynamicBubbles {
+                    cfg: BubbleConfig::default(),
+                    max_overload: 1.3,
+                },
+            );
+            let mut placements = Vec::new();
+            for _ in 0..8 {
+                let batch = wl.next_batch();
+                let assignment = mgr.tick(&wl.world, &batch);
+                let mut sorted: Vec<(EntityId, NodeId)> =
+                    assignment.node_of.iter().map(|(&e, &n)| (e, n)).collect();
+                sorted.sort_unstable();
+                placements.push(sorted);
+                // evolve the world so later ticks exercise stickiness
+                let event = Vec2::new(200.0, 200.0);
+                let players = wl.players.clone();
+                step_flock(&mut wl.world, &players, event, 4.0);
+            }
+            placements
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "identical seeds must place identically");
+        assert_ne!(
+            a,
+            run(43),
+            "a different seed must actually reshuffle the world (sanity)"
+        );
+    }
+
     #[test]
     fn flock_overloads_static_zone() {
         // everyone walks to one corner event: the owning zone's node ends

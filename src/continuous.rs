@@ -35,6 +35,23 @@ impl ThresholdWatcher {
     /// materialization, not crossings — matching a poller that starts
     /// observing now.
     pub fn register(world: &mut World, triggers: &TriggerSet) -> Self {
+        Self::build(world, triggers, false)
+    }
+
+    /// [`ThresholdWatcher::register`] for a world recovered from the
+    /// persistence layer: the standing views survived the crash (the
+    /// snapshot/WAL catalog re-materializes them with changelogs
+    /// re-anchored at the recovery tick), so the watcher **re-attaches**
+    /// to each existing view instead of registering duplicates. Entities
+    /// already below a threshold at recovery are materialized rows, not
+    /// crossings — exactly the pre-crash subscription state, so nothing
+    /// double-fires on restart. Triggers whose views did not survive
+    /// (e.g. first boot) register fresh ones.
+    pub fn reattach(world: &mut World, triggers: &TriggerSet) -> Self {
+        Self::build(world, triggers, true)
+    }
+
+    fn build(world: &mut World, triggers: &TriggerSet, adopt: bool) -> Self {
         let mut entries = Vec::new();
         for t in triggers.iter() {
             if let EventKind::StatBelow {
@@ -42,11 +59,15 @@ impl ThresholdWatcher {
                 threshold,
             } = &t.event
             {
-                let view = world.register_view(Query::select().filter(
+                let query = Query::select().filter(
                     component.clone(),
                     CmpOp::Lt,
                     Value::Float(*threshold as f32),
-                ));
+                );
+                let view = adopt
+                    .then(|| world.find_view(&query))
+                    .flatten()
+                    .unwrap_or_else(|| world.register_view(query));
                 entries.push((t.id.clone(), view, component.clone(), *threshold));
             }
         }
