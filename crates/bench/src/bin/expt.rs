@@ -949,8 +949,10 @@ fn e9(full: bool) {
         for k in 0..total_mutations {
             let id = ids[rng.gen_range(0..ids.len())];
             store
+                .world_mut()
                 .set(id, "hp", Value::Float(k as f32 % 100.0))
                 .unwrap();
+            store.commit().unwrap();
         }
         let records = store.stats.records;
         let flushes = store.stats.flushes;
@@ -1037,7 +1039,11 @@ fn e9(full: bool) {
         let mut rng = StdRng::seed_from_u64(7);
         for k in 0..muts {
             let id = ids[rng.gen_range(0..ids.len())];
-            store.set(id, "hp", Value::Float(k as f32 % 100.0)).unwrap();
+            store
+                .world_mut()
+                .set(id, "hp", Value::Float(k as f32 % 100.0))
+                .unwrap();
+            store.commit().unwrap();
         }
         store.checkpoint().unwrap();
         let (before, after) = store.compact_log().unwrap();

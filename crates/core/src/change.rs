@@ -1,0 +1,442 @@
+//! The unified change-capture pipeline: one ordered mutation stream
+//! behind every world write, consumed declaratively by every derived
+//! subsystem.
+//!
+//! The paper's thesis is that a game *is* a database, so its machinery
+//! should be database machinery. Before this module, each derived
+//! subsystem (index maintenance, standing views, the WAL, replication)
+//! was hand-wired into every `World` write path separately — four
+//! parallel taps, each a chance to miss a mutation. Now every mutation
+//! funnels through a single internal commit path that appends a typed
+//! [`Change`] record to an ordered, tick-stamped **change stream**:
+//!
+//! * **Standing views** fold the stream at every refresh
+//!   ([`crate::world::World::refresh_views`]).
+//! * **Durability** is a tap: `gamedb-persist`'s `WalStore` attaches one
+//!   ([`crate::world::World::attach_tap`]) and turns each pending
+//!   segment into one group-commit WAL frame — so *any* mutation of the
+//!   world (scripted ticks, effect batches, direct writes) is durable,
+//!   not just calls that went through a mirrored store API.
+//! * **Replication** is a tap: `gamedb-sync`'s `Replicator::sync_stream`
+//!   ships only the rows a segment touched instead of re-walking state.
+//!
+//! ## Record taxonomy
+//!
+//! Row ops ([`ChangeOp::Set`], [`ChangeOp::Removed`],
+//! [`ChangeOp::Spawned`], [`ChangeOp::Despawned`]) describe live-entity
+//! state and are recorded whenever *any* consumer is attached (a
+//! standing view or a tap). Catalog ops (`CreateIndex`/`DropIndex`/
+//! `RegisterView`/`DropView`/`RetargetView`) and tick stamps
+//! ([`ChangeOp::TickTo`]) describe derived-state lifecycle and time;
+//! views do not consume them, so they are recorded only while a tap is
+//! attached. With no consumers at all, nothing is recorded and writes
+//! stay on the fast path.
+//!
+//! ## Ordering guarantees
+//!
+//! * Records carry a gap-free, monotonically increasing `seq`; every
+//!   consumer observes records in that one order.
+//! * Per `(entity, component)` slot, the `old` value of each `Set`
+//!   equals the `new` value of the previous `Set` on that slot (or the
+//!   pre-stream value) — replaying a recorded stream onto the base
+//!   state reconstructs the world exactly (property-tested).
+//! * A tap never observes a record twice: its cursor only moves forward
+//!   ([`crate::world::World::ack_tap`]). Records are retained until the
+//!   slowest consumer has consumed them, then reclaimed.
+//!
+//! [`WriteBatch`] is the batch commit surface: the tick executor's
+//! merged effect buffers resolve into one batch and commit through
+//! [`crate::world::World::apply_batch`] with amortized index
+//! maintenance — and, with a durability tap attached, one WAL frame for
+//! the whole batch instead of one per call.
+
+use gamedb_content::Value;
+use gamedb_spatial::Vec2;
+
+use crate::entity::EntityId;
+use crate::index::IndexKind;
+use crate::query::Query;
+
+/// One record of the world's ordered change stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Change {
+    /// Position in the world's total mutation order (gap-free,
+    /// monotonically increasing).
+    pub seq: u64,
+    /// Tick counter at the moment the mutation committed.
+    pub tick: u64,
+    /// What changed.
+    pub op: ChangeOp,
+}
+
+/// The typed payload of a [`Change`] record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeOp {
+    /// A component was written. `old` is `None` when the component was
+    /// newly added to the entity.
+    Set {
+        id: EntityId,
+        component: String,
+        old: Option<Value>,
+        new: Value,
+    },
+    /// A component was removed from an entity.
+    Removed {
+        id: EntityId,
+        component: String,
+        old: Value,
+    },
+    /// An entity came to life (spawn or snapshot restore).
+    Spawned { id: EntityId },
+    /// An entity died; all its components are gone with it.
+    Despawned { id: EntityId },
+    /// A secondary index was created on a component.
+    CreateIndex { component: String, kind: IndexKind },
+    /// The secondary index on a component was dropped.
+    DropIndex { component: String },
+    /// A standing view was registered at a slot.
+    RegisterView { slot: u32, query: Query },
+    /// The standing view at a slot was dropped.
+    DropView { slot: u32 },
+    /// A spatial view's disk moved (interest bubbles following a focus).
+    RetargetView { slot: u32, x: f32, y: f32, radius: f32 },
+    /// The tick counter advanced to an absolute value.
+    TickTo { tick: u64 },
+}
+
+impl ChangeOp {
+    /// The entity a row op touches; `None` for catalog and tick ops.
+    pub fn entity(&self) -> Option<EntityId> {
+        match self {
+            ChangeOp::Set { id, .. }
+            | ChangeOp::Removed { id, .. }
+            | ChangeOp::Spawned { id }
+            | ChangeOp::Despawned { id } => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// True for row ops (entity state), false for catalog/tick ops.
+    pub fn is_row_op(&self) -> bool {
+        self.entity().is_some()
+    }
+}
+
+/// Handle to an attached change-stream tap (see
+/// [`crate::world::World::attach_tap`]). The handle is only meaningful
+/// against the world (or clone lineage) that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TapId(pub(crate) u32);
+
+/// The world's change stream: the retained record window plus one
+/// cursor per consumer (the standing-view fold position and every
+/// attached tap). Records are reclaimed once every cursor has passed
+/// them.
+///
+/// `Clone` is manual: taps do **not** survive into a clone. A tap's
+/// `TapId` is held by the consumer that attached it against the
+/// original world — nothing could ever ack the cloned cursor, so a
+/// copied tap would pin the clone's record window (and per-write
+/// recording cost) forever. Clones keep the retained records and the
+/// view fold cursor (their standing views still need the pending
+/// segment) and start with no taps.
+#[derive(Debug, Default)]
+pub(crate) struct ChangeStream {
+    /// Retained records, oldest first; `records[i]` has seq `base + i`.
+    records: Vec<Change>,
+    /// Seq of `records[0]`.
+    base: u64,
+    /// Seq the next record will get.
+    next: u64,
+    /// Fold position of the standing-view registry.
+    views_at: u64,
+    /// Cursor per attached tap; `None` marks a detached slot.
+    taps: Vec<Option<u64>>,
+}
+
+impl Clone for ChangeStream {
+    fn clone(&self) -> Self {
+        ChangeStream {
+            records: self.records.clone(),
+            base: self.base,
+            next: self.next,
+            views_at: self.views_at,
+            taps: Vec::new(),
+        }
+    }
+}
+
+impl ChangeStream {
+    /// True while at least one tap is attached (catalog/tick ops are
+    /// recorded only then).
+    #[inline]
+    pub fn has_taps(&self) -> bool {
+        self.taps.iter().any(Option::is_some)
+    }
+
+    /// Append a record stamped with the current tick.
+    pub fn record(&mut self, tick: u64, op: ChangeOp) {
+        self.records.push(Change {
+            seq: self.next,
+            tick,
+            op,
+        });
+        self.next += 1;
+    }
+
+    /// Seq the next record will receive (how far the stream has run).
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    fn idx(&self, seq: u64) -> usize {
+        (seq.max(self.base) - self.base) as usize
+    }
+
+    /// Records the standing views have not folded yet.
+    pub fn pending_views(&self) -> &[Change] {
+        &self.records[self.idx(self.views_at)..]
+    }
+
+    /// Advance the view fold cursor past everything recorded so far.
+    pub fn mark_views_folded(&mut self) {
+        self.views_at = self.next;
+        self.gc();
+    }
+
+    /// Attach a tap whose cursor starts at the current end of stream.
+    pub fn attach(&mut self) -> TapId {
+        if let Some(i) = self.taps.iter().position(Option::is_none) {
+            self.taps[i] = Some(self.next);
+            TapId(i as u32)
+        } else {
+            self.taps.push(Some(self.next));
+            TapId((self.taps.len() - 1) as u32)
+        }
+    }
+
+    /// Detach a tap; returns whether it was attached.
+    pub fn detach(&mut self, tap: TapId) -> bool {
+        match self.taps.get_mut(tap.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.gc();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records the tap has not consumed yet (empty for detached taps).
+    pub fn tap_pending(&self, tap: TapId) -> &[Change] {
+        match self.taps.get(tap.0 as usize).copied().flatten() {
+            Some(cursor) => &self.records[self.idx(cursor)..],
+            None => &[],
+        }
+    }
+
+    /// Move the tap's cursor past everything recorded so far. Cursors
+    /// only move forward: a tap never sees a record twice.
+    pub fn ack(&mut self, tap: TapId) {
+        if let Some(slot @ Some(_)) = self.taps.get_mut(tap.0 as usize) {
+            *slot = Some(self.next);
+            self.gc();
+        }
+    }
+
+    /// Drop every retained record (only sound with no consumers left).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.base = self.next;
+        self.views_at = self.next;
+    }
+
+    /// Reclaim records every cursor has passed.
+    fn gc(&mut self) {
+        let mut min = self.views_at;
+        for cursor in self.taps.iter().flatten() {
+            min = min.min(*cursor);
+        }
+        if min > self.base {
+            self.records.drain(..(min - self.base) as usize);
+            self.base = min;
+        }
+    }
+}
+
+/// One primitive write of a [`WriteBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOp {
+    /// Set a component value (non-`pos`; `pos` values route through
+    /// [`BatchOp::SetPos`] semantics either way).
+    Set {
+        id: EntityId,
+        component: String,
+        value: Value,
+    },
+    /// Move an entity.
+    SetPos { id: EntityId, pos: Vec2 },
+    /// Remove a component from an entity.
+    Remove { id: EntityId, component: String },
+    /// Despawn an entity.
+    Despawn { id: EntityId },
+    /// Spawn a fresh entity at a position with initial components
+    /// (unknown components are auto-defined from the value's type, as
+    /// template spawning does).
+    Spawn {
+        components: Vec<(String, Value)>,
+        pos: Vec2,
+    },
+}
+
+/// An ordered batch of primitive writes committed in one call through
+/// [`crate::world::World::apply_batch`]. Maximal runs of value writes
+/// are regrouped by component internally (per-slot order preserved), so
+/// column resolution and index lookup are paid once per component group
+/// instead of once per write — and a durability tap sees the whole
+/// batch as one segment, i.e. one group-commit WAL frame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WriteBatch {
+    pub(crate) ops: Vec<BatchOp>,
+}
+
+impl WriteBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a component write.
+    pub fn set(&mut self, id: EntityId, component: impl Into<String>, value: Value) {
+        self.ops.push(BatchOp::Set {
+            id,
+            component: component.into(),
+            value,
+        });
+    }
+
+    /// Queue a position write.
+    pub fn set_pos(&mut self, id: EntityId, pos: Vec2) {
+        self.ops.push(BatchOp::SetPos { id, pos });
+    }
+
+    /// Queue a component removal.
+    pub fn remove(&mut self, id: EntityId, component: impl Into<String>) {
+        self.ops.push(BatchOp::Remove {
+            id,
+            component: component.into(),
+        });
+    }
+
+    /// Queue a despawn.
+    pub fn despawn(&mut self, id: EntityId) {
+        self.ops.push(BatchOp::Despawn { id });
+    }
+
+    /// Queue a spawn.
+    pub fn spawn(&mut self, components: Vec<(String, Value)>, pos: Vec2) {
+        self.ops.push(BatchOp::Spawn { components, pos });
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued ops, in order.
+    pub fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(i: u64) -> ChangeOp {
+        ChangeOp::Despawned {
+            id: EntityId::from_bits(i),
+        }
+    }
+
+    #[test]
+    fn taps_see_each_record_exactly_once() {
+        let mut s = ChangeStream::default();
+        let t = s.attach();
+        s.record(0, op(1));
+        s.record(0, op(2));
+        assert_eq!(s.tap_pending(t).len(), 2);
+        s.ack(t);
+        assert!(s.tap_pending(t).is_empty());
+        s.record(1, op(3));
+        let pending = s.tap_pending(t);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].seq, 2);
+        assert_eq!(pending[0].tick, 1);
+    }
+
+    #[test]
+    fn records_retained_until_slowest_consumer_acks() {
+        let mut s = ChangeStream::default();
+        let a = s.attach();
+        let b = s.attach();
+        s.record(0, op(1));
+        s.mark_views_folded();
+        s.ack(a);
+        // b has not acked: the record must survive for it
+        assert_eq!(s.tap_pending(b).len(), 1);
+        s.ack(b);
+        assert!(s.records.is_empty(), "all cursors passed: reclaimed");
+    }
+
+    #[test]
+    fn detach_frees_the_slot_and_releases_records() {
+        let mut s = ChangeStream::default();
+        let a = s.attach();
+        s.record(0, op(1));
+        s.mark_views_folded();
+        assert!(s.detach(a));
+        assert!(!s.detach(a));
+        assert!(s.records.is_empty());
+        assert!(s.tap_pending(a).is_empty(), "detached tap reads nothing");
+        // the slot is reused, cursor anchored at the current end
+        let b = s.attach();
+        assert_eq!(a.0, b.0);
+        assert!(s.tap_pending(b).is_empty());
+    }
+
+    #[test]
+    fn clones_do_not_inherit_taps() {
+        let mut s = ChangeStream::default();
+        let t = s.attach();
+        s.record(0, op(1));
+        let mut c = s.clone();
+        assert!(!c.has_taps(), "a cloned cursor could never be acked");
+        assert!(c.tap_pending(t).is_empty());
+        // the view window survives the clone; gc can reclaim it
+        assert_eq!(c.pending_views().len(), 1);
+        c.mark_views_folded();
+        assert!(c.records.is_empty());
+        // the original tap is untouched
+        assert_eq!(s.tap_pending(t).len(), 1);
+    }
+
+    #[test]
+    fn seq_is_gap_free_across_gc() {
+        let mut s = ChangeStream::default();
+        let t = s.attach();
+        for i in 0..5 {
+            s.record(0, op(i));
+        }
+        s.mark_views_folded();
+        s.ack(t);
+        s.record(0, op(99));
+        assert_eq!(s.tap_pending(t)[0].seq, 5);
+        assert_eq!(s.next_seq(), 6);
+    }
+}

@@ -12,6 +12,7 @@
 use gamedb_content::Value;
 use gamedb_spatial::Vec2;
 
+use crate::change::WriteBatch;
 use crate::entity::EntityId;
 use crate::world::{CoreError, World, POS};
 
@@ -130,155 +131,191 @@ impl EffectBuffer {
         self.despawns.extend(other.despawns);
     }
 
-    /// Apply everything to the world: effects in canonical order, then
-    /// despawns, then spawns. Effects on entities that despawned this
-    /// tick (or were already dead) are dropped silently — scripts race
-    /// against deaths every tick and that must not be an error.
+    /// Apply everything to the world as **one batch commit**: effects in
+    /// canonical order, then despawns, then spawns. Effects on entities
+    /// that despawned this tick (or were already dead) are dropped
+    /// silently — scripts race against deaths every tick and that must
+    /// not be an error.
     ///
-    /// Returns the number of effects actually applied.
+    /// Effects are first *resolved* against a read-through overlay: all
+    /// combinators targeting one `(entity, component)` slot fold into a
+    /// single final value (each reading the previous effect's result,
+    /// exactly as sequential application would), and only that final
+    /// value is written — one index update and one change-stream record
+    /// per touched slot, however many effects piled onto it. The
+    /// resolved writes, despawns, and spawns then commit through
+    /// [`World::apply_batch`], so a durability tap sees the whole tick
+    /// as one stream segment (one group-commit WAL frame).
+    ///
+    /// Returns the number of effects resolved. Combinator type errors
+    /// surface during resolution, before anything is written; errors
+    /// only detectable at the final write (unknown component, resolved
+    /// value vs column type) abort [`World::apply_batch`] at the
+    /// offending op with earlier slots already applied — callers treat
+    /// any error as a failed tick either way.
     pub fn apply(mut self, world: &mut World) -> Result<usize, CoreError> {
+        use gamedb_content::ValueType;
         // Canonical order: entity, component, then effect kind/payload.
         self.ops.sort_by(|a, b| {
             a.0.cmp(&b.0)
                 .then_with(|| a.1.cmp(&b.1))
                 .then_with(|| a.2.order_key().cmp(&b.2.order_key()))
         });
+        let mut batch = WriteBatch::new();
         let mut applied = 0usize;
-        for (id, component, effect) in self.ops {
+        let mut i = 0;
+        while i < self.ops.len() {
+            // one run = every effect on one (entity, component) slot
+            let (id, component) = (self.ops[i].0, self.ops[i].1.as_str());
+            let j = i + self.ops[i..]
+                .iter()
+                .take_while(|(id2, c2, _)| *id2 == id && c2 == component)
+                .count();
             if !world.is_live(id) {
+                i = j;
                 continue;
             }
-            match effect {
-                Effect::Set(v) => {
-                    world.set(id, &component, v)?;
-                }
-                Effect::Add(x) => {
-                    if component == POS {
-                        return Err(CoreError::TypeMismatch {
-                            component,
-                            expected: gamedb_content::ValueType::Vec2,
-                            got: gamedb_content::ValueType::Float,
-                        });
-                    }
-                    match world.get(id, &component) {
-                        Some(Value::Float(cur)) => {
-                            world.set(id, &component, Value::Float(cur + x as f32))?
-                        }
-                        Some(Value::Int(cur)) => {
-                            world.set(id, &component, Value::Int(cur + x as i64))?
-                        }
-                        // Adding to an absent numeric component treats it
-                        // as its zero (designers expect counters to work
-                        // without initialization).
-                        None => match world.component_type(&component) {
-                            Some(gamedb_content::ValueType::Float) => {
-                                world.set(id, &component, Value::Float(x as f32))?
-                            }
-                            Some(gamedb_content::ValueType::Int) => {
-                                world.set(id, &component, Value::Int(x as i64))?
-                            }
-                            Some(other) => {
-                                return Err(CoreError::TypeMismatch {
-                                    component,
-                                    expected: other,
-                                    got: gamedb_content::ValueType::Float,
-                                })
-                            }
-                            None => return Err(CoreError::UnknownComponent(component)),
-                        },
-                        Some(other) => {
-                            return Err(CoreError::TypeMismatch {
-                                component,
-                                expected: other.value_type(),
-                                got: gamedb_content::ValueType::Float,
-                            })
-                        }
-                    }
-                }
-                Effect::Min(x) | Effect::Max(x) => {
-                    let is_min = matches!(effect, Effect::Min(_));
-                    match world.get(id, &component) {
-                        Some(Value::Float(cur)) => {
-                            let next = if is_min {
-                                (cur as f64).min(x)
-                            } else {
-                                (cur as f64).max(x)
-                            };
-                            world.set(id, &component, Value::Float(next as f32))?;
-                        }
-                        Some(Value::Int(cur)) => {
-                            let next = if is_min {
-                                (cur as f64).min(x)
-                            } else {
-                                (cur as f64).max(x)
-                            };
-                            world.set(id, &component, Value::Int(next as i64))?;
-                        }
-                        None => match world.component_type(&component) {
-                            Some(gamedb_content::ValueType::Float) => {
-                                world.set(id, &component, Value::Float(x as f32))?
-                            }
-                            Some(gamedb_content::ValueType::Int) => {
-                                world.set(id, &component, Value::Int(x as i64))?
-                            }
-                            Some(other) => {
-                                return Err(CoreError::TypeMismatch {
-                                    component,
-                                    expected: other,
-                                    got: gamedb_content::ValueType::Float,
-                                })
-                            }
-                            None => return Err(CoreError::UnknownComponent(component)),
-                        },
-                        Some(other) => {
-                            return Err(CoreError::TypeMismatch {
-                                component,
-                                expected: other.value_type(),
-                                got: gamedb_content::ValueType::Float,
-                            })
-                        }
-                    }
-                }
-                Effect::AddVec2(dx, dy) => {
-                    if component == POS {
-                        let cur = world.pos(id).unwrap_or(Vec2::ZERO);
-                        world.set_pos(id, Vec2::new(cur.x + dx, cur.y + dy))?;
-                    } else {
-                        let (cx, cy) = match world.get(id, &component) {
-                            Some(Value::Vec2(x, y)) => (x, y),
-                            None => (0.0, 0.0),
-                            Some(other) => {
-                                return Err(CoreError::TypeMismatch {
-                                    component,
-                                    expected: other.value_type(),
-                                    got: gamedb_content::ValueType::Vec2,
-                                })
-                            }
+            let is_pos = component == POS;
+            // the overlay: starts at the world's value, each effect in
+            // the run reads the previous effect's result
+            let mut cur: Option<Value> = world.get(id, component);
+            for (_, _, effect) in &self.ops[i..j] {
+                match effect {
+                    Effect::Set(v) => {
+                        let expected = if is_pos {
+                            Some(ValueType::Vec2)
+                        } else {
+                            world.component_type(component)
                         };
-                        world.set(id, &component, Value::Vec2(cx + dx, cy + dy))?;
+                        match expected {
+                            Some(ty) if v.value_type() == ty => cur = Some(v.clone()),
+                            Some(ty) => {
+                                return Err(CoreError::TypeMismatch {
+                                    component: component.to_string(),
+                                    expected: ty,
+                                    got: v.value_type(),
+                                })
+                            }
+                            None => {
+                                return Err(CoreError::UnknownComponent(component.to_string()))
+                            }
+                        }
+                    }
+                    Effect::Add(x) => {
+                        if is_pos {
+                            return Err(CoreError::TypeMismatch {
+                                component: component.to_string(),
+                                expected: ValueType::Vec2,
+                                got: ValueType::Float,
+                            });
+                        }
+                        match &cur {
+                            Some(Value::Float(c)) => cur = Some(Value::Float(c + *x as f32)),
+                            Some(Value::Int(c)) => cur = Some(Value::Int(c + *x as i64)),
+                            // Adding to an absent numeric component
+                            // treats it as its zero (designers expect
+                            // counters to work without initialization).
+                            None => match world.component_type(component) {
+                                Some(ValueType::Float) => cur = Some(Value::Float(*x as f32)),
+                                Some(ValueType::Int) => cur = Some(Value::Int(*x as i64)),
+                                Some(other) => {
+                                    return Err(CoreError::TypeMismatch {
+                                        component: component.to_string(),
+                                        expected: other,
+                                        got: ValueType::Float,
+                                    })
+                                }
+                                None => {
+                                    return Err(CoreError::UnknownComponent(
+                                        component.to_string(),
+                                    ))
+                                }
+                            },
+                            Some(other) => {
+                                return Err(CoreError::TypeMismatch {
+                                    component: component.to_string(),
+                                    expected: other.value_type(),
+                                    got: ValueType::Float,
+                                })
+                            }
+                        }
+                    }
+                    Effect::Min(x) | Effect::Max(x) => {
+                        let is_min = matches!(effect, Effect::Min(_));
+                        let bound = |c: f64| if is_min { c.min(*x) } else { c.max(*x) };
+                        match &cur {
+                            Some(Value::Float(c)) => {
+                                cur = Some(Value::Float(bound(*c as f64) as f32))
+                            }
+                            Some(Value::Int(c)) => cur = Some(Value::Int(bound(*c as f64) as i64)),
+                            None => match world.component_type(component) {
+                                Some(ValueType::Float) => cur = Some(Value::Float(*x as f32)),
+                                Some(ValueType::Int) => cur = Some(Value::Int(*x as i64)),
+                                Some(other) => {
+                                    return Err(CoreError::TypeMismatch {
+                                        component: component.to_string(),
+                                        expected: other,
+                                        got: ValueType::Float,
+                                    })
+                                }
+                                None => {
+                                    return Err(CoreError::UnknownComponent(
+                                        component.to_string(),
+                                    ))
+                                }
+                            },
+                            Some(other) => {
+                                return Err(CoreError::TypeMismatch {
+                                    component: component.to_string(),
+                                    expected: other.value_type(),
+                                    got: ValueType::Float,
+                                })
+                            }
+                        }
+                    }
+                    Effect::AddVec2(dx, dy) => {
+                        if is_pos {
+                            let p = match &cur {
+                                Some(Value::Vec2(x, y)) => Vec2::new(*x, *y),
+                                _ => Vec2::ZERO,
+                            };
+                            cur = Some(Value::Vec2(p.x + dx, p.y + dy));
+                        } else {
+                            let (cx, cy) = match &cur {
+                                Some(Value::Vec2(x, y)) => (*x, *y),
+                                None => (0.0, 0.0),
+                                Some(other) => {
+                                    return Err(CoreError::TypeMismatch {
+                                        component: component.to_string(),
+                                        expected: other.value_type(),
+                                        got: ValueType::Vec2,
+                                    })
+                                }
+                            };
+                            cur = Some(Value::Vec2(cx + dx, cy + dy));
+                        }
                     }
                 }
+                applied += 1;
             }
-            applied += 1;
+            match cur {
+                Some(Value::Vec2(x, y)) if is_pos => batch.set_pos(id, Vec2::new(x, y)),
+                Some(v) => batch.set(id, component, v),
+                None => {}
+            }
+            i = j;
         }
         // Despawns: dedupe, deterministic order.
         self.despawns.sort_unstable();
         self.despawns.dedup();
         for id in self.despawns {
-            world.despawn(id);
+            batch.despawn(id);
         }
         // Spawns in buffer order (merge order is chunk-deterministic).
         for req in self.spawns {
-            let id = world.spawn_at(req.pos);
-            for (component, value) in req.components {
-                if world.component_type(&component).is_none() {
-                    // auto-define like template spawning does
-                    let ty = value.value_type();
-                    let _ = world.define_component(&component, ty);
-                }
-                world.set(id, &component, value)?;
-            }
+            batch.spawn(req.components, req.pos);
         }
+        world.apply_batch(batch)?;
         Ok(applied)
     }
 }

@@ -20,8 +20,13 @@
 //! * [`planner`] — table statistics and cost-based plan selection
 //!   ([`TableStats`], [`plan`]) over scan / spatial / attribute-index
 //!   access paths.
+//! * [`change`](mod@change) — the unified change-capture pipeline: one
+//!   ordered, tick-stamped mutation stream ([`Change`]) behind every
+//!   write, with pluggable taps ([`World::attach_tap`]) feeding views,
+//!   durability, and replication, and the batch commit surface
+//!   ([`WriteBatch`], [`World::apply_batch`]).
 //! * [`view`](mod@view) — continuous queries: standing views maintained
-//!   incrementally from the per-tick delta stream
+//!   incrementally by folding the change stream
 //!   ([`World::register_view`], [`Changelog`]).
 //! * [`effect`] — deferred commutative writes ([`EffectBuffer`]).
 //! * [`exec`] — sequential/parallel tick execution ([`TickExecutor`]).
@@ -50,6 +55,7 @@
 //! assert_eq!(wounded, vec![hero]);
 //! ```
 
+pub mod change;
 pub mod column;
 pub mod effect;
 pub mod entity;
@@ -60,6 +66,7 @@ pub mod query;
 pub mod view;
 pub mod world;
 
+pub use change::{BatchOp, Change, ChangeOp, TapId, WriteBatch};
 pub use column::{Column, ColumnData};
 pub use effect::{Effect, EffectBuffer, SpawnRequest};
 pub use entity::{EntityAllocator, EntityId};
@@ -67,5 +74,5 @@ pub use exec::{System, TickExecutor, TickStats};
 pub use index::{IndexKey, IndexKind, SecondaryIndex};
 pub use planner::{plan, Access, ColumnStats, Plan, TableStats};
 pub use query::{aggregate, compare, AggFn, AggResult, Pred, Query};
-pub use view::{Changelog, Delta, ViewId, ViewRegistry, ViewStats};
+pub use view::{Changelog, ViewId, ViewRegistry, ViewStats};
 pub use world::{CoreError, World, WorldCatalog, WorldEntityView, POS};

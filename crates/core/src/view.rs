@@ -1,5 +1,5 @@
 //! Continuous queries: standing views maintained incrementally from the
-//! world's per-tick delta stream.
+//! world's change stream.
 //!
 //! The paper's central pitch is that game computation is *declarative
 //! set-at-a-time processing over a database* — yet every recurring
@@ -8,21 +8,24 @@
 //! re-running a full query each tick. This module gives those questions
 //! the database answer: a **materialized view**. Callers register a
 //! standing [`Query`] with [`crate::world::World::register_view`]; every
-//! write path then emits a compact [`Delta`] (`entity, component,
-//! old → new`) into the world's log, and
+//! write path then commits a typed [`crate::change::Change`] record
+//! (`entity, component, old → new`) to the world's change stream, and
 //! [`crate::world::World::refresh_views`] (called automatically at tick
-//! end) folds the batch into each view's materialized result set,
-//! producing a per-tick [`Changelog`] of `entered` / `exited` / `changed`
-//! rows.
+//! end) folds the pending segment into each view's materialized result
+//! set, producing a per-tick [`Changelog`] of `entered` / `exited` /
+//! `changed` rows. Views are one consumer of that stream among several —
+//! durability and replication tap the very same records (see
+//! [`crate::change`]).
 //!
 //! ## Maintenance invariants
 //!
-//! * **Delta completeness** — every mutation of live-entity state flows
+//! * **Stream completeness** — every mutation of live-entity state flows
 //!   through one of the world's primitive write paths (`set`, `set_pos`,
-//!   `remove_component`, `despawn`, `spawn*`, `restore_entity`), and each
-//!   of those appends exactly one delta while any view is registered.
-//!   Effect application at tick end and snapshot/WAL recovery mutate the
-//!   world through those same primitives, so they need no extra hooks.
+//!   `remove_component`, `despawn`, `spawn*`, `restore_entity`,
+//!   `apply_batch`), and each of those commits exactly one row-op record
+//!   while any view is registered. Effect application at tick end and
+//!   snapshot/WAL recovery mutate the world through those same
+//!   primitives, so they need no extra hooks.
 //! * **Membership from current state** — a refresh re-evaluates the
 //!   standing query against the *post-batch* world for every candidate
 //!   entity, so stale or duplicate deltas can never corrupt a view; the
@@ -43,11 +46,11 @@
 //! despawns, template spawns, and ticks — is enforced by the property
 //! tests in `tests/prop_core.rs`.
 
+use crate::change::{Change, ChangeOp};
 use crate::entity::EntityId;
 use crate::planner::{plan, TableStats};
 use crate::query::Query;
 use crate::world::World;
-use gamedb_content::Value;
 
 /// Handle to a registered standing view. Ids are scoped to the world
 /// (lineage) that issued them and slots are never reused, so a handle
@@ -67,41 +70,6 @@ impl ViewId {
     /// ([`crate::world::World::view_id_at`] resolves it back).
     pub fn slot(self) -> u32 {
         self.slot
-    }
-}
-
-/// One record of the world's per-tick delta stream.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Delta {
-    /// A component was written. `old` is `None` when the component was
-    /// newly added to the entity.
-    Set {
-        id: EntityId,
-        component: String,
-        old: Option<Value>,
-        new: Value,
-    },
-    /// A component was removed from an entity.
-    Removed {
-        id: EntityId,
-        component: String,
-        old: Value,
-    },
-    /// An entity came to life (spawn or snapshot restore).
-    Spawned { id: EntityId },
-    /// An entity died; all its components are gone with it.
-    Despawned { id: EntityId },
-}
-
-impl Delta {
-    /// The entity this delta touches.
-    pub fn entity(&self) -> EntityId {
-        match self {
-            Delta::Set { id, .. }
-            | Delta::Removed { id, .. }
-            | Delta::Spawned { id }
-            | Delta::Despawned { id } => *id,
-        }
     }
 }
 
@@ -491,27 +459,38 @@ impl ViewRegistry {
         self.get(id).stats
     }
 
-    /// Fold one drained delta batch into every view. `world` is the
-    /// post-batch state (the registry is temporarily moved out of the
+    /// Fold one pending change-stream segment into every view. Only row
+    /// ops participate (catalog and tick records pass through untouched
+    /// — they exist for the stream's other taps). `world` is the
+    /// post-segment state (the registry is temporarily moved out of the
     /// world while this runs, which is invisible here: refresh only
     /// reads columns, indexes, and the spatial grid).
-    pub(crate) fn apply(&mut self, world: &World, deltas: &[Delta]) {
-        if deltas.is_empty() || self.active == 0 {
+    pub(crate) fn apply(&mut self, world: &World, changes: &[Change]) {
+        if changes.is_empty() || self.active == 0 {
             return;
         }
-        let mut touched: Vec<EntityId> = Vec::with_capacity(deltas.len());
+        let mut touched: Vec<EntityId> = Vec::with_capacity(changes.len());
         let mut structural: Vec<EntityId> = Vec::new();
-        let mut comp_deltas: Vec<(&str, EntityId)> = Vec::with_capacity(deltas.len());
-        for d in deltas {
-            touched.push(d.entity());
-            match d {
-                Delta::Spawned { id } | Delta::Despawned { id } => {
+        let mut comp_deltas: Vec<(&str, EntityId)> = Vec::with_capacity(changes.len());
+        let mut row_ops = 0usize;
+        for c in changes {
+            match &c.op {
+                ChangeOp::Spawned { id } | ChangeOp::Despawned { id } => {
+                    touched.push(*id);
                     structural.push(*id);
+                    row_ops += 1;
                 }
-                Delta::Set { id, component, .. } | Delta::Removed { id, component, .. } => {
+                ChangeOp::Set { id, component, .. }
+                | ChangeOp::Removed { id, component, .. } => {
+                    touched.push(*id);
                     comp_deltas.push((component.as_str(), *id));
+                    row_ops += 1;
                 }
+                _ => {}
             }
+        }
+        if row_ops == 0 {
+            return;
         }
         touched.sort_unstable();
         touched.dedup();
@@ -520,7 +499,7 @@ impl ViewRegistry {
         comp_deltas.sort_unstable();
         comp_deltas.dedup();
         for view in self.views.iter_mut().flatten() {
-            view.refresh(world, &touched, &structural, &comp_deltas, deltas.len());
+            view.refresh(world, &touched, &structural, &comp_deltas, row_ops);
         }
     }
 

@@ -17,11 +17,12 @@ use std::fmt;
 use gamedb_content::{ComponentView, ResolvedTemplate, Value, ValueType};
 use gamedb_spatial::{SpatialIndex, UniformGrid, Vec2};
 
+use crate::change::{BatchOp, Change, ChangeOp, ChangeStream, TapId, WriteBatch};
 use crate::column::Column;
 use crate::entity::{EntityAllocator, EntityId};
 use crate::index::{IndexKind, SecondaryIndex};
 use crate::query::Query;
-use crate::view::{Changelog, Delta, ViewId, ViewRegistry, ViewStats};
+use crate::view::{Changelog, ViewId, ViewRegistry, ViewStats};
 use gamedb_content::CmpOp;
 
 /// Name of the reserved position component.
@@ -88,9 +89,11 @@ pub struct World {
     /// silently reading whatever occupies the same slot there. Clones
     /// share the lineage (a pre-clone handle reads either copy).
     world_id: u64,
-    /// Per-tick delta stream; recorded only while views are registered,
-    /// drained by [`World::refresh_views`].
-    delta_log: Vec<Delta>,
+    /// The ordered change stream every mutation commits through.
+    /// Recorded only while a consumer exists (a standing view or an
+    /// attached tap); folded into views by [`World::refresh_views`],
+    /// read by taps via [`World::tap_pending`].
+    changes: ChangeStream,
     /// Expand-only bounding box of every position ever set — a cheap,
     /// conservative stand-in for exact bounds in the planner's density
     /// model (despawns don't shrink it; distributions in games rarely
@@ -123,7 +126,7 @@ impl World {
             spatial: UniformGrid::new(cell),
             indexes: BTreeMap::new(),
             views: ViewRegistry::default(),
-            delta_log: Vec::new(),
+            changes: ChangeStream::default(),
             world_id: WORLD_IDS.fetch_add(1, Ordering::Relaxed),
             bounds: None,
             tick: 0,
@@ -187,12 +190,22 @@ impl World {
             }
         }
         self.indexes.insert(component.to_string(), idx);
+        self.record_catalog(ChangeOp::CreateIndex {
+            component: component.to_string(),
+            kind,
+        });
         Ok(())
     }
 
     /// Drop the index on a component; returns whether one existed.
     pub fn drop_index(&mut self, component: &str) -> bool {
-        self.indexes.remove(component).is_some()
+        let existed = self.indexes.remove(component).is_some();
+        if existed {
+            self.record_catalog(ChangeOp::DropIndex {
+                component: component.to_string(),
+            });
+        }
+        existed
     }
 
     /// The index on a component, if any.
@@ -238,13 +251,82 @@ impl World {
         }
     }
 
+    // ---- the change stream ----
+    //
+    // Every mutation below funnels through one commit discipline: do the
+    // write, then append a typed record to the stream while any consumer
+    // (standing view or tap) is attached. See [`crate::change`] for the
+    // record taxonomy and ordering guarantees.
+
+    /// True while row ops must be recorded (a view or a tap is live).
+    #[inline]
+    fn recording(&self) -> bool {
+        self.views.is_active() || self.changes.has_taps()
+    }
+
+    #[inline]
+    fn record(&mut self, op: ChangeOp) {
+        self.changes.record(self.tick, op);
+    }
+
+    /// Record a catalog/tick op. Views do not consume these, so they
+    /// are only recorded while a tap is attached.
+    #[inline]
+    fn record_catalog(&mut self, op: ChangeOp) {
+        if self.changes.has_taps() {
+            self.changes.record(self.tick, op);
+        }
+    }
+
+    /// Attach a change-stream tap: from here on, every mutation of this
+    /// world is recorded, and [`World::tap_pending`] returns the records
+    /// the tap has not consumed yet. This is how the persistence layer's
+    /// durability and the replicator's stream shipping observe *every*
+    /// write path — scripted ticks and effect batches included — without
+    /// mirroring the write API.
+    pub fn attach_tap(&mut self) -> TapId {
+        self.changes.attach()
+    }
+
+    /// Detach a tap; returns whether it was attached. Records it had not
+    /// consumed are released to the other consumers' pace.
+    pub fn detach_tap(&mut self, tap: TapId) -> bool {
+        let detached = self.changes.detach(tap);
+        if !self.recording() {
+            self.changes.clear();
+        }
+        detached
+    }
+
+    /// The ordered records `tap` has not consumed yet. Consume with
+    /// [`World::ack_tap`]; a tap never sees a record twice.
+    pub fn tap_pending(&self, tap: TapId) -> &[Change] {
+        self.changes.tap_pending(tap)
+    }
+
+    /// Advance `tap` past everything recorded so far, releasing records
+    /// all consumers have passed.
+    pub fn ack_tap(&mut self, tap: TapId) {
+        if !self.views.is_active() {
+            // no views to fold: their cursor must not hold the window
+            self.changes.mark_views_folded();
+        }
+        self.changes.ack(tap);
+    }
+
+    /// Total records ever committed to the change stream (the seq the
+    /// next mutation will receive).
+    pub fn change_seq(&self) -> u64 {
+        self.changes.next_seq()
+    }
+
     // ---- entities ----
 
     /// Spawn an empty entity (no components, no position).
     pub fn spawn(&mut self) -> EntityId {
         let id = self.alloc.alloc();
-        if self.views.is_active() {
-            self.delta_log.push(Delta::Spawned { id });
+        if self.recording() {
+            self.record(ChangeOp::Spawned { id });
         }
         id
     }
@@ -307,8 +389,8 @@ impl World {
     /// ids survive a round-trip). Fails when the slot is already live.
     pub fn restore_entity(&mut self, id: EntityId) -> Result<(), CoreError> {
         if self.alloc.restore(id) {
-            if self.views.is_active() {
-                self.delta_log.push(Delta::Spawned { id });
+            if self.recording() {
+                self.record(ChangeOp::Spawned { id });
             }
             Ok(())
         } else {
@@ -322,8 +404,8 @@ impl World {
         if !self.alloc.free(id) {
             return false;
         }
-        if self.views.is_active() {
-            self.delta_log.push(Delta::Despawned { id });
+        if self.recording() {
+            self.record(ChangeOp::Despawned { id });
         }
         let slot = id.index() as usize;
         // Indexes first, while column values are still readable.
@@ -392,14 +474,14 @@ impl World {
             return self.set_pos(id, Vec2::new(x, y));
         }
         let indexed = self.indexes.contains_key(component);
-        let recording = self.views.is_active();
+        let recording = self.recording();
         let col = self
             .columns
             .get_mut(component)
             .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
         let slot = id.index() as usize;
         // Fetch the outgoing value only when an index must forget it or
-        // the delta stream must carry it.
+        // the change stream must carry it.
         let old = if indexed || recording { col.get(slot) } else { None };
         col.set(slot, &value)
             .map_err(|expected| CoreError::TypeMismatch {
@@ -411,7 +493,7 @@ impl World {
             self.index_replace(component, id, old.as_ref(), &value);
         }
         if recording {
-            self.delta_log.push(Delta::Set {
+            self.record(ChangeOp::Set {
                 id,
                 component: component.to_string(),
                 old,
@@ -442,7 +524,7 @@ impl World {
                 idx.remove(&old, id);
             }
         }
-        let recording = self.views.is_active();
+        let recording = self.recording();
         let col = self
             .columns
             .get_mut(component)
@@ -451,7 +533,7 @@ impl World {
         let removed = col.remove(slot);
         if let Some(old) = old {
             // recording, and there was a value to remove
-            self.delta_log.push(Delta::Removed {
+            self.record(ChangeOp::Removed {
                 id,
                 component: component.to_string(),
                 old,
@@ -519,13 +601,13 @@ impl World {
     /// Move an entity (keeps the spatial index in sync).
     pub fn set_pos(&mut self, id: EntityId, pos: Vec2) -> Result<(), CoreError> {
         self.check_live(id)?;
+        let recording = self.recording();
         let col = self.columns.get_mut(POS).expect("pos column always exists");
-        let recording = self.views.is_active();
         let old = if recording { col.get(id.index() as usize) } else { None };
         col.set(id.index() as usize, &Value::Vec2(pos.x, pos.y))
             .expect("pos column is vec2");
         if recording {
-            self.delta_log.push(Delta::Set {
+            self.record(ChangeOp::Set {
                 id,
                 component: POS.to_string(),
                 old,
@@ -634,11 +716,16 @@ impl World {
     /// compact delta; [`World::refresh_views`] (called automatically at
     /// every tick bump) folds the pending batch into all views.
     pub fn register_view(&mut self, query: Query) -> ViewId {
-        // Fold any pending deltas under the old view set first so the
-        // initial materialization and the log agree on "now".
+        // Fold any pending changes under the old view set first so the
+        // initial materialization and the stream agree on "now".
         self.refresh_views();
         let rows = query.run(self);
-        self.views.register(self.world_id, query, rows)
+        let id = self.views.register(self.world_id, query.clone(), rows);
+        self.record_catalog(ChangeOp::RegisterView {
+            slot: id.slot,
+            query,
+        });
+        id
     }
 
     /// Panic unless `id` was issued by this world (lineage) — reading a
@@ -657,8 +744,11 @@ impl World {
             return false;
         }
         let dropped = self.views.drop_view(id);
-        if !self.views.is_active() {
-            self.delta_log.clear();
+        if dropped {
+            self.record_catalog(ChangeOp::DropView { slot: id.slot });
+        }
+        if !self.recording() {
+            self.changes.clear();
         }
         dropped
     }
@@ -717,35 +807,43 @@ impl World {
         self.views.stats(id)
     }
 
-    /// Deltas recorded since the last refresh. Views are stale while
-    /// this is nonzero (subscribers reading between refreshes should
-    /// fall back to a live query, as the sync auditor does).
+    /// Row-op changes recorded since the last refresh. Views are stale
+    /// while this is nonzero (subscribers reading between refreshes
+    /// should fall back to a live query, as the sync auditor does).
     pub fn pending_deltas(&self) -> usize {
-        self.delta_log.len()
+        self.changes
+            .pending_views()
+            .iter()
+            .filter(|c| c.op.is_row_op())
+            .count()
     }
 
-    /// Fold all pending deltas into every standing view. Called
+    /// Fold all pending changes into every standing view. Called
     /// automatically at tick end; callers mutating the world outside the
     /// tick executor (action executors, recovery, tests) call it before
     /// reading views.
     pub fn refresh_views(&mut self) {
+        if self.changes.pending_views().is_empty() {
+            return;
+        }
         if !self.views.is_active() {
-            self.delta_log.clear();
+            self.changes.mark_views_folded();
             return;
         }
-        if self.delta_log.is_empty() {
-            return;
-        }
-        let deltas = std::mem::take(&mut self.delta_log);
-        // Move the registry out so it can read `self` without aliasing;
-        // no write path runs while it is out, so recording state is moot.
+        // Move the stream and the registry out so the fold can read
+        // `self` without aliasing; no write path runs while they are
+        // out, so recording state is moot. The stream window survives
+        // the round-trip — taps that have not consumed it yet keep it.
+        let stream = std::mem::take(&mut self.changes);
         let mut views = std::mem::take(&mut self.views);
-        views.apply(self, &deltas);
+        views.apply(self, stream.pending_views());
         self.views = views;
+        self.changes = stream;
+        self.changes.mark_views_folded();
     }
 
     /// Move a spatial view's `within` restriction (interest bubbles and
-    /// aggro ranges follow their focus entity). Pending deltas are
+    /// aggro ranges follow their focus entity). Pending changes are
     /// folded first, then the view rescans under the new disk and the
     /// membership diff lands in its changelog as `entered` / `exited`.
     pub fn retarget_view(&mut self, id: ViewId, center: Vec2, radius: f32) {
@@ -754,6 +852,12 @@ impl World {
         let mut views = std::mem::take(&mut self.views);
         views.retarget(self, id, center, radius);
         self.views = views;
+        self.record_catalog(ChangeOp::RetargetView {
+            slot: id.slot,
+            x: center.x,
+            y: center.y,
+            radius,
+        });
     }
 
     // ---- catalog: the recovery surface ----
@@ -910,8 +1014,9 @@ impl World {
         }
         self.refresh_views();
         let rows = query.run(self);
-        let installed = self.views.install_at_slot(slot, query, rows);
+        let installed = self.views.install_at_slot(slot, query.clone(), rows);
         debug_assert!(installed, "slot checked dead above");
+        self.record_catalog(ChangeOp::RegisterView { slot, query });
         Ok(id)
     }
 
@@ -953,12 +1058,15 @@ impl World {
         self.tick
     }
 
-    /// Restore the tick counter to `tick` (recovery). Pending deltas are
-    /// folded first, mirroring [`World::bump_tick`]; the counter never
-    /// moves backward, so duplicated redo records are harmless.
+    /// Restore the tick counter to `tick` (recovery). Pending changes
+    /// are folded first, mirroring [`World::bump_tick`]; the counter
+    /// never moves backward, so duplicated redo records are harmless.
     pub fn advance_tick_to(&mut self, tick: u64) {
         self.refresh_views();
-        self.tick = self.tick.max(tick);
+        if tick > self.tick {
+            self.tick = tick;
+            self.record_catalog(ChangeOp::TickTo { tick });
+        }
     }
 
     /// Advance the tick counter (the executor calls this). Standing
@@ -967,6 +1075,7 @@ impl World {
     pub(crate) fn bump_tick(&mut self) {
         self.refresh_views();
         self.tick += 1;
+        self.record_catalog(ChangeOp::TickTo { tick: self.tick });
     }
 
     /// Adapter implementing [`ComponentView`] for one entity, for trigger
@@ -1004,6 +1113,165 @@ impl World {
             }
         }
         rows
+    }
+
+    // ---- batch commit ----
+
+    /// Commit a [`WriteBatch`] of primitive writes in one call. Each op
+    /// goes through the same commit discipline as the individual write
+    /// methods (type checks, index maintenance, change-stream records),
+    /// but maximal runs of value writes are regrouped by component —
+    /// per-slot order preserved, so the final state and the recorded
+    /// old→new chains are identical to op-by-op application — and the
+    /// column + index for each group are resolved once instead of once
+    /// per write. With a durability tap attached, the whole batch lands
+    /// as **one** pending stream segment: one group-commit WAL frame.
+    ///
+    /// This is how the tick executor's merged effect buffers commit
+    /// (see [`crate::effect::EffectBuffer::apply`]).
+    ///
+    /// Returns the number of ops applied. On error the batch stops at
+    /// the offending op (already-applied ops stay applied — batches are
+    /// atomic only with respect to durability framing, not rollback).
+    pub fn apply_batch(&mut self, batch: WriteBatch) -> Result<usize, CoreError> {
+        let mut ops = batch.ops;
+        let total = ops.len();
+        let mut i = 0;
+        while i < ops.len() {
+            if matches!(ops[i], BatchOp::Set { .. } | BatchOp::SetPos { .. }) {
+                let j = i + ops[i..]
+                    .iter()
+                    .take_while(|o| matches!(o, BatchOp::Set { .. } | BatchOp::SetPos { .. }))
+                    .count();
+                self.apply_write_run(&mut ops[i..j])?;
+                i = j;
+                continue;
+            }
+            match &ops[i] {
+                BatchOp::Remove { id, component } => {
+                    self.remove_component(*id, component)?;
+                }
+                BatchOp::Despawn { id } => {
+                    self.despawn(*id);
+                }
+                BatchOp::Spawn { components, pos } => {
+                    let id = self.spawn_at(*pos);
+                    for (component, value) in components {
+                        if self.component_type(component).is_none() {
+                            // auto-define like template spawning does
+                            let _ = self.define_component(component, value.value_type());
+                        }
+                        self.set(id, component, value.clone())?;
+                    }
+                }
+                BatchOp::Set { .. } | BatchOp::SetPos { .. } => unreachable!("handled above"),
+            }
+            i += 1;
+        }
+        Ok(total)
+    }
+
+    /// Apply a run of value writes, regrouped by component. The sort is
+    /// stable, so multiple writes to one `(entity, component)` slot keep
+    /// their order; cross-slot writes commute (no observer runs between
+    /// the ops of a batch, and replay applies records in stream order).
+    fn apply_write_run(&mut self, run: &mut [BatchOp]) -> Result<(), CoreError> {
+        fn comp_of(op: &BatchOp) -> &str {
+            match op {
+                BatchOp::Set { component, .. } => component,
+                BatchOp::SetPos { .. } => POS,
+                _ => unreachable!("write runs hold only value writes"),
+            }
+        }
+        run.sort_by(|a, b| comp_of(a).cmp(comp_of(b)));
+        let mut i = 0;
+        while i < run.len() {
+            let j = i + run[i..]
+                .iter()
+                .take_while(|o| comp_of(o) == comp_of(&run[i]))
+                .count();
+            if comp_of(&run[i]) == POS {
+                // position writes maintain the spatial index per op
+                for op in &run[i..j] {
+                    match op {
+                        BatchOp::SetPos { id, pos } => self.set_pos(*id, *pos)?,
+                        BatchOp::Set { id, value, .. } => self.set(*id, POS, value.clone())?,
+                        _ => unreachable!(),
+                    }
+                }
+            } else {
+                self.apply_column_group(&run[i..j])?;
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Apply a group of `Set` ops that all target one (non-`pos`)
+    /// component: the column and its secondary index are resolved once
+    /// for the whole group — the amortization the per-call path pays on
+    /// every write.
+    fn apply_column_group(&mut self, group: &[BatchOp]) -> Result<(), CoreError> {
+        let BatchOp::Set { component, .. } = &group[0] else {
+            unreachable!("column groups hold only Set ops");
+        };
+        let recording = self.recording();
+        let tick = self.tick;
+        let World {
+            alloc,
+            columns,
+            indexes,
+            changes,
+            ..
+        } = self;
+        let col = columns
+            .get_mut(component)
+            .ok_or_else(|| CoreError::UnknownComponent(component.clone()))?;
+        let mut idx = indexes.get_mut(component);
+        let has_idx = idx.is_some();
+        for op in group {
+            let BatchOp::Set {
+                id,
+                component,
+                value,
+            } = op
+            else {
+                unreachable!("column groups hold only Set ops");
+            };
+            if !alloc.is_live(*id) {
+                return Err(CoreError::DeadEntity(*id));
+            }
+            let slot = id.index() as usize;
+            let old = if has_idx || recording {
+                col.get(slot)
+            } else {
+                None
+            };
+            col.set(slot, value)
+                .map_err(|expected| CoreError::TypeMismatch {
+                    component: component.clone(),
+                    expected,
+                    got: value.value_type(),
+                })?;
+            if let Some(ix) = idx.as_deref_mut() {
+                if let Some(old) = &old {
+                    ix.remove(old, *id);
+                }
+                ix.insert(value, *id);
+            }
+            if recording {
+                changes.record(
+                    tick,
+                    ChangeOp::Set {
+                        id: *id,
+                        component: component.clone(),
+                        old,
+                        new: value.clone(),
+                    },
+                );
+            }
+        }
+        Ok(())
     }
 }
 

@@ -85,7 +85,9 @@ pub struct SweepReport {
 
 /// The scripted workload driver: a [`WalStore`] plus the oracle trace —
 /// `(durable log bytes, live world clone)` captured after every durable
-/// write.
+/// commit. Mutations go through `world_mut()` and are group-committed
+/// — some one op per frame, some as multi-op batch frames — so the
+/// sweep exercises both framings of the change pipeline.
 struct Driver {
     store: WalStore,
     oracle: Vec<(u64, World)>,
@@ -119,6 +121,14 @@ impl Driver {
         };
         d.snap();
         Ok(d)
+    }
+
+    /// Commit the pending change-stream segment (one WAL frame) and
+    /// capture the oracle at the new durable boundary.
+    fn commit(&mut self) -> Result<(), StoreError> {
+        self.store.commit()?;
+        self.snap();
+        Ok(())
     }
 
     /// Capture the oracle state at the current durable log length. Only
@@ -167,28 +177,38 @@ impl Driver {
         }
     }
 
-    /// One random store operation. Every mutation goes through the
-    /// store (anything else would bypass the log and falsify the sweep).
-    fn step(&mut self) -> Result<(), StoreError> {
+    /// One random mutation against `world_mut()` — the ordinary `World`
+    /// write API; the durability tap captures it. Committing is the
+    /// caller's business (some steps batch several mutations per frame).
+    fn step(&mut self) {
         let ids = self.live_ids();
         let roll = self.rng.gen_range(0..100u32);
         match roll {
             0..=34 => {
                 if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
                     let hp = self.rng.gen_range(0.0..100.0f32);
-                    self.store.set(e, "hp", Value::Float(hp))?;
+                    self.store
+                        .world_mut()
+                        .set(e, "hp", Value::Float(hp))
+                        .expect("live entity");
                 }
             }
             35..=44 => {
                 if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
                     let gold = self.rng.gen_range(-20..100i64);
-                    self.store.set(e, "gold", Value::Int(gold))?;
+                    self.store
+                        .world_mut()
+                        .set(e, "gold", Value::Int(gold))
+                        .expect("live entity");
                 }
             }
             45..=51 => {
                 if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
                     let team = TEAMS[self.rng.gen_range(0..TEAMS.len())];
-                    self.store.set(e, "team", Value::Str(team.into()))?;
+                    self.store
+                        .world_mut()
+                        .set(e, "team", Value::Str(team.into()))
+                        .expect("live entity");
                 }
             }
             52..=61 => {
@@ -197,7 +217,7 @@ impl Driver {
                         self.rng.gen_range(-40.0..40.0f32),
                         self.rng.gen_range(-40.0..40.0f32),
                     );
-                    self.store.set_pos(e, p)?;
+                    self.store.world_mut().set_pos(e, p).expect("live entity");
                 }
             }
             62..=71 => {
@@ -205,18 +225,21 @@ impl Driver {
                     self.rng.gen_range(-40.0..40.0f32),
                     self.rng.gen_range(-40.0..40.0f32),
                 );
-                self.store.spawn_at(p)?;
+                self.store.world_mut().spawn_at(p);
             }
             72..=77 => {
                 if ids.len() > 3 {
                     let e = ids[self.rng.gen_range(0..ids.len())];
-                    self.store.despawn(e)?;
+                    self.store.world_mut().despawn(e);
                 }
             }
             78..=81 => {
                 if let Some(&e) = ids.get(self.rng.gen_range(0..ids.len().max(1))) {
                     if self.store.world().get(e, "hp").is_some() {
-                        self.store.remove_component(e, "hp")?;
+                        self.store
+                            .world_mut()
+                            .remove_component(e, "hp")
+                            .expect("live entity");
                     }
                 }
             }
@@ -227,26 +250,29 @@ impl Driver {
                     ("team", IndexKind::Hash),
                 ][self.rng.gen_range(0..3usize)];
                 if self.store.world().index_on(comp).is_none() {
-                    self.store.create_index(comp, kind)?;
+                    self.store
+                        .world_mut()
+                        .create_index(comp, kind)
+                        .expect("component exists");
                 }
             }
             85 => {
                 let comp = ["hp", "gold", "team"][self.rng.gen_range(0..3usize)];
                 if self.store.world().index_on(comp).is_some() {
-                    self.store.drop_index(comp)?;
+                    self.store.world_mut().drop_index(comp);
                 }
             }
             86..=91 => {
                 if self.views.len() < 6 {
                     let q = self.view_query();
-                    let v = self.store.register_view(q)?;
+                    let v = self.store.world_mut().register_view(q);
                     self.views.push(v);
                 }
             }
             92..=94 => {
                 if !self.views.is_empty() {
                     let v = self.views.swap_remove(self.rng.gen_range(0..self.views.len()));
-                    self.store.drop_view(v)?;
+                    self.store.world_mut().drop_view(v);
                 }
             }
             _ => {
@@ -257,51 +283,56 @@ impl Driver {
                         self.rng.gen_range(-30.0..30.0f32),
                     );
                     let r = self.rng.gen_range(5.0..40.0f32);
-                    self.store.retarget_view(v, c, r)?;
+                    self.store.world_mut().retarget_view(v, c, r);
                 }
             }
         }
-        self.snap();
-        Ok(())
     }
 
     /// Run the scripted workload: a deterministic setup (index + views
     /// registered up front so every crash point has derived state to
     /// lose), then `ticks` rounds of random operations, a tick advance
-    /// each round, and a checkpoint every 12th round.
+    /// each round, and a checkpoint every 12th round. Half the rounds
+    /// commit per op (single-op frames); the other half batch the whole
+    /// round into one multi-op frame — both WAL framings get swept.
     fn run(&mut self, ticks: u64) -> Result<(), StoreError> {
         for i in 0..8 {
+            // spawn + three sets commit as one multi-op batch frame
             let p = Vec2::new(i as f32 * 7.0 - 28.0, (i % 3) as f32 * 9.0);
-            let e = self.store.spawn_at(p)?;
-            self.snap();
-            self.store.set(e, "hp", Value::Float(50.0 + i as f32))?;
-            self.snap();
-            self.store.set(e, "gold", Value::Int(10 * i as i64))?;
-            self.snap();
-            self.store
-                .set(e, "team", Value::Str(TEAMS[i as usize % 3].into()))?;
-            self.snap();
+            let w = self.store.world_mut();
+            let e = w.spawn_at(p);
+            w.set(e, "hp", Value::Float(50.0 + i as f32))?;
+            w.set(e, "gold", Value::Int(10 * i as i64))?;
+            w.set(e, "team", Value::Str(TEAMS[i as usize % 3].into()))?;
+            self.commit()?;
         }
-        self.store.create_index("hp", IndexKind::Sorted)?;
-        self.snap();
+        self.store.world_mut().create_index("hp", IndexKind::Sorted)?;
+        self.commit()?;
         let wounded = self
             .store
-            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(55.0)))?;
-        self.snap();
+            .world_mut()
+            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(55.0)));
+        self.commit()?;
         let bubble = self
             .store
-            .register_view(Query::select().within(Vec2::ZERO, 20.0))?;
-        self.snap();
+            .world_mut()
+            .register_view(Query::select().within(Vec2::ZERO, 20.0));
+        self.commit()?;
         self.views.push(wounded);
         self.views.push(bubble);
 
         for t in 0..ticks {
             let ops = 1 + self.rng.gen_range(0..3u32);
+            let batch_round = self.rng.gen_range(0..2u32) == 0;
             for _ in 0..ops {
-                self.step()?;
+                self.step();
+                if !batch_round {
+                    self.commit()?;
+                }
             }
-            self.store.advance_tick()?;
-            self.snap();
+            let next = self.store.world().tick() + 1;
+            self.store.world_mut().advance_tick_to(next);
+            self.commit()?;
             if (t + 1) % 12 == 0 {
                 self.store.checkpoint()?;
                 self.snap();

@@ -13,7 +13,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gamedb_content::Value;
-use gamedb_core::{CoreError, EntityId, IndexKind, Query, World};
+use gamedb_core::{Change, ChangeOp, CoreError, EntityId, IndexKind, Query, World};
 use gamedb_spatial::Vec2;
 
 use crate::snapshot::{
@@ -61,6 +61,16 @@ pub enum WalRecord {
     /// worlds agree with the oracle on *when* they are — threshold
     /// watchers and per-tick changelogs key off this.
     TickTo { tick: u64 },
+    /// Bring an entity to life with an exact id and **no** position (the
+    /// redo of `World::spawn`; positioned spawns arrive as a `Restore`
+    /// followed by a `Set` of `pos`, which is how the change stream
+    /// records them).
+    Restore { entity: EntityId },
+    /// One group-committed batch: every op of one change-stream segment
+    /// in one frame. The frame checksum covers the whole batch, so a
+    /// torn or corrupt batch loses *all* of its ops — batch commits are
+    /// atomic at the durability layer.
+    Batch { ops: Vec<WalRecord> },
 }
 
 const TAG_SET: u8 = 1;
@@ -74,6 +84,8 @@ const TAG_REGISTER_VIEW: u8 = 8;
 const TAG_DROP_VIEW: u8 = 9;
 const TAG_RETARGET_VIEW: u8 = 10;
 const TAG_TICK: u8 = 11;
+const TAG_BATCH: u8 = 12;
+const TAG_RESTORE: u8 = 13;
 
 // value-type tags reuse the snapshot module's ordering
 fn value_tag(v: &Value) -> u8 {
@@ -102,6 +114,17 @@ impl WalRecord {
     /// Encode as a framed record: `len | payload | checksum(payload)`.
     pub fn encode(&self) -> Bytes {
         let mut payload = BytesMut::new();
+        self.put_payload(&mut payload);
+        let mut framed = BytesMut::with_capacity(payload.len() + 8);
+        framed.put_u32_le(payload.len() as u32);
+        let sum = checksum(&payload);
+        framed.put_slice(&payload);
+        framed.put_u32_le(sum);
+        framed.freeze()
+    }
+
+    /// The record's payload bytes, unframed (batch members nest these).
+    fn put_payload(&self, payload: &mut BytesMut) {
         match self {
             WalRecord::Set {
                 entity,
@@ -113,7 +136,7 @@ impl WalRecord {
                 payload.put_u32_le(component.len() as u32);
                 payload.put_slice(component.as_bytes());
                 payload.put_u8(value_tag(value));
-                put_value(&mut payload, value);
+                put_value(payload, value);
             }
             WalRecord::Spawn { entity, x, y } => {
                 payload.put_u8(TAG_SPAWN);
@@ -132,21 +155,21 @@ impl WalRecord {
             WalRecord::RemoveComponent { entity, component } => {
                 payload.put_u8(TAG_REMOVE);
                 payload.put_u64_le(entity.to_bits());
-                put_str(&mut payload, component);
+                put_str(payload, component);
             }
             WalRecord::CreateIndex { component, kind } => {
                 payload.put_u8(TAG_CREATE_INDEX);
                 payload.put_u8(kind_tag(*kind));
-                put_str(&mut payload, component);
+                put_str(payload, component);
             }
             WalRecord::DropIndex { component } => {
                 payload.put_u8(TAG_DROP_INDEX);
-                put_str(&mut payload, component);
+                put_str(payload, component);
             }
             WalRecord::RegisterView { slot, query } => {
                 payload.put_u8(TAG_REGISTER_VIEW);
                 payload.put_u32_le(*slot);
-                put_query(&mut payload, query);
+                put_query(payload, query);
             }
             WalRecord::DropView { slot } => {
                 payload.put_u8(TAG_DROP_VIEW);
@@ -163,13 +186,21 @@ impl WalRecord {
                 payload.put_u8(TAG_TICK);
                 payload.put_u64_le(*tick);
             }
+            WalRecord::Restore { entity } => {
+                payload.put_u8(TAG_RESTORE);
+                payload.put_u64_le(entity.to_bits());
+            }
+            WalRecord::Batch { ops } => {
+                payload.put_u8(TAG_BATCH);
+                payload.put_u32_le(ops.len() as u32);
+                for op in ops {
+                    let mut inner = BytesMut::new();
+                    op.put_payload(&mut inner);
+                    payload.put_u32_le(inner.len() as u32);
+                    payload.put_slice(&inner);
+                }
+            }
         }
-        let mut framed = BytesMut::with_capacity(payload.len() + 8);
-        framed.put_u32_le(payload.len() as u32);
-        let sum = checksum(&payload);
-        framed.put_slice(&payload);
-        framed.put_u32_le(sum);
-        framed.freeze()
     }
 
     fn decode_payload(mut p: Bytes) -> Result<WalRecord, SnapshotError> {
@@ -267,6 +298,25 @@ impl WalRecord {
                     tick: p.get_u64_le(),
                 }
             }
+            TAG_RESTORE => {
+                need!(8);
+                WalRecord::Restore {
+                    entity: EntityId::from_bits(p.get_u64_le()),
+                }
+            }
+            TAG_BATCH => {
+                need!(4);
+                let count = p.get_u32_le() as usize;
+                let mut ops = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    need!(4);
+                    let len = p.get_u32_le() as usize;
+                    need!(len);
+                    let inner = p.copy_to_bytes(len);
+                    ops.push(WalRecord::decode_payload(inner)?);
+                }
+                WalRecord::Batch { ops }
+            }
             t => return Err(SnapshotError::Corrupt(format!("unknown wal tag {t}"))),
         })
     }
@@ -332,6 +382,62 @@ impl WalRecord {
                 world.advance_tick_to(*tick);
                 Ok(())
             }
+            WalRecord::Restore { entity } => {
+                if !world.is_live(*entity) {
+                    world.restore_entity(*entity)?;
+                }
+                Ok(())
+            }
+            WalRecord::Batch { ops } => {
+                for op in ops {
+                    op.apply(world)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The redo record for one change-stream record — how the
+    /// durability tap turns a pending segment into WAL ops. Only the
+    /// redo image is kept (`new` values); the stream's `old` values
+    /// exist for other consumers.
+    pub fn from_change(change: &Change) -> WalRecord {
+        match &change.op {
+            ChangeOp::Set {
+                id,
+                component,
+                new,
+                ..
+            } => WalRecord::Set {
+                entity: *id,
+                component: component.clone(),
+                value: new.clone(),
+            },
+            ChangeOp::Removed { id, component, .. } => WalRecord::RemoveComponent {
+                entity: *id,
+                component: component.clone(),
+            },
+            ChangeOp::Spawned { id } => WalRecord::Restore { entity: *id },
+            ChangeOp::Despawned { id } => WalRecord::Despawn { entity: *id },
+            ChangeOp::CreateIndex { component, kind } => WalRecord::CreateIndex {
+                component: component.clone(),
+                kind: *kind,
+            },
+            ChangeOp::DropIndex { component } => WalRecord::DropIndex {
+                component: component.clone(),
+            },
+            ChangeOp::RegisterView { slot, query } => WalRecord::RegisterView {
+                slot: *slot,
+                query: query.clone(),
+            },
+            ChangeOp::DropView { slot } => WalRecord::DropView { slot: *slot },
+            ChangeOp::RetargetView { slot, x, y, radius } => WalRecord::RetargetView {
+                slot: *slot,
+                x: *x,
+                y: *y,
+                radius: *radius,
+            },
+            ChangeOp::TickTo { tick } => WalRecord::TickTo { tick: *tick },
         }
     }
 }
@@ -450,6 +556,24 @@ mod tests {
             },
             WalRecord::CheckpointMark { seq: 3 },
             WalRecord::Despawn { entity: e },
+            // the batch framing group commit writes: one frame, many ops
+            WalRecord::Batch {
+                ops: vec![
+                    WalRecord::Restore { entity: e },
+                    WalRecord::Set {
+                        entity: e,
+                        component: "hp".into(),
+                        value: Value::Float(12.25),
+                    },
+                    WalRecord::Set {
+                        entity: e,
+                        component: "pos".into(),
+                        value: Value::Vec2(4.0, -8.0),
+                    },
+                    WalRecord::TickTo { tick: 18 },
+                ],
+            },
+            WalRecord::Restore { entity: e },
         ]
     }
 

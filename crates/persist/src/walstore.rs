@@ -1,15 +1,27 @@
-//! A write-through store: every mutation is WAL-logged, recovery replays
-//! the tail — the zero-loss alternative the checkpoint experiment (E9)
-//! prices against snapshot-only policies.
+//! The durability tap: a WAL-backed store whose world is mutated
+//! through the ordinary [`World`] write API — every mutation is captured
+//! by the change stream and group-committed as one WAL frame per batch.
 //!
-//! The knob is `group_commit`: how many records may sit in the OS buffer
-//! before a durable flush. 1 = synchronous logging (lose nothing, pay a
-//! flush per mutation); N = group commit (lose at most N-1 records, the
-//! standard database trade).
+//! Before the unified change pipeline this module mirrored the entire
+//! `World` mutation API method-by-method, which meant any mutation that
+//! *didn't* go through the mirror — a `ScriptEngine::tick`, an effect
+//! batch, a subsystem holding `&mut World` — was silently not durable.
+//! Now [`WalStore`] attaches a change-stream tap
+//! ([`World::attach_tap`]): callers mutate [`WalStore::world_mut`]
+//! however they like (individual writes, `World::apply_batch`, whole
+//! scripted ticks) and [`WalStore::commit`] turns the pending stream
+//! segment into **one** WAL frame ([`WalRecord::Batch`] when the
+//! segment holds more than one op) and flushes per the group-commit
+//! policy.
+//!
+//! The knob is `group_commit`: how many logged ops may sit in the OS
+//! buffer before a durable flush. 1 = synchronous logging (lose nothing
+//! committed, pay a flush per commit); N = group commit (lose at most
+//! the unflushed ops, the standard database trade). Mutations not yet
+//! [`WalStore::commit`]ted are lost by a crash outright — commit is the
+//! durability boundary.
 
-use gamedb_content::Value;
-use gamedb_core::{CoreError, EntityId, IndexKind, Query, ViewId, World};
-use gamedb_spatial::Vec2;
+use gamedb_core::{CoreError, Query, TapId, ViewId, World};
 
 use crate::backend::{Backend, BackendError};
 use crate::snapshot;
@@ -21,14 +33,15 @@ use crate::wal::{decode_log, replay_after_checkpoint, WalRecord};
 /// crash-point sweep ([`crate::crashpoint`]) both run it:
 ///
 /// 1. Decode the log into records, stopping cleanly at the first torn
-///    or corrupt frame.
+///    or corrupt frame (a torn batch frame drops the whole batch —
+///    batch commits are atomic).
 /// 2. Take the newest snapshot that decodes; fall back to older ones if
 ///    a snapshot itself is unreadable.
 /// 3. Replay the record tail after that snapshot's checkpoint mark —
 ///    nothing when the mark is absent (see
 ///    [`replay_after_checkpoint`]); catalog records rebuild indexes and
 ///    views along the way.
-/// 4. Fold outstanding view deltas and reset every changelog, so
+/// 4. Fold outstanding view changes and reset every changelog, so
 ///    subscribers re-anchor at the recovery tick instead of receiving
 ///    pre-crash churn twice.
 ///
@@ -60,39 +73,47 @@ pub fn recover_from_parts<S: AsRef<[u8]>>(
 /// Store statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WalStats {
-    /// Records logged.
+    /// WAL frames appended by commits (one per non-empty commit;
+    /// checkpoint-mark frames are counted by `checkpoints`, not here).
     pub records: u64,
+    /// Mutation ops captured across all committed frames.
+    pub ops: u64,
     /// Durable flushes issued.
     pub flushes: u64,
     /// Snapshots written.
     pub checkpoints: u64,
 }
 
-/// A world whose mutations are all redo-logged.
+/// A world whose mutations are redo-logged through a change-stream tap.
 pub struct WalStore {
-    /// The live world. Mutate only through the store's methods — direct
-    /// mutation bypasses the log and will not survive a crash.
+    /// The live world. Mutate it freely through [`WalStore::world_mut`];
+    /// the tap captures every write path.
     world: World,
+    tap: TapId,
     backend: Backend,
     snapshot_seq: u64,
     group_commit: usize,
+    /// ops appended to the OS buffer since the last durable flush
     pending: usize,
     /// stats
     pub stats: WalStats,
 }
 
 impl WalStore {
-    /// Wrap a world. Writes the base snapshot immediately.
+    /// Wrap a world: attaches the durability tap and writes the base
+    /// snapshot immediately.
     pub fn new(
-        world: World,
+        mut world: World,
         mut backend: Backend,
         group_commit: usize,
     ) -> Result<Self, BackendError> {
+        let tap = world.attach_tap();
         backend.put_snapshot(0, snapshot::encode(&world));
         backend.append_log(&WalRecord::CheckpointMark { seq: 0 }.encode());
         backend.flush()?;
         Ok(WalStore {
             world,
+            tap,
             backend,
             snapshot_seq: 0,
             group_commit: group_commit.max(1),
@@ -106,15 +127,14 @@ impl WalStore {
         &self.world
     }
 
-    /// Mutable world access for **view maintenance only**: subscribers
-    /// (threshold watchers, auditors, replicators) need `&mut World` to
-    /// fold pending deltas and consume changelogs between ticks —
-    /// bookkeeping that never changes row state, so the log stays
-    /// truthful. Row mutations through this reference bypass the WAL
-    /// and will not survive a crash — use the store's logged methods,
-    /// and register subscriber views via [`WalStore::ensure_view`] so
-    /// the subscriptions themselves are durable.
-    pub fn world_for_subscribers(&mut self) -> &mut World {
+    /// Mutable world access — the **only** mutation surface the store
+    /// needs. Every write path (individual sets, `World::apply_batch`,
+    /// effect application, scripted ticks, catalog operations) is
+    /// captured by the attached tap; call [`WalStore::commit`] to make
+    /// the accumulated mutations durable as one WAL frame. Mutations
+    /// never committed are lost by a crash — that is the commit
+    /// boundary, not a bypass.
+    pub fn world_mut(&mut self) -> &mut World {
         &mut self.world
     }
 
@@ -129,182 +149,79 @@ impl WalStore {
         &mut self.backend
     }
 
-    fn log(&mut self, record: WalRecord) -> Result<(), BackendError> {
+    /// Ops mutated since the last [`WalStore::commit`] (the exposure a
+    /// crash right now would lose beyond the group-commit window).
+    pub fn uncommitted(&self) -> usize {
+        self.world.tap_pending(self.tap).len()
+    }
+
+    /// Group-commit the pending change-stream segment: every op
+    /// captured since the last commit lands in **one** WAL frame (a
+    /// [`WalRecord::Batch`] when there is more than one), and a durable
+    /// flush is issued once `group_commit` ops have accumulated.
+    /// Returns the number of ops committed (0 = nothing pending).
+    pub fn commit(&mut self) -> Result<usize, StoreError> {
+        let mut ops: Vec<WalRecord> = self
+            .world
+            .tap_pending(self.tap)
+            .iter()
+            .map(WalRecord::from_change)
+            .collect();
+        if ops.is_empty() {
+            return Ok(0);
+        }
+        self.world.ack_tap(self.tap);
+        let n = ops.len();
+        let record = if n == 1 {
+            ops.pop().expect("len checked")
+        } else {
+            WalRecord::Batch { ops }
+        };
         self.backend.append_log(&record.encode());
         self.stats.records += 1;
-        self.pending += 1;
+        self.stats.ops += n as u64;
+        self.pending += n;
         if self.pending >= self.group_commit {
             self.backend.flush()?;
             self.stats.flushes += 1;
             self.pending = 0;
         }
-        Ok(())
-    }
-
-    /// Logged component write.
-    pub fn set(
-        &mut self,
-        id: EntityId,
-        component: &str,
-        value: Value,
-    ) -> Result<(), StoreError> {
-        self.world.set(id, component, value.clone())?;
-        self.log(WalRecord::Set {
-            entity: id,
-            component: component.to_string(),
-            value,
-        })?;
-        Ok(())
-    }
-
-    /// Logged position write.
-    pub fn set_pos(&mut self, id: EntityId, pos: Vec2) -> Result<(), StoreError> {
-        self.world.set_pos(id, pos)?;
-        self.log(WalRecord::Set {
-            entity: id,
-            component: gamedb_core::POS.to_string(),
-            value: Value::Vec2(pos.x, pos.y),
-        })?;
-        Ok(())
-    }
-
-    /// Logged spawn.
-    pub fn spawn_at(&mut self, pos: Vec2) -> Result<EntityId, StoreError> {
-        let id = self.world.spawn_at(pos);
-        self.log(WalRecord::Spawn {
-            entity: id,
-            x: pos.x,
-            y: pos.y,
-        })?;
-        Ok(id)
-    }
-
-    /// Logged despawn.
-    pub fn despawn(&mut self, id: EntityId) -> Result<bool, StoreError> {
-        let was_live = self.world.despawn(id);
-        if was_live {
-            self.log(WalRecord::Despawn { entity: id })?;
-        }
-        Ok(was_live)
-    }
-
-    /// Logged component removal.
-    pub fn remove_component(
-        &mut self,
-        id: EntityId,
-        component: &str,
-    ) -> Result<bool, StoreError> {
-        let removed = self.world.remove_component(id, component)?;
-        if removed {
-            self.log(WalRecord::RemoveComponent {
-                entity: id,
-                component: component.to_string(),
-            })?;
-        }
-        Ok(removed)
-    }
-
-    // ---- logged catalog operations ----
-    //
-    // Index and view lifecycle is state too: a recovered world without
-    // its access paths and subscriptions is a different database. Each
-    // operation mutates the live world and logs a catalog redo record;
-    // checkpoints capture the current catalog inside the snapshot, so
-    // recovery composes either way.
-
-    /// Logged secondary-index creation.
-    pub fn create_index(&mut self, component: &str, kind: IndexKind) -> Result<(), StoreError> {
-        self.world.create_index(component, kind)?;
-        self.log(WalRecord::CreateIndex {
-            component: component.to_string(),
-            kind,
-        })?;
-        Ok(())
-    }
-
-    /// Logged secondary-index drop.
-    pub fn drop_index(&mut self, component: &str) -> Result<bool, StoreError> {
-        let existed = self.world.drop_index(component);
-        if existed {
-            self.log(WalRecord::DropIndex {
-                component: component.to_string(),
-            })?;
-        }
-        Ok(existed)
-    }
-
-    /// Logged standing-view registration.
-    pub fn register_view(&mut self, query: Query) -> Result<ViewId, StoreError> {
-        let id = self.world.register_view(query.clone());
-        self.log(WalRecord::RegisterView {
-            slot: id.slot(),
-            query,
-        })?;
-        Ok(id)
+        Ok(n)
     }
 
     /// The subscriber attach point: adopt the live view already
     /// maintaining `query` (first boot registered it, or recovery
-    /// re-materialized it), or register — and log — a fresh one.
+    /// re-materialized it), or register — and commit — a fresh one.
     /// Subscribers that take a query (threshold watchers, auditors,
-    /// interest bubbles) should route their registration through this
-    /// rather than `world_for_subscribers().register_view(..)`, which
-    /// would bypass the log and leave the subscription behind on the
-    /// next crash.
+    /// interest bubbles) route their registration through this so the
+    /// subscription itself is durable without registering duplicates
+    /// after a restart.
     pub fn ensure_view(&mut self, query: Query) -> Result<ViewId, StoreError> {
         match self.world.find_view(&query) {
             Some(id) => Ok(id),
-            None => self.register_view(query),
+            None => {
+                let id = self.world.register_view(query);
+                self.commit()?;
+                Ok(id)
+            }
         }
     }
 
-    /// Logged standing-view drop.
-    pub fn drop_view(&mut self, id: ViewId) -> Result<bool, StoreError> {
-        let dropped = self.world.drop_view(id);
-        if dropped {
-            self.log(WalRecord::DropView { slot: id.slot() })?;
-        }
-        Ok(dropped)
-    }
-
-    /// Logged spatial-view retarget.
-    pub fn retarget_view(
-        &mut self,
-        id: ViewId,
-        center: Vec2,
-        radius: f32,
-    ) -> Result<(), StoreError> {
-        self.world.retarget_view(id, center, radius);
-        self.log(WalRecord::RetargetView {
-            slot: id.slot(),
-            x: center.x,
-            y: center.y,
-            radius,
-        })?;
-        Ok(())
-    }
-
-    /// Logged tick advance: views refresh and publish their changelog
-    /// batch, and recovery restores the counter so post-restart worlds
-    /// agree with the oracle on *when* they are.
-    pub fn advance_tick(&mut self) -> Result<u64, StoreError> {
-        let next = self.world.tick() + 1;
-        self.world.advance_tick_to(next);
-        self.log(WalRecord::TickTo { tick: next })?;
-        Ok(next)
-    }
-
-    /// Write a checkpoint: snapshot + mark. The log logically truncates
-    /// at the mark (replay skips everything before it).
-    pub fn checkpoint(&mut self) -> Result<(), BackendError> {
+    /// Write a checkpoint: pending mutations are committed first, then
+    /// snapshot + mark. The log logically truncates at the mark (replay
+    /// skips everything before it).
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        self.commit()?;
         self.snapshot_seq += 1;
         self.backend
             .put_snapshot(self.snapshot_seq, snapshot::encode(&self.world));
         self.backend
-            .append_log(&WalRecord::CheckpointMark {
-                seq: self.snapshot_seq,
-            }
-            .encode());
+            .append_log(
+                &WalRecord::CheckpointMark {
+                    seq: self.snapshot_seq,
+                }
+                .encode(),
+            );
         self.backend.flush()?;
         self.stats.checkpoints += 1;
         self.stats.flushes += 1;
@@ -318,6 +235,7 @@ impl WalStore {
     /// after). Without compaction the log grows without bound — this is
     /// the maintenance task a live MMO schedules alongside checkpoints.
     pub fn compact_log(&mut self) -> Result<(u64, u64), StoreError> {
+        self.commit()?;
         let before = self.backend.log_len()?;
         let log = self.backend.read_log()?;
         let (records, _) = decode_log(&log);
@@ -337,14 +255,15 @@ impl WalStore {
         Ok((before, self.backend.log_len()?))
     }
 
-    /// Crash (unflushed writes vanish) then recover: load the latest
-    /// decodable durable snapshot — catalog included — and replay the
-    /// durable log tail through [`recover_from_parts`]. The recovered
-    /// world carries its indexes, its standing views at their original
-    /// slots (pre-crash [`ViewId`] handles keep resolving), its lineage,
-    /// and its tick counter; view changelogs restart empty at the
-    /// recovery tick. Returns the recovered store and the number of
-    /// records replayed.
+    /// Crash (unflushed writes — and uncommitted mutations — vanish)
+    /// then recover: load the latest decodable durable snapshot —
+    /// catalog included — and replay the durable log tail through
+    /// [`recover_from_parts`]. The recovered world carries its indexes,
+    /// its standing views at their original slots (pre-crash [`ViewId`]
+    /// handles keep resolving), its lineage, and its tick counter; view
+    /// changelogs restart empty at the recovery tick, and a fresh
+    /// durability tap is attached. Returns the recovered store and the
+    /// number of records replayed.
     pub fn crash_and_recover(mut self) -> Result<(WalStore, usize), StoreError> {
         self.backend.crash();
         let mut snapshots = Vec::new();
@@ -352,10 +271,12 @@ impl WalStore {
             snapshots.push((seq, self.backend.read_snapshot(seq)?));
         }
         let log = self.backend.read_log()?;
-        let (world, seq, replayed) = recover_from_parts(&snapshots, &log)?;
+        let (mut world, seq, replayed) = recover_from_parts(&snapshots, &log)?;
+        let tap = world.attach_tap();
         Ok((
             WalStore {
                 world,
+                tap,
                 backend: self.backend,
                 snapshot_seq: seq,
                 group_commit: self.group_commit,
@@ -401,7 +322,9 @@ impl From<BackendError> for StoreError {
 mod tests {
     use super::*;
     use crate::backend::temp_dir;
-    use gamedb_content::ValueType;
+    use gamedb_content::{CmpOp, Value, ValueType};
+    use gamedb_core::{Effect, EffectBuffer, IndexKind, TickExecutor, WriteBatch};
+    use gamedb_spatial::Vec2;
 
     fn fresh(group_commit: usize, label: &str) -> WalStore {
         let mut w = World::new();
@@ -413,13 +336,16 @@ mod tests {
     #[test]
     fn compaction_shrinks_log_and_preserves_recovery() {
         let mut s = fresh(1, "wal-compact");
-        let e = s.spawn_at(Vec2::new(0.0, 0.0)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::new(0.0, 0.0));
+        s.commit().unwrap();
         for i in 0..200 {
-            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
         }
         s.checkpoint().unwrap();
         // post-checkpoint writes must survive compaction
-        s.set(e, "hp", Value::Float(777.0)).unwrap();
+        s.world_mut().set(e, "hp", Value::Float(777.0)).unwrap();
+        s.commit().unwrap();
         let (before, after) = s.compact_log().unwrap();
         assert!(after < before / 4, "before={before} after={after}");
         let (recovered, replayed) = s.crash_and_recover().unwrap();
@@ -430,8 +356,9 @@ mod tests {
     #[test]
     fn compaction_without_checkpoint_is_safe() {
         let mut s = fresh(1, "wal-compact2");
-        let e = s.spawn_at(Vec2::new(0.0, 0.0)).unwrap();
-        s.set(e, "hp", Value::Float(5.0)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::new(0.0, 0.0));
+        s.world_mut().set(e, "hp", Value::Float(5.0)).unwrap();
+        s.commit().unwrap();
         let (before, after) = s.compact_log().unwrap();
         assert_eq!(before, after, "nothing before the base mark to drop");
         let (recovered, _) = s.crash_and_recover().unwrap();
@@ -441,9 +368,10 @@ mod tests {
     #[test]
     fn repeated_compaction_is_idempotent() {
         let mut s = fresh(1, "wal-compact3");
-        let e = s.spawn_at(Vec2::new(0.0, 0.0)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::new(0.0, 0.0));
         for i in 0..50 {
-            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
         }
         s.checkpoint().unwrap();
         let (_, first) = s.compact_log().unwrap();
@@ -455,56 +383,167 @@ mod tests {
     #[test]
     fn synchronous_logging_loses_nothing() {
         let mut s = fresh(1, "wal-sync");
-        let e = s.spawn_at(Vec2::new(1.0, 2.0)).unwrap();
-        s.set(e, "hp", Value::Float(33.0)).unwrap();
-        s.set_pos(e, Vec2::new(5.0, 5.0)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::new(1.0, 2.0));
+        s.commit().unwrap();
+        s.world_mut().set(e, "hp", Value::Float(33.0)).unwrap();
+        s.commit().unwrap();
+        s.world_mut().set_pos(e, Vec2::new(5.0, 5.0)).unwrap();
+        s.commit().unwrap();
         let live_rows = s.world().rows();
         let (recovered, replayed) = s.crash_and_recover().unwrap();
         assert_eq!(recovered.world().rows(), live_rows);
-        assert_eq!(replayed, 3);
+        assert_eq!(replayed, 3, "one frame per commit");
+    }
+
+    #[test]
+    fn uncommitted_mutations_are_lost_committed_ones_are_not() {
+        let mut s = fresh(1, "wal-uncommitted");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.world_mut().set(e, "hp", Value::Float(1.0)).unwrap();
+        assert_eq!(s.uncommitted(), 3, "spawn + pos + hp captured");
+        s.commit().unwrap();
+        assert_eq!(s.uncommitted(), 0);
+        // mutated but never committed: the crash eats it
+        s.world_mut().set(e, "hp", Value::Float(99.0)).unwrap();
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(1.0));
     }
 
     #[test]
     fn group_commit_bounds_loss() {
         let mut s = fresh(10, "wal-group");
-        let e = s.spawn_at(Vec2::ZERO).unwrap();
-        // 9 more records => exactly one flush of 10 fires
-        for i in 0..9 {
-            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap(); // 2 ops buffered (spawn + pos)
+        // 8 more single-op commits => exactly one flush of 10 fires
+        for i in 0..8 {
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
         }
-        // 3 unflushed records follow
+        // 3 committed-but-unflushed frames follow
         for i in 100..103 {
-            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
         }
         let (recovered, replayed) = s.crash_and_recover().unwrap();
-        assert_eq!(replayed, 10, "only the flushed group survives");
+        assert_eq!(replayed, 9, "only the flushed group survives");
         assert_eq!(
             recovered.world().get_f32(e, "hp"),
-            Some(8.0),
+            Some(7.0),
             "last durable write wins; the 3 unflushed are lost"
         );
     }
 
     #[test]
+    fn batch_commit_is_one_frame_and_atomic() {
+        let mut s = fresh(1, "wal-batchframe");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        let frames_before = s.stats.records;
+        // a multi-op mutation burst commits as one frame
+        let mut batch = WriteBatch::new();
+        for i in 0..10 {
+            batch.set(e, "hp", Value::Float(i as f32));
+        }
+        s.world_mut().apply_batch(batch).unwrap();
+        let n = s.commit().unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(s.stats.records, frames_before + 1, "one frame per batch");
+        // a torn batch frame drops the whole batch, not half of it
+        let log = s.backend().read_log().unwrap();
+        let (full, _) = decode_log(&log);
+        let (torn, _) = decode_log(&log[..log.len() - 1]);
+        assert_eq!(torn.len(), full.len() - 1, "batch frames are atomic");
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(9.0));
+    }
+
+    /// The durability hole the pipeline closes: an effect batch applied
+    /// straight to `world_mut()` — the path the old mirrored API could
+    /// not see — survives crash and recovery bit-identically.
+    #[test]
+    fn effect_batches_through_world_mut_are_durable() {
+        let mut s = fresh(1, "wal-effects");
+        let a = s.world_mut().spawn_at(Vec2::ZERO);
+        let b = s.world_mut().spawn_at(Vec2::new(1.0, 0.0));
+        s.world_mut().set(a, "hp", Value::Float(50.0)).unwrap();
+        s.world_mut().set(b, "hp", Value::Float(50.0)).unwrap();
+        s.commit().unwrap();
+
+        let mut buf = EffectBuffer::new();
+        buf.push(a, "hp", Effect::Add(-10.0));
+        buf.push(b, "hp", Effect::Add(5.0));
+        buf.push(b, "pos", Effect::AddVec2(2.0, 0.0));
+        buf.apply(s.world_mut()).unwrap();
+        s.commit().unwrap();
+
+        let live = s.world().rows();
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().rows(), live);
+        assert_eq!(recovered.world().get_f32(a, "hp"), Some(40.0));
+    }
+
+    /// A whole executor tick against the store's world — systems,
+    /// merged effects, tick bump — is durable with one commit.
+    #[test]
+    fn executor_ticks_through_world_mut_are_durable() {
+        let mut s = fresh(1, "wal-tick");
+        for i in 0..4 {
+            let e = s.world_mut().spawn_at(Vec2::new(i as f32, 0.0));
+            s.world_mut().set(e, "hp", Value::Float(100.0)).unwrap();
+        }
+        s.commit().unwrap();
+        let drain: &gamedb_core::System<'_> = &|id, _w, buf: &mut EffectBuffer| {
+            buf.push(id, "hp", Effect::Add(-7.0));
+        };
+        for _ in 0..3 {
+            TickExecutor::sequential()
+                .run_tick(s.world_mut(), &[drain])
+                .unwrap();
+            s.commit().unwrap();
+        }
+        let live = s.world().rows();
+        let tick = s.world().tick();
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().rows(), live);
+        assert_eq!(recovered.world().tick(), tick, "tick counter recovers");
+    }
+
+    #[test]
     fn checkpoint_truncates_replay() {
         let mut s = fresh(1, "wal-cp");
-        let e = s.spawn_at(Vec2::ZERO).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
         for i in 0..50 {
-            s.set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
         }
         s.checkpoint().unwrap();
-        s.set(e, "hp", Value::Float(999.0)).unwrap();
+        s.world_mut().set(e, "hp", Value::Float(999.0)).unwrap();
+        s.commit().unwrap();
         let (recovered, replayed) = s.crash_and_recover().unwrap();
         assert_eq!(replayed, 1, "only the post-checkpoint tail replays");
         assert_eq!(recovered.world().get_f32(e, "hp"), Some(999.0));
     }
 
     #[test]
+    fn checkpoint_commits_pending_mutations_first() {
+        let mut s = fresh(1, "wal-cp-pending");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.world_mut().set(e, "hp", Value::Float(41.0)).unwrap();
+        // no explicit commit: checkpoint must not strand these
+        s.checkpoint().unwrap();
+        assert_eq!(s.uncommitted(), 0);
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(41.0));
+    }
+
+    #[test]
     fn despawn_survives_recovery() {
         let mut s = fresh(1, "wal-despawn");
-        let a = s.spawn_at(Vec2::ZERO).unwrap();
-        let b = s.spawn_at(Vec2::new(1.0, 0.0)).unwrap();
-        s.despawn(a).unwrap();
+        let a = s.world_mut().spawn_at(Vec2::ZERO);
+        let b = s.world_mut().spawn_at(Vec2::new(1.0, 0.0));
+        s.world_mut().despawn(a);
+        s.commit().unwrap();
         let (recovered, _) = s.crash_and_recover().unwrap();
         assert!(!recovered.world().is_live(a));
         assert!(recovered.world().is_live(b));
@@ -512,13 +551,31 @@ mod tests {
     }
 
     #[test]
+    fn unpositioned_spawns_are_durable() {
+        // spawn() (no position) was unloggable under the mirrored API
+        let mut s = fresh(1, "wal-flag");
+        let flag = s.world_mut().spawn();
+        s.world_mut()
+            .define_component("armed", ValueType::Bool)
+            .unwrap();
+        s.world_mut().set(flag, "armed", Value::Bool(true)).unwrap();
+        s.commit().unwrap();
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert!(recovered.world().is_live(flag));
+        assert_eq!(recovered.world().pos(flag), None);
+        assert_eq!(recovered.world().get_bool(flag, "armed"), Some(true));
+    }
+
+    #[test]
     fn recovery_then_continue_then_recover_again() {
         let mut s = fresh(1, "wal-twice");
-        let e = s.spawn_at(Vec2::ZERO).unwrap();
-        s.set(e, "hp", Value::Float(1.0)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.world_mut().set(e, "hp", Value::Float(1.0)).unwrap();
+        s.commit().unwrap();
         let (mut s, _) = s.crash_and_recover().unwrap();
-        s.set(e, "hp", Value::Float(2.0)).unwrap();
-        let f = s.spawn_at(Vec2::new(9.0, 9.0)).unwrap();
+        s.world_mut().set(e, "hp", Value::Float(2.0)).unwrap();
+        let f = s.world_mut().spawn_at(Vec2::new(9.0, 9.0));
+        s.commit().unwrap();
         let (s, _) = s.crash_and_recover().unwrap();
         assert_eq!(s.world().get_f32(e, "hp"), Some(2.0));
         assert!(s.world().is_live(f));
@@ -526,23 +583,26 @@ mod tests {
 
     #[test]
     fn catalog_operations_survive_recovery() {
-        use gamedb_content::CmpOp;
         let mut s = fresh(1, "wal-catalog");
-        let a = s.spawn_at(Vec2::ZERO).unwrap();
-        let b = s.spawn_at(Vec2::new(50.0, 0.0)).unwrap();
-        s.set(a, "hp", Value::Float(5.0)).unwrap();
-        s.set(b, "hp", Value::Float(80.0)).unwrap();
-        s.create_index("hp", IndexKind::Sorted).unwrap();
+        let a = s.world_mut().spawn_at(Vec2::ZERO);
+        let b = s.world_mut().spawn_at(Vec2::new(50.0, 0.0));
+        s.world_mut().set(a, "hp", Value::Float(5.0)).unwrap();
+        s.world_mut().set(b, "hp", Value::Float(80.0)).unwrap();
+        s.world_mut().create_index("hp", IndexKind::Sorted).unwrap();
         let wounded = s
-            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)))
-            .unwrap();
+            .world_mut()
+            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)));
         let near = s
-            .register_view(Query::select().within(Vec2::ZERO, 10.0))
-            .unwrap();
-        s.retarget_view(near, Vec2::new(50.0, 0.0), 10.0).unwrap();
-        s.advance_tick().unwrap();
-        s.remove_component(a, "hp").unwrap();
-        s.advance_tick().unwrap();
+            .world_mut()
+            .register_view(Query::select().within(Vec2::ZERO, 10.0));
+        s.world_mut()
+            .retarget_view(near, Vec2::new(50.0, 0.0), 10.0);
+        let t = s.world().tick();
+        s.world_mut().advance_tick_to(t + 1);
+        s.world_mut().remove_component(a, "hp").unwrap();
+        let t = s.world().tick();
+        s.world_mut().advance_tick_to(t + 1);
+        s.commit().unwrap();
 
         let (recovered, _) = s.crash_and_recover().unwrap();
         let w = recovered.world();
@@ -566,13 +626,14 @@ mod tests {
     #[test]
     fn dropped_catalog_entries_stay_dropped_after_recovery() {
         let mut s = fresh(1, "wal-catalog-drop");
-        s.create_index("hp", IndexKind::Hash).unwrap();
-        let v = s.register_view(Query::select()).unwrap();
+        s.world_mut().create_index("hp", IndexKind::Hash).unwrap();
+        let v = s.world_mut().register_view(Query::select());
         s.checkpoint().unwrap();
-        s.drop_view(v).unwrap();
-        s.drop_index("hp").unwrap();
+        s.world_mut().drop_view(v);
+        s.world_mut().drop_index("hp");
+        s.commit().unwrap();
         let (recovered, replayed) = s.crash_and_recover().unwrap();
-        assert_eq!(replayed, 2);
+        assert_eq!(replayed, 1, "both drops share one batch frame");
         let w = recovered.world();
         assert!(!w.has_view(v), "dropped view stays dropped");
         assert!(w.index_on("hp").is_none(), "dropped index stays dropped");
@@ -584,22 +645,25 @@ mod tests {
 
     #[test]
     fn catalog_in_snapshot_and_in_tail_compose() {
-        use gamedb_content::CmpOp;
         let mut s = fresh(1, "wal-catalog-compose");
-        let a = s.spawn_at(Vec2::ZERO).unwrap();
-        s.set(a, "hp", Value::Float(5.0)).unwrap();
+        let a = s.world_mut().spawn_at(Vec2::ZERO);
+        s.world_mut().set(a, "hp", Value::Float(5.0)).unwrap();
         // index before the checkpoint (arrives via snapshot catalog)
-        s.create_index("hp", IndexKind::Sorted).unwrap();
+        s.world_mut().create_index("hp", IndexKind::Sorted).unwrap();
         s.checkpoint().unwrap();
         // view after the checkpoint (arrives via WAL replay)
         let v = s
-            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)))
-            .unwrap();
-        let b = s.spawn_at(Vec2::ZERO).unwrap();
-        s.set(b, "hp", Value::Float(1.0)).unwrap();
+            .world_mut()
+            .register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(50.0)));
+        let b = s.world_mut().spawn_at(Vec2::ZERO);
+        s.world_mut().set(b, "hp", Value::Float(1.0)).unwrap();
+        s.commit().unwrap();
         let (recovered, _) = s.crash_and_recover().unwrap();
         let w = recovered.world();
-        assert_eq!(w.indexed_components().collect::<Vec<_>>(), vec![("hp", IndexKind::Sorted)]);
+        assert_eq!(
+            w.indexed_components().collect::<Vec<_>>(),
+            vec![("hp", IndexKind::Sorted)]
+        );
         assert_eq!(w.view_rows(v), &[a, b]);
         assert_eq!(w.view_rows(v), w.view_query(v).run_scan(w));
     }
@@ -608,10 +672,11 @@ mod tests {
     fn recovery_tolerates_a_corrupt_latest_snapshot() {
         use std::io::Write;
         let mut s = fresh(1, "wal-snap-fallback");
-        let e = s.spawn_at(Vec2::ZERO).unwrap();
-        s.set(e, "hp", Value::Float(3.0)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.world_mut().set(e, "hp", Value::Float(3.0)).unwrap();
         s.checkpoint().unwrap();
-        s.set(e, "hp", Value::Float(9.0)).unwrap();
+        s.world_mut().set(e, "hp", Value::Float(9.0)).unwrap();
+        s.commit().unwrap();
         // scribble over snapshot 1: recovery must fall back to snapshot 0
         // and replay the full tail (whose mark-1 record is a no-op)
         let path = s.backend().dir().join("snapshot-1.db");
@@ -625,11 +690,15 @@ mod tests {
     #[test]
     fn stats_track_activity() {
         let mut s = fresh(2, "wal-stats");
-        let e = s.spawn_at(Vec2::ZERO).unwrap();
-        s.set(e, "hp", Value::Float(1.0)).unwrap();
-        s.set(e, "hp", Value::Float(2.0)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap(); // 1 frame, 2 ops
+        s.world_mut().set(e, "hp", Value::Float(1.0)).unwrap();
+        s.commit().unwrap();
+        s.world_mut().set(e, "hp", Value::Float(2.0)).unwrap();
+        s.commit().unwrap();
         s.checkpoint().unwrap();
         assert_eq!(s.stats.records, 3);
+        assert_eq!(s.stats.ops, 4);
         assert!(s.stats.flushes >= 2);
         assert_eq!(s.stats.checkpoints, 1);
     }

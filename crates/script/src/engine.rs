@@ -178,7 +178,13 @@ impl ScriptEngine {
     }
 
     /// Run one tick: every entity bound via the `script` component runs
-    /// its script against the tick-start state; effects apply atomically.
+    /// its script against the tick-start state; the merged effect buffer
+    /// then commits as **one batch** through `World::apply_batch` —
+    /// every slot one final write, one change-stream segment. Run
+    /// against a `WalStore::world_mut()` world, the whole scripted tick
+    /// becomes durable with a single group-commit WAL frame (pair with
+    /// `WalStore::commit`); before the change pipeline this path
+    /// bypassed durability entirely.
     pub fn tick(&mut self, world: &mut World) -> Result<EngineTickStats, RuntimeError> {
         let mut stats = EngineTickStats::default();
         let mut buf = EffectBuffer::new();

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use gamedb_content::{CmpOp, Value};
-use gamedb_core::{EntityId, Query, ViewId, World};
+use gamedb_core::{ChangeOp, EntityId, Query, TapId, ViewId, World, POS};
 use gamedb_spatial::Vec2;
 
 use crate::action::Action;
@@ -89,6 +89,9 @@ pub struct Auditor {
     /// Standing `gold < 0` view when subscribed (see
     /// [`Auditor::subscribe_overdrafts`]).
     overdraft_view: Option<ViewId>,
+    /// Change-stream tap for movement auditing (see
+    /// [`Auditor::subscribe_movement`]).
+    move_tap: Option<TapId>,
     ticks: usize,
     dirty_ticks: usize,
     total_drift: i64,
@@ -101,6 +104,7 @@ impl Auditor {
         Auditor {
             max_step,
             overdraft_view: None,
+            move_tap: None,
             ticks: 0,
             dirty_ticks: 0,
             total_drift: 0,
@@ -132,12 +136,69 @@ impl Auditor {
         }
     }
 
+    /// Switch the speed-hack check from a full-world position snapshot
+    /// to the change stream: a tap captures every `pos` write, so the
+    /// per-tick audit inspects only the entities that actually moved
+    /// (O(movement), not O(entities)) and [`Auditor::snapshot_tick`]
+    /// stops building the position map entirely. Pair with
+    /// [`Auditor::snapshot_tick`] + [`Auditor::audit_tick`] — the tap
+    /// segment is anchored at snapshot time and consumed by the audit.
+    pub fn subscribe_movement(&mut self, world: &mut World) {
+        if self.move_tap.is_none() {
+            self.move_tap = Some(world.attach_tap());
+        }
+    }
+
+    /// Release the movement tap. Call when retiring the auditor — an
+    /// abandoned tap pins the world's change-stream window forever.
+    pub fn unsubscribe_movement(&mut self, world: &mut World) {
+        if let Some(tap) = self.move_tap.take() {
+            world.detach_tap(tap);
+        }
+    }
+
     /// [`Auditor::audit`] preceded by a view refresh — the per-tick
     /// entry point for callers driving the world outside the tick
-    /// executor (action executors never bump the tick counter).
+    /// executor (action executors never bump the tick counter). With a
+    /// movement tap subscribed, the speed check reads the stream
+    /// segment accumulated since [`Auditor::snapshot_tick`]: each
+    /// entity's first recorded pre-move position stands in for the
+    /// baseline, and only moved entities are inspected.
     pub fn audit_tick(&mut self, before: &Baseline, world: &mut World) -> AuditReport {
         world.refresh_views();
-        self.audit(before, world)
+        let streamed_speed = self.move_tap.map(|tap| {
+            let eps = 1e-3;
+            let mut first_old: HashMap<EntityId, Option<Vec2>> = HashMap::new();
+            for change in world.tap_pending(tap) {
+                if let ChangeOp::Set {
+                    id,
+                    component,
+                    old,
+                    ..
+                } = &change.op
+                {
+                    if component == POS {
+                        first_old.entry(*id).or_insert(match old {
+                            Some(Value::Vec2(x, y)) => Some(Vec2::new(*x, *y)),
+                            _ => None,
+                        });
+                    }
+                }
+            }
+            let max_step = self.max_step;
+            let violations = first_old
+                .iter()
+                .filter(|(e, then)| {
+                    let (Some(now), Some(then)) = (world.pos(**e), then) else {
+                        return false;
+                    };
+                    now.dist(*then) > max_step + eps
+                })
+                .count();
+            world.ack_tap(tap);
+            violations
+        });
+        self.audit_with(before, world, streamed_speed)
     }
 
     /// Capture the pre-tick state the post-tick check needs.
@@ -148,6 +209,23 @@ impl Auditor {
                 .entities()
                 .filter_map(|e| world.pos(e).map(|p| (e, p)))
                 .collect(),
+        }
+    }
+
+    /// [`Auditor::snapshot`] for a movement-subscribed auditor: anchors
+    /// the tap segment here and skips the O(world) position map (the
+    /// stream carries each mover's pre-move position instead). Falls
+    /// back to the full snapshot when no tap is subscribed.
+    pub fn snapshot_tick(&mut self, world: &mut World) -> Baseline {
+        match self.move_tap {
+            Some(tap) => {
+                world.ack_tap(tap);
+                Baseline {
+                    wealth: wealth(world),
+                    positions: HashMap::new(),
+                }
+            }
+            None => self.snapshot(world),
         }
     }
 
@@ -162,15 +240,22 @@ impl Auditor {
     /// materialized rows (falling back to the query whenever the view is
     /// stale or belongs to another world).
     pub fn audit(&mut self, before: &Baseline, world: &World) -> AuditReport {
+        self.audit_with(before, world, None)
+    }
+
+    fn audit_with(
+        &mut self,
+        before: &Baseline,
+        world: &World,
+        streamed_speed: Option<usize>,
+    ) -> AuditReport {
         let eps = 1e-3;
         let overdrafts = match self.overdraft_view {
             Some(v) if world.has_view(v) && world.pending_deltas() == 0 => world.view_count(v),
             _ => overdraft_query().count(world),
         };
-        let report = AuditReport {
-            wealth_drift: wealth(world) - before.wealth,
-            overdrafts,
-            speed_violations: world
+        let speed_violations = streamed_speed.unwrap_or_else(|| {
+            world
                 .entities()
                 .filter(|&e| {
                     let (Some(now), Some(&then)) = (world.pos(e), before.positions.get(&e))
@@ -179,7 +264,12 @@ impl Auditor {
                     };
                     now.dist(then) > self.max_step + eps
                 })
-                .count(),
+                .count()
+        });
+        let report = AuditReport {
+            wealth_drift: wealth(world) - before.wealth,
+            overdrafts,
+            speed_violations,
         };
         self.ticks += 1;
         if !report.clean() {
@@ -390,6 +480,58 @@ mod tests {
             Action::Trade { from: ids[0], to: ids[1], amount: 60 },
             Action::Trade { from: ids[0], to: ids[2], amount: 60 },
         ]
+    }
+
+    /// ISSUE-4 satellite: the change-stream movement audit must report
+    /// exactly what the snapshot-based audit reports — speed hacks
+    /// caught, legitimate moves ignored — while skipping the O(world)
+    /// position map entirely.
+    #[test]
+    fn movement_audit_via_stream_equals_snapshot_audit() {
+        let (mut w_snap, ids_s) = line_world(12);
+        let (mut w_tap, ids_t) = line_world(12);
+        let mut snap_auditor = Auditor::new(2.5);
+        let mut tap_auditor = Auditor::new(2.5);
+        tap_auditor.subscribe_movement(&mut w_tap);
+
+        // per tick: (entity, dx) moves — some legal, some speed hacks,
+        // one entity teleports in two hops that are individually legal
+        // but jointly a violation (the stream must compare first-old
+        // against final, not hop by hop)
+        let script: Vec<Vec<(usize, f32)>> = vec![
+            vec![(0, 1.0), (1, 2.0)],          // all legal
+            vec![(2, 50.0)],                    // blatant speed hack
+            vec![(3, 2.0), (3, 2.0)],           // 4.0 total: violation
+            vec![(4, -1.0), (5, 2.4)],          // legal again
+            vec![],                             // quiet tick
+            vec![(0, 3.0), (1, -9.0), (2, 0.5)] // two violations
+        ];
+        for (tick, moves) in script.iter().enumerate() {
+            let before_snap = snap_auditor.snapshot(&w_snap);
+            let before_tap = tap_auditor.snapshot_tick(&mut w_tap);
+            assert!(
+                before_tap.positions.is_empty(),
+                "tapped baseline skips the position map"
+            );
+            for &(i, dx) in moves {
+                for (w, ids) in [(&mut w_snap, &ids_s), (&mut w_tap, &ids_t)] {
+                    let p = w.pos(ids[i]).unwrap();
+                    w.set_pos(ids[i], Vec2::new(p.x + dx, p.y)).unwrap();
+                }
+            }
+            let r_snap = snap_auditor.audit_tick(&before_snap, &mut w_snap);
+            let r_tap = tap_auditor.audit_tick(&before_tap, &mut w_tap);
+            assert_eq!(
+                r_snap.speed_violations, r_tap.speed_violations,
+                "tick {tick}"
+            );
+            assert_eq!(r_snap, r_tap, "tick {tick}");
+        }
+        assert_eq!(
+            snap_auditor.total_speed_violations(),
+            tap_auditor.total_speed_violations()
+        );
+        assert!(tap_auditor.total_speed_violations() >= 4);
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! [`Replicator`] decides, per tick, which rows to ship. Three levels
 //! trade bandwidth for divergence, measured by [`Divergence`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use gamedb_content::Value;
-use gamedb_core::{EntityId, Query, ViewId, World};
+use gamedb_core::{EntityId, Query, TapId, ViewId, World};
 use gamedb_spatial::Vec2;
 
 /// Consistency levels from strongest to weakest.
@@ -106,6 +106,13 @@ pub struct Replicator {
     interest_view: Option<ViewId>,
     /// Center/radius the view was last anchored at.
     view_anchor: ((f32, f32), f32),
+    /// Change-stream tap (see [`Replicator::attach_stream`]).
+    stream_tap: Option<TapId>,
+    /// Entities touched by the stream since they were last fully
+    /// shipped — the candidate set [`Replicator::sync_stream`] visits.
+    dirty: BTreeSet<EntityId>,
+    /// Whether the first (full) stream sync has happened.
+    stream_primed: bool,
     tick: u32,
     /// rows shipped so far (the bandwidth proxy)
     pub rows_sent: usize,
@@ -123,6 +130,9 @@ impl Replicator {
             interest,
             interest_view: None,
             view_anchor: ((0.0, 0.0), 0.0),
+            stream_tap: None,
+            dirty: BTreeSet::new(),
+            stream_primed: false,
             tick: 0,
             rows_sent: 0,
         }
@@ -205,6 +215,138 @@ impl Replicator {
         self.sync_from(world, replica, Some(&candidates));
     }
 
+    /// Turn incremental replication on: attaches the interest-bubble
+    /// view (finite interest only) **and** a change-stream tap, so
+    /// [`Replicator::sync_stream`] can ship exactly the rows each
+    /// stream segment touched instead of re-walking bubble members.
+    pub fn attach_stream(&mut self, world: &mut World) {
+        self.attach_view(world);
+        if self.stream_tap.is_none() {
+            self.stream_tap = Some(world.attach_tap());
+            self.dirty.clear();
+            self.stream_primed = false;
+        }
+    }
+
+    /// Release the change-stream tap (and drop the interest view, if
+    /// one was attached). Call this when the client disconnects: an
+    /// abandoned tap would pin the world's change-stream window — every
+    /// later mutation retained, waiting for an ack that never comes.
+    pub fn detach_stream(&mut self, world: &mut World) {
+        if let Some(tap) = self.stream_tap.take() {
+            world.detach_tap(tap);
+        }
+        if let Some(view) = self.interest_view.take() {
+            world.drop_view(view);
+        }
+        self.dirty.clear();
+        self.stream_primed = false;
+    }
+
+    /// What the ship rules are for a given tick number, per the
+    /// consistency level: `(send_all_pos, send_state, pos_threshold)`.
+    fn ship_plan(&self, tick: u32) -> (bool, bool, Option<f32>) {
+        match self.level {
+            ConsistencyLevel::Strict => (true, true, None),
+            ConsistencyLevel::CoarseEpoch { pos_period } => {
+                (tick.is_multiple_of(pos_period.max(1)), true, None)
+            }
+            ConsistencyLevel::EventualSimilar {
+                threshold,
+                state_period,
+            } => (
+                false,
+                tick.is_multiple_of(state_period.max(1)),
+                Some(threshold),
+            ),
+        }
+    }
+
+    /// [`Replicator::sync`] driven by the change stream: the pending
+    /// segment names every entity touched since the last shipment, the
+    /// interest view's changelog names every entity the (possibly
+    /// retargeted) bubble gained — and only those candidates are
+    /// visited. Ships the **exact** replica state and row counts of the
+    /// full-walk [`Replicator::sync_live`] (proven by test) while the
+    /// per-tick work shrinks from O(bubble) to O(changed).
+    ///
+    /// Entities whose rows could not all ship under the current level's
+    /// off-cycle rules (e.g. positions between `CoarseEpoch` epochs)
+    /// stay in the dirty set and are revisited until a full-ship tick
+    /// clears them. Falls back to [`Replicator::sync_live`] when no
+    /// stream is attached.
+    pub fn sync_stream(&mut self, world: &mut World, replica: &mut Replica) {
+        let Some(tap) = self.stream_tap else {
+            self.sync_live(world, replica);
+            return;
+        };
+        // fold pending changes into the interest view, re-anchoring it
+        // if the focus moved — mirroring sync_live exactly
+        let view = self.interest_view.filter(|&v| world.has_view(v));
+        let mut retargeted = false;
+        if let Some(view) = view {
+            let anchor = (
+                self.interest.center,
+                self.interest.radius + self.interest.margin,
+            );
+            if anchor != self.view_anchor {
+                let ((cx, cy), r) = anchor;
+                world.retarget_view(view, Vec2::new(cx, cy), r);
+                self.view_anchor = anchor;
+                retargeted = true;
+            } else {
+                world.refresh_views();
+            }
+        } else {
+            world.refresh_views();
+        }
+        // the segment: every entity a mutation touched since last sync
+        for change in world.tap_pending(tap) {
+            if let Some(id) = change.op.entity() {
+                self.dirty.insert(id);
+            }
+        }
+        world.ack_tap(tap);
+        // membership the bubble gained without the entity itself moving
+        // (the focus moved): the view changelog names it
+        if let Some(view) = view {
+            let log = world.take_view_changelog(view);
+            self.dirty.extend(log.entered);
+            if retargeted {
+                // a focus move changes interest geometry for *every*
+                // member — entities in the hysteresis band can become
+                // shippable without moving or re-entering the view, so
+                // the whole membership is revisited this tick (the same
+                // O(bubble) cost sync_live pays every tick, paid here
+                // only when the focus actually moved)
+                self.dirty.extend(world.view_rows(view).iter().copied());
+            }
+        }
+        let candidates: Vec<EntityId> = if !self.stream_primed {
+            // first shipment: the full candidate set, like sync_live
+            self.stream_primed = true;
+            self.dirty.clear();
+            match view {
+                Some(v) => {
+                    let mut c: Vec<EntityId> = world.view_rows(v).to_vec();
+                    c.extend(world.entities().filter(|&e| world.pos(e).is_none()));
+                    c
+                }
+                None => world.entity_vec(),
+            }
+        } else {
+            let c: Vec<EntityId> = self.dirty.iter().copied().collect();
+            // a tick that ships everything shippable settles all debts;
+            // partial ticks (epoch positions pending) keep entities dirty
+            let (send_all_pos, send_state, pos_threshold) = self.ship_plan(self.tick + 1);
+            if send_state && (send_all_pos || pos_threshold.is_some()) {
+                self.dirty.clear();
+            }
+            c
+        };
+        self.sync_from(world, replica, Some(&candidates));
+    }
+
     /// Ship one tick of updates from `world` into `replica`.
     pub fn sync(&mut self, world: &World, replica: &mut Replica) {
         self.sync_from(world, replica, None);
@@ -221,27 +363,7 @@ impl Replicator {
         candidates: Option<&[EntityId]>,
     ) {
         self.tick += 1;
-        let send_all_pos;
-        let send_state;
-        let mut pos_threshold = None;
-        match self.level {
-            ConsistencyLevel::Strict => {
-                send_all_pos = true;
-                send_state = true;
-            }
-            ConsistencyLevel::CoarseEpoch { pos_period } => {
-                send_all_pos = self.tick.is_multiple_of(pos_period.max(1));
-                send_state = true;
-            }
-            ConsistencyLevel::EventualSimilar {
-                threshold,
-                state_period,
-            } => {
-                send_all_pos = false;
-                pos_threshold = Some(threshold);
-                send_state = self.tick.is_multiple_of(state_period.max(1));
-            }
-        }
+        let (send_all_pos, send_state, pos_threshold) = self.ship_plan(self.tick);
         // Interest management: which live entities does this client care
         // about? Known entities get the hysteresis margin.
         let interest = self.interest;
@@ -618,6 +740,165 @@ mod tests {
             local < unbounded / 3,
             "AOI must cut bandwidth: local={local} unbounded={unbounded}"
         );
+    }
+
+    /// ISSUE-4 satellite: stream-shipped replication must be exactly
+    /// the full-walk `sync_live` oracle — same replica rows, same
+    /// bandwidth, tick for tick — over a seeded 50-tick workload of
+    /// drifting entities, spawns, despawns, component churn,
+    /// unpositioned global state, and a wandering focus (bubble
+    /// retargets), at every consistency level.
+    #[test]
+    fn sync_stream_equals_full_walk_over_seeded_workload() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for level in [
+            ConsistencyLevel::Strict,
+            ConsistencyLevel::CoarseEpoch { pos_period: 3 },
+            ConsistencyLevel::EventualSimilar {
+                threshold: 2.5,
+                state_period: 4,
+            },
+        ] {
+            let interest = Interest {
+                center: (0.0, 0.0),
+                radius: 15.0,
+                margin: 4.0,
+            };
+            let (mut w_walk, mut ids_w) = moving_world(40);
+            let (mut w_stream, mut ids_s) = moving_world(40);
+            for w in [&mut w_walk, &mut w_stream] {
+                let flag = w.spawn();
+                w.set(flag, "gold", Value::Int(7)).unwrap();
+            }
+            let mut walk = Replicator::with_interest(level, interest);
+            walk.attach_view(&mut w_walk);
+            let mut stream = Replicator::with_interest(level, interest);
+            stream.attach_stream(&mut w_stream);
+            let mut r_walk = Replica::default();
+            let mut r_stream = Replica::default();
+
+            let mut rng = StdRng::seed_from_u64(0x5CA1E);
+            for tick in 0..50 {
+                // an identical random mutation script against both worlds
+                let n_ops = 1 + rng.gen_range(0..4u32);
+                for _ in 0..n_ops {
+                    let roll = rng.gen_range(0..100u32);
+                    let pick = rng.gen_range(0..ids_w.len().max(1));
+                    match roll {
+                        0..=54 => {
+                            let (dx, dy) = (
+                                rng.gen_range(-2.0..2.0f32),
+                                rng.gen_range(-2.0..2.0f32),
+                            );
+                            for (w, ids) in
+                                [(&mut w_walk, &ids_w), (&mut w_stream, &ids_s)]
+                            {
+                                let e = ids[pick];
+                                if let Some(p) = w.pos(e) {
+                                    w.set_pos(e, Vec2::new(p.x + dx, p.y + dy)).unwrap();
+                                }
+                            }
+                        }
+                        55..=74 => {
+                            let hp = rng.gen_range(0.0..100.0f32);
+                            for (w, ids) in
+                                [(&mut w_walk, &ids_w), (&mut w_stream, &ids_s)]
+                            {
+                                let e = ids[pick];
+                                if w.is_live(e) {
+                                    w.set_f32(e, "hp", hp).unwrap();
+                                }
+                            }
+                        }
+                        75..=84 => {
+                            let (x, y) = (
+                                rng.gen_range(-20.0..20.0f32),
+                                rng.gen_range(-20.0..20.0f32),
+                            );
+                            let hp = rng.gen_range(1.0..99.0f32);
+                            let a = w_walk.spawn_at(Vec2::new(x, y));
+                            w_walk.set_f32(a, "hp", hp).unwrap();
+                            ids_w.push(a);
+                            let b = w_stream.spawn_at(Vec2::new(x, y));
+                            w_stream.set_f32(b, "hp", hp).unwrap();
+                            ids_s.push(b);
+                        }
+                        _ => {
+                            if ids_w.len() > 5 {
+                                w_walk.despawn(ids_w[pick]);
+                                w_stream.despawn(ids_s[pick]);
+                            }
+                        }
+                    }
+                }
+                if tick % 5 == 4 {
+                    // the player walks: the bubble must follow its focus
+                    let focus = (tick as f32 * 0.7, rng.gen_range(-3.0..3.0f32));
+                    walk.interest.center = focus;
+                    stream.interest.center = focus;
+                }
+                walk.sync_live(&mut w_walk, &mut r_walk);
+                stream.sync_stream(&mut w_stream, &mut r_stream);
+                assert_eq!(
+                    r_walk.rows, r_stream.rows,
+                    "replica state diverged at tick {tick} under {level:?}"
+                );
+                assert!(
+                    stream.rows_sent <= walk.rows_sent,
+                    "stream shipping must never cost more bandwidth \
+                     (tick {tick}, {level:?}): {} vs {}",
+                    stream.rows_sent,
+                    walk.rows_sent
+                );
+            }
+            if level == ConsistencyLevel::Strict {
+                // Strict full walks re-ship every member's position
+                // every tick; the stream ships only touched rows — the
+                // bandwidth win must actually materialize
+                assert!(
+                    stream.rows_sent < walk.rows_sent,
+                    "stream={} walk={}",
+                    stream.rows_sent,
+                    walk.rows_sent
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detach_stream_releases_tap_and_view() {
+        let interest = Interest {
+            center: (0.0, 0.0),
+            radius: 10.0,
+            margin: 2.0,
+        };
+        let (mut w, ids) = moving_world(10);
+        let mut rep = Replicator::with_interest(ConsistencyLevel::Strict, interest);
+        rep.attach_stream(&mut w);
+        let mut client = Replica::default();
+        rep.sync_stream(&mut w, &mut client);
+        assert_eq!(w.view_ids().len(), 1);
+        // the disconnect path: tap + view released, later mutations are
+        // not retained for a consumer that will never come back
+        rep.detach_stream(&mut w);
+        assert!(w.view_ids().is_empty(), "interest view dropped");
+        drift(&mut w, &ids, 1.0);
+        assert_eq!(w.pending_deltas(), 0, "no consumers ⇒ no recording");
+        // the replicator still works, as a plain full-walk sync
+        rep.sync_stream(&mut w, &mut client);
+        let d = Replicator::divergence_within(&w, &client, interest);
+        assert_eq!(d.mean_pos_error, 0.0);
+    }
+
+    #[test]
+    fn sync_stream_without_tap_is_sync_live() {
+        let (mut w, ids) = moving_world(10);
+        let mut rep = Replicator::new(ConsistencyLevel::Strict);
+        let mut client = Replica::default();
+        drift(&mut w, &ids, 1.0);
+        rep.sync_stream(&mut w, &mut client);
+        assert_eq!(Replicator::divergence(&w, &client).mean_pos_error, 0.0);
     }
 
     #[test]

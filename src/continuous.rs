@@ -7,7 +7,11 @@
 //! continuous-query subsystem the polling disappears: each `stat_below`
 //! trigger becomes a standing view over its threshold predicate
 //! (`component < threshold`), and a downward crossing is precisely an
-//! `entered` row in that view's per-tick changelog.
+//! `entered` row in that view's per-tick changelog. The views fold the
+//! world's unified change stream (`gamedb_core::change`) — the same
+//! ordered record sequence the WAL taps for durability and the
+//! replicator taps for shipping — so the watcher rides every write
+//! path, scripted ticks and effect batches included, for free.
 //!
 //! Semantics note: the view defines a crossing as *the predicate
 //! becoming true for a row*. For writes on existing entities this is
@@ -52,7 +56,7 @@ impl ThresholdWatcher {
     }
 
     fn build(world: &mut World, triggers: &TriggerSet, adopt: bool) -> Self {
-        let mut entries = Vec::new();
+        let mut entries: Vec<(String, ViewId, String, f64)> = Vec::new();
         for t in triggers.iter() {
             if let EventKind::StatBelow {
                 component,
@@ -64,8 +68,19 @@ impl ThresholdWatcher {
                     CmpOp::Lt,
                     Value::Float(*threshold as f32),
                 );
+                // Adopt each recovered view at most once: two triggers
+                // with the same (component, threshold) registered two
+                // views on first boot, and each must reclaim its own —
+                // sharing one would leave the second trigger reading an
+                // already-taken changelog (silent starvation) and the
+                // other recovered view orphaned.
                 let view = adopt
-                    .then(|| world.find_view(&query))
+                    .then(|| {
+                        world.view_ids().into_iter().find(|&v| {
+                            world.view_query(v) == &query
+                                && !entries.iter().any(|(_, used, _, _)| *used == v)
+                        })
+                    })
                     .flatten()
                     .unwrap_or_else(|| world.register_view(query));
                 entries.push((t.id.clone(), view, component.clone(), *threshold));
@@ -360,6 +375,42 @@ mod tests {
             watcher.pump(&mut w, &mut triggers).is_empty(),
             "dead or recovered entities must not fire"
         );
+    }
+
+    #[test]
+    fn reattach_gives_identical_triggers_their_own_views() {
+        const DUPES: &str = r#"
+          <triggers>
+            <trigger id="flee" event="stat_below" component="hp" threshold="20">
+              <action kind="emit" event="flee"/>
+            </trigger>
+            <trigger id="alarm" event="stat_below" component="hp" threshold="20">
+              <action kind="emit" event="alarm"/>
+            </trigger>
+          </triggers>"#;
+        let dupes = || TriggerSet::from_gdml(&gdml::parse(DUPES).unwrap()).unwrap();
+        let (mut w, ids) = arena();
+        let trig = dupes();
+        let first_boot = ThresholdWatcher::register(&mut w, &trig);
+        assert_eq!(w.view_ids().len(), 2, "one view per trigger");
+        drop(first_boot); // "crash": both views survive in the world
+
+        // restart: each trigger must reclaim its OWN view — sharing one
+        // would hand the second trigger an already-taken changelog
+        let mut trig2 = dupes();
+        let watcher = ThresholdWatcher::reattach(&mut w, &trig2);
+        assert_eq!(w.view_ids().len(), 2, "adopted, not re-registered");
+        w.set_f32(ids[0], "hp", 5.0).unwrap();
+        let fired = watcher.pump(&mut w, &mut trig2);
+        assert_eq!(
+            fired_keys(&fired),
+            vec![
+                (ids[0], "alarm".to_string()),
+                (ids[0], "flee".to_string()),
+            ],
+            "both identical-threshold triggers fire after reattach"
+        );
+        let _ = trig;
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! ISSUE-4 regression: the durability hole is closed.
+//!
+//! Before the unified change pipeline, `WalStore` mirrored the `World`
+//! write API method-by-method; any mutation that bypassed the mirror —
+//! most notably a whole `ScriptEngine::tick`, which applies a merged
+//! effect batch straight to `&mut World` — was **silently not durable**
+//! (there was no API through which it could be). With durability as a
+//! change-stream tap, scripted ticks, effect batches, and executor
+//! ticks against `WalStore::world_mut()` all survive
+//! `crash_and_recover` bit-identically after a single `commit()`.
+
+use gamedb::content::{CmpOp, Value, ValueType};
+use gamedb::core::{IndexKind, Query};
+use gamedb::persist::{temp_dir, Backend, WalStore};
+use gamedb::script::{Level, ScriptEngine};
+use gamedb::spatial::Vec2;
+
+/// The headline regression: a scripted tick against a WAL-backed world
+/// is durable. On main-before-this-PR the mutation path simply did not
+/// exist in the store's API — scripts ran against a world reference and
+/// the log never heard about it.
+#[test]
+fn script_engine_tick_survives_crash_bit_identically() {
+    let mut world = gamedb::core::World::new();
+    world.define_component("hp", ValueType::Float).unwrap();
+    world.define_component("mana", ValueType::Float).unwrap();
+
+    let mut engine = ScriptEngine::new(Level::Full);
+    engine.ensure_binding_component(&mut world);
+    engine
+        .load("regen", "self.hp += 5; self.mana -= 1;", &world)
+        .unwrap();
+    engine
+        .load("drain", "foreach within (10) { other.hp -= 2; }", &world)
+        .unwrap();
+
+    let backend = Backend::open(temp_dir("pipeline-script-tick")).unwrap();
+    let mut store = WalStore::new(world, backend, 1).unwrap();
+
+    // bind entities through the same tap-covered surface
+    let a = store.world_mut().spawn_at(Vec2::new(0.0, 0.0));
+    let b = store.world_mut().spawn_at(Vec2::new(3.0, 0.0));
+    let c = store.world_mut().spawn_at(Vec2::new(100.0, 0.0));
+    for id in [a, b, c] {
+        store.world_mut().set(id, "hp", Value::Float(50.0)).unwrap();
+        store
+            .world_mut()
+            .set(id, "mana", Value::Float(20.0))
+            .unwrap();
+    }
+    engine.bind(store.world_mut(), a, "regen").unwrap();
+    engine.bind(store.world_mut(), b, "drain").unwrap();
+    store.commit().unwrap();
+
+    // derived state rides the same stream: index + standing view
+    store.world_mut().create_index("hp", IndexKind::Sorted).unwrap();
+    let wounded = store
+        .ensure_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(49.0)))
+        .unwrap();
+    store.commit().unwrap();
+
+    // several scripted ticks, each made durable by one commit
+    for _ in 0..5 {
+        engine.tick(store.world_mut()).unwrap();
+        let t = store.world().tick();
+        store.world_mut().advance_tick_to(t + 1);
+        store.commit().unwrap();
+    }
+    // a's regen (+5) and b's drain (−2) both hit a every tick; b runs
+    // drain only (no self-effect), c is out of range of everything
+    assert_eq!(store.world().get_f32(a, "hp"), Some(65.0));
+    assert_eq!(store.world().get_f32(a, "mana"), Some(15.0));
+    assert_eq!(store.world().get_f32(b, "hp"), Some(50.0));
+    assert_eq!(store.world().get_f32(c, "hp"), Some(50.0), "c out of range");
+
+    let live_rows = store.world().rows();
+    let live_tick = store.world().tick();
+    let live_catalog = store.world().export_catalog();
+    let live_wounded = store.world().view_rows(wounded).to_vec();
+
+    let (recovered, _) = store.crash_and_recover().unwrap();
+    let w = recovered.world();
+    assert_eq!(w.rows(), live_rows, "rows recover bit-identically");
+    assert_eq!(w.tick(), live_tick, "tick counter recovers");
+    assert_eq!(w.export_catalog(), live_catalog, "catalog recovers");
+    assert!(w.has_view(wounded), "pre-crash view handle resolves");
+    assert_eq!(w.view_rows(wounded), live_wounded.as_slice());
+    assert_eq!(
+        w.view_rows(wounded),
+        w.view_query(wounded).run_scan(w),
+        "recovered view equals its scan oracle"
+    );
+    // the rebuilt index answers probes exactly
+    let mut probe = vec![];
+    assert!(w.index_probe("hp", CmpOp::Lt, &Value::Float(49.0), &mut probe));
+    assert_eq!(
+        probe,
+        Query::select()
+            .filter("hp", CmpOp::Lt, Value::Float(49.0))
+            .run_scan(w)
+    );
+}
+
+/// Un-committed scripted mutation is lost by a crash — the commit call
+/// is the durability boundary, not a formality.
+#[test]
+fn uncommitted_script_tick_is_rolled_back() {
+    let mut world = gamedb::core::World::new();
+    world.define_component("hp", ValueType::Float).unwrap();
+    let mut engine = ScriptEngine::new(Level::Restricted);
+    engine.ensure_binding_component(&mut world);
+    engine.load("regen", "self.hp += 5;", &world).unwrap();
+
+    let backend = Backend::open(temp_dir("pipeline-uncommitted")).unwrap();
+    let mut store = WalStore::new(world, backend, 1).unwrap();
+    let e = store.world_mut().spawn_at(Vec2::ZERO);
+    store.world_mut().set(e, "hp", Value::Float(10.0)).unwrap();
+    engine.bind(store.world_mut(), e, "regen").unwrap();
+    store.commit().unwrap();
+
+    engine.tick(store.world_mut()).unwrap();
+    assert_eq!(store.world().get_f32(e, "hp"), Some(15.0));
+    assert!(store.uncommitted() > 0);
+    // no commit: the tick vanishes with the crash
+    let (recovered, _) = store.crash_and_recover().unwrap();
+    assert_eq!(recovered.world().get_f32(e, "hp"), Some(10.0));
+}

@@ -37,21 +37,23 @@ fn threshold_watcher_survives_crash_without_refiring() {
     let backend = Backend::open(temp_dir("recovery-watcher")).unwrap();
     let mut store = WalStore::new(world, backend, 1).unwrap();
 
-    // route the watcher's view THROUGH the store so it is logged; the
-    // watcher then adopts it (identical query)
+    // route the watcher's view THROUGH the store so it is committed to
+    // the log; the watcher then adopts it (identical query)
     let watch_query = Query::select().filter("hp", CmpOp::Lt, Value::Float(20.0));
     store.ensure_view(watch_query.clone()).unwrap();
-    let watcher = ThresholdWatcher::reattach(store.world_for_subscribers(), &trig);
+    let watcher = ThresholdWatcher::reattach(store.world_mut(), &trig);
     assert_eq!(watcher.len(), 1);
 
-    let a = store.spawn_at(Vec2::ZERO).unwrap();
-    let b = store.spawn_at(Vec2::new(5.0, 0.0)).unwrap();
-    store.set(a, "hp", Value::Float(100.0)).unwrap();
-    store.set(b, "hp", Value::Float(100.0)).unwrap();
+    let a = store.world_mut().spawn_at(Vec2::ZERO);
+    let b = store.world_mut().spawn_at(Vec2::new(5.0, 0.0));
+    store.world_mut().set(a, "hp", Value::Float(100.0)).unwrap();
+    store.world_mut().set(b, "hp", Value::Float(100.0)).unwrap();
     // a crosses before the crash, and its firing is consumed
-    store.set(a, "hp", Value::Float(5.0)).unwrap();
-    store.advance_tick().unwrap();
-    let fired = watcher.pump(store.world_for_subscribers(), &mut trig);
+    store.world_mut().set(a, "hp", Value::Float(5.0)).unwrap();
+    let t = store.world().tick();
+    store.world_mut().advance_tick_to(t + 1);
+    store.commit().unwrap();
+    let fired = watcher.pump(store.world_mut(), &mut trig);
     assert_eq!(fired.len(), 1, "pre-crash crossing fires once");
 
     let tick_before = store.world().tick();
@@ -61,20 +63,22 @@ fn threshold_watcher_survives_crash_without_refiring() {
     // a fresh process re-attaches: same view, already-below rows are
     // materialization, not crossings — nothing re-fires
     let mut trig2 = triggers();
-    let watcher2 = ThresholdWatcher::reattach(store.world_for_subscribers(), &trig2);
+    let watcher2 = ThresholdWatcher::reattach(store.world_mut(), &trig2);
     assert_eq!(watcher2.len(), 1);
     assert_eq!(
         store.world().view_ids().len(),
         1,
         "re-attach must not register a duplicate view"
     );
-    let refired = watcher2.pump(store.world_for_subscribers(), &mut trig2);
+    let refired = watcher2.pump(store.world_mut(), &mut trig2);
     assert!(refired.is_empty(), "recovered crossings must not double-fire");
 
     // but a genuinely new crossing after recovery fires exactly once
-    store.set(b, "hp", Value::Float(1.0)).unwrap();
-    store.advance_tick().unwrap();
-    let fired = watcher2.pump(store.world_for_subscribers(), &mut trig2);
+    store.world_mut().set(b, "hp", Value::Float(1.0)).unwrap();
+    let t = store.world().tick();
+    store.world_mut().advance_tick_to(t + 1);
+    store.commit().unwrap();
+    let fired = watcher2.pump(store.world_mut(), &mut trig2);
     assert_eq!(fired.len(), 1, "post-recovery crossings fire normally");
     assert_eq!(fired[0].0, b);
 }
