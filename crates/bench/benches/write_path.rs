@@ -14,15 +14,42 @@
 //! batch sizes is printed so the shape — not just the endpoints — is
 //! checked on every run.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gamedb_bench::combat_world;
 use gamedb_content::{CmpOp, Value};
-use gamedb_core::{IndexKind, Query, WriteBatch};
-use gamedb_persist::{temp_dir, Backend, WalStore};
+use gamedb_core::{ChangeOp, IndexKind, Query, WriteBatch};
+use gamedb_persist::{temp_dir, Backend, CompRef, WalRecord, WalStore};
 use gamedb_spatial::Vec2;
 use std::time::Instant;
+
+/// Counting allocator: the ISSUE-5 allocation budget on the hot write
+/// path is measured, not guessed.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCS.load(Ordering::Relaxed) - before)
+}
 
 const N: usize = 100_000;
 const K: usize = 512; // writes per measured tick
@@ -132,6 +159,81 @@ fn bench_write_path(c: &mut Criterion) {
         curve.last().unwrap().1 < curve[0].1,
         "widening the commit batch must reduce per-write cost: {curve:?}"
     );
+
+    // ---- ISSUE-5: encoded-record size, interned ids vs string names ----
+    // The same K writes, recorded by the change stream and framed as WAL
+    // records: once as the interned framing actually produces them
+    // (varint column ids), once re-framed with the legacy string-named
+    // records. Interned must be strictly smaller per record.
+    {
+        let mut s = batched.borrow_mut();
+        let w = s.world_mut();
+        let tap = w.attach_tap();
+        round.set(round.get() + 1);
+        let r = round.get();
+        let (_, writes_allocs) = allocs_during(|| {
+            for k in 0..K {
+                let (e, hp) = write_of(&ids, r, k);
+                w.set(e, "hp", Value::Float(hp)).unwrap();
+            }
+        });
+        let changes: Vec<gamedb_core::Change> = w.tap_pending(tap).to_vec();
+        assert_eq!(changes.len(), K);
+        let interned_bytes: usize = changes
+            .iter()
+            .map(|c| WalRecord::from_change(c).encode().len())
+            .sum();
+        let string_bytes: usize = changes
+            .iter()
+            .map(|c| {
+                let ChangeOp::Set { id, component, new, .. } = &c.op else {
+                    panic!("hp writes only");
+                };
+                let name = w.component_name(*component).unwrap().to_string();
+                WalRecord::Set {
+                    entity: *id,
+                    component: CompRef::Name(name),
+                    value: new.clone(),
+                }
+                .encode()
+                .len()
+            })
+            .sum();
+        // the string baseline pays one extra name clone per record on
+        // top of the wire bytes; measure that allocation delta too
+        let (_, baseline_allocs) = allocs_during(|| {
+            for c in &changes {
+                let ChangeOp::Set { component, .. } = &c.op else { unreachable!() };
+                std::hint::black_box(w.component_name(*component).unwrap().to_string());
+            }
+        });
+        w.detach_tap(tap);
+        s.commit().unwrap();
+        println!(
+            "\nencoded record size ({K} hp writes): interned {:.1} B/record vs \
+             string {:.1} B/record ({} vs {} total)",
+            interned_bytes as f64 / K as f64,
+            string_bytes as f64 / K as f64,
+            interned_bytes,
+            string_bytes
+        );
+        println!(
+            "write-path allocations: {:.2}/write recording interned records; \
+             string records would add {:.2}/write for name clones alone",
+            writes_allocs as f64 / K as f64,
+            baseline_allocs as f64 / K as f64
+        );
+        assert!(
+            interned_bytes < string_bytes,
+            "acceptance: interned framing must shrink encoded records \
+             ({interned_bytes} vs {string_bytes} bytes)"
+        );
+        assert!(
+            interned_bytes as f64 <= string_bytes as f64 * 0.9,
+            "expected a measurable (>10%) record-size drop, got {interned_bytes} \
+             vs {string_bytes}"
+        );
+    }
 
     let ns = |name: &str| {
         c.results

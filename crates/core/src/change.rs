@@ -18,19 +18,34 @@
 //!   world (scripted ticks, effect batches, direct writes) is durable,
 //!   not just calls that went through a mirrored store API.
 //! * **Replication** is a tap: `gamedb-sync`'s `Replicator::sync_stream`
-//!   ships only the rows a segment touched instead of re-walking state.
+//!   ships delta-encoded segments built from the records themselves.
+//!
+//! ## Interned component names
+//!
+//! Row and index ops identify their component by [`ComponentId`] — the
+//! world's interned small-int column id — not by name. A record no
+//! longer clones a `String` per write, WAL frames carry a varint id
+//! instead of a length-prefixed name, and replication delta segments
+//! ship ids with a one-time name table. Consumers resolve ids through
+//! the issuing world ([`crate::world::World::component_name`]); the
+//! table itself is made durable by the snapshot schema (written in id
+//! order) plus [`ChangeOp::ComponentDefined`] catalog records for
+//! components interned after the last snapshot.
 //!
 //! ## Record taxonomy
 //!
 //! Row ops ([`ChangeOp::Set`], [`ChangeOp::Removed`],
 //! [`ChangeOp::Spawned`], [`ChangeOp::Despawned`]) describe live-entity
 //! state and are recorded whenever *any* consumer is attached (a
-//! standing view or a tap). Catalog ops (`CreateIndex`/`DropIndex`/
-//! `RegisterView`/`DropView`/`RetargetView`) and tick stamps
-//! ([`ChangeOp::TickTo`]) describe derived-state lifecycle and time;
-//! views do not consume them, so they are recorded only while a tap is
-//! attached. With no consumers at all, nothing is recorded and writes
-//! stay on the fast path.
+//! standing view or a tap). [`ChangeOp::Despawned`] carries the dropped
+//! row image, so stream consumers (the wealth auditor, delta shipping)
+//! can fold a death without rescanning the world. Catalog ops
+//! (`ComponentDefined`/`CreateIndex`/`DropIndex`/`RegisterView`/
+//! `DropView`/`RetargetView`) and tick stamps ([`ChangeOp::TickTo`])
+//! describe schema, derived-state lifecycle, and time; views do not
+//! consume them, so they are recorded only while a tap is attached.
+//! With no consumers at all, nothing is recorded and writes stay on the
+//! fast path.
 //!
 //! ## Ordering guarantees
 //!
@@ -40,9 +55,15 @@
 //!   equals the `new` value of the previous `Set` on that slot (or the
 //!   pre-stream value) — replaying a recorded stream onto the base
 //!   state reconstructs the world exactly (property-tested).
+//! * A `ComponentDefined` record precedes the first row op naming its
+//!   id, so a consumer decoding the stream in order can always resolve
+//!   ids it has not seen before.
 //! * A tap never observes a record twice: its cursor only moves forward
 //!   ([`crate::world::World::ack_tap`]). Records are retained until the
-//!   slowest consumer has consumed them, then reclaimed.
+//!   slowest consumer has consumed them, then reclaimed — unless a
+//!   retention limit is set ([`crate::world::World::set_tap_retention`]),
+//!   in which case a tap lagging past the limit is **evicted** instead
+//!   of pinning the window forever (the leaked-consumer guard).
 //!
 //! [`WriteBatch`] is the batch commit surface: the tick executor's
 //! merged effect buffers resolve into one batch and commit through
@@ -50,11 +71,12 @@
 //! maintenance — and, with a durability tap attached, one WAL frame for
 //! the whole batch instead of one per call.
 
-use gamedb_content::Value;
+use gamedb_content::{Value, ValueType};
 use gamedb_spatial::Vec2;
 
 use crate::entity::EntityId;
 use crate::index::IndexKind;
+use crate::intern::ComponentId;
 use crate::query::Query;
 
 /// One record of the world's ordered change stream.
@@ -76,24 +98,41 @@ pub enum ChangeOp {
     /// newly added to the entity.
     Set {
         id: EntityId,
-        component: String,
+        component: ComponentId,
         old: Option<Value>,
         new: Value,
     },
     /// A component was removed from an entity.
     Removed {
         id: EntityId,
-        component: String,
+        component: ComponentId,
         old: Value,
     },
     /// An entity came to life (spawn or snapshot restore).
     Spawned { id: EntityId },
-    /// An entity died; all its components are gone with it.
-    Despawned { id: EntityId },
+    /// An entity died. `row` is the dropped row image — every component
+    /// value the entity held at death, in id order — so stream
+    /// consumers can fold the loss (wealth conservation, delta
+    /// shipping) without a world rescan.
+    Despawned {
+        id: EntityId,
+        row: Vec<(ComponentId, Value)>,
+    },
+    /// A component column was defined (name interned). Recorded before
+    /// any row op naming the id, so stream consumers and WAL redo can
+    /// always resolve ids in order.
+    ComponentDefined {
+        component: ComponentId,
+        name: String,
+        ty: ValueType,
+    },
     /// A secondary index was created on a component.
-    CreateIndex { component: String, kind: IndexKind },
+    CreateIndex {
+        component: ComponentId,
+        kind: IndexKind,
+    },
     /// The secondary index on a component was dropped.
-    DropIndex { component: String },
+    DropIndex { component: ComponentId },
     /// A standing view was registered at a slot.
     RegisterView { slot: u32, query: Query },
     /// The standing view at a slot was dropped.
@@ -111,7 +150,7 @@ impl ChangeOp {
             ChangeOp::Set { id, .. }
             | ChangeOp::Removed { id, .. }
             | ChangeOp::Spawned { id }
-            | ChangeOp::Despawned { id } => Some(*id),
+            | ChangeOp::Despawned { id, .. } => Some(*id),
             _ => None,
         }
     }
@@ -127,6 +166,19 @@ impl ChangeOp {
 /// against the world (or clone lineage) that issued it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TapId(pub(crate) u32);
+
+/// One tap slot of the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TapSlot {
+    /// Never attached, or detached — free for reuse.
+    Free,
+    /// Attached, cursor at the contained seq.
+    Active(u64),
+    /// Evicted by the retention policy: the consumer leaked its tap (or
+    /// fell hopelessly behind) and the stream stopped retaining records
+    /// for it. Reads return nothing; the slot frees on detach.
+    Evicted,
+}
 
 /// The world's change stream: the retained record window plus one
 /// cursor per consumer (the standing-view fold position and every
@@ -150,8 +202,11 @@ pub(crate) struct ChangeStream {
     next: u64,
     /// Fold position of the standing-view registry.
     views_at: u64,
-    /// Cursor per attached tap; `None` marks a detached slot.
-    taps: Vec<Option<u64>>,
+    /// Cursor per attached tap.
+    taps: Vec<TapSlot>,
+    /// Maximum records a lagging tap may pin before it is evicted
+    /// (`None` = retain forever, the default).
+    retention: Option<usize>,
 }
 
 impl Clone for ChangeStream {
@@ -162,16 +217,17 @@ impl Clone for ChangeStream {
             next: self.next,
             views_at: self.views_at,
             taps: Vec::new(),
+            retention: self.retention,
         }
     }
 }
 
 impl ChangeStream {
-    /// True while at least one tap is attached (catalog/tick ops are
-    /// recorded only then).
+    /// True while at least one live tap is attached (catalog/tick ops
+    /// are recorded only then).
     #[inline]
     pub fn has_taps(&self) -> bool {
-        self.taps.iter().any(Option::is_some)
+        self.taps.iter().any(|t| matches!(t, TapSlot::Active(_)))
     }
 
     /// Append a record stamped with the current tick.
@@ -182,12 +238,50 @@ impl ChangeStream {
             op,
         });
         self.next += 1;
+        if let Some(limit) = self.retention {
+            if self.records.len() > limit {
+                self.evict_laggards(limit);
+            }
+        }
     }
 
     /// Seq the next record will receive (how far the stream has run).
     #[inline]
     pub fn next_seq(&self) -> u64 {
         self.next
+    }
+
+    /// Retained (not yet reclaimed) records — what lagging consumers
+    /// are pinning in memory.
+    #[inline]
+    pub fn retained(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Set the retention limit (see
+    /// [`crate::world::World::set_tap_retention`]).
+    pub fn set_retention(&mut self, limit: Option<usize>) {
+        self.retention = limit;
+        if let Some(limit) = limit {
+            if self.records.len() > limit {
+                self.evict_laggards(limit);
+            }
+        }
+    }
+
+    /// Evict every tap whose lag exceeds `limit`, then reclaim. The
+    /// standing-view cursor is never evicted: the world folds it
+    /// automatically at every tick, so it cannot leak.
+    fn evict_laggards(&mut self, limit: usize) {
+        let horizon = self.next.saturating_sub(limit as u64);
+        for slot in &mut self.taps {
+            if let TapSlot::Active(cursor) = slot {
+                if *cursor < horizon {
+                    *slot = TapSlot::Evicted;
+                }
+            }
+        }
+        self.gc();
     }
 
     fn idx(&self, seq: u64) -> usize {
@@ -207,20 +301,21 @@ impl ChangeStream {
 
     /// Attach a tap whose cursor starts at the current end of stream.
     pub fn attach(&mut self) -> TapId {
-        if let Some(i) = self.taps.iter().position(Option::is_none) {
-            self.taps[i] = Some(self.next);
+        if let Some(i) = self.taps.iter().position(|t| *t == TapSlot::Free) {
+            self.taps[i] = TapSlot::Active(self.next);
             TapId(i as u32)
         } else {
-            self.taps.push(Some(self.next));
+            self.taps.push(TapSlot::Active(self.next));
             TapId((self.taps.len() - 1) as u32)
         }
     }
 
-    /// Detach a tap; returns whether it was attached.
+    /// Detach a tap; returns whether it was attached (evicted taps
+    /// count — detaching one frees its slot).
     pub fn detach(&mut self, tap: TapId) -> bool {
         match self.taps.get_mut(tap.0 as usize) {
-            Some(slot @ Some(_)) => {
-                *slot = None;
+            Some(slot) if *slot != TapSlot::Free => {
+                *slot = TapSlot::Free;
                 self.gc();
                 true
             }
@@ -228,19 +323,26 @@ impl ChangeStream {
         }
     }
 
-    /// Records the tap has not consumed yet (empty for detached taps).
+    /// True when the retention policy evicted this tap: the consumer
+    /// missed records and must resynchronize from current state.
+    pub fn tap_evicted(&self, tap: TapId) -> bool {
+        matches!(self.taps.get(tap.0 as usize), Some(TapSlot::Evicted))
+    }
+
+    /// Records the tap has not consumed yet (empty for detached or
+    /// evicted taps).
     pub fn tap_pending(&self, tap: TapId) -> &[Change] {
-        match self.taps.get(tap.0 as usize).copied().flatten() {
-            Some(cursor) => &self.records[self.idx(cursor)..],
-            None => &[],
+        match self.taps.get(tap.0 as usize) {
+            Some(TapSlot::Active(cursor)) => &self.records[self.idx(*cursor)..],
+            _ => &[],
         }
     }
 
     /// Move the tap's cursor past everything recorded so far. Cursors
     /// only move forward: a tap never sees a record twice.
     pub fn ack(&mut self, tap: TapId) {
-        if let Some(slot @ Some(_)) = self.taps.get_mut(tap.0 as usize) {
-            *slot = Some(self.next);
+        if let Some(slot @ TapSlot::Active(_)) = self.taps.get_mut(tap.0 as usize) {
+            *slot = TapSlot::Active(self.next);
             self.gc();
         }
     }
@@ -255,8 +357,10 @@ impl ChangeStream {
     /// Reclaim records every cursor has passed.
     fn gc(&mut self) {
         let mut min = self.views_at;
-        for cursor in self.taps.iter().flatten() {
-            min = min.min(*cursor);
+        for slot in &self.taps {
+            if let TapSlot::Active(cursor) = slot {
+                min = min.min(*cursor);
+            }
         }
         if min > self.base {
             self.records.drain(..(min - self.base) as usize);
@@ -292,10 +396,11 @@ pub enum BatchOp {
 
 /// An ordered batch of primitive writes committed in one call through
 /// [`crate::world::World::apply_batch`]. Maximal runs of value writes
-/// are regrouped by component internally (per-slot order preserved), so
-/// column resolution and index lookup are paid once per component group
-/// instead of once per write — and a durability tap sees the whole
-/// batch as one segment, i.e. one group-commit WAL frame.
+/// are regrouped by interned column id internally (per-slot order
+/// preserved), so column resolution and index lookup are paid once per
+/// component group instead of once per write — and a durability tap
+/// sees the whole batch as one segment, i.e. one group-commit WAL
+/// frame.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WriteBatch {
     pub(crate) ops: Vec<BatchOp>,
@@ -361,6 +466,7 @@ mod tests {
     fn op(i: u64) -> ChangeOp {
         ChangeOp::Despawned {
             id: EntityId::from_bits(i),
+            row: Vec::new(),
         }
     }
 
@@ -438,5 +544,66 @@ mod tests {
         s.record(0, op(99));
         assert_eq!(s.tap_pending(t)[0].seq, 5);
         assert_eq!(s.next_seq(), 6);
+    }
+
+    /// ISSUE-5 satellite: a consumer that leaks its tap (drops the
+    /// `TapId` without detaching) must not pin the record window
+    /// forever once a retention limit is set — the laggard is evicted,
+    /// the window stays bounded, and prompt consumers are untouched.
+    #[test]
+    fn leaked_tap_is_evicted_under_retention_limit() {
+        let mut s = ChangeStream::default();
+        s.set_retention(Some(16));
+        let leaked = s.attach();
+        let prompt = s.attach();
+        s.mark_views_folded();
+        for i in 0..200 {
+            s.record(0, op(i));
+            s.ack(prompt);
+            s.mark_views_folded();
+            assert!(s.retained() <= 17, "window must stay bounded");
+        }
+        assert!(s.tap_evicted(leaked), "laggard evicted");
+        assert!(!s.tap_evicted(prompt), "prompt consumer unaffected");
+        assert!(s.tap_pending(leaked).is_empty(), "evicted tap reads nothing");
+        // eviction stops the eviction victim from counting as a consumer
+        assert!(s.has_taps(), "prompt tap still live");
+        // acking an evicted tap is a no-op; detaching frees the slot
+        s.ack(leaked);
+        assert!(s.tap_evicted(leaked));
+        assert!(s.detach(leaked));
+        assert!(!s.tap_evicted(leaked));
+        let reused = s.attach();
+        assert_eq!(reused.0, leaked.0, "slot is reusable after detach");
+        assert!(!s.tap_evicted(reused));
+    }
+
+    #[test]
+    fn lowering_retention_evicts_immediately() {
+        let mut s = ChangeStream::default();
+        let t = s.attach();
+        s.mark_views_folded();
+        for i in 0..50 {
+            s.record(0, op(i));
+        }
+        s.mark_views_folded();
+        assert_eq!(s.tap_pending(t).len(), 50);
+        s.set_retention(Some(8));
+        assert!(s.tap_evicted(t));
+        assert!(s.retained() <= 8);
+    }
+
+    #[test]
+    fn tap_within_retention_window_is_kept() {
+        let mut s = ChangeStream::default();
+        s.set_retention(Some(64));
+        let t = s.attach();
+        s.mark_views_folded();
+        for i in 0..60 {
+            s.record(0, op(i));
+            s.mark_views_folded();
+        }
+        assert!(!s.tap_evicted(t), "lag 60 <= limit 64: kept");
+        assert_eq!(s.tap_pending(t).len(), 60);
     }
 }

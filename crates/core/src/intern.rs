@@ -1,0 +1,141 @@
+//! Component-name interning: small-int column ids for the hot write
+//! path.
+//!
+//! Before interning, every change record cloned its component name as a
+//! `String` — one heap allocation per recorded write, and a 4-byte
+//! length prefix plus the name bytes in every WAL frame and replication
+//! row. A [`ComponentId`] is the column's position in the world's
+//! definition order: records, WAL frames, and replication delta
+//! segments all carry the id, and only the schema (snapshot catalog +
+//! WAL `Define` records) carries the name once.
+//!
+//! Ids are **world-lineage-scoped**: a clone shares its origin's
+//! interner, so ids recorded before a clone resolve against either
+//! copy, and recovery restores the table verbatim (snapshot v3 writes
+//! the schema in id order; components defined after the snapshot are
+//! re-interned at their exact ids by WAL `Define` redo records).
+//! Columns are never undefined, so ids are dense and stable for the
+//! life of the lineage. The reserved `pos` column is always id 0
+//! ([`ComponentId::POS`]).
+
+use std::collections::BTreeMap;
+
+/// Interned component name — an index into the world's column table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// The reserved `pos` column: always the first component interned.
+    pub const POS: ComponentId = ComponentId(0);
+
+    /// The raw id (the column's position in definition order).
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild an id from its raw value (persistence decode). The id is
+    /// only meaningful against the interner that issued it.
+    #[inline]
+    pub fn from_u32(raw: u32) -> ComponentId {
+        ComponentId(raw)
+    }
+
+    /// The column-table index this id addresses.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The name ↔ id table. Names map to ids through a sorted map (the
+/// same O(log n) lookup the old name-keyed column map paid), ids map
+/// back through a dense vector.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ComponentInterner {
+    by_name: BTreeMap<String, ComponentId>,
+    names: Vec<String>,
+}
+
+impl ComponentInterner {
+    /// Assign the next id to `name`. The caller checks for duplicates
+    /// (interning is 1:1 with column definition).
+    pub fn intern(&mut self, name: &str) -> ComponentId {
+        debug_assert!(!self.by_name.contains_key(name));
+        let id = ComponentId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Id of a name, if interned.
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<ComponentId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of an id, if issued.
+    #[inline]
+    pub fn name(&self, id: ComponentId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of interned components (== columns defined).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Iterate `(name, id)` in name order (schema listings).
+    pub fn iter_by_name(&self) -> impl Iterator<Item = (&str, ComponentId)> {
+        self.by_name.iter().map(|(n, id)| (n.as_str(), *id))
+    }
+
+    /// Iterate `(id, name)` in id (definition) order — the durable table
+    /// layout snapshots persist.
+    pub fn iter_by_id(&self) -> impl Iterator<Item = (ComponentId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ComponentId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_definition_order() {
+        let mut i = ComponentInterner::default();
+        let pos = i.intern("pos");
+        let hp = i.intern("hp");
+        let aa = i.intern("aa");
+        assert_eq!(pos, ComponentId::POS);
+        assert_eq!(hp.as_u32(), 1);
+        assert_eq!(aa.as_u32(), 2);
+        assert_eq!(i.get("hp"), Some(hp));
+        assert_eq!(i.get("mana"), None);
+        assert_eq!(i.name(hp), Some("hp"));
+        assert_eq!(i.name(ComponentId(9)), None);
+        assert_eq!(i.len(), 3);
+        // name order and id order are independent
+        let by_name: Vec<&str> = i.iter_by_name().map(|(n, _)| n).collect();
+        assert_eq!(by_name, vec!["aa", "hp", "pos"]);
+        let by_id: Vec<&str> = i.iter_by_id().map(|(_, n)| n).collect();
+        assert_eq!(by_id, vec!["pos", "hp", "aa"]);
+    }
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = ComponentId::from_u32(7);
+        assert_eq!(id.as_u32(), 7);
+        assert_eq!(format!("{id}"), "#7");
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`index`](mod@index) — secondary attribute indexes
 //!   ([`SecondaryIndex`], [`IndexKind`]), registered via
 //!   [`World::create_index`].
+//! * [`intern`](mod@intern) — interned component ids ([`ComponentId`]):
+//!   the small-int column ids change records, WAL frames, and
+//!   replication segments carry instead of cloned name strings.
 //! * [`planner`] — table statistics and cost-based plan selection
 //!   ([`TableStats`], [`plan`]) over scan / spatial / attribute-index
 //!   access paths.
@@ -61,6 +64,7 @@ pub mod effect;
 pub mod entity;
 pub mod exec;
 pub mod index;
+pub mod intern;
 pub mod planner;
 pub mod query;
 pub mod view;
@@ -72,7 +76,8 @@ pub use effect::{Effect, EffectBuffer, SpawnRequest};
 pub use entity::{EntityAllocator, EntityId};
 pub use exec::{System, TickExecutor, TickStats};
 pub use index::{IndexKey, IndexKind, SecondaryIndex};
+pub use intern::ComponentId;
 pub use planner::{plan, Access, ColumnStats, Plan, TableStats};
 pub use query::{aggregate, compare, AggFn, AggResult, Pred, Query};
 pub use view::{Changelog, ViewId, ViewRegistry, ViewStats};
-pub use world::{CoreError, World, WorldCatalog, WorldEntityView, POS};
+pub use world::{CoreError, World, WorldCatalog, WorldEntityView, POS, POS_ID};

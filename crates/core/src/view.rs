@@ -200,13 +200,20 @@ impl StandingView {
         }
     }
 
-    /// Components whose deltas can change membership of this view.
-    fn tracks(&self, component: &str) -> bool {
-        self.query
+    /// Interned ids of the components whose deltas can change
+    /// membership of this view, resolved against `world` (unknown
+    /// predicate components resolve to nothing — they can never match).
+    fn tracked_ids(&self, world: &World) -> Vec<crate::intern::ComponentId> {
+        let mut ids: Vec<crate::intern::ComponentId> = self
+            .query
             .predicates()
             .iter()
-            .any(|p| p.component == component)
-            || (self.query.spatial().is_some() && component == crate::world::POS)
+            .filter_map(|p| world.component_id(&p.component))
+            .collect();
+        if self.query.spatial().is_some() {
+            ids.push(crate::world::POS_ID);
+        }
+        ids
     }
 
     /// Planner-driven re-evaluation, diffed against the current rows.
@@ -227,7 +234,7 @@ impl StandingView {
         world: &World,
         touched: &[EntityId],
         structural: &[EntityId],
-        comp_deltas: &[(&str, EntityId)],
+        comp_deltas: &[(crate::intern::ComponentId, EntityId)],
         batch_len: usize,
     ) {
         self.stats.refreshes += 1;
@@ -235,7 +242,9 @@ impl StandingView {
 
         // Candidate rows whose membership could have flipped: structural
         // deltas affect every view; component deltas only views tracking
-        // that component.
+        // that component. Predicate names resolve to interned ids once
+        // per batch, so the per-delta test is an integer compare.
+        let tracked = self.tracked_ids(world);
         let mut candidates: Vec<EntityId> = structural.to_vec();
         let mut i = 0;
         while i < comp_deltas.len() {
@@ -244,7 +253,7 @@ impl StandingView {
             while i < comp_deltas.len() && comp_deltas[i].0 == comp {
                 i += 1;
             }
-            if self.tracks(comp) {
+            if tracked.contains(&comp) {
                 candidates.extend(comp_deltas[start..i].iter().map(|&(_, e)| e));
             }
         }
@@ -471,11 +480,12 @@ impl ViewRegistry {
         }
         let mut touched: Vec<EntityId> = Vec::with_capacity(changes.len());
         let mut structural: Vec<EntityId> = Vec::new();
-        let mut comp_deltas: Vec<(&str, EntityId)> = Vec::with_capacity(changes.len());
+        let mut comp_deltas: Vec<(crate::intern::ComponentId, EntityId)> =
+            Vec::with_capacity(changes.len());
         let mut row_ops = 0usize;
         for c in changes {
             match &c.op {
-                ChangeOp::Spawned { id } | ChangeOp::Despawned { id } => {
+                ChangeOp::Spawned { id } | ChangeOp::Despawned { id, .. } => {
                     touched.push(*id);
                     structural.push(*id);
                     row_ops += 1;
@@ -483,7 +493,7 @@ impl ViewRegistry {
                 ChangeOp::Set { id, component, .. }
                 | ChangeOp::Removed { id, component, .. } => {
                     touched.push(*id);
-                    comp_deltas.push((component.as_str(), *id));
+                    comp_deltas.push((*component, *id));
                     row_ops += 1;
                 }
                 _ => {}

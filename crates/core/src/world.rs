@@ -11,7 +11,6 @@
 //! O(entities). Every write path keeps both index families exact — the
 //! maintenance invariants are listed in [`crate::index`].
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use gamedb_content::{ComponentView, ResolvedTemplate, Value, ValueType};
@@ -21,12 +20,18 @@ use crate::change::{BatchOp, Change, ChangeOp, ChangeStream, TapId, WriteBatch};
 use crate::column::Column;
 use crate::entity::{EntityAllocator, EntityId};
 use crate::index::{IndexKind, SecondaryIndex};
+use crate::intern::{ComponentId, ComponentInterner};
 use crate::query::Query;
 use crate::view::{Changelog, ViewId, ViewRegistry, ViewStats};
 use gamedb_content::CmpOp;
 
 /// Name of the reserved position component.
 pub const POS: &str = "pos";
+
+/// Interned id of the reserved position component — always the first
+/// component a world interns, so consumers matching position records in
+/// the change stream can compare against a constant.
+pub const POS_ID: ComponentId = ComponentId::POS;
 
 /// Errors from world operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,10 +83,16 @@ impl std::error::Error for CoreError {}
 #[derive(Debug, Clone)]
 pub struct World {
     alloc: EntityAllocator,
-    columns: BTreeMap<String, Column>,
+    /// One column per interned component id, in definition order
+    /// (`columns[id.index()]` is the column `interner.name(id)` names).
+    columns: Vec<Column>,
+    /// Component name ↔ id table, shared by clone lineage. Ids appear in
+    /// change records, WAL frames, and replication segments; names are
+    /// resolved here.
+    interner: ComponentInterner,
     spatial: UniformGrid,
-    /// Secondary attribute indexes, keyed by component name.
-    indexes: BTreeMap<String, SecondaryIndex>,
+    /// Secondary attribute indexes, one optional slot per component id.
+    indexes: Vec<Option<SecondaryIndex>>,
     /// Standing views (continuous queries) maintained from the delta log.
     views: ViewRegistry,
     /// Lineage id stamped into every [`ViewId`] this world issues, so a
@@ -118,13 +129,15 @@ impl World {
     pub fn with_cell_size(cell: f32) -> Self {
         use std::sync::atomic::{AtomicU64, Ordering};
         static WORLD_IDS: AtomicU64 = AtomicU64::new(1);
-        let mut columns = BTreeMap::new();
-        columns.insert(POS.to_string(), Column::new(ValueType::Vec2));
+        let mut interner = ComponentInterner::default();
+        let pos_id = interner.intern(POS);
+        debug_assert_eq!(pos_id, POS_ID);
         World {
             alloc: EntityAllocator::new(),
-            columns,
+            columns: vec![Column::new(ValueType::Vec2)],
+            interner,
             spatial: UniformGrid::new(cell),
-            indexes: BTreeMap::new(),
+            indexes: Vec::new(),
             views: ViewRegistry::default(),
             changes: ChangeStream::default(),
             world_id: WORLD_IDS.fetch_add(1, Ordering::Relaxed),
@@ -136,30 +149,105 @@ impl World {
     // ---- schema ----
 
     /// Define a component column. `pos` is predefined and reserved.
+    /// The name is interned: the new column's [`ComponentId`] is the
+    /// next id in definition order, and a
+    /// [`ChangeOp::ComponentDefined`] catalog record is committed while
+    /// a tap is attached (WAL redo re-interns at the exact id).
     pub fn define_component(&mut self, name: &str, ty: ValueType) -> Result<(), CoreError> {
         if name == POS {
             return Err(CoreError::ReservedComponent(name.to_string()));
         }
-        if self.columns.contains_key(name) {
+        if self.interner.get(name).is_some() {
             return Err(CoreError::DuplicateComponent(name.to_string()));
         }
-        self.columns.insert(name.to_string(), Column::new(ty));
+        let id = self.interner.intern(name);
+        self.columns.push(Column::new(ty));
+        debug_assert_eq!(id.index() + 1, self.columns.len());
+        self.record_catalog(ChangeOp::ComponentDefined {
+            component: id,
+            name: name.to_string(),
+            ty,
+        });
         Ok(())
+    }
+
+    /// Redo-side [`World::define_component`]: define `name` at exactly
+    /// `id` (recovery replays `Define` records in stream order, so ids
+    /// land where the pre-crash world put them). Idempotent for an
+    /// identical existing definition; a conflicting name, id, or type
+    /// is an error. Returns whether a column was created.
+    pub fn ensure_component_at(
+        &mut self,
+        id: ComponentId,
+        name: &str,
+        ty: ValueType,
+    ) -> Result<bool, CoreError> {
+        if let Some(existing) = self.interner.get(name) {
+            return if existing == id && self.columns[existing.index()].ty() == ty {
+                Ok(false)
+            } else {
+                Err(CoreError::DuplicateComponent(name.to_string()))
+            };
+        }
+        if id.index() != self.columns.len() {
+            return Err(CoreError::UnknownComponent(format!(
+                "define {name:?} at {id} out of order (next id is #{})",
+                self.columns.len()
+            )));
+        }
+        self.define_component(name, ty)?;
+        Ok(true)
     }
 
     /// Component type by name.
     pub fn component_type(&self, name: &str) -> Option<ValueType> {
-        self.columns.get(name).map(|c| c.ty())
+        self.interner.get(name).map(|id| self.columns[id.index()].ty())
+    }
+
+    /// Interned id of a component name, if defined.
+    #[inline]
+    pub fn component_id(&self, name: &str) -> Option<ComponentId> {
+        self.interner.get(name)
+    }
+
+    /// Name of an interned component id, if this lineage issued it.
+    #[inline]
+    pub fn component_name(&self, id: ComponentId) -> Option<&str> {
+        self.interner.name(id)
+    }
+
+    /// Number of defined components (`pos` included) — ids are dense in
+    /// `0..component_count()`.
+    #[inline]
+    pub fn component_count(&self) -> usize {
+        self.interner.len()
     }
 
     /// Iterate `(component name, type)` in name order.
     pub fn schema(&self) -> impl Iterator<Item = (&str, ValueType)> {
-        self.columns.iter().map(|(n, c)| (n.as_str(), c.ty()))
+        self.interner
+            .iter_by_name()
+            .map(|(n, id)| (n, self.columns[id.index()].ty()))
+    }
+
+    /// Iterate `(id, name, type)` in id (definition) order — the layout
+    /// the snapshot format persists so recovery restores the interner
+    /// table verbatim.
+    pub fn schema_by_id(&self) -> impl Iterator<Item = (ComponentId, &str, ValueType)> {
+        self.interner
+            .iter_by_id()
+            .map(|(id, n)| (id, n, self.columns[id.index()].ty()))
     }
 
     /// Direct column access for scans (None for unknown components).
     pub fn column(&self, name: &str) -> Option<&Column> {
-        self.columns.get(name)
+        self.interner.get(name).map(|id| &self.columns[id.index()])
+    }
+
+    /// [`World::column`] addressed by interned id.
+    #[inline]
+    pub fn column_by_id(&self, id: ComponentId) -> Option<&Column> {
+        self.columns.get(id.index())
     }
 
     // ---- secondary indexes ----
@@ -176,22 +264,26 @@ impl World {
         if component == POS {
             return Err(CoreError::ReservedComponent(component.to_string()));
         }
-        let col = self
-            .columns
+        let cid = self
+            .interner
             .get(component)
             .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
-        if self.indexes.contains_key(component) {
+        if self.index_of(cid).is_some() {
             return Err(CoreError::DuplicateIndex(component.to_string()));
         }
+        let col = &self.columns[cid.index()];
         let mut idx = SecondaryIndex::new(kind, col.ty());
         for id in self.alloc.iter_live() {
             if let Some(v) = col.get(id.index() as usize) {
                 idx.insert(&v, id);
             }
         }
-        self.indexes.insert(component.to_string(), idx);
+        if self.indexes.len() <= cid.index() {
+            self.indexes.resize_with(cid.index() + 1, || None);
+        }
+        self.indexes[cid.index()] = Some(idx);
         self.record_catalog(ChangeOp::CreateIndex {
-            component: component.to_string(),
+            component: cid,
             kind,
         });
         Ok(())
@@ -199,30 +291,41 @@ impl World {
 
     /// Drop the index on a component; returns whether one existed.
     pub fn drop_index(&mut self, component: &str) -> bool {
-        let existed = self.indexes.remove(component).is_some();
+        let Some(cid) = self.interner.get(component) else {
+            return false;
+        };
+        let existed = self
+            .indexes
+            .get_mut(cid.index())
+            .and_then(Option::take)
+            .is_some();
         if existed {
-            self.record_catalog(ChangeOp::DropIndex {
-                component: component.to_string(),
-            });
+            self.record_catalog(ChangeOp::DropIndex { component: cid });
         }
         existed
     }
 
+    /// The live index slot for an id, if any.
+    #[inline]
+    fn index_of(&self, id: ComponentId) -> Option<&SecondaryIndex> {
+        self.indexes.get(id.index()).and_then(Option::as_ref)
+    }
+
     /// The index on a component, if any.
     pub fn index_on(&self, component: &str) -> Option<&SecondaryIndex> {
-        self.indexes.get(component)
+        self.index_of(self.interner.get(component)?)
     }
 
     /// Iterate `(component, kind)` over existing indexes, in name order.
     pub fn indexed_components(&self) -> impl Iterator<Item = (&str, IndexKind)> {
-        self.indexes.iter().map(|(n, i)| (n.as_str(), i.kind()))
+        self.interner
+            .iter_by_name()
+            .filter_map(|(n, id)| self.index_of(id).map(|ix| (n, ix.kind())))
     }
 
     /// True when an index on `component` can answer `op` probes.
     pub fn index_supports(&self, component: &str, op: CmpOp) -> bool {
-        self.indexes
-            .get(component)
-            .is_some_and(|idx| idx.supports(op))
+        self.index_on(component).is_some_and(|idx| idx.supports(op))
     }
 
     /// Probe the index on `component` for entities satisfying
@@ -236,14 +339,24 @@ impl World {
         value: &Value,
         out: &mut Vec<EntityId>,
     ) -> bool {
-        match self.indexes.get(component) {
+        match self.index_on(component) {
             Some(idx) => idx.probe(op, value, out),
             None => false,
         }
     }
 
-    fn index_replace(&mut self, component: &str, id: EntityId, old: Option<&Value>, new: &Value) {
-        if let Some(idx) = self.indexes.get_mut(component) {
+    fn index_replace(
+        &mut self,
+        component: ComponentId,
+        id: EntityId,
+        old: Option<&Value>,
+        new: &Value,
+    ) {
+        if let Some(idx) = self
+            .indexes
+            .get_mut(component.index())
+            .and_then(Option::as_mut)
+        {
             if let Some(old) = old {
                 idx.remove(old, id);
             }
@@ -320,6 +433,31 @@ impl World {
         self.changes.next_seq()
     }
 
+    /// Bound the record window a lagging tap may pin: a consumer that
+    /// leaks its [`TapId`] (disconnects without
+    /// [`World::detach_tap`]) would otherwise retain every later
+    /// mutation forever. With a limit set, any tap lagging more than
+    /// `limit` records is **evicted** — it reads nothing from then on
+    /// ([`World::tap_evicted`] reports it) and must resynchronize from
+    /// current state after re-attaching. `None` (the default) retains
+    /// forever; durability taps that must never miss a record should
+    /// leave it unset or ack within the window.
+    pub fn set_tap_retention(&mut self, limit: Option<usize>) {
+        self.changes.set_retention(limit);
+    }
+
+    /// True when the retention policy evicted `tap` (see
+    /// [`World::set_tap_retention`]).
+    pub fn tap_evicted(&self, tap: TapId) -> bool {
+        self.changes.tap_evicted(tap)
+    }
+
+    /// Records currently retained for lagging consumers — the memory
+    /// the slowest tap is pinning.
+    pub fn retained_changes(&self) -> usize {
+        self.changes.retained()
+    }
+
     // ---- entities ----
 
     /// Spawn an empty entity (no components, no position).
@@ -377,8 +515,7 @@ impl World {
                 continue;
             }
             if self.component_type(&def.name).is_none() {
-                self.columns
-                    .insert(def.name.clone(), Column::new(def.ty));
+                self.define_component(&def.name, def.ty)?;
             }
             self.set(id, &def.name, def.default.clone())?;
         }
@@ -399,22 +536,38 @@ impl World {
     }
 
     /// Despawn an entity, removing all its components. Returns `false`
-    /// for stale ids.
+    /// for stale ids. The change record carries the dropped row image
+    /// (id-ordered `(component, value)` pairs), so stream consumers can
+    /// fold the loss without a world rescan.
     pub fn despawn(&mut self, id: EntityId) -> bool {
         if !self.alloc.free(id) {
             return false;
         }
-        if self.recording() {
-            self.record(ChangeOp::Despawned { id });
-        }
         let slot = id.index() as usize;
-        // Indexes first, while column values are still readable.
-        for (name, idx) in self.indexes.iter_mut() {
-            if let Some(v) = self.columns[name].get(slot) {
-                idx.remove(&v, id);
-            }
+        if self.recording() {
+            // the row image exists for tap consumers (wealth fold,
+            // delta shipping); views read only the entity id, so the
+            // views-only configuration skips the column walk and clones
+            let row: Vec<(ComponentId, Value)> = if self.changes.has_taps() {
+                self.columns
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, col)| {
+                        col.get(slot).map(|v| (ComponentId::from_u32(i as u32), v))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            self.record(ChangeOp::Despawned { id, row });
         }
-        for col in self.columns.values_mut() {
+        // Indexes are evicted while column values are still readable.
+        for (i, col) in self.columns.iter_mut().enumerate() {
+            if let Some(Some(idx)) = self.indexes.get_mut(i) {
+                if let Some(v) = col.get(slot) {
+                    idx.remove(&v, id);
+                }
+            }
             col.remove(slot);
         }
         self.spatial.remove(id.to_bits());
@@ -473,12 +626,13 @@ impl World {
             };
             return self.set_pos(id, Vec2::new(x, y));
         }
-        let indexed = self.indexes.contains_key(component);
-        let recording = self.recording();
-        let col = self
-            .columns
-            .get_mut(component)
+        let cid = self
+            .interner
+            .get(component)
             .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
+        let indexed = self.index_of(cid).is_some();
+        let recording = self.recording();
+        let col = &mut self.columns[cid.index()];
         let slot = id.index() as usize;
         // Fetch the outgoing value only when an index must forget it or
         // the change stream must carry it.
@@ -490,12 +644,14 @@ impl World {
                 got: value.value_type(),
             })?;
         if indexed {
-            self.index_replace(component, id, old.as_ref(), &value);
+            self.index_replace(cid, id, old.as_ref(), &value);
         }
         if recording {
+            // the record carries the interned id — no name clone on the
+            // hot write path
             self.record(ChangeOp::Set {
                 id,
-                component: component.to_string(),
+                component: cid,
                 old,
                 new: value,
             });
@@ -509,33 +665,34 @@ impl World {
         if !self.is_live(id) {
             return None;
         }
-        self.columns.get(component)?.get(id.index() as usize)
+        self.column(component)?.get(id.index() as usize)
     }
 
     /// Remove a component from an entity.
     pub fn remove_component(&mut self, id: EntityId, component: &str) -> Result<bool, CoreError> {
         self.check_live(id)?;
-        if component == POS {
+        let cid = self
+            .interner
+            .get(component)
+            .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
+        if cid == POS_ID {
             self.spatial.remove(id.to_bits());
         }
         let slot = id.index() as usize;
-        if let Some(idx) = self.indexes.get_mut(component) {
-            if let Some(old) = self.columns[component].get(slot) {
+        if let Some(Some(idx)) = self.indexes.get_mut(cid.index()) {
+            if let Some(old) = self.columns[cid.index()].get(slot) {
                 idx.remove(&old, id);
             }
         }
         let recording = self.recording();
-        let col = self
-            .columns
-            .get_mut(component)
-            .ok_or_else(|| CoreError::UnknownComponent(component.to_string()))?;
+        let col = &mut self.columns[cid.index()];
         let old = if recording { col.get(slot) } else { None };
         let removed = col.remove(slot);
         if let Some(old) = old {
             // recording, and there was a value to remove
             self.record(ChangeOp::Removed {
                 id,
-                component: component.to_string(),
+                component: cid,
                 old,
             });
         }
@@ -550,7 +707,7 @@ impl World {
         if !self.is_live(id) {
             return None;
         }
-        self.columns.get(component)?.get_f32(id.index() as usize)
+        self.column(component)?.get_f32(id.index() as usize)
     }
 
     /// Set an `f32` component (must be float-typed and defined).
@@ -564,7 +721,7 @@ impl World {
         if !self.is_live(id) {
             return None;
         }
-        self.columns.get(component)?.get_i64(id.index() as usize)
+        self.column(component)?.get_i64(id.index() as usize)
     }
 
     /// `bool` component value.
@@ -573,7 +730,7 @@ impl World {
         if !self.is_live(id) {
             return None;
         }
-        self.columns.get(component)?.get_bool(id.index() as usize)
+        self.column(component)?.get_bool(id.index() as usize)
     }
 
     /// Numeric component view (float or int).
@@ -582,7 +739,7 @@ impl World {
         if !self.is_live(id) {
             return None;
         }
-        self.columns.get(component)?.get_number(id.index() as usize)
+        self.column(component)?.get_number(id.index() as usize)
     }
 
     // ---- position & spatial queries ----
@@ -593,7 +750,7 @@ impl World {
         if !self.is_live(id) {
             return None;
         }
-        self.columns[POS]
+        self.columns[POS_ID.index()]
             .get_v2(id.index() as usize)
             .map(|[x, y]| Vec2::new(x, y))
     }
@@ -602,14 +759,14 @@ impl World {
     pub fn set_pos(&mut self, id: EntityId, pos: Vec2) -> Result<(), CoreError> {
         self.check_live(id)?;
         let recording = self.recording();
-        let col = self.columns.get_mut(POS).expect("pos column always exists");
+        let col = &mut self.columns[POS_ID.index()];
         let old = if recording { col.get(id.index() as usize) } else { None };
         col.set(id.index() as usize, &Value::Vec2(pos.x, pos.y))
             .expect("pos column is vec2");
         if recording {
             self.record(ChangeOp::Set {
                 id,
-                component: POS.to_string(),
+                component: POS_ID,
                 old,
                 new: Value::Vec2(pos.x, pos.y),
             });
@@ -953,7 +1110,7 @@ impl World {
     /// index (idempotent redo). Returns whether an index was created;
     /// a kind mismatch is still an error.
     pub fn ensure_index(&mut self, component: &str, kind: IndexKind) -> Result<bool, CoreError> {
-        if let Some(idx) = self.indexes.get(component) {
+        if let Some(idx) = self.index_on(component) {
             return if idx.kind() == kind {
                 Ok(false)
             } else {
@@ -1090,14 +1247,12 @@ impl World {
     pub fn components_of(&self, id: EntityId) -> impl Iterator<Item = (&str, Value)> + '_ {
         let live = self.is_live(id);
         let slot = id.index() as usize;
-        self.columns
-            .iter()
-            .filter_map(move |(name, col)| {
-                if !live {
-                    return None;
-                }
-                col.get(slot).map(|v| (name.as_str(), v))
-            })
+        self.interner.iter_by_name().filter_map(move |(name, cid)| {
+            if !live {
+                return None;
+            }
+            self.columns[cid.index()].get(slot).map(|v| (name, v))
+        })
     }
 
     /// Dump all `(entity, component, value)` rows in deterministic order —
@@ -1106,9 +1261,9 @@ impl World {
         let mut rows = Vec::new();
         for id in self.entities() {
             let slot = id.index() as usize;
-            for (name, col) in &self.columns {
-                if let Some(v) = col.get(slot) {
-                    rows.push((id, name.clone(), v));
+            for (name, cid) in self.interner.iter_by_name() {
+                if let Some(v) = self.columns[cid.index()].get(slot) {
+                    rows.push((id, name.to_string(), v));
                 }
             }
         }
@@ -1171,26 +1326,46 @@ impl World {
         Ok(total)
     }
 
-    /// Apply a run of value writes, regrouped by component. The sort is
+    /// Apply a run of value writes, regrouped by **interned column id**
+    /// (names resolve to ids once, before the sort). The sort is
     /// stable, so multiple writes to one `(entity, component)` slot keep
     /// their order; cross-slot writes commute (no observer runs between
     /// the ops of a batch, and replay applies records in stream order).
     fn apply_write_run(&mut self, run: &mut [BatchOp]) -> Result<(), CoreError> {
-        fn comp_of(op: &BatchOp) -> &str {
+        fn key_of(interner: &ComponentInterner, op: &BatchOp) -> u32 {
             match op {
-                BatchOp::Set { component, .. } => component,
-                BatchOp::SetPos { .. } => POS,
+                // unknown names sort last and error when their group
+                // applies
+                BatchOp::Set { component, .. } => {
+                    interner.get(component).map_or(u32::MAX, ComponentId::as_u32)
+                }
+                BatchOp::SetPos { .. } => POS_ID.as_u32(),
                 _ => unreachable!("write runs hold only value writes"),
             }
         }
-        run.sort_by(|a, b| comp_of(a).cmp(comp_of(b)));
+        // one interner resolution per op: compute keys once, then
+        // stably co-sort `run` and `keys` by applying the sorting
+        // permutation in place (index-chasing form — `order[i]` may
+        // point at a slot already emptied by an earlier step, so chase
+        // forward until the source is at or past `i`). The index
+        // tiebreak keeps the sort stable: per-slot write order holds.
+        let mut keys: Vec<u32> = run.iter().map(|op| key_of(&self.interner, op)).collect();
+        let mut order: Vec<u32> = (0..run.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (keys[i as usize], i));
+        for i in 0..order.len() {
+            let mut j = order[i] as usize;
+            while j < i {
+                j = order[j] as usize;
+            }
+            run.swap(i, j);
+            keys.swap(i, j);
+            order[i] = j as u32;
+        }
+        debug_assert!(keys.is_sorted());
         let mut i = 0;
         while i < run.len() {
-            let j = i + run[i..]
-                .iter()
-                .take_while(|o| comp_of(o) == comp_of(&run[i]))
-                .count();
-            if comp_of(&run[i]) == POS {
+            let j = i + keys[i..].iter().take_while(|&&k| k == keys[i]).count();
+            if keys[i] == POS_ID.as_u32() {
                 // position writes maintain the spatial index per op
                 for op in &run[i..j] {
                     match op {
@@ -1199,8 +1374,13 @@ impl World {
                         _ => unreachable!(),
                     }
                 }
+            } else if keys[i] == u32::MAX {
+                let BatchOp::Set { component, .. } = &run[i] else {
+                    unreachable!("write runs hold only value writes");
+                };
+                return Err(CoreError::UnknownComponent(component.clone()));
             } else {
-                self.apply_column_group(&run[i..j])?;
+                self.apply_column_group(&run[i..j], ComponentId::from_u32(keys[i]))?;
             }
             i = j;
         }
@@ -1211,10 +1391,7 @@ impl World {
     /// component: the column and its secondary index are resolved once
     /// for the whole group — the amortization the per-call path pays on
     /// every write.
-    fn apply_column_group(&mut self, group: &[BatchOp]) -> Result<(), CoreError> {
-        let BatchOp::Set { component, .. } = &group[0] else {
-            unreachable!("column groups hold only Set ops");
-        };
+    fn apply_column_group(&mut self, group: &[BatchOp], cid: ComponentId) -> Result<(), CoreError> {
         let recording = self.recording();
         let tick = self.tick;
         let World {
@@ -1224,10 +1401,8 @@ impl World {
             changes,
             ..
         } = self;
-        let col = columns
-            .get_mut(component)
-            .ok_or_else(|| CoreError::UnknownComponent(component.clone()))?;
-        let mut idx = indexes.get_mut(component);
+        let col = &mut columns[cid.index()];
+        let mut idx = indexes.get_mut(cid.index()).and_then(Option::as_mut);
         let has_idx = idx.is_some();
         for op in group {
             let BatchOp::Set {
@@ -1253,7 +1428,7 @@ impl World {
                     expected,
                     got: value.value_type(),
                 })?;
-            if let Some(ix) = idx.as_deref_mut() {
+            if let Some(ix) = idx.as_mut() {
                 if let Some(old) = &old {
                     ix.remove(old, *id);
                 }
@@ -1264,7 +1439,7 @@ impl World {
                     tick,
                     ChangeOp::Set {
                         id: *id,
-                        component: component.clone(),
+                        component: cid,
                         old,
                         new: value.clone(),
                     },
@@ -1679,6 +1854,160 @@ mod tests {
         assert_eq!(w.tick(), 5);
         w.advance_tick_to(3);
         assert_eq!(w.tick(), 5, "duplicated redo records are harmless");
+    }
+
+    /// The batch regroup sorts by interned id via an in-place
+    /// permutation; a run whose ids form a 3-cycle (not a mere
+    /// transposition) must still land every write on its own column,
+    /// with per-slot write order preserved.
+    #[test]
+    fn apply_batch_regroups_cyclic_component_orders_correctly() {
+        let mut w = World::new();
+        // definition order b, c, a: name order != id order
+        w.define_component("b", ValueType::Float).unwrap();
+        w.define_component("c", ValueType::Float).unwrap();
+        w.define_component("a", ValueType::Float).unwrap();
+        let e = w.spawn_at(v(0.0, 0.0));
+        let f = w.spawn_at(v(1.0, 0.0));
+        let mut batch = WriteBatch::new();
+        // key sequence [3, 1, 2, 3, ...]: sorting permutation has a
+        // 3-cycle, which an inverse-permutation bug scrambles
+        batch.set(e, "a", Value::Float(1.0));
+        batch.set(e, "b", Value::Float(2.0));
+        batch.set(e, "c", Value::Float(3.0));
+        batch.set(f, "a", Value::Float(4.0));
+        batch.set(e, "a", Value::Float(5.0)); // same slot, later write wins
+        batch.set(f, "c", Value::Float(6.0));
+        w.apply_batch(batch).unwrap();
+        assert_eq!(w.get_f32(e, "a"), Some(5.0));
+        assert_eq!(w.get_f32(e, "b"), Some(2.0));
+        assert_eq!(w.get_f32(e, "c"), Some(3.0));
+        assert_eq!(w.get_f32(f, "a"), Some(4.0));
+        assert_eq!(w.get_f32(f, "c"), Some(6.0));
+    }
+
+    #[test]
+    fn records_carry_interned_ids_and_despawn_row_images() {
+        let mut w = world_with_hp();
+        w.define_component("gold", ValueType::Int).unwrap();
+        let hp = w.component_id("hp").unwrap();
+        let gold = w.component_id("gold").unwrap();
+        assert_eq!(w.component_id(POS), Some(POS_ID));
+        assert_eq!(w.component_name(hp), Some("hp"));
+
+        let tap = w.attach_tap();
+        let e = w.spawn_at(v(1.0, 2.0));
+        w.set_f32(e, "hp", 5.0).unwrap();
+        w.set(e, "gold", Value::Int(9)).unwrap();
+        w.despawn(e);
+        let ops: Vec<ChangeOp> = w.tap_pending(tap).iter().map(|c| c.op.clone()).collect();
+        assert!(matches!(&ops[1], ChangeOp::Set { component, .. } if *component == POS_ID));
+        assert!(matches!(&ops[2], ChangeOp::Set { component, .. } if *component == hp));
+        // the despawn record carries the full dropped row, id-ordered
+        let ChangeOp::Despawned { row, .. } = &ops[4] else {
+            panic!("expected Despawned, got {:?}", ops[4]);
+        };
+        assert_eq!(
+            row,
+            &vec![
+                (POS_ID, Value::Vec2(1.0, 2.0)),
+                (hp, Value::Float(5.0)),
+                (gold, Value::Int(9)),
+            ]
+        );
+        w.detach_tap(tap);
+    }
+
+    #[test]
+    fn component_definitions_are_catalog_records_while_tapped() {
+        let mut w = World::new();
+        // defined before any tap: not recorded (snapshot carries it)
+        w.define_component("early", ValueType::Int).unwrap();
+        let tap = w.attach_tap();
+        w.define_component("late", ValueType::Float).unwrap();
+        let ops: Vec<ChangeOp> = w.tap_pending(tap).iter().map(|c| c.op.clone()).collect();
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            &ops[0],
+            ChangeOp::ComponentDefined { component, name, ty }
+                if *component == w.component_id("late").unwrap()
+                    && name == "late"
+                    && *ty == ValueType::Float
+        ));
+        // template spawns auto-define through the same recorded path
+        use gamedb_content::{gdml, TemplateLibrary};
+        w.ack_tap(tap);
+        let lib = TemplateLibrary::from_gdml(
+            &gdml::parse(
+                r#"<templates><template name="imp">
+                     <component name="fresh" type="float" default="1"/>
+                   </template></templates>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        w.spawn_from_template(&lib.resolve("imp").unwrap(), v(0.0, 0.0))
+            .unwrap();
+        assert!(w.tap_pending(tap).iter().any(|c| matches!(
+            &c.op,
+            ChangeOp::ComponentDefined { name, .. } if name == "fresh"
+        )));
+        w.detach_tap(tap);
+    }
+
+    #[test]
+    fn ensure_component_at_is_idempotent_redo() {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let hp = w.component_id("hp").unwrap();
+        // exact duplicate: clean no-op
+        assert_eq!(w.ensure_component_at(hp, "hp", ValueType::Float), Ok(false));
+        // same name, wrong id or type: conflict
+        assert!(w
+            .ensure_component_at(ComponentId::from_u32(9), "hp", ValueType::Float)
+            .is_err());
+        assert!(w.ensure_component_at(hp, "hp", ValueType::Int).is_err());
+        // out-of-order id for a new name: rejected (defines replay in order)
+        assert!(w
+            .ensure_component_at(ComponentId::from_u32(7), "mana", ValueType::Float)
+            .is_err());
+        // the next id in order: defined
+        let next = ComponentId::from_u32(w.component_count() as u32);
+        assert_eq!(w.ensure_component_at(next, "mana", ValueType::Float), Ok(true));
+        assert_eq!(w.component_id("mana"), Some(next));
+    }
+
+    /// ISSUE-5 satellite: a leaked tap (consumer dropped its `TapId`
+    /// without detaching) must not grow the retained window without
+    /// bound once a retention limit is set.
+    #[test]
+    fn leaked_tap_retention_is_bounded_at_world_level() {
+        let mut w = world_with_hp();
+        let e = w.spawn_at(v(0.0, 0.0));
+        w.set_tap_retention(Some(64));
+        let leaked = w.attach_tap(); // never acked, never detached
+        let live = w.attach_tap();
+        for i in 0..1_000 {
+            w.set_f32(e, "hp", i as f32).unwrap();
+            if i % 10 == 0 {
+                w.ack_tap(live);
+            }
+        }
+        w.ack_tap(live);
+        assert!(
+            w.retained_changes() <= 65,
+            "leaked tap must not pin the window: {} retained",
+            w.retained_changes()
+        );
+        assert!(w.tap_evicted(leaked));
+        assert!(!w.tap_evicted(live));
+        // the live tap keeps streaming exactly
+        w.set_f32(e, "hp", -1.0).unwrap();
+        assert_eq!(w.tap_pending(live).len(), 1);
+        assert!(w.tap_pending(leaked).is_empty());
+        // detaching the evicted tap frees its slot for reuse
+        assert!(w.detach_tap(leaked));
+        assert!(!w.tap_evicted(leaked));
     }
 
     #[test]

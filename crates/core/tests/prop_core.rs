@@ -548,25 +548,36 @@ fn replay_change(w: &mut World, op: &gamedb_core::ChangeOp) {
             new,
             ..
         } => {
-            if w.component_type(component).is_none() && component != gamedb_core::POS {
-                w.define_component(component, new.value_type()).unwrap();
-            }
-            w.set(*id, component, new.clone()).unwrap();
+            // records carry interned ids; a `ComponentDefined` record
+            // always precedes the first use of a new id, so resolution
+            // against the replay world cannot fail
+            let name = w.component_name(*component).unwrap().to_string();
+            w.set(*id, &name, new.clone()).unwrap();
         }
         ChangeOp::Removed { id, component, .. } => {
-            let _ = w.remove_component(*id, component);
+            let name = w.component_name(*component).unwrap().to_string();
+            let _ = w.remove_component(*id, &name);
         }
         ChangeOp::Spawned { id } => {
             w.restore_entity(*id).unwrap();
         }
-        ChangeOp::Despawned { id } => {
+        ChangeOp::Despawned { id, .. } => {
             w.despawn(*id);
         }
+        ChangeOp::ComponentDefined {
+            component,
+            name,
+            ty,
+        } => {
+            w.ensure_component_at(*component, name, *ty).unwrap();
+        }
         ChangeOp::CreateIndex { component, kind } => {
-            w.ensure_index(component, *kind).unwrap();
+            let name = w.component_name(*component).unwrap().to_string();
+            w.ensure_index(&name, *kind).unwrap();
         }
         ChangeOp::DropIndex { component } => {
-            w.drop_index(component);
+            let name = w.component_name(*component).unwrap().to_string();
+            w.drop_index(&name);
         }
         ChangeOp::RegisterView { slot, query } => {
             w.import_view_at_slot(*slot, query.clone()).unwrap();

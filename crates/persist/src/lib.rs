@@ -40,6 +40,8 @@
 
 pub mod backend;
 pub mod checkpoint;
+#[cfg(test)]
+mod compat;
 pub mod crashpoint;
 pub mod delta;
 pub mod schema;
@@ -57,5 +59,5 @@ pub use schema::{
     BlobStore, Migration, MigrationError, MigrationStats, SchemaVersion, StructuredStore,
 };
 pub use snapshot::{checksum, decode, encode, SnapshotError};
-pub use wal::{decode_log, replay_after_checkpoint, WalRecord};
+pub use wal::{decode_log, replay_after_checkpoint, varint_len, CompRef, WalRecord};
 pub use walstore::{recover_from_parts, StoreError, WalStats, WalStore};

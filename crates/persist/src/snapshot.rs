@@ -11,10 +11,17 @@ use gamedb_core::{EntityId, IndexKind, Query, World, WorldCatalog};
 use gamedb_spatial::Vec2;
 use std::fmt;
 
-/// Format magic + version. v2 appends the catalog (secondary indexes,
+/// Format magic + version. v2 appended the catalog (secondary indexes,
 /// standing views, lineage) to the row image — recovery that restores
 /// facts without the definitions deriving from them is not recovery.
-const MAGIC: u32 = 0x6744_4202; // "gDB" v2
+/// v3 writes the schema section in **interned id order** instead of
+/// name order: decoding defines columns in listed order, so the
+/// recovered world's [`gamedb_core::ComponentId`] table matches the
+/// snapshotted world's exactly and interned WAL-tail records decode to
+/// the same columns they were recorded against. v2 snapshots (name-
+/// ordered schema, string-named WAL tails) still decode.
+const MAGIC: u32 = 0x6744_4203; // "gDB" v3
+const MAGIC_V2: u32 = 0x6744_4202;
 
 /// Errors decoding a snapshot.
 #[derive(Debug, Clone, PartialEq)]
@@ -307,12 +314,18 @@ pub(crate) fn get_catalog(
 }
 
 /// Serialize a world: header, schema, entities, rows, checksum.
+///
+/// The schema section lists components in **interned id order** (`pos`
+/// first, then definition order) — this *is* the durable interner
+/// table: decode re-interns in listed order, so every id the snapshot
+/// lineage ever recorded (WAL tails, replication segments) resolves
+/// identically after recovery.
 pub fn encode(world: &World) -> Bytes {
     let mut body = BytesMut::new();
-    // schema
+    // schema, in id order (see above)
     let schema: Vec<(String, ValueType)> = world
-        .schema()
-        .map(|(n, t)| (n.to_string(), t))
+        .schema_by_id()
+        .map(|(_, n, t)| (n.to_string(), t))
         .collect();
     body.put_u32_le(schema.len() as u32);
     for (name, ty) in &schema {
@@ -362,7 +375,7 @@ pub fn decode(data: &[u8]) -> Result<(World, u64), SnapshotError> {
         return Err(SnapshotError::Truncated);
     }
     let magic = buf.get_u32_le();
-    if magic != MAGIC {
+    if magic != MAGIC && magic != MAGIC_V2 {
         return Err(SnapshotError::BadMagic(magic));
     }
     let tick = buf.get_u64_le();

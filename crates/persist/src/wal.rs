@@ -12,14 +12,100 @@
 //! record boundary.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gamedb_content::Value;
-use gamedb_core::{Change, ChangeOp, CoreError, EntityId, IndexKind, Query, World};
+use gamedb_content::{Value, ValueType};
+use gamedb_core::{Change, ChangeOp, ComponentId, CoreError, EntityId, IndexKind, Query, World};
 use gamedb_spatial::Vec2;
 
 use crate::snapshot::{
     checksum, get_query, get_str, get_value, kind_tag, put_query, put_str, put_value, tag_kind,
-    SnapshotError,
+    tag_type_pub, type_tag_pub, SnapshotError,
 };
+
+/// How a WAL record names a component: by interned id (the current
+/// framing — a 1-byte varint for the first 128 columns) or by name (the
+/// pre-interning framing, kept decodable so old logs replay
+/// bit-identically). Encoding preserves the form, so re-framing a
+/// legacy log (compaction) never silently upgrades records whose
+/// interner table is not durable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompRef {
+    /// Interned column id; resolved against the recovering world's
+    /// interner (snapshot table + preceding [`WalRecord::Define`]s).
+    Id(ComponentId),
+    /// Legacy string-named record.
+    Name(String),
+}
+
+impl From<&str> for CompRef {
+    fn from(s: &str) -> Self {
+        CompRef::Name(s.to_string())
+    }
+}
+
+impl From<String> for CompRef {
+    fn from(s: String) -> Self {
+        CompRef::Name(s)
+    }
+}
+
+impl From<ComponentId> for CompRef {
+    fn from(id: ComponentId) -> Self {
+        CompRef::Id(id)
+    }
+}
+
+impl CompRef {
+    /// Resolve to a component name against `world`. Legacy refs carry
+    /// the name; interned refs require the world's table to know the id
+    /// (a `Define` record or the snapshot schema always precedes use).
+    fn resolve<'a>(&'a self, world: &'a World) -> Result<&'a str, CoreError> {
+        match self {
+            CompRef::Name(n) => Ok(n.as_str()),
+            CompRef::Id(id) => world
+                .component_name(*id)
+                .ok_or_else(|| CoreError::UnknownComponent(format!("{id}"))),
+        }
+    }
+}
+
+/// LEB128 varint for component ids: 1 byte for the first 128 columns.
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+pub(crate) fn get_varint(buf: &mut Bytes) -> Result<u32, SnapshotError> {
+    let mut v: u32 = 0;
+    for shift in (0..35).step_by(7) {
+        if buf.remaining() < 1 {
+            return Err(SnapshotError::Truncated);
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(SnapshotError::Corrupt("varint overruns u32".into()))
+}
+
+/// Encoded length of a varint (wire-size accounting).
+pub fn varint_len(v: u32) -> usize {
+    match v {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
 
 /// One redo record.
 ///
@@ -33,7 +119,7 @@ pub enum WalRecord {
     /// Set a component (also used for position updates).
     Set {
         entity: EntityId,
-        component: String,
+        component: CompRef,
         value: Value,
     },
     /// Spawn an entity at a position with a specific id.
@@ -44,11 +130,20 @@ pub enum WalRecord {
     /// superseded by snapshot `seq`.
     CheckpointMark { seq: u64 },
     /// Remove a component from an entity.
-    RemoveComponent { entity: EntityId, component: String },
+    RemoveComponent { entity: EntityId, component: CompRef },
+    /// Define a component column at an exact interned id — the durable
+    /// half of the interner for components defined after the last
+    /// snapshot (the snapshot schema, written in id order, carries the
+    /// rest). Always precedes the first interned record naming the id.
+    Define {
+        component: ComponentId,
+        name: String,
+        ty: ValueType,
+    },
     /// Create a secondary index on a component.
-    CreateIndex { component: String, kind: IndexKind },
+    CreateIndex { component: CompRef, kind: IndexKind },
     /// Drop the secondary index on a component.
-    DropIndex { component: String },
+    DropIndex { component: CompRef },
     /// Register a standing view at an exact slot. Replay re-materializes
     /// it from post-replay row state; the slot is recorded so pre-crash
     /// [`gamedb_core::ViewId`] handles keep resolving after recovery.
@@ -86,6 +181,13 @@ const TAG_RETARGET_VIEW: u8 = 10;
 const TAG_TICK: u8 = 11;
 const TAG_BATCH: u8 = 12;
 const TAG_RESTORE: u8 = 13;
+// interned framing (ISSUE-5): component ids as varints instead of
+// length-prefixed names; tags 1/5/6/7 remain decodable for old logs
+const TAG_DEFINE: u8 = 14;
+const TAG_SET_ID: u8 = 15;
+const TAG_REMOVE_ID: u8 = 16;
+const TAG_CREATE_INDEX_ID: u8 = 17;
+const TAG_DROP_INDEX_ID: u8 = 18;
 
 // value-type tags reuse the snapshot module's ordering
 fn value_tag(v: &Value) -> u8 {
@@ -130,13 +232,32 @@ impl WalRecord {
                 entity,
                 component,
                 value,
+            } => match component {
+                CompRef::Id(id) => {
+                    payload.put_u8(TAG_SET_ID);
+                    payload.put_u64_le(entity.to_bits());
+                    put_varint(payload, id.as_u32());
+                    payload.put_u8(value_tag(value));
+                    put_value(payload, value);
+                }
+                CompRef::Name(name) => {
+                    payload.put_u8(TAG_SET);
+                    payload.put_u64_le(entity.to_bits());
+                    payload.put_u32_le(name.len() as u32);
+                    payload.put_slice(name.as_bytes());
+                    payload.put_u8(value_tag(value));
+                    put_value(payload, value);
+                }
+            },
+            WalRecord::Define {
+                component,
+                name,
+                ty,
             } => {
-                payload.put_u8(TAG_SET);
-                payload.put_u64_le(entity.to_bits());
-                payload.put_u32_le(component.len() as u32);
-                payload.put_slice(component.as_bytes());
-                payload.put_u8(value_tag(value));
-                put_value(payload, value);
+                payload.put_u8(TAG_DEFINE);
+                put_varint(payload, component.as_u32());
+                put_str(payload, name);
+                payload.put_u8(type_tag_pub(*ty));
             }
             WalRecord::Spawn { entity, x, y } => {
                 payload.put_u8(TAG_SPAWN);
@@ -152,20 +273,40 @@ impl WalRecord {
                 payload.put_u8(TAG_MARK);
                 payload.put_u64_le(*seq);
             }
-            WalRecord::RemoveComponent { entity, component } => {
-                payload.put_u8(TAG_REMOVE);
-                payload.put_u64_le(entity.to_bits());
-                put_str(payload, component);
-            }
-            WalRecord::CreateIndex { component, kind } => {
-                payload.put_u8(TAG_CREATE_INDEX);
-                payload.put_u8(kind_tag(*kind));
-                put_str(payload, component);
-            }
-            WalRecord::DropIndex { component } => {
-                payload.put_u8(TAG_DROP_INDEX);
-                put_str(payload, component);
-            }
+            WalRecord::RemoveComponent { entity, component } => match component {
+                CompRef::Id(id) => {
+                    payload.put_u8(TAG_REMOVE_ID);
+                    payload.put_u64_le(entity.to_bits());
+                    put_varint(payload, id.as_u32());
+                }
+                CompRef::Name(name) => {
+                    payload.put_u8(TAG_REMOVE);
+                    payload.put_u64_le(entity.to_bits());
+                    put_str(payload, name);
+                }
+            },
+            WalRecord::CreateIndex { component, kind } => match component {
+                CompRef::Id(id) => {
+                    payload.put_u8(TAG_CREATE_INDEX_ID);
+                    payload.put_u8(kind_tag(*kind));
+                    put_varint(payload, id.as_u32());
+                }
+                CompRef::Name(name) => {
+                    payload.put_u8(TAG_CREATE_INDEX);
+                    payload.put_u8(kind_tag(*kind));
+                    put_str(payload, name);
+                }
+            },
+            WalRecord::DropIndex { component } => match component {
+                CompRef::Id(id) => {
+                    payload.put_u8(TAG_DROP_INDEX_ID);
+                    put_varint(payload, id.as_u32());
+                }
+                CompRef::Name(name) => {
+                    payload.put_u8(TAG_DROP_INDEX);
+                    put_str(payload, name);
+                }
+            },
             WalRecord::RegisterView { slot, query } => {
                 payload.put_u8(TAG_REGISTER_VIEW);
                 payload.put_u32_le(*slot);
@@ -228,8 +369,32 @@ impl WalRecord {
                 let value = get_value(&mut p, vt)?;
                 WalRecord::Set {
                     entity,
-                    component,
+                    component: CompRef::Name(component),
                     value,
+                }
+            }
+            TAG_SET_ID => {
+                need!(8);
+                let entity = EntityId::from_bits(p.get_u64_le());
+                let component = ComponentId::from_u32(get_varint(&mut p)?);
+                need!(1);
+                let vt = tag_value_type(p.get_u8())?;
+                let value = get_value(&mut p, vt)?;
+                WalRecord::Set {
+                    entity,
+                    component: CompRef::Id(component),
+                    value,
+                }
+            }
+            TAG_DEFINE => {
+                let component = ComponentId::from_u32(get_varint(&mut p)?);
+                let name = get_str(&mut p)?;
+                need!(1);
+                let ty = tag_type_pub(p.get_u8())?;
+                WalRecord::Define {
+                    component,
+                    name,
+                    ty,
                 }
             }
             TAG_SPAWN => {
@@ -256,19 +421,38 @@ impl WalRecord {
                 let entity = EntityId::from_bits(p.get_u64_le());
                 WalRecord::RemoveComponent {
                     entity,
-                    component: get_str(&mut p)?,
+                    component: CompRef::Name(get_str(&mut p)?),
+                }
+            }
+            TAG_REMOVE_ID => {
+                need!(8);
+                let entity = EntityId::from_bits(p.get_u64_le());
+                WalRecord::RemoveComponent {
+                    entity,
+                    component: CompRef::Id(ComponentId::from_u32(get_varint(&mut p)?)),
                 }
             }
             TAG_CREATE_INDEX => {
                 need!(1);
                 let kind = tag_kind(p.get_u8())?;
                 WalRecord::CreateIndex {
-                    component: get_str(&mut p)?,
+                    component: CompRef::Name(get_str(&mut p)?),
+                    kind,
+                }
+            }
+            TAG_CREATE_INDEX_ID => {
+                need!(1);
+                let kind = tag_kind(p.get_u8())?;
+                WalRecord::CreateIndex {
+                    component: CompRef::Id(ComponentId::from_u32(get_varint(&mut p)?)),
                     kind,
                 }
             }
             TAG_DROP_INDEX => WalRecord::DropIndex {
-                component: get_str(&mut p)?,
+                component: CompRef::Name(get_str(&mut p)?),
+            },
+            TAG_DROP_INDEX_ID => WalRecord::DropIndex {
+                component: CompRef::Id(ComponentId::from_u32(get_varint(&mut p)?)),
             },
             TAG_REGISTER_VIEW => {
                 need!(4);
@@ -336,11 +520,23 @@ impl WalRecord {
                 component,
                 value,
             } => {
-                if world.component_type(component).is_none() && component != gamedb_core::POS {
-                    world.define_component(component, value.value_type())?;
+                // legacy string-named records auto-define missing
+                // columns (pre-interning logs carried no Define
+                // records); interned records resolve against the table
+                // the snapshot + preceding Defines restored
+                if let CompRef::Name(name) = component {
+                    if world.component_type(name).is_none() && name != gamedb_core::POS {
+                        world.define_component(name, value.value_type())?;
+                    }
                 }
-                world.set(*entity, component, value.clone())
+                let name = component.resolve(world)?.to_string();
+                world.set(*entity, &name, value.clone())
             }
+            WalRecord::Define {
+                component,
+                name,
+                ty,
+            } => world.ensure_component_at(*component, name, *ty).map(|_| ()),
             WalRecord::Spawn { entity, x, y } => {
                 if !world.is_live(*entity) {
                     world.restore_entity(*entity)?;
@@ -355,16 +551,24 @@ impl WalRecord {
             WalRecord::RemoveComponent { entity, component } => {
                 // a column the replay never (re)defined holds nothing to
                 // remove; a stale entity id means the despawn already won
-                if world.component_type(component).is_none() || !world.is_live(*entity) {
+                let Ok(name) = component.resolve(world) else {
+                    return Ok(());
+                };
+                if world.component_type(name).is_none() || !world.is_live(*entity) {
                     return Ok(());
                 }
-                world.remove_component(*entity, component).map(|_| ())
+                let name = name.to_string();
+                world.remove_component(*entity, &name).map(|_| ())
             }
             WalRecord::CreateIndex { component, kind } => {
-                world.ensure_index(component, *kind).map(|_| ())
+                let name = component.resolve(world)?.to_string();
+                world.ensure_index(&name, *kind).map(|_| ())
             }
             WalRecord::DropIndex { component } => {
-                world.drop_index(component);
+                if let Ok(name) = component.resolve(world) {
+                    let name = name.to_string();
+                    world.drop_index(&name);
+                }
                 Ok(())
             }
             WalRecord::RegisterView { slot, query } => {
@@ -410,21 +614,32 @@ impl WalRecord {
                 ..
             } => WalRecord::Set {
                 entity: *id,
-                component: component.clone(),
+                component: CompRef::Id(*component),
                 value: new.clone(),
             },
             ChangeOp::Removed { id, component, .. } => WalRecord::RemoveComponent {
                 entity: *id,
-                component: component.clone(),
+                component: CompRef::Id(*component),
             },
             ChangeOp::Spawned { id } => WalRecord::Restore { entity: *id },
-            ChangeOp::Despawned { id } => WalRecord::Despawn { entity: *id },
+            // the WAL needs only the redo image: the row the stream
+            // carries exists for other consumers (wealth fold, deltas)
+            ChangeOp::Despawned { id, .. } => WalRecord::Despawn { entity: *id },
+            ChangeOp::ComponentDefined {
+                component,
+                name,
+                ty,
+            } => WalRecord::Define {
+                component: *component,
+                name: name.clone(),
+                ty: *ty,
+            },
             ChangeOp::CreateIndex { component, kind } => WalRecord::CreateIndex {
-                component: component.clone(),
+                component: CompRef::Id(*component),
                 kind: *kind,
             },
             ChangeOp::DropIndex { component } => WalRecord::DropIndex {
-                component: component.clone(),
+                component: CompRef::Id(*component),
             },
             ChangeOp::RegisterView { slot, query } => WalRecord::RegisterView {
                 slot: *slot,

@@ -161,6 +161,15 @@ impl WalStore {
     /// flush is issued once `group_commit` ops have accumulated.
     /// Returns the number of ops committed (0 = nothing pending).
     pub fn commit(&mut self) -> Result<usize, StoreError> {
+        if self.world.tap_evicted(self.tap) {
+            // a retention limit on the store's world evicted the
+            // durability tap: records were dropped unlogged, and every
+            // later mutation is silently non-durable. That must never
+            // look like success — the caller set a policy incompatible
+            // with WAL durability (leave retention unset, or ack within
+            // the window, for a world a WalStore owns).
+            return Err(StoreError::DurabilityTapEvicted);
+        }
         let mut ops: Vec<WalRecord> = self
             .world
             .tap_pending(self.tap)
@@ -293,6 +302,11 @@ impl WalStore {
 pub enum StoreError {
     Core(CoreError),
     Backend(BackendError),
+    /// The world's tap-retention policy evicted the durability tap:
+    /// mutations were dropped unlogged, so commits can no longer claim
+    /// durability. Recover by checkpointing a fresh store; prevent by
+    /// not setting a retention limit on a world a [`WalStore`] owns.
+    DurabilityTapEvicted,
 }
 
 impl std::fmt::Display for StoreError {
@@ -300,6 +314,11 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Core(e) => write!(f, "world: {e}"),
             StoreError::Backend(e) => write!(f, "backend: {e}"),
+            StoreError::DurabilityTapEvicted => write!(
+                f,
+                "durability tap evicted by the tap-retention policy: \
+                 mutations were dropped unlogged"
+            ),
         }
     }
 }
@@ -351,6 +370,27 @@ mod tests {
         let (recovered, replayed) = s.crash_and_recover().unwrap();
         assert_eq!(recovered.world().get_f32(e, "hp"), Some(777.0));
         assert_eq!(replayed, 1, "only the post-checkpoint record replays");
+    }
+
+    /// A retention policy that evicts the durability tap must surface
+    /// as a loud commit error, never as silent data loss.
+    #[test]
+    fn evicted_durability_tap_fails_commit_loudly() {
+        let mut s = fresh(1, "wal-evicted");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        // a policy incompatible with WAL durability, set on the store's
+        // own world, with far more churn than the window holds
+        s.world_mut().set_tap_retention(Some(8));
+        for i in 0..64 {
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+        }
+        assert!(matches!(
+            s.commit(),
+            Err(StoreError::DurabilityTapEvicted)
+        ));
+        // checkpoint commits first, so it refuses too
+        assert!(s.checkpoint().is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use gamedb_content::{CmpOp, Value};
-use gamedb_core::{ChangeOp, EntityId, Query, TapId, ViewId, World, POS};
+use gamedb_core::{ChangeOp, ComponentId, EntityId, Query, TapId, ViewId, World, POS_ID};
 use gamedb_spatial::Vec2;
 
 use crate::action::Action;
@@ -89,9 +89,13 @@ pub struct Auditor {
     /// Standing `gold < 0` view when subscribed (see
     /// [`Auditor::subscribe_overdrafts`]).
     overdraft_view: Option<ViewId>,
-    /// Change-stream tap for movement auditing (see
-    /// [`Auditor::subscribe_movement`]).
+    /// Change-stream tap shared by the stream-driven audits (see
+    /// [`Auditor::subscribe_movement`] / [`Auditor::subscribe_wealth`]).
     move_tap: Option<TapId>,
+    /// Movement audit reads the stream instead of a position snapshot.
+    movement_streamed: bool,
+    /// Wealth drift folds from the stream instead of two full scans.
+    wealth_streamed: bool,
     ticks: usize,
     dirty_ticks: usize,
     total_drift: i64,
@@ -105,6 +109,8 @@ impl Auditor {
             max_step,
             overdraft_view: None,
             move_tap: None,
+            movement_streamed: false,
+            wealth_streamed: false,
             ticks: 0,
             dirty_ticks: 0,
             total_drift: 0,
@@ -147,14 +153,34 @@ impl Auditor {
         if self.move_tap.is_none() {
             self.move_tap = Some(world.attach_tap());
         }
+        self.movement_streamed = true;
     }
 
-    /// Release the movement tap. Call when retiring the auditor — an
-    /// abandoned tap pins the world's change-stream window forever.
+    /// Switch wealth conservation from two full scans per tick to a
+    /// stream fold: `gold`/`value` writes carry their `old → new`
+    /// values, and — the piece that used to force the scan —
+    /// [`ChangeOp::Despawned`] now carries the dropped row image, so a
+    /// death's wealth loss folds incrementally too. The per-tick drift
+    /// is the telescoped sum of record deltas anchored at
+    /// [`Auditor::snapshot_tick`]; no O(entities) pass remains in the
+    /// wealth audit (equivalence to the scanning auditor is pinned by
+    /// test).
+    pub fn subscribe_wealth(&mut self, world: &mut World) {
+        if self.move_tap.is_none() {
+            self.move_tap = Some(world.attach_tap());
+        }
+        self.wealth_streamed = true;
+    }
+
+    /// Release the stream tap (movement and wealth audits revert to
+    /// scans). Call when retiring the auditor — an abandoned tap pins
+    /// the world's change-stream window forever.
     pub fn unsubscribe_movement(&mut self, world: &mut World) {
         if let Some(tap) = self.move_tap.take() {
             world.detach_tap(tap);
         }
+        self.movement_streamed = false;
+        self.wealth_streamed = false;
     }
 
     /// [`Auditor::audit`] preceded by a view refresh — the per-tick
@@ -166,39 +192,77 @@ impl Auditor {
     /// baseline, and only moved entities are inspected.
     pub fn audit_tick(&mut self, before: &Baseline, world: &mut World) -> AuditReport {
         world.refresh_views();
-        let streamed_speed = self.move_tap.map(|tap| {
+        let mut streamed_speed: Option<usize> = None;
+        let mut streamed_drift: Option<i64> = None;
+        if let Some(tap) = self.move_tap {
             let eps = 1e-3;
+            // the wealth-bearing columns, as interned ids (worlds
+            // without them simply contribute nothing)
+            let gold = world.component_id("gold");
+            let value = world.component_id("value");
+            let bears_wealth =
+                |c: ComponentId| Some(c) == gold || Some(c) == value;
+            let as_gold = |v: &Value| match v {
+                Value::Int(x) => *x,
+                _ => 0,
+            };
             let mut first_old: HashMap<EntityId, Option<Vec2>> = HashMap::new();
+            let mut drift = 0i64;
             for change in world.tap_pending(tap) {
-                if let ChangeOp::Set {
-                    id,
-                    component,
-                    old,
-                    ..
-                } = &change.op
-                {
-                    if component == POS {
-                        first_old.entry(*id).or_insert(match old {
-                            Some(Value::Vec2(x, y)) => Some(Vec2::new(*x, *y)),
-                            _ => None,
-                        });
+                match &change.op {
+                    ChangeOp::Set {
+                        id,
+                        component,
+                        old,
+                        new,
+                    } => {
+                        if *component == POS_ID && self.movement_streamed {
+                            first_old.entry(*id).or_insert(match old {
+                                Some(Value::Vec2(x, y)) => Some(Vec2::new(*x, *y)),
+                                _ => None,
+                            });
+                        }
+                        if self.wealth_streamed && bears_wealth(*component) {
+                            drift += as_gold(new) - old.as_ref().map(&as_gold).unwrap_or(0);
+                        }
                     }
+                    ChangeOp::Removed { component, old, .. }
+                        if self.wealth_streamed && bears_wealth(*component) =>
+                    {
+                        drift -= as_gold(old);
+                    }
+                    // the dropped row image the record now carries is
+                    // exactly what lets a death fold incrementally
+                    ChangeOp::Despawned { row, .. } if self.wealth_streamed => {
+                        for (component, v) in row {
+                            if bears_wealth(*component) {
+                                drift -= as_gold(v);
+                            }
+                        }
+                    }
+                    _ => {}
                 }
             }
-            let max_step = self.max_step;
-            let violations = first_old
-                .iter()
-                .filter(|(e, then)| {
-                    let (Some(now), Some(then)) = (world.pos(**e), then) else {
-                        return false;
-                    };
-                    now.dist(*then) > max_step + eps
-                })
-                .count();
+            if self.movement_streamed {
+                let max_step = self.max_step;
+                streamed_speed = Some(
+                    first_old
+                        .iter()
+                        .filter(|(e, then)| {
+                            let (Some(now), Some(then)) = (world.pos(**e), then) else {
+                                return false;
+                            };
+                            now.dist(*then) > max_step + eps
+                        })
+                        .count(),
+                );
+            }
+            if self.wealth_streamed {
+                streamed_drift = Some(drift);
+            }
             world.ack_tap(tap);
-            violations
-        });
-        self.audit_with(before, world, streamed_speed)
+        }
+        self.audit_with(before, world, streamed_speed, streamed_drift)
     }
 
     /// Capture the pre-tick state the post-tick check needs.
@@ -221,8 +285,17 @@ impl Auditor {
             Some(tap) => {
                 world.ack_tap(tap);
                 Baseline {
-                    wealth: wealth(world),
-                    positions: HashMap::new(),
+                    // a wealth subscription folds drift from the stream:
+                    // no baseline scan either
+                    wealth: if self.wealth_streamed { 0 } else { wealth(world) },
+                    positions: if self.movement_streamed {
+                        HashMap::new()
+                    } else {
+                        world
+                            .entities()
+                            .filter_map(|e| world.pos(e).map(|p| (e, p)))
+                            .collect()
+                    },
                 }
             }
             None => self.snapshot(world),
@@ -240,7 +313,7 @@ impl Auditor {
     /// materialized rows (falling back to the query whenever the view is
     /// stale or belongs to another world).
     pub fn audit(&mut self, before: &Baseline, world: &World) -> AuditReport {
-        self.audit_with(before, world, None)
+        self.audit_with(before, world, None, None)
     }
 
     fn audit_with(
@@ -248,6 +321,7 @@ impl Auditor {
         before: &Baseline,
         world: &World,
         streamed_speed: Option<usize>,
+        streamed_drift: Option<i64>,
     ) -> AuditReport {
         let eps = 1e-3;
         let overdrafts = match self.overdraft_view {
@@ -267,7 +341,8 @@ impl Auditor {
                 .count()
         });
         let report = AuditReport {
-            wealth_drift: wealth(world) - before.wealth,
+            wealth_drift: streamed_drift
+                .unwrap_or_else(|| wealth(world) - before.wealth),
             overdrafts,
             speed_violations,
         };
@@ -532,6 +607,123 @@ mod tests {
             tap_auditor.total_speed_violations()
         );
         assert!(tap_auditor.total_speed_violations() >= 4);
+    }
+
+    /// ISSUE-5 satellite: the stream-folded wealth audit must report
+    /// exactly what the scanning auditor reports — dupes, black holes,
+    /// conserving ticks — across a workload of trades, item pickups,
+    /// gold-carrying despawns (the case that needs the `Despawned` row
+    /// image), component removals, and spawns, while doing **no**
+    /// O(entities) wealth scan at either end of the tick.
+    #[test]
+    fn wealth_audit_via_stream_equals_scanning_audit() {
+        let (mut w_scan, ids_s) = line_world(6);
+        let (mut w_tap, ids_t) = line_world(6);
+        let mut scanning = Auditor::new(100.0);
+        let mut folded = Auditor::new(100.0);
+        folded.subscribe_wealth(&mut w_tap);
+
+        #[derive(Clone, Copy)]
+        enum Step {
+            SetGold(usize, i64),
+            Remove(usize),
+            Despawn(usize),
+            SpawnItem(i64),
+            PickupLast(usize),
+        }
+        use Step::*;
+        // per tick: a script of mutations — some conserve, some dupe,
+        // some destroy
+        let script: Vec<Vec<Step>> = vec![
+            vec![SetGold(0, 40), SetGold(1, 160)],      // conserving trade
+            vec![SetGold(2, 200)],                      // +100 duped
+            vec![SpawnItem(500)],                       // +500 minted item
+            vec![PickupLast(0), SetGold(3, 90)],        // pickup conserves, -10 hole
+            vec![Despawn(4)],                           // -100 black hole (row image!)
+            vec![Remove(5)],                            // -100 removal
+            vec![],                                     // quiet tick
+            vec![SetGold(0, 0), SpawnItem(7), Despawn(1)],
+        ];
+        let mut spawned_s: Vec<EntityId> = Vec::new();
+        let mut spawned_t: Vec<EntityId> = Vec::new();
+        for (tick, steps) in script.iter().enumerate() {
+            let before_s = scanning.snapshot(&w_scan);
+            let before_t = folded.snapshot_tick(&mut w_tap);
+            assert_eq!(before_t.wealth, 0, "folded baseline skips the scan");
+            for &step in steps {
+                match step {
+                    SetGold(i, g) => {
+                        w_scan.set(ids_s[i], "gold", Value::Int(g)).unwrap();
+                        w_tap.set(ids_t[i], "gold", Value::Int(g)).unwrap();
+                    }
+                    Remove(i) => {
+                        w_scan.remove_component(ids_s[i], "gold").unwrap();
+                        w_tap.remove_component(ids_t[i], "gold").unwrap();
+                    }
+                    Despawn(i) => {
+                        w_scan.despawn(ids_s[i]);
+                        w_tap.despawn(ids_t[i]);
+                    }
+                    SpawnItem(v) => {
+                        let a = w_scan.spawn_at(Vec2::ZERO);
+                        w_scan.set(a, "value", Value::Int(v)).unwrap();
+                        spawned_s.push(a);
+                        let b = w_tap.spawn_at(Vec2::ZERO);
+                        w_tap.set(b, "value", Value::Int(v)).unwrap();
+                        spawned_t.push(b);
+                    }
+                    PickupLast(i) => {
+                        // item value converts into holder gold, item dies
+                        let (a, b) = (spawned_s.pop().unwrap(), spawned_t.pop().unwrap());
+                        for (w, ids, item) in
+                            [(&mut w_scan, &ids_s, a), (&mut w_tap, &ids_t, b)]
+                        {
+                            let v = w.get_i64(item, "value").unwrap();
+                            let g = w.get_i64(ids[i], "gold").unwrap_or(0);
+                            w.set(ids[i], "gold", Value::Int(g + v)).unwrap();
+                            w.despawn(item);
+                        }
+                    }
+                }
+            }
+            let r_scan = scanning.audit(&before_s, &w_scan);
+            let r_fold = folded.audit_tick(&before_t, &mut w_tap);
+            assert_eq!(r_scan.wealth_drift, r_fold.wealth_drift, "tick {tick}");
+            assert_eq!(r_scan.overdrafts, r_fold.overdrafts, "tick {tick}");
+        }
+        assert_eq!(scanning.total_drift(), folded.total_drift());
+        assert!(folded.total_drift() > 0, "the script must exercise drift");
+    }
+
+    /// Wealth and movement subscriptions share one tap and one stream
+    /// pass; both audits agree with their scanning counterparts.
+    #[test]
+    fn wealth_and_movement_subscriptions_compose() {
+        let (mut w_scan, ids_s) = line_world(4);
+        let (mut w_tap, ids_t) = line_world(4);
+        let mut scanning = Auditor::new(2.0);
+        let mut folded = Auditor::new(2.0);
+        folded.subscribe_wealth(&mut w_tap);
+        folded.subscribe_movement(&mut w_tap);
+        for tick in 0..4 {
+            let before_s = scanning.snapshot(&w_scan);
+            let before_t = folded.snapshot_tick(&mut w_tap);
+            assert!(before_t.positions.is_empty());
+            for (w, ids) in [(&mut w_scan, &ids_s), (&mut w_tap, &ids_t)] {
+                let p = w.pos(ids[0]).unwrap();
+                // tick 2 speed-hacks, tick 3 dupes gold
+                let step = if tick == 2 { 50.0 } else { 1.0 };
+                w.set_pos(ids[0], Vec2::new(p.x + step, p.y)).unwrap();
+                if tick == 3 {
+                    w.set(ids[1], "gold", Value::Int(999)).unwrap();
+                }
+            }
+            let r_scan = scanning.audit(&before_s, &w_scan);
+            let r_fold = folded.audit_tick(&before_t, &mut w_tap);
+            assert_eq!(r_scan, r_fold, "tick {tick}");
+        }
+        folded.unsubscribe_movement(&mut w_tap);
+        assert_eq!(w_tap.pending_deltas(), 0);
     }
 
     #[test]

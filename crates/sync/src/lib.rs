@@ -54,7 +54,9 @@ pub use executor::{ExecStats, Executor, LockingExecutor, OptimisticExecutor, Ser
 pub use invariant::{
     collapse_moves, inject_speed_hacks, wealth, AuditReport, Auditor, Baseline, RacyExecutor,
 };
-pub use replication::{ConsistencyLevel, Divergence, Interest, Replica, Replicator};
+pub use replication::{
+    ConsistencyLevel, DeltaSegment, Divergence, Interest, Replica, Replicator,
+};
 pub use shard::{step_flock, AssignPolicy, NodeId, ShardAssignment, ShardManager, ShardStats};
 pub use view::{OverlayView, StateView};
 pub use workload::{fleet_world, step_fleet, ActionMix, Workload, WorkloadConfig};

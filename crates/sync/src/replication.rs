@@ -8,11 +8,81 @@
 //! [`Replicator`] decides, per tick, which rows to ship. Three levels
 //! trade bandwidth for divergence, measured by [`Divergence`].
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use gamedb_content::Value;
-use gamedb_core::{EntityId, Query, TapId, ViewId, World};
+use gamedb_core::{ChangeOp, ComponentId, EntityId, Query, TapId, ViewId, World};
 use gamedb_spatial::Vec2;
+
+/// Wire size of a value under the replication framing (1 type-tag byte
+/// is accounted separately).
+fn value_wire_bytes(v: &Value) -> usize {
+    match v {
+        Value::Float(_) => 4,
+        Value::Int(_) => 8,
+        Value::Bool(_) => 1,
+        Value::Str(s) => 4 + s.len(),
+        Value::Vec2(..) => 8,
+    }
+}
+
+/// LEB128 length of a component id (mirrors the WAL's varint framing).
+fn varint_len(v: u32) -> usize {
+    match v {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+/// Wire size of one row under the legacy **row-shipping** framing:
+/// entity id + length-prefixed component name + type tag + value. This
+/// is the baseline [`Replicator::sync`]/[`Replicator::sync_live`]
+/// account against.
+fn row_wire_bytes(component: &str, v: &Value) -> usize {
+    8 + 4 + component.len() + 1 + value_wire_bytes(v)
+}
+
+/// One shipped delta segment: the per-tick unit
+/// [`Replicator::sync_stream`] sends instead of re-walked rows. Writes
+/// are keyed by interned [`ComponentId`]; the name table ships once per
+/// component per client ([`DeltaSegment::defines`]), so steady-state
+/// rows cost a 1-byte varint where the row framing pays `4 + len(name)`
+/// bytes — on top of shipping only the `old → new` columns the change
+/// records named instead of whole rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaSegment {
+    /// First-use name-table entries `(id, name)` — the client resolves
+    /// later puts against its accumulated table.
+    pub defines: Vec<(ComponentId, String)>,
+    /// Component writes `(entity, column id, new value)`.
+    pub puts: Vec<(EntityId, ComponentId, Value)>,
+}
+
+impl DeltaSegment {
+    /// True when nothing would go on the wire.
+    pub fn is_empty(&self) -> bool {
+        self.defines.is_empty() && self.puts.is_empty()
+    }
+
+    /// Encoded size under the delta framing (the bandwidth metric the
+    /// acceptance bound compares against [`row_wire_bytes`]).
+    pub fn wire_bytes(&self) -> usize {
+        let defines: usize = self
+            .defines
+            .iter()
+            .map(|(id, name)| 1 + varint_len(id.as_u32()) + 4 + name.len())
+            .sum();
+        let puts: usize = self
+            .puts
+            .iter()
+            .map(|(_, id, v)| 8 + varint_len(id.as_u32()) + 1 + value_wire_bytes(v))
+            .sum();
+        defines + puts
+    }
+}
 
 /// Consistency levels from strongest to weakest.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +102,9 @@ pub enum ConsistencyLevel {
 pub struct Replica {
     /// replicated component values
     pub rows: HashMap<(EntityId, String), Value>,
+    /// Accumulated component name table (from [`DeltaSegment::defines`])
+    /// — how id-keyed puts resolve to the name-keyed rows above.
+    names: HashMap<ComponentId, String>,
 }
 
 impl Replica {
@@ -40,6 +113,23 @@ impl Replica {
         match self.rows.get(&(id, "pos".to_string())) {
             Some(Value::Vec2(x, y)) => Some((*x, *y)),
             _ => None,
+        }
+    }
+
+    /// Apply one delta segment: per-component reconciliation. Defines
+    /// extend the name table; puts upsert exactly the named columns —
+    /// nothing else on the replica is touched.
+    pub fn apply_segment(&mut self, seg: &DeltaSegment) {
+        for (id, name) in &seg.defines {
+            self.names.insert(*id, name.clone());
+        }
+        for (entity, comp, value) in &seg.puts {
+            let name = self
+                .names
+                .get(comp)
+                .expect("segment defines precede first use of an id")
+                .clone();
+            self.rows.insert((*entity, name), value.clone());
         }
     }
 }
@@ -111,11 +201,25 @@ pub struct Replicator {
     /// Entities touched by the stream since they were last fully
     /// shipped — the candidate set [`Replicator::sync_stream`] visits.
     dirty: BTreeSet<EntityId>,
+    /// Per dirty entity, the columns the stream named since the last
+    /// settling tick — the delta a segment ships for an entity the
+    /// replica already fully knows.
+    pending_comps: HashMap<EntityId, BTreeSet<ComponentId>>,
+    /// Entities whose complete row image the replica currently holds
+    /// (full-walked at least once and retained since). Only these may
+    /// ship partial (changed-columns-only) updates.
+    known: BTreeSet<EntityId>,
+    /// Component ids whose names this client has been sent (the
+    /// server-side mirror of the replica's name table).
+    named: HashSet<ComponentId>,
     /// Whether the first (full) stream sync has happened.
     stream_primed: bool,
     tick: u32,
     /// rows shipped so far (the bandwidth proxy)
     pub rows_sent: usize,
+    /// wire bytes shipped so far (row framing for full walks, delta
+    /// framing for stream segments — the acceptance metric)
+    pub bytes_sent: usize,
 }
 
 impl Replicator {
@@ -132,9 +236,13 @@ impl Replicator {
             view_anchor: ((0.0, 0.0), 0.0),
             stream_tap: None,
             dirty: BTreeSet::new(),
+            pending_comps: HashMap::new(),
+            known: BTreeSet::new(),
+            named: HashSet::new(),
             stream_primed: false,
             tick: 0,
             rows_sent: 0,
+            bytes_sent: 0,
         }
     }
 
@@ -240,6 +348,11 @@ impl Replicator {
             world.drop_view(view);
         }
         self.dirty.clear();
+        self.pending_comps.clear();
+        self.known.clear();
+        // a later attach may serve a fresh Replica whose name table is
+        // empty: the defines must ship again
+        self.named.clear();
         self.stream_primed = false;
     }
 
@@ -280,6 +393,22 @@ impl Replicator {
             self.sync_live(world, replica);
             return;
         };
+        if world.tap_evicted(tap) {
+            // the retention policy dropped this consumer (the sync loop
+            // stalled past the window): the stream is no longer a
+            // complete delta source, so resynchronize from live state
+            // and re-attach fresh
+            world.detach_tap(tap);
+            self.stream_tap = None;
+            self.dirty.clear();
+            self.pending_comps.clear();
+            self.known.clear();
+            self.named.clear(); // re-ship defines: the replica may be fresh
+            self.stream_primed = false;
+            self.sync_live(world, replica);
+            self.stream_tap = Some(world.attach_tap());
+            return;
+        }
         // fold pending changes into the interest view, re-anchoring it
         // if the focus moved — mirroring sync_live exactly
         let view = self.interest_view.filter(|&v| world.has_view(v));
@@ -300,10 +429,20 @@ impl Replicator {
         } else {
             world.refresh_views();
         }
-        // the segment: every entity a mutation touched since last sync
+        // the pending records name every touched entity — and, per
+        // entity, exactly the columns whose values moved: the delta a
+        // segment ships instead of the whole row
         for change in world.tap_pending(tap) {
-            if let Some(id) = change.op.entity() {
-                self.dirty.insert(id);
+            match &change.op {
+                ChangeOp::Set { id, component, .. }
+                | ChangeOp::Removed { id, component, .. } => {
+                    self.dirty.insert(*id);
+                    self.pending_comps.entry(*id).or_default().insert(*component);
+                }
+                ChangeOp::Spawned { id } | ChangeOp::Despawned { id, .. } => {
+                    self.dirty.insert(*id);
+                }
+                _ => {}
             }
         }
         world.ack_tap(tap);
@@ -322,29 +461,141 @@ impl Replicator {
                 self.dirty.extend(world.view_rows(view).iter().copied());
             }
         }
-        let candidates: Vec<EntityId> = if !self.stream_primed {
+        let (candidates, settled): (Vec<EntityId>, bool) = if !self.stream_primed {
             // first shipment: the full candidate set, like sync_live
             self.stream_primed = true;
             self.dirty.clear();
-            match view {
+            self.pending_comps.clear();
+            let c = match view {
                 Some(v) => {
                     let mut c: Vec<EntityId> = world.view_rows(v).to_vec();
                     c.extend(world.entities().filter(|&e| world.pos(e).is_none()));
                     c
                 }
                 None => world.entity_vec(),
-            }
+            };
+            (c, false)
         } else {
             let c: Vec<EntityId> = self.dirty.iter().copied().collect();
             // a tick that ships everything shippable settles all debts;
             // partial ticks (epoch positions pending) keep entities dirty
             let (send_all_pos, send_state, pos_threshold) = self.ship_plan(self.tick + 1);
-            if send_state && (send_all_pos || pos_threshold.is_some()) {
+            let settled = send_state && (send_all_pos || pos_threshold.is_some());
+            if settled {
                 self.dirty.clear();
             }
-            c
+            (c, settled)
         };
-        self.sync_from(world, replica, Some(&candidates));
+        self.ship_delta_segment(world, replica, &candidates);
+        if settled {
+            self.pending_comps.clear();
+        }
+    }
+
+    /// The delta-encoded ship body: visit `candidates`, decide each row
+    /// under the exact rules of [`Replicator::sync_from`], but collect
+    /// the shipped rows into one [`DeltaSegment`] (id-keyed, names
+    /// shipped once) and reconcile it onto the replica per component.
+    /// Entities the replica does not fully know (first sight, or
+    /// re-entering interest after their rows were dropped) ship their
+    /// whole row; known entities ship only the columns the change
+    /// records named since the last settling tick.
+    fn ship_delta_segment(
+        &mut self,
+        world: &World,
+        replica: &mut Replica,
+        candidates: &[EntityId],
+    ) {
+        self.tick += 1;
+        let (send_all_pos, send_state, pos_threshold) = self.ship_plan(self.tick);
+        let interest = self.interest;
+        let interesting = |id: EntityId, known: bool| -> bool {
+            match world.pos(id) {
+                Some(p) => interest.inside((p.x, p.y), known),
+                None => true,
+            }
+        };
+        // drop rows of dead entities and of entities that left the
+        // interest area (all levels) — and forget their full-image
+        // status, so a return ships the whole row again
+        let in_replica: BTreeSet<EntityId> = replica.rows.keys().map(|(id, _)| *id).collect();
+        let dropped: BTreeSet<EntityId> = in_replica
+            .into_iter()
+            .filter(|&id| !world.is_live(id) || !interesting(id, true))
+            .collect();
+        if !dropped.is_empty() {
+            replica.rows.retain(|(id, _), _| !dropped.contains(id));
+            for id in &dropped {
+                self.known.remove(id);
+            }
+        }
+        // decide-and-collect: decisions read the replica's pre-segment
+        // state (each (entity, component) key is decided at most once
+        // per tick, so deferring the writes cannot change a decision)
+        let mut seg = DeltaSegment::default();
+        let decide = |seg: &mut DeltaSegment,
+                          named: &mut HashSet<ComponentId>,
+                          id: EntityId,
+                          cid: ComponentId,
+                          name: &str,
+                          value: Value| {
+            let key = (id, name.to_string());
+            let ship = if name == "pos" {
+                if send_all_pos {
+                    true
+                } else if let Some(threshold) = pos_threshold {
+                    match (&value, replica.rows.get(&key)) {
+                        (Value::Vec2(sx, sy), Some(Value::Vec2(cx, cy))) => {
+                            let (dx, dy) = (sx - cx, sy - cy);
+                            (dx * dx + dy * dy).sqrt() > threshold
+                        }
+                        _ => true, // client has never seen it
+                    }
+                } else {
+                    // CoarseEpoch off-cycle: ship only brand-new rows
+                    !replica.rows.contains_key(&key)
+                }
+            } else if send_state {
+                replica.rows.get(&key) != Some(&value)
+            } else {
+                !replica.rows.contains_key(&key)
+            };
+            if ship {
+                if named.insert(cid) {
+                    seg.defines.push((cid, name.to_string()));
+                }
+                seg.puts.push((id, cid, value));
+            }
+        };
+        for &id in candidates {
+            if !world.is_live(id)
+                || !interesting(id, replica.rows.contains_key(&(id, "pos".to_string())))
+            {
+                continue;
+            }
+            if !self.known.contains(&id) {
+                // full row: the replica holds no (complete) image
+                for (name, value) in world.components_of(id) {
+                    let cid = world.component_id(name).expect("named column exists");
+                    decide(&mut seg, &mut self.named, id, cid, name, value);
+                }
+                self.known.insert(id);
+            } else if let Some(comps) = self.pending_comps.get(&id) {
+                // delta: only the columns the records named
+                for &cid in comps {
+                    let Some(name) = world.component_name(cid) else {
+                        continue;
+                    };
+                    let Some(value) = world.get(id, name) else {
+                        continue; // removed column: full walks skip it too
+                    };
+                    decide(&mut seg, &mut self.named, id, cid, name, value);
+                }
+            }
+        }
+        self.rows_sent += seg.puts.len();
+        self.bytes_sent += seg.wire_bytes();
+        replica.apply_segment(&seg);
     }
 
     /// Ship one tick of updates from `world` into `replica`.
@@ -381,6 +632,7 @@ impl Replicator {
             world.is_live(*id) && interesting(*id, true)
         });
         let mut rows_sent = 0usize;
+        let mut bytes_sent = 0usize;
         let mut ship_row = |replica: &mut Replica, id: EntityId, comp: &str, value: Value| {
             let key = (id, comp.to_string());
             if comp == "pos" {
@@ -399,6 +651,7 @@ impl Replicator {
                     !replica.rows.contains_key(&key)
                 };
                 if ship {
+                    bytes_sent += row_wire_bytes(comp, &value);
                     replica.rows.insert(key, value);
                     rows_sent += 1;
                 }
@@ -409,6 +662,7 @@ impl Replicator {
                     !replica.rows.contains_key(&key)
                 };
                 if ship {
+                    bytes_sent += row_wire_bytes(comp, &value);
                     replica.rows.insert(key, value);
                     rows_sent += 1;
                 }
@@ -437,6 +691,7 @@ impl Replicator {
             }
         }
         self.rows_sent += rows_sent;
+        self.bytes_sent += bytes_sent;
     }
 
     /// Measure divergence between `world` and `replica` over the whole
@@ -852,6 +1107,15 @@ mod tests {
                     walk.rows_sent
                 );
             }
+            // ISSUE-5 acceptance: delta segments (id-keyed, changed
+            // columns only) must land strictly below the row-shipping
+            // baseline's wire bytes at every consistency level
+            assert!(
+                stream.bytes_sent < walk.bytes_sent,
+                "delta segments must beat row shipping ({level:?}): {} vs {} bytes",
+                stream.bytes_sent,
+                walk.bytes_sent
+            );
             if level == ConsistencyLevel::Strict {
                 // Strict full walks re-ship every member's position
                 // every tick; the stream ships only touched rows — the
@@ -862,8 +1126,72 @@ mod tests {
                     stream.rows_sent,
                     walk.rows_sent
                 );
+                println!(
+                    "strict bandwidth: delta {} bytes vs row-ship {} bytes ({:.1}% of baseline)",
+                    stream.bytes_sent,
+                    walk.bytes_sent,
+                    100.0 * stream.bytes_sent as f64 / walk.bytes_sent as f64
+                );
             }
         }
+    }
+
+    /// A disconnect (`detach_stream`) followed by a reconnect serving a
+    /// **fresh** replica must re-ship the component name table — the
+    /// old client's defines are gone with it.
+    #[test]
+    fn reconnect_with_fresh_replica_reships_name_table() {
+        let interest = Interest {
+            center: (0.0, 0.0),
+            radius: 10.0,
+            margin: 2.0,
+        };
+        let (mut w, ids) = moving_world(8);
+        let mut rep = Replicator::with_interest(ConsistencyLevel::Strict, interest);
+        rep.attach_stream(&mut w);
+        let mut first = Replica::default();
+        rep.sync_stream(&mut w, &mut first);
+        assert!(!first.rows.is_empty());
+        // client disconnects; a new session starts with an empty replica
+        rep.detach_stream(&mut w);
+        rep.attach_stream(&mut w);
+        let mut second = Replica::default();
+        drift(&mut w, &ids, 0.5);
+        rep.sync_stream(&mut w, &mut second);
+        let d = Replicator::divergence_within(&w, &second, interest);
+        assert_eq!(d.mean_pos_error, 0.0);
+        assert_eq!(d.persistent_mismatches, 0);
+    }
+
+    /// A sync loop that stalls past the world's tap-retention window is
+    /// evicted rather than pinning the record window; the next
+    /// `sync_stream` detects the eviction, resynchronizes from live
+    /// state, and re-attaches — the replica ends exact either way.
+    #[test]
+    fn evicted_stream_tap_resyncs_from_live_state() {
+        let (mut w, ids) = moving_world(10);
+        w.set_tap_retention(Some(32));
+        let mut rep = Replicator::new(ConsistencyLevel::Strict);
+        rep.attach_stream(&mut w);
+        let mut client = Replica::default();
+        rep.sync_stream(&mut w, &mut client);
+        // the client stalls while the world churns far past the window
+        for _ in 0..40 {
+            drift(&mut w, &ids, 0.5);
+        }
+        assert!(
+            w.retained_changes() <= 33,
+            "window bounded despite the stalled consumer"
+        );
+        w.set(ids[0], "hp", Value::Float(7.0)).unwrap();
+        rep.sync_stream(&mut w, &mut client);
+        let d = Replicator::divergence(&w, &client);
+        assert_eq!(d.mean_pos_error, 0.0, "resync restored exactness");
+        assert_eq!(d.persistent_mismatches, 0);
+        // the re-attached tap streams incrementally again
+        drift(&mut w, &ids, 0.5);
+        rep.sync_stream(&mut w, &mut client);
+        assert_eq!(Replicator::divergence(&w, &client).mean_pos_error, 0.0);
     }
 
     #[test]
