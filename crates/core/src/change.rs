@@ -63,7 +63,12 @@
 //!   slowest consumer has consumed them, then reclaimed — unless a
 //!   retention limit is set ([`crate::world::World::set_tap_retention`]),
 //!   in which case a tap lagging past the limit is **evicted** instead
-//!   of pinning the window forever (the leaked-consumer guard).
+//!   of pinning the window forever (the leaked-consumer guard). The
+//!   exception is a **pinned** tap
+//!   ([`crate::world::World::attach_tap_pinned`]): a consumer whose
+//!   misses would be data loss — the durability tap — is never evicted;
+//!   its laggard pressure is answered by backpressure at its commit
+//!   boundary, not by dropping records.
 //!
 //! [`WriteBatch`] is the batch commit surface: the tick executor's
 //! merged effect buffers resolve into one batch and commit through
@@ -161,6 +166,59 @@ impl ChangeOp {
     }
 }
 
+/// The watermark surface an asynchronous durability pipeline exposes:
+/// how far commits have been handed to the writer, and how far the
+/// writer has made them durable. Consumers that must not run ahead of
+/// durability — a Strict-level replicator shipping state that a primary
+/// crash could otherwise un-happen — gate on [`DurabilityWatermark::is_drained`].
+///
+/// Sequence numbers are commit sequences (one per commit boundary, not
+/// per mutation); `0` means "nothing yet". Implemented by
+/// `gamedb-persist`'s `WalStore` in both sync and async modes.
+pub trait DurabilityWatermark {
+    /// Highest commit sequence handed to the durability pipeline.
+    fn enqueued_seq(&self) -> u64;
+    /// Highest commit sequence durably flushed (the ack watermark).
+    fn durable_seq(&self) -> u64;
+    /// True when everything enqueued is durable — the unacked window is
+    /// empty, so nothing observable could be lost by a crash right now.
+    fn is_drained(&self) -> bool {
+        self.durable_seq() >= self.enqueued_seq()
+    }
+
+    /// A copyable point-in-time reading of both sequences. Take one
+    /// when the borrow checker forbids holding the pipeline itself
+    /// alongside a mutable borrow of the world it persists (the
+    /// replication call shape: `sync_stream_durable(store.world_mut(),
+    /// …, &store.snapshot_watermark())`).
+    fn snapshot_watermark(&self) -> WatermarkSnapshot {
+        WatermarkSnapshot {
+            enqueued: self.enqueued_seq(),
+            durable: self.durable_seq(),
+        }
+    }
+}
+
+/// A detached [`DurabilityWatermark`] reading — see
+/// [`DurabilityWatermark::snapshot_watermark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WatermarkSnapshot {
+    /// Highest commit sequence handed to the durability pipeline.
+    pub enqueued: u64,
+    /// Highest commit sequence durably flushed.
+    pub durable: u64,
+}
+
+impl DurabilityWatermark for WatermarkSnapshot {
+    fn enqueued_seq(&self) -> u64 {
+        self.enqueued
+    }
+
+    fn durable_seq(&self) -> u64 {
+        self.durable
+    }
+}
+
 /// Handle to an attached change-stream tap (see
 /// [`crate::world::World::attach_tap`]). The handle is only meaningful
 /// against the world (or clone lineage) that issued it.
@@ -172,8 +230,13 @@ pub struct TapId(pub(crate) u32);
 enum TapSlot {
     /// Never attached, or detached — free for reuse.
     Free,
-    /// Attached, cursor at the contained seq.
-    Active(u64),
+    /// Attached, cursor at the contained seq. A **pinned** tap is
+    /// exempt from retention eviction: it is a consumer that must never
+    /// miss a record (the durability tap), so a laggard is backpressured
+    /// by its own commit cadence instead of silently dropped — the
+    /// window grows past the retention limit rather than losing
+    /// durability.
+    Active { cursor: u64, pinned: bool },
     /// Evicted by the retention policy: the consumer leaked its tap (or
     /// fell hopelessly behind) and the stream stopped retaining records
     /// for it. Reads return nothing; the slot frees on detach.
@@ -227,7 +290,7 @@ impl ChangeStream {
     /// are recorded only then).
     #[inline]
     pub fn has_taps(&self) -> bool {
-        self.taps.iter().any(|t| matches!(t, TapSlot::Active(_)))
+        self.taps.iter().any(|t| matches!(t, TapSlot::Active { .. }))
     }
 
     /// Append a record stamped with the current tick.
@@ -269,13 +332,17 @@ impl ChangeStream {
         }
     }
 
-    /// Evict every tap whose lag exceeds `limit`, then reclaim. The
-    /// standing-view cursor is never evicted: the world folds it
-    /// automatically at every tick, so it cannot leak.
+    /// Evict every unpinned tap whose lag exceeds `limit`, then
+    /// reclaim. The standing-view cursor is never evicted: the world
+    /// folds it automatically at every tick, so it cannot leak. Pinned
+    /// taps (durability) are never evicted either — a lagging durable
+    /// flusher must be backpressured by its caller, not silently
+    /// dropped, so the window is allowed to outgrow the limit while a
+    /// pinned laggard drains.
     fn evict_laggards(&mut self, limit: usize) {
         let horizon = self.next.saturating_sub(limit as u64);
         for slot in &mut self.taps {
-            if let TapSlot::Active(cursor) = slot {
+            if let TapSlot::Active { cursor, pinned: false } = slot {
                 if *cursor < horizon {
                     *slot = TapSlot::Evicted;
                 }
@@ -301,12 +368,44 @@ impl ChangeStream {
 
     /// Attach a tap whose cursor starts at the current end of stream.
     pub fn attach(&mut self) -> TapId {
+        self.attach_with(false)
+    }
+
+    /// Attach a **pinned** tap: exempt from retention eviction (see
+    /// [`ChangeStream::evict_laggards`]). For consumers whose misses
+    /// are data loss — the durability tap.
+    pub fn attach_pinned(&mut self) -> TapId {
+        self.attach_with(true)
+    }
+
+    fn attach_with(&mut self, pinned: bool) -> TapId {
+        let slot = TapSlot::Active {
+            cursor: self.next,
+            pinned,
+        };
         if let Some(i) = self.taps.iter().position(|t| *t == TapSlot::Free) {
-            self.taps[i] = TapSlot::Active(self.next);
+            self.taps[i] = slot;
             TapId(i as u32)
         } else {
-            self.taps.push(TapSlot::Active(self.next));
+            self.taps.push(slot);
             TapId((self.taps.len() - 1) as u32)
+        }
+    }
+
+    /// True when `tap` is attached and pinned.
+    pub fn tap_pinned(&self, tap: TapId) -> bool {
+        matches!(
+            self.taps.get(tap.0 as usize),
+            Some(TapSlot::Active { pinned: true, .. })
+        )
+    }
+
+    /// Records `tap` has not consumed yet, as a count (its lag behind
+    /// the head of the stream); 0 for detached or evicted taps.
+    pub fn tap_lag(&self, tap: TapId) -> u64 {
+        match self.taps.get(tap.0 as usize) {
+            Some(TapSlot::Active { cursor, .. }) => self.next - *cursor,
+            _ => 0,
         }
     }
 
@@ -333,7 +432,7 @@ impl ChangeStream {
     /// evicted taps).
     pub fn tap_pending(&self, tap: TapId) -> &[Change] {
         match self.taps.get(tap.0 as usize) {
-            Some(TapSlot::Active(cursor)) => &self.records[self.idx(*cursor)..],
+            Some(TapSlot::Active { cursor, .. }) => &self.records[self.idx(*cursor)..],
             _ => &[],
         }
     }
@@ -341,8 +440,8 @@ impl ChangeStream {
     /// Move the tap's cursor past everything recorded so far. Cursors
     /// only move forward: a tap never sees a record twice.
     pub fn ack(&mut self, tap: TapId) {
-        if let Some(slot @ TapSlot::Active(_)) = self.taps.get_mut(tap.0 as usize) {
-            *slot = TapSlot::Active(self.next);
+        if let Some(TapSlot::Active { cursor, .. }) = self.taps.get_mut(tap.0 as usize) {
+            *cursor = self.next;
             self.gc();
         }
     }
@@ -358,7 +457,7 @@ impl ChangeStream {
     fn gc(&mut self) {
         let mut min = self.views_at;
         for slot in &self.taps {
-            if let TapSlot::Active(cursor) = slot {
+            if let TapSlot::Active { cursor, .. } = slot {
                 min = min.min(*cursor);
             }
         }
@@ -576,6 +675,48 @@ mod tests {
         let reused = s.attach();
         assert_eq!(reused.0, leaked.0, "slot is reusable after detach");
         assert!(!s.tap_evicted(reused));
+    }
+
+    /// ISSUE-6 satellite: retention must never evict the durability
+    /// tap. A pinned laggard keeps its records — the window outgrows
+    /// the limit instead — while unpinned laggards are still evicted.
+    #[test]
+    fn pinned_tap_survives_retention_pressure() {
+        let mut s = ChangeStream::default();
+        s.set_retention(Some(16));
+        let durability = s.attach_pinned();
+        let leaked = s.attach();
+        s.mark_views_folded();
+        for i in 0..200 {
+            s.record(0, op(i));
+            s.mark_views_folded();
+        }
+        assert!(s.tap_evicted(leaked), "unpinned laggard still evicted");
+        assert!(!s.tap_evicted(durability), "pinned tap never evicted");
+        assert!(s.tap_pinned(durability));
+        assert!(!s.tap_pinned(leaked));
+        assert_eq!(
+            s.tap_pending(durability).len(),
+            200,
+            "every record retained for the pinned tap"
+        );
+        assert_eq!(s.tap_lag(durability), 200);
+        // once the pinned consumer drains, the window reclaims
+        s.ack(durability);
+        assert_eq!(s.retained(), 0);
+        assert_eq!(s.tap_lag(durability), 0);
+    }
+
+    #[test]
+    fn pinned_tap_detach_frees_slot_and_clears_pin() {
+        let mut s = ChangeStream::default();
+        let t = s.attach_pinned();
+        assert!(s.tap_pinned(t));
+        assert!(s.detach(t));
+        assert!(!s.tap_pinned(t));
+        let u = s.attach();
+        assert_eq!(u.0, t.0, "slot reused");
+        assert!(!s.tap_pinned(u), "pin does not leak into the reused slot");
     }
 
     #[test]

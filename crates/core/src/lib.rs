@@ -70,7 +70,9 @@ pub mod query;
 pub mod view;
 pub mod world;
 
-pub use change::{BatchOp, Change, ChangeOp, TapId, WriteBatch};
+pub use change::{
+    BatchOp, Change, ChangeOp, DurabilityWatermark, TapId, WatermarkSnapshot, WriteBatch,
+};
 pub use column::{Column, ColumnData};
 pub use effect::{Effect, EffectBuffer, SpawnRequest};
 pub use entity::{EntityAllocator, EntityId};

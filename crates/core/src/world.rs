@@ -401,6 +401,30 @@ impl World {
         self.changes.attach()
     }
 
+    /// Attach a **pinned** change-stream tap: identical to
+    /// [`World::attach_tap`] except the retention policy
+    /// ([`World::set_tap_retention`]) never evicts it. Pinning is for
+    /// consumers whose missed records are data loss — the durability
+    /// tap a `WalStore` drains. A pinned laggard keeps the record
+    /// window alive past the retention limit; bounding it is the
+    /// consumer's job (commit cadence + backpressure), not the
+    /// stream's.
+    pub fn attach_tap_pinned(&mut self) -> TapId {
+        self.changes.attach_pinned()
+    }
+
+    /// True when `tap` is attached and pinned (exempt from retention
+    /// eviction).
+    pub fn tap_pinned(&self, tap: TapId) -> bool {
+        self.changes.tap_pinned(tap)
+    }
+
+    /// How many records `tap` is lagging behind the head of the change
+    /// stream (0 for detached or evicted taps).
+    pub fn tap_lag(&self, tap: TapId) -> u64 {
+        self.changes.tap_lag(tap)
+    }
+
     /// Detach a tap; returns whether it was attached. Records it had not
     /// consumed are released to the other consumers' pace.
     pub fn detach_tap(&mut self, tap: TapId) -> bool {
@@ -440,8 +464,9 @@ impl World {
     /// `limit` records is **evicted** — it reads nothing from then on
     /// ([`World::tap_evicted`] reports it) and must resynchronize from
     /// current state after re-attaching. `None` (the default) retains
-    /// forever; durability taps that must never miss a record should
-    /// leave it unset or ack within the window.
+    /// forever. Pinned taps ([`World::attach_tap_pinned`]) are exempt:
+    /// a durability tap is never evicted, the window simply outgrows
+    /// the limit until its owner drains it.
     pub fn set_tap_retention(&mut self, limit: Option<usize>) {
         self.changes.set_retention(limit);
     }

@@ -4,10 +4,12 @@
 //! The paper prices checkpoint policies by how much a crash loses;
 //! that accounting is only honest if recovery actually hands back the
 //! database it claims to. This module is the proof harness: a seeded
-//! scripted workload runs against a [`WalStore`] (synchronous logging,
-//! so every record is durable the moment its call returns), cloning the
-//! live in-memory world after every durable write — the *never-crashed
-//! oracle*. The sweep then simulates a crash at every byte offset of
+//! scripted workload runs against a [`WalStore`] — synchronous logging
+//! (every record durable the moment its call returns) or, with
+//! [`SweepConfig::async_writer`], the background writer pipeline with
+//! the driver ack-tracking each commit via [`WalStore::wait_durable`] —
+//! cloning the live in-memory world after every durable write: the
+//! *never-crashed oracle*. The sweep then simulates a crash at every byte offset of
 //! the durable log, under three fault models ([`FaultKind`]):
 //!
 //! * **Torn** — the append tears mid-record at the offset.
@@ -41,7 +43,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::backend::{temp_dir, Backend, FaultKind};
 use crate::wal::{decode_log, WalRecord};
-use crate::walstore::{recover_from_parts, StoreError, WalStore};
+use crate::walstore::{recover_from_parts, FlushPolicy, StoreError, WalStore};
 
 /// Sweep parameters.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +56,13 @@ pub struct SweepConfig {
     /// Test every `stride`-th byte offset (1 = every offset — the
     /// acceptance setting; CI may bound larger sweeps).
     pub stride: usize,
+    /// Run the workload through the **background WAL writer**
+    /// ([`WalStore::new_async`]) instead of synchronous logging. The
+    /// driver ack-tracks each commit ([`WalStore::wait_durable`] of
+    /// [`WalStore::last_enqueued`]) before capturing its oracle state,
+    /// so durable boundaries stay exact — the async pipeline changes
+    /// *when* bytes become durable, never *which* bytes.
+    pub async_writer: bool,
 }
 
 impl Default for SweepConfig {
@@ -62,6 +71,7 @@ impl Default for SweepConfig {
             seed: 0xE9,
             ticks: 50,
             stride: 1,
+            async_writer: false,
         }
     }
 }
@@ -106,13 +116,17 @@ fn seed_world() -> World {
 }
 
 impl Driver {
-    fn new(seed: u64, label: &str) -> Result<Driver, StoreError> {
+    fn new(seed: u64, label: &str, async_writer: bool) -> Result<Driver, StoreError> {
         let backend = Backend::open(temp_dir(label)).unwrap();
         let initial = seed_world();
         // byte 0 of the log: the store exists, no record survives — a
         // crash before the base mark recovers to the initial world
         let oracle = vec![(0, initial.clone())];
-        let store = WalStore::new(initial, backend, 1)?;
+        let store = if async_writer {
+            WalStore::new_async(initial, backend, FlushPolicy::flush_every(1, 1000), 32)?
+        } else {
+            WalStore::new(initial, backend, 1)?
+        };
         let mut d = Driver {
             store,
             oracle,
@@ -124,9 +138,16 @@ impl Driver {
     }
 
     /// Commit the pending change-stream segment (one WAL frame) and
-    /// capture the oracle at the new durable boundary.
+    /// capture the oracle at the new durable boundary. In async-writer
+    /// mode the driver ack-tracks first — `wait_durable` of everything
+    /// enqueued — so the capture happens at an exact durable boundary
+    /// (and writer-side faults surface here, like production callers
+    /// see them).
     fn commit(&mut self) -> Result<(), StoreError> {
         self.store.commit()?;
+        if self.store.is_async() {
+            self.store.wait_durable(self.store.last_enqueued())?;
+        }
         self.snap();
         Ok(())
     }
@@ -461,7 +482,13 @@ pub fn assert_equivalent(recovered: &World, oracle: &World) -> Result<(), String
 /// holds the result to the never-crashed oracle. Errors name the first
 /// offending `(fault, offset)`.
 pub fn run_sweep(cfg: SweepConfig) -> Result<SweepReport, String> {
-    let mut driver = Driver::new(cfg.seed, "crash-sweep").map_err(|e| e.to_string())?;
+    let label = if cfg.async_writer {
+        "crash-sweep-async"
+    } else {
+        "crash-sweep"
+    };
+    let mut driver =
+        Driver::new(cfg.seed, label, cfg.async_writer).map_err(|e| e.to_string())?;
     driver.run(cfg.ticks).map_err(|e| e.to_string())?;
 
     let log = driver
@@ -559,13 +586,44 @@ pub fn run_sweep(cfg: SweepConfig) -> Result<SweepReport, String> {
 /// per offset) but exercises the production wiring, durable snapshot
 /// ordering included.
 pub fn run_live_torn(seed: u64, ticks: u64, offset: u64) -> Result<(), String> {
-    let mut driver = Driver::new(seed, "crash-live").map_err(|e| e.to_string())?;
+    run_live_torn_impl(seed, ticks, offset, false)
+}
+
+/// [`run_live_torn`] through the **background writer**: the fault fires
+/// on the writer thread mid-flush, the writer freezes the durable
+/// watermark and dies, the next driver commit/wait surfaces the failure
+/// (the crash, from the workload's point of view), and recovery through
+/// the production `crash_and_recover` must still match the oracle at
+/// the durable prefix.
+pub fn run_live_torn_async(seed: u64, ticks: u64, offset: u64) -> Result<(), String> {
+    run_live_torn_impl(seed, ticks, offset, true)
+}
+
+fn run_live_torn_impl(
+    seed: u64,
+    ticks: u64,
+    offset: u64,
+    async_writer: bool,
+) -> Result<(), String> {
+    let label = if async_writer {
+        "crash-live-async"
+    } else {
+        "crash-live"
+    };
+    let mut driver = Driver::new(seed, label, async_writer).map_err(|e| e.to_string())?;
     {
         // schedule on the live backend before the workload starts
-        let backend = driver.store.backend_mut();
+        let mut backend = driver.store.backend_mut();
         backend.schedule_log_fault(offset, FaultKind::Torn);
     }
-    driver.run(ticks).map_err(|e| e.to_string())?;
+    if let Err(e) = driver.run(ticks) {
+        // an async writer dies at the fired fault and surfaces a Writer
+        // error on the next commit/wait — that IS the simulated crash;
+        // any other error is a real harness failure
+        if !matches!(e, StoreError::Writer(_)) {
+            return Err(e.to_string());
+        }
+    }
     let (store, _) = driver
         .store
         .crash_and_recover()
@@ -615,7 +673,7 @@ mod tests {
         let report = run_sweep(SweepConfig {
             seed: 0x5EED,
             ticks: 30,
-            stride: 1,
+            ..SweepConfig::default()
         })
         .unwrap();
         assert_eq!(report.torn_tested, report.log_bytes + 1);
@@ -629,8 +687,42 @@ mod tests {
             seed: 7,
             ticks: 10,
             stride: 7,
+            ..SweepConfig::default()
         };
         assert_eq!(run_sweep(cfg).unwrap(), run_sweep(cfg).unwrap());
+    }
+
+    /// ISSUE-6 acceptance: the full seeded 50-tick sweep with the
+    /// **background writer** draining the durability tap — every byte
+    /// offset, all three fault models, recovery bit-identical to the
+    /// never-crashed oracle. The report must equal the sync-mode report
+    /// exactly: the async pipeline changes *when* bytes become durable,
+    /// never *which* bytes, so both modes sweep the same log.
+    #[test]
+    fn crash_sweep_async_writer_every_offset_recovers_exactly() {
+        let sync_report = run_sweep(SweepConfig::default()).unwrap();
+        let async_report = run_sweep(SweepConfig {
+            async_writer: true,
+            ..SweepConfig::default()
+        })
+        .unwrap();
+        assert_eq!(
+            async_report, sync_report,
+            "async writer must produce the identical durable log"
+        );
+        assert_eq!(async_report.torn_tested, async_report.log_bytes + 1);
+        assert!(async_report.checkpoints >= 2);
+    }
+
+    /// Live fault injection with the fault firing **on the writer
+    /// thread**: the workload sees the failure on its next ack, and
+    /// production recovery still matches the oracle at the durable
+    /// prefix.
+    #[test]
+    fn live_torn_injection_async_matches_oracle() {
+        for offset in [0u64, 5, 40, 173, 512, 1201] {
+            run_live_torn_async(11, 12, offset).unwrap();
+        }
     }
 
     /// Live injection through the Backend's scheduled-fault path: torn

@@ -53,11 +53,13 @@ pub use backend::{temp_dir, Backend, BackendError, FaultKind};
 pub use checkpoint::{
     CheckpointPolicy, GameStore, Importance, RecoveryReport, SnapshotMode, StoreStats,
 };
-pub use crashpoint::{assert_equivalent, run_live_torn, run_sweep, SweepConfig, SweepReport};
+pub use crashpoint::{
+    assert_equivalent, run_live_torn, run_live_torn_async, run_sweep, SweepConfig, SweepReport,
+};
 pub use delta::{apply_delta, encode_delta, row_hashes, RowHashes};
 pub use schema::{
     BlobStore, Migration, MigrationError, MigrationStats, SchemaVersion, StructuredStore,
 };
 pub use snapshot::{checksum, decode, encode, SnapshotError};
 pub use wal::{decode_log, replay_after_checkpoint, varint_len, CompRef, WalRecord};
-pub use walstore::{recover_from_parts, StoreError, WalStats, WalStore};
+pub use walstore::{recover_from_parts, CommitSeq, FlushPolicy, StoreError, WalStats, WalStore};

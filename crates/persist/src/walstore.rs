@@ -7,21 +7,49 @@
 //! *didn't* go through the mirror — a `ScriptEngine::tick`, an effect
 //! batch, a subsystem holding `&mut World` — was silently not durable.
 //! Now [`WalStore`] attaches a change-stream tap
-//! ([`World::attach_tap`]): callers mutate [`WalStore::world_mut`]
+//! ([`World::attach_tap_pinned`]): callers mutate [`WalStore::world_mut`]
 //! however they like (individual writes, `World::apply_batch`, whole
 //! scripted ticks) and [`WalStore::commit`] turns the pending stream
 //! segment into **one** WAL frame ([`WalRecord::Batch`] when the
-//! segment holds more than one op) and flushes per the group-commit
-//! policy.
+//! segment holds more than one op).
 //!
-//! The knob is `group_commit`: how many logged ops may sit in the OS
-//! buffer before a durable flush. 1 = synchronous logging (lose nothing
-//! committed, pay a flush per commit); N = group commit (lose at most
-//! the unflushed ops, the standard database trade). Mutations not yet
+//! ## Two durability modes
+//!
+//! * **Sync** ([`WalStore::new`]): frame encoding and the durable flush
+//!   run on the caller's thread. The knob is `group_commit`: how many
+//!   logged ops may sit in the OS buffer before a durable flush. 1 =
+//!   synchronous logging (lose nothing committed, pay a flush per
+//!   commit); N = group commit (lose at most the unflushed ops).
+//! * **Async** ([`WalStore::new_async`]): [`WalStore::commit`] is
+//!   *enqueue-and-return*. The pending segment is handed over a bounded
+//!   channel to a background **writer thread** that encodes the frame,
+//!   appends it, and issues the durable flush per a time/size
+//!   group-commit policy ([`FlushPolicy::flush_every`]). Every commit
+//!   is assigned a monotone [`CommitSeq`]; the writer publishes a
+//!   **durable watermark** as flushes land. Callers ack-track with
+//!   [`WalStore::last_enqueued`] / [`WalStore::last_durable`] /
+//!   [`WalStore::wait_durable`]. A full queue **blocks** the committer
+//!   (backpressure — never drops), and writer-side I/O errors are
+//!   surfaced on the next commit/wait instead of being lost. This is
+//!   the paper's tick-rate contract: the scripted tick never blocks on
+//!   fsync; durability happens underneath, bounded by the unacked
+//!   window `last_enqueued - last_durable`.
+//!
+//! In both modes the durability tap is **pinned**
+//! ([`World::attach_tap_pinned`]): a tap-retention policy on the
+//! store's world can never evict it, so a lagging flusher backpressures
+//! instead of silently un-happening durability. Mutations not yet
 //! [`WalStore::commit`]ted are lost by a crash outright — commit is the
 //! durability boundary.
 
-use gamedb_core::{CoreError, Query, TapId, ViewId, World};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use gamedb_core::{Change, CoreError, DurabilityWatermark, Query, TapId, ViewId, World};
 
 use crate::backend::{Backend, BackendError};
 use crate::snapshot;
@@ -70,6 +98,63 @@ pub fn recover_from_parts<S: AsRef<[u8]>>(
     Err(last_err.unwrap_or(StoreError::Backend(BackendError::NoSnapshot)))
 }
 
+/// A monotone commit sequence number: one per commit boundary handed to
+/// the durability pipeline (frames and checkpoint marks both consume
+/// one). `CommitSeq(0)` means "nothing committed yet". The durable
+/// watermark ([`WalStore::last_durable`]) is the highest `CommitSeq`
+/// whose frame has been durably flushed; everything at or below it
+/// survives any crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CommitSeq(pub u64);
+
+impl CommitSeq {
+    /// The sequence as a bare integer.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for CommitSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The background writer's time/size group-commit policy: flush when
+/// `every_ops` logged ops have accumulated **or** when the oldest
+/// unflushed frame has waited `max_delay` — whichever comes first. A
+/// [`WalStore::wait_durable`] call also hints the writer to flush
+/// immediately, so waiters never sit out the full delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush once this many ops are buffered in the OS (size trigger).
+    pub every_ops: usize,
+    /// Flush once the oldest unflushed frame is this old (time trigger).
+    pub max_delay: Duration,
+}
+
+impl FlushPolicy {
+    /// One writer-clock tick of the time trigger (the granularity
+    /// `flush_every`'s `max_delay_ticks` is denominated in).
+    pub const TICK: Duration = Duration::from_millis(1);
+
+    /// Build a policy: flush every `n_ops` ops or every
+    /// `max_delay_ticks` writer-clock ticks (1 tick = 1 ms), whichever
+    /// fires first.
+    pub fn flush_every(n_ops: usize, max_delay_ticks: u64) -> FlushPolicy {
+        FlushPolicy {
+            every_ops: n_ops.max(1),
+            max_delay: Self::TICK * (max_delay_ticks.max(1) as u32),
+        }
+    }
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy::flush_every(64, 2)
+    }
+}
+
 /// Store statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WalStats {
@@ -78,10 +163,316 @@ pub struct WalStats {
     pub records: u64,
     /// Mutation ops captured across all committed frames.
     pub ops: u64,
-    /// Durable flushes issued.
+    /// Durable flushes issued **on the caller's thread** (sync-mode
+    /// commits, checkpoints, compaction). Async-writer flushes are
+    /// counted by [`WalStore::writer_flushes`].
     pub flushes: u64,
     /// Snapshots written.
     pub checkpoints: u64,
+}
+
+/// What the background writer is told to do. Commands flow through one
+/// FIFO channel, so ordering between frames and checkpoint snapshots is
+/// the enqueue order — exactly the order the sync path would have
+/// written them in.
+enum WriterCmd {
+    /// One commit's pending change-stream segment. The writer encodes
+    /// it (one frame; `Batch` when multi-op) and appends it.
+    Frame { seq: u64, changes: Vec<Change> },
+    /// A checkpoint: install the pre-encoded snapshot, append its mark,
+    /// and flush durably.
+    Checkpoint {
+        seq: u64,
+        snapshot_seq: u64,
+        snapshot: Bytes,
+    },
+    /// Flush now if anything is buffered (a `wait_durable` hint).
+    Flush,
+    /// Test hook: block until the gate closes — a deterministically
+    /// stalled writer for backpressure regression tests.
+    #[cfg(test)]
+    Stall(Receiver<()>),
+}
+
+/// State the writer publishes back to the store.
+#[derive(Debug, Default)]
+struct WriterState {
+    /// Highest [`CommitSeq`] durably flushed.
+    durable: u64,
+    /// Durable flushes the writer has issued.
+    flushes: u64,
+    /// A writer-side failure (I/O error, backend crash). Surfaced on
+    /// the next commit/wait; the writer thread has exited.
+    error: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct WriterShared {
+    state: Mutex<WriterState>,
+    durable_cv: Condvar,
+    /// Crash simulation: when set, the writer exits immediately without
+    /// flushing — in-flight frames vanish like any other unflushed
+    /// write.
+    abort: AtomicBool,
+}
+
+impl WriterShared {
+    fn fail(&self, msg: String) {
+        let mut st = self.state.lock().expect("writer state poisoned");
+        if st.error.is_none() {
+            st.error = Some(msg);
+        }
+        drop(st);
+        self.durable_cv.notify_all();
+    }
+}
+
+/// Flush the backend and publish the durable watermark up to `upto`.
+/// Returns false when the writer must stop (I/O error, or the backend
+/// crashed at a scheduled fault — claiming durability past a crash
+/// would be a lie, so the watermark freezes at the last clean flush).
+fn writer_flush(backend: &Mutex<Backend>, shared: &WriterShared, upto: u64) -> bool {
+    {
+        let mut b = backend.lock().expect("backend poisoned");
+        if let Err(e) = b.flush() {
+            drop(b);
+            shared.fail(format!("writer flush failed: {e}"));
+            return false;
+        }
+        if b.fault_fired() {
+            drop(b);
+            shared.fail(
+                "backend crashed at a scheduled fault: durability stops at the last clean flush"
+                    .into(),
+            );
+            return false;
+        }
+    }
+    let mut st = shared.state.lock().expect("writer state poisoned");
+    st.durable = st.durable.max(upto);
+    st.flushes += 1;
+    drop(st);
+    shared.durable_cv.notify_all();
+    true
+}
+
+/// The background writer: drain the command channel, append frames,
+/// group-commit per the policy. Exits on clean disconnect (flushing
+/// everything buffered first), on abort (flushing nothing — crash
+/// semantics), or on a backend failure (error published).
+fn writer_loop(
+    rx: Receiver<WriterCmd>,
+    backend: Arc<Mutex<Backend>>,
+    shared: Arc<WriterShared>,
+    policy: FlushPolicy,
+) {
+    let mut buffered_ops = 0usize;
+    let mut appended_seq = 0u64;
+    let mut deadline: Option<Instant> = None;
+    loop {
+        if shared.abort.load(Ordering::SeqCst) {
+            return;
+        }
+        let msg = match deadline {
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    Err(RecvTimeoutError::Timeout)
+                } else {
+                    rx.recv_timeout(d - now)
+                }
+            }
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        };
+        if shared.abort.load(Ordering::SeqCst) {
+            return;
+        }
+        match msg {
+            Ok(WriterCmd::Frame { seq, changes }) => {
+                // frame encoding happens here, off the mutating thread
+                let mut ops: Vec<WalRecord> =
+                    changes.iter().map(WalRecord::from_change).collect();
+                let record = if ops.len() == 1 {
+                    ops.pop().expect("len checked")
+                } else {
+                    WalRecord::Batch { ops }
+                };
+                backend
+                    .lock()
+                    .expect("backend poisoned")
+                    .append_log(&record.encode());
+                buffered_ops += changes.len();
+                appended_seq = seq;
+                if buffered_ops >= policy.every_ops {
+                    if !writer_flush(&backend, &shared, appended_seq) {
+                        return;
+                    }
+                    buffered_ops = 0;
+                    deadline = None;
+                } else if deadline.is_none() {
+                    deadline = Some(Instant::now() + policy.max_delay);
+                }
+            }
+            Ok(WriterCmd::Checkpoint {
+                seq,
+                snapshot_seq,
+                snapshot,
+            }) => {
+                {
+                    let mut b = backend.lock().expect("backend poisoned");
+                    b.put_snapshot(snapshot_seq, snapshot);
+                    b.append_log(&WalRecord::CheckpointMark { seq: snapshot_seq }.encode());
+                }
+                appended_seq = seq;
+                if !writer_flush(&backend, &shared, appended_seq) {
+                    return;
+                }
+                buffered_ops = 0;
+                deadline = None;
+            }
+            Ok(WriterCmd::Flush) | Err(RecvTimeoutError::Timeout) => {
+                if buffered_ops > 0 {
+                    if !writer_flush(&backend, &shared, appended_seq) {
+                        return;
+                    }
+                    buffered_ops = 0;
+                }
+                deadline = None;
+            }
+            #[cfg(test)]
+            Ok(WriterCmd::Stall(gate)) => {
+                let _ = gate.recv();
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // clean shutdown: make everything enqueued durable
+                if buffered_ops > 0 {
+                    writer_flush(&backend, &shared, appended_seq);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// The background half of an async-mode store.
+struct AsyncWriter {
+    tx: Option<Sender<WriterCmd>>,
+    shared: Arc<WriterShared>,
+    handle: Option<JoinHandle<()>>,
+    policy: FlushPolicy,
+    queue_cap: usize,
+}
+
+impl AsyncWriter {
+    fn spawn(backend: Arc<Mutex<Backend>>, policy: FlushPolicy, queue_cap: usize) -> AsyncWriter {
+        let shared = Arc::new(WriterShared::default());
+        let (tx, rx) = bounded(queue_cap);
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("wal-writer".into())
+            .spawn(move || writer_loop(rx, backend, shared2, policy))
+            .expect("spawn wal writer thread");
+        AsyncWriter {
+            tx: Some(tx),
+            shared,
+            handle: Some(handle),
+            policy,
+            queue_cap,
+        }
+    }
+
+    /// Surface a stored writer-side failure.
+    fn check(&self) -> Result<(), StoreError> {
+        let st = self.shared.state.lock().expect("writer state poisoned");
+        match &st.error {
+            Some(e) => Err(StoreError::Writer(e.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Blocking enqueue (backpressure); a dead writer surfaces its
+    /// stored error instead.
+    fn send(&self, cmd: WriterCmd) -> Result<(), StoreError> {
+        let tx = self.tx.as_ref().expect("writer channel open");
+        if tx.send(cmd).is_err() {
+            self.check()?;
+            return Err(StoreError::Writer("wal writer exited".into()));
+        }
+        Ok(())
+    }
+
+    fn durable(&self) -> u64 {
+        self.shared.state.lock().expect("writer state poisoned").durable
+    }
+
+    fn wait_durable(&self, seq: u64) -> Result<(), StoreError> {
+        {
+            let st = self.shared.state.lock().expect("writer state poisoned");
+            if st.durable >= seq {
+                return Ok(());
+            }
+            if let Some(e) = &st.error {
+                return Err(StoreError::Writer(e.clone()));
+            }
+        }
+        // hint the writer so the waiter doesn't sit out max_delay
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(WriterCmd::Flush);
+        }
+        let mut st = self.shared.state.lock().expect("writer state poisoned");
+        loop {
+            if st.durable >= seq {
+                return Ok(());
+            }
+            if let Some(e) = &st.error {
+                return Err(StoreError::Writer(e.clone()));
+            }
+            st = self
+                .shared
+                .durable_cv
+                .wait(st)
+                .expect("writer state poisoned");
+        }
+    }
+
+    /// Crash simulation: the writer dies mid-flight. Nothing buffered
+    /// is flushed; in-flight queue contents vanish with the thread.
+    fn abort_for_crash(&mut self) {
+        self.shared.abort.store(true, Ordering::SeqCst);
+        self.tx = None; // wake a blocked recv via disconnect
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AsyncWriter {
+    fn drop(&mut self) {
+        // clean shutdown: disconnect, let the writer flush the tail,
+        // join. (A crashed store already aborted; both are None then.)
+        self.tx = None;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Durability mode (and its live state).
+enum Mode {
+    Sync {
+        group_commit: usize,
+        /// ops appended to the OS buffer since the last durable flush
+        pending: usize,
+        /// highest CommitSeq durably flushed
+        durable: u64,
+    },
+    Async(AsyncWriter),
+}
+
+/// The mode parameters needed to rebuild a store after recovery.
+enum Blueprint {
+    Sync(usize),
+    Async(FlushPolicy, usize),
 }
 
 /// A world whose mutations are redo-logged through a change-stream tap.
@@ -90,36 +481,84 @@ pub struct WalStore {
     /// the tap captures every write path.
     world: World,
     tap: TapId,
-    backend: Backend,
+    backend: Arc<Mutex<Backend>>,
     snapshot_seq: u64,
-    group_commit: usize,
-    /// ops appended to the OS buffer since the last durable flush
-    pending: usize,
+    mode: Mode,
+    /// Highest CommitSeq handed to the durability pipeline.
+    last_enqueued: u64,
     /// stats
     pub stats: WalStats,
 }
 
 impl WalStore {
-    /// Wrap a world: attaches the durability tap and writes the base
-    /// snapshot immediately.
+    /// Wrap a world in **sync** mode: attaches the pinned durability
+    /// tap and writes the base snapshot immediately. Frame encoding and
+    /// flushing run on the caller's thread; `group_commit` ops may sit
+    /// in the OS buffer between flushes.
     pub fn new(
-        mut world: World,
-        mut backend: Backend,
+        world: World,
+        backend: Backend,
         group_commit: usize,
     ) -> Result<Self, BackendError> {
-        let tap = world.attach_tap();
+        Self::build(world, backend, Blueprint::Sync(group_commit.max(1)))
+    }
+
+    /// Wrap a world in **async** mode: [`WalStore::commit`] becomes
+    /// enqueue-and-return, and a background writer thread does frame
+    /// encoding, appends, and time/size group commit per `policy`. The
+    /// hand-off queue holds at most `queue_frames` commits; a full
+    /// queue blocks the committer (backpressure — never drops).
+    pub fn new_async(
+        world: World,
+        backend: Backend,
+        policy: FlushPolicy,
+        queue_frames: usize,
+    ) -> Result<Self, BackendError> {
+        Self::build(world, backend, Blueprint::Async(policy, queue_frames.max(1)))
+    }
+
+    fn build(mut world: World, mut backend: Backend, blueprint: Blueprint) -> Result<Self, BackendError> {
+        let tap = world.attach_tap_pinned();
         backend.put_snapshot(0, snapshot::encode(&world));
         backend.append_log(&WalRecord::CheckpointMark { seq: 0 }.encode());
         backend.flush()?;
-        Ok(WalStore {
+        Ok(Self::assemble(
+            world,
+            tap,
+            Arc::new(Mutex::new(backend)),
+            0,
+            blueprint,
+            WalStats::default(),
+        ))
+    }
+
+    fn assemble(
+        world: World,
+        tap: TapId,
+        backend: Arc<Mutex<Backend>>,
+        snapshot_seq: u64,
+        blueprint: Blueprint,
+        stats: WalStats,
+    ) -> WalStore {
+        let mode = match blueprint {
+            Blueprint::Sync(group_commit) => Mode::Sync {
+                group_commit,
+                pending: 0,
+                durable: 0,
+            },
+            Blueprint::Async(policy, queue_cap) => {
+                Mode::Async(AsyncWriter::spawn(Arc::clone(&backend), policy, queue_cap))
+            }
+        };
+        WalStore {
             world,
             tap,
             backend,
-            snapshot_seq: 0,
-            group_commit: group_commit.max(1),
-            pending: 0,
-            stats: WalStats::default(),
-        })
+            snapshot_seq,
+            mode,
+            last_enqueued: 0,
+            stats,
+        }
     }
 
     /// Read access to the world.
@@ -138,63 +577,155 @@ impl WalStore {
         &mut self.world
     }
 
-    /// Backend access (write-volume metrics).
-    pub fn backend(&self) -> &Backend {
-        &self.backend
+    /// Backend access (write-volume metrics, durable reads). The guard
+    /// locks the async writer out of the backend while held — keep it
+    /// short-lived.
+    pub fn backend(&self) -> MutexGuard<'_, Backend> {
+        self.backend.lock().expect("backend poisoned")
     }
 
     /// Mutable backend access — the crash-point sweep schedules byte-
     /// offset faults on the live backend through this.
-    pub fn backend_mut(&mut self) -> &mut Backend {
-        &mut self.backend
+    pub fn backend_mut(&mut self) -> MutexGuard<'_, Backend> {
+        self.backend.lock().expect("backend poisoned")
+    }
+
+    /// True when commits are drained by the background writer.
+    pub fn is_async(&self) -> bool {
+        matches!(self.mode, Mode::Async(_))
+    }
+
+    /// Durable flushes the background writer has issued (0 in sync
+    /// mode — see [`WalStats::flushes`] for caller-thread flushes).
+    pub fn writer_flushes(&self) -> u64 {
+        match &self.mode {
+            Mode::Sync { .. } => 0,
+            Mode::Async(w) => w.shared.state.lock().expect("writer state poisoned").flushes,
+        }
     }
 
     /// Ops mutated since the last [`WalStore::commit`] (the exposure a
-    /// crash right now would lose beyond the group-commit window).
+    /// crash right now would lose beyond the unacked window).
     pub fn uncommitted(&self) -> usize {
         self.world.tap_pending(self.tap).len()
     }
 
-    /// Group-commit the pending change-stream segment: every op
-    /// captured since the last commit lands in **one** WAL frame (a
-    /// [`WalRecord::Batch`] when there is more than one), and a durable
-    /// flush is issued once `group_commit` ops have accumulated.
-    /// Returns the number of ops committed (0 = nothing pending).
+    /// The highest [`CommitSeq`] handed to the durability pipeline.
+    pub fn last_enqueued(&self) -> CommitSeq {
+        CommitSeq(self.last_enqueued)
+    }
+
+    /// The durable watermark: the highest [`CommitSeq`] whose frame has
+    /// been durably flushed. Everything at or below it survives any
+    /// crash; the unacked window `last_enqueued - last_durable` bounds
+    /// the loss of a crash right now.
+    pub fn last_durable(&self) -> CommitSeq {
+        match &self.mode {
+            Mode::Sync { durable, .. } => CommitSeq(*durable),
+            Mode::Async(w) => CommitSeq(w.durable()),
+        }
+    }
+
+    /// Commits enqueued but not yet durable (the ack-tracked loss
+    /// window a crash right now would take, in commit boundaries).
+    pub fn unacked(&self) -> u64 {
+        self.last_enqueued - self.last_durable().0
+    }
+
+    /// Block until commit `seq` is durable. In async mode this hints
+    /// the writer to flush immediately (waiters never sit out the group
+    /// delay) and surfaces any writer-side failure; in sync mode it
+    /// issues the flush inline. A `seq` beyond
+    /// [`WalStore::last_enqueued`] is clamped to it — waiting for a
+    /// commit that was never enqueued would wait forever.
+    pub fn wait_durable(&mut self, seq: CommitSeq) -> Result<(), StoreError> {
+        let seq = seq.0.min(self.last_enqueued);
+        match &mut self.mode {
+            Mode::Sync { pending, durable, .. } => {
+                if *durable < seq {
+                    self.backend.lock().expect("backend poisoned").flush()?;
+                    self.stats.flushes += 1;
+                    *pending = 0;
+                    *durable = self.last_enqueued;
+                }
+                Ok(())
+            }
+            Mode::Async(w) => w.wait_durable(seq),
+        }
+    }
+
+    /// Commit the pending change-stream segment: every op captured
+    /// since the last commit lands in **one** WAL frame (a
+    /// [`WalRecord::Batch`] when there is more than one). Sync mode
+    /// appends and flushes here, per `group_commit`; async mode assigns
+    /// a [`CommitSeq`], enqueues the segment for the background writer
+    /// (blocking only when the bounded queue is full), and returns —
+    /// the tick thread never waits on fsync. Returns the number of ops
+    /// committed (0 = nothing pending).
     pub fn commit(&mut self) -> Result<usize, StoreError> {
         if self.world.tap_evicted(self.tap) {
-            // a retention limit on the store's world evicted the
-            // durability tap: records were dropped unlogged, and every
-            // later mutation is silently non-durable. That must never
-            // look like success — the caller set a policy incompatible
-            // with WAL durability (leave retention unset, or ack within
-            // the window, for a world a WalStore owns).
+            // unreachable with a pinned tap; kept as a loud invariant —
+            // an evicted durability tap means records were dropped
+            // unlogged, and that must never look like success.
             return Err(StoreError::DurabilityTapEvicted);
         }
-        let mut ops: Vec<WalRecord> = self
-            .world
-            .tap_pending(self.tap)
-            .iter()
-            .map(WalRecord::from_change)
-            .collect();
-        if ops.is_empty() {
-            return Ok(0);
-        }
-        self.world.ack_tap(self.tap);
-        let n = ops.len();
-        let record = if n == 1 {
-            ops.pop().expect("len checked")
-        } else {
-            WalRecord::Batch { ops }
+        let n = match &mut self.mode {
+            Mode::Sync {
+                group_commit,
+                pending,
+                durable,
+            } => {
+                let mut ops: Vec<WalRecord> = self
+                    .world
+                    .tap_pending(self.tap)
+                    .iter()
+                    .map(WalRecord::from_change)
+                    .collect();
+                if ops.is_empty() {
+                    return Ok(0);
+                }
+                self.world.ack_tap(self.tap);
+                let n = ops.len();
+                let record = if n == 1 {
+                    ops.pop().expect("len checked")
+                } else {
+                    WalRecord::Batch { ops }
+                };
+                self.last_enqueued += 1;
+                let mut b = self.backend.lock().expect("backend poisoned");
+                b.append_log(&record.encode());
+                *pending += n;
+                if *pending >= *group_commit {
+                    b.flush()?;
+                    drop(b);
+                    self.stats.flushes += 1;
+                    *pending = 0;
+                    *durable = self.last_enqueued;
+                }
+                n
+            }
+            Mode::Async(w) => {
+                // surface writer-side failures from earlier flushes
+                // BEFORE acking the tap, so no segment is consumed by a
+                // dead pipeline
+                w.check()?;
+                let pending = self.world.tap_pending(self.tap);
+                if pending.is_empty() {
+                    return Ok(0);
+                }
+                let changes: Vec<Change> = pending.to_vec();
+                self.world.ack_tap(self.tap);
+                let n = changes.len();
+                self.last_enqueued += 1;
+                w.send(WriterCmd::Frame {
+                    seq: self.last_enqueued,
+                    changes,
+                })?;
+                n
+            }
         };
-        self.backend.append_log(&record.encode());
         self.stats.records += 1;
         self.stats.ops += n as u64;
-        self.pending += n;
-        if self.pending >= self.group_commit {
-            self.backend.flush()?;
-            self.stats.flushes += 1;
-            self.pending = 0;
-        }
         Ok(n)
     }
 
@@ -218,35 +749,60 @@ impl WalStore {
 
     /// Write a checkpoint: pending mutations are committed first, then
     /// snapshot + mark. The log logically truncates at the mark (replay
-    /// skips everything before it).
+    /// skips everything before it). Checkpoints are durably synchronous
+    /// in both modes — the call returns only once the snapshot and its
+    /// mark are on disk (in async mode the snapshot is encoded on the
+    /// caller's thread, ordered through the writer's queue behind every
+    /// enqueued frame, and waited on).
     pub fn checkpoint(&mut self) -> Result<(), StoreError> {
         self.commit()?;
         self.snapshot_seq += 1;
-        self.backend
-            .put_snapshot(self.snapshot_seq, snapshot::encode(&self.world));
-        self.backend
-            .append_log(
-                &WalRecord::CheckpointMark {
-                    seq: self.snapshot_seq,
-                }
-                .encode(),
-            );
-        self.backend.flush()?;
-        self.stats.checkpoints += 1;
-        self.stats.flushes += 1;
-        self.pending = 0;
-        Ok(())
+        let snap = snapshot::encode(&self.world);
+        self.last_enqueued += 1;
+        let seq = self.last_enqueued;
+        match &mut self.mode {
+            Mode::Sync { pending, durable, .. } => {
+                let mut b = self.backend.lock().expect("backend poisoned");
+                b.put_snapshot(self.snapshot_seq, snap);
+                b.append_log(
+                    &WalRecord::CheckpointMark {
+                        seq: self.snapshot_seq,
+                    }
+                    .encode(),
+                );
+                b.flush()?;
+                drop(b);
+                self.stats.flushes += 1;
+                *pending = 0;
+                *durable = seq;
+                self.stats.checkpoints += 1;
+                Ok(())
+            }
+            Mode::Async(w) => {
+                w.send(WriterCmd::Checkpoint {
+                    seq,
+                    snapshot_seq: self.snapshot_seq,
+                    snapshot: snap,
+                })?;
+                self.stats.checkpoints += 1;
+                w.wait_durable(seq)
+            }
+        }
     }
 
     /// Compact the event log: drop every record before the last
     /// checkpoint mark (replay never looks at them) and atomically
     /// rewrite the log as just that tail. Returns (bytes before, bytes
-    /// after). Without compaction the log grows without bound — this is
+    /// after). The writer is quiesced first ([`WalStore::wait_durable`]
+    /// of everything enqueued), so compaction never races an in-flight
+    /// append. Without compaction the log grows without bound — this is
     /// the maintenance task a live MMO schedules alongside checkpoints.
     pub fn compact_log(&mut self) -> Result<(u64, u64), StoreError> {
         self.commit()?;
-        let before = self.backend.log_len()?;
-        let log = self.backend.read_log()?;
+        self.wait_durable(CommitSeq(self.last_enqueued))?;
+        let mut b = self.backend.lock().expect("backend poisoned");
+        let before = b.log_len()?;
+        let log = b.read_log()?;
         let (records, _) = decode_log(&log);
         let cut = records
             .iter()
@@ -258,42 +814,82 @@ impl WalStore {
         for r in &records[cut..] {
             tail.extend_from_slice(&r.encode());
         }
-        self.backend.replace_log(&tail);
-        self.backend.flush()?;
+        b.replace_log(&tail);
+        b.flush()?;
+        let after = b.log_len()?;
+        drop(b);
         self.stats.flushes += 1;
-        Ok((before, self.backend.log_len()?))
+        Ok((before, after))
     }
 
-    /// Crash (unflushed writes — and uncommitted mutations — vanish)
-    /// then recover: load the latest decodable durable snapshot —
-    /// catalog included — and replay the durable log tail through
-    /// [`recover_from_parts`]. The recovered world carries its indexes,
-    /// its standing views at their original slots (pre-crash [`ViewId`]
-    /// handles keep resolving), its lineage, and its tick counter; view
-    /// changelogs restart empty at the recovery tick, and a fresh
-    /// durability tap is attached. Returns the recovered store and the
+    /// Crash (unflushed writes, in-flight writer frames, and
+    /// uncommitted mutations all vanish) then recover: load the latest
+    /// decodable durable snapshot — catalog included — and replay the
+    /// durable log tail through [`recover_from_parts`]. In async mode
+    /// the writer thread is **aborted at whatever it was doing** (no
+    /// farewell flush — that is what a crash means) and a fresh writer
+    /// is spawned for the recovered store. The recovered world carries
+    /// its indexes, its standing views at their original slots
+    /// (pre-crash [`ViewId`] handles keep resolving), its lineage, and
+    /// its tick counter; view changelogs restart empty at the recovery
+    /// tick, a fresh pinned durability tap is attached, and commit
+    /// sequences restart at 0. Returns the recovered store and the
     /// number of records replayed.
     pub fn crash_and_recover(mut self) -> Result<(WalStore, usize), StoreError> {
-        self.backend.crash();
-        let mut snapshots = Vec::new();
-        for seq in self.backend.snapshot_seqs()? {
-            snapshots.push((seq, self.backend.read_snapshot(seq)?));
+        let blueprint = match &mut self.mode {
+            Mode::Sync { group_commit, .. } => Blueprint::Sync(*group_commit),
+            Mode::Async(w) => {
+                let bp = Blueprint::Async(w.policy, w.queue_cap);
+                w.abort_for_crash();
+                bp
+            }
+        };
+        let backend = Arc::clone(&self.backend);
+        let stats = self.stats;
+        let snapshot_parts;
+        let log;
+        {
+            let mut b = backend.lock().expect("backend poisoned");
+            b.crash();
+            let mut snaps = Vec::new();
+            for seq in b.snapshot_seqs()? {
+                snaps.push((seq, b.read_snapshot(seq)?));
+            }
+            snapshot_parts = snaps;
+            log = b.read_log()?;
         }
-        let log = self.backend.read_log()?;
-        let (mut world, seq, replayed) = recover_from_parts(&snapshots, &log)?;
-        let tap = world.attach_tap();
+        drop(self); // old writer (if any) is already down; release the world
+        let (mut world, seq, replayed) = recover_from_parts(&snapshot_parts, &log)?;
+        let tap = world.attach_tap_pinned();
         Ok((
-            WalStore {
-                world,
-                tap,
-                backend: self.backend,
-                snapshot_seq: seq,
-                group_commit: self.group_commit,
-                pending: 0,
-                stats: self.stats,
-            },
+            Self::assemble(world, tap, backend, seq, blueprint, stats),
             replayed,
         ))
+    }
+
+    /// Deterministically stall the background writer until the returned
+    /// gate is dropped — the backpressure regression hook.
+    #[cfg(test)]
+    fn stall_writer_for_test(&mut self) -> Sender<()> {
+        let (gate_tx, gate_rx) = bounded(1);
+        match &self.mode {
+            Mode::Async(w) => w.send(WriterCmd::Stall(gate_rx)).expect("writer alive"),
+            Mode::Sync { .. } => panic!("stall_writer_for_test requires async mode"),
+        }
+        gate_tx
+    }
+}
+
+/// The ack-tracking surface consumers outside `persist` gate on — a
+/// Strict-level replicator refuses to ship state past the durable
+/// watermark (`gamedb-sync`'s `Replicator::sync_stream_durable`).
+impl DurabilityWatermark for WalStore {
+    fn enqueued_seq(&self) -> u64 {
+        self.last_enqueued
+    }
+
+    fn durable_seq(&self) -> u64 {
+        self.last_durable().0
     }
 }
 
@@ -304,9 +900,13 @@ pub enum StoreError {
     Backend(BackendError),
     /// The world's tap-retention policy evicted the durability tap:
     /// mutations were dropped unlogged, so commits can no longer claim
-    /// durability. Recover by checkpointing a fresh store; prevent by
-    /// not setting a retention limit on a world a [`WalStore`] owns.
+    /// durability. Unreachable since the durability tap became pinned
+    /// ([`World::attach_tap_pinned`]); kept as a loud invariant.
     DurabilityTapEvicted,
+    /// The background writer failed (I/O error or backend crash) on an
+    /// earlier flush; the message names the original failure. Surfaced
+    /// on the first commit/wait after the failure, never lost.
+    Writer(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -319,6 +919,7 @@ impl std::fmt::Display for StoreError {
                 "durability tap evicted by the tap-retention policy: \
                  mutations were dropped unlogged"
             ),
+            StoreError::Writer(msg) => write!(f, "wal writer: {msg}"),
         }
     }
 }
@@ -336,7 +937,6 @@ impl From<BackendError> for StoreError {
         StoreError::Backend(e)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,25 +972,27 @@ mod tests {
         assert_eq!(replayed, 1, "only the post-checkpoint record replays");
     }
 
-    /// A retention policy that evicts the durability tap must surface
-    /// as a loud commit error, never as silent data loss.
+    /// The regression the pinned tap closes: a tap-retention policy on
+    /// the store's own world used to evict the durability tap under
+    /// churn, turning every later commit into an error (and before
+    /// that, into silent data loss). The durability tap is now pinned
+    /// ([`World::attach_tap_pinned`]) — retention skips it, the window
+    /// simply outgrows the limit, and every op still reaches the log.
     #[test]
-    fn evicted_durability_tap_fails_commit_loudly() {
-        let mut s = fresh(1, "wal-evicted");
+    fn pinned_durability_tap_survives_retention_pressure() {
+        let mut s = fresh(1, "wal-pinned");
         let e = s.world_mut().spawn_at(Vec2::ZERO);
         s.commit().unwrap();
-        // a policy incompatible with WAL durability, set on the store's
-        // own world, with far more churn than the window holds
+        // a retention window far smaller than the churn burst
         s.world_mut().set_tap_retention(Some(8));
         for i in 0..64 {
             s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
         }
-        assert!(matches!(
-            s.commit(),
-            Err(StoreError::DurabilityTapEvicted)
-        ));
-        // checkpoint commits first, so it refuses too
-        assert!(s.checkpoint().is_err());
+        assert_eq!(s.uncommitted(), 64, "pinned tap kept every record");
+        assert_eq!(s.commit().unwrap(), 64);
+        s.checkpoint().unwrap();
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(63.0));
     }
 
     #[test]
@@ -741,5 +1343,252 @@ mod tests {
         assert_eq!(s.stats.ops, 4);
         assert!(s.stats.flushes >= 2);
         assert_eq!(s.stats.checkpoints, 1);
+    }
+
+    // ---- async writer mode ----
+
+    fn fresh_async(policy: FlushPolicy, queue: usize, label: &str) -> WalStore {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let backend = Backend::open(temp_dir(label)).unwrap();
+        WalStore::new_async(w, backend, policy, queue).unwrap()
+    }
+
+    #[test]
+    fn async_commit_is_enqueue_and_watermark_catches_up() {
+        let mut s = fresh_async(FlushPolicy::flush_every(512, 1000), 64, "wal-async-basic");
+        assert!(s.is_async());
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        for i in 0..20 {
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
+        }
+        assert_eq!(s.last_enqueued(), CommitSeq(21));
+        assert!(s.last_durable() <= s.last_enqueued());
+        s.wait_durable(s.last_enqueued()).unwrap();
+        assert_eq!(s.last_durable(), CommitSeq(21));
+        assert_eq!(s.unacked(), 0);
+        assert!(s.writer_flushes() >= 1);
+    }
+
+    /// The headline contract: `wait_durable(last_enqueued())` then
+    /// crash-and-recover loses **zero** ops, bit-identically.
+    #[test]
+    fn wait_durable_then_crash_loses_zero_ops() {
+        let mut s = fresh_async(FlushPolicy::flush_every(512, 1000), 8, "wal-async-zeroloss");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        for i in 0..100 {
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
+        }
+        s.wait_durable(s.last_enqueued()).unwrap();
+        let live = s.world().rows();
+        let tick = s.world().tick();
+        let (recovered, replayed) = s.crash_and_recover().unwrap();
+        assert_eq!(replayed, 101, "every acked frame recovers");
+        assert_eq!(recovered.world().rows(), live);
+        assert_eq!(recovered.world().tick(), tick);
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(99.0));
+        assert!(recovered.is_async(), "recovered store keeps its mode");
+    }
+
+    /// Without a wait, a crash loses at most the unacked window — and
+    /// never an op at or below the published durable watermark.
+    #[test]
+    fn async_crash_loses_at_most_the_unacked_window() {
+        let mut s = fresh_async(FlushPolicy::flush_every(4, 1000), 64, "wal-async-window");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        for i in 0..50 {
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
+        }
+        let acked = s.last_durable().as_u64();
+        let (_recovered, replayed) = s.crash_and_recover().unwrap();
+        assert!(
+            replayed as u64 >= acked,
+            "acked {acked} commits, only {replayed} recovered"
+        );
+        assert!(replayed <= 51, "can't recover more than was committed");
+    }
+
+    /// A full queue blocks the committer (backpressure) — and while the
+    /// writer is stalled, a tap-retention policy on the store's world
+    /// must not evict the pinned durability tap.
+    #[test]
+    fn stalled_writer_backpressures_commit_and_never_evicts_the_tap() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut s = fresh_async(FlushPolicy::flush_every(1, 1), 2, "wal-async-stall");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        s.wait_durable(s.last_enqueued()).unwrap();
+        s.world_mut().set_tap_retention(Some(4));
+        let gate = s.stall_writer_for_test();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let store = &mut s;
+            let done_ref = &done;
+            let worker = scope.spawn(move || {
+                for i in 0..8 {
+                    store
+                        .world_mut()
+                        .set(e, "hp", Value::Float(i as f32))
+                        .unwrap();
+                    store.commit().unwrap();
+                }
+                done_ref.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            // 8 commits into a queue of 2 behind a stalled writer
+            // cannot all have completed (conservative: a false pass is
+            // possible under extreme scheduling, a false fail is not)
+            assert!(
+                !done.load(Ordering::SeqCst),
+                "commit must block on a full writer queue, not drop"
+            );
+            drop(gate); // un-stall: the queue drains
+            worker.join().unwrap();
+        });
+        s.wait_durable(s.last_enqueued()).unwrap();
+        let (recovered, _) = s.crash_and_recover().unwrap();
+        assert_eq!(
+            recovered.world().get_f32(e, "hp"),
+            Some(7.0),
+            "no op was dropped by backpressure or tap retention"
+        );
+    }
+
+    /// A writer-side backend fault freezes the watermark at the last
+    /// clean flush and surfaces on wait and on the next commit — never
+    /// silently lost.
+    #[test]
+    fn writer_fault_surfaces_on_wait_and_next_commit() {
+        use crate::backend::FaultKind;
+        let mut s = fresh_async(FlushPolicy::flush_every(1, 1000), 8, "wal-async-err");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        s.wait_durable(s.last_enqueued()).unwrap();
+        let acked = s.last_durable();
+        let len = s.backend().log_len().unwrap();
+        s.backend_mut().schedule_log_fault(len, FaultKind::Torn);
+        s.world_mut().set(e, "hp", Value::Float(1.0)).unwrap();
+        s.commit().unwrap();
+        assert!(matches!(
+            s.wait_durable(s.last_enqueued()),
+            Err(StoreError::Writer(_))
+        ));
+        assert_eq!(s.last_durable(), acked, "watermark never claims past a fault");
+        s.world_mut().set(e, "hp", Value::Float(2.0)).unwrap();
+        assert!(matches!(s.commit(), Err(StoreError::Writer(_))));
+        assert_eq!(s.uncommitted(), 1, "a dead pipeline consumes no segment");
+    }
+
+    /// Dropping an async store is a clean shutdown: the writer drains
+    /// and flushes everything enqueued, so a reopened backend sees it.
+    #[test]
+    fn drop_drains_and_flushes_the_queue() {
+        let dir;
+        let e;
+        {
+            let mut s = fresh_async(FlushPolicy::flush_every(512, 1000), 64, "wal-async-drop");
+            dir = s.backend().dir().to_path_buf();
+            e = s.world_mut().spawn_at(Vec2::ZERO);
+            for i in 0..30 {
+                s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            }
+            s.commit().unwrap();
+            assert!(s.last_durable() <= s.last_enqueued());
+        } // drop: disconnect, writer flushes the tail, join
+        let b = Backend::open(dir).unwrap();
+        let log = b.read_log().unwrap();
+        let snaps: Vec<(u64, Vec<u8>)> = b
+            .snapshot_seqs()
+            .unwrap()
+            .into_iter()
+            .map(|seq| (seq, b.read_snapshot(seq).unwrap()))
+            .collect();
+        let (world, _, _) = recover_from_parts(&snaps, &log).unwrap();
+        assert_eq!(world.get_f32(e, "hp"), Some(29.0));
+    }
+
+    /// Async checkpoints are durably synchronous: snapshot + mark are
+    /// on disk when the call returns, and replay truncates at the mark.
+    #[test]
+    fn async_checkpoint_is_durable_and_truncates_replay() {
+        let mut s = fresh_async(FlushPolicy::flush_every(512, 1000), 8, "wal-async-cp");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        for i in 0..40 {
+            s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+            s.commit().unwrap();
+        }
+        s.checkpoint().unwrap();
+        assert_eq!(s.unacked(), 0, "checkpoint waits for its own flush");
+        s.world_mut().set(e, "hp", Value::Float(777.0)).unwrap();
+        s.commit().unwrap();
+        s.wait_durable(s.last_enqueued()).unwrap();
+        let (before, after) = s.compact_log().unwrap();
+        assert!(after < before, "pre-checkpoint frames compact away");
+        let (recovered, replayed) = s.crash_and_recover().unwrap();
+        assert_eq!(replayed, 1, "only the post-checkpoint tail replays");
+        assert_eq!(recovered.world().get_f32(e, "hp"), Some(777.0));
+    }
+
+    /// The async path must produce byte-identical WAL frames to the
+    /// sync path for the same mutation sequence — recovery is the same
+    /// algorithm over the same bytes.
+    #[test]
+    fn async_log_bytes_match_sync_log_bytes() {
+        let run = |mut s: WalStore| -> Vec<u8> {
+            let e = s.world_mut().spawn_at(Vec2::ZERO);
+            s.commit().unwrap();
+            for i in 0..10 {
+                s.world_mut().set(e, "hp", Value::Float(i as f32)).unwrap();
+                if i % 3 == 0 {
+                    let t = s.world().tick();
+                    s.world_mut().advance_tick_to(t + 1);
+                }
+                s.commit().unwrap();
+            }
+            s.wait_durable(s.last_enqueued()).unwrap();
+            let log = s.backend().read_log().unwrap();
+            log
+        };
+        let sync_log = run(fresh(1, "wal-bytes-sync"));
+        let async_log = run(fresh_async(
+            FlushPolicy::flush_every(4, 2),
+            8,
+            "wal-bytes-async",
+        ));
+        assert_eq!(sync_log, async_log, "frame encoding is mode-invariant");
+    }
+
+    #[test]
+    fn durability_watermark_trait_reports_drained() {
+        let mut s = fresh_async(FlushPolicy::flush_every(512, 1000), 8, "wal-async-trait");
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        s.wait_durable(s.last_enqueued()).unwrap();
+        assert!(DurabilityWatermark::is_drained(&s));
+        s.world_mut().set(e, "hp", Value::Float(1.0)).unwrap();
+        s.commit().unwrap();
+        // may or may not have flushed yet; enqueued is authoritative
+        assert_eq!(s.enqueued_seq(), 2);
+        s.wait_durable(CommitSeq(2)).unwrap();
+        assert!(s.is_drained());
+        assert_eq!(s.durable_seq(), 2);
+    }
+
+    /// `wait_durable` past `last_enqueued` clamps instead of hanging.
+    #[test]
+    fn wait_durable_clamps_to_enqueued() {
+        let mut s = fresh_async(FlushPolicy::flush_every(512, 1000), 8, "wal-async-clamp");
+        s.wait_durable(CommitSeq(u64::MAX)).unwrap();
+        let e = s.world_mut().spawn_at(Vec2::ZERO);
+        s.commit().unwrap();
+        s.wait_durable(CommitSeq(u64::MAX)).unwrap();
+        assert_eq!(s.last_durable(), CommitSeq(1));
+        let _ = e;
     }
 }

@@ -11,7 +11,9 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use gamedb_content::Value;
-use gamedb_core::{ChangeOp, ComponentId, EntityId, Query, TapId, ViewId, World};
+use gamedb_core::{
+    ChangeOp, ComponentId, DurabilityWatermark, EntityId, Query, TapId, ViewId, World,
+};
 use gamedb_spatial::Vec2;
 
 /// Wire size of a value under the replication framing (1 type-tag byte
@@ -388,6 +390,30 @@ impl Replicator {
     /// stay in the dirty set and are revisited until a full-ship tick
     /// clears them. Falls back to [`Replicator::sync_live`] when no
     /// stream is attached.
+    /// [`Replicator::sync_stream`] gated on the server's durability
+    /// watermark. A `Strict` replicator refuses to ship while commits
+    /// are still in flight behind the async WAL writer
+    /// (`!durability.is_drained()`): strict consistency promises the
+    /// replica only ever observes state the server cannot lose, and a
+    /// crash would un-happen anything past the durable watermark.
+    /// Returns whether the sync ran — a refused tick ships nothing and
+    /// leaves the change stream accumulating; call again once the
+    /// writer drains (e.g. after `WalStore::wait_durable`). The weaker
+    /// levels already tolerate replica lag by design, so they ship
+    /// regardless and the durability pipeline catches up underneath.
+    pub fn sync_stream_durable(
+        &mut self,
+        world: &mut World,
+        replica: &mut Replica,
+        durability: &impl DurabilityWatermark,
+    ) -> bool {
+        if matches!(self.level, ConsistencyLevel::Strict) && !durability.is_drained() {
+            return false;
+        }
+        self.sync_stream(world, replica);
+        true
+    }
+
     pub fn sync_stream(&mut self, world: &mut World, replica: &mut Replica) {
         let Some(tap) = self.stream_tap else {
             self.sync_live(world, replica);
@@ -1241,5 +1267,61 @@ mod tests {
         let newborn = w.spawn_at(Vec2::new(50.0, 50.0));
         rep.sync(&w, &mut client);
         assert_eq!(client.pos(newborn), Some((50.0, 50.0)));
+    }
+
+    /// A stand-in durability pipeline for gating tests (the end-to-end
+    /// test against a real async `WalStore` lives in the workspace-root
+    /// `tests/async_durability.rs`).
+    struct FakeWatermark {
+        enqueued: u64,
+        durable: u64,
+    }
+
+    impl DurabilityWatermark for FakeWatermark {
+        fn enqueued_seq(&self) -> u64 {
+            self.enqueued
+        }
+        fn durable_seq(&self) -> u64 {
+            self.durable
+        }
+    }
+
+    #[test]
+    fn strict_replication_gates_on_the_durable_watermark() {
+        let (mut w, ids) = moving_world(6);
+        let mut rep = Replicator::new(ConsistencyLevel::Strict);
+        rep.attach_stream(&mut w);
+        let mut client = Replica::default();
+        let mut mark = FakeWatermark {
+            enqueued: 5,
+            durable: 3,
+        };
+        drift(&mut w, &ids, 1.0);
+        // in-flight commits behind the writer: Strict refuses to ship
+        assert!(!rep.sync_stream_durable(&mut w, &mut client, &mark));
+        assert!(client.rows.is_empty(), "a refused tick ships nothing");
+        // the writer drains; the same tick now ships, nothing was lost
+        mark.durable = 5;
+        assert!(rep.sync_stream_durable(&mut w, &mut client, &mark));
+        assert_eq!(Replicator::divergence(&w, &client).mean_pos_error, 0.0);
+        assert_eq!(Replicator::divergence(&w, &client).persistent_mismatches, 0);
+    }
+
+    #[test]
+    fn weaker_levels_ship_despite_durability_lag() {
+        let (mut w, ids) = moving_world(6);
+        let mut rep = Replicator::new(ConsistencyLevel::CoarseEpoch { pos_period: 1 });
+        rep.attach_stream(&mut w);
+        let mut client = Replica::default();
+        let lagging = FakeWatermark {
+            enqueued: 100,
+            durable: 0,
+        };
+        drift(&mut w, &ids, 1.0);
+        assert!(
+            rep.sync_stream_durable(&mut w, &mut client, &lagging),
+            "weak consistency already tolerates lag; durability gating is Strict-only"
+        );
+        assert_eq!(Replicator::divergence(&w, &client).mean_pos_error, 0.0);
     }
 }

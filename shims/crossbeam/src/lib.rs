@@ -1,9 +1,17 @@
-//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//! Offline stand-in for `crossbeam`, backed by the standard library.
 //!
-//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided — the
-//! surface the tick executor uses to fan entity chunks out over worker
-//! threads. Panics in workers propagate out of `scope` (std joins every
-//! handle), which matches how the executor treats worker failure.
+//! Two surfaces are provided:
+//!
+//! * [`thread::scope`] / `Scope::spawn` — what the tick executor uses to
+//!   fan entity chunks out over worker threads. Panics in workers
+//!   propagate out of `scope` (std joins every handle), which matches
+//!   how the executor treats worker failure.
+//! * [`channel::bounded`] — a bounded MPSC channel (Mutex + Condvar over
+//!   a `VecDeque`) with blocking `send`/`recv`, `try_send`,
+//!   `recv_timeout`, and crossbeam's disconnect semantics. This is the
+//!   hand-off queue between the mutating tick thread and the background
+//!   WAL writer: a full queue **blocks** the sender (backpressure), it
+//!   never drops.
 
 pub mod thread {
     use std::any::Any;
@@ -35,12 +43,262 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! Bounded MPSC channel, std-backed.
+    //!
+    //! Semantics mirror `crossbeam-channel`'s bounded flavor:
+    //!
+    //! * `send` blocks while the queue is full and the receiver is
+    //!   alive; it fails (returning the value) once the receiver is
+    //!   dropped.
+    //! * `recv` blocks while the queue is empty and any sender is
+    //!   alive; once every sender is dropped it drains the remaining
+    //!   messages, then fails.
+    //! * Messages are never dropped: everything successfully sent is
+    //!   observable by the receiver (or returned in the send error).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// The receiver disconnected; the unsent value is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why a `try_send` could not enqueue.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Queue at capacity (backpressure); the value is handed back.
+        Full(T),
+        /// Receiver dropped; the value is handed back.
+        Disconnected(T),
+    }
+
+    /// Every sender disconnected and the queue is drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a `try_recv` returned no message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Why a `recv_timeout` returned no message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half; clonable (MPSC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; single consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create a bounded channel holding at most `cap` messages
+    /// (`cap == 0` is clamped to 1 — rendezvous channels are not
+    /// needed by this workspace).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap: cap.max(1),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room, then enqueue. Fails only when the
+        /// receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            loop {
+                if !inner.receiver_alive {
+                    return Err(SendError(value));
+                }
+                if inner.queue.len() < inner.cap {
+                    inner.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .shared
+                    .not_full
+                    .wait(inner)
+                    .expect("channel poisoned");
+            }
+        }
+
+        /// Enqueue without blocking; `Full` reports backpressure.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            if !inner.receiver_alive {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.queue.len() >= inner.cap {
+                return Err(TrySendError::Full(value));
+            }
+            inner.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().expect("channel poisoned").queue.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // wake a blocked recv so it can observe the disconnect
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives. Fails once every sender is
+        /// dropped **and** the queue has drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .not_empty
+                    .wait(inner)
+                    .expect("channel poisoned");
+            }
+        }
+
+        /// Like [`Receiver::recv`] but gives up after `timeout` — the
+        /// background writer's group-commit delay clock.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .expect("channel poisoned");
+                inner = guard;
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().expect("channel poisoned").queue.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.receiver_alive = false;
+            // wake blocked senders so they can observe the disconnect
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::channel::{bounded, RecvError, RecvTimeoutError, TryRecvError, TrySendError};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
     #[test]
     fn scoped_threads_join_and_merge() {
-        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
-        let mut partials = vec![0u64; 2];
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mut partials = [0u64; 2];
         super::thread::scope(|scope| {
             for (chunk, slot) in data.chunks(4).zip(partials.iter_mut()) {
                 scope.spawn(move |_| {
@@ -50,5 +308,121 @@ mod tests {
         })
         .unwrap();
         assert_eq!(partials.iter().sum::<u64>(), 36);
+    }
+
+    #[test]
+    fn send_recv_preserves_fifo_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_send_reports_backpressure_without_dropping() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        // full: the value comes back, nothing is dropped
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    /// A full queue blocks `send` until the consumer drains — the
+    /// backpressure contract the async WAL writer's commit path
+    /// stands on (block, never drop).
+    #[test]
+    fn full_queue_blocks_send_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let sent_second = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                tx.send(1).unwrap(); // blocks: queue is full
+                sent_second.store(true, Ordering::SeqCst);
+            });
+            // while the queue stays full, the send cannot complete
+            std::thread::sleep(Duration::from_millis(40));
+            assert!(
+                !sent_second.load(Ordering::SeqCst),
+                "send must block while the queue is full"
+            );
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv(), Ok(1), "blocked send completes after drain");
+        });
+        assert!(sent_second.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn dropping_all_senders_drains_then_disconnects() {
+        let (tx, rx) = bounded(8);
+        let tx2 = tx.clone();
+        tx.send("a").unwrap();
+        tx2.send("b").unwrap();
+        drop(tx);
+        drop(tx2);
+        // queued messages survive the disconnect...
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        // ...then the channel reports closed
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn dropping_receiver_fails_send_and_returns_value() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpsc_fan_in_delivers_every_message() {
+        let (tx, rx) = bounded(4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let txc = tx.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        txc.send(t * 1_000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            assert_eq!(got.len(), 200, "nothing dropped under contention");
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got.len(), 200, "nothing duplicated either");
+        });
     }
 }
