@@ -1,0 +1,112 @@
+//! Metrics write-path overhead bench — the observability tentpole's
+//! cost ceiling.
+//!
+//! Two identical stores run the same seeded write tick (K batched
+//! writes → one commit → view refresh) with indexes, views, and a WAL
+//! attached; one of them additionally reports into a
+//! [`MetricsRegistry`] through every write-path hook (change stream,
+//! batch apply, WAL commit, view refresh). The instrumented tick must
+//! cost no more than 1.05× the bare tick: every hook is a relaxed
+//! atomic bump behind a pre-resolved handle, so the budget is mostly a
+//! guard against someone adding allocation or locking to a hot path.
+
+use std::cell::{Cell, RefCell};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gamedb_bench::combat_world;
+use gamedb_content::{CmpOp, Value};
+use gamedb_core::{IndexKind, Query, WriteBatch};
+use gamedb_metrics::MetricsRegistry;
+use gamedb_persist::{temp_dir, Backend, WalStore};
+use gamedb_spatial::Vec2;
+
+const N: usize = 50_000;
+const K: usize = 512; // writes per measured tick
+
+fn build_store(label: &str) -> WalStore {
+    let (mut world, _ids) = combat_world(N, 2_000.0, 42);
+    world.create_index("hp", IndexKind::Sorted).unwrap();
+    world.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(25.0)));
+    world.register_view(Query::select().within(Vec2::new(1_000.0, 1_000.0), 150.0));
+    let backend = Backend::open(temp_dir(label)).unwrap();
+    WalStore::new(world, backend, K).unwrap()
+}
+
+/// The k-th write of round `r` (same picker as the write_path bench).
+fn write_of(ids: &[gamedb_core::EntityId], r: u64, k: usize) -> (gamedb_core::EntityId, f32) {
+    let pick = ((r as usize).wrapping_mul(7919) + k.wrapping_mul(104_729)) % ids.len();
+    (ids[pick], ((r as usize + k * 13) % 100) as f32)
+}
+
+fn one_tick(s: &mut WalStore, ids: &[gamedb_core::EntityId], r: u64) {
+    let mut batch = WriteBatch::new();
+    for k in 0..K {
+        let (e, hp) = write_of(ids, r, k);
+        batch.set(e, "hp", Value::Float(hp));
+    }
+    s.world_mut().apply_batch(batch).unwrap();
+    s.commit().unwrap();
+    s.world_mut().refresh_views();
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let bare = RefCell::new(build_store("metrics-overhead-bare"));
+    let registry = MetricsRegistry::new();
+    let instrumented = RefCell::new(build_store("metrics-overhead-instrumented"));
+    {
+        let mut s = instrumented.borrow_mut();
+        s.attach_metrics(&registry);
+        s.world_mut().attach_metrics(&registry);
+    }
+    let ids = bare.borrow().world().entity_vec();
+    let round = Cell::new(0u64);
+
+    {
+        let mut group = c.benchmark_group("metrics_overhead");
+        group.sample_size(30);
+        group.bench_with_input(BenchmarkId::new("bare", K), &K, |b, _| {
+            b.iter(|| {
+                round.set(round.get() + 1);
+                one_tick(&mut bare.borrow_mut(), &ids, round.get());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("instrumented", K), &K, |b, _| {
+            b.iter(|| {
+                round.set(round.get() + 1);
+                one_tick(&mut instrumented.borrow_mut(), &ids, round.get());
+            })
+        });
+        group.finish();
+    }
+
+    // the instrumented store must actually have measured the ticks —
+    // otherwise the comparison above proves nothing
+    let snap = registry.snapshot();
+    assert!(snap.counter("change.records") >= K as u64);
+    assert!(snap.counter("change.batches") > 0);
+    assert!(snap.counter("wal.commits") > 0);
+    assert!(snap.counter("view.refreshes") > 0);
+
+    let ns = |name: &str| {
+        c.results
+            .iter()
+            .find(|(k, _)| k.contains(name))
+            .map(|(_, v)| *v)
+            .expect("bench ran")
+    };
+    let overhead = ns("instrumented") / ns("bare");
+    println!(
+        "\nmetrics write-path overhead: {overhead:.3}x \
+         ({K}-write batch tick, {N} entities, 1 index + 2 views + WAL; \
+         {} change records counted)",
+        snap.counter("change.records")
+    );
+    assert!(
+        overhead <= 1.05,
+        "acceptance: instrumented write path must stay within 5% of bare, \
+         got {overhead:.3}x"
+    );
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

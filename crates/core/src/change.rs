@@ -76,12 +76,15 @@
 //! maintenance — and, with a durability tap attached, one WAL frame for
 //! the whole batch instead of one per call.
 
+use std::sync::Arc;
+
 use gamedb_content::{Value, ValueType};
 use gamedb_spatial::Vec2;
 
 use crate::entity::EntityId;
 use crate::index::IndexKind;
 use crate::intern::ComponentId;
+use crate::metrics::CoreMetrics;
 use crate::query::Query;
 
 /// One record of the world's ordered change stream.
@@ -225,6 +228,30 @@ impl DurabilityWatermark for WatermarkSnapshot {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TapId(pub(crate) u32);
 
+/// One coherent reading of a tap's consumer state
+/// ([`crate::world::World::tap_stats`]): lag, cursor position, and the
+/// pinned/evicted flags in a single value, so the metrics layer and
+/// sync-loop callers stop re-deriving them from separate
+/// `tap_lag`/`tap_pinned`/`tap_evicted` calls that could interleave
+/// with writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TapStats {
+    /// Records not yet consumed (head seq − cursor); 0 for detached or
+    /// evicted taps.
+    pub lag: u64,
+    /// The tap's cursor: seq of the next record it will observe —
+    /// everything below it is acknowledged. 0 for detached or evicted
+    /// taps.
+    pub acked_seq: u64,
+    /// Exempt from retention eviction (the durability tap).
+    pub pinned: bool,
+    /// Evicted by the retention policy: the consumer must resync from
+    /// live state and re-attach.
+    pub evicted: bool,
+    /// Currently attached (active — neither free nor evicted).
+    pub attached: bool,
+}
+
 /// One tap slot of the stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum TapSlot {
@@ -270,6 +297,13 @@ pub(crate) struct ChangeStream {
     /// Maximum records a lagging tap may pin before it is evicted
     /// (`None` = retain forever, the default).
     retention: Option<usize>,
+    /// Attached instrumentation ([`crate::world::World::attach_metrics`]).
+    /// Lives here because every write path funnels through
+    /// [`ChangeStream::record`] — including the batch path that
+    /// destructures the world. Clones do not inherit it (same rationale
+    /// as taps: a cloned oracle double-reporting would corrupt the
+    /// registry).
+    metrics: Option<Arc<CoreMetrics>>,
 }
 
 impl Clone for ChangeStream {
@@ -281,6 +315,7 @@ impl Clone for ChangeStream {
             views_at: self.views_at,
             taps: Vec::new(),
             retention: self.retention,
+            metrics: None,
         }
     }
 }
@@ -306,6 +341,22 @@ impl ChangeStream {
                 self.evict_laggards(limit);
             }
         }
+        if let Some(m) = &self.metrics {
+            m.records.inc();
+            m.retained.set(self.records.len() as i64);
+        }
+    }
+
+    /// Attach instrumentation (see
+    /// [`crate::world::World::attach_metrics`]).
+    pub fn set_metrics(&mut self, metrics: Option<Arc<CoreMetrics>>) {
+        self.metrics = metrics;
+    }
+
+    /// The attached instrumentation, if any.
+    #[inline]
+    pub fn metrics(&self) -> Option<&Arc<CoreMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// Seq the next record will receive (how far the stream has run).
@@ -341,11 +392,18 @@ impl ChangeStream {
     /// pinned laggard drains.
     fn evict_laggards(&mut self, limit: usize) {
         let horizon = self.next.saturating_sub(limit as u64);
+        let mut evicted = 0u64;
         for slot in &mut self.taps {
             if let TapSlot::Active { cursor, pinned: false } = slot {
                 if *cursor < horizon {
                     *slot = TapSlot::Evicted;
+                    evicted += 1;
                 }
+            }
+        }
+        if evicted > 0 {
+            if let Some(m) = &self.metrics {
+                m.tap_evictions.add(evicted);
             }
         }
         self.gc();
@@ -437,11 +495,33 @@ impl ChangeStream {
         }
     }
 
+    /// One coherent reading of a tap's state (see [`TapStats`]).
+    pub fn tap_stats(&self, tap: TapId) -> TapStats {
+        match self.taps.get(tap.0 as usize) {
+            Some(TapSlot::Active { cursor, pinned }) => TapStats {
+                lag: self.next - *cursor,
+                acked_seq: *cursor,
+                pinned: *pinned,
+                evicted: false,
+                attached: true,
+            },
+            Some(TapSlot::Evicted) => TapStats {
+                evicted: true,
+                ..TapStats::default()
+            },
+            _ => TapStats::default(),
+        }
+    }
+
     /// Move the tap's cursor past everything recorded so far. Cursors
     /// only move forward: a tap never sees a record twice.
     pub fn ack(&mut self, tap: TapId) {
         if let Some(TapSlot::Active { cursor, .. }) = self.taps.get_mut(tap.0 as usize) {
+            let drained = self.next - *cursor;
             *cursor = self.next;
+            if let Some(m) = &self.metrics {
+                m.note_tap_drain(tap.0 as usize, drained);
+            }
             self.gc();
         }
     }
@@ -464,6 +544,9 @@ impl ChangeStream {
         if min > self.base {
             self.records.drain(..(min - self.base) as usize);
             self.base = min;
+            if let Some(m) = &self.metrics {
+                m.retained.set(self.records.len() as i64);
+            }
         }
     }
 }

@@ -65,13 +65,14 @@ pub mod entity;
 pub mod exec;
 pub mod index;
 pub mod intern;
+pub(crate) mod metrics;
 pub mod planner;
 pub mod query;
 pub mod view;
 pub mod world;
 
 pub use change::{
-    BatchOp, Change, ChangeOp, DurabilityWatermark, TapId, WatermarkSnapshot, WriteBatch,
+    BatchOp, Change, ChangeOp, DurabilityWatermark, TapId, TapStats, WatermarkSnapshot, WriteBatch,
 };
 pub use column::{Column, ColumnData};
 pub use effect::{Effect, EffectBuffer, SpawnRequest};

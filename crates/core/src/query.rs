@@ -199,7 +199,11 @@ impl Query {
     pub fn run(&self, world: &World) -> Vec<EntityId> {
         if self.index_eligible(world) {
             let stats = crate::planner::TableStats::for_query(world, self);
-            return crate::planner::plan(self, &stats).run(world);
+            let chosen = crate::planner::plan(self, &stats);
+            if let Some(m) = world.core_metrics() {
+                m.note_access(&chosen.access);
+            }
+            return chosen.run(world);
         }
         let mut out = Vec::new();
         match self.within {
@@ -243,7 +247,11 @@ impl Query {
     pub fn count(&self, world: &World) -> usize {
         if self.index_eligible(world) {
             let stats = crate::planner::TableStats::for_query(world, self);
-            return crate::planner::plan(self, &stats).count(world);
+            let chosen = crate::planner::plan(self, &stats);
+            if let Some(m) = world.core_metrics() {
+                m.note_access(&chosen.access);
+            }
+            return chosen.count(world);
         }
         // Same traversal as `run`, avoiding the output vector.
         match self.within {

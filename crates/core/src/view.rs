@@ -48,6 +48,7 @@
 
 use crate::change::{Change, ChangeOp};
 use crate::entity::EntityId;
+use crate::metrics::CoreMetrics;
 use crate::planner::{plan, TableStats};
 use crate::query::Query;
 use crate::world::World;
@@ -128,6 +129,18 @@ pub struct ViewStats {
 /// Apply a sorted membership diff to a sorted row set: `entered` holds
 /// ids absent from `old`, `exited` ids present in it; all three inputs
 /// are ascending. O(|old| + |entered|).
+/// Per-batch fold context shared by every view refresh: the entities a
+/// change-stream segment touched, its structural (spawn/despawn) subset,
+/// its per-component deltas (sorted by component then id, deduped), and
+/// the row-op count.
+#[derive(Clone, Copy)]
+struct FoldCtx<'a> {
+    touched: &'a [EntityId],
+    structural: &'a [EntityId],
+    comp_deltas: &'a [(crate::intern::ComponentId, EntityId)],
+    batch_len: usize,
+}
+
 fn apply_diff(old: &[EntityId], entered: &[EntityId], exited: &[EntityId]) -> Vec<EntityId> {
     let mut out = Vec::with_capacity(old.len() + entered.len() - exited.len());
     let (mut e, mut x) = (0usize, 0usize);
@@ -219,6 +232,10 @@ impl StandingView {
     /// Planner-driven re-evaluation, diffed against the current rows.
     fn rescan_diff(&mut self, world: &World) -> (Vec<EntityId>, Vec<EntityId>) {
         let chosen = plan(&self.query, &TableStats::for_query(world, &self.query));
+        if let Some(m) = world.core_metrics() {
+            m.note_access(&chosen.access);
+            m.view_rescans.inc();
+        }
         let new_rows = chosen.run(world);
         let (entered, exited) = diff_sorted(&self.rows, &new_rows);
         self.rows = new_rows;
@@ -226,17 +243,10 @@ impl StandingView {
         (entered, exited)
     }
 
-    /// Fold one delta batch into the view. `touched`, `structural`, and
-    /// `comp_deltas` (sorted by component, then id, deduped) are shared
-    /// across all views of the batch.
-    fn refresh(
-        &mut self,
-        world: &World,
-        touched: &[EntityId],
-        structural: &[EntityId],
-        comp_deltas: &[(crate::intern::ComponentId, EntityId)],
-        batch_len: usize,
-    ) {
+    /// Fold one delta batch into the view. The [`FoldCtx`] (sorted,
+    /// deduped) is computed once per batch and shared across all views.
+    fn refresh(&mut self, world: &World, ctx: &FoldCtx<'_>, slot: usize, metrics: Option<&CoreMetrics>) {
+        let FoldCtx { touched, structural, comp_deltas, batch_len } = *ctx;
         self.stats.refreshes += 1;
         self.stats.deltas_seen += batch_len as u64;
 
@@ -276,6 +286,9 @@ impl StandingView {
             let chosen = plan(&self.query, &TableStats::for_query(world, &self.query));
             let rescan_cost = chosen.est_cost + self.rows.len() as f64;
             if incremental_cost > rescan_cost {
+                if let Some(m) = metrics {
+                    m.note_access(&chosen.access);
+                }
                 let new_rows = chosen.run(world);
                 let (entered, exited) = diff_sorted(&self.rows, &new_rows);
                 self.rows = new_rows;
@@ -311,6 +324,26 @@ impl StandingView {
             .filter(|t| self.rows.binary_search(t).is_ok() && entered.binary_search(t).is_err())
             .collect();
 
+        if let Some(m) = metrics {
+            m.view_refreshes.inc();
+            m.view_deltas.add(batch_len as u64);
+            m.view_candidates.observe(candidates.len() as u64);
+            if rescanned {
+                m.view_rescans.inc();
+            } else {
+                m.view_incremental.inc();
+            }
+            m.view_entered.add(entered.len() as u64);
+            m.view_exited.add(exited.len() as u64);
+            m.view_changed.add(changed.len() as u64);
+            let per_slot = m.view_slot(slot);
+            per_slot.refreshes.inc();
+            per_slot.candidates.add(candidates.len() as u64);
+            if rescanned {
+                per_slot.rescans.inc();
+            }
+        }
+
         self.log.absorb_batch(entered, exited, changed, rescanned);
     }
 
@@ -319,6 +352,9 @@ impl StandingView {
         self.query.retarget_within(center, radius);
         let (entered, exited) = self.rescan_diff(world);
         self.stats.refreshes += 1;
+        if let Some(m) = world.core_metrics() {
+            m.view_refreshes.inc();
+        }
         self.log.absorb_batch(entered, exited, Vec::new(), true);
     }
 }
@@ -473,8 +509,16 @@ impl ViewRegistry {
     /// — they exist for the stream's other taps). `world` is the
     /// post-segment state (the registry is temporarily moved out of the
     /// world while this runs, which is invisible here: refresh only
-    /// reads columns, indexes, and the spatial grid).
-    pub(crate) fn apply(&mut self, world: &World, changes: &[Change]) {
+    /// reads columns, indexes, and the spatial grid). `metrics` is
+    /// threaded in explicitly because the change stream — where the
+    /// handle lives — is *also* moved out of the world during the fold,
+    /// so `world.core_metrics()` would read `None` here.
+    pub(crate) fn apply(
+        &mut self,
+        world: &World,
+        changes: &[Change],
+        metrics: Option<&CoreMetrics>,
+    ) {
         if changes.is_empty() || self.active == 0 {
             return;
         }
@@ -508,8 +552,16 @@ impl ViewRegistry {
         structural.dedup();
         comp_deltas.sort_unstable();
         comp_deltas.dedup();
-        for view in self.views.iter_mut().flatten() {
-            view.refresh(world, &touched, &structural, &comp_deltas, row_ops);
+        let ctx = FoldCtx {
+            touched: &touched,
+            structural: &structural,
+            comp_deltas: &comp_deltas,
+            batch_len: row_ops,
+        };
+        for (slot, view) in self.views.iter_mut().enumerate() {
+            if let Some(view) = view {
+                view.refresh(world, &ctx, slot, metrics);
+            }
         }
     }
 

@@ -12,11 +12,14 @@
 //! maintenance invariants are listed in [`crate::index`].
 
 use std::fmt;
+use std::sync::Arc;
 
 use gamedb_content::{ComponentView, ResolvedTemplate, Value, ValueType};
+use gamedb_metrics::MetricsRegistry;
 use gamedb_spatial::{SpatialIndex, UniformGrid, Vec2};
 
-use crate::change::{BatchOp, Change, ChangeOp, ChangeStream, TapId, WriteBatch};
+use crate::change::{BatchOp, Change, ChangeOp, ChangeStream, TapId, TapStats, WriteBatch};
+use crate::metrics::CoreMetrics;
 use crate::column::Column;
 use crate::entity::{EntityAllocator, EntityId};
 use crate::index::{IndexKind, SecondaryIndex};
@@ -423,6 +426,42 @@ impl World {
     /// stream (0 for detached or evicted taps).
     pub fn tap_lag(&self, tap: TapId) -> u64 {
         self.changes.tap_lag(tap)
+    }
+
+    /// One coherent reading of a tap's state: lag, acked sequence,
+    /// pinned flag, and whether it is evicted or attached at all —
+    /// everything [`World::tap_lag`] / [`World::tap_pinned`] /
+    /// [`World::tap_evicted`] report, taken at one instant.
+    pub fn tap_stats(&self, tap: TapId) -> TapStats {
+        self.changes.tap_stats(tap)
+    }
+
+    // ---- instrumentation ----
+
+    /// Attach a metrics registry: from here on the engine reports
+    /// counters, gauges, and histograms for the change stream, standing
+    /// views, and the query planner into `registry` (catalog in
+    /// ARCHITECTURE.md § Observability). Purely observational — a
+    /// seeded workload is bit-identical with and without metrics.
+    /// Replaces any previously attached registry. Like taps, clones of
+    /// this world do **not** inherit the attachment.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.changes
+            .set_metrics(Some(Arc::new(CoreMetrics::new(registry))));
+    }
+
+    /// Detach the metrics registry attached by
+    /// [`World::attach_metrics`]; reporting stops immediately.
+    pub fn detach_metrics(&mut self) {
+        self.changes.set_metrics(None);
+    }
+
+    /// The cached metric handles, when a registry is attached. Hot
+    /// paths that only hold `&World` (queries, view refreshes) report
+    /// through this.
+    #[inline]
+    pub(crate) fn core_metrics(&self) -> Option<&Arc<CoreMetrics>> {
+        self.changes.metrics()
     }
 
     /// Detach a tap; returns whether it was attached. Records it had not
@@ -1018,7 +1057,7 @@ impl World {
         // the round-trip — taps that have not consumed it yet keep it.
         let stream = std::mem::take(&mut self.changes);
         let mut views = std::mem::take(&mut self.views);
-        views.apply(self, stream.pending_views());
+        views.apply(self, stream.pending_views(), stream.metrics().map(Arc::as_ref));
         self.views = views;
         self.changes = stream;
         self.changes.mark_views_folded();
@@ -1347,6 +1386,10 @@ impl World {
                 BatchOp::Set { .. } | BatchOp::SetPos { .. } => unreachable!("handled above"),
             }
             i += 1;
+        }
+        if let Some(m) = self.core_metrics() {
+            m.batches.inc();
+            m.batch_ops.observe(total as u64);
         }
         Ok(total)
     }

@@ -1,0 +1,676 @@
+//! # gamedb-metrics
+//!
+//! The engine's observability surface: a lock-cheap registry of named
+//! **counters**, **gauges**, and **fixed-bucket histograms**, threaded
+//! through every subsystem as an optional handle. The paper's pitch is
+//! that an MMO backend is a database problem — and databases are only
+//! operable when their internals (queue depths, flush latencies, plan
+//! choices, replication bytes) are exported as queryable facts rather
+//! than log lines.
+//!
+//! ## Design
+//!
+//! * **Registration is locked, updates are not.** [`MetricsRegistry`]
+//!   holds a name → metric map behind a mutex, but `counter` / `gauge` /
+//!   `histogram` return cheap `Arc`-backed handles ([`Counter`],
+//!   [`Gauge`], [`Histogram`]) that subsystems cache once at attach
+//!   time. The hot path — a write record, a WAL flush — is a relaxed
+//!   atomic op, no lock, no map lookup, no allocation.
+//! * **Purely observational.** Handles never feed back into engine
+//!   decisions; enabling metrics must leave a seeded workload
+//!   bit-identical (enforced by `tests/metrics_transparency.rs` at the
+//!   workspace root).
+//! * **Snapshots are values.** [`MetricsRegistry::snapshot`] reads every
+//!   metric into a [`Snapshot`] — an ordered name → value map that
+//!   supports [`Snapshot::delta`] (what happened between two readings)
+//!   and [`Snapshot::merge`] (fold readings from several nodes into a
+//!   cluster-wide view; commutative). Export as stable sorted text
+//!   ([`Snapshot::render_text`]) or machine-readable JSON
+//!   ([`Snapshot::to_json`]).
+//!
+//! ```
+//! use gamedb_metrics::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let commits = reg.counter("wal.commits");
+//! let depth = reg.gauge("wal.queue_depth");
+//! let lat = reg.histogram("wal.enqueue_to_durable_us", gamedb_metrics::LATENCY_US_BUCKETS);
+//! commits.inc();
+//! depth.set(3);
+//! lat.observe(120);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("wal.commits"), 1);
+//! assert_eq!(snap.gauge("wal.queue_depth"), 3);
+//! assert!(snap.render_text().contains("wal.commits"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Bucket upper bounds (µs) for latency histograms — 50µs to 1s, roughly
+/// geometric. Values above the last bound land in the overflow bucket.
+pub const LATENCY_US_BUCKETS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// Bucket upper bounds for batch/segment **size** histograms (ops, rows,
+/// or commits per unit) — powers of two up to 16k.
+pub const SIZE_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level (queue depth, lag, retained records). Signed so
+/// "how far below target" states are representable.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set to an absolute level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by a delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state of one fixed-bucket histogram. `counts[i]` counts
+/// observations `<= bounds[i]`; the final slot is the overflow bucket.
+#[derive(Debug)]
+struct HistCell {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations (latencies in µs,
+/// batch sizes in ops). Buckets are cumulative-free: each observation
+/// lands in exactly one bucket (first bound `>=` value, else overflow).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCell>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let cell = &*self.0;
+        let idx = cell
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(cell.bounds.len());
+        cell.counts[idx].fetch_add(1, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric (the registry's map value).
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// The registry: get-or-create named metrics, snapshot them all.
+/// Cloning is cheap and shares the underlying metrics — a subsystem
+/// holding a clone reports into the same registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`. Panics if `name` is already
+    /// registered as a different kind — a naming bug worth failing loud
+    /// on, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.metrics.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge `name` (panics on kind mismatch).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.metrics.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram `name` with the given bucket upper
+    /// bounds (ascending; an implicit overflow bucket is appended).
+    /// Re-registering returns the existing histogram — its original
+    /// bounds win. Panics on kind mismatch.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let mut map = self.inner.metrics.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(Histogram(Arc::new(HistCell {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Read every metric into a detached [`Snapshot`]. Concurrent
+    /// updates may land between individual reads — each metric's value
+    /// is exact, the set is only approximately simultaneous (quiesce
+    /// writers for exact cross-metric consistency).
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.metrics.lock().expect("metrics registry poisoned");
+        let metrics = map
+            .iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(HistogramValue {
+                        bounds: h.0.bounds.clone(),
+                        counts: h.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    }),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+/// Snapshot value of one histogram: per-bucket counts (`counts[i]` is
+/// observations `<= bounds[i]`; the extra final slot is overflow), total
+/// count and value sum.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramValue {
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramValue {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in
+    /// 0..=1), `u64::MAX` when it falls in the overflow bucket, 0 when
+    /// empty. Coarse by construction — resolution is the bucket grid.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Pointwise combine with `f` over aligned buckets. Mismatched
+    /// bucket grids fold bucket-by-upper-bound: counts of bounds absent
+    /// from the union keep their own slot.
+    fn combine(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        if self.bounds == other.bounds {
+            return HistogramValue {
+                bounds: self.bounds.clone(),
+                counts: self
+                    .counts
+                    .iter()
+                    .zip(&other.counts)
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+                count: f(self.count, other.count),
+                sum: f(self.sum, other.sum),
+            };
+        }
+        // Union grid: key every bucket by its upper bound (overflow =
+        // u64::MAX), combine per key.
+        let mut byb: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let b = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            byb.entry(b).or_default().0 += c;
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            let b = other.bounds.get(i).copied().unwrap_or(u64::MAX);
+            byb.entry(b).or_default().1 += c;
+        }
+        let mut bounds = Vec::new();
+        let mut counts = Vec::new();
+        let mut overflow = 0;
+        for (b, (a, o)) in byb {
+            if b == u64::MAX {
+                overflow = f(a, o);
+            } else {
+                bounds.push(b);
+                counts.push(f(a, o));
+            }
+        }
+        counts.push(overflow);
+        HistogramValue {
+            bounds,
+            counts,
+            count: f(self.count, other.count),
+            sum: f(self.sum, other.sum),
+        }
+    }
+}
+
+/// Snapshot value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramValue),
+}
+
+/// A detached reading of every metric in a registry: an ordered
+/// name → value map. Supports interval arithmetic ([`Snapshot::delta`])
+/// and cross-node aggregation ([`Snapshot::merge`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Look up one metric.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// Counter value, 0 when absent (or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge level, 0 when absent (or not a gauge).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram value, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramValue> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// What happened **between** `base` and `self` (`self` the later
+    /// reading): counters and histogram buckets subtract (saturating, so
+    /// a restarted peer reads as zero, not underflow); gauges keep the
+    /// later level — a gauge is a state, not an accumulation. Metrics
+    /// absent from `base` pass through unchanged, so
+    /// `base + (later − base) = later` for counters and histograms:
+    /// deltas are additive (the property test holds this).
+    pub fn delta(&self, base: &Snapshot) -> Snapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, v)| {
+                let dv = match (v, base.metrics.get(name)) {
+                    (MetricValue::Counter(a), Some(MetricValue::Counter(b))) => {
+                        MetricValue::Counter(a.saturating_sub(*b))
+                    }
+                    (MetricValue::Histogram(a), Some(MetricValue::Histogram(b))) => {
+                        MetricValue::Histogram(a.combine(b, u64::saturating_sub))
+                    }
+                    // gauges, and anything base never saw, keep the later value
+                    (v, _) => v.clone(),
+                };
+                (name.clone(), dv)
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+
+    /// Fold another snapshot in (cluster aggregation): counters,
+    /// histograms, **and gauges** add — the merged gauge is the summed
+    /// level across peers (total queue depth, total lag). Commutative
+    /// and associative: merging N per-node snapshots in any order yields
+    /// the same cluster snapshot (the property test holds this).
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut metrics = self.metrics.clone();
+        for (name, v) in &other.metrics {
+            match metrics.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = match (e.get(), v) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                            MetricValue::Counter(a + b)
+                        }
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => MetricValue::Gauge(a + b),
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                            MetricValue::Histogram(a.combine(b, |x, y| x + y))
+                        }
+                        // kind clash across peers: keep self's reading
+                        (mine, _) => mine.clone(),
+                    };
+                    e.insert(merged);
+                }
+            }
+        }
+        Snapshot { metrics }
+    }
+
+    /// Stable text export: one line per metric, sorted by name. The
+    /// cluster-scenario report artifact is this format.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.metrics {
+            match v {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("{name} counter {c}\n"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("{name} gauge {g}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{name} histogram count={} sum={} mean={:.1}",
+                        h.count,
+                        h.sum,
+                        h.mean()
+                    ));
+                    for (i, &c) in h.counts.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        match h.bounds.get(i) {
+                            Some(b) => out.push_str(&format!(" le{b}={c}")),
+                            None => out.push_str(&format!(" inf={c}")),
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Machine-readable export: a JSON object keyed by metric name.
+    /// Hand-rolled (no serde in the dependency budget); names are the
+    /// registry's dotted identifiers, so no string escaping is needed
+    /// beyond quotes.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut parts = Vec::with_capacity(self.metrics.len());
+        for (name, v) in &self.metrics {
+            let body = match v {
+                MetricValue::Counter(c) => format!("{{\"type\":\"counter\",\"value\":{c}}}"),
+                MetricValue::Gauge(g) => format!("{{\"type\":\"gauge\",\"value\":{g}}}"),
+                MetricValue::Histogram(h) => {
+                    let bounds: Vec<String> = h.bounds.iter().map(|b| b.to_string()).collect();
+                    let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+                    format!(
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"bounds\":[{}],\"counts\":[{}]}}",
+                        h.count,
+                        h.sum,
+                        bounds.join(","),
+                        counts.join(",")
+                    )
+                }
+            };
+            parts.push(format!("\"{}\":{}", esc(name), body));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        let g = reg.gauge("a.level");
+        let h = reg.histogram("a.lat", &[10, 100]);
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.count"), 5);
+        assert_eq!(snap.gauge("a.level"), 5);
+        let hv = snap.histogram("a.lat").unwrap();
+        assert_eq!(hv.count, 3);
+        assert_eq!(hv.sum, 5055);
+        assert_eq!(hv.counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.counter("x").inc();
+        assert_eq!(reg.snapshot().counter("x"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.counter("shared").add(3);
+        assert_eq!(reg.snapshot().counter("shared"), 3);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h", &[10]);
+        c.add(2);
+        g.set(5);
+        h.observe(3);
+        let base = reg.snapshot();
+        c.add(10);
+        g.set(-1);
+        h.observe(3);
+        h.observe(30);
+        let later = reg.snapshot();
+        let d = later.delta(&base);
+        assert_eq!(d.counter("c"), 10);
+        assert_eq!(d.gauge("g"), -1, "gauges report the later level");
+        let hv = d.histogram("h").unwrap();
+        assert_eq!(hv.count, 2);
+        assert_eq!(hv.counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a_reg = MetricsRegistry::new();
+        a_reg.counter("c").add(2);
+        a_reg.gauge("g").set(3);
+        a_reg.histogram("h", &[10, 100]).observe(7);
+        let b_reg = MetricsRegistry::new();
+        b_reg.counter("c").add(5);
+        b_reg.gauge("g").set(4);
+        b_reg.histogram("h", &[10, 100]).observe(70);
+        b_reg.counter("only_b").inc();
+        let (a, b) = (a_reg.snapshot(), b_reg.snapshot());
+        let ab = a.merge(&b);
+        assert_eq!(ab, b.merge(&a));
+        assert_eq!(ab.counter("c"), 7);
+        assert_eq!(ab.gauge("g"), 7, "merged gauges sum across peers");
+        assert_eq!(ab.counter("only_b"), 1);
+        assert_eq!(ab.histogram("h").unwrap().counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn merge_unions_mismatched_bucket_grids() {
+        let a_reg = MetricsRegistry::new();
+        a_reg.histogram("h", &[10]).observe(5);
+        let b_reg = MetricsRegistry::new();
+        b_reg.histogram("h", &[100]).observe(50);
+        let m = a_reg.snapshot().merge(&b_reg.snapshot());
+        let hv = m.histogram("h").unwrap();
+        assert_eq!(hv.bounds, vec![10, 100]);
+        assert_eq!(hv.counts, vec![1, 1, 0]);
+        assert_eq!(hv.count, 2);
+    }
+
+    #[test]
+    fn quantile_bound_walks_the_grid() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[10, 100, 1000]);
+        for _ in 0..90 {
+            h.observe(5);
+        }
+        for _ in 0..10 {
+            h.observe(500);
+        }
+        let hv = reg.snapshot();
+        let hv = hv.histogram("h").unwrap();
+        assert_eq!(hv.quantile_bound(0.5), 10);
+        assert_eq!(hv.quantile_bound(0.99), 1000);
+        assert_eq!(hv.quantile_bound(1.0), 1000);
+    }
+
+    #[test]
+    fn text_export_is_stable_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").inc();
+        reg.counter("a.first").add(2);
+        let text = reg.snapshot().render_text();
+        assert_eq!(text, "a.first counter 2\nb.second counter 1\n");
+        assert_eq!(text, reg.snapshot().render_text(), "rendering is stable");
+    }
+
+    #[test]
+    fn json_export_is_parseable_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.gauge("g").set(-2);
+        reg.histogram("h", &[10]).observe(4);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"c\":{\"type\":\"counter\",\"value\":1}"));
+        assert!(json.contains("\"g\":{\"type\":\"gauge\",\"value\":-2}"));
+        assert!(json.contains("\"bounds\":[10]"));
+    }
+}

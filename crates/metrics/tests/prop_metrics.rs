@@ -1,0 +1,181 @@
+//! Property tests for the metrics registry — the algebra the cluster
+//! report relies on:
+//! * **deltas are additive**: for any interleaving of updates with two
+//!   snapshot points, `base + (later − base) = later` for counters and
+//!   histograms (so stitching interval deltas back together loses
+//!   nothing);
+//! * **merge is commutative and associative** across per-thread
+//!   registries, so folding N nodes' snapshots into a cluster view is
+//!   order-independent;
+//! * concurrent updates from many threads are all accounted (nothing
+//!   lost to the lock-free hot path).
+
+use gamedb_metrics::{MetricValue, MetricsRegistry, Snapshot};
+use proptest::prelude::*;
+
+/// One randomized metric update.
+#[derive(Debug, Clone)]
+enum Update {
+    Count(u8, u32),
+    GaugeSet(u8, i32),
+    GaugeAdd(u8, i16),
+    Observe(u8, u32),
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (0u8..4, 0u32..1000).prop_map(|(k, n)| Update::Count(k, n)),
+        (0u8..4, -500i32..500).prop_map(|(k, v)| Update::GaugeSet(k, v)),
+        (0u8..4, -50i16..50).prop_map(|(k, d)| Update::GaugeAdd(k, d)),
+        (0u8..4, 0u32..100_000).prop_map(|(k, v)| Update::Observe(k, v)),
+    ]
+}
+
+fn apply(reg: &MetricsRegistry, u: &Update) {
+    match u {
+        Update::Count(k, n) => reg.counter(&format!("c{k}")).add(*n as u64),
+        Update::GaugeSet(k, v) => reg.gauge(&format!("g{k}")).set(*v as i64),
+        Update::GaugeAdd(k, d) => reg.gauge(&format!("g{k}")).add(*d as i64),
+        Update::Observe(k, v) => reg
+            .histogram(&format!("h{k}"), &[10, 100, 1000, 10_000])
+            .observe(*v as u64),
+    }
+}
+
+/// base + (later − base) must reproduce later exactly for counters and
+/// histograms; gauges report the later level by definition.
+fn assert_delta_additive(base: &Snapshot, later: &Snapshot) {
+    let delta = later.delta(base);
+    for (name, v) in later.iter() {
+        match v {
+            MetricValue::Counter(c) => {
+                assert_eq!(base.counter(name) + delta.counter(name), *c, "counter {name}");
+            }
+            MetricValue::Gauge(g) => {
+                assert_eq!(delta.gauge(name), *g, "gauge {name} keeps the later level");
+            }
+            MetricValue::Histogram(h) => {
+                let d = delta.histogram(name).expect("delta has the histogram");
+                let rebuilt = match base.histogram(name) {
+                    Some(b) => {
+                        let mut counts = b.counts.clone();
+                        for (i, c) in d.counts.iter().enumerate() {
+                            counts[i] += c;
+                        }
+                        (counts, b.count + d.count, b.sum + d.sum)
+                    }
+                    None => (d.counts.clone(), d.count, d.sum),
+                };
+                assert_eq!(rebuilt, (h.counts.clone(), h.count, h.sum), "histogram {name}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn snapshot_deltas_are_additive(
+        before in proptest::collection::vec(update_strategy(), 0..40),
+        after in proptest::collection::vec(update_strategy(), 0..40),
+    ) {
+        let reg = MetricsRegistry::new();
+        for u in &before {
+            apply(&reg, u);
+        }
+        let base = reg.snapshot();
+        for u in &after {
+            apply(&reg, u);
+        }
+        assert_delta_additive(&base, &reg.snapshot());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in proptest::collection::vec(update_strategy(), 0..30),
+        b in proptest::collection::vec(update_strategy(), 0..30),
+        c in proptest::collection::vec(update_strategy(), 0..30),
+    ) {
+        // three independent "nodes" reporting overlapping metric names
+        let snaps: Vec<Snapshot> = [&a, &b, &c]
+            .iter()
+            .map(|updates| {
+                let reg = MetricsRegistry::new();
+                for u in updates.iter() {
+                    apply(&reg, u);
+                }
+                reg.snapshot()
+            })
+            .collect();
+        let (sa, sb, sc) = (&snaps[0], &snaps[1], &snaps[2]);
+        prop_assert_eq!(sa.merge(sb), sb.merge(sa));
+        prop_assert_eq!(sa.merge(sb).merge(sc), sa.merge(&sb.merge(sc)));
+        prop_assert_eq!(sc.merge(&sa.merge(sb)), sa.merge(sb).merge(sc));
+    }
+
+    #[test]
+    fn threaded_updates_are_all_accounted(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(update_strategy(), 1..25), 2..5),
+    ) {
+        // Shared registry, one thread per update list: after joining,
+        // counters and histograms must equal the sum every thread
+        // contributed — the relaxed-atomic hot path drops nothing.
+        let reg = MetricsRegistry::new();
+        let handles: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|updates| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for u in &updates {
+                        apply(&reg, u);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("updater thread panicked");
+        }
+        let snap = reg.snapshot();
+        let all: Vec<&Update> = per_thread.iter().flatten().collect();
+        for k in 0u8..4 {
+            let expected: u64 = all
+                .iter()
+                .map(|u| match u {
+                    Update::Count(key, n) if *key == k => *n as u64,
+                    _ => 0,
+                })
+                .sum();
+            prop_assert_eq!(snap.counter(&format!("c{k}")), expected);
+            let observed: Vec<u64> = all
+                .iter()
+                .filter_map(|u| match u {
+                    Update::Observe(key, v) if *key == k => Some(*v as u64),
+                    _ => None,
+                })
+                .collect();
+            match snap.histogram(&format!("h{k}")) {
+                Some(h) => {
+                    prop_assert_eq!(h.count, observed.len() as u64);
+                    prop_assert_eq!(h.sum, observed.iter().sum::<u64>());
+                }
+                None => prop_assert!(observed.is_empty()),
+            }
+        }
+        // per-thread snapshots merged equal the shared-registry totals
+        // for counters/histograms when each thread had its own registry
+        let merged = per_thread
+            .iter()
+            .map(|updates| {
+                let reg = MetricsRegistry::new();
+                for u in updates.iter() {
+                    apply(&reg, u);
+                }
+                reg.snapshot()
+            })
+            .fold(Snapshot::default(), |acc, s| acc.merge(&s));
+        for k in 0u8..4 {
+            prop_assert_eq!(merged.counter(&format!("c{k}")), snap.counter(&format!("c{k}")));
+        }
+    }
+}

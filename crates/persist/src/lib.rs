@@ -44,6 +44,7 @@ pub mod checkpoint;
 mod compat;
 pub mod crashpoint;
 pub mod delta;
+pub(crate) mod metrics;
 pub mod schema;
 pub mod snapshot;
 pub mod wal;
@@ -62,4 +63,6 @@ pub use schema::{
 };
 pub use snapshot::{checksum, decode, encode, SnapshotError};
 pub use wal::{decode_log, replay_after_checkpoint, varint_len, CompRef, WalRecord};
-pub use walstore::{recover_from_parts, CommitSeq, FlushPolicy, StoreError, WalStats, WalStore};
+pub use walstore::{
+    recover_from_parts, CommitSeq, FlushPolicy, StoreError, WalStats, WalStore, WalWatermark,
+};

@@ -50,8 +50,10 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use gamedb_core::{Change, CoreError, DurabilityWatermark, Query, TapId, ViewId, World};
+use gamedb_metrics::MetricsRegistry;
 
 use crate::backend::{Backend, BackendError};
+use crate::metrics::WalMetrics;
 use crate::snapshot;
 use crate::wal::{decode_log, replay_after_checkpoint, WalRecord};
 
@@ -155,6 +157,20 @@ impl Default for FlushPolicy {
     }
 }
 
+/// One coherent reading of the durability watermark
+/// ([`WalStore::watermark_snapshot`]): everything at or below `durable`
+/// survives any crash; `lag` commit boundaries would be lost by a crash
+/// right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalWatermark {
+    /// Highest [`CommitSeq`] handed to the durability pipeline.
+    pub enqueued: CommitSeq,
+    /// Highest [`CommitSeq`] durably flushed.
+    pub durable: CommitSeq,
+    /// `enqueued - durable`, computed from one durable read.
+    pub lag: u64,
+}
+
 /// Store statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WalStats {
@@ -177,8 +193,14 @@ pub struct WalStats {
 /// written them in.
 enum WriterCmd {
     /// One commit's pending change-stream segment. The writer encodes
-    /// it (one frame; `Batch` when multi-op) and appends it.
-    Frame { seq: u64, changes: Vec<Change> },
+    /// it (one frame; `Batch` when multi-op) and appends it. `enqueued`
+    /// stamps the commit boundary so the writer can report
+    /// enqueue→durable latency once a flush covers the frame.
+    Frame {
+        seq: u64,
+        changes: Vec<Change>,
+        enqueued: Instant,
+    },
     /// A checkpoint: install the pre-encoded snapshot, append its mark,
     /// and flush durably.
     Checkpoint {
@@ -214,6 +236,10 @@ struct WriterShared {
     /// flushing — in-flight frames vanish like any other unflushed
     /// write.
     abort: AtomicBool,
+    /// Instrumentation handles, installed by
+    /// [`WalStore::attach_metrics`] after the writer is spawned. The
+    /// writer reads this only at flush boundaries, never per frame.
+    metrics: Mutex<Option<WalMetrics>>,
 }
 
 impl WriterShared {
@@ -223,6 +249,9 @@ impl WriterShared {
             st.error = Some(msg);
         }
         drop(st);
+        if let Some(m) = &*self.metrics.lock().expect("writer metrics poisoned") {
+            m.writer_errors.inc();
+        }
         self.durable_cv.notify_all();
     }
 }
@@ -231,7 +260,15 @@ impl WriterShared {
 /// Returns false when the writer must stop (I/O error, or the backend
 /// crashed at a scheduled fault — claiming durability past a crash
 /// would be a lie, so the watermark freezes at the last clean flush).
-fn writer_flush(backend: &Mutex<Backend>, shared: &WriterShared, upto: u64) -> bool {
+/// `inflight` holds the (commit seq, enqueue instant) of every frame
+/// appended but not yet durable; the covered prefix is drained into the
+/// enqueue→durable latency histogram when metrics are attached.
+fn writer_flush(
+    backend: &Mutex<Backend>,
+    shared: &WriterShared,
+    upto: u64,
+    inflight: &mut Vec<(u64, Instant)>,
+) -> bool {
     {
         let mut b = backend.lock().expect("backend poisoned");
         if let Err(e) = b.flush() {
@@ -252,6 +289,16 @@ fn writer_flush(backend: &Mutex<Backend>, shared: &WriterShared, upto: u64) -> b
     st.durable = st.durable.max(upto);
     st.flushes += 1;
     drop(st);
+    let covered = inflight.iter().take_while(|(seq, _)| *seq <= upto).count();
+    if let Some(m) = &*shared.metrics.lock().expect("writer metrics poisoned") {
+        m.flushes.inc();
+        m.flush_commits.observe(covered as u64);
+        for (_, enqueued) in &inflight[..covered] {
+            m.enqueue_to_durable_us
+                .observe(enqueued.elapsed().as_micros() as u64);
+        }
+    }
+    inflight.drain(..covered);
     shared.durable_cv.notify_all();
     true
 }
@@ -269,6 +316,9 @@ fn writer_loop(
     let mut buffered_ops = 0usize;
     let mut appended_seq = 0u64;
     let mut deadline: Option<Instant> = None;
+    // (commit seq, enqueue instant) of appended-but-not-durable frames,
+    // in seq order — drained into the latency histogram at each flush
+    let mut inflight: Vec<(u64, Instant)> = Vec::new();
     loop {
         if shared.abort.load(Ordering::SeqCst) {
             return;
@@ -288,7 +338,11 @@ fn writer_loop(
             return;
         }
         match msg {
-            Ok(WriterCmd::Frame { seq, changes }) => {
+            Ok(WriterCmd::Frame {
+                seq,
+                changes,
+                enqueued,
+            }) => {
                 // frame encoding happens here, off the mutating thread
                 let mut ops: Vec<WalRecord> =
                     changes.iter().map(WalRecord::from_change).collect();
@@ -303,8 +357,9 @@ fn writer_loop(
                     .append_log(&record.encode());
                 buffered_ops += changes.len();
                 appended_seq = seq;
+                inflight.push((seq, enqueued));
                 if buffered_ops >= policy.every_ops {
-                    if !writer_flush(&backend, &shared, appended_seq) {
+                    if !writer_flush(&backend, &shared, appended_seq, &mut inflight) {
                         return;
                     }
                     buffered_ops = 0;
@@ -324,7 +379,7 @@ fn writer_loop(
                     b.append_log(&WalRecord::CheckpointMark { seq: snapshot_seq }.encode());
                 }
                 appended_seq = seq;
-                if !writer_flush(&backend, &shared, appended_seq) {
+                if !writer_flush(&backend, &shared, appended_seq, &mut inflight) {
                     return;
                 }
                 buffered_ops = 0;
@@ -332,7 +387,7 @@ fn writer_loop(
             }
             Ok(WriterCmd::Flush) | Err(RecvTimeoutError::Timeout) => {
                 if buffered_ops > 0 {
-                    if !writer_flush(&backend, &shared, appended_seq) {
+                    if !writer_flush(&backend, &shared, appended_seq, &mut inflight) {
                         return;
                     }
                     buffered_ops = 0;
@@ -346,7 +401,7 @@ fn writer_loop(
             Err(RecvTimeoutError::Disconnected) => {
                 // clean shutdown: make everything enqueued durable
                 if buffered_ops > 0 {
-                    writer_flush(&backend, &shared, appended_seq);
+                    writer_flush(&backend, &shared, appended_seq, &mut inflight);
                 }
                 return;
             }
@@ -403,6 +458,11 @@ impl AsyncWriter {
 
     fn durable(&self) -> u64 {
         self.shared.state.lock().expect("writer state poisoned").durable
+    }
+
+    /// Frames waiting in the hand-off queue right now.
+    fn queue_len(&self) -> usize {
+        self.tx.as_ref().map_or(0, Sender::len)
     }
 
     fn wait_durable(&self, seq: u64) -> Result<(), StoreError> {
@@ -488,6 +548,13 @@ pub struct WalStore {
     last_enqueued: u64,
     /// stats
     pub stats: WalStats,
+    /// Instrumentation handles ([`WalStore::attach_metrics`]).
+    metrics: Option<WalMetrics>,
+    /// Sync mode's (commit seq, enqueue instant) of frames appended but
+    /// not yet flushed — the caller-thread counterpart of the async
+    /// writer's inflight list. Empty in async mode and when no metrics
+    /// are attached.
+    sync_inflight: Vec<(u64, Instant)>,
 }
 
 impl WalStore {
@@ -529,6 +596,7 @@ impl WalStore {
             0,
             blueprint,
             WalStats::default(),
+            None,
         ))
     }
 
@@ -539,6 +607,7 @@ impl WalStore {
         snapshot_seq: u64,
         blueprint: Blueprint,
         stats: WalStats,
+        metrics: Option<WalMetrics>,
     ) -> WalStore {
         let mode = match blueprint {
             Blueprint::Sync(group_commit) => Mode::Sync {
@@ -547,7 +616,9 @@ impl WalStore {
                 durable: 0,
             },
             Blueprint::Async(policy, queue_cap) => {
-                Mode::Async(AsyncWriter::spawn(Arc::clone(&backend), policy, queue_cap))
+                let writer = AsyncWriter::spawn(Arc::clone(&backend), policy, queue_cap);
+                *writer.shared.metrics.lock().expect("writer metrics poisoned") = metrics.clone();
+                Mode::Async(writer)
             }
         };
         WalStore {
@@ -558,7 +629,32 @@ impl WalStore {
             mode,
             last_enqueued: 0,
             stats,
+            metrics,
+            sync_inflight: Vec::new(),
         }
+    }
+
+    /// Attach a metrics registry: commits, flush coalescing, the
+    /// enqueue→durable latency histogram, watermark lag, and writer
+    /// errors are reported into `registry` from here on (catalog in
+    /// ARCHITECTURE.md § Observability). Purely observational. Replaces
+    /// any previous attachment; survives
+    /// [`WalStore::crash_and_recover`] like the rest of the blueprint.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let m = WalMetrics::new(registry);
+        if let Mode::Async(w) = &self.mode {
+            *w.shared.metrics.lock().expect("writer metrics poisoned") = Some(m.clone());
+        }
+        self.metrics = Some(m);
+    }
+
+    /// Detach the registry attached by [`WalStore::attach_metrics`].
+    pub fn detach_metrics(&mut self) {
+        if let Mode::Async(w) = &self.mode {
+            *w.shared.metrics.lock().expect("writer metrics poisoned") = None;
+        }
+        self.metrics = None;
+        self.sync_inflight.clear();
     }
 
     /// Read access to the world.
@@ -632,6 +728,20 @@ impl WalStore {
         self.last_enqueued - self.last_durable().0
     }
 
+    /// One coherent reading of the durability watermark: the durable
+    /// seq is read **once**, so `lag` is exactly `enqueued - durable`
+    /// for the values returned — composing [`WalStore::last_enqueued`],
+    /// [`WalStore::last_durable`], and [`WalStore::unacked`] yourself
+    /// can tear when the background writer flushes between the calls.
+    pub fn watermark_snapshot(&self) -> WalWatermark {
+        let durable = self.last_durable();
+        WalWatermark {
+            enqueued: CommitSeq(self.last_enqueued),
+            durable,
+            lag: self.last_enqueued - durable.0,
+        }
+    }
+
     /// Block until commit `seq` is durable. In async mode this hints
     /// the writer to flush immediately (waiters never sit out the group
     /// delay) and surfaces any writer-side failure; in sync mode it
@@ -647,6 +757,15 @@ impl WalStore {
                     self.stats.flushes += 1;
                     *pending = 0;
                     *durable = self.last_enqueued;
+                    if let Some(m) = &self.metrics {
+                        m.flushes.inc();
+                        m.flush_commits.observe(self.sync_inflight.len() as u64);
+                        for (_, enqueued) in self.sync_inflight.drain(..) {
+                            m.enqueue_to_durable_us
+                                .observe(enqueued.elapsed().as_micros() as u64);
+                        }
+                        m.watermark_lag.set(0);
+                    }
                 }
                 Ok(())
             }
@@ -692,6 +811,9 @@ impl WalStore {
                     WalRecord::Batch { ops }
                 };
                 self.last_enqueued += 1;
+                if self.metrics.is_some() {
+                    self.sync_inflight.push((self.last_enqueued, Instant::now()));
+                }
                 let mut b = self.backend.lock().expect("backend poisoned");
                 b.append_log(&record.encode());
                 *pending += n;
@@ -701,6 +823,14 @@ impl WalStore {
                     self.stats.flushes += 1;
                     *pending = 0;
                     *durable = self.last_enqueued;
+                    if let Some(m) = &self.metrics {
+                        m.flushes.inc();
+                        m.flush_commits.observe(self.sync_inflight.len() as u64);
+                        for (_, enqueued) in self.sync_inflight.drain(..) {
+                            m.enqueue_to_durable_us
+                                .observe(enqueued.elapsed().as_micros() as u64);
+                        }
+                    }
                 }
                 n
             }
@@ -720,12 +850,27 @@ impl WalStore {
                 w.send(WriterCmd::Frame {
                     seq: self.last_enqueued,
                     changes,
+                    enqueued: Instant::now(),
                 })?;
                 n
             }
         };
         self.stats.records += 1;
         self.stats.ops += n as u64;
+        if let Some(m) = &self.metrics {
+            m.commits.inc();
+            m.commit_ops.add(n as u64);
+            m.commit_batch_ops.observe(n as u64);
+            let durable = match &self.mode {
+                Mode::Sync { durable, .. } => *durable,
+                Mode::Async(w) => w.durable(),
+            };
+            m.watermark_lag
+                .set(self.last_enqueued.saturating_sub(durable) as i64);
+            if let Mode::Async(w) = &self.mode {
+                m.queue_depth.set(w.queue_len() as i64);
+            }
+        }
         Ok(n)
     }
 
@@ -776,6 +921,16 @@ impl WalStore {
                 *pending = 0;
                 *durable = seq;
                 self.stats.checkpoints += 1;
+                if let Some(m) = &self.metrics {
+                    m.checkpoints.inc();
+                    m.flushes.inc();
+                    m.flush_commits.observe(self.sync_inflight.len() as u64);
+                    for (_, enqueued) in self.sync_inflight.drain(..) {
+                        m.enqueue_to_durable_us
+                            .observe(enqueued.elapsed().as_micros() as u64);
+                    }
+                    m.watermark_lag.set(0);
+                }
                 Ok(())
             }
             Mode::Async(w) => {
@@ -785,6 +940,9 @@ impl WalStore {
                     snapshot: snap,
                 })?;
                 self.stats.checkpoints += 1;
+                if let Some(m) = &self.metrics {
+                    m.checkpoints.inc();
+                }
                 w.wait_durable(seq)
             }
         }
@@ -846,6 +1004,7 @@ impl WalStore {
         };
         let backend = Arc::clone(&self.backend);
         let stats = self.stats;
+        let metrics = self.metrics.clone();
         let snapshot_parts;
         let log;
         {
@@ -862,7 +1021,7 @@ impl WalStore {
         let (mut world, seq, replayed) = recover_from_parts(&snapshot_parts, &log)?;
         let tap = world.attach_tap_pinned();
         Ok((
-            Self::assemble(world, tap, backend, seq, blueprint, stats),
+            Self::assemble(world, tap, backend, seq, blueprint, stats, metrics),
             replayed,
         ))
     }

@@ -11,8 +11,10 @@ use std::collections::HashMap;
 
 use gamedb_content::{Value, ValueType};
 use gamedb_core::{EffectBuffer, EntityId, World};
+use gamedb_metrics::MetricsRegistry;
 
 use crate::compile::{compile, CompiledScript};
+use crate::metrics::ScriptMetrics;
 use crate::interp::{run_script, ExecOptions, RuntimeError, ScriptLibrary};
 use crate::parser::{parse_script, ParseError};
 use crate::types::{check_library, Level, TypeError};
@@ -59,6 +61,8 @@ pub struct ScriptEngine {
     optimize: bool,
     /// compiled cache, invalidated on load and on schema growth
     compiled: HashMap<String, CompiledScript>,
+    /// Instrumentation handles ([`ScriptEngine::attach_metrics`]).
+    metrics: Option<ScriptMetrics>,
 }
 
 impl ScriptEngine {
@@ -70,7 +74,21 @@ impl ScriptEngine {
             opts: ExecOptions::default(),
             optimize: false,
             compiled: HashMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: scripted ticks, per-entity runs,
+    /// compiled-vs-interpreted counts, and effect-batch sizes are
+    /// reported into `registry` from here on. Purely observational.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(ScriptMetrics::new(registry));
+    }
+
+    /// Detach the registry attached by
+    /// [`ScriptEngine::attach_metrics`].
+    pub fn detach_metrics(&mut self) {
+        self.metrics = None;
     }
 
     /// Override interpreter options (index usage, fuel).
@@ -219,6 +237,13 @@ impl ScriptEngine {
             if was_compiled {
                 stats.compiled_runs += 1;
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.ticks.inc();
+            m.scripts_run.add(stats.scripts_run as u64);
+            m.compiled_runs.add(stats.compiled_runs as u64);
+            m.events.add(stats.events.len() as u64);
+            m.tick_effects.observe(buf.len() as u64);
         }
         buf.apply(world)
             .map_err(|e| RuntimeError::TypeError(e.to_string()))?;

@@ -56,6 +56,7 @@ pub mod ast;
 pub mod compile;
 pub mod engine;
 pub mod interp;
+pub(crate) mod metrics;
 pub mod optimize;
 pub mod parser;
 pub mod token;

@@ -1,0 +1,36 @@
+//! Script-runtime instrumentation: the cached metric handles a
+//! [`crate::engine::ScriptEngine`] reports through when a
+//! [`gamedb_metrics::MetricsRegistry`] is attached.
+
+use gamedb_metrics::{Counter, Histogram, MetricsRegistry, SIZE_BUCKETS};
+
+/// Cached handles for one engine. Catalog in ARCHITECTURE.md
+/// § Observability.
+#[derive(Debug, Clone)]
+pub(crate) struct ScriptMetrics {
+    /// `script.ticks`: whole-world scripted ticks executed.
+    pub ticks: Counter,
+    /// `script.scripts_run`: per-entity script executions across all
+    /// ticks.
+    pub scripts_run: Counter,
+    /// `script.compiled_runs`: executions served by the compiled cache
+    /// (the rest interpreted).
+    pub compiled_runs: Counter,
+    /// `script.events`: events emitted by scripts.
+    pub events: Counter,
+    /// `script.tick_effects`: effect-buffer size per tick — the batch
+    /// the tick commits through `World::apply_batch`.
+    pub tick_effects: Histogram,
+}
+
+impl ScriptMetrics {
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        ScriptMetrics {
+            ticks: registry.counter("script.ticks"),
+            scripts_run: registry.counter("script.scripts_run"),
+            compiled_runs: registry.counter("script.compiled_runs"),
+            events: registry.counter("script.events"),
+            tick_effects: registry.histogram("script.tick_effects", SIZE_BUCKETS),
+        }
+    }
+}

@@ -41,6 +41,7 @@ pub mod bubbles;
 pub mod cluster;
 pub mod executor;
 pub mod invariant;
+pub(crate) mod metrics;
 pub mod replication;
 pub mod shard;
 pub mod view;

@@ -1,0 +1,83 @@
+//! Distribution-layer instrumentation: the cached metric handles a
+//! [`crate::replication::Replicator`] and a
+//! [`crate::shard::ShardManager`] report through when a
+//! [`gamedb_metrics::MetricsRegistry`] is attached.
+//!
+//! Several replicators (one per client) typically share one registry;
+//! their counters sum into fleet totals, which is exactly what the
+//! cluster report wants. Per-client accounting stays on the replicator
+//! itself (`rows_sent` / `bytes_sent`).
+
+use gamedb_metrics::{Counter, Gauge, MetricsRegistry};
+
+/// Cached handles for replication shipping. Catalog in ARCHITECTURE.md
+/// § Observability.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplMetrics {
+    /// `repl.segments`: delta segments shipped.
+    pub segments: Counter,
+    /// `repl.segment_bytes`: wire bytes across all delta segments.
+    pub segment_bytes: Counter,
+    /// `repl.rows`: rows shipped in delta segments.
+    pub rows: Counter,
+    /// `repl.full_rows`: entities shipped as complete row images (first
+    /// sight, or re-entry after their rows were dropped).
+    pub full_rows: Counter,
+    /// `repl.delta_rows`: entities shipped as changed-columns-only
+    /// deltas.
+    pub delta_rows: Counter,
+    /// `repl.full_walks`: full-walk syncs (no stream attached, or the
+    /// priming walk).
+    pub full_walks: Counter,
+    /// `repl.full_walk_bytes`: wire bytes across all full walks.
+    pub full_walk_bytes: Counter,
+    /// `repl.resyncs`: tap evictions that forced a live resync — a
+    /// consumer stalled past the retention window.
+    pub resyncs: Counter,
+    /// `repl.gated_ticks`: Strict-level syncs refused because the
+    /// durability watermark had not drained.
+    pub gated_ticks: Counter,
+}
+
+impl ReplMetrics {
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        ReplMetrics {
+            segments: registry.counter("repl.segments"),
+            segment_bytes: registry.counter("repl.segment_bytes"),
+            rows: registry.counter("repl.rows"),
+            full_rows: registry.counter("repl.full_rows"),
+            delta_rows: registry.counter("repl.delta_rows"),
+            full_walks: registry.counter("repl.full_walks"),
+            full_walk_bytes: registry.counter("repl.full_walk_bytes"),
+            resyncs: registry.counter("repl.resyncs"),
+            gated_ticks: registry.counter("repl.gated_ticks"),
+        }
+    }
+}
+
+/// Cached handles for shard rebalancing.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardMetrics {
+    /// `shard.ticks`: placement rounds computed.
+    pub ticks: Counter,
+    /// `shard.handoffs`: player migrations between nodes across all
+    /// rounds (the paper's handoff cost).
+    pub handoffs: Counter,
+    /// `shard.imbalance`: busiest-node overload factor at the last
+    /// round, in percent (100 = perfectly balanced).
+    pub imbalance_pct: Gauge,
+    /// `shard.cross_node_permille`: fraction of actions spanning nodes
+    /// at the last round, in permille.
+    pub cross_node_permille: Gauge,
+}
+
+impl ShardMetrics {
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        ShardMetrics {
+            ticks: registry.counter("shard.ticks"),
+            handoffs: registry.counter("shard.handoffs"),
+            imbalance_pct: registry.gauge("shard.imbalance"),
+            cross_node_permille: registry.gauge("shard.cross_node_permille"),
+        }
+    }
+}

@@ -14,7 +14,10 @@ use gamedb_content::Value;
 use gamedb_core::{
     ChangeOp, ComponentId, DurabilityWatermark, EntityId, Query, TapId, ViewId, World,
 };
+use gamedb_metrics::MetricsRegistry;
 use gamedb_spatial::Vec2;
+
+use crate::metrics::ReplMetrics;
 
 /// Wire size of a value under the replication framing (1 type-tag byte
 /// is accounted separately).
@@ -222,6 +225,8 @@ pub struct Replicator {
     /// wire bytes shipped so far (row framing for full walks, delta
     /// framing for stream segments — the acceptance metric)
     pub bytes_sent: usize,
+    /// Instrumentation handles ([`Replicator::attach_metrics`]).
+    metrics: Option<ReplMetrics>,
 }
 
 impl Replicator {
@@ -245,7 +250,22 @@ impl Replicator {
             tick: 0,
             rows_sent: 0,
             bytes_sent: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: segments, wire bytes, full-row vs
+    /// delta-row counts, resyncs, and durability-gated ticks are
+    /// reported into `registry` from here on. Several replicators
+    /// sharing one registry sum into fleet totals. Purely
+    /// observational.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(ReplMetrics::new(registry));
+    }
+
+    /// Detach the registry attached by [`Replicator::attach_metrics`].
+    pub fn detach_metrics(&mut self) {
+        self.metrics = None;
     }
 
     /// Ticks processed.
@@ -338,6 +358,13 @@ impl Replicator {
         }
     }
 
+    /// The change-stream tap this replicator reads, if streaming is
+    /// attached — pass it to `World::tap_stats` to inspect lag, ack
+    /// position, and eviction state from the outside.
+    pub fn stream_tap(&self) -> Option<TapId> {
+        self.stream_tap
+    }
+
     /// Release the change-stream tap (and drop the interest view, if
     /// one was attached). Call this when the client disconnects: an
     /// abandoned tap would pin the world's change-stream window — every
@@ -408,6 +435,9 @@ impl Replicator {
         durability: &impl DurabilityWatermark,
     ) -> bool {
         if matches!(self.level, ConsistencyLevel::Strict) && !durability.is_drained() {
+            if let Some(m) = &self.metrics {
+                m.gated_ticks.inc();
+            }
             return false;
         }
         self.sync_stream(world, replica);
@@ -431,6 +461,9 @@ impl Replicator {
             self.known.clear();
             self.named.clear(); // re-ship defines: the replica may be fresh
             self.stream_primed = false;
+            if let Some(m) = &self.metrics {
+                m.resyncs.inc();
+            }
             self.sync_live(world, replica);
             self.stream_tap = Some(world.attach_tap());
             return;
@@ -593,6 +626,8 @@ impl Replicator {
                 seg.puts.push((id, cid, value));
             }
         };
+        let mut full_rows = 0u64;
+        let mut delta_rows = 0u64;
         for &id in candidates {
             if !world.is_live(id)
                 || !interesting(id, replica.rows.contains_key(&(id, "pos".to_string())))
@@ -606,6 +641,7 @@ impl Replicator {
                     decide(&mut seg, &mut self.named, id, cid, name, value);
                 }
                 self.known.insert(id);
+                full_rows += 1;
             } else if let Some(comps) = self.pending_comps.get(&id) {
                 // delta: only the columns the records named
                 for &cid in comps {
@@ -617,10 +653,18 @@ impl Replicator {
                     };
                     decide(&mut seg, &mut self.named, id, cid, name, value);
                 }
+                delta_rows += 1;
             }
         }
         self.rows_sent += seg.puts.len();
         self.bytes_sent += seg.wire_bytes();
+        if let Some(m) = &self.metrics {
+            m.segments.inc();
+            m.segment_bytes.add(seg.wire_bytes() as u64);
+            m.rows.add(seg.puts.len() as u64);
+            m.full_rows.add(full_rows);
+            m.delta_rows.add(delta_rows);
+        }
         replica.apply_segment(&seg);
     }
 
@@ -718,6 +762,10 @@ impl Replicator {
         }
         self.rows_sent += rows_sent;
         self.bytes_sent += bytes_sent;
+        if let Some(m) = &self.metrics {
+            m.full_walks.inc();
+            m.full_walk_bytes.add(bytes_sent as u64);
+        }
     }
 
     /// Measure divergence between `world` and `replica` over the whole

@@ -139,6 +139,8 @@ pub struct ShardManager {
     max_imbalance: f32,
     sum_cross: f64,
     migrations: usize,
+    /// Instrumentation handles ([`ShardManager::attach_metrics`]).
+    metrics: Option<crate::metrics::ShardMetrics>,
 }
 
 impl ShardManager {
@@ -153,7 +155,21 @@ impl ShardManager {
             max_imbalance: 0.0,
             sum_cross: 0.0,
             migrations: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: placement rounds, node handoffs, and
+    /// the latest imbalance / cross-node readings are reported into
+    /// `registry` from here on. Purely observational.
+    pub fn attach_metrics(&mut self, registry: &gamedb_metrics::MetricsRegistry) {
+        self.metrics = Some(crate::metrics::ShardMetrics::new(registry));
+    }
+
+    /// Detach the registry attached by
+    /// [`ShardManager::attach_metrics`].
+    pub fn detach_metrics(&mut self) {
+        self.metrics = None;
     }
 
     /// Compute this tick's placement for the current world state.
@@ -248,11 +264,20 @@ impl ShardManager {
         let imb = assignment.imbalance();
         self.sum_imbalance += imb as f64;
         self.max_imbalance = self.max_imbalance.max(imb);
-        self.sum_cross += assignment.cross_node_fraction(actions) as f64;
+        let cross = assignment.cross_node_fraction(actions);
+        self.sum_cross += cross as f64;
+        let mut handoffs = 0usize;
         if let Some(prev) = &self.prev {
-            self.migrations += assignment.migrations_from(prev);
+            handoffs = assignment.migrations_from(prev);
+            self.migrations += handoffs;
         }
         self.ticks += 1;
+        if let Some(m) = &self.metrics {
+            m.ticks.inc();
+            m.handoffs.add(handoffs as u64);
+            m.imbalance_pct.set((imb * 100.0) as i64);
+            m.cross_node_permille.set((cross * 1000.0) as i64);
+        }
         self.prev = Some(assignment.clone());
         assignment
     }

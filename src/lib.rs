@@ -18,6 +18,11 @@
 //! * [`persist`] — the engineering layer: snapshots, WAL, intelligent
 //!   checkpointing, incremental deltas, crash recovery, schema
 //!   migration.
+//! * [`metrics`] — the observability surface: lock-cheap counters,
+//!   gauges, and histograms every subsystem reports through when a
+//!   [`metrics::MetricsRegistry`] is attached (`World::attach_metrics`,
+//!   `WalStore::attach_metrics`, …), with mergeable snapshots and text
+//!   / JSON export.
 //! * [`continuous`] — cross-crate continuous-query wiring: designer
 //!   `stat_below` triggers driven by standing-view changelogs instead of
 //!   per-entity polling ([`ThresholdWatcher`]).
@@ -40,6 +45,7 @@ pub mod continuous;
 pub use continuous::ThresholdWatcher;
 pub use gamedb_content as content;
 pub use gamedb_core as core;
+pub use gamedb_metrics as metrics;
 pub use gamedb_persist as persist;
 pub use gamedb_script as script;
 pub use gamedb_spatial as spatial;
