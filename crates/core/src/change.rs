@@ -495,6 +495,42 @@ impl ChangeStream {
         }
     }
 
+    /// The tap's cursor — the seq of the next record it will observe —
+    /// or `None` for detached/evicted taps. This is the **handoff
+    /// snapshot anchor**: mutation and consumption are synchronous, so
+    /// a row image read from the world while a tap's cursor sits at
+    /// seq `S` is exactly the state-as-of-`S` for that row, and the
+    /// image plus every record from `S` on replays to current state.
+    /// `ShardRouter` uses this to stamp the full-row images it ships
+    /// when an entity is handed to another node, and a warm standby
+    /// uses it to know which tail it still has to replay.
+    pub fn tap_cursor(&self, tap: TapId) -> Option<u64> {
+        match self.taps.get(tap.0 as usize) {
+            Some(TapSlot::Active { cursor, .. }) => Some(*cursor),
+            _ => None,
+        }
+    }
+
+    /// Move the tap's cursor forward to `seq` (clamped to the head of
+    /// the stream). Cursors only move forward: acking below the
+    /// current cursor is a no-op. Partial acks let a consumer that
+    /// shipped only a prefix of its pending window (a per-link router
+    /// whose segment for one node cut off mid-stream) release exactly
+    /// what it consumed.
+    pub fn ack_to(&mut self, tap: TapId, seq: u64) {
+        if let Some(TapSlot::Active { cursor, .. }) = self.taps.get_mut(tap.0 as usize) {
+            let target = seq.min(self.next);
+            if target > *cursor {
+                let drained = target - *cursor;
+                *cursor = target;
+                if let Some(m) = &self.metrics {
+                    m.note_tap_drain(tap.0 as usize, drained);
+                }
+                self.gc();
+            }
+        }
+    }
+
     /// One coherent reading of a tap's state (see [`TapStats`]).
     pub fn tap_stats(&self, tap: TapId) -> TapStats {
         match self.taps.get(tap.0 as usize) {
@@ -800,6 +836,55 @@ mod tests {
         let u = s.attach();
         assert_eq!(u.0, t.0, "slot reused");
         assert!(!s.tap_pinned(u), "pin does not leak into the reused slot");
+    }
+
+    /// ISSUE-8 tentpole: the handoff-snapshot anchor. A tap's cursor
+    /// names the seq a row image read "now" corresponds to, and
+    /// partial acks release exactly the consumed prefix while the
+    /// remainder stays pending.
+    #[test]
+    fn tap_cursor_and_partial_ack() {
+        let mut s = ChangeStream::default();
+        let t = s.attach();
+        assert_eq!(s.tap_cursor(t), Some(0));
+        for i in 0..6 {
+            s.record(0, op(i));
+        }
+        s.mark_views_folded();
+        assert_eq!(s.tap_cursor(t), Some(0));
+        assert_eq!(s.tap_pending(t).len(), 6);
+        // consume a prefix: the cursor advances, the tail stays pending
+        s.ack_to(t, 4);
+        assert_eq!(s.tap_cursor(t), Some(4));
+        let pending = s.tap_pending(t);
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].seq, 4);
+        // the released prefix is reclaimed (no other consumers)
+        assert_eq!(s.retained(), 2);
+        // backwards and overshooting acks clamp
+        s.ack_to(t, 1);
+        assert_eq!(s.tap_cursor(t), Some(4), "cursors never move backward");
+        s.ack_to(t, 100);
+        assert_eq!(s.tap_cursor(t), Some(6), "clamped to the stream head");
+        assert!(s.tap_pending(t).is_empty());
+        // detached taps read no cursor
+        s.detach(t);
+        assert_eq!(s.tap_cursor(t), None);
+    }
+
+    #[test]
+    fn evicted_tap_has_no_cursor() {
+        let mut s = ChangeStream::default();
+        let t = s.attach();
+        s.mark_views_folded();
+        for i in 0..50 {
+            s.record(0, op(i));
+        }
+        s.set_retention(Some(8));
+        assert!(s.tap_evicted(t));
+        assert_eq!(s.tap_cursor(t), None);
+        s.ack_to(t, 10); // no-op on an evicted tap
+        assert!(s.tap_evicted(t));
     }
 
     #[test]

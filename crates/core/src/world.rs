@@ -490,6 +490,28 @@ impl World {
         self.changes.ack(tap);
     }
 
+    /// The tap's cursor: seq of the next record it will observe
+    /// (`None` for detached or evicted taps). Because mutation and
+    /// consumption are synchronous, a row image read while the cursor
+    /// sits at seq `S` is exactly the state-as-of-`S` — the anchor a
+    /// cross-shard router stamps on the full-row snapshot it ships
+    /// when an entity is handed to another node, and the position a
+    /// warm standby measures its replay tail against.
+    pub fn tap_cursor(&self, tap: TapId) -> Option<u64> {
+        self.changes.tap_cursor(tap)
+    }
+
+    /// Advance `tap`'s cursor forward to `seq` (clamped to the stream
+    /// head; acking backwards is a no-op). The partial form of
+    /// [`World::ack_tap`], for consumers that shipped only a prefix of
+    /// their pending window.
+    pub fn ack_tap_to(&mut self, tap: TapId, seq: u64) {
+        if !self.views.is_active() {
+            self.changes.mark_views_folded();
+        }
+        self.changes.ack_to(tap, seq);
+    }
+
     /// Total records ever committed to the change stream (the seq the
     /// next mutation will receive).
     pub fn change_seq(&self) -> u64 {

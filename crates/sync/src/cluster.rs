@@ -26,6 +26,9 @@ pub struct ClusterCost {
     pub local_action_us: f64,
     /// One cross-node (2PC) commit round trip.
     pub distributed_commit_us: f64,
+    /// Shipping one handoff byte between nodes (segment-streamed
+    /// entity migration — see [`crate::router::ShardRouter`]).
+    pub handoff_byte_us: f64,
 }
 
 impl Default for ClusterCost {
@@ -35,6 +38,8 @@ impl Default for ClusterCost {
             // a LAN round trip plus two log forces: three orders of
             // magnitude over a local action, which is the whole story
             distributed_commit_us: 2000.0,
+            // ~1 Gbit/s effective: 8 ns per byte
+            handoff_byte_us: 0.008,
         }
     }
 }
@@ -46,8 +51,12 @@ pub struct ClusterStats {
     pub local_per_node: Vec<usize>,
     /// Actions whose footprint spanned nodes (each billed one 2PC).
     pub distributed: usize,
+    /// Handoff bytes billed onto this tick
+    /// ([`ClusterExecutor::bill_handoff`]) — migration is no longer
+    /// free by-value movement.
+    pub handoff_bytes: usize,
     /// Simulated wall time: slowest node's local phase + the serial
-    /// distributed phase.
+    /// distributed phase (+ billed handoff shipping).
     pub simulated_us: f64,
     /// Simulated wall time had every action run on one server.
     pub single_server_us: f64,
@@ -152,9 +161,20 @@ impl ClusterExecutor {
         ClusterStats {
             local_per_node: local_counts,
             distributed: distributed.len(),
+            handoff_bytes: 0,
             simulated_us,
             single_server_us,
         }
+    }
+
+    /// Price a tick's shard handoff onto its stats: `bytes` is what the
+    /// [`crate::router::ShardRouter`] shipped this tick
+    /// (`HandoffReport::total_bytes`). A single server never pays this,
+    /// so it lands on `simulated_us` only — migration stops being free
+    /// exactly where the cluster pays for it.
+    pub fn bill_handoff(&self, stats: &mut ClusterStats, bytes: usize) {
+        stats.handoff_bytes += bytes;
+        stats.simulated_us += bytes as f64 * self.cost.handoff_byte_us;
     }
 }
 
@@ -270,6 +290,25 @@ mod tests {
             cross_stats.speedup() < 0.1,
             "2PC per action must be far slower than one server: {}",
             cross_stats.speedup()
+        );
+    }
+
+    #[test]
+    fn handoff_billing_prices_migration_onto_the_tick() {
+        let (mut w, ids, a) = squads();
+        let exec = ClusterExecutor::default();
+        let mut stats = exec.execute(&mut w, &a, &squad_attacks(&ids));
+        let before = stats.simulated_us;
+        // a 10 KB handoff (the router's per-tick total) stops being free
+        exec.bill_handoff(&mut stats, 10_000);
+        assert_eq!(stats.handoff_bytes, 10_000);
+        let billed = stats.simulated_us - before;
+        assert!((billed - 10_000.0 * exec.cost.handoff_byte_us).abs() < 1e-9);
+        // ... but the single-server baseline never pays it
+        assert!(stats.single_server_us > 0.0);
+        assert_eq!(
+            stats.single_server_us,
+            squad_attacks(&ids).len() as f64 * exec.cost.local_action_us
         );
     }
 

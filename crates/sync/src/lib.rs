@@ -19,6 +19,8 @@
 //!   ([`Replicator`]).
 //! * [`shard`] — multi-server dynamic map partitioning
 //!   ([`ShardManager`]).
+//! * [`router`] — cross-shard change shipping: segment-streamed entity
+//!   handoff and warm standbys ([`ShardRouter`]).
 //! * [`cluster`] — distributed tick execution over the shard placement,
 //!   with a 2PC cost model for cross-node actions ([`ClusterExecutor`]).
 //! * [`invariant`] — dupe/speed-hack exploit models and the invariant
@@ -43,6 +45,7 @@ pub mod executor;
 pub mod invariant;
 pub(crate) mod metrics;
 pub mod replication;
+pub mod router;
 pub mod shard;
 pub mod view;
 pub mod workload;
@@ -58,6 +61,7 @@ pub use invariant::{
 pub use replication::{
     ConsistencyLevel, DeltaSegment, Divergence, Interest, Replica, Replicator,
 };
+pub use router::{node_oracle, HandoffReport, ShardRouter};
 pub use shard::{step_flock, AssignPolicy, NodeId, ShardAssignment, ShardManager, ShardStats};
 pub use view::{OverlayView, StateView};
 pub use workload::{fleet_world, step_fleet, ActionMix, Workload, WorkloadConfig};

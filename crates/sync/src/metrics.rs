@@ -81,3 +81,47 @@ impl ShardMetrics {
         }
     }
 }
+
+/// Cached handles for cross-shard change shipping
+/// ([`crate::router::ShardRouter`]).
+#[derive(Debug, Clone)]
+pub(crate) struct RouterMetrics {
+    /// `shard.handoff_segments`: non-empty handoff segments shipped
+    /// across all node links.
+    pub segments: Counter,
+    /// `shard.handoff_bytes`: wire bytes across all handoff segments
+    /// (delta framing).
+    pub bytes: Counter,
+    /// `shard.handoff_rows`: rows (puts) shipped in handoff segments.
+    pub rows: Counter,
+    /// `shard.handoff_entities`: entities that changed owner (excludes
+    /// the priming tick, which seeds state rather than moving it).
+    pub entities: Counter,
+    /// `shard.handoff_baseline_bytes`: what the same traffic would have
+    /// cost shipped as full row images under the legacy row framing —
+    /// the by-value baseline `shard.handoff_bytes` must undercut.
+    pub baseline_bytes: Counter,
+    /// `shard.handoff_resyncs`: node links evicted from the change
+    /// stream (stalled past retention) and re-shipped whole.
+    pub resyncs: Counter,
+    /// `standby.lag`: worst unapplied-segment tail across warm
+    /// standbys at the last router tick.
+    pub standby_lag: Gauge,
+    /// `standby.replays`: segments replayed at failover promotions.
+    pub standby_replays: Counter,
+}
+
+impl RouterMetrics {
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        RouterMetrics {
+            segments: registry.counter("shard.handoff_segments"),
+            bytes: registry.counter("shard.handoff_bytes"),
+            rows: registry.counter("shard.handoff_rows"),
+            entities: registry.counter("shard.handoff_entities"),
+            baseline_bytes: registry.counter("shard.handoff_baseline_bytes"),
+            resyncs: registry.counter("shard.handoff_resyncs"),
+            standby_lag: registry.gauge("standby.lag"),
+            standby_replays: registry.counter("standby.replays"),
+        }
+    }
+}

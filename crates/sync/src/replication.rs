@@ -46,7 +46,7 @@ fn varint_len(v: u32) -> usize {
 /// entity id + length-prefixed component name + type tag + value. This
 /// is the baseline [`Replicator::sync`]/[`Replicator::sync_live`]
 /// account against.
-fn row_wire_bytes(component: &str, v: &Value) -> usize {
+pub(crate) fn row_wire_bytes(component: &str, v: &Value) -> usize {
     8 + 4 + component.len() + 1 + value_wire_bytes(v)
 }
 
@@ -64,12 +64,25 @@ pub struct DeltaSegment {
     pub defines: Vec<(ComponentId, String)>,
     /// Component writes `(entity, column id, new value)`.
     pub puts: Vec<(EntityId, ComponentId, Value)>,
+    /// Component removals `(entity, column id)`: the entity stays, the
+    /// named column goes. Client→server replication never needs these
+    /// (interest rules drop whole rows); cross-shard handoff streams do
+    /// — a node-local state must track removals exactly to stay
+    /// byte-identical to the by-value oracle.
+    pub unsets: Vec<(EntityId, ComponentId)>,
+    /// Whole-entity drops: the entity despawned on the primary, or its
+    /// ownership was handed off this link's node. The receiver forgets
+    /// every row it holds for the entity.
+    pub drops: Vec<EntityId>,
 }
 
 impl DeltaSegment {
     /// True when nothing would go on the wire.
     pub fn is_empty(&self) -> bool {
-        self.defines.is_empty() && self.puts.is_empty()
+        self.defines.is_empty()
+            && self.puts.is_empty()
+            && self.unsets.is_empty()
+            && self.drops.is_empty()
     }
 
     /// Encoded size under the delta framing (the bandwidth metric the
@@ -85,7 +98,13 @@ impl DeltaSegment {
             .iter()
             .map(|(_, id, v)| 8 + varint_len(id.as_u32()) + 1 + value_wire_bytes(v))
             .sum();
-        defines + puts
+        let unsets: usize = self
+            .unsets
+            .iter()
+            .map(|(_, id)| 8 + varint_len(id.as_u32()))
+            .sum();
+        let drops = self.drops.len() * 8;
+        defines + puts + unsets + drops
     }
 }
 
@@ -122,8 +141,11 @@ impl Replica {
     }
 
     /// Apply one delta segment: per-component reconciliation. Defines
-    /// extend the name table; puts upsert exactly the named columns —
-    /// nothing else on the replica is touched.
+    /// extend the name table; puts upsert exactly the named columns;
+    /// unsets remove exactly the named columns; drops forget every row
+    /// of the named entities — nothing else on the replica is touched.
+    /// Application order (defines, puts, unsets, drops) means a put and
+    /// a drop for the same entity in one segment resolve to the drop.
     pub fn apply_segment(&mut self, seg: &DeltaSegment) {
         for (id, name) in &seg.defines {
             self.names.insert(*id, name.clone());
@@ -135,6 +157,18 @@ impl Replica {
                 .expect("segment defines precede first use of an id")
                 .clone();
             self.rows.insert((*entity, name), value.clone());
+        }
+        for (entity, comp) in &seg.unsets {
+            let name = self
+                .names
+                .get(comp)
+                .expect("segment defines precede first use of an id")
+                .clone();
+            self.rows.remove(&(*entity, name));
+        }
+        if !seg.drops.is_empty() {
+            let dropped: HashSet<EntityId> = seg.drops.iter().copied().collect();
+            self.rows.retain(|(id, _), _| !dropped.contains(id));
         }
     }
 }
@@ -1301,6 +1335,50 @@ mod tests {
         drift(&mut w, &ids, 1.0);
         rep.sync_stream(&mut w, &mut client);
         assert_eq!(Replicator::divergence(&w, &client).mean_pos_error, 0.0);
+    }
+
+    /// ISSUE-8 tentpole: segments now carry component removals and
+    /// whole-entity drops (what a cross-shard handoff stream ships when
+    /// a column is removed, an entity despawns, or ownership moves),
+    /// reconciled per component with in-segment puts losing to drops.
+    #[test]
+    fn segment_unsets_and_drops_reconcile_exactly() {
+        let (mut w, ids) = moving_world(3);
+        w.set_f32(ids[0], "hp", 50.0).unwrap();
+        w.set_f32(ids[1], "hp", 60.0).unwrap();
+        let hp = w.component_id("hp").unwrap();
+        let pos = w.component_id("pos").unwrap();
+        let mut replica = Replica::default();
+        let full = DeltaSegment {
+            defines: vec![(pos, "pos".into()), (hp, "hp".into())],
+            puts: vec![
+                (ids[0], pos, Value::Vec2(0.0, 0.0)),
+                (ids[0], hp, Value::Float(50.0)),
+                (ids[1], pos, Value::Vec2(3.0, 0.0)),
+                (ids[1], hp, Value::Float(60.0)),
+            ],
+            ..Default::default()
+        };
+        replica.apply_segment(&full);
+        assert_eq!(replica.rows.len(), 4);
+        // an unset removes exactly the named column; a drop forgets the
+        // entity wholesale even against a same-segment put
+        let next = DeltaSegment {
+            puts: vec![(ids[1], hp, Value::Float(61.0))],
+            unsets: vec![(ids[0], hp)],
+            drops: vec![ids[1]],
+            ..Default::default()
+        };
+        assert!(next.wire_bytes() > 0);
+        assert!(!next.is_empty());
+        replica.apply_segment(&next);
+        assert_eq!(replica.pos(ids[0]), Some((0.0, 0.0)));
+        assert!(!replica.rows.contains_key(&(ids[0], "hp".to_string())));
+        assert!(replica.pos(ids[1]).is_none(), "dropped entity forgotten");
+        assert!(!replica.rows.contains_key(&(ids[1], "hp".to_string())));
+        assert_eq!(replica.rows.len(), 1);
+        // unsets/drops cost wire bytes: 8 + varint for unset, 8 for drop
+        assert_eq!(next.wire_bytes(), (8 + 1 + 1 + 4) + (8 + 1) + 8);
     }
 
     #[test]

@@ -32,6 +32,14 @@ use crate::bubbles::{partition, BubbleConfig, Partition};
 pub type NodeId = usize;
 
 /// How entities are placed onto server nodes.
+///
+/// **Unpositioned entities** (global flags, quest state — anything
+/// without a `pos`) are owned by their hash **home node**
+/// (`id % nodes`) under *every* policy: a spatial rule cannot place
+/// them, but leaving them unowned silently exempted every transaction
+/// touching them from [`ShardAssignment::cross_node_fraction`] and from
+/// handoff accounting. The home node is stable across ticks, so they
+/// never migrate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AssignPolicy {
     /// Fixed rectangular zones over a `map_size`² map, dealt to nodes
@@ -173,8 +181,11 @@ impl ShardManager {
     }
 
     /// Compute this tick's placement for the current world state.
+    /// Every live entity receives an owner: positioned entities per the
+    /// policy, unpositioned entities at their hash home node (see
+    /// [`AssignPolicy`]).
     pub fn assign(&self, world: &World) -> ShardAssignment {
-        match self.policy {
+        let mut assignment = match self.policy {
             AssignPolicy::StaticZones { cols, rows, map_size } => {
                 self.assign_zones(world, cols, rows, map_size)
             }
@@ -188,7 +199,19 @@ impl ShardManager {
             AssignPolicy::DynamicBubbles { cfg, max_overload } => {
                 self.assign_bubbles(world, &cfg, max_overload)
             }
+        };
+        // Unpositioned entities fall through every spatial rule; pin
+        // them to their stable home node so no policy leaves live
+        // state unowned.
+        for e in world.entities() {
+            if world.pos(e).is_none() {
+                assignment
+                    .node_of
+                    .entry(e)
+                    .or_insert(e.index() as usize % self.nodes);
+            }
         }
+        assignment
     }
 
     fn assign_zones(
@@ -230,9 +253,14 @@ impl ShardManager {
         let mut node_of = HashMap::with_capacity(total);
         for b in order {
             let members = &part.bubbles[b];
+            // The cap is compared in f32: `cap as usize` floored a
+            // fractional cap (max_overload 1.1 over ideal 6 ⇒ 6.6
+            // became 6), spilling sticky bubbles off their preferred
+            // node earlier than the documented "projected load exceeds
+            // ideal · max_overload" rule.
             let target = self
                 .sticky_node(members)
-                .filter(|&n| load[n] + members.len() <= cap as usize)
+                .filter(|&n| (load[n] + members.len()) as f32 <= cap)
                 .unwrap_or_else(|| {
                     // least-loaded node
                     (0..self.nodes).min_by_key(|&n| load[n]).expect("nodes > 0")
@@ -245,17 +273,35 @@ impl ShardManager {
         ShardAssignment { node_of, nodes: self.nodes }
     }
 
-    /// Node owning the plurality of `members` last tick, if any.
+    /// Node owning the plurality of `members` last tick, if any. The
+    /// previous placement may name nodes this manager no longer has —
+    /// a manager rebuilt after failover or scale-down and seeded with
+    /// the old placement ([`ShardManager::seed_placement`]) — so votes
+    /// for out-of-range nodes are discarded rather than indexed
+    /// (which used to panic).
     fn sticky_node(&self, members: &[EntityId]) -> Option<NodeId> {
         let prev = self.prev.as_ref()?;
         let mut votes = vec![0usize; self.nodes];
         for e in members {
             if let Some(&n) = prev.node_of.get(e) {
-                votes[n] += 1;
+                if n < self.nodes {
+                    votes[n] += 1;
+                }
             }
         }
         let (best, &count) = votes.iter().enumerate().max_by_key(|(_, &c)| c)?;
         (count > 0).then_some(best)
+    }
+
+    /// Seed the manager with a placement computed elsewhere — the
+    /// failover path: a manager rebuilt on a surviving node (possibly
+    /// with a different node count) adopts the last known placement so
+    /// stickiness keeps working across the rebuild instead of
+    /// re-shuffling the whole world on its first tick. Owners the new
+    /// topology no longer has simply stop voting (see
+    /// [`ShardManager::sticky_node`]).
+    pub fn seed_placement(&mut self, prev: ShardAssignment) {
+        self.prev = Some(prev);
     }
 
     /// Place this tick, score it against the action batch, accumulate.
@@ -575,6 +621,124 @@ mod tests {
         // placement is stable on the next identical tick
         mgr.tick(&w, &[]);
         assert_eq!(mgr.stats().total_migrations, 0);
+    }
+
+    /// ISSUE-8 satellite: the overload cap is compared in f32. The old
+    /// `cap as usize` floored a fractional cap before comparing; this
+    /// pins the documented rule — a sticky bubble stays while its
+    /// node's projected load does not *exceed* `ideal · max_overload`
+    /// — from both sides of a fractional boundary (ideal 6: cap 6.6
+    /// keeps a projected load of 6 and spills 7; cap 7.2 keeps 7).
+    #[test]
+    fn fractional_cap_boundary_holds_sticky_bubbles() {
+        // bubbles of 6, 5, 1 over 2 nodes: ideal 6. The singleton is
+        // seeded onto the 6-bubble's node, so its sticky projection is
+        // exactly 7 — one past the ideal, between cap 6.6 and cap 7.2.
+        let (w, ids) = arena_world(12, |i| {
+            let (squad, member) = match i {
+                0..=5 => (0, i),
+                6..=10 => (1, i - 6),
+                _ => (2, 0),
+            };
+            Vec2::new(squad as f32 * 9000.0 + member as f32 * 1.5, 0.0)
+        });
+        let run = |max_overload: f32| {
+            let mut mgr = ShardManager::new(
+                2,
+                AssignPolicy::DynamicBubbles { cfg: BubbleConfig::default(), max_overload },
+            );
+            let mut node_of = HashMap::new();
+            for (i, &e) in ids.iter().enumerate() {
+                node_of.insert(e, if (6..=10).contains(&i) { 1 } else { 0 });
+            }
+            mgr.seed_placement(ShardAssignment { node_of, nodes: 2 });
+            mgr.tick(&w, &[]);
+            mgr.stats().total_migrations
+        };
+        // cap 6.6: the singleton's sticky node projects 6 + 1 = 7 >
+        // 6.6, so it spills to the other node (one migration)
+        assert_eq!(run(1.1), 1, "projected 7 exceeds cap 6.6: spills");
+        // cap 7.2: the same projected 7 ≤ 7.2 — the bubble is held
+        assert_eq!(run(1.2), 0, "projected 7 within cap 7.2: sticky");
+    }
+
+    /// ISSUE-8 satellite: a manager rebuilt with fewer nodes (failover
+    /// or scale-down) and seeded with the prior placement must not
+    /// index vote tallies with out-of-range node ids — stickiness just
+    /// loses the votes of nodes that no longer exist.
+    #[test]
+    fn node_count_shrink_with_seeded_placement_does_not_panic() {
+        let (w, _) = arena_world(40, |i| {
+            let squad = i / 10;
+            Vec2::new(squad as f32 * 8000.0 + (i % 10) as f32 * 2.0, 0.0)
+        });
+        let policy = AssignPolicy::DynamicBubbles {
+            cfg: BubbleConfig::default(),
+            max_overload: 1.5,
+        };
+        let mut before = ShardManager::new(4, policy);
+        let old = before.tick(&w, &[]);
+        assert!(old.node_of.values().any(|&n| n >= 2), "4-node placement uses high ids");
+        // nodes 2 and 3 died: rebuild on the survivors, seeded with the
+        // last known placement (the failover path)
+        let mut after = ShardManager::new(2, policy);
+        after.seed_placement(old.clone());
+        let rebalanced = after.tick(&w, &[]); // used to panic in sticky_node
+        assert_eq!(rebalanced.nodes, 2);
+        assert!(rebalanced.node_of.values().all(|&n| n < 2));
+        assert_eq!(rebalanced.node_of.len(), 40, "every entity re-placed");
+        // bubbles whose majority owner survived stay put (stickiness
+        // still works for in-range owners)
+        for (e, &n) in &rebalanced.node_of {
+            if let Some(&p) = old.node_of.get(e) {
+                if p < 2 {
+                    assert_eq!(n, p, "surviving owner keeps its bubble");
+                }
+            }
+        }
+    }
+
+    /// ISSUE-8 satellite: unpositioned entities (global flags, quest
+    /// state) get an owner under **every** policy — their stable hash
+    /// home node — instead of silently falling out of spatial
+    /// placements, which undercounted cross-node transactions touching
+    /// them.
+    #[test]
+    fn unpositioned_entities_own_a_home_node_under_every_policy() {
+        // wide spacing: every grid entity is its own bubble, and the
+        // 3x3 zone grid gets one entity per cell, so positioned
+        // entities provably spread across all three nodes
+        let (mut w, ids) = grid_world(9, 4000.0);
+        let flag = w.spawn(); // no position: a global quest flag
+        w.set(flag, "gold", gamedb_content::Value::Int(500)).unwrap();
+        let home = flag.index() as usize % 3;
+        for policy in [
+            AssignPolicy::HashEntities,
+            AssignPolicy::StaticZones { cols: 3, rows: 3, map_size: 12000.0 },
+            AssignPolicy::DynamicBubbles { cfg: BubbleConfig::default(), max_overload: 1.3 },
+        ] {
+            let mgr = ShardManager::new(3, policy);
+            let a = mgr.assign(&w);
+            assert_eq!(
+                a.node_of.len(),
+                10,
+                "every live entity owned under {policy:?}"
+            );
+            assert_eq!(a.node_of[&flag], home, "stable hash home under {policy:?}");
+            // a transaction touching the flag and an entity owned
+            // elsewhere is a distributed transaction — and now counts
+            let other = ids
+                .iter()
+                .find(|&&e| a.node_of[&e] != home)
+                .copied()
+                .expect("some entity on another node");
+            let batch = vec![Action::Trade { from: other, to: flag, amount: 1 }];
+            assert_eq!(
+                a.cross_node_fraction(&batch),
+                1.0,
+                "flag-touching transaction must count under {policy:?}"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! bandwidth baseline the delta stream must beat. Everything reports
 //! into one shared [`MetricsRegistry`].
 //!
-//! The run gates on three invariants (CI runs this as the named
+//! The run gates on five invariants (CI runs this as the named
 //! `cluster-scenario` step and uploads the metrics report it writes):
 //!
 //! 1. **Durable watermark lag stays bounded** — the background WAL
@@ -19,6 +19,13 @@
 //! 3. **Delta bytes < full-walk bytes** — the streamed segments beat
 //!    the full-walk baseline over the same interest bubbles, while
 //!    producing byte-identical replicas.
+//! 4. **Handoff bytes < full-row shipping** — cross-shard entity
+//!    handoff streamed as delta segments over per-node links undercuts
+//!    the by-value baseline, while every node's segment-built state is
+//!    byte-identical to the by-value oracle at every tick.
+//! 5. **Zero standby divergence** — the warm standby promoted at the
+//!    end of the run equals its node's oracle after replaying only its
+//!    buffered tail.
 
 use std::fs;
 
@@ -29,8 +36,8 @@ use gamedb::persist::{temp_dir, Backend, FlushPolicy, WalStore};
 use gamedb::script::{Level, ScriptEngine};
 use gamedb::spatial::Vec2;
 use gamedb::sync::{
-    arena_world, Action, AssignPolicy, BubbleConfig, ConsistencyLevel, Executor, Interest,
-    Replica, Replicator, SerialExecutor, ShardManager,
+    arena_world, node_oracle, Action, AssignPolicy, BubbleConfig, ClusterExecutor,
+    ConsistencyLevel, Interest, Replica, Replicator, ShardAssignment, ShardManager, ShardRouter,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -152,6 +159,14 @@ fn instrumented_cluster_scenario() {
     );
     shards.attach_metrics(&registry);
 
+    // cross-shard change shipping: per-node links on the primary's
+    // change stream, one warm standby, handoff billed onto the cluster
+    // cost model instead of being free by-value movement
+    let mut router = ShardRouter::new(store.world_mut(), NODES);
+    router.attach_metrics(&registry);
+    router.enable_standby(0, 4);
+    let cluster = ClusterExecutor::default();
+
     let mut streams: Vec<Replicator> = Vec::new();
     let mut mirrors: Vec<Replicator> = Vec::new();
     let mut stream_replicas: Vec<Replica> = Vec::new();
@@ -170,15 +185,18 @@ fn instrumented_cluster_scenario() {
 
     // -- the run ------------------------------------------------------
     let mut rng = StdRng::seed_from_u64(SEED);
-    let exec = SerialExecutor;
     let mut max_lag = 0u64;
     let mut mid_snapshot = Snapshot::default();
     let mut audited = 0usize;
+    let mut last_assignment = ShardAssignment::default();
+    let mut distributed_total = 0usize;
+    let mut simulated_us = 0.0f64;
+    let mut single_server_us = 0.0f64;
 
     for t in 0..TICKS {
         let actions = churn_batch(&mut rng, &players, t);
-        shards.tick(store.world(), &actions);
-        exec.execute(store.world_mut(), &actions);
+        let assignment = shards.tick(store.world(), &actions);
+        let mut cstats = cluster.execute(store.world_mut(), &assignment, &actions);
         engine.tick(store.world_mut()).unwrap();
 
         if t % 5 == 0 {
@@ -197,6 +215,27 @@ fn instrumented_cluster_scenario() {
         if t % 50 == 49 {
             store.checkpoint().unwrap();
         }
+
+        // ship this tick's cross-shard handoff as delta segments and
+        // bill the bytes onto the tick — then hold every node's
+        // segment-built state to the by-value oracle, byte for byte
+        let hreport = router.tick(store.world_mut(), &assignment);
+        cluster.bill_handoff(&mut cstats, hreport.total_bytes());
+        distributed_total += cstats.distributed;
+        simulated_us += cstats.simulated_us;
+        single_server_us += cstats.single_server_us;
+        for n in 0..NODES {
+            assert_eq!(
+                router.node_state(n).rows,
+                node_oracle(store.world(), &assignment, n),
+                "tick {t}: node {n} segment-built state diverged from the by-value oracle"
+            );
+        }
+        assert!(
+            router.standby_lag(0).expect("standby enabled") <= 4,
+            "tick {t}: standby lag exceeded its budget"
+        );
+        last_assignment = assignment;
 
         for (i, &(_, phase)) in CLIENTS.iter().enumerate() {
             let interest = bubble_at(phase, t);
@@ -282,6 +321,35 @@ fn instrumented_cluster_scenario() {
         assert_eq!(s.rows, m.rows, "stream and mirror replicas diverged for client {i}");
     }
 
+    // -- gate 4: handoff segments beat full-row shipping ----------------
+    let handoff_bytes = snap.counter("shard.handoff_bytes");
+    let handoff_baseline = snap.counter("shard.handoff_baseline_bytes");
+    assert!(
+        snap.counter("shard.handoff_entities") > 0,
+        "migrating bubbles must hand entities across nodes"
+    );
+    assert!(handoff_bytes > 0 && handoff_baseline > 0, "handoff must have shipped");
+    assert!(
+        handoff_bytes < handoff_baseline,
+        "handoff segments ({handoff_bytes} B) must undercut full-row shipping \
+         ({handoff_baseline} B)"
+    );
+    assert_eq!(
+        snap.counter("shard.handoff_resyncs"),
+        0,
+        "node links must never fall off the retention window"
+    );
+
+    // -- gate 5: warm standby promotes with zero divergence -------------
+    let replayed = router.fail_over(0).expect("standby enabled on node 0");
+    assert!(replayed <= 4, "failover must replay at most the lag budget");
+    assert_eq!(
+        router.node_state(0).rows,
+        node_oracle(store.world(), &last_assignment, 0),
+        "promoted standby diverged from node 0's oracle"
+    );
+    router.detach(store.world_mut());
+
     // -- cross-subsystem sanity over the shared registry ---------------
     assert!(snap.counter("change.records") > 0);
     assert!(snap.counter("change.batches") > 0);
@@ -308,9 +376,20 @@ fn instrumented_cluster_scenario() {
         "players={PLAYERS} ticks={TICKS} nodes={NODES} clients={}\n\
          max watermark lag: {max_lag} commits (bound {LAG_BOUND})\n\
          delta stream: {delta_bytes} B vs full walk: {walk_bytes} B ({:.1}% of baseline)\n\
+         shard handoff: {handoff_bytes} B vs full-row: {handoff_baseline} B \
+         ({:.1}% of baseline), {} entities in {} segments\n\
+         standby: replayed segments={} (failover tail={replayed})\n\
+         cluster: {distributed_total} distributed actions, simulated {:.1} ms \
+         vs single-server {:.1} ms\n\
          gated strict ticks: {}\n",
         CLIENTS.len(),
         100.0 * delta_bytes as f64 / walk_bytes as f64,
+        100.0 * handoff_bytes as f64 / handoff_baseline as f64,
+        snap.counter("shard.handoff_entities"),
+        snap.counter("shard.handoff_segments"),
+        registry.snapshot().counter("standby.replays"),
+        simulated_us / 1000.0,
+        single_server_us / 1000.0,
         snap.counter("repl.gated_ticks"),
     );
     write_report(&snap, &second_half, &summary);
