@@ -11,6 +11,9 @@
 //! ```
 //!
 //! `--full` enlarges the sweeps (slower, smoother curves).
+//! `--engine=interp|vm` selects how per-entity scripts execute in the
+//! scripted experiments (default `vm`), so E1/E2 can be A/B'd between
+//! the tree-walking interpreter and the bytecode VM.
 
 use gamedb_bench::{clustered_world, combat_world, constant_density_world, f3, mean_ms, time_ms, Table};
 use gamedb_content::{Value, ValueType};
@@ -21,7 +24,8 @@ use gamedb_persist::{
     StructuredStore,
 };
 use gamedb_script::{
-    check_script, compile, parse_script, run_script, ExecOptions, Level, ScriptLibrary,
+    check_script, compile, compile_program, parse_script, run_script, ExecMode, ExecOptions,
+    Level, ScriptLibrary, Vm,
 };
 use gamedb_spatial::{
     Aabb, Annotation, BruteForce, BspTree, CostProfile, NavMesh, Quadtree, SpatialIndex,
@@ -42,6 +46,45 @@ fn banner(id: &str, title: &str, claim: &str) {
     println!("{id}: {title}");
     println!("paper claim: {claim}");
     println!("================================================================");
+}
+
+/// Engine selected by `--engine=interp|vm` (default: the VM, matching
+/// the `ScriptEngine` default).
+static ENGINE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+
+fn engine_mode() -> ExecMode {
+    *ENGINE.get().unwrap_or(&ExecMode::Vm)
+}
+
+/// Per-entity scripted execution under the harness-selected engine.
+/// In VM mode the script is lowered once and dispatched as bytecode;
+/// in interp mode (or if the script doesn't lower) it tree-walks.
+struct ScriptRunner<'a> {
+    lib: &'a ScriptLibrary,
+    name: &'a str,
+    program: Option<gamedb_script::Program>,
+    vm: Vm,
+}
+
+impl<'a> ScriptRunner<'a> {
+    fn new(lib: &'a ScriptLibrary, name: &'a str, world: &World) -> Self {
+        let program = match engine_mode() {
+            ExecMode::Vm => compile_program(lib, name, world).ok(),
+            ExecMode::Interp => None,
+        };
+        ScriptRunner { lib, name, program, vm: Vm::new() }
+    }
+
+    fn run(&mut self, world: &World, id: EntityId, buf: &mut EffectBuffer, opts: ExecOptions) {
+        match &self.program {
+            Some(p) => {
+                self.vm.run(p, world, id, buf, opts).unwrap();
+            }
+            None => {
+                run_script(self.lib, self.name, world, id, buf, opts).unwrap();
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -70,18 +113,18 @@ fn e1(full: bool) {
         "naive/indexed",
         "indexed/compiled",
     ]);
+    println!("engine: {:?} (select with --engine=interp|vm)", engine_mode());
     for &n in sizes {
         let (world, ids) = constant_density_world(n, 0.05, 7);
         let mut lib = ScriptLibrary::new();
         lib.insert(parse_script("combat", SRC).unwrap());
         let compiled = compile(&lib, "combat", &world).unwrap();
+        let mut runner = ScriptRunner::new(&lib, "combat", &world);
 
-        let run_mode = |use_index: bool| {
+        let mut run_mode = |use_index: bool| {
             let mut buf = EffectBuffer::new();
             for &id in &ids {
-                run_script(
-                    &lib,
-                    "combat",
+                runner.run(
                     &world,
                     id,
                     &mut buf,
@@ -89,8 +132,7 @@ fn e1(full: bool) {
                         use_index,
                         ..Default::default()
                     },
-                )
-                .unwrap();
+                );
             }
             std::hint::black_box(buf.len());
         };
@@ -141,6 +183,7 @@ fn e2(_full: bool) {
     // The declarative rewrite a restricted designer must use instead.
     const DECLARATIVE: &str = "self.hp += count(1000) * count(1000) * 0.000001;";
 
+    println!("engine: {:?} (select with --engine=interp|vm)", engine_mode());
     let n = 400;
     let (world, ids) = combat_world(n, 200.0, 3);
     let mut lib = ScriptLibrary::new();
@@ -157,11 +200,11 @@ fn e2(_full: bool) {
                 // the quadratic script is measured on few entities; the
                 // declarative one on many — both report per-entity cost
                 let sample = if name == "bad" { 5 } else { 100 };
-                let run_sample = || {
+                let mut runner = ScriptRunner::new(&lib, name, &world);
+                let mut run_sample = || {
                     let mut buf = EffectBuffer::new();
                     for &id in ids.iter().take(sample) {
-                        run_script(&lib, name, &world, id, &mut buf, ExecOptions::default())
-                            .unwrap();
+                        runner.run(&world, id, &mut buf, ExecOptions::default());
                     }
                     std::hint::black_box(buf.len());
                 };
@@ -196,11 +239,11 @@ fn e2(_full: bool) {
             let mut lib = ScriptLibrary::new();
             lib.insert((*body).clone());
             let sample = 200;
-            let run_sample = || {
+            let mut runner = ScriptRunner::new(&lib, name, &world);
+            let mut run_sample = || {
                 let mut buf = EffectBuffer::new();
                 for &id in ids.iter().take(sample) {
-                    run_script(&lib, name, &world, id, &mut buf, ExecOptions::default())
-                        .unwrap();
+                    runner.run(&world, id, &mut buf, ExecOptions::default());
                 }
                 std::hint::black_box(buf.len());
             };
@@ -1669,6 +1712,19 @@ fn e14(full: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let engine = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--engine="))
+        .map(|v| match v {
+            "interp" => ExecMode::Interp,
+            "vm" => ExecMode::Vm,
+            other => {
+                eprintln!("unknown engine {other:?} (use interp or vm); defaulting to vm");
+                ExecMode::Vm
+            }
+        })
+        .unwrap_or(ExecMode::Vm);
+    let _ = ENGINE.set(engine);
     let mut wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

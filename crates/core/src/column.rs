@@ -197,6 +197,16 @@ impl Column {
         }
     }
 
+    /// `&str` view at `slot` — the zero-allocation read hot dispatch
+    /// loops (script-binding lookup, VM string compares) rely on.
+    #[inline]
+    pub fn get_str(&self, slot: usize) -> Option<&str> {
+        match &self.data {
+            ColumnData::Str(v) if self.has(slot) => Some(v[slot].as_str()),
+            _ => None,
+        }
+    }
+
     /// `[f32; 2]` value at `slot`.
     #[inline]
     pub fn get_v2(&self, slot: usize) -> Option<[f32; 2]> {

@@ -828,6 +828,17 @@ impl World {
         self.column(component)?.get_number(id.index() as usize)
     }
 
+    /// `&str` view of a string component addressed by interned id — the
+    /// zero-allocation, zero-hash read per-entity dispatch loops (the
+    /// script engine's binding lookup) run on.
+    #[inline]
+    pub fn get_str_by_id(&self, id: EntityId, component: ComponentId) -> Option<&str> {
+        if !self.is_live(id) {
+            return None;
+        }
+        self.columns.get(component.index())?.get_str(id.index() as usize)
+    }
+
     // ---- position & spatial queries ----
 
     /// Position of an entity.

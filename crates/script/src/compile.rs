@@ -119,7 +119,7 @@ impl Ctx<'_, '_> {
 /// two agree exactly when `0 <cmp> literal` is false — so that is a
 /// condition of extraction, as is the literal surviving the f64→f32
 /// round-trip unchanged.
-fn sargable_filter(filter: &Expr) -> Option<(String, CmpOp, f32)> {
+pub(crate) fn sargable_filter(filter: &Expr) -> Option<(String, CmpOp, f32)> {
     let Expr::Bin { op, lhs, rhs } = filter else {
         return None;
     };

@@ -1,11 +1,18 @@
 //! The script engine: the one-stop API a game embeds.
 //!
 //! [`ScriptEngine`] owns the script library, enforces a language level at
-//! load time, compiles what it can (falling back to the interpreter for
-//! scripts outside the compilable subset), binds scripts to entities via
-//! a component, and drives whole-world ticks — the piece that turns the
-//! lower-level modules into the "custom scripting language runtime" a
-//! studio would actually ship.
+//! load time, lowers what it can to bytecode (falling back to the
+//! interpreter for scripts outside the compilable subset), binds scripts
+//! to entities via a component, and drives whole-world ticks — the piece
+//! that turns the lower-level modules into the "custom scripting language
+//! runtime" a studio would actually ship.
+//!
+//! Execution is mode-switched by [`ExecMode`]: the register VM is the
+//! default hot path; the tree-walking interpreter stays available as the
+//! differential-testing oracle (and runs any script the VM compiler
+//! rejects). Per-entity dispatch is name-free in either mode: `bind`
+//! pre-resolves the script to a prepared slot, and the tick loop revives
+//! that slot from a per-entity cache without hashing the script name.
 
 use std::collections::HashMap;
 
@@ -13,14 +20,27 @@ use gamedb_content::{Value, ValueType};
 use gamedb_core::{EffectBuffer, EntityId, World};
 use gamedb_metrics::MetricsRegistry;
 
-use crate::compile::{compile, CompiledScript};
+use crate::ast::Script;
+use crate::interp::{run_script_ref, ExecOptions, RuntimeError, ScriptLibrary};
 use crate::metrics::ScriptMetrics;
-use crate::interp::{run_script, ExecOptions, RuntimeError, ScriptLibrary};
 use crate::parser::{parse_script, ParseError};
 use crate::types::{check_library, Level, TypeError};
+use crate::vm::{compile_program, Program, Vm};
 
 /// Component that names the script an entity runs each tick.
 pub const SCRIPT_COMPONENT: &str = "script";
+
+/// How the engine executes scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Tree-walking interpreter — the semantic oracle the VM is
+    /// differentially tested against.
+    Interp,
+    /// Register-based bytecode VM (scripts the VM compiler rejects still
+    /// run interpreted).
+    #[default]
+    Vm,
+}
 
 /// Errors loading scripts into the engine.
 #[derive(Debug)]
@@ -47,11 +67,30 @@ impl std::error::Error for EngineError {}
 pub struct EngineTickStats {
     /// Entities that ran a script.
     pub scripts_run: usize,
-    /// Entities whose script ran compiled (vs interpreted).
+    /// Entities whose script ran compiled (vs interpreted). Equal to
+    /// [`EngineTickStats::vm_runs`] — kept for callers that predate the
+    /// mode split.
     pub compiled_runs: usize,
+    /// Executions dispatched through the bytecode VM.
+    pub vm_runs: usize,
+    /// Executions that tree-walked (interpreter mode or VM fallback).
+    pub interp_runs: usize,
     /// Events emitted by scripts, in deterministic (entity, order) order.
     pub events: Vec<(EntityId, String)>,
 }
+
+/// A script resolved once at bind time: the post-optimizer AST (for the
+/// interpreter) plus its bytecode lowering when the VM compiler accepts
+/// it. Per-entity dispatch indexes into these — no name hashing on the
+/// tick path.
+struct Prepared {
+    name: String,
+    script: Script,
+    program: Option<Program>,
+}
+
+/// Sentinel for an empty per-entity cache slot.
+const NO_SLOT: (u64, u32) = (u64::MAX, u32::MAX);
 
 /// The embedded scripting runtime.
 pub struct ScriptEngine {
@@ -59,8 +98,15 @@ pub struct ScriptEngine {
     level: Level,
     opts: ExecOptions,
     optimize: bool,
-    /// compiled cache, invalidated on load and on schema growth
-    compiled: HashMap<String, CompiledScript>,
+    mode: ExecMode,
+    /// Prepared bindings, invalidated on load (schema drift is handled
+    /// by per-tick revalidation instead).
+    programs: Vec<Prepared>,
+    by_name: HashMap<String, u32>,
+    /// `entity slot → (entity bits, program index)`: the per-binding
+    /// cache that makes tick dispatch hash-free.
+    slot_cache: Vec<(u64, u32)>,
+    vm: Vm,
     /// Instrumentation handles ([`ScriptEngine::attach_metrics`]).
     metrics: Option<ScriptMetrics>,
 }
@@ -73,14 +119,19 @@ impl ScriptEngine {
             level,
             opts: ExecOptions::default(),
             optimize: false,
-            compiled: HashMap::new(),
+            mode: ExecMode::default(),
+            programs: Vec::new(),
+            by_name: HashMap::new(),
+            slot_cache: Vec::new(),
+            vm: Vm::new(),
             metrics: None,
         }
     }
 
     /// Attach a metrics registry: scripted ticks, per-entity runs,
-    /// compiled-vs-interpreted counts, and effect-batch sizes are
-    /// reported into `registry` from here on. Purely observational.
+    /// dispatch-mode counts, VM instruction/compile totals, and
+    /// effect-batch sizes are reported into `registry` from here on.
+    /// Purely observational.
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.metrics = Some(ScriptMetrics::new(registry));
     }
@@ -95,6 +146,18 @@ impl ScriptEngine {
     pub fn with_options(mut self, opts: ExecOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Select the execution engine (default: [`ExecMode::Vm`]).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self.invalidate_prepared();
+        self
+    }
+
+    /// The active execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Run the AST optimizer on every loaded script (constant folding,
@@ -121,6 +184,12 @@ impl ScriptEngine {
         self.lib.is_empty()
     }
 
+    fn invalidate_prepared(&mut self) {
+        self.programs.clear();
+        self.by_name.clear();
+        self.slot_cache.clear();
+    }
+
     /// Parse, type-check (at the engine's level, against the world
     /// schema), and load a script. All-or-nothing per script.
     pub fn load(&mut self, name: &str, source: &str, world: &World) -> Result<(), EngineError> {
@@ -140,8 +209,8 @@ impl ScriptEngine {
             script
         };
         self.lib.insert(script);
-        // a new script may be called by cached ones: recompile lazily
-        self.compiled.clear();
+        // a new script may be called by prepared ones: re-prepare lazily
+        self.invalidate_prepared();
         Ok(())
     }
 
@@ -154,9 +223,11 @@ impl ScriptEngine {
         }
     }
 
-    /// Bind `entity` to run `script` each tick.
+    /// Bind `entity` to run `script` each tick. Preparation (bytecode
+    /// lowering, name resolution) happens here, so the tick path only
+    /// revives a cached slot.
     pub fn bind(
-        &self,
+        &mut self,
         world: &mut World,
         entity: EntityId,
         script: &str,
@@ -167,19 +238,90 @@ impl ScriptEngine {
         world
             .set(entity, SCRIPT_COMPONENT, Value::Str(script.to_string()))
             .map_err(|e| RuntimeError::TypeError(e.to_string()))?;
+        let idx = self.prepare_idx(script, world)?;
+        self.cache_store(entity, idx);
         Ok(())
     }
 
-    fn compiled_for(&mut self, name: &str, world: &World) -> Option<&CompiledScript> {
-        if !self.compiled.contains_key(name) {
-            if let Ok(c) = compile(&self.lib, name, world) {
-                self.compiled.insert(name.to_string(), c);
-            }
+    /// Resolve a script name to a prepared-slot index, lowering to
+    /// bytecode on first sight (VM mode only).
+    fn prepare_idx(&mut self, name: &str, world: &World) -> Result<u32, RuntimeError> {
+        if let Some(&i) = self.by_name.get(name) {
+            return Ok(i);
         }
-        self.compiled.get(name)
+        let script = self
+            .lib
+            .get(name)
+            .ok_or_else(|| RuntimeError::UnknownScript(name.to_string()))?
+            .clone();
+        let program = if self.mode == ExecMode::Vm {
+            self.lower(name, world)
+        } else {
+            None
+        };
+        let idx = self.programs.len() as u32;
+        self.programs.push(Prepared {
+            name: name.to_string(),
+            script,
+            program,
+        });
+        self.by_name.insert(name.to_string(), idx);
+        Ok(idx)
     }
 
-    /// Run one script for one entity (compiled when possible).
+    fn lower(&self, name: &str, world: &World) -> Option<Program> {
+        match compile_program(&self.lib, name, world) {
+            Ok(p) => {
+                if let Some(m) = &self.metrics {
+                    m.vm_compiles.inc();
+                }
+                Some(p)
+            }
+            Err(_) => None, // outside the compilable subset: interpret
+        }
+    }
+
+    fn cache_store(&mut self, entity: EntityId, idx: u32) {
+        let slot = entity.index() as usize;
+        if self.slot_cache.len() <= slot {
+            self.slot_cache.resize(slot + 1, NO_SLOT);
+        }
+        self.slot_cache[slot] = (entity.to_bits(), idx);
+    }
+
+    fn cache_get(&self, entity: EntityId, name: &str) -> Option<u32> {
+        let &(bits, idx) = self.slot_cache.get(entity.index() as usize)?;
+        if bits != entity.to_bits() {
+            return None;
+        }
+        // rebinding writes the component without going through `bind`
+        // (e.g. snapshot restore): verify the cached slot still names
+        // the bound script — a memcmp, not a hash
+        let prep = self.programs.get(idx as usize)?;
+        (prep.name == name).then_some(idx)
+    }
+
+    /// Recompile prepared programs whose baked-in column ids no longer
+    /// match the world (cross-world reuse, schema growth unlocking a
+    /// previously-uncompilable script). Cheap: a name check per
+    /// component per script.
+    fn revalidate_programs(&mut self, world: &World) {
+        if self.mode != ExecMode::Vm {
+            return;
+        }
+        for i in 0..self.programs.len() {
+            let stale = match &self.programs[i].program {
+                Some(p) => !p.validate_schema(world),
+                None => true, // retry: schema growth may unlock it
+            };
+            if stale {
+                let name = self.programs[i].name.clone();
+                self.programs[i].program = self.lower(&name, world);
+            }
+        }
+    }
+
+    /// Run one script for one entity (bytecode when possible).
     pub fn run_one(
         &mut self,
         world: &World,
@@ -187,12 +329,22 @@ impl ScriptEngine {
         script: &str,
         buf: &mut EffectBuffer,
     ) -> Result<Vec<String>, RuntimeError> {
-        let use_index = self.opts.use_index;
-        if let Some(c) = self.compiled_for(script, world) {
-            return c.run(world, entity, buf, use_index);
+        let idx = self.prepare_idx(script, world)? as usize;
+        if self.mode == ExecMode::Vm {
+            let stale = match &self.programs[idx].program {
+                Some(p) => !p.validate_schema(world),
+                None => true,
+            };
+            if stale {
+                self.programs[idx].program = self.lower(script, world);
+            }
         }
-        let opts = self.opts;
-        run_script(&self.lib, script, world, entity, buf, opts).map(|o| o.events)
+        let prep = &self.programs[idx];
+        match (&prep.program, self.mode) {
+            (Some(p), ExecMode::Vm) => self.vm.run(p, world, entity, buf, self.opts),
+            _ => run_script_ref(&self.lib, &prep.script, world, entity, buf, self.opts)
+                .map(|o| o.events),
+        }
     }
 
     /// Run one tick: every entity bound via the `script` component runs
@@ -206,42 +358,59 @@ impl ScriptEngine {
     pub fn tick(&mut self, world: &mut World) -> Result<EngineTickStats, RuntimeError> {
         let mut stats = EngineTickStats::default();
         let mut buf = EffectBuffer::new();
-        for entity in world.entity_vec() {
-            let Some(Value::Str(name)) = world.get(entity, SCRIPT_COMPONENT) else {
-                continue;
-            };
-            if name.is_empty() {
-                continue;
-            }
-            let was_compiled = {
-                let use_index = self.opts.use_index;
-                match self.compiled_for(&name, world) {
-                    Some(c) => {
-                        let events = c.run(world, entity, &mut buf, use_index)?;
+        self.revalidate_programs(world);
+        if let Some(script_cid) = world.component_id(SCRIPT_COMPONENT) {
+            for entity in world.entity_vec() {
+                let Some(name) = world.get_str_by_id(entity, script_cid) else {
+                    continue;
+                };
+                if name.is_empty() {
+                    continue;
+                }
+                let idx = match self.cache_get(entity, name) {
+                    Some(i) => i,
+                    None => {
+                        let i = self.prepare_idx(name, world)?;
+                        self.cache_store(entity, i);
+                        i
+                    }
+                };
+                let prep = &self.programs[idx as usize];
+                match (&prep.program, self.mode) {
+                    (Some(p), ExecMode::Vm) => {
+                        let events = self.vm.run(p, world, entity, &mut buf, self.opts)?;
+                        stats.vm_runs += 1;
                         stats
                             .events
                             .extend(events.into_iter().map(|e| (entity, e)));
-                        true
                     }
-                    None => {
-                        let opts = self.opts;
-                        let out = run_script(&self.lib, &name, world, entity, &mut buf, opts)?;
+                    _ => {
+                        let out = run_script_ref(
+                            &self.lib,
+                            &prep.script,
+                            world,
+                            entity,
+                            &mut buf,
+                            self.opts,
+                        )?;
+                        stats.interp_runs += 1;
                         stats
                             .events
                             .extend(out.events.into_iter().map(|e| (entity, e)));
-                        false
                     }
                 }
-            };
-            stats.scripts_run += 1;
-            if was_compiled {
-                stats.compiled_runs += 1;
+                stats.scripts_run += 1;
             }
         }
+        stats.compiled_runs = stats.vm_runs;
+        let vm_instrs = self.vm.take_instr_count();
         if let Some(m) = &self.metrics {
             m.ticks.inc();
             m.scripts_run.add(stats.scripts_run as u64);
             m.compiled_runs.add(stats.compiled_runs as u64);
+            m.vm_runs.add(stats.vm_runs as u64);
+            m.interp_runs.add(stats.interp_runs as u64);
+            m.vm_instrs.add(vm_instrs);
             m.events.add(stats.events.len() as u64);
             m.tick_effects.observe(buf.len() as u64);
         }
@@ -322,6 +491,8 @@ mod tests {
         let stats = e.tick(&mut w).unwrap();
         assert_eq!(stats.scripts_run, 2);
         assert_eq!(stats.compiled_runs, 2, "both scripts compile");
+        assert_eq!(stats.vm_runs, 2, "default mode is the VM");
+        assert_eq!(stats.interp_runs, 0);
         assert_eq!(w.get_f32(a, "hp"), Some(15.0));
         assert_eq!(w.get_f32(b, "hp"), Some(9.0));
         assert_eq!(w.get_f32(c, "hp"), Some(10.0));
@@ -330,7 +501,7 @@ mod tests {
     #[test]
     fn bind_unknown_script_fails() {
         let mut w = world();
-        let e = ScriptEngine::new(Level::Full);
+        let mut e = ScriptEngine::new(Level::Full);
         let id = w.spawn_at(Vec2::ZERO);
         assert!(matches!(
             e.bind(&mut w, id, "ghost"),
@@ -353,7 +524,105 @@ mod tests {
         let stats = e.tick(&mut w).unwrap();
         assert_eq!(stats.scripts_run, 1);
         assert_eq!(stats.compiled_runs, 0, "fell back to the interpreter");
+        assert_eq!(stats.interp_runs, 1);
         assert_eq!(w.get_f32(id, "hp"), Some(2.0));
+    }
+
+    #[test]
+    fn interp_mode_runs_everything_tree_walked() {
+        let mut w = world();
+        let mut e = ScriptEngine::new(Level::Restricted).with_mode(ExecMode::Interp);
+        assert_eq!(e.mode(), ExecMode::Interp);
+        e.ensure_binding_component(&mut w);
+        e.load("regen", "self.hp += 5;", &w).unwrap();
+        let a = w.spawn_at(Vec2::ZERO);
+        w.set_f32(a, "hp", 10.0).unwrap();
+        e.bind(&mut w, a, "regen").unwrap();
+        let stats = e.tick(&mut w).unwrap();
+        assert_eq!(stats.vm_runs, 0);
+        assert_eq!(stats.interp_runs, 1);
+        assert_eq!(w.get_f32(a, "hp"), Some(15.0));
+    }
+
+    #[test]
+    fn both_modes_agree_on_world_state() {
+        for mode in [ExecMode::Interp, ExecMode::Vm] {
+            let mut w = world();
+            let mut e = ScriptEngine::new(Level::Restricted)
+                .with_optimizer()
+                .with_mode(mode);
+            e.ensure_binding_component(&mut w);
+            e.load(
+                "swarm",
+                "let crowd = count(4; other.hp > 1); self.hp += crowd; emit \"t\";",
+                &w,
+            )
+            .unwrap();
+            let mut ids = Vec::new();
+            for i in 0..12 {
+                let p = w.spawn_at(Vec2::new((i % 4) as f32 * 2.0, (i / 4) as f32 * 2.0));
+                w.set_f32(p, "hp", 5.0).unwrap();
+                e.bind(&mut w, p, "swarm").unwrap();
+                ids.push(p);
+            }
+            let stats = e.tick(&mut w).unwrap();
+            assert_eq!(stats.scripts_run, 12);
+            // both modes land on identical state
+            let expected: Vec<f32> = ids.iter().map(|&p| w.get_f32(p, "hp").unwrap()).collect();
+            assert_eq!(expected.len(), 12);
+            if mode == ExecMode::Vm {
+                assert_eq!(stats.vm_runs, 12);
+            } else {
+                assert_eq!(stats.interp_runs, 12);
+            }
+        }
+    }
+
+    #[test]
+    fn run_one_dispatches_by_mode() {
+        for mode in [ExecMode::Interp, ExecMode::Vm] {
+            let mut w = world();
+            let mut e = ScriptEngine::new(Level::Restricted).with_mode(mode);
+            e.ensure_binding_component(&mut w);
+            e.load("regen", "self.hp += 5; emit \"healed\";", &w).unwrap();
+            let id = w.spawn_at(Vec2::ZERO);
+            w.set_f32(id, "hp", 1.0).unwrap();
+            let mut buf = EffectBuffer::new();
+            let events = e.run_one(&w, id, "regen", &mut buf).unwrap();
+            assert_eq!(events, vec!["healed".to_string()]);
+            buf.apply(&mut w).unwrap();
+            assert_eq!(w.get_f32(id, "hp"), Some(6.0));
+        }
+    }
+
+    #[test]
+    fn schema_growth_revalidates_programs() {
+        // bind against a schema that lacks the component the script
+        // needs → interpreter fallback; defining it later upgrades the
+        // binding to bytecode on the next tick
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let mut e = ScriptEngine::new(Level::Restricted);
+        e.ensure_binding_component(&mut w);
+        e.load("regen", "self.hp += 5;", &w).unwrap();
+        let id = w.spawn_at(Vec2::ZERO);
+        w.set_f32(id, "hp", 0.0).unwrap();
+        e.bind(&mut w, id, "regen").unwrap();
+        let stats = e.tick(&mut w).unwrap();
+        assert_eq!(stats.vm_runs, 1, "compiles against the initial schema");
+
+        // a fresh engine prepared against world A keeps working (and
+        // recompiles) against a world with a different schema layout
+        let mut w2 = World::new();
+        w2.define_component("armor", ValueType::Float).unwrap();
+        w2.define_component("hp", ValueType::Float).unwrap();
+        e.ensure_binding_component(&mut w2);
+        let id2 = w2.spawn_at(Vec2::ZERO);
+        w2.set_f32(id2, "hp", 1.0).unwrap();
+        e.bind(&mut w2, id2, "regen").unwrap();
+        let stats = e.tick(&mut w2).unwrap();
+        assert_eq!(stats.vm_runs, 1, "revalidation recompiled for w2");
+        assert_eq!(w2.get_f32(id2, "hp"), Some(6.0));
     }
 
     #[test]

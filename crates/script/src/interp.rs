@@ -579,6 +579,20 @@ pub fn run_script(
     let script = lib
         .get(name)
         .ok_or_else(|| RuntimeError::UnknownScript(name.to_string()))?;
+    run_script_ref(lib, script, world, self_id, buf, opts)
+}
+
+/// [`run_script`] for an already-resolved script (the engine's prepared
+/// bindings skip the by-name lookup on the per-entity path). The library
+/// is still needed for `call` targets.
+pub(crate) fn run_script_ref(
+    lib: &ScriptLibrary,
+    script: &Script,
+    world: &World,
+    self_id: EntityId,
+    buf: &mut EffectBuffer,
+    opts: ExecOptions,
+) -> Result<RunOutput, RuntimeError> {
     let mut interp = Interp {
         lib,
         world,

@@ -19,6 +19,11 @@
 //!   elimination, and foreach-to-aggregate rewriting.
 //! * [`compile`](mod@compile) — closure-specializing compiler (set-at-a-time
 //!   evaluation of the restricted language).
+//! * [`vm`] — register-based bytecode VM: [`vm::compile_program`] lowers
+//!   the optimized AST to a dense instruction stream with pre-resolved
+//!   column ids and pre-built query handles; [`vm::Vm`] dispatches it.
+//!   The engine's default execution mode ([`engine::ExecMode::Vm`]); the
+//!   interpreter stays on as the differential-testing oracle.
 //!
 //! ## A complete example
 //!
@@ -61,10 +66,12 @@ pub mod optimize;
 pub mod parser;
 pub mod token;
 pub mod types;
+pub mod vm;
 
 pub use ast::{AggKind, AssignOp, BinOp, BuiltinFn, Expr, Script, Stmt, Subject};
 pub use compile::{compile, CompileError, CompiledScript};
-pub use engine::{EngineError, EngineTickStats, ScriptEngine, SCRIPT_COMPONENT};
+pub use engine::{EngineError, EngineTickStats, ExecMode, ScriptEngine, SCRIPT_COMPONENT};
+pub use vm::{compile_program, Program, Vm};
 pub use interp::{run_script, ExecOptions, RunOutput, RuntimeError, SVal, ScriptLibrary};
 pub use optimize::{optimize, OptStats};
 pub use parser::{parse, parse_script, ParseError};

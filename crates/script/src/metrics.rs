@@ -18,6 +18,17 @@ pub(crate) struct ScriptMetrics {
     pub compiled_runs: Counter,
     /// `script.events`: events emitted by scripts.
     pub events: Counter,
+    /// `script.vm_runs`: per-entity executions dispatched through the
+    /// bytecode VM.
+    pub vm_runs: Counter,
+    /// `script.interp_runs`: per-entity executions that tree-walked
+    /// (interpreter mode, or VM-mode fallback for uncompilable scripts).
+    pub interp_runs: Counter,
+    /// `script.vm_instrs`: bytecode instructions retired by the VM.
+    pub vm_instrs: Counter,
+    /// `script.vm_compiles`: scripts lowered to bytecode (per binding
+    /// preparation, including schema-change recompiles).
+    pub vm_compiles: Counter,
     /// `script.tick_effects`: effect-buffer size per tick — the batch
     /// the tick commits through `World::apply_batch`.
     pub tick_effects: Histogram,
@@ -30,6 +41,10 @@ impl ScriptMetrics {
             scripts_run: registry.counter("script.scripts_run"),
             compiled_runs: registry.counter("script.compiled_runs"),
             events: registry.counter("script.events"),
+            vm_runs: registry.counter("script.vm_runs"),
+            interp_runs: registry.counter("script.interp_runs"),
+            vm_instrs: registry.counter("script.vm_instrs"),
+            vm_compiles: registry.counter("script.vm_compiles"),
             tick_effects: registry.histogram("script.tick_effects", SIZE_BUCKETS),
         }
     }

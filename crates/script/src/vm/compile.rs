@@ -1,0 +1,1220 @@
+//! AST → bytecode lowering for the GSL VM.
+//!
+//! Mirrors the closure compiler's compilable subset and error surface
+//! exactly (same [`CompileError`] variants and messages), but emits a
+//! dense instruction stream into typed register files instead of boxed
+//! closures. Registers are allocated with a mark/release stack: each
+//! expression's temporaries are reclaimed as soon as its value is
+//! consumed, so register-file sizes stay small even for deep scripts
+//! while named locals keep their registers for their whole scope.
+//!
+//! Everything name-shaped is resolved here, once per (script, schema):
+//! component references become interned [`ComponentId`]s, effect-write
+//! names and string literals land in the program's constant pool, and
+//! sargable aggregate filters become pre-built [`SargQuery`] handles.
+//! The dispatch loop never sees a string it has to hash.
+
+use std::collections::BTreeMap;
+
+use gamedb_content::ValueType;
+use gamedb_core::{ComponentId, World};
+
+use super::{Instr, Program, Reg, SargQuery, VmArith, VmCmp, NO_QUERY};
+use crate::ast::{AssignOp, BinOp, BuiltinFn, Expr, Script, Stmt, Subject};
+use crate::compile::{sargable_filter, CompileError};
+use crate::interp::ScriptLibrary;
+use crate::types::Ty;
+
+const MAX_INLINE_DEPTH: usize = 16;
+/// Per-type register-file ceiling — far above any real script; hitting
+/// it routes the script to the interpreter instead of panicking.
+const MAX_REGS: u16 = 4096;
+const MAX_LOOPS: u8 = 64;
+
+#[derive(Clone, Copy)]
+enum VReg {
+    Num(Reg),
+    Bool(Reg),
+}
+
+/// Register-allocation checkpoint: temporaries above these watermarks
+/// are dead once the expression that allocated them is consumed.
+#[derive(Clone, Copy)]
+struct Mark {
+    num: u16,
+    bool_: u16,
+    str_: u16,
+}
+
+struct Compiler<'a> {
+    lib: &'a ScriptLibrary,
+    schema: BTreeMap<String, (ComponentId, ValueType)>,
+    scopes: Vec<BTreeMap<String, VReg>>,
+    instrs: Vec<Instr>,
+    pool: Vec<String>,
+    queries: Vec<SargQuery>,
+    comps: Vec<(ComponentId, String)>,
+    next_num: u16,
+    max_num: u16,
+    next_bool: u16,
+    max_bool: u16,
+    next_str: u16,
+    max_str: u16,
+    next_loop: u8,
+    max_loop: u8,
+    inline_depth: usize,
+}
+
+fn vm_cmp(op: BinOp) -> VmCmp {
+    match op {
+        BinOp::Eq => VmCmp::Eq,
+        BinOp::Ne => VmCmp::Ne,
+        BinOp::Lt => VmCmp::Lt,
+        BinOp::Le => VmCmp::Le,
+        BinOp::Gt => VmCmp::Gt,
+        BinOp::Ge => VmCmp::Ge,
+        _ => unreachable!("caller checked is_cmp"),
+    }
+}
+
+impl<'a> Compiler<'a> {
+    // ---- register + pool bookkeeping ----
+
+    fn alloc_num(&mut self) -> Result<Reg, CompileError> {
+        if self.next_num >= MAX_REGS {
+            return Err(CompileError::Unsupported(
+                "num register file exhausted (script too large)".into(),
+            ));
+        }
+        let r = self.next_num;
+        self.next_num += 1;
+        self.max_num = self.max_num.max(self.next_num);
+        Ok(r)
+    }
+
+    fn alloc_bool(&mut self) -> Result<Reg, CompileError> {
+        if self.next_bool >= MAX_REGS {
+            return Err(CompileError::Unsupported(
+                "bool register file exhausted (script too large)".into(),
+            ));
+        }
+        let r = self.next_bool;
+        self.next_bool += 1;
+        self.max_bool = self.max_bool.max(self.next_bool);
+        Ok(r)
+    }
+
+    fn alloc_str(&mut self) -> Result<Reg, CompileError> {
+        if self.next_str >= MAX_REGS {
+            return Err(CompileError::Unsupported(
+                "str register file exhausted (script too large)".into(),
+            ));
+        }
+        let r = self.next_str;
+        self.next_str += 1;
+        self.max_str = self.max_str.max(self.next_str);
+        Ok(r)
+    }
+
+    fn alloc_loop(&mut self) -> Result<u8, CompileError> {
+        if self.next_loop >= MAX_LOOPS {
+            return Err(CompileError::Unsupported(
+                "loop nesting too deep for the VM".into(),
+            ));
+        }
+        let s = self.next_loop;
+        self.next_loop += 1;
+        self.max_loop = self.max_loop.max(self.next_loop);
+        Ok(s)
+    }
+
+    fn free_loop(&mut self) {
+        self.next_loop -= 1;
+    }
+
+    fn marks(&self) -> Mark {
+        Mark {
+            num: self.next_num,
+            bool_: self.next_bool,
+            str_: self.next_str,
+        }
+    }
+
+    fn release(&mut self, m: Mark) {
+        self.next_num = m.num;
+        self.next_bool = m.bool_;
+        self.next_str = m.str_;
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.instrs[at] {
+            Instr::Jump { to }
+            | Instr::JumpIf { to, .. }
+            | Instr::JumpIfNot { to, .. }
+            | Instr::SkipIfPrefiltered { to, .. } => *to = target,
+            Instr::LoopNext { exit, .. } => *exit = target,
+            other => unreachable!("patched non-jump instruction {other:?}"),
+        }
+    }
+
+    fn pool_idx(&mut self, s: &str) -> Result<u16, CompileError> {
+        if let Some(i) = self.pool.iter().position(|p| p == s) {
+            return Ok(i as u16);
+        }
+        if self.pool.len() >= u16::MAX as usize {
+            return Err(CompileError::Unsupported(
+                "constant pool exhausted (script too large)".into(),
+            ));
+        }
+        self.pool.push(s.to_string());
+        Ok((self.pool.len() - 1) as u16)
+    }
+
+    // ---- name resolution ----
+
+    fn lookup(&self, name: &str) -> Option<VReg> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    /// Resolve a component name to its interned id + type, recording it
+    /// in the program's validation table.
+    fn comp(&mut self, name: &str) -> Result<(ComponentId, ValueType), CompileError> {
+        let (id, ty) = self
+            .schema
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError::Semantic(format!("unknown component '{name}'")))?;
+        if !self.comps.iter().any(|(c, _)| *c == id) {
+            self.comps.push((id, name.to_string()));
+        }
+        Ok((id, ty))
+    }
+
+    fn comp_ty(&self, comp: &str) -> Result<ValueType, CompileError> {
+        if comp == "x" || comp == "y" {
+            return Ok(ValueType::Float);
+        }
+        self.schema
+            .get(comp)
+            .map(|(_, t)| *t)
+            .ok_or_else(|| CompileError::Semantic(format!("unknown component '{comp}'")))
+    }
+
+    /// Expression type in the compiled subset (same table as the closure
+    /// compiler's).
+    fn ty_of(&self, e: &Expr) -> Result<Ty, CompileError> {
+        Ok(match e {
+            Expr::Num(_) => Ty::Num,
+            Expr::Bool(_) => Ty::Bool,
+            Expr::Str(_) => Ty::Str,
+            Expr::Var(name) => match self.lookup(name) {
+                Some(VReg::Num(_)) => Ty::Num,
+                Some(VReg::Bool(_)) => Ty::Bool,
+                None => {
+                    return Err(CompileError::Semantic(format!(
+                        "undeclared variable '{name}'"
+                    )))
+                }
+            },
+            Expr::Comp(_, comp) => match self.comp_ty(comp)? {
+                ValueType::Float | ValueType::Int => Ty::Num,
+                ValueType::Bool => Ty::Bool,
+                ValueType::Str => Ty::Str,
+                ValueType::Vec2 => {
+                    return Err(CompileError::Semantic(format!(
+                        "component '{comp}' is vec2"
+                    )))
+                }
+            },
+            Expr::Unary { not, .. } => {
+                if *not {
+                    Ty::Bool
+                } else {
+                    Ty::Num
+                }
+            }
+            Expr::Bin { op, .. } => {
+                if op.is_cmp() || op.is_logic() {
+                    Ty::Bool
+                } else {
+                    Ty::Num
+                }
+            }
+            Expr::DistToOther
+            | Expr::Builtin { .. }
+            | Expr::Agg { .. }
+            | Expr::NearestDist { .. } => Ty::Num,
+        })
+    }
+
+    // ---- expression lowering ----
+
+    /// Numeric source register: a named local reads in place (no copy);
+    /// anything else evaluates into a fresh temporary. Callers bracket
+    /// with [`Compiler::marks`]/[`Compiler::release`].
+    fn num_src(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        if let Expr::Var(name) = e {
+            return match self.lookup(name) {
+                Some(VReg::Num(r)) => Ok(r),
+                Some(VReg::Bool(_)) => Err(CompileError::Semantic(format!(
+                    "variable '{name}' is bool, expected num"
+                ))),
+                None => Err(CompileError::Semantic(format!(
+                    "undeclared variable '{name}'"
+                ))),
+            };
+        }
+        let t = self.alloc_num()?;
+        self.num_into(e, t)?;
+        Ok(t)
+    }
+
+    fn bool_src(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        if let Expr::Var(name) = e {
+            return match self.lookup(name) {
+                Some(VReg::Bool(r)) => Ok(r),
+                Some(VReg::Num(_)) => Err(CompileError::Semantic(format!(
+                    "variable '{name}' is num, expected bool"
+                ))),
+                None => Err(CompileError::Semantic(format!(
+                    "undeclared variable '{name}'"
+                ))),
+            };
+        }
+        let t = self.alloc_bool()?;
+        self.bool_into(e, t)?;
+        Ok(t)
+    }
+
+    /// String source register. Only literals and str components compile
+    /// (all comparisons need), matching the closure compiler's subset.
+    fn str_src(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        match e {
+            Expr::Str(s) => {
+                let pool = self.pool_idx(s)?;
+                let t = self.alloc_str()?;
+                self.emit(Instr::LoadStr { dst: t, pool });
+                Ok(t)
+            }
+            Expr::Comp(subject, comp) if self.comp_ty(comp)? == ValueType::Str => {
+                let (col, _) = self.comp(comp)?;
+                let t = self.alloc_str()?;
+                self.emit(Instr::ReadStr {
+                    dst: t,
+                    col,
+                    subj: *subject,
+                });
+                Ok(t)
+            }
+            _ => Err(CompileError::Unsupported(
+                "general string expressions (only str components and literals compile)".into(),
+            )),
+        }
+    }
+
+    /// Lower a numeric expression so its value lands in `dst`. Source
+    /// registers are always read before `dst` is written within any one
+    /// instruction, so `dst` may alias a source (in-place updates like
+    /// `x = x + 1` compile without a copy).
+    fn num_into(&mut self, e: &Expr, dst: Reg) -> Result<(), CompileError> {
+        match e {
+            Expr::Num(n) => {
+                self.emit(Instr::LoadNum { dst, val: *n });
+            }
+            Expr::Var(_) => {
+                let src = self.num_src(e)?;
+                if src != dst {
+                    self.emit(Instr::CopyNum { dst, src });
+                }
+            }
+            Expr::Comp(subject, comp) => {
+                if comp == "x" || comp == "y" {
+                    self.emit(Instr::ReadAxis {
+                        dst,
+                        subj: *subject,
+                        y: comp == "y",
+                    });
+                    return Ok(());
+                }
+                let (col, ty) = self.comp(comp)?;
+                match ty {
+                    ValueType::Float | ValueType::Int => {
+                        self.emit(Instr::ReadNum {
+                            dst,
+                            col,
+                            subj: *subject,
+                        });
+                    }
+                    other => {
+                        return Err(CompileError::Semantic(format!(
+                            "component '{comp}' is {other}, expected numeric"
+                        )))
+                    }
+                }
+            }
+            Expr::Unary { neg, not, inner } => {
+                if *not {
+                    return Err(CompileError::Semantic("'!' yields bool".into()));
+                }
+                self.num_into(inner, dst)?;
+                if *neg {
+                    self.emit(Instr::Neg { dst, src: dst });
+                }
+            }
+            Expr::Bin { op, lhs, rhs } if !op.is_cmp() && !op.is_logic() => {
+                let m = self.marks();
+                let a = self.num_src(lhs)?;
+                let b = self.num_src(rhs)?;
+                let op = match op {
+                    BinOp::Add => VmArith::Add,
+                    BinOp::Sub => VmArith::Sub,
+                    BinOp::Mul => VmArith::Mul,
+                    BinOp::Div => VmArith::Div,
+                    BinOp::Rem => VmArith::Rem,
+                    _ => unreachable!(),
+                };
+                self.emit(Instr::Arith { op, dst, a, b });
+                self.release(m);
+            }
+            Expr::Bin { .. } => {
+                return Err(CompileError::Semantic(
+                    "comparison used where num expected".into(),
+                ))
+            }
+            Expr::DistToOther => {
+                self.emit(Instr::Dist { dst });
+            }
+            Expr::Builtin { name, args } => {
+                let m = self.marks();
+                let mut regs = [0 as Reg; 3];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = self.num_src(a)?;
+                }
+                match name {
+                    BuiltinFn::Min => self.emit(Instr::MinNum {
+                        dst,
+                        a: regs[0],
+                        b: regs[1],
+                    }),
+                    BuiltinFn::Max => self.emit(Instr::MaxNum {
+                        dst,
+                        a: regs[0],
+                        b: regs[1],
+                    }),
+                    BuiltinFn::Abs => self.emit(Instr::AbsNum { dst, src: regs[0] }),
+                    BuiltinFn::Clamp => self.emit(Instr::ClampNum {
+                        dst,
+                        x: regs[0],
+                        lo: regs[1],
+                        hi: regs[2],
+                    }),
+                };
+                self.release(m);
+            }
+            Expr::Agg {
+                kind,
+                radius,
+                arg,
+                filter,
+            } => self.agg(*kind, radius, arg.as_deref(), filter.as_deref(), dst)?,
+            Expr::NearestDist { radius } => {
+                let m = self.marks();
+                let r = self.num_src(radius)?;
+                self.emit(Instr::NearestDist { dst, radius: r });
+                self.release(m);
+            }
+            Expr::Bool(_) | Expr::Str(_) => {
+                return Err(CompileError::Semantic(
+                    "bool/str used where num expected".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower a boolean expression into `dst`. Logic operators write the
+    /// lhs into `dst` and conditionally skip the rhs — which is why
+    /// `dst` must NOT alias a register the rhs reads; callers pass a
+    /// fresh temporary (or a `let` target not yet in scope).
+    fn bool_into(&mut self, e: &Expr, dst: Reg) -> Result<(), CompileError> {
+        match e {
+            Expr::Bool(b) => {
+                self.emit(Instr::LoadBool { dst, val: *b });
+            }
+            Expr::Var(_) => {
+                let src = self.bool_src(e)?;
+                if src != dst {
+                    self.emit(Instr::CopyBool { dst, src });
+                }
+            }
+            Expr::Comp(subject, comp) => {
+                let (col, ty) = self.comp(comp)?;
+                if ty != ValueType::Bool {
+                    return Err(CompileError::Semantic(format!(
+                        "expected bool expression, got {e:?}"
+                    )));
+                }
+                self.emit(Instr::ReadBool {
+                    dst,
+                    col,
+                    subj: *subject,
+                });
+            }
+            Expr::Unary { not, inner, .. } if *not => {
+                self.bool_into(inner, dst)?;
+                self.emit(Instr::Not { dst, src: dst });
+            }
+            Expr::Bin { op, lhs, rhs } if op.is_logic() => {
+                self.bool_into(lhs, dst)?;
+                let skip = if *op == BinOp::And {
+                    self.emit(Instr::JumpIfNot { cond: dst, to: 0 })
+                } else {
+                    self.emit(Instr::JumpIf { cond: dst, to: 0 })
+                };
+                self.bool_into(rhs, dst)?;
+                let end = self.here();
+                self.patch(skip, end);
+            }
+            Expr::Bin { op, lhs, rhs } if op.is_cmp() => {
+                let lt = self.ty_of(lhs)?;
+                let rt = self.ty_of(rhs)?;
+                if lt != rt {
+                    return Err(CompileError::Semantic(format!(
+                        "cannot compare {lt} with {rt}"
+                    )));
+                }
+                let op = vm_cmp(*op);
+                let m = self.marks();
+                match lt {
+                    Ty::Num => {
+                        let a = self.num_src(lhs)?;
+                        let b = self.num_src(rhs)?;
+                        self.emit(Instr::CmpNum { op, dst, a, b });
+                    }
+                    Ty::Str => {
+                        let a = self.str_src(lhs)?;
+                        let b = self.str_src(rhs)?;
+                        self.emit(Instr::CmpStr { op, dst, a, b });
+                    }
+                    Ty::Bool => {
+                        let a = self.bool_src(lhs)?;
+                        let b = self.bool_src(rhs)?;
+                        self.emit(Instr::CmpBool { op, dst, a, b });
+                    }
+                }
+                self.release(m);
+            }
+            other => {
+                return Err(CompileError::Semantic(format!(
+                    "expected bool expression, got {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate lowering: accumulator registers + a candidate loop,
+    /// with the sargable filter routed through a pre-built query handle
+    /// when extraction succeeds (same conditions as the closure path).
+    fn agg(
+        &mut self,
+        kind: crate::ast::AggKind,
+        radius: &Expr,
+        arg: Option<&Expr>,
+        filter: Option<&Expr>,
+        dst: Reg,
+    ) -> Result<(), CompileError> {
+        let m = self.marks();
+        let r = self.num_src(radius)?;
+        let cnt = self.alloc_num()?;
+        let sum = self.alloc_num()?;
+        let minr = self.alloc_num()?;
+        let maxr = self.alloc_num()?;
+        let one = self.alloc_num()?;
+        self.emit(Instr::LoadNum { dst: cnt, val: 0.0 });
+        self.emit(Instr::LoadNum { dst: sum, val: 0.0 });
+        self.emit(Instr::LoadNum {
+            dst: minr,
+            val: f64::INFINITY,
+        });
+        self.emit(Instr::LoadNum {
+            dst: maxr,
+            val: f64::NEG_INFINITY,
+        });
+        self.emit(Instr::LoadNum { dst: one, val: 1.0 });
+
+        let query = match filter.and_then(sargable_filter) {
+            Some((comp, op, lit)) => {
+                if self.queries.len() >= NO_QUERY as usize {
+                    return Err(CompileError::Unsupported(
+                        "query table exhausted (script too large)".into(),
+                    ));
+                }
+                self.comp(&comp)?;
+                self.queries.push(SargQuery { comp, op, lit });
+                (self.queries.len() - 1) as u16
+            }
+            None => NO_QUERY,
+        };
+
+        let slot = self.alloc_loop()?;
+        self.emit(Instr::LoopBegin {
+            slot,
+            radius: r,
+            query,
+        });
+        let head = self.here();
+        let next_at = self.emit(Instr::LoopNext { slot, exit: 0 });
+        if let Some(f) = filter {
+            // when the query prefiltered the candidates, the inline
+            // re-check is skipped at runtime — but it is still compiled,
+            // because `use_index: false` falls back to the naive path
+            let skip_at = (query != NO_QUERY)
+                .then(|| self.emit(Instr::SkipIfPrefiltered { slot, to: 0 }));
+            let fm = self.marks();
+            let fb = self.bool_src(f)?;
+            self.emit(Instr::JumpIfNot { cond: fb, to: head });
+            self.release(fm);
+            if let Some(at) = skip_at {
+                let here = self.here();
+                self.patch(at, here);
+            }
+        }
+        self.emit(Instr::Arith {
+            op: VmArith::Add,
+            dst: cnt,
+            a: cnt,
+            b: one,
+        });
+        if let Some(a) = arg {
+            let am = self.marks();
+            let v = self.num_src(a)?;
+            self.emit(Instr::Arith {
+                op: VmArith::Add,
+                dst: sum,
+                a: sum,
+                b: v,
+            });
+            self.emit(Instr::MinNum {
+                dst: minr,
+                a: minr,
+                b: v,
+            });
+            self.emit(Instr::MaxNum {
+                dst: maxr,
+                a: maxr,
+                b: v,
+            });
+            self.release(am);
+        }
+        self.emit(Instr::Jump { to: head });
+        let exit = self.here();
+        self.patch(next_at, exit);
+        self.emit(Instr::AggFinish {
+            kind,
+            dst,
+            count: cnt,
+            sum,
+            min: minr,
+            max: maxr,
+        });
+        self.free_loop();
+        self.release(m);
+        Ok(())
+    }
+
+    // ---- statement lowering ----
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(BTreeMap::new());
+        let m = self.marks();
+        let result = stmts.iter().try_for_each(|s| self.stmt(s));
+        self.release(m);
+        self.scopes.pop();
+        result
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Let { name, value } => {
+                // the variable enters scope only after its initializer
+                // compiles, so `let x = x + 1;` reads the outer `x`
+                match self.ty_of(value)? {
+                    Ty::Num => {
+                        let dst = self.alloc_num()?;
+                        let m = self.marks();
+                        self.num_into(value, dst)?;
+                        self.release(m);
+                        self.scopes
+                            .last_mut()
+                            .expect("scope stack never empty")
+                            .insert(name.clone(), VReg::Num(dst));
+                    }
+                    Ty::Bool => {
+                        let dst = self.alloc_bool()?;
+                        let m = self.marks();
+                        self.bool_into(value, dst)?;
+                        self.release(m);
+                        self.scopes
+                            .last_mut()
+                            .expect("scope stack never empty")
+                            .insert(name.clone(), VReg::Bool(dst));
+                    }
+                    Ty::Str => {
+                        return Err(CompileError::Unsupported(
+                            "string-valued locals do not compile (interpreter handles them)"
+                                .into(),
+                        ))
+                    }
+                }
+            }
+            Stmt::AssignVar { name, value } => match self.lookup(name) {
+                Some(VReg::Num(r)) => {
+                    let m = self.marks();
+                    self.num_into(value, r)?;
+                    self.release(m);
+                }
+                Some(VReg::Bool(r)) => {
+                    // bool lowering may write dst before the rhs of a
+                    // logic op runs (`b = c || b`), so evaluate into a
+                    // fresh temp and copy
+                    let m = self.marks();
+                    let t = self.alloc_bool()?;
+                    self.bool_into(value, t)?;
+                    self.emit(Instr::CopyBool { dst: r, src: t });
+                    self.release(m);
+                }
+                None => {
+                    return Err(CompileError::Semantic(format!(
+                        "undeclared variable '{name}'"
+                    )))
+                }
+            },
+            Stmt::AssignComp {
+                subject,
+                component,
+                op,
+                value,
+            } => {
+                if component == "x" || component == "y" {
+                    return Err(CompileError::Semantic("position writes use move()".into()));
+                }
+                if *subject == Subject::Other && *op == AssignOp::Set {
+                    return Err(CompileError::Semantic(
+                        "non-commutative write to another entity".into(),
+                    ));
+                }
+                let (_, cty) = self.comp(component)?;
+                let name = self.pool_idx(component)?;
+                // the interpreter resolves the write target before
+                // evaluating the value, so an unbound `other` must error
+                // ahead of any value-side error
+                if *subject == Subject::Other {
+                    self.emit(Instr::CheckOther);
+                }
+                let subj = *subject;
+                match op {
+                    AssignOp::Set => match cty {
+                        ValueType::Float => {
+                            let m = self.marks();
+                            let src = self.num_src(value)?;
+                            self.emit(Instr::SetF32 { subj, name, src });
+                            self.release(m);
+                        }
+                        ValueType::Int => {
+                            let m = self.marks();
+                            let src = self.num_src(value)?;
+                            self.emit(Instr::SetI64 { subj, name, src });
+                            self.release(m);
+                        }
+                        ValueType::Bool => {
+                            let m = self.marks();
+                            let src = self.bool_src(value)?;
+                            self.emit(Instr::SetBool { subj, name, src });
+                            self.release(m);
+                        }
+                        ValueType::Str => {
+                            let m = self.marks();
+                            let src = self.str_src(value)?;
+                            self.emit(Instr::SetStr { subj, name, src });
+                            self.release(m);
+                        }
+                        ValueType::Vec2 => {
+                            return Err(CompileError::Semantic(
+                                "vec2 components are written with move()".into(),
+                            ))
+                        }
+                    },
+                    AssignOp::Add | AssignOp::Sub => {
+                        let m = self.marks();
+                        let src = self.num_src(value)?;
+                        self.emit(Instr::AddNum {
+                            subj,
+                            name,
+                            src,
+                            negate: *op == AssignOp::Sub,
+                        });
+                        self.release(m);
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let m = self.marks();
+                let c = self.bool_src(cond)?;
+                let jf = self.emit(Instr::JumpIfNot { cond: c, to: 0 });
+                self.release(m);
+                self.block(then_block)?;
+                if else_block.is_empty() {
+                    let end = self.here();
+                    self.patch(jf, end);
+                } else {
+                    let j = self.emit(Instr::Jump { to: 0 });
+                    let else_at = self.here();
+                    self.patch(jf, else_at);
+                    self.block(else_block)?;
+                    let end = self.here();
+                    self.patch(j, end);
+                }
+            }
+            Stmt::Foreach { radius, body } => {
+                let m = self.marks();
+                let r = self.num_src(radius)?;
+                let slot = self.alloc_loop()?;
+                self.emit(Instr::LoopBegin {
+                    slot,
+                    radius: r,
+                    query: NO_QUERY,
+                });
+                self.release(m);
+                let head = self.here();
+                let next_at = self.emit(Instr::LoopNext { slot, exit: 0 });
+                self.block(body)?;
+                self.emit(Instr::Jump { to: head });
+                let exit = self.here();
+                self.patch(next_at, exit);
+                self.free_loop();
+            }
+            Stmt::While { cond, body } => {
+                let head = self.here();
+                let m = self.marks();
+                let c = self.bool_src(cond)?;
+                let jf = self.emit(Instr::JumpIfNot { cond: c, to: 0 });
+                self.release(m);
+                self.emit(Instr::ConsumeFuel);
+                self.block(body)?;
+                self.emit(Instr::Jump { to: head });
+                let exit = self.here();
+                self.patch(jf, exit);
+            }
+            Stmt::Move { dx, dy } => {
+                let m = self.marks();
+                let a = self.num_src(dx)?;
+                let b = self.num_src(dy)?;
+                self.emit(Instr::MoveBy { dx: a, dy: b });
+                self.release(m);
+            }
+            Stmt::Despawn => {
+                self.emit(Instr::Despawn);
+            }
+            Stmt::Call { script } => {
+                if self.inline_depth >= MAX_INLINE_DEPTH {
+                    return Err(CompileError::InlineDepthExceeded(script.clone()));
+                }
+                let callee = self
+                    .lib
+                    .get(script)
+                    .ok_or_else(|| CompileError::UnknownScript(script.clone()))?
+                    .clone();
+                self.inline_depth += 1;
+                // callee sees no caller locals: fresh scope chain
+                let saved_scopes = std::mem::replace(&mut self.scopes, vec![BTreeMap::new()]);
+                let result = self.block(&callee.body);
+                self.scopes = saved_scopes;
+                self.inline_depth -= 1;
+                result?;
+            }
+            Stmt::Emit { event } => {
+                let pool = self.pool_idx(event)?;
+                self.emit(Instr::Emit { pool });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lower a script from a library to a [`Program`] against a world
+/// schema. Fails with the same [`CompileError`]s (and messages) as the
+/// closure compiler, so engine fallback behavior is mode-independent.
+pub fn compile_program(
+    lib: &ScriptLibrary,
+    name: &str,
+    world: &World,
+) -> Result<Program, CompileError> {
+    let script: &Script = lib
+        .get(name)
+        .ok_or_else(|| CompileError::UnknownScript(name.to_string()))?;
+    let schema: BTreeMap<String, (ComponentId, ValueType)> = world
+        .schema_by_id()
+        .map(|(id, n, t)| (n.to_string(), (id, t)))
+        .collect();
+    let mut c = Compiler {
+        lib,
+        schema,
+        scopes: vec![BTreeMap::new()],
+        instrs: Vec::new(),
+        pool: Vec::new(),
+        queries: Vec::new(),
+        comps: Vec::new(),
+        next_num: 0,
+        max_num: 0,
+        next_bool: 0,
+        max_bool: 0,
+        next_str: 0,
+        max_str: 0,
+        next_loop: 0,
+        max_loop: 0,
+        inline_depth: 0,
+    };
+    c.block(&script.body)?;
+    Ok(Program {
+        name: name.to_string(),
+        instrs: c.instrs,
+        pool: c.pool,
+        queries: c.queries,
+        num_regs: c.max_num,
+        bool_regs: c.max_bool,
+        str_regs: c.max_str,
+        loop_slots: c.max_loop,
+        comps: c.comps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_script, ExecOptions};
+    use crate::parser::parse_script;
+    use crate::vm::Vm;
+    use gamedb_content::Value;
+    use gamedb_core::{EffectBuffer, World};
+    use gamedb_spatial::Vec2;
+
+    fn lib(sources: &[(&str, &str)]) -> ScriptLibrary {
+        let mut l = ScriptLibrary::new();
+        for (name, src) in sources {
+            l.insert(parse_script(name, src).unwrap());
+        }
+        l
+    }
+
+    fn test_world(n: usize) -> World {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("dmg", ValueType::Float).unwrap();
+        w.define_component("team", ValueType::Str).unwrap();
+        w.define_component("gold", ValueType::Int).unwrap();
+        w.define_component("alive", ValueType::Bool).unwrap();
+        for i in 0..n {
+            let e = w.spawn_at(Vec2::new((i % 8) as f32 * 3.0, (i / 8) as f32 * 3.0));
+            w.set_f32(e, "hp", 50.0 + i as f32).unwrap();
+            w.set_f32(e, "dmg", 1.0 + (i % 3) as f32).unwrap();
+            w.set(
+                e,
+                "team",
+                Value::Str(if i % 2 == 0 { "red" } else { "blue" }.into()),
+            )
+            .unwrap();
+            w.set(e, "gold", Value::Int(i as i64)).unwrap();
+            w.set(e, "alive", Value::Bool(true)).unwrap();
+        }
+        w
+    }
+
+    /// The VM must agree with the interpreter on every observable:
+    /// outcome (Ok events or the exact RuntimeError), the effect ops in
+    /// order, despawns, and the applied world state.
+    fn assert_vm_equivalent_opts(src: &str, w: &World, opts: ExecOptions) {
+        let l = lib(&[("s", src)]);
+        let p = compile_program(&l, "s", w).unwrap();
+        let mut vm = Vm::new();
+        for id in w.entity_vec() {
+            let mut b1 = EffectBuffer::new();
+            let mut b2 = EffectBuffer::new();
+            let r_i = run_script(&l, "s", w, id, &mut b1, opts);
+            let r_v = vm.run(&p, w, id, &mut b2, opts);
+            match (r_i, r_v) {
+                (Ok(out), Ok(ev)) => assert_eq!(out.events, ev, "events: {src}"),
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2, "errors: {src}"),
+                (a, b) => panic!("outcome mismatch for {src}: interp {a:?}, vm {b:?}"),
+            }
+            let o1: Vec<_> = b1.ops().collect();
+            let o2: Vec<_> = b2.ops().collect();
+            assert_eq!(o1, o2, "effect ops: {src}");
+            assert_eq!(b1.despawned(), b2.despawned(), "despawns: {src}");
+            let mut w1 = w.clone();
+            let mut w2 = w.clone();
+            b1.apply(&mut w1).unwrap();
+            b2.apply(&mut w2).unwrap();
+            assert_eq!(w1.rows(), w2.rows(), "rows: {src}");
+        }
+        assert!(vm.take_instr_count() > 0, "instruction counter sees runs");
+    }
+
+    fn assert_vm_equivalent(src: &str) {
+        assert_vm_equivalent_opts(src, &test_world(30), ExecOptions::default());
+    }
+
+    #[test]
+    fn arithmetic_equivalence() {
+        assert_vm_equivalent("self.hp = 1 + 2 * 3 - 4 / 2 + self.dmg;");
+        assert_vm_equivalent("self.gold = 7 / 2;");
+        assert_vm_equivalent("self.hp = 5 / 0 + 5 % 0;");
+        assert_vm_equivalent("self.hp = min(self.hp, 60) + max(1, self.dmg) + abs(0 - 3) + clamp(self.hp, 0, 55);");
+        assert_vm_equivalent("self.hp = 0 - self.dmg + self.gold % 4;");
+    }
+
+    #[test]
+    fn aggregate_equivalence() {
+        assert_vm_equivalent("self.hp = count(7);");
+        assert_vm_equivalent("self.hp = count(7; other.team != self.team);");
+        assert_vm_equivalent("self.hp = sum(7; other.dmg; other.hp > self.hp);");
+        assert_vm_equivalent(
+            "self.hp = maxof(9; other.hp) + minof(9; other.hp) + avgof(9; other.gold);",
+        );
+        assert_vm_equivalent("self.hp = nearest_dist(12);");
+        // empty candidate sets: min/max/avg report 0
+        assert_vm_equivalent("self.hp = minof(0.1; other.hp) + maxof(0.1; other.hp) + avgof(0.1; other.hp);");
+        // nested aggregate in the outer aggregate's argument
+        assert_vm_equivalent("self.hp = sum(6; count(3));");
+    }
+
+    #[test]
+    fn aggregate_pushdown_equivalence_with_indexes() {
+        use gamedb_core::IndexKind;
+        for src in [
+            "self.hp = count(9; other.hp > 55);",
+            "self.hp = sum(9; other.dmg; other.gold >= 20);",
+            "self.hp = sum(200; other.dmg; other.hp == 61);",
+            "self.hp = count(9; other.hp < 55);", // not sargable: inline filter
+        ] {
+            let mut w = test_world(30);
+            w.create_index("hp", IndexKind::Sorted).unwrap();
+            w.create_index("gold", IndexKind::Sorted).unwrap();
+            assert_vm_equivalent_opts(src, &w, ExecOptions::default());
+        }
+    }
+
+    #[test]
+    fn naive_mode_matches_indexed() {
+        let w = test_world(40);
+        for src in [
+            "self.hp = count(9) + sum(9; other.dmg);",
+            "self.hp = count(9; other.hp > 55);", // sargable, but no index use
+            "self.hp = nearest_dist(10);",
+        ] {
+            assert_vm_equivalent_opts(
+                src,
+                &w,
+                ExecOptions {
+                    use_index: false,
+                    ..ExecOptions::default()
+                },
+            );
+            assert_vm_equivalent_opts(src, &w, ExecOptions::default());
+        }
+    }
+
+    #[test]
+    fn control_flow_equivalence() {
+        assert_vm_equivalent(
+            r#"let n = count(6);
+               if n > 2 {
+                 move(0 - 1, 0);
+                 emit "crowded";
+               } else {
+                 self.hp += 1;
+               }"#,
+        );
+        assert_vm_equivalent(
+            r#"let n = 3;
+               let acc = 0;
+               while n > 0 { acc = acc + n; n = n - 1; }
+               self.hp = acc;"#,
+        );
+        // short-circuit: rhs of && / || must not evaluate when decided
+        assert_vm_equivalent(
+            r#"let a = self.hp > 0;
+               let b = a || self.dmg > 100;
+               let c = a && self.gold >= 0;
+               if b == c { self.hp += 1; }"#,
+        );
+        // bool reassignment reading its own previous value
+        assert_vm_equivalent(
+            r#"let b = self.hp > 55;
+               b = self.dmg > 100 || b;
+               if b { self.hp += 1; }"#,
+        );
+    }
+
+    #[test]
+    fn foreach_equivalence() {
+        assert_vm_equivalent(
+            r#"foreach within (6) {
+                 if other.team != self.team && dist(other) < 5 {
+                   other.hp -= self.dmg;
+                 }
+               }"#,
+        );
+        // nested foreach: loop frames stack, `other` restores correctly
+        assert_vm_equivalent(
+            r#"foreach within (4) {
+                 other.hp += 0.5;
+                 foreach within (3) { other.hp -= 0.25; }
+                 other.hp += count(2);
+               }"#,
+        );
+    }
+
+    #[test]
+    fn bool_and_str_components() {
+        assert_vm_equivalent("self.alive = self.hp > 0;");
+        assert_vm_equivalent(r#"if self.team == "red" { self.hp += 1; } "#);
+        assert_vm_equivalent(r#"self.team = "green";"#);
+        assert_vm_equivalent("if self.alive == true { despawn; }");
+        assert_vm_equivalent(r#"self.hp = count(8; other.team == "red");"#);
+    }
+
+    #[test]
+    fn loop_fuel_parity() {
+        // the VM shares one fuel pool across the whole run, exactly like
+        // the interpreter — including the partial effects already pushed
+        let opts = ExecOptions {
+            loop_fuel: 10,
+            ..ExecOptions::default()
+        };
+        assert_vm_equivalent_opts("while 1 > 0 { self.hp += 1; }", &test_world(3), opts);
+        assert_vm_equivalent_opts(
+            "let n = 6; while n > 0 { n = n - 1; } while 1 > 0 { self.hp += 1; }",
+            &test_world(3),
+            opts,
+        );
+    }
+
+    #[test]
+    fn runtime_error_parity() {
+        // 'other' unbound outside any loop: interpreter wording, and the
+        // error must surface before the value expression evaluates
+        assert_vm_equivalent("self.hp = dist(other);");
+        assert_vm_equivalent("other.hp += 1;");
+        // entities without positions: NoPosition parity on neighborhood ops
+        let mut w = test_world(6);
+        let ghost = w.spawn();
+        w.set_f32(ghost, "hp", 1.0).unwrap();
+        assert_vm_equivalent_opts("self.hp = count(5);", &w, ExecOptions::default());
+        assert_vm_equivalent_opts("self.hp = nearest_dist(5);", &w, ExecOptions::default());
+        assert_vm_equivalent_opts("self.hp = self.x + self.y;", &w, ExecOptions::default());
+    }
+
+    #[test]
+    fn call_inlining() {
+        let l = lib(&[
+            ("main", "call helper; call helper;"),
+            ("helper", "self.hp += 1;"),
+        ]);
+        let w = test_world(4);
+        let p = compile_program(&l, "main", &w).unwrap();
+        let id = w.entity_vec()[0];
+        let mut vm = Vm::new();
+        let mut buf = EffectBuffer::new();
+        vm.run(&p, &w, id, &mut buf, ExecOptions::default()).unwrap();
+        let mut w2 = w.clone();
+        buf.apply(&mut w2).unwrap();
+        assert_eq!(w2.get_f32(id, "hp"), Some(52.0));
+    }
+
+    #[test]
+    fn recursion_fails_to_compile() {
+        let l = lib(&[("r", "call r;")]);
+        let w = test_world(1);
+        assert!(matches!(
+            compile_program(&l, "r", &w),
+            Err(CompileError::InlineDepthExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn string_locals_unsupported() {
+        let l = lib(&[("s", r#"let t = self.team; self.hp += 1;"#)]);
+        let w = test_world(1);
+        assert!(matches!(
+            compile_program(&l, "s", &w),
+            Err(CompileError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_component_is_semantic_error() {
+        let l = lib(&[("s", "self.mana += 1;")]);
+        let w = test_world(1);
+        assert!(matches!(
+            compile_program(&l, "s", &w),
+            Err(CompileError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn register_reuse_keeps_files_small() {
+        // deep expression trees release temporaries as they go
+        let src = "self.hp = ((1 + 2) * (3 + 4)) + ((5 + 6) * (7 + 8)) + self.dmg * (self.gold + 1);";
+        let l = lib(&[("s", src)]);
+        let w = test_world(2);
+        let p = compile_program(&l, "s", &w).unwrap();
+        assert!(
+            p.num_regs() <= 8,
+            "mark/release should bound the register file, got {}",
+            p.num_regs()
+        );
+        assert_vm_equivalent(src);
+    }
+
+    #[test]
+    fn validate_schema_detects_cross_world_reuse() {
+        let l = lib(&[("s", "self.hp += 1;")]);
+        let w = test_world(2);
+        let p = compile_program(&l, "s", &w).unwrap();
+        assert!(p.validate_schema(&w));
+        // a world whose id→name mapping differs must be rejected
+        let mut other = World::new();
+        other.define_component("armor", ValueType::Float).unwrap();
+        other.define_component("hp", ValueType::Float).unwrap();
+        assert!(!p.validate_schema(&other));
+    }
+
+    #[test]
+    fn program_introspection() {
+        let l = lib(&[("s", "self.hp = count(5; other.hp > 55);")]);
+        let w = test_world(2);
+        let p = compile_program(&l, "s", &w).unwrap();
+        assert_eq!(p.name(), "s");
+        assert!(p.instr_count() > 0);
+        assert_eq!(p.instr_count(), p.instrs().len());
+        // the sargable filter became a pre-built query handle
+        assert!(p
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::LoopBegin { query, .. } if *query != NO_QUERY)));
+    }
+}

@@ -1,11 +1,14 @@
 //! Property test: for randomly generated restricted-level scripts, the
-//! compiled form produces exactly the effects of the interpreter, and
-//! index-backed neighbor enumeration agrees with the naive scan.
+//! compiled form AND the bytecode VM produce exactly the effects of the
+//! interpreter (the oracle), index-backed neighbor enumeration agrees
+//! with the naive scan, and the engine lands on identical world state in
+//! both [`ExecMode`]s across random world churn.
 
 use gamedb::content::ValueType;
 use gamedb::core::{EffectBuffer, World};
 use gamedb::script::{
-    check_script, compile, parse_script, run_script, ExecOptions, Level, ScriptLibrary,
+    check_script, compile, compile_program, parse_script, run_script, ExecMode, ExecOptions,
+    Level, ScriptEngine, ScriptLibrary, Vm,
 };
 use gamedb::spatial::Vec2;
 use proptest::prelude::*;
@@ -88,20 +91,36 @@ proptest! {
         let mut lib = ScriptLibrary::new();
         lib.insert(script);
         let compiled = compile(&lib, "s", &world).unwrap();
+        let program = compile_program(&lib, "s", &world).unwrap();
+        let mut vm = Vm::new();
 
         for id in world.entity_vec() {
             let mut b_interp = EffectBuffer::new();
             let mut b_comp = EffectBuffer::new();
+            let mut b_vm = EffectBuffer::new();
             let out_i = run_script(&lib, "s", &world, id, &mut b_interp, ExecOptions::default())
                 .unwrap();
             let out_c = compiled.run(&world, id, &mut b_comp, true).unwrap();
-            prop_assert_eq!(out_i.events, out_c);
+            let out_v = vm
+                .run(&program, &world, id, &mut b_vm, ExecOptions::default())
+                .unwrap();
+            prop_assert_eq!(&out_i.events, &out_c);
+            prop_assert_eq!(&out_i.events, &out_v);
+
+            // the VM must agree on the exact write stream, not just the
+            // post-apply state
+            let ops_i: Vec<_> = b_interp.ops().cloned().collect();
+            let ops_v: Vec<_> = b_vm.ops().cloned().collect();
+            prop_assert_eq!(ops_i, ops_v, "script:\n{}", src);
 
             let mut w_i = world.clone();
             let mut w_c = world.clone();
+            let mut w_v = world.clone();
             b_interp.apply(&mut w_i).unwrap();
             b_comp.apply(&mut w_c).unwrap();
+            b_vm.apply(&mut w_v).unwrap();
             prop_assert_eq!(w_i.rows(), w_c.rows(), "script:\n{}", src);
+            prop_assert_eq!(w_i.rows(), w_v.rows(), "script:\n{}", src);
         }
     }
 
@@ -133,4 +152,130 @@ proptest! {
             prop_assert_eq!(w_idx.rows(), w_scan.rows(), "script:\n{}", src);
         }
     }
+
+    /// VM-vs-interpreter parity under random world churn: entities are
+    /// despawned mid-population and position-less "ghost" entities are
+    /// spawned, so scripts hit dead-entity reads and `NoPosition` errors.
+    /// Both engines must agree on Ok output (events, the exact effect-op
+    /// stream, despawn list, applied rows) AND on every `RuntimeError`.
+    #[test]
+    fn vm_equals_interp_under_churn(
+        src in script_strategy(),
+        positions in proptest::collection::vec((-40.0f32..40.0, -40.0f32..40.0), 3..20),
+        despawn_mask in proptest::collection::vec(any::<bool>(), 3..20),
+        ghosts in 0usize..3,
+        loop_fuel in prop_oneof![Just(4usize), Just(64usize), Just(100_000usize)],
+    ) {
+        let mut world = test_world(&positions);
+        // churn: cull a random subset of the seeded entities...
+        let seeded = world.entity_vec();
+        for (i, id) in seeded.iter().enumerate() {
+            if despawn_mask.get(i).copied().unwrap_or(false) && i + 1 < seeded.len() {
+                world.despawn(*id);
+            }
+        }
+        // ...and add entities with components but no position
+        for g in 0..ghosts {
+            let e = world.spawn();
+            world.set_f32(e, "hp", 10.0 + g as f32).unwrap();
+            world.set_f32(e, "dmg", 2.0).unwrap();
+        }
+
+        let mut lib = ScriptLibrary::new();
+        lib.insert(parse_script("s", &src).unwrap());
+        let program = compile_program(&lib, "s", &world).unwrap();
+        let mut vm = Vm::new();
+        let opts = ExecOptions { loop_fuel, ..Default::default() };
+
+        for id in world.entity_vec() {
+            let mut b_i = EffectBuffer::new();
+            let mut b_v = EffectBuffer::new();
+            let res_i = run_script(&lib, "s", &world, id, &mut b_i, opts);
+            let res_v = vm.run(&program, &world, id, &mut b_v, opts);
+            match (res_i, res_v) {
+                (Ok(out_i), Ok(out_v)) => {
+                    prop_assert_eq!(&out_i.events, &out_v, "script:\n{}", src);
+                    let ops_i: Vec<_> = b_i.ops().cloned().collect();
+                    let ops_v: Vec<_> = b_v.ops().cloned().collect();
+                    prop_assert_eq!(ops_i, ops_v, "script:\n{}", src);
+                    prop_assert_eq!(b_i.despawned(), b_v.despawned(), "script:\n{}", src);
+                    let mut w_i = world.clone();
+                    let mut w_v = world.clone();
+                    b_i.apply(&mut w_i).unwrap();
+                    b_v.apply(&mut w_v).unwrap();
+                    prop_assert_eq!(w_i.rows(), w_v.rows(), "script:\n{}", src);
+                }
+                (Err(e_i), Err(e_v)) => {
+                    prop_assert_eq!(e_i, e_v, "script:\n{}", src);
+                }
+                (i, v) => {
+                    return Err(TestCaseError::fail(format!(
+                        "outcome mismatch: interp={i:?} vm={v:?}\nscript:\n{src}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Run a multi-tick engine scenario in both [`ExecMode`]s from cloned
+/// worlds; they must land on identical state, and the stats must show
+/// the dispatch actually took the mode's path.
+#[test]
+fn engine_modes_agree_across_ticks() {
+    let scenario = |mode: ExecMode| {
+        let mut world = test_world(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (2.5, 0.5),
+            (4.0, 3.0),
+            (6.0, 6.0),
+            (-3.0, 2.0),
+        ]);
+        let mut engine = ScriptEngine::new(Level::Full).with_mode(mode);
+        engine.ensure_binding_component(&mut world);
+        engine
+            .load(
+                "skirmish",
+                "let threat = count(5; other.team != self.team);\n\
+                 self.hp -= threat * 0.5;\n\
+                 if self.hp < 20 { move(0 - 0.5, 0.25); }\n\
+                 if self.hp < 1 { despawn; }",
+                &world,
+            )
+            .unwrap();
+        // string-valued locals don't lower to bytecode: exercises the
+        // VM-mode interpreter fallback
+        engine
+            .load(
+                "taunt",
+                "let label = self.team;\nif label == \"red\" { emit \"taunted\"; }\nself.dmg += 1;",
+                &world,
+            )
+            .unwrap();
+        let ids = world.entity_vec();
+        for (i, id) in ids.iter().enumerate() {
+            let script = if i % 3 == 2 { "taunt" } else { "skirmish" };
+            engine.bind(&mut world, *id, script).unwrap();
+        }
+        let mut vm_runs = 0;
+        let mut interp_runs = 0;
+        for _ in 0..8 {
+            let stats = engine.tick(&mut world).unwrap();
+            vm_runs += stats.vm_runs;
+            interp_runs += stats.interp_runs;
+        }
+        (world.rows(), vm_runs, interp_runs)
+    };
+
+    let (rows_i, vm_i, interp_i) = scenario(ExecMode::Interp);
+    let (rows_v, vm_v, interp_v) = scenario(ExecMode::Vm);
+    assert_eq!(rows_i, rows_v, "engine modes diverged on world state");
+    assert_eq!(vm_i, 0, "interp mode must not dispatch through the VM");
+    assert!(interp_i > 0);
+    assert!(vm_v > 0, "vm mode should dispatch compilable scripts to the VM");
+    assert!(
+        interp_v > 0,
+        "string-local script should fall back to the interpreter in vm mode"
+    );
 }
