@@ -143,6 +143,14 @@ pub enum ChangeOp {
     DropIndex { component: ComponentId },
     /// A standing view was registered at a slot.
     RegisterView { slot: u32, query: Query },
+    /// An operator-tree view (join / group-aggregate / scan chain) was
+    /// registered at a slot — the differential-view sibling of
+    /// [`ChangeOp::RegisterView`], carrying the full plan so WAL redo
+    /// can re-install and re-materialize it at the exact slot.
+    RegisterPlanView {
+        slot: u32,
+        plan: crate::dvm::ViewPlan,
+    },
     /// The standing view at a slot was dropped.
     DropView { slot: u32 },
     /// A spatial view's disk moved (interest bubbles following a focus).

@@ -78,7 +78,7 @@ pub enum IndexKind {
 pub struct OrdF64(u64);
 
 impl OrdF64 {
-    fn new(v: f64) -> Option<OrdF64> {
+    pub(crate) fn new(v: f64) -> Option<OrdF64> {
         if v.is_nan() {
             return None;
         }
@@ -92,7 +92,7 @@ impl OrdF64 {
         }))
     }
 
-    fn get(self) -> f64 {
+    pub(crate) fn get(self) -> f64 {
         let bits = self.0;
         f64::from_bits(if bits >> 63 == 1 {
             bits & !(1 << 63)

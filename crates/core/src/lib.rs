@@ -31,6 +31,10 @@
 //! * [`view`](mod@view) — continuous queries: standing views maintained
 //!   incrementally by folding the change stream
 //!   ([`World::register_view`], [`Changelog`]).
+//! * [`dvm`](mod@dvm) — differential view maintenance: operator-tree
+//!   views (filter / project / join / group-by) maintained by
+//!   per-operator delta rules ([`ViewPlan`],
+//!   [`World::register_view_plan`]).
 //! * [`effect`] — deferred commutative writes ([`EffectBuffer`]).
 //! * [`exec`] — sequential/parallel tick execution ([`TickExecutor`]).
 //!
@@ -60,6 +64,7 @@
 
 pub mod change;
 pub mod column;
+pub mod dvm;
 pub mod effect;
 pub mod entity;
 pub mod exec;
@@ -75,6 +80,7 @@ pub use change::{
     BatchOp, Change, ChangeOp, DurabilityWatermark, TapId, TapStats, WatermarkSnapshot, WriteBatch,
 };
 pub use column::{Column, ColumnData};
+pub use dvm::{GroupChangelog, GroupRow, JoinOn, PairChangelog, PlanNode, PlanOutput, ViewPlan};
 pub use effect::{Effect, EffectBuffer, SpawnRequest};
 pub use entity::{EntityAllocator, EntityId};
 pub use exec::{System, TickExecutor, TickStats};

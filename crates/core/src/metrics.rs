@@ -58,6 +58,22 @@ pub(crate) struct CoreMetrics {
     pub view_entered: Counter,
     pub view_exited: Counter,
     pub view_changed: Counter,
+    // -- operator-tree views (differential view maintenance) --
+    /// `view.op_scan.rows_in/rows_out`: candidate rows inspected by
+    /// fused scan chains / source delta rows emitted.
+    pub op_scan: OpMetrics,
+    /// `view.op_filter.rows_in/rows_out`: candidates evaluated against
+    /// fused filter predicates / candidates passing them.
+    pub op_filter: OpMetrics,
+    /// `view.op_join.rows_in/rows_out`: source delta rows entering join
+    /// operators / pair changes applied.
+    pub op_join: OpMetrics,
+    /// `view.op_group.rows_in/rows_out`: source delta rows entering
+    /// group aggregates / group rows entered+exited+changed.
+    pub op_group: OpMetrics,
+    /// `view.op_group.retract_recomputes`: min/max retractions of a
+    /// group's current extreme (recomputed from the ordered multiset).
+    pub op_group_retracts: Counter,
     /// `view.s{slot}.*`: per-view refresh/rescan/candidate counters.
     view_slots: Mutex<Vec<Option<ViewSlotMetrics>>>,
     // -- planner --
@@ -70,6 +86,30 @@ pub(crate) struct CoreMetrics {
     pub plan_attr: Counter,
 }
 
+/// Rows-in/rows-out pair for one operator class of the differential
+/// view engine.
+#[derive(Debug)]
+pub(crate) struct OpMetrics {
+    pub rows_in: Counter,
+    pub rows_out: Counter,
+}
+
+impl OpMetrics {
+    fn new(registry: &MetricsRegistry, op: &str) -> OpMetrics {
+        OpMetrics {
+            rows_in: registry.counter(&format!("view.op_{op}.rows_in")),
+            rows_out: registry.counter(&format!("view.op_{op}.rows_out")),
+        }
+    }
+
+    /// Count one operator invocation's input and output row counts.
+    #[inline]
+    pub fn note(&self, rows_in: usize, rows_out: usize) {
+        self.rows_in.add(rows_in as u64);
+        self.rows_out.add(rows_out as u64);
+    }
+}
+
 /// Per-view-slot handles, created lazily the first time a slot
 /// refreshes under an attached registry.
 #[derive(Debug, Clone)]
@@ -77,6 +117,9 @@ pub(crate) struct ViewSlotMetrics {
     pub refreshes: Counter,
     pub rescans: Counter,
     pub candidates: Counter,
+    /// `view.s{slot}.delta_rows`: output delta rows this view emitted
+    /// (its per-refresh delta-batch size, accumulated).
+    pub delta_rows: Counter,
 }
 
 impl CoreMetrics {
@@ -97,6 +140,11 @@ impl CoreMetrics {
             view_entered: registry.counter("view.entered"),
             view_exited: registry.counter("view.exited"),
             view_changed: registry.counter("view.changed"),
+            op_scan: OpMetrics::new(registry, "scan"),
+            op_filter: OpMetrics::new(registry, "filter"),
+            op_join: OpMetrics::new(registry, "join"),
+            op_group: OpMetrics::new(registry, "group"),
+            op_group_retracts: registry.counter("view.op_group.retract_recomputes"),
             view_slots: Mutex::new(Vec::new()),
             plans: registry.counter("planner.plans"),
             plan_full_scan: registry.counter("planner.full_scan"),
@@ -141,6 +189,7 @@ impl CoreMetrics {
                 refreshes: self.registry.counter(&format!("view.s{slot}.refreshes")),
                 rescans: self.registry.counter(&format!("view.s{slot}.rescans")),
                 candidates: self.registry.counter(&format!("view.s{slot}.candidates")),
+                delta_rows: self.registry.counter(&format!("view.s{slot}.delta_rows")),
             })
             .clone()
     }

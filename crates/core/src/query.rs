@@ -12,7 +12,7 @@ use gamedb_content::{CmpOp, Value};
 use gamedb_spatial::Vec2;
 
 use crate::entity::EntityId;
-use crate::world::World;
+use crate::world::{CoreError, World};
 
 /// A selection predicate on one component.
 #[derive(Debug, Clone, PartialEq)]
@@ -273,6 +273,41 @@ impl Query {
                 .count(),
         }
     }
+
+    // ---- lowering into the differential view engine ----
+
+    /// Lower into a single-source operator-tree plan: the query becomes
+    /// the [`crate::dvm::PlanNode::Scan`] leaf of a [`crate::dvm::ViewPlan`].
+    /// Registering the result via [`crate::world::World::register_view_plan`]
+    /// maintains the same row set as [`crate::world::World::register_view`],
+    /// through the operator engine.
+    pub fn into_plan(self) -> crate::dvm::ViewPlan {
+        crate::dvm::ViewPlan::scan(self)
+    }
+
+    /// Lower into a continuously maintained **global aggregate** plan —
+    /// the standing-view form of [`aggregate`] over this query's rows.
+    /// Errors for aggregates the incremental engine does not support
+    /// (argmin/argmax).
+    pub fn into_aggregate_plan(self, agg: AggFn) -> Result<crate::dvm::ViewPlan, CoreError> {
+        let plan = crate::dvm::ViewPlan::aggregate(crate::dvm::PlanNode::scan(self), agg);
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Lower into a continuously maintained **grouped aggregate** plan:
+    /// one output row per distinct value of `group_by` among this
+    /// query's rows (the "guild wealth leaderboard" shape).
+    pub fn into_grouped_plan(
+        self,
+        group_by: impl Into<String>,
+        agg: AggFn,
+    ) -> Result<crate::dvm::ViewPlan, CoreError> {
+        let plan =
+            crate::dvm::ViewPlan::group_by(crate::dvm::PlanNode::scan(self), group_by, agg);
+        plan.validate()?;
+        Ok(plan)
+    }
 }
 
 /// Aggregate functions over a component of the matching set.
@@ -321,20 +356,24 @@ impl AggResult {
 
 /// Evaluate an aggregate over the entities matched by `query`.
 ///
-/// Entities missing the aggregated component are skipped (SQL-style NULL
-/// semantics). `Sum`/`Count` of an empty set are 0; `Min`/`Max`/`Avg` of
-/// an empty set are `NaN`-free: they return `AggResult::Number(0.0)` for
-/// `Avg` over nothing and ±infinity never escapes — empty min/max yield
-/// `AggResult::Entity(None)`-like behaviour via 0.0. Callers that must
+/// Entities missing the aggregated component are skipped, and so are NaN
+/// values (SQL-style NULL semantics — a NaN in one row must not poison
+/// the whole fold or win an argmin by comparing false against
+/// everything). `Sum`/`Count` of an empty set are 0; `Min`/`Max`/`Avg`
+/// over no (non-NaN) values return `AggResult::Number(0.0)`, and
+/// argmin/argmax return `AggResult::Entity(None)`. Callers that must
 /// distinguish empty sets should check `Count` first (as the compiled
-/// scripts do).
+/// scripts do). The differential view engine ([`crate::dvm`]) maintains
+/// these same semantics incrementally.
 pub fn aggregate(world: &World, query: &Query, f: &AggFn) -> AggResult {
+    // NaN is a NULL, never an aggregate input.
+    let value = |id: EntityId, c: &str| world.get_number(id, c).filter(|v| !v.is_nan());
     match f {
         AggFn::Count => AggResult::Number(query.count(world) as f64),
         AggFn::Sum(c) => {
             let mut sum = 0.0;
             for id in query.run(world) {
-                if let Some(v) = world.get_number(id, c) {
+                if let Some(v) = value(id, c) {
                     sum += v;
                 }
             }
@@ -344,7 +383,7 @@ pub fn aggregate(world: &World, query: &Query, f: &AggFn) -> AggResult {
             let is_min = matches!(f, AggFn::Min(_));
             let mut best: Option<f64> = None;
             for id in query.run(world) {
-                if let Some(v) = world.get_number(id, c) {
+                if let Some(v) = value(id, c) {
                     best = Some(match best {
                         None => v,
                         Some(b) => {
@@ -363,7 +402,7 @@ pub fn aggregate(world: &World, query: &Query, f: &AggFn) -> AggResult {
             let mut sum = 0.0;
             let mut n = 0usize;
             for id in query.run(world) {
-                if let Some(v) = world.get_number(id, c) {
+                if let Some(v) = value(id, c) {
                     sum += v;
                     n += 1;
                 }
@@ -374,7 +413,7 @@ pub fn aggregate(world: &World, query: &Query, f: &AggFn) -> AggResult {
             let is_min = matches!(f, AggFn::ArgMin(_));
             let mut best: Option<(f64, EntityId)> = None;
             for id in query.run(world) {
-                if let Some(v) = world.get_number(id, c) {
+                if let Some(v) = value(id, c) {
                     let better = match best {
                         None => true,
                         // ties break toward the smaller id (run() is id-ordered,
@@ -541,6 +580,101 @@ mod tests {
             aggregate(&w, &q, &AggFn::ArgMin("hp".into())).as_entity(),
             None
         );
+    }
+
+    #[test]
+    fn aggregate_skips_nan_inputs() {
+        // NaN is a NULL: it must neither poison a running fold (sum,
+        // avg) nor win an argmin/argmax by comparing false against
+        // every candidate, nor count into an avg denominator.
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let a = w.spawn_at(Vec2::ZERO);
+        let b = w.spawn_at(Vec2::ZERO);
+        let c = w.spawn_at(Vec2::ZERO);
+        w.set_f32(a, "hp", f32::NAN).unwrap();
+        w.set_f32(b, "hp", 10.0).unwrap();
+        w.set_f32(c, "hp", 30.0).unwrap();
+        let q = Query::select();
+        assert_eq!(aggregate(&w, &q, &AggFn::Count).as_number(), Some(3.0));
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::Sum("hp".into())).as_number(),
+            Some(40.0)
+        );
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::Min("hp".into())).as_number(),
+            Some(10.0)
+        );
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::Max("hp".into())).as_number(),
+            Some(30.0)
+        );
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::Avg("hp".into())).as_number(),
+            Some(20.0)
+        );
+        // NaN holds the lowest entity id here; a real value must still win
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::ArgMin("hp".into())).as_entity(),
+            Some(b)
+        );
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::ArgMax("hp".into())).as_entity(),
+            Some(c)
+        );
+    }
+
+    #[test]
+    fn aggregate_all_nan_behaves_as_empty() {
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        let a = w.spawn_at(Vec2::ZERO);
+        w.set_f32(a, "hp", f32::NAN).unwrap();
+        let q = Query::select();
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::Min("hp".into())).as_number(),
+            Some(0.0)
+        );
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::Max("hp".into())).as_number(),
+            Some(0.0)
+        );
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::Avg("hp".into())).as_number(),
+            Some(0.0)
+        );
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::Sum("hp".into())).as_number(),
+            Some(0.0)
+        );
+        assert_eq!(
+            aggregate(&w, &q, &AggFn::ArgMin("hp".into())).as_entity(),
+            None
+        );
+    }
+
+    #[test]
+    fn query_lowers_into_operator_plans() {
+        let (mut w, ids) = arena();
+        let q = Query::select().filter("hp", CmpOp::Lt, Value::Float(30.0));
+        let rows = w.register_view_plan(q.clone().into_plan()).unwrap();
+        assert_eq!(w.view_rows(rows), q.clone().run(&w));
+        let sum = w
+            .register_view_plan(q.clone().into_aggregate_plan(AggFn::Sum("hp".into())).unwrap())
+            .unwrap();
+        assert_eq!(w.view_group_value(sum, None), Some(30.0));
+        let per_team = w
+            .register_view_plan(
+                q.clone().into_grouped_plan("team", AggFn::Count).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(
+            w.view_group_value(per_team, Some(&Value::Str("red".into()))),
+            Some(2.0)
+        );
+        // argmin has no incremental form: the lowering refuses it
+        assert!(q.into_aggregate_plan(AggFn::ArgMin("hp".into())).is_err());
+        let _ = ids;
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! tests in `tests/prop_core.rs`.
 
 use crate::change::{Change, ChangeOp};
+use crate::dvm::{GroupChangelog, GroupRow, PairChangelog, PlanView, ViewPlan};
 use crate::entity::EntityId;
 use crate::metrics::CoreMetrics;
 use crate::planner::{plan, TableStats};
@@ -99,7 +100,7 @@ impl Changelog {
         self.entered.is_empty() && self.exited.is_empty() && self.changed.is_empty()
     }
 
-    fn absorb_batch(
+    pub(crate) fn absorb_batch(
         &mut self,
         entered: Vec<EntityId>,
         exited: Vec<EntityId>,
@@ -120,10 +121,16 @@ impl Changelog {
 pub struct ViewStats {
     /// Refresh batches folded into this view.
     pub refreshes: u64,
-    /// Batches that fell back to a planner-driven rescan.
+    /// Batches that fell back to a planner-driven rescan (always 0 for
+    /// operator-tree views — they have no rescan path).
     pub rescans: u64,
     /// Deltas inspected across all batches (relevant or not).
     pub deltas_seen: u64,
+    /// Output delta rows this view emitted across all batches (row
+    /// membership events; pair or group changes for operator views) —
+    /// the per-view delta-batch size the metrics catalog surfaces as
+    /// `view.s{slot}.delta_rows`.
+    pub delta_rows: u64,
 }
 
 /// Apply a sorted membership diff to a sorted row set: `entered` holds
@@ -134,14 +141,18 @@ pub struct ViewStats {
 /// its per-component deltas (sorted by component then id, deduped), and
 /// the row-op count.
 #[derive(Clone, Copy)]
-struct FoldCtx<'a> {
-    touched: &'a [EntityId],
-    structural: &'a [EntityId],
-    comp_deltas: &'a [(crate::intern::ComponentId, EntityId)],
-    batch_len: usize,
+pub(crate) struct FoldCtx<'a> {
+    pub(crate) touched: &'a [EntityId],
+    pub(crate) structural: &'a [EntityId],
+    pub(crate) comp_deltas: &'a [(crate::intern::ComponentId, EntityId)],
+    pub(crate) batch_len: usize,
 }
 
-fn apply_diff(old: &[EntityId], entered: &[EntityId], exited: &[EntityId]) -> Vec<EntityId> {
+pub(crate) fn apply_diff(
+    old: &[EntityId],
+    entered: &[EntityId],
+    exited: &[EntityId],
+) -> Vec<EntityId> {
     let mut out = Vec::with_capacity(old.len() + entered.len() - exited.len());
     let (mut e, mut x) = (0usize, 0usize);
     for &id in old {
@@ -324,6 +335,8 @@ impl StandingView {
             .filter(|t| self.rows.binary_search(t).is_ok() && entered.binary_search(t).is_err())
             .collect();
 
+        let delta_rows = (entered.len() + exited.len() + changed.len()) as u64;
+        self.stats.delta_rows += delta_rows;
         if let Some(m) = metrics {
             m.view_refreshes.inc();
             m.view_deltas.add(batch_len as u64);
@@ -339,6 +352,7 @@ impl StandingView {
             let per_slot = m.view_slot(slot);
             per_slot.refreshes.inc();
             per_slot.candidates.add(candidates.len() as u64);
+            per_slot.delta_rows.add(delta_rows);
             if rescanned {
                 per_slot.rescans.inc();
             }
@@ -359,6 +373,16 @@ impl StandingView {
     }
 }
 
+/// One occupied registry slot: a legacy single-table standing view or
+/// an operator-tree view ([`crate::dvm`]). Both kinds share the slot
+/// space, the catalog's slot-stability contract, and the change-stream
+/// fold; they differ in what they materialize.
+#[derive(Debug, Clone)]
+enum Slot {
+    Table(StandingView),
+    Plan(Box<PlanView>),
+}
+
 /// The set of standing views a world maintains. Owned by
 /// [`crate::world::World`]; callers go through the world's `*_view`
 /// methods, which keep delta recording and consumption in lockstep.
@@ -366,7 +390,7 @@ impl StandingView {
 pub struct ViewRegistry {
     /// Slot per ever-registered view; dropped views leave `None` so ids
     /// stay stable.
-    views: Vec<Option<StandingView>>,
+    slots: Vec<Option<Slot>>,
     active: usize,
 }
 
@@ -391,9 +415,19 @@ impl ViewRegistry {
     pub(crate) fn register(&mut self, world_id: u64, query: Query, initial: Vec<EntityId>) -> ViewId {
         let id = ViewId {
             world: world_id,
-            slot: self.views.len() as u32,
+            slot: self.slots.len() as u32,
         };
-        self.views.push(Some(StandingView::new(query, initial)));
+        self.slots.push(Some(Slot::Table(StandingView::new(query, initial))));
+        self.active += 1;
+        id
+    }
+
+    pub(crate) fn register_plan(&mut self, world_id: u64, view: PlanView) -> ViewId {
+        let id = ViewId {
+            world: world_id,
+            slot: self.slots.len() as u32,
+        };
+        self.slots.push(Some(Slot::Plan(Box::new(view))));
         self.active += 1;
         id
     }
@@ -402,55 +436,93 @@ impl ViewRegistry {
     /// records this so recovery burns the same slots and stale handles
     /// stay stale).
     pub(crate) fn slot_count(&self) -> u32 {
-        self.views.len() as u32
+        self.slots.len() as u32
     }
 
-    /// Iterate `(slot, query)` over live views in slot order.
+    /// Iterate `(slot, query)` over live single-table views in slot
+    /// order (the catalog's `views` section).
     pub(crate) fn live_slots(&self) -> impl Iterator<Item = (u32, &Query)> {
-        self.views
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, &v.query)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Some(Slot::Table(v)) => Some((i as u32, &v.query)),
+            _ => None,
+        })
+    }
+
+    /// Iterate `(slot, plan)` over live operator-tree views in slot
+    /// order (the catalog's `plan_views` section).
+    pub(crate) fn live_plan_slots(&self) -> impl Iterator<Item = (u32, &ViewPlan)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Some(Slot::Plan(v)) => Some((i as u32, v.plan())),
+            _ => None,
+        })
     }
 
     /// Pad the slot table with dead slots up to `slots` total — recovery
     /// reserves every slot the pre-crash world ever issued before
     /// re-registering the live ones.
     pub(crate) fn reserve_slots(&mut self, slots: u32) {
-        while self.views.len() < slots as usize {
-            self.views.push(None);
+        while self.slots.len() < slots as usize {
+            self.slots.push(None);
         }
     }
 
-    /// Install a view at an exact slot (recovery). The slot must be dead
-    /// and within the reserved table; returns `false` when it is live.
+    /// Install a single-table view at an exact slot (recovery). The slot
+    /// must be dead and within the reserved table; returns `false` when
+    /// it is live.
     pub(crate) fn install_at_slot(&mut self, slot: u32, query: Query, initial: Vec<EntityId>) -> bool {
         self.reserve_slots(slot + 1);
-        let entry = &mut self.views[slot as usize];
+        let entry = &mut self.slots[slot as usize];
         if entry.is_some() {
             return false;
         }
-        *entry = Some(StandingView::new(query, initial));
+        *entry = Some(Slot::Table(StandingView::new(query, initial)));
         self.active += 1;
         true
     }
 
-    /// The standing query at a slot, if the slot is live.
+    /// Install an operator-tree view at an exact slot (recovery).
+    pub(crate) fn install_plan_at_slot(&mut self, slot: u32, view: PlanView) -> bool {
+        self.reserve_slots(slot + 1);
+        let entry = &mut self.slots[slot as usize];
+        if entry.is_some() {
+            return false;
+        }
+        *entry = Some(Slot::Plan(Box::new(view)));
+        self.active += 1;
+        true
+    }
+
+    /// The standing query at a slot, if the slot holds a live
+    /// single-table view.
     pub(crate) fn query_at_slot(&self, slot: u32) -> Option<&Query> {
-        self.views.get(slot as usize).and_then(|s| s.as_ref()).map(|v| &v.query)
+        match self.slots.get(slot as usize).and_then(|s| s.as_ref()) {
+            Some(Slot::Table(v)) => Some(&v.query),
+            _ => None,
+        }
+    }
+
+    /// The operator tree at a slot, if the slot holds a live plan view.
+    pub(crate) fn plan_at_slot(&self, slot: u32) -> Option<&ViewPlan> {
+        match self.slots.get(slot as usize).and_then(|s| s.as_ref()) {
+            Some(Slot::Plan(v)) => Some(v.plan()),
+            _ => None,
+        }
     }
 
     /// Drop every accumulated changelog — recovery re-anchors subscribers
     /// to the recovered materialization instead of replaying pre-crash
     /// history at them.
     pub(crate) fn clear_changelogs(&mut self) {
-        for view in self.views.iter_mut().flatten() {
-            view.log = Changelog::default();
+        for slot in self.slots.iter_mut().flatten() {
+            match slot {
+                Slot::Table(v) => v.log = Changelog::default(),
+                Slot::Plan(v) => v.clear_logs(),
+            }
         }
     }
 
     pub(crate) fn drop_view(&mut self, id: ViewId) -> bool {
-        match self.views.get_mut(id.slot as usize) {
+        match self.slots.get_mut(id.slot as usize) {
             Some(slot @ Some(_)) => {
                 *slot = None;
                 self.active -= 1;
@@ -460,48 +532,148 @@ impl ViewRegistry {
         }
     }
 
-    fn get(&self, id: ViewId) -> &StandingView {
-        self.views
+    fn get(&self, id: ViewId) -> &Slot {
+        self.slots
             .get(id.slot as usize)
             .and_then(|s| s.as_ref())
             .unwrap_or_else(|| panic!("view {id:?} is not registered"))
     }
 
-    fn get_mut(&mut self, id: ViewId) -> &mut StandingView {
-        self.views
+    fn get_mut(&mut self, id: ViewId) -> &mut Slot {
+        self.slots
             .get_mut(id.slot as usize)
             .and_then(|s| s.as_mut())
             .unwrap_or_else(|| panic!("view {id:?} is not registered"))
     }
 
+    fn table(&self, id: ViewId) -> &StandingView {
+        match self.get(id) {
+            Slot::Table(v) => v,
+            Slot::Plan(_) => {
+                panic!("view {id:?} is an operator-tree view; use the plan-view accessors")
+            }
+        }
+    }
+
+    fn plan_view(&self, id: ViewId) -> &PlanView {
+        match self.get(id) {
+            Slot::Plan(v) => v,
+            Slot::Table(_) => {
+                panic!("view {id:?} is a single-table view; use the query-view accessors")
+            }
+        }
+    }
+
+    fn plan_view_mut(&mut self, id: ViewId) -> &mut PlanView {
+        match self.get_mut(id) {
+            Slot::Plan(v) => v,
+            Slot::Table(_) => {
+                panic!("view {id:?} is a single-table view; use the query-view accessors")
+            }
+        }
+    }
+
     pub(crate) fn contains_view(&self, id: ViewId) -> bool {
-        self.views
+        self.slots
             .get(id.slot as usize)
             .is_some_and(|s| s.is_some())
     }
 
     pub(crate) fn rows(&self, id: ViewId) -> &[EntityId] {
-        &self.get(id).rows
+        match self.get(id) {
+            Slot::Table(v) => &v.rows,
+            Slot::Plan(v) => v
+                .rows()
+                .unwrap_or_else(|| panic!("view {id:?} does not materialize entity rows")),
+        }
     }
 
     pub(crate) fn contains_row(&self, id: ViewId, e: EntityId) -> bool {
-        self.get(id).rows.binary_search(&e).is_ok()
+        match self.get(id) {
+            Slot::Table(v) => v.rows.binary_search(&e).is_ok(),
+            Slot::Plan(v) => v.contains_row(e),
+        }
     }
 
     pub(crate) fn query(&self, id: ViewId) -> &Query {
-        &self.get(id).query
+        &self.table(id).query
+    }
+
+    /// The operator tree behind `id`, when it is a plan view.
+    pub(crate) fn plan(&self, id: ViewId) -> Option<&ViewPlan> {
+        match self.get(id) {
+            Slot::Plan(v) => Some(v.plan()),
+            Slot::Table(_) => None,
+        }
+    }
+
+    pub(crate) fn pairs(&self, id: ViewId) -> &[(EntityId, EntityId)] {
+        self.plan_view(id)
+            .pairs()
+            .unwrap_or_else(|| panic!("view {id:?} does not materialize join pairs"))
+    }
+
+    pub(crate) fn groups(&self, id: ViewId) -> &[GroupRow] {
+        self.plan_view(id)
+            .groups()
+            .unwrap_or_else(|| panic!("view {id:?} does not materialize group rows"))
+    }
+
+    pub(crate) fn retract_recomputes(&self, id: ViewId) -> u64 {
+        self.plan_view(id).retract_recomputes()
+    }
+
+    pub(crate) fn plan_output(&self, id: ViewId) -> crate::dvm::PlanOutput {
+        self.plan_view(id).output()
     }
 
     pub(crate) fn changelog(&self, id: ViewId) -> &Changelog {
-        &self.get(id).log
+        match self.get(id) {
+            Slot::Table(v) => &v.log,
+            Slot::Plan(v) => v
+                .rows_log()
+                .unwrap_or_else(|| panic!("view {id:?} does not produce a row changelog")),
+        }
     }
 
     pub(crate) fn take_changelog(&mut self, id: ViewId) -> Changelog {
-        std::mem::take(&mut self.get_mut(id).log)
+        match self.get_mut(id) {
+            Slot::Table(v) => std::mem::take(&mut v.log),
+            Slot::Plan(v) => v
+                .take_rows_log()
+                .unwrap_or_else(|| panic!("view {id:?} does not produce a row changelog")),
+        }
+    }
+
+    pub(crate) fn pair_changelog(&self, id: ViewId) -> &PairChangelog {
+        self.plan_view(id)
+            .pair_log()
+            .unwrap_or_else(|| panic!("view {id:?} does not produce a pair changelog"))
+    }
+
+    pub(crate) fn take_pair_changelog(&mut self, id: ViewId) -> PairChangelog {
+        self.plan_view_mut(id)
+            .take_pair_log()
+            .unwrap_or_else(|| panic!("view {id:?} does not produce a pair changelog"))
+    }
+
+    pub(crate) fn group_changelog(&self, id: ViewId) -> &GroupChangelog {
+        self.plan_view(id)
+            .group_log()
+            .unwrap_or_else(|| panic!("view {id:?} does not produce a group changelog"))
+    }
+
+    pub(crate) fn take_group_changelog(&mut self, id: ViewId) -> GroupChangelog {
+        self.plan_view_mut(id)
+            .take_group_log()
+            .unwrap_or_else(|| panic!("view {id:?} does not produce a group changelog"))
     }
 
     pub(crate) fn stats(&self, id: ViewId) -> ViewStats {
-        self.get(id).stats
+        match self.get(id) {
+            Slot::Table(v) => v.stats,
+            Slot::Plan(v) => v.stats(),
+        }
     }
 
     /// Fold one pending change-stream segment into every view. Only row
@@ -558,9 +730,11 @@ impl ViewRegistry {
             comp_deltas: &comp_deltas,
             batch_len: row_ops,
         };
-        for (slot, view) in self.views.iter_mut().enumerate() {
-            if let Some(view) = view {
-                view.refresh(world, &ctx, slot, metrics);
+        for (slot, entry) in self.slots.iter_mut().enumerate() {
+            match entry {
+                Some(Slot::Table(view)) => view.refresh(world, &ctx, slot, metrics),
+                Some(Slot::Plan(view)) => view.refresh(world, &ctx, slot, metrics),
+                None => {}
             }
         }
     }
@@ -574,11 +748,18 @@ impl ViewRegistry {
     ) {
         // Move the view out of the slot so the rescan can read a
         // registry-free world without aliasing it.
-        let mut view = self.views[id.slot as usize]
+        let slot = self.slots[id.slot as usize]
             .take()
             .unwrap_or_else(|| panic!("view {id:?} is not registered"));
+        let mut view = match slot {
+            Slot::Table(v) => v,
+            Slot::Plan(_) => panic!(
+                "view {id:?} is an operator-tree view; spatial joins follow their \
+                 anchor's position deltas instead of retargeting"
+            ),
+        };
         view.retarget(world, center, radius);
-        self.views[id.slot as usize] = Some(view);
+        self.slots[id.slot as usize] = Some(Slot::Table(view));
     }
 }
 

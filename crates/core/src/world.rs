@@ -54,6 +54,9 @@ pub enum CoreError {
     /// Catalog import found a live view at the slot with a different
     /// standing query (recovery would silently rebind subscribers).
     ViewSlotConflict(u32),
+    /// An operator tree failed structural validation (nesting, projected
+    /// columns, aggregate support, depth bound) — see [`crate::dvm`].
+    PlanInvalid(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -76,6 +79,7 @@ impl fmt::Display for CoreError {
             CoreError::ViewSlotConflict(s) => {
                 write!(f, "view slot {s} holds a different standing query")
             }
+            CoreError::PlanInvalid(why) => write!(f, "invalid view plan: {why}"),
         }
     }
 }
@@ -982,6 +986,23 @@ impl World {
         id
     }
 
+    /// Register an operator-tree view ([`crate::dvm::ViewPlan`]): the
+    /// plan is validated and materialized now, then maintained
+    /// incrementally by per-operator delta rules from the same change
+    /// stream that feeds single-table views. Errors on structurally
+    /// invalid plans ([`CoreError::PlanInvalid`]); nothing is registered
+    /// or recorded then.
+    pub fn register_view_plan(&mut self, plan: crate::dvm::ViewPlan) -> Result<ViewId, CoreError> {
+        self.refresh_views();
+        let view = crate::dvm::PlanView::new(plan.clone(), self)?;
+        let id = self.views.register_plan(self.world_id, view);
+        self.record_catalog(ChangeOp::RegisterPlanView {
+            slot: id.slot,
+            plan,
+        });
+        Ok(id)
+    }
+
     /// Panic unless `id` was issued by this world (lineage) — reading a
     /// foreign handle would silently return an unrelated view's rows.
     fn check_view_lineage(&self, id: ViewId) {
@@ -1059,6 +1080,98 @@ impl World {
     pub fn view_stats(&self, id: ViewId) -> ViewStats {
         self.check_view_lineage(id);
         self.views.stats(id)
+    }
+
+    // ---- operator-tree views (differential view maintenance) ----
+
+    /// The operator tree a view maintains, when `id` names a plan view
+    /// (`None` for single-table query views).
+    pub fn view_plan(&self, id: ViewId) -> Option<&crate::dvm::ViewPlan> {
+        self.check_view_lineage(id);
+        self.views.plan(id)
+    }
+
+    /// The live plan view maintaining exactly `plan`, if one exists —
+    /// subscribers re-adopt their views across reconnects with this
+    /// (the plan-view analogue of scanning `view_ids` for a query).
+    pub fn find_plan_view(&self, plan: &crate::dvm::ViewPlan) -> Option<ViewId> {
+        self.views
+            .live_plan_slots()
+            .find(|(_, p)| *p == plan)
+            .map(|(slot, _)| ViewId {
+                world: self.world_id,
+                slot,
+            })
+    }
+
+    /// Materialized pairs of a join view, ascending by `(left, right)`.
+    ///
+    /// # Panics
+    /// On foreign, unknown, or dropped ids, and on views that do not
+    /// materialize pairs (programmer error).
+    pub fn view_pairs(&self, id: ViewId) -> &[(EntityId, EntityId)] {
+        self.check_view_lineage(id);
+        self.views.pairs(id)
+    }
+
+    /// Materialized group rows of a group-aggregate view, ascending by
+    /// group key (the global group, when present, first).
+    ///
+    /// # Panics
+    /// As [`World::view_pairs`], for non-group views.
+    pub fn view_groups(&self, id: ViewId) -> &[crate::dvm::GroupRow] {
+        self.check_view_lineage(id);
+        self.views.groups(id)
+    }
+
+    /// Aggregate value of the group keyed `key` (`None` = the global
+    /// group), if that group currently exists.
+    pub fn view_group_value(&self, id: ViewId, key: Option<&Value>) -> Option<f64> {
+        self.view_groups(id)
+            .iter()
+            .find(|g| g.key.as_ref() == key)
+            .map(|g| g.value)
+    }
+
+    /// Min/max retract-and-recompute count of a group-aggregate view.
+    pub fn view_retract_recomputes(&self, id: ViewId) -> u64 {
+        self.check_view_lineage(id);
+        self.views.retract_recomputes(id)
+    }
+
+    /// Snapshot of an operator-tree view's maintained output — the
+    /// shape [`crate::dvm::ViewPlan::evaluate`] returns, so callers can
+    /// compare the incrementally-maintained state against a fresh
+    /// recompute with one equality check.
+    pub fn view_output(&self, id: ViewId) -> crate::dvm::PlanOutput {
+        self.check_view_lineage(id);
+        self.views.plan_output(id)
+    }
+
+    /// Peek at a join view's accumulated pair changelog (does not
+    /// consume).
+    pub fn view_pair_changelog(&self, id: ViewId) -> &crate::dvm::PairChangelog {
+        self.check_view_lineage(id);
+        self.views.pair_changelog(id)
+    }
+
+    /// Consume a join view's accumulated pair changelog.
+    pub fn take_view_pair_changelog(&mut self, id: ViewId) -> crate::dvm::PairChangelog {
+        self.check_view_lineage(id);
+        self.views.take_pair_changelog(id)
+    }
+
+    /// Peek at a group view's accumulated group changelog (does not
+    /// consume).
+    pub fn view_group_changelog(&self, id: ViewId) -> &crate::dvm::GroupChangelog {
+        self.check_view_lineage(id);
+        self.views.group_changelog(id)
+    }
+
+    /// Consume a group view's accumulated group changelog.
+    pub fn take_view_group_changelog(&mut self, id: ViewId) -> crate::dvm::GroupChangelog {
+        self.check_view_lineage(id);
+        self.views.take_group_changelog(id)
     }
 
     /// Row-op changes recorded since the last refresh. Views are stale
@@ -1153,6 +1266,11 @@ impl World {
                 .live_slots()
                 .map(|(slot, q)| (slot, q.clone()))
                 .collect(),
+            plan_views: self
+                .views
+                .live_plan_slots()
+                .map(|(slot, p)| (slot, p.clone()))
+                .collect(),
         }
     }
 
@@ -1169,6 +1287,9 @@ impl World {
         self.views.reserve_slots(cat.view_slots);
         for (slot, query) in &cat.views {
             self.import_view_at_slot(*slot, query.clone())?;
+        }
+        for (slot, plan) in &cat.plan_views {
+            self.import_plan_view_at_slot(*slot, plan.clone())?;
         }
         self.advance_tick_to(cat.tick);
         Ok(())
@@ -1200,6 +1321,14 @@ impl World {
                 self.drop_view(id);
             }
         }
+        for id in self.plan_view_ids() {
+            let keep = cat.plan_views.iter().any(|(slot, p)| {
+                *slot == id.slot && Some(p) == self.view_plan(id)
+            });
+            if !keep {
+                self.drop_view(id);
+            }
+        }
         self.import_catalog(cat)
     }
 
@@ -1218,7 +1347,8 @@ impl World {
         Ok(true)
     }
 
-    /// Handles of every live standing view, slot-ordered.
+    /// Handles of every live single-table standing view, slot-ordered.
+    /// Operator-tree views are listed by [`World::plan_view_ids`].
     pub fn view_ids(&self) -> Vec<ViewId> {
         self.views
             .live_slots()
@@ -1229,12 +1359,27 @@ impl World {
             .collect()
     }
 
-    /// Handle of the live view at `slot`, if any.
+    /// Handles of every live operator-tree view, slot-ordered.
+    pub fn plan_view_ids(&self) -> Vec<ViewId> {
+        self.views
+            .live_plan_slots()
+            .map(|(slot, _)| ViewId {
+                world: self.world_id,
+                slot,
+            })
+            .collect()
+    }
+
+    /// Handle of the live view at `slot` (either kind), if any.
     pub fn view_id_at(&self, slot: u32) -> Option<ViewId> {
-        self.views.query_at_slot(slot).map(|_| ViewId {
-            world: self.world_id,
-            slot,
-        })
+        if self.views.query_at_slot(slot).is_some() || self.views.plan_at_slot(slot).is_some() {
+            Some(ViewId {
+                world: self.world_id,
+                slot,
+            })
+        } else {
+            None
+        }
     }
 
     /// First live view maintaining exactly `query` — how a subscriber
@@ -1271,6 +1416,39 @@ impl World {
         let installed = self.views.install_at_slot(slot, query.clone(), rows);
         debug_assert!(installed, "slot checked dead above");
         self.record_catalog(ChangeOp::RegisterView { slot, query });
+        Ok(id)
+    }
+
+    /// Re-register an operator-tree view at an exact slot (recovery
+    /// replay). The view materializes from current state with empty
+    /// changelogs. A live slot holding the same plan is accepted
+    /// unchanged (idempotent redo); any other occupant is a conflict.
+    pub fn import_plan_view_at_slot(
+        &mut self,
+        slot: u32,
+        plan: crate::dvm::ViewPlan,
+    ) -> Result<ViewId, CoreError> {
+        let id = ViewId {
+            world: self.world_id,
+            slot,
+        };
+        if let Some(existing) = self.views.plan_at_slot(slot) {
+            return if *existing == plan {
+                Ok(id)
+            } else {
+                Err(CoreError::ViewSlotConflict(slot))
+            };
+        }
+        if self.views.query_at_slot(slot).is_some() {
+            return Err(CoreError::ViewSlotConflict(slot));
+        }
+        self.refresh_views();
+        let view = crate::dvm::PlanView::new(plan.clone(), self)?;
+        let installed = self.views.install_plan_at_slot(slot, view);
+        if !installed {
+            return Err(CoreError::ViewSlotConflict(slot));
+        }
+        self.record_catalog(ChangeOp::RegisterPlanView { slot, plan });
         Ok(id)
     }
 
@@ -1569,8 +1747,10 @@ pub struct WorldCatalog {
     /// Total view slots ever issued — dropped slots stay burned after
     /// recovery so stale handles cannot alias a new view.
     pub view_slots: u32,
-    /// `(slot, standing query)` per live view, slot-ordered.
+    /// `(slot, standing query)` per live single-table view, slot-ordered.
     pub views: Vec<(u32, Query)>,
+    /// `(slot, operator tree)` per live operator-tree view, slot-ordered.
+    pub plan_views: Vec<(u32, crate::dvm::ViewPlan)>,
 }
 
 /// [`ComponentView`] over one world entity.

@@ -397,6 +397,136 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ISSUE-10 acceptance property: operator-tree views — equi-join,
+    /// spatial join, and group-by aggregates — maintained from Z-set
+    /// deltas equal a forced `ViewPlan::evaluate` recompute after every
+    /// tick (and at the end, after a final refresh), for random
+    /// interleavings of writes, component removals, despawns, template
+    /// spawns, and ticks. Pair and group changelogs are simultaneously
+    /// checked for coherence: replaying them over the previous
+    /// materialized state must reproduce the current one.
+    #[test]
+    fn operator_views_track_scan_oracle_under_churn(
+        ops in proptest::collection::vec(index_op_strategy(), 1..80),
+        hp_bound in 0.0f32..100.0,
+        r in 0.5f32..60.0,
+        index_hp in any::<bool>(),
+    ) {
+        use gamedb_core::{AggFn, JoinOn, PlanNode, ViewPlan};
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut w = World::new();
+        w.define_component("hp", ValueType::Float).unwrap();
+        w.define_component("dmg", ValueType::Float).unwrap();
+        w.define_component("team", ValueType::Str).unwrap();
+        if index_hp {
+            w.create_index("hp", IndexKind::Sorted).unwrap();
+        }
+        // healthy×anyone teammate pairs, proximity pairs, and per-team
+        // head-counts + weakest member — one view per operator family
+        let equi = w.register_view_plan(ViewPlan::join(
+            PlanNode::scan(Query::select().filter("hp", CmpOp::Ge, Value::Float(hp_bound))),
+            PlanNode::scan(Query::select()),
+            JoinOn::Eq { left: "team".into(), right: "team".into() },
+        )).unwrap();
+        let spatial = w.register_view_plan(ViewPlan::join(
+            PlanNode::scan(Query::select()),
+            PlanNode::scan(Query::select()),
+            JoinOn::Within { radius: r },
+        )).unwrap();
+        let count = w.register_view_plan(
+            Query::select().into_grouped_plan("team", AggFn::Count).unwrap(),
+        ).unwrap();
+        let weakest = w.register_view_plan(
+            Query::select().into_grouped_plan("team", AggFn::Min("hp".into())).unwrap(),
+        ).unwrap();
+
+        let pair_views = [equi, spatial];
+        let group_views = [count, weakest];
+        let mut pair_shadows: Vec<BTreeSet<(EntityId, EntityId)>> = pair_views
+            .iter()
+            .map(|&v| w.view_pairs(v).iter().copied().collect())
+            .collect();
+        // group keys shadowed by their debug form: `Value` is not `Ord`
+        let mut group_shadows: Vec<BTreeMap<String, f64>> = group_views
+            .iter()
+            .map(|&v| {
+                w.view_groups(v)
+                    .iter()
+                    .map(|g| (format!("{:?}", g.key), g.value))
+                    .collect()
+            })
+            .collect();
+
+        let mut live = Vec::new();
+        let check = |w: &mut World,
+                     pair_shadows: &mut [BTreeSet<(EntityId, EntityId)>],
+                     group_shadows: &mut [BTreeMap<String, f64>]|
+         -> Result<(), TestCaseError> {
+            for (&v, shadow) in pair_views.iter().zip(pair_shadows.iter_mut()) {
+                let forced = w.view_plan(v).unwrap().evaluate(w).unwrap();
+                prop_assert_eq!(w.view_output(v), forced, "pair view {:?}", v);
+                let log = w.take_view_pair_changelog(v);
+                for p in &log.exited {
+                    prop_assert!(shadow.remove(p), "exit without enter for {p:?}");
+                }
+                for p in &log.entered {
+                    prop_assert!(shadow.insert(*p), "duplicate enter for {p:?}");
+                }
+                prop_assert_eq!(
+                    shadow.iter().copied().collect::<Vec<_>>(),
+                    w.view_pairs(v),
+                    "pair changelog replay diverged for {:?}", v
+                );
+            }
+            for (&v, shadow) in group_views.iter().zip(group_shadows.iter_mut()) {
+                let forced = w.view_plan(v).unwrap().evaluate(w).unwrap();
+                prop_assert_eq!(w.view_output(v), forced, "group view {:?}", v);
+                let log = w.take_view_group_changelog(v);
+                for g in &log.exited {
+                    prop_assert!(
+                        shadow.remove(&format!("{:?}", g.key)).is_some(),
+                        "exit of unknown group {:?}", g.key
+                    );
+                }
+                for g in &log.entered {
+                    prop_assert!(
+                        shadow.insert(format!("{:?}", g.key), g.value).is_none(),
+                        "duplicate enter for group {:?}", g.key
+                    );
+                }
+                for g in &log.changed {
+                    prop_assert!(
+                        shadow.insert(format!("{:?}", g.key), g.value).is_some(),
+                        "change of unknown group {:?}", g.key
+                    );
+                }
+                let replayed: Vec<(String, f64)> =
+                    shadow.iter().map(|(k, &x)| (k.clone(), x)).collect();
+                let actual: Vec<(String, f64)> = w
+                    .view_groups(v)
+                    .iter()
+                    .map(|g| (format!("{:?}", g.key), g.value))
+                    .collect();
+                prop_assert_eq!(replayed, actual, "group changelog replay diverged for {:?}", v);
+            }
+            Ok(())
+        };
+
+        for op in &ops {
+            apply_index_op(&mut w, &mut live, op);
+            if matches!(op, IndexOp::Tick) {
+                prop_assert_eq!(w.pending_deltas(), 0);
+                check(&mut w, &mut pair_shadows, &mut group_shadows)?;
+            }
+        }
+        w.refresh_views();
+        check(&mut w, &mut pair_shadows, &mut group_shadows)?;
+    }
+}
+
 /// Rebuild a world from its public recovery surface: schema + rows
 /// restored entity-by-entity, then the catalog import that recovery
 /// uses (indexes backfilled, views re-materialized at their original
@@ -581,6 +711,9 @@ fn replay_change(w: &mut World, op: &gamedb_core::ChangeOp) {
         }
         ChangeOp::RegisterView { slot, query } => {
             w.import_view_at_slot(*slot, query.clone()).unwrap();
+        }
+        ChangeOp::RegisterPlanView { slot, plan } => {
+            w.import_plan_view_at_slot(*slot, plan.clone()).unwrap();
         }
         ChangeOp::DropView { slot } => {
             w.drop_view_slot(*slot);

@@ -69,7 +69,7 @@ fn encode_v2(world: &World) -> Vec<u8> {
             put_value(&mut body, &v);
         }
     }
-    put_catalog(&mut body, &world.export_catalog());
+    put_catalog(&mut body, &world.export_catalog(), false);
     let mut out = BytesMut::with_capacity(body.len() + 28);
     out.put_u32_le(MAGIC_V2);
     out.put_u64_le(world.tick());

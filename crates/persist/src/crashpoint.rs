@@ -36,7 +36,7 @@
 //! protects.
 
 use gamedb_content::{CmpOp, Value, ValueType};
-use gamedb_core::{IndexKind, Query, ViewId, World};
+use gamedb_core::{AggFn, IndexKind, JoinOn, PlanNode, Query, ViewId, ViewPlan, World};
 use gamedb_spatial::Vec2;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -341,6 +341,25 @@ impl Driver {
         self.commit()?;
         self.views.push(wounded);
         self.views.push(bubble);
+        // operator-tree views: a team equi-join and a per-team gold
+        // total — joins and group aggregates must survive every crash
+        // point too. They stay out of `self.views` so the random view
+        // churn never drops them mid-sweep. (Sum over an Int column
+        // keeps the fold exact in f64, so bit-identity is meaningful.)
+        self.store.world_mut().register_view_plan(ViewPlan::join(
+            PlanNode::scan(Query::select().filter("hp", CmpOp::Ge, Value::Float(0.0))),
+            PlanNode::scan(Query::select()),
+            JoinOn::Eq {
+                left: "team".into(),
+                right: "team".into(),
+            },
+        ))?;
+        self.commit()?;
+        let wealth_plan = Query::select()
+            .into_grouped_plan("team", AggFn::Sum("gold".into()))
+            .expect("valid plan");
+        self.store.world_mut().register_view_plan(wealth_plan)?;
+        self.commit()?;
 
         for t in 0..ticks {
             let ops = 1 + self.rng.gen_range(0..3u32);
@@ -461,6 +480,25 @@ pub fn assert_equivalent(recovered: &World, oracle: &World) -> Result<(), String
         }
         if recovered.view_rows(rid) != query.run_scan(recovered).as_slice() {
             return Err(format!("view slot {slot} diverges from its scan oracle"));
+        }
+    }
+    // every operator-tree view: identical maintained output on both
+    // sides, and the output equals a forced recompute of its plan
+    for (slot, plan) in &ocat.plan_views {
+        let rid = recovered
+            .view_id_at(*slot)
+            .ok_or_else(|| format!("plan view slot {slot} missing after recovery"))?;
+        let oid = oracle.view_id_at(*slot).expect("oracle catalog slot");
+        if recovered.view_output(rid) != oracle.view_output(oid) {
+            return Err(format!("plan view slot {slot} output differs"));
+        }
+        let forced = plan
+            .evaluate(recovered)
+            .map_err(|e| format!("plan view slot {slot} recompute failed: {e}"))?;
+        if recovered.view_output(rid) != forced {
+            return Err(format!(
+                "plan view slot {slot} diverges from forced recompute"
+            ));
         }
     }
     // spatial index sanity

@@ -29,7 +29,8 @@ use crate::snapshot::{checksum, get_value, put_value, SnapshotError};
 /// too, and an incremental recovery that replayed rows but restored
 /// the *base snapshot's* catalog would silently lose an index or view
 /// registered (or keep one dropped) after the last full snapshot.
-const DELTA_MAGIC: u32 = 0x6744_4402;
+/// v3 extends the catalog with the operator-tree (plan) views.
+const DELTA_MAGIC: u32 = 0x6744_4403;
 
 /// Content hash of every live row, keyed by entity id bits.
 pub type RowHashes = HashMap<u64, u64>;
@@ -135,7 +136,7 @@ pub fn encode_delta(world: &World, prev: &RowHashes) -> (Bytes, RowHashes) {
     // tick, not the base snapshot's
     body.put_u64_le(world.lineage());
     body.put_u64_le(world.tick());
-    crate::snapshot::put_catalog(&mut body, &world.export_catalog());
+    crate::snapshot::put_catalog(&mut body, &world.export_catalog(), true);
     let mut out = BytesMut::with_capacity(body.len() + 16);
     out.put_u32_le(DELTA_MAGIC);
     out.put_u32_le(body.len() as u32);
@@ -258,7 +259,7 @@ pub fn apply_delta(world: &mut World, data: &[u8]) -> Result<(), SnapshotError> 
     need!(16);
     let lineage = buf.get_u64_le();
     let tick = buf.get_u64_le();
-    let catalog = crate::snapshot::get_catalog(&mut buf, lineage, tick)?;
+    let catalog = crate::snapshot::get_catalog(&mut buf, lineage, tick, true)?;
     world
         .reconcile_catalog(&catalog)
         .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;

@@ -7,7 +7,9 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gamedb_content::{CmpOp, Value, ValueType};
-use gamedb_core::{EntityId, IndexKind, Query, World, WorldCatalog};
+use gamedb_core::{
+    AggFn, EntityId, IndexKind, JoinOn, PlanNode, Pred, Query, ViewPlan, World, WorldCatalog,
+};
 use gamedb_spatial::Vec2;
 use std::fmt;
 
@@ -18,9 +20,13 @@ use std::fmt;
 /// name order: decoding defines columns in listed order, so the
 /// recovered world's [`gamedb_core::ComponentId`] table matches the
 /// snapshotted world's exactly and interned WAL-tail records decode to
-/// the same columns they were recorded against. v2 snapshots (name-
-/// ordered schema, string-named WAL tails) still decode.
-const MAGIC: u32 = 0x6744_4203; // "gDB" v3
+/// the same columns they were recorded against. v4 appends the
+/// operator-tree (plan) views of the differential view engine to the
+/// catalog section, so joins and group aggregates survive recovery at
+/// their exact slots. v3 and v2 snapshots still decode — their catalogs
+/// simply carry no plan views.
+const MAGIC: u32 = 0x6744_4204; // "gDB" v4
+const MAGIC_V3: u32 = 0x6744_4203;
 const MAGIC_V2: u32 = 0x6744_4202;
 
 /// Errors decoding a snapshot.
@@ -257,11 +263,208 @@ pub(crate) fn get_query(buf: &mut Bytes) -> Result<Query, SnapshotError> {
     Ok(q)
 }
 
+fn agg_tag(f: &AggFn) -> (u8, Option<&str>) {
+    match f {
+        AggFn::Count => (0, None),
+        AggFn::Sum(c) => (1, Some(c)),
+        AggFn::Min(c) => (2, Some(c)),
+        AggFn::Max(c) => (3, Some(c)),
+        AggFn::Avg(c) => (4, Some(c)),
+        AggFn::ArgMin(c) => (5, Some(c)),
+        AggFn::ArgMax(c) => (6, Some(c)),
+    }
+}
+
+fn tag_agg(tag: u8, column: Option<String>) -> Result<AggFn, SnapshotError> {
+    let col = || column.ok_or_else(|| SnapshotError::Corrupt("aggregate without column".into()));
+    Ok(match tag {
+        0 => AggFn::Count,
+        1 => AggFn::Sum(col()?),
+        2 => AggFn::Min(col()?),
+        3 => AggFn::Max(col()?),
+        4 => AggFn::Avg(col()?),
+        5 => AggFn::ArgMin(col()?),
+        6 => AggFn::ArgMax(col()?),
+        t => return Err(SnapshotError::Corrupt(format!("unknown aggregate tag {t}"))),
+    })
+}
+
+fn put_node(buf: &mut BytesMut, node: &PlanNode) {
+    match node {
+        PlanNode::Scan { query, only } => {
+            buf.put_u8(0);
+            put_query(buf, query);
+            match only {
+                Some(e) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(e.to_bits());
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        PlanNode::Filter { input, pred } => {
+            buf.put_u8(1);
+            put_node(buf, input);
+            put_str(buf, &pred.component);
+            buf.put_u8(op_tag(pred.op));
+            buf.put_u8(type_tag(pred.value.value_type()));
+            put_value(buf, &pred.value);
+        }
+        PlanNode::Project { input, columns } => {
+            buf.put_u8(2);
+            put_node(buf, input);
+            buf.put_u32_le(columns.len() as u32);
+            for c in columns {
+                put_str(buf, c);
+            }
+        }
+        PlanNode::Join { left, right, on } => {
+            buf.put_u8(3);
+            put_node(buf, left);
+            put_node(buf, right);
+            match on {
+                JoinOn::Eq { left, right } => {
+                    buf.put_u8(0);
+                    put_str(buf, left);
+                    put_str(buf, right);
+                }
+                JoinOn::Within { radius } => {
+                    buf.put_u8(1);
+                    buf.put_f32_le(*radius);
+                }
+            }
+        }
+        PlanNode::GroupAggregate {
+            input,
+            group_by,
+            agg,
+        } => {
+            buf.put_u8(4);
+            put_node(buf, input);
+            match group_by {
+                Some(g) => {
+                    buf.put_u8(1);
+                    put_str(buf, g);
+                }
+                None => buf.put_u8(0),
+            }
+            let (tag, col) = agg_tag(agg);
+            buf.put_u8(tag);
+            if let Some(c) = col {
+                put_str(buf, c);
+            }
+        }
+    }
+}
+
+fn get_node(buf: &mut Bytes, depth: usize) -> Result<PlanNode, SnapshotError> {
+    macro_rules! need {
+        ($n:expr) => {
+            if buf.remaining() < $n {
+                return Err(SnapshotError::Truncated);
+            }
+        };
+    }
+    // Parsed from disk: a corrupt length must not recurse unboundedly.
+    if depth >= gamedb_core::dvm::MAX_PLAN_DEPTH {
+        return Err(SnapshotError::Corrupt("plan exceeds depth bound".into()));
+    }
+    need!(1);
+    Ok(match buf.get_u8() {
+        0 => {
+            let query = get_query(buf)?;
+            need!(1);
+            let only = if buf.get_u8() != 0 {
+                need!(8);
+                Some(EntityId::from_bits(buf.get_u64_le()))
+            } else {
+                None
+            };
+            PlanNode::Scan { query, only }
+        }
+        1 => {
+            let input = Box::new(get_node(buf, depth + 1)?);
+            let component = get_str(buf)?;
+            need!(2);
+            let op = tag_op(buf.get_u8())?;
+            let ty = tag_type(buf.get_u8())?;
+            let value = get_value(buf, ty)?;
+            PlanNode::Filter {
+                input,
+                pred: Pred::new(component, op, value),
+            }
+        }
+        2 => {
+            let input = Box::new(get_node(buf, depth + 1)?);
+            need!(4);
+            let n = buf.get_u32_le() as usize;
+            let mut columns = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                columns.push(get_str(buf)?);
+            }
+            PlanNode::Project { input, columns }
+        }
+        3 => {
+            let left = Box::new(get_node(buf, depth + 1)?);
+            let right = Box::new(get_node(buf, depth + 1)?);
+            need!(1);
+            let on = match buf.get_u8() {
+                0 => JoinOn::Eq {
+                    left: get_str(buf)?,
+                    right: get_str(buf)?,
+                },
+                1 => {
+                    need!(4);
+                    JoinOn::Within {
+                        radius: buf.get_f32_le(),
+                    }
+                }
+                t => return Err(SnapshotError::Corrupt(format!("unknown join tag {t}"))),
+            };
+            PlanNode::Join { left, right, on }
+        }
+        4 => {
+            let input = Box::new(get_node(buf, depth + 1)?);
+            need!(1);
+            let group_by = if buf.get_u8() != 0 {
+                Some(get_str(buf)?)
+            } else {
+                None
+            };
+            need!(1);
+            let tag = buf.get_u8();
+            let column = if tag != 0 { Some(get_str(buf)?) } else { None };
+            PlanNode::GroupAggregate {
+                input,
+                group_by,
+                agg: tag_agg(tag, column)?,
+            }
+        }
+        t => return Err(SnapshotError::Corrupt(format!("unknown plan node tag {t}"))),
+    })
+}
+
+/// Encode an operator-tree view plan. Shared by the snapshot catalog
+/// section and the WAL's `RegisterPlanView` record.
+pub(crate) fn put_plan(buf: &mut BytesMut, plan: &ViewPlan) {
+    put_node(buf, &plan.root);
+}
+
+/// Inverse of [`put_plan`]. Structural validity (operator nesting,
+/// column visibility) is re-checked by the core when the plan is
+/// re-registered, so corruption surfaces as a registration error, not
+/// undefined view state.
+pub(crate) fn get_plan(buf: &mut Bytes) -> Result<ViewPlan, SnapshotError> {
+    Ok(ViewPlan::new(get_node(buf, 0)?))
+}
+
 /// Encode a world catalog (without lineage/tick, which the snapshot
 /// header already carries). Shared with the delta format, which
 /// carries the catalog wholesale per checkpoint — definitions are tiny
 /// next to rows, and "diffing" them would buy complexity, not bytes.
-pub(crate) fn put_catalog(buf: &mut BytesMut, cat: &WorldCatalog) {
+/// `with_plans` gates the trailing plan-view section (absent from the
+/// pre-v4 layouts `compat` still writes).
+pub(crate) fn put_catalog(buf: &mut BytesMut, cat: &WorldCatalog, with_plans: bool) {
     buf.put_u32_le(cat.indexes.len() as u32);
     for (component, kind) in &cat.indexes {
         put_str(buf, component);
@@ -273,12 +476,20 @@ pub(crate) fn put_catalog(buf: &mut BytesMut, cat: &WorldCatalog) {
         buf.put_u32_le(*slot);
         put_query(buf, query);
     }
+    if with_plans {
+        buf.put_u32_le(cat.plan_views.len() as u32);
+        for (slot, plan) in &cat.plan_views {
+            buf.put_u32_le(*slot);
+            put_plan(buf, plan);
+        }
+    }
 }
 
 pub(crate) fn get_catalog(
     buf: &mut Bytes,
     lineage: u64,
     tick: u64,
+    with_plans: bool,
 ) -> Result<WorldCatalog, SnapshotError> {
     macro_rules! need {
         ($n:expr) => {
@@ -304,12 +515,23 @@ pub(crate) fn get_catalog(
         let slot = buf.get_u32_le();
         views.push((slot, get_query(buf)?));
     }
+    let mut plan_views = Vec::new();
+    if with_plans {
+        need!(4);
+        let n_plans = buf.get_u32_le() as usize;
+        for _ in 0..n_plans {
+            need!(4);
+            let slot = buf.get_u32_le();
+            plan_views.push((slot, get_plan(buf)?));
+        }
+    }
     Ok(WorldCatalog {
         lineage,
         tick,
         indexes,
         view_slots,
         views,
+        plan_views,
     })
 }
 
@@ -351,8 +573,8 @@ pub fn encode(world: &World) -> Bytes {
             put_value(&mut body, &v);
         }
     }
-    // catalog: index definitions + standing views
-    put_catalog(&mut body, &world.export_catalog());
+    // catalog: index definitions + standing views (both kinds)
+    put_catalog(&mut body, &world.export_catalog(), true);
     // frame: magic, tick, lineage, len, body, checksum
     let mut out = BytesMut::with_capacity(body.len() + 28);
     out.put_u32_le(MAGIC);
@@ -375,7 +597,7 @@ pub fn decode(data: &[u8]) -> Result<(World, u64), SnapshotError> {
         return Err(SnapshotError::Truncated);
     }
     let magic = buf.get_u32_le();
-    if magic != MAGIC && magic != MAGIC_V2 {
+    if magic != MAGIC && magic != MAGIC_V3 && magic != MAGIC_V2 {
         return Err(SnapshotError::BadMagic(magic));
     }
     let tick = buf.get_u64_le();
@@ -450,7 +672,7 @@ pub fn decode(data: &[u8]) -> Result<(World, u64), SnapshotError> {
     }
     // catalog: rebuild indexes and views over the restored rows, adopt
     // the recorded lineage and tick
-    let catalog = get_catalog(&mut buf, lineage, tick)?;
+    let catalog = get_catalog(&mut buf, lineage, tick, magic == MAGIC)?;
     world
         .import_catalog(&catalog)
         .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
@@ -610,6 +832,77 @@ mod tests {
             w2.view_query(v).run_scan(&w2),
             "restored view agrees with the scan oracle"
         );
+    }
+
+    #[test]
+    fn plan_views_roundtrip_and_stay_live() {
+        use gamedb_content::CmpOp;
+        let mut w = sample_world();
+        w.define_component("team", ValueType::Int).unwrap();
+        for (i, e) in w.entities().collect::<Vec<_>>().into_iter().enumerate() {
+            w.set(e, "team", Value::Int((i % 3) as i64)).unwrap();
+        }
+        let join = w
+            .register_view_plan(ViewPlan::join(
+                PlanNode::scan(Query::select().filter("alive", CmpOp::Eq, Value::Bool(true))),
+                PlanNode::scan(Query::select()),
+                JoinOn::Eq {
+                    left: "team".into(),
+                    right: "team".into(),
+                },
+            ))
+            .unwrap();
+        let wealth = w
+            .register_view_plan(
+                Query::select()
+                    .into_grouped_plan("team", AggFn::Sum("gold".into()))
+                    .unwrap(),
+            )
+            .unwrap();
+
+        let (mut w2, _) = decode(&encode(&w)).unwrap();
+        assert_eq!(w2.view_plan(join), w.view_plan(join));
+        assert_eq!(w2.view_pairs(join), w.view_pairs(join));
+        assert_eq!(w2.view_groups(wealth), w.view_groups(wealth));
+        assert_eq!(w2.export_catalog(), w.export_catalog());
+
+        // restored operator trees keep maintaining incrementally
+        let e = w2.entities().next().unwrap();
+        w2.set(e, "gold", Value::Int(10_000)).unwrap();
+        w2.refresh_views();
+        assert_eq!(
+            w2.view_output(wealth),
+            w2.view_plan(wealth).unwrap().evaluate(&w2).unwrap(),
+            "restored group view agrees with forced recompute"
+        );
+        assert_eq!(
+            w2.view_output(join),
+            w2.view_plan(join).unwrap().evaluate(&w2).unwrap(),
+            "restored join view agrees with forced recompute"
+        );
+    }
+
+    #[test]
+    fn legacy_v3_snapshots_still_decode() {
+        use gamedb_content::CmpOp;
+        let mut w = sample_world();
+        let v = w.register_view(Query::select().filter("hp", CmpOp::Lt, Value::Float(100.0)));
+        w.refresh_views();
+        // rebuild the v4 frame under the v3 magic: identical body layout
+        // minus the trailing plan-view section (the empty u32 count)
+        let v4 = encode(&w);
+        let len = u32::from_le_bytes(v4[20..24].try_into().unwrap()) as usize;
+        let body = &v4[24..24 + len - 4];
+        let mut legacy = BytesMut::with_capacity(body.len() + 28);
+        legacy.put_u32_le(MAGIC_V3);
+        legacy.extend_from_slice(&v4[4..20]); // tick + lineage
+        legacy.put_u32_le(body.len() as u32);
+        legacy.extend_from_slice(body);
+        legacy.put_u32_le(checksum(body));
+        let (w2, tick) = decode(&legacy).unwrap();
+        assert_eq!(tick, w.tick());
+        assert_eq!(w2.rows(), w.rows());
+        assert_eq!(w2.view_rows(v), w.view_rows(v));
     }
 
     #[test]

@@ -13,12 +13,14 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gamedb_content::{Value, ValueType};
-use gamedb_core::{Change, ChangeOp, ComponentId, CoreError, EntityId, IndexKind, Query, World};
+use gamedb_core::{
+    Change, ChangeOp, ComponentId, CoreError, EntityId, IndexKind, Query, ViewPlan, World,
+};
 use gamedb_spatial::Vec2;
 
 use crate::snapshot::{
-    checksum, get_query, get_str, get_value, kind_tag, put_query, put_str, put_value, tag_kind,
-    tag_type_pub, type_tag_pub, SnapshotError,
+    checksum, get_plan, get_query, get_str, get_value, kind_tag, put_plan, put_query, put_str,
+    put_value, tag_kind, tag_type_pub, type_tag_pub, SnapshotError,
 };
 
 /// How a WAL record names a component: by interned id (the current
@@ -148,7 +150,9 @@ pub enum WalRecord {
     /// it from post-replay row state; the slot is recorded so pre-crash
     /// [`gamedb_core::ViewId`] handles keep resolving after recovery.
     RegisterView { slot: u32, query: Query },
-    /// Drop the standing view at a slot.
+    /// Register an operator-tree (differential) view at a slot.
+    RegisterPlanView { slot: u32, plan: ViewPlan },
+    /// Drop the standing view at a slot (either kind).
     DropView { slot: u32 },
     /// Move a spatial view's disk (interest bubbles following a focus).
     RetargetView { slot: u32, x: f32, y: f32, radius: f32 },
@@ -188,6 +192,7 @@ const TAG_SET_ID: u8 = 15;
 const TAG_REMOVE_ID: u8 = 16;
 const TAG_CREATE_INDEX_ID: u8 = 17;
 const TAG_DROP_INDEX_ID: u8 = 18;
+const TAG_REGISTER_PLAN_VIEW: u8 = 19;
 
 // value-type tags reuse the snapshot module's ordering
 fn value_tag(v: &Value) -> u8 {
@@ -311,6 +316,11 @@ impl WalRecord {
                 payload.put_u8(TAG_REGISTER_VIEW);
                 payload.put_u32_le(*slot);
                 put_query(payload, query);
+            }
+            WalRecord::RegisterPlanView { slot, plan } => {
+                payload.put_u8(TAG_REGISTER_PLAN_VIEW);
+                payload.put_u32_le(*slot);
+                put_plan(payload, plan);
             }
             WalRecord::DropView { slot } => {
                 payload.put_u8(TAG_DROP_VIEW);
@@ -462,6 +472,14 @@ impl WalRecord {
                     query: get_query(&mut p)?,
                 }
             }
+            TAG_REGISTER_PLAN_VIEW => {
+                need!(4);
+                let slot = p.get_u32_le();
+                WalRecord::RegisterPlanView {
+                    slot,
+                    plan: get_plan(&mut p)?,
+                }
+            }
             TAG_DROP_VIEW => {
                 need!(4);
                 WalRecord::DropView {
@@ -574,6 +592,9 @@ impl WalRecord {
             WalRecord::RegisterView { slot, query } => {
                 world.import_view_at_slot(*slot, query.clone()).map(|_| ())
             }
+            WalRecord::RegisterPlanView { slot, plan } => world
+                .import_plan_view_at_slot(*slot, plan.clone())
+                .map(|_| ()),
             WalRecord::DropView { slot } => {
                 world.drop_view_slot(*slot);
                 Ok(())
@@ -644,6 +665,10 @@ impl WalRecord {
             ChangeOp::RegisterView { slot, query } => WalRecord::RegisterView {
                 slot: *slot,
                 query: query.clone(),
+            },
+            ChangeOp::RegisterPlanView { slot, plan } => WalRecord::RegisterPlanView {
+                slot: *slot,
+                plan: plan.clone(),
             },
             ChangeOp::DropView { slot } => WalRecord::DropView { slot: *slot },
             ChangeOp::RetargetView { slot, x, y, radius } => WalRecord::RetargetView {

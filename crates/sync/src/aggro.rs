@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use gamedb_core::{Changelog, EntityId, Query, ViewId, World};
+use gamedb_core::{Changelog, EntityId, JoinOn, PlanNode, Query, ViewId, ViewPlan, World};
 
 /// Combat roles with their threat multipliers. Tanks generate extra
 /// threat by design — the game *wants* the boss hitting the tank.
@@ -118,68 +118,59 @@ impl AggroTable {
 }
 
 /// Standing candidate set for one mob: the entities inside its aggro
-/// radius, maintained incrementally by the world's continuous-query
-/// subsystem instead of a per-tick `within` rescan.
+/// radius, maintained by the differential view engine as an anchored
+/// **spatial join** — the mob (an anchored scan) joined against
+/// everyone else within `radius`. The join follows the anchor's own
+/// position deltas, so a moving mob stays on the incremental path: no
+/// retarget, no rescan-diff, ever.
 ///
-/// [`CandidateView::sync`] re-anchors the view to the mob's current
-/// position, folds pending deltas, and consumes the membership
-/// changelog — exiting candidates (death, despawn, zone-out) are evicted
-/// from the mob's threat table, the bookkeeping
-/// [`AggroTable::remove`]'s docs ask callers to do by hand.
+/// [`CandidateView::sync`] folds pending deltas and consumes the
+/// join's pair changelog — exiting candidates (death, despawn,
+/// zone-out, or the mob walking away) are evicted from the mob's
+/// threat table, the bookkeeping [`AggroTable::remove`]'s docs ask
+/// callers to do by hand.
 #[derive(Debug, Clone)]
 pub struct CandidateView {
     mob: EntityId,
     radius: f32,
     view: ViewId,
-    /// Where the view's disk is currently anchored; retargeting (which
-    /// costs a rescan-diff) only happens when the mob actually moved.
-    anchor: gamedb_spatial::Vec2,
 }
 
 impl CandidateView {
-    /// Register the standing view around the mob's current position.
-    /// Returns `None` when the mob has no position.
+    /// The operator tree identifying one mob's candidate set: the mob
+    /// itself spatially joined against every other entity in range.
+    fn plan(mob: EntityId, radius: f32) -> ViewPlan {
+        ViewPlan::join(
+            PlanNode::scan_only(Query::select(), mob),
+            PlanNode::scan(Query::select().excluding(mob)),
+            JoinOn::Within { radius },
+        )
+    }
+
+    /// Register the standing join view for the mob. Returns `None` when
+    /// the mob has no position (a position-less mob has no aggro disk).
     pub fn register(world: &mut World, mob: EntityId, radius: f32) -> Option<Self> {
-        let center = world.pos(mob)?;
-        let view =
-            world.register_view(Query::select().within(center, radius).excluding(mob));
-        Some(CandidateView {
-            mob,
-            radius,
-            view,
-            anchor: center,
-        })
+        world.pos(mob)?;
+        let view = world.register_view_plan(Self::plan(mob, radius)).ok()?;
+        Some(CandidateView { mob, radius, view })
     }
 
     /// Re-attach to this mob's standing aggro view after a restart:
-    /// recovery re-materializes views, so the candidate set already
-    /// exists in the recovered world — identified by the exact shape
-    /// [`CandidateView::register`] creates (a bare spatial disk
-    /// excluding the mob, no predicates). When the recovered disk
-    /// disagrees with the caller's `radius` or the mob's current
-    /// position, the view is retargeted immediately so a stationary mob
-    /// is not left reading a stale disk forever. Falls back to
-    /// registering a fresh view when none survives. Returns `None` when
-    /// the mob has no position.
+    /// recovery re-registers operator trees from the catalog, so the
+    /// candidate set already exists in the recovered world — found by
+    /// structural equality with the exact plan
+    /// [`CandidateView::register`] builds. No retarget step remains:
+    /// the join re-derives membership from the mob's current position
+    /// on its first refresh. Falls back to registering a fresh view
+    /// when none survives. Returns `None` when the mob has no position.
     pub fn reattach(world: &mut World, mob: EntityId, radius: f32) -> Option<Self> {
-        let center = world.pos(mob)?;
-        for id in world.view_ids() {
-            let q = world.view_query(id);
-            if q.excluded() != Some(mob) || !q.predicates().is_empty() {
-                continue;
-            }
-            let Some((anchor, r)) = q.spatial() else { continue };
-            if anchor != center || r != radius {
-                world.retarget_view(id, center, radius);
-            }
-            return Some(CandidateView {
-                mob,
-                radius,
-                view: id,
-                anchor: center,
-            });
-        }
-        Self::register(world, mob, radius)
+        world.pos(mob)?;
+        let plan = Self::plan(mob, radius);
+        let view = match world.find_plan_view(&plan) {
+            Some(v) => v,
+            None => world.register_view_plan(plan).ok()?,
+        };
+        Some(CandidateView { mob, radius, view })
     }
 
     /// The mob this view follows.
@@ -187,26 +178,32 @@ impl CandidateView {
         self.mob
     }
 
+    /// The aggro radius the join maintains.
+    pub fn radius(&self) -> f32 {
+        self.radius
+    }
+
     /// The underlying standing-view handle (for stats inspection).
     pub fn view(&self) -> ViewId {
         self.view
     }
 
-    /// Per-tick maintenance: follow the mob, refresh, prune threat for
-    /// every candidate that left the radius (or the world). A
-    /// stationary mob stays on the incremental path; only actual
-    /// movement pays the retarget rescan. Returns the consumed
-    /// changelog so callers can react to entries (e.g. open combat on
-    /// `entered`).
+    /// Per-tick maintenance: refresh, prune threat for every candidate
+    /// that left the radius (or the world). The spatial join follows
+    /// the mob's own position deltas, so moving and stationary mobs
+    /// alike stay incremental. Returns the membership changelog
+    /// (synthesized from the join's pair deltas — the mob is the left
+    /// of every pair) so callers can react to entries (e.g. open
+    /// combat on `entered`).
     pub fn sync(&mut self, world: &mut World, table: &mut AggroTable) -> Changelog {
-        match world.pos(self.mob) {
-            Some(p) if p != self.anchor => {
-                world.retarget_view(self.view, p, self.radius);
-                self.anchor = p;
-            }
-            _ => world.refresh_views(),
-        }
-        let log = world.take_view_changelog(self.view);
+        world.refresh_views();
+        let pairs = world.take_view_pair_changelog(self.view);
+        let log = Changelog {
+            entered: pairs.entered.into_iter().map(|(_, r)| r).collect(),
+            exited: pairs.exited.into_iter().map(|(_, r)| r).collect(),
+            changed: Vec::new(),
+            rescans: 0,
+        };
         for &gone in &log.exited {
             table.remove(gone);
         }
@@ -214,9 +211,14 @@ impl CandidateView {
     }
 
     /// Current candidates, sorted by entity id — the set a per-tick
-    /// `within` query would have recomputed.
-    pub fn candidates<'w>(&self, world: &'w World) -> &'w [EntityId] {
-        world.view_rows(self.view)
+    /// `within` query would have recomputed (the right side of every
+    /// maintained join pair).
+    pub fn candidates(&self, world: &World) -> Vec<EntityId> {
+        world
+            .view_pairs(self.view)
+            .iter()
+            .map(|&(_, right)| right)
+            .collect()
     }
 
     /// Drop the underlying view (the mob died).

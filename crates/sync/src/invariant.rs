@@ -21,7 +21,9 @@
 use std::collections::HashMap;
 
 use gamedb_content::{CmpOp, Value};
-use gamedb_core::{ChangeOp, ComponentId, EntityId, Query, TapId, ViewId, World, POS_ID};
+use gamedb_core::{
+    AggFn, ChangeOp, ComponentId, CoreError, EntityId, Query, TapId, ViewId, World, POS_ID,
+};
 use gamedb_spatial::Vec2;
 
 use crate::action::Action;
@@ -96,6 +98,11 @@ pub struct Auditor {
     movement_streamed: bool,
     /// Wealth drift folds from the stream instead of two full scans.
     wealth_streamed: bool,
+    /// Global `Sum` operator views over `gold` and `value` when
+    /// subscribed (see [`Auditor::subscribe_wealth_views`]): the
+    /// differential view engine maintains total wealth, and the auditor
+    /// reads it in O(1).
+    wealth_views: Option<(ViewId, ViewId)>,
     ticks: usize,
     dirty_ticks: usize,
     total_drift: i64,
@@ -111,6 +118,7 @@ impl Auditor {
             move_tap: None,
             movement_streamed: false,
             wealth_streamed: false,
+            wealth_views: None,
             ticks: 0,
             dirty_ticks: 0,
             total_drift: 0,
@@ -170,6 +178,54 @@ impl Auditor {
             self.move_tap = Some(world.attach_tap());
         }
         self.wealth_streamed = true;
+    }
+
+    /// Re-home the wealth *baseline* onto the differential view engine:
+    /// two global `Sum` group-aggregate views (over `gold` and `value`)
+    /// keep the world's total wealth maintained inside the operator
+    /// tree, so [`Auditor::snapshot`] and the drift check read it in
+    /// O(1) — no tap, no per-record fold, no scan at either end of the
+    /// tick. Whenever the views are stale (pending deltas) or belong to
+    /// another world, the wealth read falls back to the full scan, so
+    /// the audit verdict never depends on refresh discipline.
+    ///
+    /// After a crash recovery the operator trees still exist (the
+    /// persistence catalog re-registers them at their slots), so a
+    /// freshly constructed auditor re-attaches here instead of
+    /// registering duplicates.
+    pub fn subscribe_wealth_views(&mut self, world: &mut World) -> Result<(), CoreError> {
+        if self.wealth_views.is_none() {
+            let gold_plan = Query::select().into_aggregate_plan(AggFn::Sum("gold".into()))?;
+            let value_plan = Query::select().into_aggregate_plan(AggFn::Sum("value".into()))?;
+            let gold = match world.find_plan_view(&gold_plan) {
+                Some(v) => v,
+                None => world.register_view_plan(gold_plan)?,
+            };
+            let value = match world.find_plan_view(&value_plan) {
+                Some(v) => v,
+                None => world.register_view_plan(value_plan)?,
+            };
+            self.wealth_views = Some((gold, value));
+        }
+        Ok(())
+    }
+
+    /// Total wealth as this auditor reads it: the maintained global
+    /// `Sum` views when subscribed and current, else the full scan.
+    /// (The global group vanishes when no entity carries the column —
+    /// an absent group reads as zero wealth, same as the scan.)
+    fn wealth_of(&self, world: &World) -> i64 {
+        match self.wealth_views {
+            Some((gold, value))
+                if world.has_view(gold)
+                    && world.has_view(value)
+                    && world.pending_deltas() == 0 =>
+            {
+                (world.view_group_value(gold, None).unwrap_or(0.0)
+                    + world.view_group_value(value, None).unwrap_or(0.0)) as i64
+            }
+            _ => wealth(world),
+        }
     }
 
     /// Release the stream tap (movement and wealth audits revert to
@@ -268,7 +324,7 @@ impl Auditor {
     /// Capture the pre-tick state the post-tick check needs.
     pub fn snapshot(&self, world: &World) -> Baseline {
         Baseline {
-            wealth: wealth(world),
+            wealth: self.wealth_of(world),
             positions: world
                 .entities()
                 .filter_map(|e| world.pos(e).map(|p| (e, p)))
@@ -287,7 +343,7 @@ impl Auditor {
                 Baseline {
                     // a wealth subscription folds drift from the stream:
                     // no baseline scan either
-                    wealth: if self.wealth_streamed { 0 } else { wealth(world) },
+                    wealth: if self.wealth_streamed { 0 } else { self.wealth_of(world) },
                     positions: if self.movement_streamed {
                         HashMap::new()
                     } else {
@@ -342,7 +398,7 @@ impl Auditor {
         });
         let report = AuditReport {
             wealth_drift: streamed_drift
-                .unwrap_or_else(|| wealth(world) - before.wealth),
+                .unwrap_or_else(|| self.wealth_of(world) - before.wealth),
             overdrafts,
             speed_violations,
         };
@@ -693,6 +749,58 @@ mod tests {
         }
         assert_eq!(scanning.total_drift(), folded.total_drift());
         assert!(folded.total_drift() > 0, "the script must exercise drift");
+    }
+
+    /// ISSUE-10 tentpole (sync layer): the view-backed wealth baseline —
+    /// two global `Sum` operator views maintained by the differential
+    /// view engine — must report exactly what the scanning auditor
+    /// reports across trades, dupes, minted items, pickups, and
+    /// gold-carrying despawns, while reading total wealth straight out
+    /// of the maintained group rows.
+    #[test]
+    fn wealth_views_equal_scanning_audit() {
+        let (mut w_scan, ids_s) = line_world(6);
+        let (mut w_view, ids_v) = line_world(6);
+        let mut scanning = Auditor::new(100.0);
+        let mut viewed = Auditor::new(100.0);
+        viewed.subscribe_wealth_views(&mut w_view).unwrap();
+
+        let script: Vec<Vec<(usize, i64)>> = vec![
+            vec![(0, 40), (1, 160)], // conserving trade
+            vec![(2, 200)],          // +100 duped
+            vec![(3, -30)],          // overdraft + black hole
+            vec![],                  // quiet tick
+            vec![(0, 0), (4, 500)],  // mixed
+        ];
+        for (tick, writes) in script.iter().enumerate() {
+            let before_s = scanning.snapshot(&w_scan);
+            let before_v = viewed.snapshot(&w_view);
+            assert_eq!(before_s.wealth, before_v.wealth, "baselines agree");
+            for &(i, gold) in writes {
+                w_scan.set(ids_s[i], "gold", Value::Int(gold)).unwrap();
+                w_view.set(ids_v[i], "gold", Value::Int(gold)).unwrap();
+            }
+            if tick == 2 {
+                // minted item + a death carrying gold: the view engine
+                // must retract both rows from the global sums
+                let a = w_scan.spawn_at(Vec2::ZERO);
+                w_scan.set(a, "value", Value::Int(77)).unwrap();
+                let b = w_view.spawn_at(Vec2::ZERO);
+                w_view.set(b, "value", Value::Int(77)).unwrap();
+                w_scan.despawn(ids_s[5]);
+                w_view.despawn(ids_v[5]);
+            }
+            let r_scan = scanning.audit(&before_s, &w_scan);
+            let r_view = viewed.audit_tick(&before_v, &mut w_view);
+            assert_eq!(r_scan.wealth_drift, r_view.wealth_drift, "tick {tick}");
+            assert_eq!(r_scan.overdrafts, r_view.overdrafts, "tick {tick}");
+        }
+        assert_eq!(scanning.total_drift(), viewed.total_drift());
+        assert!(viewed.total_drift() > 0, "the script must exercise drift");
+        // a second auditor re-attaches to the same operator trees
+        let mut second = Auditor::new(100.0);
+        second.subscribe_wealth_views(&mut w_view).unwrap();
+        assert_eq!(second.wealth_views, viewed.wealth_views);
     }
 
     /// Wealth and movement subscriptions share one tap and one stream

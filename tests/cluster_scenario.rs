@@ -30,7 +30,7 @@
 use std::fs;
 
 use gamedb::content::{CmpOp, Value};
-use gamedb::core::{DurabilityWatermark, IndexKind, Query};
+use gamedb::core::{AggFn, DurabilityWatermark, IndexKind, Query};
 use gamedb::metrics::{MetricsRegistry, Snapshot};
 use gamedb::persist::{temp_dir, Backend, FlushPolicy, WalStore};
 use gamedb::script::{Level, ScriptEngine};
@@ -131,6 +131,19 @@ fn instrumented_cluster_scenario() {
     });
     world.create_index("gold", IndexKind::Sorted).unwrap();
 
+    // ONE operator-tree view rides the whole run: a global group
+    // aggregate maintaining total gold while trades churn it — the
+    // differential view engine's per-operator counters land in the same
+    // shared registry, and the run periodically holds the maintained
+    // value to a forced recompute of the plan.
+    let wealth_view = world
+        .register_view_plan(
+            Query::select()
+                .into_aggregate_plan(AggFn::Sum("gold".into()))
+                .unwrap(),
+        )
+        .unwrap();
+
     let mut engine = ScriptEngine::new(Level::Restricted).with_optimizer();
     engine.ensure_binding_component(&mut world);
     engine
@@ -209,6 +222,14 @@ fn instrumented_cluster_scenario() {
                 .within(Vec2::new(MAP / 2.0, MAP / 2.0), 150.0)
                 .run(store.world())
                 .len();
+            // the maintained wealth aggregate equals a forced recompute
+            store.world_mut().refresh_views();
+            let plan = store.world().view_plan(wealth_view).unwrap().clone();
+            assert_eq!(
+                store.world().view_output(wealth_view),
+                plan.evaluate(store.world()).unwrap(),
+                "tick {t}: maintained wealth diverged from its recompute"
+            );
         }
 
         store.commit().unwrap();
@@ -360,6 +381,17 @@ fn instrumented_cluster_scenario() {
     assert!(snap.counter("wal.flushes") > 0);
     assert!(snap.counter("planner.plans") > 0, "auditor queries must be planned");
     assert!(snap.counter("view.refreshes") > 0, "interest views must refresh");
+    // the operator-tree view's per-operator counters flowed into the
+    // shared registry: trades feed the fused scan, which feeds the
+    // group aggregate
+    assert!(
+        snap.counter("view.op_scan.rows_in") > 0,
+        "the wealth view's scan operator must have seen delta rows"
+    );
+    assert!(
+        snap.counter("view.op_group.rows_in") > 0,
+        "the wealth view's group operator must have folded delta rows"
+    );
     assert!(
         snap.counter("repl.resyncs") == 0,
         "no tap eviction means no forced full resync"
@@ -381,7 +413,9 @@ fn instrumented_cluster_scenario() {
          standby: replayed segments={} (failover tail={replayed})\n\
          cluster: {distributed_total} distributed actions, simulated {:.1} ms \
          vs single-server {:.1} ms\n\
-         gated strict ticks: {}\n",
+         gated strict ticks: {}\n\
+         dvm wealth view: op_scan rows_in={} rows_out={}, \
+         op_group rows_in={} rows_out={}\n",
         CLIENTS.len(),
         100.0 * delta_bytes as f64 / walk_bytes as f64,
         100.0 * handoff_bytes as f64 / handoff_baseline as f64,
@@ -391,6 +425,10 @@ fn instrumented_cluster_scenario() {
         simulated_us / 1000.0,
         single_server_us / 1000.0,
         snap.counter("repl.gated_ticks"),
+        snap.counter("view.op_scan.rows_in"),
+        snap.counter("view.op_scan.rows_out"),
+        snap.counter("view.op_group.rows_in"),
+        snap.counter("view.op_group.rows_out"),
     );
     write_report(&snap, &second_half, &summary);
 }
